@@ -1,0 +1,204 @@
+package x100_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"x100"
+)
+
+func apiDB(t *testing.T) *x100.DB {
+	t.Helper()
+	db := x100.NewDB()
+	err := db.CreateTable("orders",
+		x100.ColumnData{Name: "id", Type: x100.Int32T, Data: []int32{1, 2, 3, 4}},
+		x100.ColumnData{Name: "amount", Type: x100.Float64T, Data: []float64{10, 20, 30, 40}},
+		x100.ColumnData{Name: "status", Type: x100.StringT, Data: []string{"open", "done", "open", "done"}, Enum: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	db := apiDB(t)
+	s, err := db.TableSchema("orders")
+	if err != nil || len(s) != 3 {
+		t.Fatalf("schema: %v %v", s, err)
+	}
+	n, err := db.NumRows("orders")
+	if err != nil || n != 4 {
+		t.Fatalf("numrows: %d %v", n, err)
+	}
+	q := x100.ScanT("orders", "amount", "status").
+		Where(x100.Eq(x100.Col("status"), x100.S("open"))).
+		AggrBy(nil, x100.SumA("total", x100.Col("amount")), x100.CountA("n"))
+	if _, err := db.Validate(q.Node()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(q.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)[0].(float64) != 40 || res.Row(0)[1].(int64) != 2 {
+		t.Fatalf("result: %v", res.Row(0))
+	}
+}
+
+func TestAllEnginesViaAPI(t *testing.T) {
+	db := apiDB(t)
+	q := x100.ScanT("orders").
+		Where(x100.Gt(x100.Col("amount"), x100.F(15))).
+		OrderBy(x100.Desc(x100.Col("amount")))
+	ref, err := db.Exec(q.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []x100.Engine{x100.MIL, x100.Volcano} {
+		got, err := db.Exec(q.Node(), x100.WithEngine(eng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Rows(), got.Rows()) {
+			t.Fatalf("engine %v disagrees", eng)
+		}
+	}
+	// Vector size and fusion options must not change results.
+	got, err := db.Exec(q.Node(), x100.WithVectorSize(2), x100.WithoutFusion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Rows(), got.Rows()) {
+		t.Fatal("options changed results")
+	}
+}
+
+func TestExecTextAndExplain(t *testing.T) {
+	db := apiDB(t)
+	res, err := db.ExecText(`Aggr(Select(Scan(orders), ==(status, 'done')), [], [total = sum(amount)])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)[0].(float64) != 60 {
+		t.Fatalf("total: %v", res.Row(0))
+	}
+	plan, err := x100.Parse(`TopN(Scan(orders), [amount DESC], 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(x100.Explain(plan), "TopN(2)") {
+		t.Fatal("explain")
+	}
+	if _, err := db.ExecText(`Nonsense(`); err == nil {
+		t.Fatal("bad text must fail")
+	}
+}
+
+func TestUpdateLifecycleViaAPI(t *testing.T) {
+	db := apiDB(t)
+	if err := db.Insert("orders", int32(5), 50.0, "open"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("orders", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("orders", 1, int32(2), 25.0, "done"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.NumRows("orders")
+	if n != 4 {
+		t.Fatalf("rows: %d", n)
+	}
+	frac, _ := db.DeltaFraction("orders")
+	if frac <= 0 {
+		t.Fatal("delta fraction")
+	}
+	sum := func() float64 {
+		res, err := db.Exec(x100.ScanT("orders", "amount").
+			AggrBy(nil, x100.SumA("s", x100.Col("amount"))).Node())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Row(0)[0].(float64)
+	}
+	before := sum()
+	if before != 20+30+40+50-20+25 { // rows 2..4 + insert, minus updated 20 plus 25
+		t.Fatalf("sum before reorganize: %v", before)
+	}
+	if err := db.Reorganize("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if after := sum(); after != before {
+		t.Fatalf("reorganize changed sum: %v vs %v", after, before)
+	}
+}
+
+func TestTracersViaAPI(t *testing.T) {
+	db := apiDB(t)
+	q := x100.ScanT("orders", "amount").
+		Where(x100.Ge(x100.Col("amount"), x100.F(0))).
+		AggrBy(nil, x100.SumA("s", x100.Col("amount")))
+
+	tr := x100.NewTracer()
+	if _, err := db.Exec(q.Node(), x100.WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Primitives()) == 0 {
+		t.Fatal("tracer collected nothing")
+	}
+
+	mt := x100.NewMILTrace()
+	if _, err := db.Exec(q.Node(), x100.WithEngine(x100.MIL), x100.WithMILTrace(mt)); err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Statements) == 0 {
+		t.Fatal("mil trace collected nothing")
+	}
+
+	prof := x100.NewProfile()
+	if _, err := db.Exec(q.Node(), x100.WithEngine(x100.Volcano), x100.WithProfile(prof)); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Stats()) == 0 {
+		t.Fatal("profile collected nothing")
+	}
+}
+
+func TestGenerateTPCHViaAPI(t *testing.T) {
+	db, err := x100.GenerateTPCH(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := x100.TPCHQuery(6, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)[0].(float64) <= 0 {
+		t.Fatalf("Q6: %v", res.Rows())
+	}
+	if _, err := x100.TPCHQuery(23, 1); err == nil {
+		t.Fatal("query 23 must not exist")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := x100.NewDB()
+	err := db.CreateTable("bad",
+		x100.ColumnData{Name: "a", Type: x100.Int32T, Data: []int32{1, 2}},
+		x100.ColumnData{Name: "b", Type: x100.Int32T, Data: []int32{1}},
+	)
+	if err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	err = db.CreateTable("bad2",
+		x100.ColumnData{Name: "a", Type: x100.Int32T, Data: []int32{1}, Enum: true})
+	if err == nil {
+		t.Fatal("enum int must fail")
+	}
+}

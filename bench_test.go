@@ -1,0 +1,328 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark name carries the paper artifact it reproduces; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep, or cmd/x100bench for the formatted renditions at
+// larger scale factors.
+package x100_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"x100/internal/core"
+	"x100/internal/mil"
+	"x100/internal/primitives"
+	"x100/internal/tpch"
+	"x100/internal/trace"
+	"x100/internal/volcano"
+)
+
+const benchSF = 0.02
+
+var (
+	benchOnce sync.Once
+	benchDB   *core.Database
+)
+
+func getBenchDB(b *testing.B) *core.Database {
+	b.Helper()
+	benchOnce.Do(func() {
+		db, err := tpch.Generate(tpch.Config{SF: benchSF, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		benchDB = db
+	})
+	return benchDB
+}
+
+// --- Figure 2: branch vs predicated selection across selectivities ---
+
+func benchSelInput() ([]int32, []int32) {
+	n := 1 << 16
+	in := make([]int32, n)
+	r := uint64(42)
+	for i := range in {
+		r ^= r >> 12
+		r ^= r << 25
+		r ^= r >> 27
+		in[i] = int32(r % 100)
+	}
+	return in, make([]int32, n)
+}
+
+func BenchmarkFig2_SelectBranch(b *testing.B) {
+	in, res := benchSelInput()
+	for _, sel := range []int32{10, 50, 90} {
+		b.Run(fmt.Sprintf("selectivity%d", sel), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(in)))
+			for i := 0; i < b.N; i++ {
+				primitives.SelectLTColValBranch(res, in, sel, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkFig2_SelectPredicated(b *testing.B) {
+	in, res := benchSelInput()
+	for _, sel := range []int32{10, 50, 90} {
+		b.Run(fmt.Sprintf("selectivity%d", sel), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(in)))
+			for i := 0; i < b.N; i++ {
+				primitives.SelectLTColVal(res, in, sel, nil)
+			}
+		})
+	}
+}
+
+// --- Table 1: Q1 across the four architectures ---
+
+func BenchmarkTable1_Q1_Volcano(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := volcano.New(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Q1_MIL(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mil.New(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Q1_X100(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(db, plan, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Q1_Hardcoded(b *testing.B) {
+	db := getBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tpch.HardcodedQ1(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: profiled tuple-at-a-time Q1 ---
+
+func BenchmarkTable2_Q1_VolcanoProfiled(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &volcano.Engine{DB: db, Profile: volcano.NewProfile()}
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: MIL statement trace of Q1 ---
+
+func BenchmarkTable3_Q1_MILTraced(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &mil.Engine{DB: db, Trace: &mil.Trace{}}
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4: all 22 queries, MIL vs X100 ---
+
+func BenchmarkTable4_MIL(b *testing.B) {
+	db := getBenchDB(b)
+	eng := mil.New(db)
+	for q := 1; q <= tpch.NumQueries; q++ {
+		plan, err := tpch.Query(q, benchSF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Q%02d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable4_X100(b *testing.B) {
+	db := getBenchDB(b)
+	for q := 1; q <= tpch.NumQueries; q++ {
+		plan, err := tpch.Query(q, benchSF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Q%02d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(db, plan, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 5: traced X100 Q1 ---
+
+func BenchmarkTable5_Q1_X100Traced(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions()
+		opts.Tracer = trace.New()
+		if _, err := core.Run(db, plan, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: Q1 vs vector size ---
+
+func BenchmarkFig10_VectorSize(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1, 16, 256, 1024, 16 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.BatchSize = size
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(db, plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Section 4.2 ablation: compound primitives ---
+
+func BenchmarkAblation_MahalanobisFused(b *testing.B) {
+	n := 1 << 16
+	a := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], c[i], d[i] = float64(i%97), float64(i%89), float64(i%83)+1
+	}
+	b.SetBytes(int64(8 * 4 * n))
+	for i := 0; i < b.N; i++ {
+		primitives.FusedMahalanobis(res, a, c, d, nil)
+	}
+}
+
+func BenchmarkAblation_MahalanobisUnfused(b *testing.B) {
+	n := 1 << 16
+	a := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	res := make([]float64, n)
+	t1 := make([]float64, n)
+	t2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], c[i], d[i] = float64(i%97), float64(i%89), float64(i%83)+1
+	}
+	b.SetBytes(int64(8 * 4 * n))
+	for i := 0; i < b.N; i++ {
+		primitives.MahalanobisUnfused(res, a, c, d, t1, t2, nil)
+	}
+}
+
+func BenchmarkAblation_Q1Fused(b *testing.B) {
+	benchQ1Fusion(b, true)
+}
+
+func BenchmarkAblation_Q1Unfused(b *testing.B) {
+	benchQ1Fusion(b, false)
+}
+
+func benchQ1Fusion(b *testing.B, fuse bool) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Fuse = fuse
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(db, plan, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 4.3 ablation: summary-index pruning ---
+
+func BenchmarkAblation_SummaryIndex(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(6, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.NoSummaryIndex = disabled
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(db, plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package x100
+
+import (
+	"x100/internal/algebra"
+	"x100/internal/dateutil"
+	"x100/internal/expr"
+)
+
+// Q is a fluent plan builder over the X100 algebra.
+type Q struct{ node algebra.Node }
+
+// Node returns the built plan.
+func (q Q) Node() Node { return q.node }
+
+// ScanT starts a plan by scanning a table; with no columns listed all
+// columns are read (vertical fragmentation means only listed columns are
+// ever touched).
+func ScanT(table string, cols ...string) Q {
+	return Q{node: algebra.NewScan(table, cols...)}
+}
+
+// ArrayQ starts a plan generating all coordinates of an N-dimensional
+// array (the Array operator of the paper's algebra).
+func ArrayQ(dims ...int) Q { return Q{node: algebra.NewArray(dims...)} }
+
+// Where filters the dataflow.
+func (q Q) Where(pred Expr) Q { return Q{node: algebra.NewSelect(q.node, pred)} }
+
+// Map computes named expressions (the paper's Project: expression
+// calculation only, no duplicate elimination).
+func (q Q) Map(exprs ...Named) Q {
+	nes := make([]algebra.NamedExpr, len(exprs))
+	for i, n := range exprs {
+		nes[i] = algebra.NamedExpr(n)
+	}
+	return Q{node: algebra.NewProject(q.node, nes...)}
+}
+
+// AggrBy groups by the given named expressions (nil for scalar
+// aggregation) and computes aggregates.
+func (q Q) AggrBy(groupBy []Named, aggs ...Agg) Q {
+	gb := make([]algebra.NamedExpr, len(groupBy))
+	for i, n := range groupBy {
+		gb[i] = algebra.NamedExpr(n)
+	}
+	as := make([]algebra.AggExpr, len(aggs))
+	for i, a := range aggs {
+		as[i] = algebra.AggExpr(a)
+	}
+	return Q{node: algebra.NewAggr(q.node, gb, as)}
+}
+
+// Join hash-joins with another plan on equal column pairs
+// ("l_orderkey=o_orderkey" style pairs built with On).
+func (q Q) Join(right Q, on ...algebra.EquiCond) Q {
+	return Q{node: algebra.NewJoin(q.node, right.node, on...)}
+}
+
+// SemiJoin keeps left rows with at least one match.
+func (q Q) SemiJoin(right Q, on ...algebra.EquiCond) Q {
+	return Q{node: algebra.NewJoinKind(algebra.Semi, q.node, right.node, on...)}
+}
+
+// AntiJoin keeps left rows with no match.
+func (q Q) AntiJoin(right Q, on ...algebra.EquiCond) Q {
+	return Q{node: algebra.NewJoinKind(algebra.Anti, q.node, right.node, on...)}
+}
+
+// LeftJoin keeps all left rows, zero-filling right columns for misses.
+func (q Q) LeftJoin(right Q, on ...algebra.EquiCond) Q {
+	return Q{node: algebra.NewJoinKind(algebra.LeftOuter, q.node, right.node, on...)}
+}
+
+// CrossJoin is the paper's CartProd.
+func (q Q) CrossJoin(right Q) Q {
+	return Q{node: algebra.NewJoin(q.node, right.node)}
+}
+
+// Fetch1 positionally fetches columns of a table by an int32 row-id
+// expression (the paper's Fetch1Join over join indices and enum
+// dictionaries).
+func (q Q) Fetch1(table string, rowID Expr, cols ...string) Q {
+	return Q{node: algebra.NewFetch1Join(q.node, table, rowID, cols...)}
+}
+
+// OrderBy sorts the dataflow.
+func (q Q) OrderBy(keys ...algebra.OrdExpr) Q {
+	return Q{node: algebra.NewOrder(q.node, keys...)}
+}
+
+// Top keeps the first n rows in key order.
+func (q Q) Top(n int, keys ...algebra.OrdExpr) Q {
+	return Q{node: algebra.NewTopN(q.node, n, keys...)}
+}
+
+// On builds a join equi-condition left=right.
+func On(left, right string) algebra.EquiCond { return algebra.EquiCond{L: left, R: right} }
+
+// Named binds an expression to an output column name.
+type Named algebra.NamedExpr
+
+// As names an expression.
+func As(alias string, e Expr) Named { return Named{Alias: alias, E: e} }
+
+// Keep passes a column through unchanged.
+func Keep(col string) Named { return Named{Alias: col, E: expr.C(col)} }
+
+// Agg is an aggregate computation.
+type Agg algebra.AggExpr
+
+// Aggregate constructors.
+func SumA(alias string, arg Expr) Agg { return Agg(algebra.Sum(alias, arg)) }
+func CountA(alias string) Agg         { return Agg(algebra.Count(alias)) }
+func MinA(alias string, arg Expr) Agg { return Agg(algebra.Min(alias, arg)) }
+func MaxA(alias string, arg Expr) Agg { return Agg(algebra.Max(alias, arg)) }
+func AvgA(alias string, arg Expr) Agg { return Agg(algebra.Avg(alias, arg)) }
+
+// Sort key constructors.
+func Asc(e Expr) algebra.OrdExpr  { return algebra.Asc(e) }
+func Desc(e Expr) algebra.OrdExpr { return algebra.Desc(e) }
+
+// Expression constructors.
+
+// Col references a column.
+func Col(name string) Expr { return expr.C(name) }
+
+// F is a float64 literal; I an int64 literal; I32 an int32 literal; S a
+// string literal; B a bool literal.
+func F(v float64) Expr { return expr.Float(v) }
+func I(v int64) Expr   { return expr.Int(v) }
+func I32(v int32) Expr { return expr.Int32Const(v) }
+func S(v string) Expr  { return expr.Str(v) }
+func B(v bool) Expr    { return expr.BoolConst(v) }
+
+// Date is a date literal from "YYYY-MM-DD".
+func Date(s string) Expr { return expr.DateConst(dateutil.MustParse(s)) }
+
+// Arithmetic.
+func Add(l, r Expr) Expr { return expr.AddE(l, r) }
+func Sub(l, r Expr) Expr { return expr.SubE(l, r) }
+func Mul(l, r Expr) Expr { return expr.MulE(l, r) }
+func Div(l, r Expr) Expr { return expr.DivE(l, r) }
+
+// Comparisons.
+func Lt(l, r Expr) Expr { return expr.LTE(l, r) }
+func Le(l, r Expr) Expr { return expr.LEE(l, r) }
+func Gt(l, r Expr) Expr { return expr.GTE(l, r) }
+func Ge(l, r Expr) Expr { return expr.GEE(l, r) }
+func Eq(l, r Expr) Expr { return expr.EQE(l, r) }
+func Ne(l, r Expr) Expr { return expr.NEE(l, r) }
+
+// Boolean connectives.
+func And(args ...Expr) Expr { return expr.AndE(args...) }
+func Or(args ...Expr) Expr  { return expr.OrE(args...) }
+func Not(a Expr) Expr       { return expr.NotE(a) }
+
+// Strings and misc.
+func Like(a Expr, pattern string) Expr    { return expr.LikeE(a, pattern) }
+func NotLike(a Expr, pattern string) Expr { return expr.NotLikeE(a, pattern) }
+func Substr(a Expr, start, length int) Expr {
+	return expr.SubstrE(a, start, length)
+}
+func Concat(a, b Expr) Expr { return expr.ConcatE(a, b) }
+func Year(a Expr) Expr      { return expr.YearE(a) }
+func Square(a Expr) Expr    { return expr.SquareE(a) }
+func Cast(to Type, a Expr) Expr {
+	return expr.CastE(to, a)
+}
+
+// InList tests membership in a literal list (literals built with F/I/S/...).
+func InList(a Expr, list ...Expr) Expr {
+	consts := make([]*expr.Const, len(list))
+	for i, l := range list {
+		consts[i] = l.(*expr.Const)
+	}
+	return expr.InE(a, consts...)
+}
+
+// Case is CASE WHEN cond THEN t ELSE e END.
+func Case(cond, then, els Expr) Expr { return expr.CaseE(cond, then, els) }

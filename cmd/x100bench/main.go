@@ -1,0 +1,102 @@
+// Command x100bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	x100bench -exp all -sf 0.1
+//	x100bench -exp table1 -sf 1
+//	x100bench -exp fig10 -sf 0.05
+//
+// Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
+// ablation-compound, ablation-enum, ablation-summary, ablation-selvec, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"x100/internal/bench"
+	"x100/internal/core"
+	"x100/internal/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma-separated list or 'all')")
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor for the main database")
+	smallSF := flag.Float64("small-sf", 0.001, "scale factor for the cache-resident database (Table 3)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if err := run(*exp, *sf, *smallSF, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "x100bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, sf, smallSF float64, seed uint64) error {
+	want := map[string]bool{}
+	for _, e := range strings.Split(exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	w := os.Stdout
+
+	var db, smallDB *core.Database
+	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
+		want["table5"] || want["fig10"] || want["ablation-compound"] || want["ablation-summary"] ||
+		want["ablation-fetchjoin"]
+	if needDB {
+		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
+		var err error
+		db, err = tpch.Generate(tpch.Config{SF: sf, Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+	if all || want["table3"] {
+		var err error
+		smallDB, err = tpch.Generate(tpch.Config{SF: smallSF, Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+	sep := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
+
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"fig2", func() error { return bench.Fig2(w) }},
+		{"table1", func() error { return bench.Table1(w, db, sf) }},
+		{"table2", func() error { return bench.Table2(w, db, sf) }},
+		{"table3", func() error { return bench.Table3(w, db, sf, smallDB, smallSF) }},
+		{"table4", func() error { return bench.Table4(w, db, sf) }},
+		{"table5", func() error { return bench.Table5(w, db, sf) }},
+		{"fig6", func() error { return bench.Fig6(w) }},
+		{"fig10", func() error { return bench.Fig10(w, db, sf, nil) }},
+		{"ablation-compound", func() error { return bench.AblationCompound(w, db, sf) }},
+		{"ablation-enum", func() error { return bench.AblationEnum(w, sf, seed) }},
+		{"ablation-summary", func() error { return bench.AblationSummary(w, db) }},
+		{"ablation-fetchjoin", func() error { return bench.AblationFetchJoin(w, db, sf) }},
+		{"ablation-selvec", func() error { return bench.AblationSelVec(w) }},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !all && !want[s.name] {
+			continue
+		}
+		if ran > 0 {
+			sep()
+		}
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Command x100shell is an interactive shell for the X100 engine: it
+// generates a TPC-H database and executes plans typed in the paper's
+// textual algebra syntax.
+//
+//	$ go run ./cmd/x100shell -sf 0.01
+//	x100> Aggr(Select(Scan(lineitem), <(l_shipdate, date('1998-09-03'))),
+//	      [l_returnflag], [n = count()])
+//
+// Statements may span lines; they execute once the parentheses balance.
+// Meta commands: \tables, \schema <t>, \explain <plan>, \engine <x100|mil|
+// volcano>, \vectorsize <n>, \trace, \q.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"x100"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H at SF=%g ...\n", *sf)
+	db, err := x100.GenerateTPCH(*sf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("ready. \\q quits, \\tables lists tables, plans run on balance of parens.")
+
+	engine := x100.Vectorized
+	vectorSize := 0
+	traceOn := false
+	var buf strings.Builder
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("x100> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if handleMeta(trimmed, db, &engine, &vectorSize, &traceOn) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		text := buf.String()
+		if balanced(text) && strings.TrimSpace(text) != "" {
+			buf.Reset()
+			runPlan(db, text, engine, vectorSize, traceOn)
+		}
+		prompt()
+	}
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, c := range s {
+		switch c {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+	}
+	return depth <= 0 && strings.Contains(s, "(")
+}
+
+func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize *int, traceOn *bool) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\tables":
+		for _, t := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+			if n, err := db.NumRows(t); err == nil {
+				fmt.Printf("  %-10s %10d rows\n", t, n)
+			}
+		}
+	case "\\schema":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\schema <table>")
+			break
+		}
+		s, err := db.TableSchema(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Println(s)
+	case "\\explain":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		plan, err := x100.Parse(rest)
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Print(x100.Explain(plan))
+	case "\\engine":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\engine x100|mil|volcano")
+			break
+		}
+		switch fields[1] {
+		case "x100":
+			*engine = x100.Vectorized
+		case "mil":
+			*engine = x100.MIL
+		case "volcano":
+			*engine = x100.Volcano
+		default:
+			fmt.Println("unknown engine", fields[1])
+		}
+	case "\\vectorsize":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\vectorsize <n>")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		*vectorSize = n
+	case "\\trace":
+		*traceOn = !*traceOn
+		fmt.Println("trace:", *traceOn)
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return false
+}
+
+func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize int, traceOn bool) {
+	plan, err := x100.Parse(text)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	opts := []x100.ExecOption{x100.WithEngine(engine)}
+	if vectorSize > 0 {
+		opts = append(opts, x100.WithVectorSize(vectorSize))
+	}
+	var tr *x100.Tracer
+	if traceOn && engine == x100.Vectorized {
+		tr = x100.NewTracer()
+		opts = append(opts, x100.WithTracer(tr))
+	}
+	t0 := time.Now()
+	res, err := db.Exec(plan, opts...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Format(20))
+	fmt.Printf("(%d rows in %.4fs)\n", res.NumRows(), time.Since(t0).Seconds())
+	if tr != nil {
+		fmt.Print(tr.Render())
+	}
+}

@@ -1,0 +1,57 @@
+package x100_test
+
+import (
+	"fmt"
+	"log"
+
+	"x100"
+)
+
+// Example builds a small columnar table and runs a vectorized
+// filter-aggregate query over it.
+func Example() {
+	db := x100.NewDB()
+	err := db.CreateTable("payments",
+		x100.ColumnData{Name: "amount", Type: x100.Float64T, Data: []float64{10, 250, 75, 310, 42}},
+		x100.ColumnData{Name: "method", Type: x100.StringT,
+			Data: []string{"card", "cash", "card", "card", "cash"}, Enum: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := x100.ScanT("payments", "amount", "method").
+		Where(x100.Gt(x100.Col("amount"), x100.F(50))).
+		AggrBy([]x100.Named{x100.Keep("method")},
+			x100.SumA("total", x100.Col("amount")),
+			x100.CountA("n")).
+		OrderBy(x100.Asc(x100.Col("method")))
+	res, err := db.Exec(q.Node())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		row := res.Row(i)
+		fmt.Printf("%s total=%.0f n=%d\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// card total=385 n=2
+	// cash total=250 n=1
+}
+
+// ExampleDB_ExecText runs the same plan written in the paper's textual
+// X100 algebra syntax.
+func ExampleDB_ExecText() {
+	db := x100.NewDB()
+	if err := db.CreateTable("t",
+		x100.ColumnData{Name: "v", Type: x100.Float64T, Data: []float64{1, 2, 3, 4}},
+	); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.ExecText(`Aggr(Select(Scan(t), >=(v, 2.0)), [], [s = sum(v)])`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Row(0)[0])
+	// Output:
+	// 9
+}

@@ -1,0 +1,122 @@
+// retail is a domain-specific example: a star-schema point-of-sale dataset
+// (stores dimension + receipts fact table) analyzed with joins, CASE
+// expressions, LIKE filters and top-N — the decision-support workload class
+// the paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"x100"
+)
+
+func main() {
+	db := buildData()
+
+	// 1. Revenue and basket size per region, weekends vs weekdays.
+	q1 := x100.ScanT("receipts", "store_id", "amount", "items", "weekday").
+		Join(x100.ScanT("stores", "s_id", "region", "format"), x100.On("store_id", "s_id")).
+		Map(
+			x100.Keep("region"),
+			x100.As("wknd_rev", x100.Case(x100.Ge(x100.Col("weekday"), x100.I32(5)), x100.Col("amount"), x100.F(0))),
+			x100.As("week_rev", x100.Case(x100.Lt(x100.Col("weekday"), x100.I32(5)), x100.Col("amount"), x100.F(0))),
+			x100.As("items", x100.Cast(x100.Float64T, x100.Col("items"))),
+		).
+		AggrBy(
+			[]x100.Named{x100.Keep("region")},
+			x100.SumA("weekend_revenue", x100.Col("wknd_rev")),
+			x100.SumA("weekday_revenue", x100.Col("week_rev")),
+			x100.AvgA("avg_items", x100.Col("items")),
+			x100.CountA("receipts"),
+		).
+		OrderBy(x100.Asc(x100.Col("region")))
+	mustPrint(db, "revenue per region, weekend vs weekday", q1)
+
+	// 2. Top 5 hypermarkets by average ticket.
+	q2 := x100.ScanT("receipts", "store_id", "amount").
+		Join(x100.ScanT("stores", "s_id", "name", "format"), x100.On("store_id", "s_id")).
+		Where(x100.Like(x100.Col("format"), "HYPER%")).
+		AggrBy(
+			[]x100.Named{x100.Keep("name")},
+			x100.AvgA("avg_ticket", x100.Col("amount")),
+			x100.CountA("n"),
+		).
+		Top(5, x100.Desc(x100.Col("avg_ticket")))
+	mustPrint(db, "top 5 hypermarkets by average ticket", q2)
+
+	// 3. Stores with no weekend sales at all (anti join).
+	weekend := x100.ScanT("receipts", "store_id", "weekday").
+		Where(x100.Ge(x100.Col("weekday"), x100.I32(5)))
+	q3 := x100.ScanT("stores", "s_id", "name", "region").
+		AntiJoin(weekend, x100.On("s_id", "store_id")).
+		OrderBy(x100.Asc(x100.Col("name")))
+	mustPrint(db, "stores with no weekend sales", q3)
+}
+
+func mustPrint(db *x100.DB, title string, q x100.Q) {
+	res, err := db.Exec(q.Node())
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("== %s ==\n%s\n", title, res.Format(10))
+}
+
+func buildData() *x100.DB {
+	db := x100.NewDB()
+	regions := []string{"NORTH", "SOUTH", "EAST", "WEST"}
+	formats := []string{"HYPERMARKET", "SUPERMARKET", "CONVENIENCE"}
+	nStores := 40
+	sID := make([]int32, nStores)
+	sName := make([]string, nStores)
+	sRegion := make([]string, nStores)
+	sFormat := make([]string, nStores)
+	for i := range sID {
+		sID[i] = int32(i + 1)
+		sName[i] = fmt.Sprintf("Store#%03d", i+1)
+		sRegion[i] = regions[i%len(regions)]
+		sFormat[i] = formats[i%len(formats)]
+	}
+	if err := db.CreateTable("stores",
+		x100.ColumnData{Name: "s_id", Type: x100.Int32T, Data: sID},
+		x100.ColumnData{Name: "name", Type: x100.StringT, Data: sName},
+		x100.ColumnData{Name: "region", Type: x100.StringT, Data: sRegion, Enum: true},
+		x100.ColumnData{Name: "format", Type: x100.StringT, Data: sFormat, Enum: true},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	n := 200000
+	rStore := make([]int32, n)
+	rAmount := make([]float64, n)
+	rItems := make([]int64, n)
+	rDay := make([]int32, n)
+	seed := uint64(99)
+	next := func() uint64 {
+		seed ^= seed >> 12
+		seed ^= seed << 25
+		seed ^= seed >> 27
+		return seed * 0x2545F4914F6CDD1D
+	}
+	for i := 0; i < n; i++ {
+		// Store #1..#8 never sell on weekends (exercises the anti join).
+		store := int(next()%uint64(nStores)) + 1
+		day := int32(next() % 7)
+		if store <= 8 && day >= 5 {
+			day = int32(next() % 5)
+		}
+		rStore[i] = int32(store)
+		rItems[i] = int64(next()%20 + 1)
+		rAmount[i] = float64(next()%10000) / 100 * float64(rItems[i]) / 4
+		rDay[i] = day
+	}
+	if err := db.CreateTable("receipts",
+		x100.ColumnData{Name: "store_id", Type: x100.Int32T, Data: rStore},
+		x100.ColumnData{Name: "amount", Type: x100.Float64T, Data: rAmount},
+		x100.ColumnData{Name: "items", Type: x100.Int64T, Data: rItems},
+		x100.ColumnData{Name: "weekday", Type: x100.Int32T, Data: rDay},
+	); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}

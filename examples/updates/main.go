@@ -1,0 +1,64 @@
+// updates demonstrates the paper's Figure 8 update scheme: immutable
+// vertical fragments with a deletion list and insert delta columns, scans
+// that merge deltas transparently, and reorganization once the deltas
+// exceed a threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"x100"
+)
+
+func main() {
+	db := x100.NewDB()
+	if err := db.CreateTable("inventory",
+		x100.ColumnData{Name: "sku", Type: x100.Int32T, Data: []int32{1, 2, 3, 4, 5}},
+		x100.ColumnData{Name: "item", Type: x100.StringT,
+			Data: []string{"bolt", "nut", "washer", "screw", "nail"}, Enum: true},
+		x100.ColumnData{Name: "stock", Type: x100.Int64T, Data: []int64{100, 250, 75, 310, 42}},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string) {
+		res, err := db.Exec(x100.ScanT("inventory").Node())
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac, _ := db.DeltaFraction("inventory")
+		fmt.Printf("== %s (delta fraction %.0f%%) ==\n%s\n", title, 100*frac, res.Format(0))
+	}
+	show("initial")
+
+	// Deletes go to the deletion list; the column fragments stay untouched.
+	if err := db.Delete("inventory", 2); err != nil { // washer
+		log.Fatal(err)
+	}
+	// Inserts append to uncompressed delta columns.
+	if err := db.Insert("inventory", int32(6), "rivet", int64(500)); err != nil {
+		log.Fatal(err)
+	}
+	// An update is a delete plus an insert (Figure 8).
+	if err := db.Update("inventory", 0, int32(1), "bolt", int64(95)); err != nil {
+		log.Fatal(err)
+	}
+	show("after delete(washer), insert(rivet), update(bolt)")
+
+	// Queries run on the merged view, including aggregation.
+	res, err := db.Exec(
+		x100.ScanT("inventory", "stock").
+			AggrBy(nil, x100.SumA("total_stock", x100.Col("stock")), x100.CountA("items")).
+			Node())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== totals over merged view ==\n%s\n", res.Format(0))
+
+	// Reorganize absorbs the deltas into fresh immutable fragments.
+	if err := db.Reorganize("inventory"); err != nil {
+		log.Fatal(err)
+	}
+	show("after reorganize")
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/core"
+	"x100/internal/dateutil"
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/tpch"
+)
+
+// AblationCompound measures compound (fused) primitives against chains of
+// single-function primitives (Section 4.2, where the paper reports ~2x):
+// first on the Mahalanobis signature the paper quotes, then on Query 1.
+func AblationCompound(w io.Writer, db *core.Database, sf float64) error {
+	const n = 1 << 16
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	res := make([]float64, n)
+	t1 := make([]float64, n)
+	t2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i%97) + 0.5
+		b[i] = float64(i%89) + 0.25
+		c[i] = float64(i%83) + 1
+	}
+	dFused, err := timeIt(50*time.Millisecond, func() error {
+		primitives.FusedMahalanobis(res, a, b, c, nil)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	dUnfused, err := timeIt(50*time.Millisecond, func() error {
+		primitives.MahalanobisUnfused(res, a, b, c, t1, t2, nil)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Compound-primitive ablation (Section 4.2)\n")
+	fmt.Fprintf(w, "Mahalanobis /(square(-(a,b)),c), n=%d:\n", n)
+	fmt.Fprintf(w, "  fused    %10.3f ns/val\n", float64(dFused.Nanoseconds())/n)
+	fmt.Fprintf(w, "  unfused  %10.3f ns/val   (unfused/fused = %.2fx)\n",
+		float64(dUnfused.Nanoseconds())/n, dUnfused.Seconds()/dFused.Seconds())
+
+	plan, err := tpch.Query(1, sf)
+	if err != nil {
+		return err
+	}
+	run := func(fuse bool) (time.Duration, error) {
+		opts := core.DefaultOptions()
+		opts.Fuse = fuse
+		return timeIt(0, func() error {
+			_, err := core.Run(db, plan, opts)
+			return err
+		})
+	}
+	df, err := run(true)
+	if err != nil {
+		return err
+	}
+	du, err := run(false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "TPC-H Q1 (SF=%g):\n", sf)
+	fmt.Fprintf(w, "  fused    %10.4f s\n", df.Seconds())
+	fmt.Fprintf(w, "  unfused  %10.4f s   (unfused/fused = %.2fx)\n", du.Seconds(), du.Seconds()/df.Seconds())
+	return nil
+}
+
+// AblationEnum compares enumeration-compressed vs plain storage (Section
+// 4.3 / the 0.8GB-vs-1GB observation of Section 5): storage size and Q1
+// time on both layouts.
+func AblationEnum(w io.Writer, sf float64, seed uint64) error {
+	dbEnum, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dbPlain, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed, PlainColumns: true})
+	if err != nil {
+		return err
+	}
+	size := func(db *core.Database) int64 {
+		var total int64
+		for _, name := range []string{"lineitem", "orders", "customer", "part", "partsupp", "supplier", "nation", "region"} {
+			t, err := db.Table(name)
+			if err == nil {
+				total += int64(t.Bytes())
+			}
+		}
+		return total
+	}
+	fmt.Fprintf(w, "Enumeration-compression ablation (SF=%g)\n", sf)
+	fmt.Fprintf(w, "  storage enum  %10.1f MB\n", float64(size(dbEnum))/1e6)
+	fmt.Fprintf(w, "  storage plain %10.1f MB\n", float64(size(dbPlain))/1e6)
+
+	// Q1 runs with a plain-column plan (no code-column grouping) so both
+	// layouts execute the same logical work.
+	plan := plainQ1()
+	dE, err := timeIt(0, func() error {
+		_, err := core.Run(dbEnum, plan, core.DefaultOptions())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	dP, err := timeIt(0, func() error {
+		_, err := core.Run(dbPlain, plan, core.DefaultOptions())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  Q1(hash-group) enum  %8.4f s\n", dE.Seconds())
+	fmt.Fprintf(w, "  Q1(hash-group) plain %8.4f s\n", dP.Seconds())
+	return nil
+}
+
+// plainQ1 is Query 1 grouping on the logical string columns (works on both
+// enum and plain layouts).
+func plainQ1() algebra.Node {
+	c := expr.C
+	sel := algebra.NewSelect(
+		algebra.NewScan("lineitem",
+			"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+			"l_discount", "l_tax", "l_shipdate"),
+		expr.LEE(c("l_shipdate"), expr.DateConst(dateutil.MustParse("1998-09-02"))),
+	)
+	return algebra.NewAggr(sel,
+		[]algebra.NamedExpr{
+			algebra.NE("l_returnflag", c("l_returnflag")),
+			algebra.NE("l_linestatus", c("l_linestatus")),
+		},
+		[]algebra.AggExpr{
+			algebra.Sum("sum_qty", c("l_quantity")),
+			algebra.Sum("sum_base_price", c("l_extendedprice")),
+			algebra.Sum("sum_disc_price", expr.MulE(expr.SubE(expr.Float(1), c("l_discount")), c("l_extendedprice"))),
+			algebra.Avg("avg_disc", c("l_discount")),
+			algebra.Count("count_order"),
+		},
+	)
+}
+
+// AblationSummary measures summary-index row-range pruning (Section 4.3) on
+// a narrow date-range scan over the clustered orders table.
+func AblationSummary(w io.Writer, db *core.Database) error {
+	c := expr.C
+	plan := algebra.NewAggr(
+		algebra.NewSelect(
+			algebra.NewScan("orders", "o_orderdate", "o_totalprice"),
+			expr.AndE(
+				expr.GEE(c("o_orderdate"), expr.DateConst(dateutil.MustParse("1994-03-01"))),
+				expr.LEE(c("o_orderdate"), expr.DateConst(dateutil.MustParse("1994-03-31"))),
+			)),
+		nil,
+		[]algebra.AggExpr{algebra.Sum("total", c("o_totalprice")), algebra.Count("n")})
+	run := func(disable bool) (time.Duration, error) {
+		opts := core.DefaultOptions()
+		opts.NoSummaryIndex = disable
+		return timeIt(20*time.Millisecond, func() error {
+			_, err := core.Run(db, plan, opts)
+			return err
+		})
+	}
+	dOn, err := run(false)
+	if err != nil {
+		return err
+	}
+	dOff, err := run(true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Summary-index ablation: 1-month range over clustered o_orderdate\n")
+	fmt.Fprintf(w, "  with summary index    %10.6f s\n", dOn.Seconds())
+	fmt.Fprintf(w, "  without summary index %10.6f s   (speedup %.1fx)\n",
+		dOff.Seconds(), dOff.Seconds()/dOn.Seconds())
+	return nil
+}
+
+// AblationSelVec compares the X100 selection-vector strategy (leave data
+// vectors intact, let map primitives skip dead positions) against eagerly
+// compacting survivors after a selection, across selectivities (the
+// rationale given in Section 4.2).
+func AblationSelVec(w io.Writer) error {
+	const n = 1024
+	in := make([]int32, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	sel := make([]int32, n)
+	ga := make([]float64, n)
+	gb := make([]float64, n)
+	r := uint64(7)
+	for i := range in {
+		r ^= r >> 12
+		r ^= r << 25
+		r ^= r >> 27
+		in[i] = int32(r % 100)
+		a[i] = float64(i) * 0.5
+		b[i] = float64(i) * 0.25
+	}
+	fmt.Fprintf(w, "Selection-vector ablation: select(col<X) then 3 map primitives (n=%d)\n", n)
+	fmt.Fprintf(w, "%12s %18s %18s\n", "selectivity%", "sel-vector ns/val", "compact ns/val")
+	for _, x := range []int32{10, 25, 50, 75, 90, 100} {
+		dSel, err := timeIt(20*time.Millisecond, func() error {
+			k := primitives.SelectLTColVal(sel, in, x, nil)
+			s := sel[:k]
+			primitives.MapSubValCol(r1, 1.0, a, s)
+			primitives.MapMulColCol(r2, r1, b, s)
+			primitives.MapAddColCol(r1, r2, a, s)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		dCmp, err := timeIt(20*time.Millisecond, func() error {
+			k := primitives.SelectLTColVal(sel, in, x, nil)
+			s := sel[:k]
+			// Compact: gather survivors into dense vectors first.
+			for j, i := range s {
+				ga[j] = a[i]
+				gb[j] = b[i]
+			}
+			primitives.MapSubValCol(r1[:k], 1.0, ga[:k], nil)
+			primitives.MapMulColCol(r2[:k], r1[:k], gb[:k], nil)
+			primitives.MapAddColCol(r1[:k], r2[:k], ga[:k], nil)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%12d %18.3f %18.3f\n", x,
+			float64(dSel.Nanoseconds())/n, float64(dCmp.Nanoseconds())/n)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/core"
+	"x100/internal/dateutil"
+	"x100/internal/expr"
+	"x100/internal/mil"
+	"x100/internal/tpch"
+	"x100/internal/volcano"
+)
+
+// The harness tests run every experiment at tiny scale so the paper-
+// regeneration pipeline cannot rot.
+
+func benchTestDB(t *testing.T) *core.Database {
+	t.Helper()
+	db, err := tpch.Generate(tpch.Config{SF: 0.002, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFig2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "selectivity%") || strings.Count(out, "\n") < 12 {
+		t.Fatalf("fig2 output:\n%s", out)
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := Table1(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Volcano", "MonetDB/MIL", "MonetDB/X100", "hard-coded", "ratios"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table1 missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := Table2(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Item_func_mul::val") {
+		t.Fatalf("table2:\n%s", buf.String())
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	db := benchTestDB(t)
+	small, err := tpch.Generate(tpch.Config{SF: 0.001, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table3(&buf, db, 0.002, small, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "TOTAL") != 2 || !strings.Contains(out, "join(oids,") {
+		t.Fatalf("table3:\n%s", out)
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := Table4(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") < 24 {
+		t.Fatalf("table4 incomplete:\n%s", buf.String())
+	}
+}
+
+func TestTable5Runs(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := Table5(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"map_fetch_uchr_col_flt_col", "map_directgrp", "aggr_sum_flt_col_uidx_col"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table5 missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Scan(lineitem)") {
+		t.Fatalf("fig6:\n%s", buf.String())
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := Fig10(&buf, db, 0.002, []int{64, 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") < 4 {
+		t.Fatalf("fig10:\n%s", buf.String())
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	db := benchTestDB(t)
+	var buf bytes.Buffer
+	if err := AblationCompound(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationEnum(&buf, 0.002, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationSummary(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationSelVec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationFetchJoin(&buf, db, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Mahalanobis", "storage enum", "summary index", "Selection-vector", "fetch joins"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations missing %q", want)
+		}
+	}
+}
+
+// TestFetchJoinPlanEquivalence: the join-index plan and the hash-join plan
+// must produce identical results, on every engine.
+func TestFetchJoinPlanEquivalence(t *testing.T) {
+	db := benchTestDB(t)
+	ref, err := core.Run(db, Q10HashJoinPlan(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumRows() == 0 {
+		t.Fatal("plan returned nothing")
+	}
+	fetch := Q10FetchJoinPlan()
+	x, err := core.Run(db, fetch, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mil.New(db).Run(fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := volcano.New(db).Run(fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*core.Result{"x100": x, "mil": m, "volcano": v} {
+		if !reflect.DeepEqual(ref.Rows(), got.Rows()) {
+			t.Fatalf("%s fetch-join plan disagrees with hash-join reference", name)
+		}
+	}
+}
+
+// TestFetchNJoinAcrossEngines expands orders into their lineitems through
+// the range index on all three engines (the FetchNJoin of Section 4.1.2)
+// and cross-checks against the equivalent hash join.
+func TestFetchNJoinAcrossEngines(t *testing.T) {
+	db := benchTestDB(t)
+	c := expr.C
+	datePred := expr.AndE(
+		expr.GEE(c("o_orderdate"), expr.DateConst(dateutil.MustParse("1995-01-01"))),
+		expr.LEE(c("o_orderdate"), expr.DateConst(dateutil.MustParse("1995-01-31"))),
+	)
+	fetchPlan := algebra.NewAggr(
+		algebra.NewFetchNJoin(
+			algebra.NewSelect(algebra.NewScan("orders", algebra.RowIDCol, "o_orderkey", "o_orderdate"), datePred),
+			"lineitem", algebra.RowIDCol, "l_quantity", "l_extendedprice"),
+		nil,
+		[]algebra.AggExpr{
+			algebra.Sum("q", c("l_quantity")),
+			algebra.Sum("e", c("l_extendedprice")),
+			algebra.Count("n"),
+		})
+	hashPlan := algebra.NewAggr(
+		algebra.NewJoin(
+			algebra.NewScan("lineitem", "l_orderkey", "l_quantity", "l_extendedprice"),
+			algebra.NewSelect(algebra.NewScan("orders", "o_orderkey", "o_orderdate"), datePred),
+			algebra.EquiCond{L: "l_orderkey", R: "o_orderkey"}),
+		nil,
+		[]algebra.AggExpr{
+			algebra.Sum("q", c("l_quantity")),
+			algebra.Sum("e", c("l_extendedprice")),
+			algebra.Count("n"),
+		})
+	ref, err := core.Run(db, hashPlan, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Row(0)[2].(int64) == 0 {
+		t.Fatal("reference join matched nothing")
+	}
+	x, err := core.Run(db, fetchPlan, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mil.New(db).Run(fetchPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := volcano.New(db).Run(fetchPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*core.Result{"x100": x, "mil": m, "volcano": v} {
+		for col := 0; col < 3; col++ {
+			a, b := ref.Row(0)[col], got.Row(0)[col]
+			if af, ok := a.(float64); ok {
+				if bf := b.(float64); af != bf && (af-bf)/af > 1e-9 && (bf-af)/af > 1e-9 {
+					t.Fatalf("%s col %d: %v vs %v", name, col, a, b)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("%s col %d: %v vs %v", name, col, a, b)
+			}
+		}
+	}
+}

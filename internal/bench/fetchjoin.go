@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/core"
+	"x100/internal/dateutil"
+	"x100/internal/expr"
+)
+
+// Q10HashJoinPlan is a Q10-style join (lineitem -> orders -> customer) via
+// hash joins on the key columns.
+func Q10HashJoinPlan() algebra.Node {
+	c := expr.C
+	li := algebra.NewSelect(
+		algebra.NewScan("lineitem", "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"),
+		expr.EQE(c("l_returnflag"), expr.Str("R")))
+	oj := algebra.NewJoin(li,
+		algebra.NewScan("orders", "o_orderkey", "o_custkey", "o_orderdate"),
+		algebra.EquiCond{L: "l_orderkey", R: "o_orderkey"})
+	cj := algebra.NewJoin(oj,
+		algebra.NewScan("customer", "c_custkey", "c_name"),
+		algebra.EquiCond{L: "o_custkey", R: "c_custkey"})
+	return q10Tail(cj)
+}
+
+// Q10FetchJoinPlan is the same logical query through the materialized join
+// indices: positional Fetch1Joins on l_orderrow and o_custrow instead of
+// hash joins — the paper's "join indices over all foreign key paths".
+func Q10FetchJoinPlan() algebra.Node {
+	c := expr.C
+	li := algebra.NewSelect(
+		algebra.NewScan("lineitem", "l_orderrow", "l_returnflag", "l_extendedprice", "l_discount"),
+		expr.EQE(c("l_returnflag"), expr.Str("R")))
+	oj := algebra.NewFetch1Join(li, "orders", c("l_orderrow"), "o_custrow", "o_orderdate")
+	cj := algebra.NewFetch1Join(oj, "customer", c("o_custrow"), "c_name")
+	return q10Tail(cj)
+}
+
+func q10Tail(in algebra.Node) algebra.Node {
+	c := expr.C
+	dateLo := expr.DateConst(dateutil.MustParse("1993-10-01"))
+	dateHi := expr.DateConst(dateutil.MustParse("1994-01-01"))
+	filt := algebra.NewSelect(in, expr.AndE(
+		expr.GEE(c("o_orderdate"), dateLo),
+		expr.LTE(c("o_orderdate"), dateHi),
+	))
+	aggr := algebra.NewAggr(filt,
+		[]algebra.NamedExpr{algebra.NE("c_name", c("c_name"))},
+		[]algebra.AggExpr{algebra.Sum("revenue",
+			expr.MulE(expr.SubE(expr.Float(1), c("l_discount")), c("l_extendedprice")))})
+	return algebra.NewTopN(aggr, 20, algebra.Desc(c("revenue")), algebra.Asc(c("c_name")))
+}
+
+// AblationFetchJoin compares hash joins against positional fetch joins over
+// the materialized join indices (Section 4.1.2 / Section 5: "positional
+// joins allow to deal with the extra joins needed for vertical
+// fragmentation in a highly efficient way").
+func AblationFetchJoin(w io.Writer, db *core.Database, sf float64) error {
+	hash := Q10HashJoinPlan()
+	fetch := Q10FetchJoinPlan()
+	dh, err := timeIt(0, func() error {
+		_, err := core.Run(db, hash, core.DefaultOptions())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	df, err := timeIt(0, func() error {
+		_, err := core.Run(db, fetch, core.DefaultOptions())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Join-index ablation: Q10-style 3-table join (SF=%g)\n", sf)
+	fmt.Fprintf(w, "  hash joins        %10.4f s\n", dh.Seconds())
+	fmt.Fprintf(w, "  fetch joins (JI)  %10.4f s   (hash/fetch = %.2fx)\n",
+		df.Seconds(), dh.Seconds()/df.Seconds())
+	return nil
+}
+
+var _ = time.Now

@@ -1,0 +1,308 @@
+// Package colstore implements the vertically fragmented storage layer the
+// X100 engine runs on: MonetDB-style BAT[void,T] columns.
+//
+// Each table is a set of equally long typed columns; the head (oid) column
+// is "void" — a densely ascending row id starting at 0 that is never stored
+// (paper Section 3.3). Every table therefore has a virtual #rowId column,
+// which the Fetch1Join/FetchNJoin operators use for positional fetches.
+//
+// String columns may be stored as enumeration types (Section 4.3): a
+// single-byte or two-byte integer code per row referring to the #rowId of a
+// mapping table (the dictionary). The scan layer exposes the codes, and the
+// plan builder inserts a Fetch1Join against the dictionary to rehydrate the
+// original values — exactly as MonetDB/X100 "automatically adds a Fetch1Join
+// operation" for enum columns.
+package colstore
+
+import (
+	"fmt"
+
+	"x100/internal/vector"
+)
+
+// Column is one vertical fragment: all values of one attribute.
+// The base fragment is treated as immutable; updates are handled by the
+// delta package layered on top.
+type Column struct {
+	Name string
+	// Typ is the logical type visible to queries (String for enum columns).
+	Typ vector.Type
+	// data holds the physical values: a typed slice of length Table.NumRows.
+	// For enum columns this is []uint8 or []uint16 codes.
+	data any
+	// Dict is non-nil for enumeration-typed columns.
+	Dict *Dict
+}
+
+// Dict is the mapping table of an enumeration column: code -> value. The
+// paper enum-compresses any small-domain column — Table 5 shows the float
+// columns l_discount, l_tax and l_quantity stored as single-byte enums — so
+// dictionaries hold either strings or float64 values.
+type Dict struct {
+	Typ    vector.Type // String or Float64
+	Values []string
+	F64s   []float64
+	sindex map[string]int
+	findex map[float64]int
+}
+
+// NewDict creates an empty string dictionary.
+func NewDict() *Dict {
+	return &Dict{Typ: vector.String, sindex: make(map[string]int)}
+}
+
+// NewF64Dict creates an empty float dictionary.
+func NewF64Dict() *Dict {
+	return &Dict{Typ: vector.Float64, findex: make(map[float64]int)}
+}
+
+// Code returns the code for s, inserting it if new.
+func (d *Dict) Code(s string) int {
+	if c, ok := d.sindex[s]; ok {
+		return c
+	}
+	c := len(d.Values)
+	d.Values = append(d.Values, s)
+	d.sindex[s] = c
+	return c
+}
+
+// CodeF64 returns the code for f, inserting it if new.
+func (d *Dict) CodeF64(f float64) int {
+	if c, ok := d.findex[f]; ok {
+		return c
+	}
+	c := len(d.F64s)
+	d.F64s = append(d.F64s, f)
+	d.findex[f] = c
+	return c
+}
+
+// Lookup returns the code for s without inserting.
+func (d *Dict) Lookup(s string) (int, bool) {
+	c, ok := d.sindex[s]
+	return c, ok
+}
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int {
+	if d.Typ == vector.Float64 {
+		return len(d.F64s)
+	}
+	return len(d.Values)
+}
+
+// PhysType returns the physical storage type of the column (the code type
+// for enum columns).
+func (c *Column) PhysType() vector.Type {
+	if c.Dict != nil {
+		if _, ok := c.data.([]uint8); ok {
+			return vector.UInt8
+		}
+		return vector.UInt16
+	}
+	return c.Typ.Physical()
+}
+
+// IsEnum reports whether the column is enumeration-compressed.
+func (c *Column) IsEnum() bool { return c.Dict != nil }
+
+// Len returns the number of rows in the base fragment.
+func (c *Column) Len() int {
+	return vector.FromAny(c.PhysType(), c.data).Len()
+}
+
+// VectorAt returns a zero-copy view of rows [lo:hi) of the physical data.
+// For enum columns the returned vector contains codes.
+func (c *Column) VectorAt(lo, hi int) *vector.Vector {
+	t := c.PhysType()
+	if c.Dict == nil {
+		t = c.Typ
+	}
+	return vector.FromAny(t, c.data).Slice(lo, hi)
+}
+
+// Data returns the raw physical slice (for baseline engines that operate
+// column-at-a-time on whole columns).
+func (c *Column) Data() any { return c.data }
+
+// DecodedValue returns the logical value at row i, decoding enum codes
+// (slow path for the tuple-at-a-time engine and tests).
+func (c *Column) DecodedValue(i int) any {
+	switch d := c.data.(type) {
+	case []uint8:
+		if c.Dict != nil {
+			return c.Dict.decoded(int(d[i]))
+		}
+		return d[i]
+	case []uint16:
+		if c.Dict != nil {
+			return c.Dict.decoded(int(d[i]))
+		}
+		return d[i]
+	default:
+		return vector.FromAny(c.Typ, c.data).Value(i)
+	}
+}
+
+func (d *Dict) decoded(code int) any {
+	if d.Typ == vector.Float64 {
+		return d.F64s[code]
+	}
+	return d.Values[code]
+}
+
+// Bytes returns the physical storage footprint of the column, including the
+// dictionary payload for enum columns (used to reproduce the storage-size
+// comparison of Section 5).
+func (c *Column) Bytes() int {
+	b := vector.FromAny(c.PhysType(), c.data).Bytes()
+	if c.Dict != nil {
+		for _, v := range c.Dict.Values {
+			b += len(v) + 16
+		}
+		b += 8 * len(c.Dict.F64s)
+	}
+	return b
+}
+
+// Table is a named collection of equally long columns.
+type Table struct {
+	Name string
+	Cols []*Column
+	N    int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table { return &Table{Name: name} }
+
+// Schema returns the logical schema of the table.
+func (t *Table) Schema() vector.Schema {
+	s := make(vector.Schema, len(t.Cols))
+	for i, c := range t.Cols {
+		s[i] = vector.Field{Name: c.Name, Type: c.Typ}
+	}
+	return s
+}
+
+// Col returns the named column, or nil.
+func (t *Table) Col(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// AddColumn attaches a fully built typed slice as a column. The slice
+// length must match existing columns.
+func (t *Table) AddColumn(name string, typ vector.Type, data any) error {
+	n := vector.FromAny(typ.Physical(), data).Len()
+	if len(t.Cols) > 0 && n != t.N {
+		return fmt.Errorf("colstore: column %s has %d rows, table %s has %d", name, n, t.Name, t.N)
+	}
+	t.Cols = append(t.Cols, &Column{Name: name, Typ: typ, data: data})
+	t.N = n
+	return nil
+}
+
+// AddEnumColumn attaches a string column stored as enumeration codes. It
+// chooses uint8 codes when the dictionary fits 256 values, else uint16; more
+// than 65536 distinct values is an error (store such columns uncompressed).
+func (t *Table) AddEnumColumn(name string, values []string) error {
+	if len(t.Cols) > 0 && len(values) != t.N {
+		return fmt.Errorf("colstore: column %s has %d rows, table %s has %d", name, len(values), t.Name, t.N)
+	}
+	dict := NewDict()
+	codes := make([]int, len(values))
+	for i, v := range values {
+		codes[i] = dict.Code(v)
+	}
+	col := &Column{Name: name, Typ: vector.String, Dict: dict}
+	if err := col.packCodes(codes, dict.Len()); err != nil {
+		return fmt.Errorf("colstore: column %s: %w", name, err)
+	}
+	t.Cols = append(t.Cols, col)
+	t.N = len(values)
+	return nil
+}
+
+// AddEnumF64Column attaches a float column stored as enumeration codes (the
+// paper stores l_discount, l_tax and l_quantity this way at SF=1).
+func (t *Table) AddEnumF64Column(name string, values []float64) error {
+	if len(t.Cols) > 0 && len(values) != t.N {
+		return fmt.Errorf("colstore: column %s has %d rows, table %s has %d", name, len(values), t.Name, t.N)
+	}
+	dict := NewF64Dict()
+	codes := make([]int, len(values))
+	for i, v := range values {
+		codes[i] = dict.CodeF64(v)
+	}
+	col := &Column{Name: name, Typ: vector.Float64, Dict: dict}
+	if err := col.packCodes(codes, dict.Len()); err != nil {
+		return fmt.Errorf("colstore: column %s: %w", name, err)
+	}
+	t.Cols = append(t.Cols, col)
+	t.N = len(values)
+	return nil
+}
+
+func (c *Column) packCodes(codes []int, distinct int) error {
+	switch {
+	case distinct <= 256:
+		c8 := make([]uint8, len(codes))
+		for i, x := range codes {
+			c8[i] = uint8(x)
+		}
+		c.data = c8
+	case distinct <= 65536:
+		c16 := make([]uint16, len(codes))
+		for i, x := range codes {
+			c16[i] = uint16(x)
+		}
+		c.data = c16
+	default:
+		return fmt.Errorf("%d distinct values, too many for enumeration", distinct)
+	}
+	return nil
+}
+
+// Bytes returns the total storage footprint of the table.
+func (t *Table) Bytes() int {
+	total := 0
+	for _, c := range t.Cols {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// Catalog maps table names to tables: the MonetDB storage manager role in
+// the paper's Figure 5.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Add registers a table, replacing any previous table of the same name.
+func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the registered table names (unordered).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

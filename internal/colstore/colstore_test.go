@@ -1,0 +1,150 @@
+package colstore
+
+import (
+	"testing"
+
+	"x100/internal/vector"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn("a", vector.Int64, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("b", vector.Float64, []float64{1.5, 2.5, 3.5}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.N != 3 {
+		t.Fatalf("N=%d", tab.N)
+	}
+	if err := tab.AddColumn("bad", vector.Int64, []int64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if tab.Col("a") == nil || tab.Col("zz") != nil {
+		t.Fatal("col lookup")
+	}
+	s := tab.Schema()
+	if len(s) != 2 || s[1].Type != vector.Float64 {
+		t.Fatalf("schema: %v", s)
+	}
+	v := tab.Col("a").VectorAt(1, 3)
+	if v.Len() != 2 || v.Int64s()[0] != 2 {
+		t.Fatal("vectorAt")
+	}
+}
+
+func TestEnumStringColumn(t *testing.T) {
+	tab := NewTable("t")
+	vals := []string{"x", "y", "x", "z", "y"}
+	if err := tab.AddEnumColumn("c", vals); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Col("c")
+	if !c.IsEnum() || c.PhysType() != vector.UInt8 || c.Typ != vector.String {
+		t.Fatal("enum metadata")
+	}
+	if c.Dict.Len() != 3 {
+		t.Fatalf("dict len %d", c.Dict.Len())
+	}
+	for i, want := range vals {
+		if got := c.DecodedValue(i); got != want {
+			t.Fatalf("row %d: %v", i, got)
+		}
+	}
+	code, ok := c.Dict.Lookup("z")
+	if !ok || c.Dict.Values[code] != "z" {
+		t.Fatal("lookup")
+	}
+	if _, ok := c.Dict.Lookup("nope"); ok {
+		t.Fatal("lookup miss")
+	}
+}
+
+func TestEnumF64Column(t *testing.T) {
+	tab := NewTable("t")
+	vals := []float64{0.05, 0.07, 0.05, 0.0}
+	if err := tab.AddEnumF64Column("d", vals); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Col("d")
+	if !c.IsEnum() || c.Typ != vector.Float64 || c.Dict.Typ != vector.Float64 {
+		t.Fatal("enum f64 metadata")
+	}
+	for i, want := range vals {
+		if got := c.DecodedValue(i); got != want {
+			t.Fatalf("row %d: %v", i, got)
+		}
+	}
+}
+
+func TestEnumUint16Promotion(t *testing.T) {
+	vals := make([]string, 300)
+	for i := range vals {
+		vals[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	tab := NewTable("t")
+	if err := tab.AddEnumColumn("c", vals); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Col("c")
+	if c.PhysType() != vector.UInt16 {
+		t.Fatalf("expected uint16 codes, got %v", c.PhysType())
+	}
+	for i, want := range vals {
+		if got := c.DecodedValue(i); got != want {
+			t.Fatalf("row %d", i)
+		}
+	}
+}
+
+func TestEnumCompressionSavesSpace(t *testing.T) {
+	n := 10000
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = []string{"RAIL", "TRUCK", "MAIL"}[i%3]
+	}
+	enum := NewTable("e")
+	if err := enum.AddEnumColumn("c", vals); err != nil {
+		t.Fatal(err)
+	}
+	plain := NewTable("p")
+	if err := plain.AddColumn("c", vector.String, vals); err != nil {
+		t.Fatal(err)
+	}
+	if enum.Bytes() >= plain.Bytes() {
+		t.Fatalf("enum %d >= plain %d", enum.Bytes(), plain.Bytes())
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog()
+	tab := NewTable("t")
+	if err := tab.AddColumn("a", vector.Int32, []int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	cat.Add(tab)
+	got, err := cat.Table("t")
+	if err != nil || got != tab {
+		t.Fatal("catalog get")
+	}
+	if _, err := cat.Table("missing"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	if len(cat.Names()) != 1 {
+		t.Fatal("names")
+	}
+}
+
+func TestDictCodeStability(t *testing.T) {
+	d := NewDict()
+	a := d.Code("alpha")
+	b := d.Code("beta")
+	if d.Code("alpha") != a || d.Code("beta") != b {
+		t.Fatal("codes must be stable")
+	}
+	f := NewF64Dict()
+	x := f.CodeF64(0.5)
+	if f.CodeF64(0.5) != x || f.Len() != 1 {
+		t.Fatal("float codes must be stable")
+	}
+}

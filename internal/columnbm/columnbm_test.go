@@ -1,0 +1,236 @@
+package columnbm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newTestStore(t *testing.T, chunkValues int) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir(), chunkValues, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	s := newTestStore(t, 16)
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	n, err := s.WriteInt64Column("c", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 { // ceil(100/16)
+		t.Fatalf("chunks: %d", n)
+	}
+	got, err := s.ReadInt64Column("c", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("at %d: %d vs %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestRLEWinsOnRuns(t *testing.T) {
+	s := newTestStore(t, 1<<12)
+	vals := make([]int64, 1<<12)
+	for i := range vals {
+		vals[i] = int64(i / 512) // long runs
+	}
+	n, err := s.WriteInt64Column("runs", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := s.CompressedSize("runs", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz >= int64(8*len(vals)) {
+		t.Fatalf("no compression: %d bytes", sz)
+	}
+	got, err := s.ReadInt64Column("runs", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatal("roundtrip")
+		}
+	}
+}
+
+func TestFoRWinsOnNarrowRange(t *testing.T) {
+	s := newTestStore(t, 1<<12)
+	vals := make([]int64, 1<<12)
+	for i := range vals {
+		vals[i] = 1_000_000_000 + int64(i%200) // narrow deltas, no runs
+	}
+	n, err := s.WriteInt64Column("narrow", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := s.CompressedSize("narrow", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz >= int64(2*len(vals)) {
+		t.Fatalf("FoR should pack to ~1 byte/value, got %d bytes", sz)
+	}
+	got, err := s.ReadInt64Column("narrow", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatal("roundtrip")
+		}
+	}
+}
+
+func TestFloatAndStringRoundTrip(t *testing.T) {
+	s := newTestStore(t, 8)
+	fvals := []float64{1.5, -2.25, 0, 3.14159}
+	n, err := s.WriteFloat64Column("f", fvals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgot, err := s.ReadFloat64Column("f", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fvals {
+		if fgot[i] != fvals[i] {
+			t.Fatal("float roundtrip")
+		}
+	}
+	svals := []string{"", "hello", "a\x00b", "UTF-8 ✓"}
+	n, err = s.WriteStringColumn("s", svals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgot, err := s.ReadStringColumn("s", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range svals {
+		if sgot[i] != svals[i] {
+			t.Fatal("string roundtrip")
+		}
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	s := newTestStore(t, 8)
+	n, err := s.WriteInt64Column("empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadInt64Column("empty", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.WriteInt64Column("c", []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip magic bytes of the first chunk.
+	path := filepath.Join(dir, "c.000000.chunk")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadInt64Column("c", n); err == nil {
+		t.Fatal("corrupt chunk must be detected")
+	}
+	// Truncated payload is detected too.
+	raw[0] ^= 0xff // restore magic
+	if err := os.WriteFile(path, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(dir, 8, 2) // fresh pool (no cached copy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.ReadInt64Column("c", n); err == nil {
+		t.Fatal("truncated chunk must be detected")
+	}
+}
+
+func TestMissingChunk(t *testing.T) {
+	s := newTestStore(t, 8)
+	if _, err := s.ReadInt64Column("missing", 1); err == nil {
+		t.Fatal("missing chunk must error")
+	}
+}
+
+func TestPoolLRUAndStats(t *testing.T) {
+	p := NewPool(2)
+	load := func(v byte) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte{v}, nil }
+	}
+	p.Get("a", load(1))
+	p.Get("b", load(2))
+	p.Get("a", load(1)) // hit, refreshes a
+	p.Get("c", load(3)) // evicts b
+	if p.Len() != 2 {
+		t.Fatalf("len %d", p.Len())
+	}
+	hits, misses, evictions := p.Stats()
+	if hits != 1 || misses != 3 || evictions != 1 {
+		t.Fatalf("stats: %d %d %d", hits, misses, evictions)
+	}
+	p.Invalidate("a")
+	if p.Len() != 1 {
+		t.Fatal("invalidate")
+	}
+}
+
+// Property: arbitrary int64 data round-trips through the codec selection.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		payload, codec := encodeInt64(vals)
+		got, err := decodeInt64(chunkHeader{codec: codec, count: len(vals), rawSize: 8 * len(vals)}, payload)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

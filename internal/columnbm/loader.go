@@ -1,0 +1,208 @@
+package columnbm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"x100/internal/colstore"
+	"x100/internal/vector"
+)
+
+// Manifest records how a table was persisted: per column, the logical
+// type, chunk count, and (for enum columns) the dictionary values. It makes
+// a chunk directory self-describing, so databases survive a round trip
+// through the store.
+type Manifest struct {
+	Table   string           `json:"table"`
+	Rows    int              `json:"rows"`
+	Columns []ColumnManifest `json:"columns"`
+}
+
+// ColumnManifest describes one persisted column.
+type ColumnManifest struct {
+	Name    string    `json:"name"`
+	Type    string    `json:"type"`
+	Chunks  int       `json:"chunks"`
+	Enum    bool      `json:"enum,omitempty"`
+	DictStr []string  `json:"dict_str,omitempty"`
+	DictF64 []float64 `json:"dict_f64,omitempty"`
+}
+
+func manifestPath(dir, table string) string {
+	return filepath.Join(dir, table+".manifest.json")
+}
+
+// SaveTable persists a colstore table through the chunk store and writes
+// its manifest. Enum columns persist their codes plus the dictionary.
+func (s *Store) SaveTable(t *colstore.Table) error {
+	m := Manifest{Table: t.Name, Rows: t.N}
+	for _, col := range t.Cols {
+		cm := ColumnManifest{Name: col.Name, Type: col.Typ.String(), Enum: col.IsEnum()}
+		key := t.Name + "." + col.Name
+		var err error
+		switch {
+		case col.IsEnum():
+			cm.Chunks, err = s.writeCodes(key, col)
+			if col.Dict.Typ == vector.Float64 {
+				cm.DictF64 = col.Dict.F64s
+			} else {
+				cm.DictStr = col.Dict.Values
+			}
+		default:
+			cm.Chunks, err = s.writePlain(key, col)
+		}
+		if err != nil {
+			return fmt.Errorf("columnbm: save %s: %w", key, err)
+		}
+		m.Columns = append(m.Columns, cm)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(manifestPath(s.dir, t.Name), data, 0o644)
+}
+
+// LoadTable reads a table previously written with SaveTable.
+func (s *Store) LoadTable(name string) (*colstore.Table, error) {
+	raw, err := os.ReadFile(manifestPath(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("columnbm: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("columnbm: bad manifest for %s: %w", name, err)
+	}
+	t := colstore.NewTable(m.Table)
+	for _, cm := range m.Columns {
+		typ, err := vector.ParseType(cm.Type)
+		if err != nil {
+			return nil, err
+		}
+		key := m.Table + "." + cm.Name
+		if cm.Enum {
+			codes, err := s.ReadInt64Column(key, cm.Chunks)
+			if err != nil {
+				return nil, err
+			}
+			if cm.DictF64 != nil {
+				vals := make([]float64, len(codes))
+				for i, c := range codes {
+					vals[i] = cm.DictF64[c]
+				}
+				if err := t.AddEnumF64Column(cm.Name, vals); err != nil {
+					return nil, err
+				}
+			} else {
+				vals := make([]string, len(codes))
+				for i, c := range codes {
+					vals[i] = cm.DictStr[c]
+				}
+				if err := t.AddEnumColumn(cm.Name, vals); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := s.loadPlain(t, key, cm, typ); err != nil {
+			return nil, err
+		}
+	}
+	if t.N != m.Rows {
+		return nil, fmt.Errorf("columnbm: table %s loaded %d rows, manifest says %d", name, t.N, m.Rows)
+	}
+	return t, nil
+}
+
+func (s *Store) writePlain(key string, col *colstore.Column) (int, error) {
+	switch d := col.Data().(type) {
+	case []int32:
+		vals := make([]int64, len(d))
+		for i, v := range d {
+			vals[i] = int64(v)
+		}
+		return s.WriteInt64Column(key, vals)
+	case []int64:
+		return s.WriteInt64Column(key, d)
+	case []float64:
+		return s.WriteFloat64Column(key, d)
+	case []string:
+		return s.WriteStringColumn(key, d)
+	case []bool:
+		vals := make([]int64, len(d))
+		for i, v := range d {
+			if v {
+				vals[i] = 1
+			}
+		}
+		return s.WriteInt64Column(key, vals)
+	default:
+		return 0, fmt.Errorf("unsupported column payload %T", d)
+	}
+}
+
+func (s *Store) writeCodes(key string, col *colstore.Column) (int, error) {
+	switch codes := col.Data().(type) {
+	case []uint8:
+		vals := make([]int64, len(codes))
+		for i, c := range codes {
+			vals[i] = int64(c)
+		}
+		return s.WriteInt64Column(key, vals)
+	case []uint16:
+		vals := make([]int64, len(codes))
+		for i, c := range codes {
+			vals[i] = int64(c)
+		}
+		return s.WriteInt64Column(key, vals)
+	default:
+		return 0, fmt.Errorf("unsupported code payload %T", codes)
+	}
+}
+
+func (s *Store) loadPlain(t *colstore.Table, key string, cm ColumnManifest, typ vector.Type) error {
+	switch typ.Physical() {
+	case vector.Int32:
+		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		if err != nil {
+			return err
+		}
+		vals := make([]int32, len(raw))
+		for i, v := range raw {
+			vals[i] = int32(v)
+		}
+		return t.AddColumn(cm.Name, typ, vals)
+	case vector.Int64:
+		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		if err != nil {
+			return err
+		}
+		return t.AddColumn(cm.Name, typ, raw)
+	case vector.Float64:
+		raw, err := s.ReadFloat64Column(key, cm.Chunks)
+		if err != nil {
+			return err
+		}
+		return t.AddColumn(cm.Name, typ, raw)
+	case vector.String:
+		raw, err := s.ReadStringColumn(key, cm.Chunks)
+		if err != nil {
+			return err
+		}
+		return t.AddColumn(cm.Name, typ, raw)
+	case vector.Bool:
+		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		if err != nil {
+			return err
+		}
+		vals := make([]bool, len(raw))
+		for i, v := range raw {
+			vals[i] = v != 0
+		}
+		return t.AddColumn(cm.Name, typ, vals)
+	default:
+		return fmt.Errorf("columnbm: cannot load %v column %s", typ, key)
+	}
+}

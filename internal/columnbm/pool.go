@@ -1,0 +1,93 @@
+package columnbm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Pool is the buffer manager: a small LRU cache of whole chunks keyed by
+// file path. ColumnBM's role in the paper is to keep sequential scans
+// bandwidth-bound; the pool keeps hot chunks resident so repeated scans of
+// the working set avoid I/O, and evicts least-recently-used chunks when the
+// budget is exceeded.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *poolEntry, front = most recent
+	entries  map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type poolEntry struct {
+	key  string
+	data []byte
+}
+
+// NewPool creates a pool holding up to capacity chunks.
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Pool{capacity: capacity, lru: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the chunk for key, loading it with load on a miss.
+func (p *Pool) Get(key string, load func() ([]byte, error)) ([]byte, error) {
+	p.mu.Lock()
+	if el, ok := p.entries[key]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		data := el.Value.(*poolEntry).data
+		p.mu.Unlock()
+		return data, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	data, err := load()
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		// Raced with another loader; keep the resident copy.
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).data, nil
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, data: data})
+	p.entries[key] = el
+	for p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.entries, back.Value.(*poolEntry).key)
+		p.evictions++
+	}
+	return data, nil
+}
+
+// Invalidate drops a chunk from the pool (e.g. after a rewrite).
+func (p *Pool) Invalidate(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		p.lru.Remove(el)
+		delete(p.entries, key)
+	}
+}
+
+// Stats returns hit/miss/eviction counters.
+func (p *Pool) Stats() (hits, misses, evictions int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// Len returns the number of resident chunks.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

@@ -1,0 +1,773 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// aggrOp implements the three physical aggregation flavors of Section
+// 4.1.2: hash aggregation (general case), direct aggregation (small
+// bit-domain keys indexed straight into accumulator arrays, as in the
+// hard-coded Query 1 UDF), and ordered aggregation (group members arrive
+// consecutively). With no group-by expressions it degrades to scalar
+// aggregation over a single group.
+type aggrOp struct {
+	input Operator
+	node  *algebra.Aggr
+	opts  ExecOptions
+
+	schema     vector.Schema
+	groupProgs []*expr.Prog
+	groupPass  []int
+	aggProgs   []*expr.Prog
+	mode       algebra.AggMode
+
+	// group key storage (hash/ordered mode).
+	groups []*colBuilder
+	// hash table: buckets hold group id + 1 (0 = empty).
+	buckets []int32
+	mask    uint64
+	hashBuf []uint64
+	gidBuf  []int32
+	// accumulators, one per aggregate, plus a hidden row counter used by
+	// avg finalization and direct-mode occupancy.
+	accs     []*accumulator
+	rowCount []int64
+
+	// direct mode.
+	directCols  [2]int // group column indices in the input schema
+	directWidth int    // domain size
+	occupied    []int32
+
+	done    bool
+	emitPos int
+	nGroups int
+}
+
+type accumulator struct {
+	fn      algebra.AggFn
+	argTyp  vector.Type
+	outTyp  vector.Type
+	f64     []float64
+	i64     []int64
+	i32     []int32
+	str     []string
+	seen    []bool
+	hasSeen bool
+}
+
+func newAccumulator(fn algebra.AggFn, argTyp, outTyp vector.Type) *accumulator {
+	a := &accumulator{fn: fn, argTyp: argTyp, outTyp: outTyp}
+	a.hasSeen = fn == algebra.AggMin || fn == algebra.AggMax
+	return a
+}
+
+func (a *accumulator) grow(n int) {
+	switch a.fn {
+	case algebra.AggCount:
+		for len(a.i64) < n {
+			a.i64 = append(a.i64, 0)
+		}
+		return
+	case algebra.AggAvg:
+		for len(a.f64) < n {
+			a.f64 = append(a.f64, 0)
+		}
+		return
+	case algebra.AggSum:
+		if a.outTyp == vector.Float64 {
+			for len(a.f64) < n {
+				a.f64 = append(a.f64, 0)
+			}
+		} else {
+			for len(a.i64) < n {
+				a.i64 = append(a.i64, 0)
+			}
+		}
+		return
+	default: // min/max
+		switch a.outTyp.Physical() {
+		case vector.Float64:
+			for len(a.f64) < n {
+				a.f64 = append(a.f64, 0)
+			}
+		case vector.Int64:
+			for len(a.i64) < n {
+				a.i64 = append(a.i64, 0)
+			}
+		case vector.Int32:
+			for len(a.i32) < n {
+				a.i32 = append(a.i32, 0)
+			}
+		case vector.String:
+			for len(a.str) < n {
+				a.str = append(a.str, "")
+			}
+		}
+		for len(a.seen) < n {
+			a.seen = append(a.seen, false)
+		}
+	}
+}
+
+// update folds one batch into the accumulator. v is nil for count(*).
+func (a *accumulator) update(v *vector.Vector, gids []int32, sel []int32, n int) {
+	switch a.fn {
+	case algebra.AggCount:
+		primitives.AggrCount(a.i64, gids, sel, n)
+	case algebra.AggSum, algebra.AggAvg:
+		dstF := a.f64
+		if a.fn == algebra.AggSum && a.outTyp != vector.Float64 {
+			switch a.argTyp.Physical() {
+			case vector.Int32:
+				primitives.AggrSum(a.i64, v.Int32s(), gids, sel)
+			case vector.Int64:
+				primitives.AggrSum(a.i64, v.Int64s(), gids, sel)
+			case vector.UInt8:
+				primitives.AggrSum(a.i64, v.UInt8s(), gids, sel)
+			case vector.UInt16:
+				primitives.AggrSum(a.i64, v.UInt16s(), gids, sel)
+			}
+			return
+		}
+		switch a.argTyp.Physical() {
+		case vector.Float64:
+			primitives.AggrSum(dstF, v.Float64s(), gids, sel)
+		case vector.Int32:
+			primitives.AggrSum(dstF, v.Int32s(), gids, sel)
+		case vector.Int64:
+			primitives.AggrSum(dstF, v.Int64s(), gids, sel)
+		case vector.UInt8:
+			primitives.AggrSum(dstF, v.UInt8s(), gids, sel)
+		case vector.UInt16:
+			primitives.AggrSum(dstF, v.UInt16s(), gids, sel)
+		}
+	case algebra.AggMin:
+		switch a.outTyp.Physical() {
+		case vector.Float64:
+			primitives.AggrMin(a.f64, a.seen, v.Float64s(), gids, sel)
+		case vector.Int64:
+			primitives.AggrMin(a.i64, a.seen, v.Int64s(), gids, sel)
+		case vector.Int32:
+			primitives.AggrMin(a.i32, a.seen, v.Int32s(), gids, sel)
+		case vector.String:
+			primitives.AggrMin(a.str, a.seen, v.Strings(), gids, sel)
+		}
+	case algebra.AggMax:
+		switch a.outTyp.Physical() {
+		case vector.Float64:
+			primitives.AggrMax(a.f64, a.seen, v.Float64s(), gids, sel)
+		case vector.Int64:
+			primitives.AggrMax(a.i64, a.seen, v.Int64s(), gids, sel)
+		case vector.Int32:
+			primitives.AggrMax(a.i32, a.seen, v.Int32s(), gids, sel)
+		case vector.String:
+			primitives.AggrMax(a.str, a.seen, v.Strings(), gids, sel)
+		}
+	}
+}
+
+// output materializes accumulator values for the group ids in idx.
+func (a *accumulator) output(idx []int32, rowCount []int64) *vector.Vector {
+	switch a.fn {
+	case algebra.AggAvg:
+		out := make([]float64, len(idx))
+		for j, g := range idx {
+			if rowCount[g] > 0 {
+				out[j] = a.f64[g] / float64(rowCount[g])
+			}
+		}
+		return vector.FromFloat64s(out)
+	case algebra.AggCount:
+		out := make([]int64, len(idx))
+		for j, g := range idx {
+			out[j] = a.i64[g]
+		}
+		return vector.FromInt64s(out)
+	default:
+		switch a.outTyp.Physical() {
+		case vector.Float64:
+			out := make([]float64, len(idx))
+			for j, g := range idx {
+				out[j] = a.f64[g]
+			}
+			return vector.FromFloat64s(out)
+		case vector.Int64:
+			out := make([]int64, len(idx))
+			for j, g := range idx {
+				out[j] = a.i64[g]
+			}
+			return vector.FromInt64s(out)
+		case vector.Int32:
+			out := make([]int32, len(idx))
+			for j, g := range idx {
+				out[j] = a.i32[g]
+			}
+			v := vector.FromInt32s(out)
+			v.Typ = a.outTyp
+			return v
+		default:
+			out := make([]string, len(idx))
+			for j, g := range idx {
+				out[j] = a.str[g]
+			}
+			return vector.FromStrings(out)
+		}
+	}
+}
+
+func aggResultType(a algebra.AggExpr, in vector.Schema) (argT, outT vector.Type, err error) {
+	if a.Arg != nil {
+		argT, err = a.Arg.Type(in)
+		if err != nil {
+			return
+		}
+	}
+	switch a.Fn {
+	case algebra.AggCount:
+		outT = vector.Int64
+	case algebra.AggAvg:
+		outT = vector.Float64
+	case algebra.AggSum:
+		if argT.Physical() == vector.Float64 {
+			outT = vector.Float64
+		} else {
+			outT = vector.Int64
+		}
+	default:
+		outT = argT
+	}
+	return
+}
+
+func newAggrOp(input Operator, node *algebra.Aggr, opts ExecOptions) (*aggrOp, error) {
+	in := input.Schema()
+	op := &aggrOp{input: input, node: node, opts: opts, mode: node.Mode}
+	for _, g := range node.GroupBy {
+		t, err := g.E.Type(in)
+		if err != nil {
+			return nil, err
+		}
+		op.schema = append(op.schema, vector.Field{Name: g.Alias, Type: t})
+		if c, ok := g.E.(*expr.Col); ok {
+			op.groupPass = append(op.groupPass, in.ColIndex(c.Name))
+			op.groupProgs = append(op.groupProgs, nil)
+		} else {
+			prog, err := expr.Compile(g.E, in, opts.exprOptions())
+			if err != nil {
+				return nil, err
+			}
+			op.groupPass = append(op.groupPass, -1)
+			op.groupProgs = append(op.groupProgs, prog)
+		}
+	}
+	for _, a := range node.Aggs {
+		argT, outT, err := aggResultType(a, in)
+		if err != nil {
+			return nil, err
+		}
+		op.schema = append(op.schema, vector.Field{Name: a.Alias, Type: outT})
+		if a.Arg != nil {
+			prog, err := expr.Compile(a.Arg, in, opts.exprOptions())
+			if err != nil {
+				return nil, err
+			}
+			op.aggProgs = append(op.aggProgs, prog)
+		} else {
+			op.aggProgs = append(op.aggProgs, nil)
+		}
+		op.accs = append(op.accs, newAccumulator(a.Fn, argT, outT))
+	}
+	if op.mode == algebra.ModeAuto {
+		op.mode = op.pickMode(in)
+		// Ordered aggregation is chosen when group members are known to
+		// arrive consecutively (paper Section 4.1.2): the input is sorted
+		// with the group-by expressions as a prefix of its sort keys.
+		if op.mode == algebra.ModeHash && len(node.GroupBy) > 0 && inputSortedByGroups(node) {
+			op.mode = algebra.ModeOrdered
+		}
+	}
+	if op.mode == algebra.ModeDirect {
+		if err := op.prepareDirect(in); err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+// inputSortedByGroups reports whether the aggregation input is an Order
+// whose leading sort keys cover all group-by expressions (any direction:
+// equal keys are adjacent either way).
+func inputSortedByGroups(node *algebra.Aggr) bool {
+	ord, ok := node.Input.(*algebra.Order)
+	if !ok || len(ord.Keys) < len(node.GroupBy) {
+		return false
+	}
+	for i, g := range node.GroupBy {
+		if ord.Keys[i].E.String() != g.E.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// pickMode chooses direct aggregation when all group-bys are small-domain
+// code columns (at most two uint8 columns), else hash aggregation.
+func (op *aggrOp) pickMode(in vector.Schema) algebra.AggMode {
+	if len(op.node.GroupBy) == 0 {
+		return algebra.ModeHash // scalar path shares the hash machinery
+	}
+	if len(op.node.GroupBy) <= 2 {
+		ok := true
+		for i := range op.node.GroupBy {
+			pi := op.groupPass[i]
+			if pi < 0 || in[pi].Type.Physical() != vector.UInt8 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return algebra.ModeDirect
+		}
+	}
+	return algebra.ModeHash
+}
+
+func (op *aggrOp) prepareDirect(in vector.Schema) error {
+	n := len(op.node.GroupBy)
+	if n == 0 || n > 2 {
+		return fmt.Errorf("core: direct aggregation needs 1 or 2 group columns, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		pi := op.groupPass[i]
+		if pi < 0 || in[pi].Type.Physical() != vector.UInt8 {
+			return fmt.Errorf("core: direct aggregation group %q must be a uint8 code column", op.node.GroupBy[i].Alias)
+		}
+		op.directCols[i] = pi
+	}
+	op.directWidth = 256
+	if n == 2 {
+		op.directWidth = 65536
+	}
+	return nil
+}
+
+func (op *aggrOp) Schema() vector.Schema { return op.schema }
+
+func (op *aggrOp) Open() error {
+	if err := op.input.Open(); err != nil {
+		return err
+	}
+	op.done = false
+	op.emitPos = 0
+	op.nGroups = 0
+	op.occupied = nil
+	op.groups = nil
+	op.rowCount = nil
+	op.buckets = nil
+	for _, a := range op.accs {
+		*a = *newAccumulator(a.fn, a.argTyp, a.outTyp)
+	}
+	op.hashBuf = nil
+	op.gidBuf = nil
+	switch op.mode {
+	case algebra.ModeDirect:
+		op.growGroups(op.directWidth)
+	default:
+		for i := range op.node.GroupBy {
+			t := op.schema[i].Type
+			op.groups = append(op.groups, newColBuilder(t))
+		}
+		op.buckets = make([]int32, 1024)
+		op.mask = 1023
+		if len(op.node.GroupBy) == 0 {
+			// Scalar aggregation: one pre-existing group.
+			op.nGroups = 1
+			op.growGroups(1)
+		}
+	}
+	return nil
+}
+
+func (op *aggrOp) growGroups(n int) {
+	for _, a := range op.accs {
+		a.grow(n)
+	}
+	for len(op.rowCount) < n {
+		op.rowCount = append(op.rowCount, 0)
+	}
+}
+
+func (op *aggrOp) Close() error { return op.input.Close() }
+
+func (op *aggrOp) Next() (*vector.Batch, error) {
+	if !op.done {
+		if err := op.consume(); err != nil {
+			return nil, err
+		}
+		op.done = true
+	}
+	return op.emit()
+}
+
+func (op *aggrOp) consume() error {
+	for {
+		b, err := op.input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		t0 := time.Now()
+		if b.N > len(op.gidBuf) {
+			op.hashBuf = make([]uint64, b.N)
+			op.gidBuf = make([]int32, b.N)
+		}
+		// 1. compute group ids for all live rows.
+		switch op.mode {
+		case algebra.ModeDirect:
+			op.assignDirect(b)
+		case algebra.ModeOrdered:
+			if err := op.assignOrdered(b); err != nil {
+				return err
+			}
+		default:
+			if len(op.node.GroupBy) == 0 {
+				zeroGids(op.gidBuf[:b.N], b.Sel)
+			} else if err := op.assignHash(b); err != nil {
+				return err
+			}
+		}
+		// 2. update accumulators with vectorized aggr primitives.
+		gids := op.gidBuf[:b.N]
+		primitives.AggrCount(op.rowCount, gids, b.Sel, b.N)
+		for i, a := range op.accs {
+			var v *vector.Vector
+			if prog := op.aggProgs[i]; prog != nil {
+				v = prog.Run(b)
+			}
+			name := fmt.Sprintf("aggr_%s_%s_col_uidx_col", aggName(a.fn), typeAbbrevCore(a.argTyp))
+			if a.fn == algebra.AggCount {
+				name = "aggr_count_uidx_col"
+			}
+			tr := op.opts.Tracer.Now()
+			a.update(v, gids, b.Sel, b.N)
+			op.opts.Tracer.RecordPrimitiveSince(name, tr, b.Rows(), (a.argTyp.Width()+8)*b.Rows())
+		}
+		op.opts.Tracer.RecordOperator(fmt.Sprintf("Aggr(%s)", op.mode), b.Rows(), time.Since(t0))
+	}
+}
+
+func zeroGids(gids []int32, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			gids[i] = 0
+		}
+		return
+	}
+	for i := range gids {
+		gids[i] = 0
+	}
+}
+
+// assignDirect computes group ids straight from enum code columns
+// (map_directgrp in Table 5).
+func (op *aggrOp) assignDirect(b *vector.Batch) {
+	gids := op.gidBuf[:b.N]
+	var c2 []uint8
+	c1 := b.Vecs[op.directCols[0]].UInt8s()
+	if len(op.node.GroupBy) == 2 {
+		c2 = b.Vecs[op.directCols[1]].UInt8s()
+	}
+	t0 := op.opts.Tracer.Now()
+	primitives.DirectGroupU8(gids, c1, c2, b.Sel)
+	op.opts.Tracer.RecordPrimitiveSince("map_directgrp_uidx_col_uchr_col", t0, b.Rows(), 6*b.Rows())
+}
+
+// groupKeyVectors evaluates the group-by expressions for a batch.
+func (op *aggrOp) groupKeyVectors(b *vector.Batch) []*vector.Vector {
+	keys := make([]*vector.Vector, len(op.node.GroupBy))
+	for i := range op.node.GroupBy {
+		if pi := op.groupPass[i]; pi >= 0 {
+			keys[i] = b.Vecs[pi]
+		} else {
+			keys[i] = op.groupProgs[i].Run(b)
+		}
+	}
+	return keys
+}
+
+// assignHash hashes group keys vector-at-a-time (map_hash_* primitives),
+// then probes/extends the group hash table.
+func (op *aggrOp) assignHash(b *vector.Batch) error {
+	keys := op.groupKeyVectors(b)
+	hashes := op.hashBuf[:b.N]
+	t0 := op.opts.Tracer.Now()
+	for i, k := range keys {
+		if err := hashVector(hashes, k, b.Sel, i == 0); err != nil {
+			return err
+		}
+	}
+	op.opts.Tracer.RecordPrimitiveSince("map_hash_col", t0, b.Rows(), 8*b.Rows())
+
+	gids := op.gidBuf[:b.N]
+	t1 := op.opts.Tracer.Now()
+	process := func(i int32) error {
+		slot := hashes[i] & op.mask
+		for {
+			g := op.buckets[slot] - 1
+			if g < 0 {
+				// New group: store keys.
+				for c, k := range keys {
+					op.groups[c].appendAt(k, int(i))
+				}
+				g = int32(op.nGroups)
+				op.nGroups++
+				op.buckets[slot] = g + 1
+				op.growGroups(op.nGroups)
+				gids[i] = g
+				return nil
+			}
+			if op.groupEquals(int(g), keys, int(i)) {
+				gids[i] = g
+				return nil
+			}
+			slot = (slot + 1) & op.mask
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			if err := process(i); err != nil {
+				return err
+			}
+			op.maybeGrowTable()
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := process(int32(i)); err != nil {
+				return err
+			}
+			op.maybeGrowTable()
+		}
+	}
+	op.opts.Tracer.RecordPrimitiveSince("aggr_hashprobe_uidx_col", t1, b.Rows(), 12*b.Rows())
+	return nil
+}
+
+func (op *aggrOp) groupEquals(g int, keys []*vector.Vector, row int) bool {
+	for c, k := range keys {
+		if !op.groups[c].equalAt(g, k, row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (op *aggrOp) maybeGrowTable() {
+	if op.nGroups*10 < len(op.buckets)*7 {
+		return
+	}
+	newLen := len(op.buckets) * 2
+	op.buckets = make([]int32, newLen)
+	op.mask = uint64(newLen - 1)
+	for g := 0; g < op.nGroups; g++ {
+		var h uint64
+		for _, cb := range op.groups {
+			h = cb.hashAt(g, h)
+		}
+		slot := h & op.mask
+		for op.buckets[slot] != 0 {
+			slot = (slot + 1) & op.mask
+		}
+		op.buckets[slot] = int32(g) + 1
+	}
+}
+
+// assignOrdered assigns group ids assuming group members arrive
+// consecutively: a new group starts whenever the key differs from the
+// previous live row's key.
+func (op *aggrOp) assignOrdered(b *vector.Batch) error {
+	keys := op.groupKeyVectors(b)
+	gids := op.gidBuf[:b.N]
+	process := func(i int32) {
+		isNew := op.nGroups == 0
+		if !isNew {
+			last := op.nGroups - 1
+			for c, k := range keys {
+				if !op.groups[c].equalAt(last, k, int(i)) {
+					isNew = true
+					break
+				}
+			}
+		}
+		if isNew {
+			for c, k := range keys {
+				op.groups[c].appendAt(k, int(i))
+			}
+			op.nGroups++
+			op.growGroups(op.nGroups)
+		}
+		gids[i] = int32(op.nGroups - 1)
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			process(i)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			process(int32(i))
+		}
+	}
+	return nil
+}
+
+// emit produces output batches from the accumulated groups.
+func (op *aggrOp) emit() (*vector.Batch, error) {
+	if op.mode == algebra.ModeDirect && op.occupied == nil {
+		op.occupied = make([]int32, 0, 64)
+		for g := 0; g < op.directWidth && g < len(op.rowCount); g++ {
+			if op.rowCount[g] > 0 {
+				op.occupied = append(op.occupied, int32(g))
+			}
+		}
+	}
+	total := op.nGroups
+	if op.mode == algebra.ModeDirect {
+		total = len(op.occupied)
+	}
+	if op.emitPos >= total {
+		return nil, nil
+	}
+	k := min(op.opts.batchSize(), total-op.emitPos)
+	lo, hi := op.emitPos, op.emitPos+k
+	op.emitPos = hi
+
+	idx := make([]int32, k)
+	if op.mode == algebra.ModeDirect {
+		copy(idx, op.occupied[lo:hi])
+	} else {
+		for j := range idx {
+			idx[j] = int32(lo + j)
+		}
+	}
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	ng := len(op.node.GroupBy)
+	for c := 0; c < ng; c++ {
+		if op.mode == algebra.ModeDirect {
+			// Decode group key codes from the direct slot index.
+			codes := make([]uint8, k)
+			if ng == 2 && c == 0 {
+				for j, g := range idx {
+					codes[j] = uint8(g >> 8)
+				}
+			} else {
+				for j, g := range idx {
+					codes[j] = uint8(g & 0xff)
+				}
+			}
+			v := vector.FromUint8s(codes)
+			v.Typ = op.schema[c].Type
+			out.Vecs[c] = v
+		} else {
+			out.Vecs[c] = op.groups[c].gather(idx)
+		}
+	}
+	for i, a := range op.accs {
+		v := a.output(idx, op.rowCount)
+		v.Typ = op.schema[ng+i].Type
+		out.Vecs[ng+i] = v
+	}
+	return out, nil
+}
+
+// hashVector hashes one key vector into hashes (first column initializes,
+// the rest combine).
+func hashVector(hashes []uint64, v *vector.Vector, sel []int32, first bool) error {
+	switch v.Typ.Physical() {
+	case vector.Int32:
+		if first {
+			primitives.HashInt(hashes, v.Int32s(), sel)
+		} else {
+			primitives.HashCombineInt(hashes, v.Int32s(), sel)
+		}
+	case vector.Int64:
+		if first {
+			primitives.HashInt(hashes, v.Int64s(), sel)
+		} else {
+			primitives.HashCombineInt(hashes, v.Int64s(), sel)
+		}
+	case vector.UInt8:
+		if first {
+			primitives.HashInt(hashes, v.UInt8s(), sel)
+		} else {
+			primitives.HashCombineInt(hashes, v.UInt8s(), sel)
+		}
+	case vector.UInt16:
+		if first {
+			primitives.HashInt(hashes, v.UInt16s(), sel)
+		} else {
+			primitives.HashCombineInt(hashes, v.UInt16s(), sel)
+		}
+	case vector.Float64:
+		if first {
+			primitives.HashFloat64(hashes, v.Float64s(), sel)
+		} else {
+			primitives.HashCombineFloat64(hashes, v.Float64s(), sel)
+		}
+	case vector.String:
+		if first {
+			primitives.HashString(hashes, v.Strings(), sel)
+		} else {
+			primitives.HashCombineString(hashes, v.Strings(), sel)
+		}
+	case vector.Bool:
+		if first {
+			primitives.HashBool(hashes, v.Bools(), sel)
+		} else {
+			primitives.HashCombineBool(hashes, v.Bools(), sel)
+		}
+	default:
+		return fmt.Errorf("core: cannot hash %v", v.Typ)
+	}
+	return nil
+}
+
+func aggName(fn algebra.AggFn) string {
+	switch fn {
+	case algebra.AggSum:
+		return "sum"
+	case algebra.AggCount:
+		return "count"
+	case algebra.AggMin:
+		return "min"
+	case algebra.AggMax:
+		return "max"
+	default:
+		return "avg"
+	}
+}
+
+func typeAbbrevCore(t vector.Type) string {
+	switch t.Physical() {
+	case vector.Float64:
+		return "flt"
+	case vector.Int64:
+		return "lng"
+	case vector.Int32:
+		return "sint"
+	case vector.UInt8:
+		return "uchr"
+	case vector.UInt16:
+		return "usht"
+	case vector.String:
+		return "str"
+	default:
+		return t.String()
+	}
+}

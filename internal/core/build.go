@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// Build compiles an algebra plan into an X100 operator tree.
+func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
+	if _, err := plan.Out(db); err != nil {
+		return nil, err
+	}
+	return build(db, plan, opts)
+}
+
+func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		return newScanOp(db, n.Table, n.Cols, opts)
+	case *algebra.Select:
+		// Summary-index pruning: a Select directly over a Scan derives
+		// #rowId bounds from range conjuncts on indexed columns
+		// (Section 4.3), then still applies the full predicate.
+		if sc, ok := n.Input.(*algebra.Scan); ok && !opts.NoSummaryIndex {
+			op, err := newScanOp(db, sc.Table, sc.Cols, opts)
+			if err != nil {
+				return nil, err
+			}
+			applySummaryBounds(db, sc.Table, n.Pred, op)
+			return newSelectOp(op, n.Pred, opts)
+		}
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newSelectOp(in, n.Pred, opts)
+	case *algebra.Project:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectOp(in, n.Exprs, opts)
+	case *algebra.Aggr:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newAggrOp(in, n, opts)
+	case *algebra.Join:
+		l, err := build(db, n.Left, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(db, n.Right, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.On) == 0 {
+			if n.Kind != algebra.Inner {
+				return nil, fmt.Errorf("core: %v join requires equi-conditions", n.Kind)
+			}
+			// The paper's default join: CartProd with a Select on top.
+			cp, err := newCartProdOp(l, r, opts)
+			if err != nil {
+				return nil, err
+			}
+			if n.Residual == nil {
+				return cp, nil
+			}
+			return newSelectOp(cp, n.Residual, opts)
+		}
+		return newHashJoinOp(l, r, n, opts)
+	case *algebra.Fetch1Join:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetch1JoinOp(db, in, n, opts)
+	case *algebra.FetchNJoin:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetchNJoinOp(db, in, n, opts)
+	case *algebra.Order:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newOrderOp(in, n.Keys, 0, opts)
+	case *algebra.TopN:
+		in, err := build(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newOrderOp(in, n.Keys, n.N, opts)
+	case *algebra.Array:
+		return newArrayOp(n.Dims, opts), nil
+	default:
+		return nil, fmt.Errorf("core: cannot build operator for %T", plan)
+	}
+}
+
+// applySummaryBounds narrows a scan's base-row range using summary indices
+// for conjuncts of the form col <op> const over indexed columns.
+func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) {
+	for _, cj := range conjuncts(pred, nil) {
+		cmp, ok := cj.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		col, cOk := cmp.L.(*expr.Col)
+		cst, vOk := cmp.R.(*expr.Const)
+		opKind := cmp.Op
+		if !cOk || !vOk {
+			// Try the flipped form const <op> col.
+			if col2, ok2 := cmp.R.(*expr.Col); ok2 {
+				if cst2, ok3 := cmp.L.(*expr.Const); ok3 {
+					col, cst = col2, cst2
+					opKind = flipCmpKind(cmp.Op)
+					cOk, vOk = true, true
+				}
+			}
+			if !cOk || !vOk {
+				continue
+			}
+		}
+		switch cst.Typ.Physical() {
+		case vector.Int32:
+			si := db.SummaryI32(table, col.Name)
+			if si == nil {
+				continue
+			}
+			v := cst.Val.(int32)
+			lo, hi := boundsFor(opKind, v, si.Bounds)
+			op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
+		case vector.Float64:
+			si := db.SummaryF64(table, col.Name)
+			if si == nil {
+				continue
+			}
+			v := cst.Val.(float64)
+			lo, hi := boundsFor(opKind, v, si.Bounds)
+			op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
+		}
+	}
+	if op.lo > op.hi {
+		op.lo = op.hi
+	}
+}
+
+func boundsFor[T any](op expr.CmpKind, v T, bounds func(lo T, hasLo bool, hi T, hasHi bool) (int, int)) (int, int) {
+	switch op {
+	case expr.LT, expr.LE:
+		return bounds(v, false, v, true)
+	case expr.GT, expr.GE:
+		return bounds(v, true, v, false)
+	case expr.EQ:
+		return bounds(v, true, v, true)
+	default:
+		var zero T
+		_ = zero
+		return bounds(v, false, v, false)
+	}
+}
+
+func conjuncts(e expr.Expr, dst []expr.Expr) []expr.Expr {
+	if a, ok := e.(*expr.And); ok {
+		for _, arg := range a.Args {
+			dst = conjuncts(arg, dst)
+		}
+		return dst
+	}
+	return append(dst, e)
+}
+
+func flipCmpKind(op expr.CmpKind) expr.CmpKind {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}
+
+// Run builds and drains a plan, returning the materialized result.
+func Run(db *Database, plan algebra.Node, opts ExecOptions) (*Result, error) {
+	op, err := Build(db, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Tracer.Begin()
+	res, err := Drain(op)
+	opts.Tracer.End()
+	return res, err
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"x100/internal/vector"
+)
+
+// colBuilder accumulates values of one column across batches: the
+// materialization buffer used by hash-join build sides, aggregation group
+// keys, and the Order operator.
+type colBuilder struct {
+	typ  vector.Type
+	b    []bool
+	u8   []uint8
+	u16  []uint16
+	i32  []int32
+	i64  []int64
+	f64  []float64
+	strs []string
+}
+
+func newColBuilder(t vector.Type) *colBuilder { return &colBuilder{typ: t} }
+
+// appendVec appends the live values of v (restricted by sel) in order.
+func (cb *colBuilder) appendVec(v *vector.Vector, sel []int32, n int) {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		d := v.Bools()
+		if sel == nil {
+			cb.b = append(cb.b, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.b = append(cb.b, d[i])
+			}
+		}
+	case vector.UInt8:
+		d := v.UInt8s()
+		if sel == nil {
+			cb.u8 = append(cb.u8, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.u8 = append(cb.u8, d[i])
+			}
+		}
+	case vector.UInt16:
+		d := v.UInt16s()
+		if sel == nil {
+			cb.u16 = append(cb.u16, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.u16 = append(cb.u16, d[i])
+			}
+		}
+	case vector.Int32:
+		d := v.Int32s()
+		if sel == nil {
+			cb.i32 = append(cb.i32, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.i32 = append(cb.i32, d[i])
+			}
+		}
+	case vector.Int64:
+		d := v.Int64s()
+		if sel == nil {
+			cb.i64 = append(cb.i64, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.i64 = append(cb.i64, d[i])
+			}
+		}
+	case vector.Float64:
+		d := v.Float64s()
+		if sel == nil {
+			cb.f64 = append(cb.f64, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.f64 = append(cb.f64, d[i])
+			}
+		}
+	case vector.String:
+		d := v.Strings()
+		if sel == nil {
+			cb.strs = append(cb.strs, d[:n]...)
+		} else {
+			for _, i := range sel {
+				cb.strs = append(cb.strs, d[i])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: colBuilder of %v", cb.typ))
+	}
+}
+
+// appendAt appends the value at physical position i of v.
+func (cb *colBuilder) appendAt(v *vector.Vector, i int) {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		cb.b = append(cb.b, v.Bools()[i])
+	case vector.UInt8:
+		cb.u8 = append(cb.u8, v.UInt8s()[i])
+	case vector.UInt16:
+		cb.u16 = append(cb.u16, v.UInt16s()[i])
+	case vector.Int32:
+		cb.i32 = append(cb.i32, v.Int32s()[i])
+	case vector.Int64:
+		cb.i64 = append(cb.i64, v.Int64s()[i])
+	case vector.Float64:
+		cb.f64 = append(cb.f64, v.Float64s()[i])
+	case vector.String:
+		cb.strs = append(cb.strs, v.Strings()[i])
+	}
+}
+
+// appendValue appends one boxed value (tuple-at-a-time paths).
+func (cb *colBuilder) appendValue(v any) {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		cb.b = append(cb.b, v.(bool))
+	case vector.UInt8:
+		cb.u8 = append(cb.u8, v.(uint8))
+	case vector.UInt16:
+		cb.u16 = append(cb.u16, v.(uint16))
+	case vector.Int32:
+		cb.i32 = append(cb.i32, v.(int32))
+	case vector.Int64:
+		cb.i64 = append(cb.i64, v.(int64))
+	case vector.Float64:
+		cb.f64 = append(cb.f64, v.(float64))
+	case vector.String:
+		cb.strs = append(cb.strs, v.(string))
+	}
+}
+
+// len returns the number of accumulated values.
+func (cb *colBuilder) len() int {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return len(cb.b)
+	case vector.UInt8:
+		return len(cb.u8)
+	case vector.UInt16:
+		return len(cb.u16)
+	case vector.Int32:
+		return len(cb.i32)
+	case vector.Int64:
+		return len(cb.i64)
+	case vector.Float64:
+		return len(cb.f64)
+	default:
+		return len(cb.strs)
+	}
+}
+
+// vec wraps the accumulated values as a full-length vector (zero copy).
+func (cb *colBuilder) vec() *vector.Vector {
+	var v *vector.Vector
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		v = vector.FromBools(cb.b)
+	case vector.UInt8:
+		v = vector.FromUint8s(cb.u8)
+	case vector.UInt16:
+		v = vector.FromUint16s(cb.u16)
+	case vector.Int32:
+		v = vector.FromInt32s(cb.i32)
+	case vector.Int64:
+		v = vector.FromInt64s(cb.i64)
+	case vector.Float64:
+		v = vector.FromFloat64s(cb.f64)
+	default:
+		v = vector.FromStrings(cb.strs)
+	}
+	v.Typ = cb.typ
+	return v
+}
+
+// slice returns rows [lo:hi) as a vector view.
+func (cb *colBuilder) slice(lo, hi int) *vector.Vector {
+	return cb.vec().Slice(lo, hi)
+}
+
+// gather builds a new vector of the rows at the given indices.
+func (cb *colBuilder) gather(idx []int32) *vector.Vector {
+	out := vector.New(cb.typ, len(idx))
+	out.Gather(cb.vec(), idx)
+	out.Typ = cb.typ
+	return out
+}
+
+// equalAt reports whether the accumulated row i equals the live row j of v
+// (key verification in hash tables).
+func (cb *colBuilder) equalAt(i int, v *vector.Vector, j int) bool {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return cb.b[i] == v.Bools()[j]
+	case vector.UInt8:
+		return cb.u8[i] == v.UInt8s()[j]
+	case vector.UInt16:
+		return cb.u16[i] == v.UInt16s()[j]
+	case vector.Int32:
+		return cb.i32[i] == v.Int32s()[j]
+	case vector.Int64:
+		return cb.i64[i] == v.Int64s()[j]
+	case vector.Float64:
+		return cb.f64[i] == v.Float64s()[j]
+	default:
+		return cb.strs[i] == v.Strings()[j]
+	}
+}
+
+// less compares accumulated rows i and j (sort support).
+func (cb *colBuilder) less(i, j int) bool {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return !cb.b[i] && cb.b[j]
+	case vector.UInt8:
+		return cb.u8[i] < cb.u8[j]
+	case vector.UInt16:
+		return cb.u16[i] < cb.u16[j]
+	case vector.Int32:
+		return cb.i32[i] < cb.i32[j]
+	case vector.Int64:
+		return cb.i64[i] < cb.i64[j]
+	case vector.Float64:
+		return cb.f64[i] < cb.f64[j]
+	default:
+		return cb.strs[i] < cb.strs[j]
+	}
+}
+
+// equalRows compares accumulated rows i and j.
+func (cb *colBuilder) equalRows(i, j int) bool {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return cb.b[i] == cb.b[j]
+	case vector.UInt8:
+		return cb.u8[i] == cb.u8[j]
+	case vector.UInt16:
+		return cb.u16[i] == cb.u16[j]
+	case vector.Int32:
+		return cb.i32[i] == cb.i32[j]
+	case vector.Int64:
+		return cb.i64[i] == cb.i64[j]
+	case vector.Float64:
+		return cb.f64[i] == cb.f64[j]
+	default:
+		return cb.strs[i] == cb.strs[j]
+	}
+}
+
+// hashAt returns the hash of accumulated row i (rebuild path for growing
+// hash tables).
+func (cb *colBuilder) hashAt(i int, h uint64) uint64 {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		x := uint64(0)
+		if cb.b[i] {
+			x = 1
+		}
+		return hashCombine(h, x)
+	case vector.UInt8:
+		return hashCombine(h, uint64(cb.u8[i]))
+	case vector.UInt16:
+		return hashCombine(h, uint64(cb.u16[i]))
+	case vector.Int32:
+		return hashCombine(h, uint64(cb.i32[i]))
+	case vector.Int64:
+		return hashCombine(h, uint64(cb.i64[i]))
+	case vector.Float64:
+		return hashCombineF64(h, cb.f64[i])
+	default:
+		return hashCombineStr(h, cb.strs[i])
+	}
+}

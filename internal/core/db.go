@@ -1,0 +1,161 @@
+// Package core implements the X100 vectorized query engine — the primary
+// contribution of Boncz, Zukowski & Nes (CIDR 2005). Execution follows a
+// Volcano-style pull pipeline whose unit of exchange is a vector.Batch of
+// ~1000 values per column; all data-touching work happens inside the
+// vectorized primitives of internal/primitives, so per-tuple interpretation
+// overhead is amortized over whole vectors.
+package core
+
+import (
+	"fmt"
+
+	"x100/internal/colstore"
+	"x100/internal/delta"
+	"x100/internal/sindex"
+	"x100/internal/vector"
+)
+
+// Database bundles the storage-layer state the engines execute against: the
+// column catalog, per-table delta stores, summary indices and range (join)
+// indices. Join indices over FK paths are materialized as ordinary int32
+// row-id columns of the fact tables, exactly like MonetDB's positional-join
+// columns; plans reference them by name in Fetch1Join.
+type Database struct {
+	Catalog *colstore.Catalog
+	deltas  map[string]*delta.Store
+	// summaries: table -> column -> typed summary index.
+	sumI32 map[string]map[string]*sindex.Summary[int32]
+	sumF64 map[string]map[string]*sindex.Summary[float64]
+	// rangeIdx: fetched-table -> referenced-table -> range index.
+	rangeIdx map[string]map[string]*sindex.RangeIndex
+}
+
+// NewDatabase creates a database over an empty catalog.
+func NewDatabase() *Database {
+	return &Database{
+		Catalog:  colstore.NewCatalog(),
+		deltas:   make(map[string]*delta.Store),
+		sumI32:   make(map[string]map[string]*sindex.Summary[int32]),
+		sumF64:   make(map[string]map[string]*sindex.Summary[float64]),
+		rangeIdx: make(map[string]map[string]*sindex.RangeIndex),
+	}
+}
+
+// AddTable registers a table and creates its delta store.
+func (db *Database) AddTable(t *colstore.Table) {
+	db.Catalog.Add(t)
+	db.deltas[t.Name] = delta.NewStore(t)
+}
+
+// Table returns the named base table.
+func (db *Database) Table(name string) (*colstore.Table, error) {
+	return db.Catalog.Table(name)
+}
+
+// Delta returns the delta store of a table (created on first use).
+func (db *Database) Delta(name string) (*delta.Store, error) {
+	if d, ok := db.deltas[name]; ok {
+		return d, nil
+	}
+	t, err := db.Catalog.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	d := delta.NewStore(t)
+	db.deltas[name] = d
+	return d, nil
+}
+
+// TableSchema implements algebra.Resolver.
+func (db *Database) TableSchema(name string) (vector.Schema, error) {
+	t, err := db.Catalog.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// CodeColumnType implements algebra.CodeResolver: the physical type of an
+// enum column's code vector.
+func (db *Database) CodeColumnType(table, column string) (vector.Type, error) {
+	t, err := db.Catalog.Table(table)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	c := t.Col(column)
+	if c == nil || !c.IsEnum() {
+		return vector.Unknown, fmt.Errorf("core: %s.%s is not an enum column", table, column)
+	}
+	return c.PhysType(), nil
+}
+
+// BuildSummaryIndex builds a summary index over a clustered column of a
+// table (paper Section 4.3). Supported column types: Date/Int32, Float64.
+func (db *Database) BuildSummaryIndex(table, column string, granule int) error {
+	t, err := db.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	c := t.Col(column)
+	if c == nil {
+		return fmt.Errorf("core: table %s has no column %q", table, column)
+	}
+	switch c.PhysType() {
+	case vector.Int32:
+		m := db.sumI32[table]
+		if m == nil {
+			m = make(map[string]*sindex.Summary[int32])
+			db.sumI32[table] = m
+		}
+		m[column] = sindex.BuildSummary(c.Data().([]int32), granule)
+	case vector.Float64:
+		m := db.sumF64[table]
+		if m == nil {
+			m = make(map[string]*sindex.Summary[float64])
+			db.sumF64[table] = m
+		}
+		m[column] = sindex.BuildSummary(c.Data().([]float64), granule)
+	default:
+		return fmt.Errorf("core: summary index over %v column %s.%s unsupported", c.Typ, table, column)
+	}
+	return nil
+}
+
+// SummaryI32 returns the int32/date summary index of table.column, if any.
+func (db *Database) SummaryI32(table, column string) *sindex.Summary[int32] {
+	return db.sumI32[table][column]
+}
+
+// SummaryF64 returns the float summary index of table.column, if any.
+func (db *Database) SummaryF64(table, column string) *sindex.Summary[float64] {
+	return db.sumF64[table][column]
+}
+
+// RegisterRangeIndex attaches a range index: rows of fetchedTable are
+// clustered by refTable row id (FetchNJoin input).
+func (db *Database) RegisterRangeIndex(fetchedTable, refTable string, ri *sindex.RangeIndex) {
+	m := db.rangeIdx[fetchedTable]
+	if m == nil {
+		m = make(map[string]*sindex.RangeIndex)
+		db.rangeIdx[fetchedTable] = m
+	}
+	m[refTable] = ri
+}
+
+// RangeIndex returns the range index of fetchedTable clustered by refTable.
+func (db *Database) RangeIndex(fetchedTable, refTable string) *sindex.RangeIndex {
+	return db.rangeIdx[fetchedTable][refTable]
+}
+
+// RangeIndexAny returns the sole range index of fetchedTable when exactly
+// one is registered (plans that omit the referenced table).
+func (db *Database) RangeIndexAny(fetchedTable string) *sindex.RangeIndex {
+	m := db.rangeIdx[fetchedTable]
+	if len(m) != 1 {
+		return nil
+	}
+	for _, ri := range m {
+		return ri
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/delta"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// fetch1JoinOp fetches columns of a referenced table positionally by row id
+// (Section 4.1.2): the vectorized inner loop is a gather through the row-id
+// vector. Enum columns decode through their dictionary in the same pass
+// (double indirection: dict[codes[rowid]]).
+type fetch1JoinOp struct {
+	input   Operator
+	node    *algebra.Fetch1Join
+	table   *colstore.Table
+	dstore  *delta.Store
+	prog    *expr.Prog
+	rowPass int // input column index when RowID is a plain column
+	opts    ExecOptions
+	schema  vector.Schema
+	bufs    []*vector.Vector
+}
+
+func newFetch1JoinOp(db *Database, input Operator, node *algebra.Fetch1Join, opts ExecOptions) (*fetch1JoinOp, error) {
+	t, err := db.Table(node.Table)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := db.Delta(node.Table)
+	if err != nil {
+		return nil, err
+	}
+	op := &fetch1JoinOp{input: input, node: node, table: t, dstore: ds, opts: opts, rowPass: -1}
+	in := input.Schema()
+	if c, ok := node.RowID.(*expr.Col); ok {
+		if i := in.ColIndex(c.Name); i >= 0 && in[i].Type.Physical() == vector.Int32 {
+			op.rowPass = i
+		}
+	}
+	if op.rowPass < 0 {
+		prog, err := expr.Compile(node.RowID, in, opts.exprOptions())
+		if err != nil {
+			return nil, err
+		}
+		if prog.OutType().Physical() != vector.Int32 {
+			return nil, fmt.Errorf("core: fetch1join rowid type %v, want int32", prog.OutType())
+		}
+		op.prog = prog
+	}
+	op.schema = in.Clone()
+	for i, cname := range node.Cols {
+		c := t.Col(cname)
+		if c == nil {
+			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
+		}
+		name := cname
+		if i < len(node.As) && node.As[i] != "" {
+			name = node.As[i]
+		}
+		op.schema = append(op.schema, vector.Field{Name: name, Type: c.Typ})
+	}
+	return op, nil
+}
+
+func (op *fetch1JoinOp) Schema() vector.Schema { return op.schema }
+
+func (op *fetch1JoinOp) Open() error {
+	if err := op.input.Open(); err != nil {
+		return err
+	}
+	op.bufs = make([]*vector.Vector, len(op.node.Cols))
+	for i, cname := range op.node.Cols {
+		op.bufs[i] = vector.New(op.table.Col(cname).Typ, 0)
+	}
+	return nil
+}
+
+func (op *fetch1JoinOp) Close() error { return op.input.Close() }
+
+func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
+	b, err := op.input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var ids []int32
+	if op.rowPass >= 0 {
+		ids = b.Vecs[op.rowPass].Int32s()
+	} else {
+		ids = op.prog.Run(b).Int32s()
+	}
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, 0, len(op.schema)), Sel: b.Sel, N: b.N}
+	out.Vecs = append(out.Vecs, b.Vecs...)
+	hasDelta := op.dstore.NumDeltaRows() > 0
+	for ci, cname := range op.node.Cols {
+		col := op.table.Col(cname)
+		dst := op.bufs[ci]
+		if dst.Len() < b.N {
+			dst = vector.New(col.Typ, b.N)
+			op.bufs[ci] = dst
+		}
+		v := dst.Slice(0, b.N)
+		v.Typ = col.Typ
+		tr := op.opts.Tracer.Now()
+		if hasDelta {
+			op.fetchWithDelta(v, col, ids, b.Sel, b.N)
+		} else {
+			fetchColumn(v, col, ids, b.Sel, b.N)
+		}
+		op.opts.Tracer.RecordPrimitiveSince(
+			fmt.Sprintf("map_fetch_sint_col_%s_col", typeAbbrevCore(col.Typ)),
+			tr, b.Rows(), (4+col.Typ.Width())*b.Rows())
+		out.Vecs = append(out.Vecs, v)
+	}
+	op.opts.Tracer.RecordOperator("Fetch1Join("+op.node.Table+")", b.Rows(), time.Since(t0))
+	return out, nil
+}
+
+// FetchColumn gathers col values (decoding enums) at the given row ids into
+// dst, for the live positions. It is exported for the baseline engines,
+// which perform the same positional joins on whole columns.
+func FetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+	fetchColumn(dst, col, ids, sel, n)
+}
+
+// fetchColumn gathers col values at the given row ids into dst.
+func fetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+	if col.IsEnum() {
+		fetchEnum(dst, col, ids, sel, n)
+		return
+	}
+	switch col.Typ.Physical() {
+	case vector.Bool:
+		gatherLoop(dst.Bools(), col.Data().([]bool), ids, sel, n)
+	case vector.UInt8:
+		gatherLoop(dst.UInt8s(), col.Data().([]uint8), ids, sel, n)
+	case vector.UInt16:
+		gatherLoop(dst.UInt16s(), col.Data().([]uint16), ids, sel, n)
+	case vector.Int32:
+		gatherLoop(dst.Int32s(), col.Data().([]int32), ids, sel, n)
+	case vector.Int64:
+		gatherLoop(dst.Int64s(), col.Data().([]int64), ids, sel, n)
+	case vector.Float64:
+		gatherLoop(dst.Float64s(), col.Data().([]float64), ids, sel, n)
+	case vector.String:
+		gatherLoop(dst.Strings(), col.Data().([]string), ids, sel, n)
+	}
+}
+
+func gatherLoop[T any](dst []T, base []T, ids []int32, sel []int32, n int) {
+	if sel != nil {
+		for _, i := range sel {
+			dst[i] = base[ids[i]]
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = base[ids[i]]
+	}
+}
+
+func fetchEnum(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+	if col.Dict.Typ == vector.Float64 {
+		out := dst.Float64s()
+		base := col.Dict.F64s
+		switch codes := col.Data().(type) {
+		case []uint8:
+			enumGather(out, base, codes, ids, sel, n)
+		case []uint16:
+			enumGather(out, base, codes, ids, sel, n)
+		}
+		return
+	}
+	out := dst.Strings()
+	base := col.Dict.Values
+	switch codes := col.Data().(type) {
+	case []uint8:
+		enumGather(out, base, codes, ids, sel, n)
+	case []uint16:
+		enumGather(out, base, codes, ids, sel, n)
+	}
+}
+
+func enumGather[T any, C uint8 | uint16](dst []T, base []T, codes []C, ids []int32, sel []int32, n int) {
+	if sel != nil {
+		for _, i := range sel {
+			dst[i] = base[codes[ids[i]]]
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = base[codes[ids[i]]]
+	}
+}
+
+// fetchWithDelta is the slow path when the referenced table has pending
+// inserts: row ids at or beyond the base fragment resolve into the delta.
+func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+	baseN := op.table.N
+	ti := 0
+	for i, c := range op.table.Cols {
+		if c == col {
+			ti = i
+			break
+		}
+	}
+	get := func(id int32) any {
+		if int(id) < baseN {
+			return col.DecodedValue(int(id))
+		}
+		return op.dstore.DeltaValue(ti, int(id)-baseN)
+	}
+	if sel != nil {
+		for _, i := range sel {
+			dst.Set(int(i), get(ids[i]))
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(i, get(ids[i]))
+	}
+}
+
+// fetchNJoinOp expands each input row into the contiguous range of
+// referenced-table rows given by a range index, fetching columns
+// positionally (the FetchNJoin of Section 4.1.2).
+type fetchNJoinOp struct {
+	input    Operator
+	node     *algebra.FetchNJoin
+	table    *colstore.Table
+	ranges   *rangeLookup
+	opts     ExecOptions
+	schema   vector.Schema
+	rangeCol int
+
+	curBatch  *vector.Batch
+	lastBatch *vector.Batch
+	curLive   int
+	curFetch  int32 // next referenced row within current range (-1 = start)
+	curHi     int32
+	leftIdx   []int32
+	fetchIdx  []int32
+}
+
+type rangeLookup struct{ starts []int32 }
+
+func (r *rangeLookup) rng(id int32) (int32, int32) { return r.starts[id], r.starts[id+1] }
+
+func newFetchNJoinOp(db *Database, input Operator, node *algebra.FetchNJoin, opts ExecOptions) (*fetchNJoinOp, error) {
+	t, err := db.Table(node.Table)
+	if err != nil {
+		return nil, err
+	}
+	ri := db.RangeIndexAny(node.Table)
+	if ri == nil {
+		return nil, fmt.Errorf("core: no range index registered for table %s", node.Table)
+	}
+	in := input.Schema()
+	rc := in.ColIndex(node.RangeOf)
+	if rc < 0 {
+		return nil, fmt.Errorf("core: fetchnjoin input has no column %q", node.RangeOf)
+	}
+	op := &fetchNJoinOp{
+		input: input, node: node, table: t,
+		ranges: &rangeLookup{starts: ri.Starts}, opts: opts, rangeCol: rc,
+	}
+	op.schema = in.Clone()
+	for i, cname := range node.Cols {
+		c := t.Col(cname)
+		if c == nil {
+			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
+		}
+		name := cname
+		if i < len(node.As) && node.As[i] != "" {
+			name = node.As[i]
+		}
+		op.schema = append(op.schema, vector.Field{Name: name, Type: c.Typ})
+	}
+	return op, nil
+}
+
+func (op *fetchNJoinOp) Schema() vector.Schema { return op.schema }
+
+func (op *fetchNJoinOp) Open() error {
+	op.curBatch = nil
+	op.curLive = 0
+	op.curFetch = -1
+	bs := op.opts.batchSize()
+	op.leftIdx = make([]int32, 0, bs)
+	op.fetchIdx = make([]int32, 0, bs)
+	return op.input.Open()
+}
+
+func (op *fetchNJoinOp) Close() error { return op.input.Close() }
+
+func (op *fetchNJoinOp) Next() (*vector.Batch, error) {
+	t0 := time.Now()
+	bs := op.opts.batchSize()
+	op.leftIdx = op.leftIdx[:0]
+	op.fetchIdx = op.fetchIdx[:0]
+	for len(op.leftIdx) < bs {
+		if op.curBatch == nil {
+			if len(op.leftIdx) > 0 {
+				break
+			}
+			b, err := op.input.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			op.curBatch = b
+			op.curLive = 0
+			op.curFetch = -1
+		}
+		b := op.curBatch
+		if op.curLive >= b.Rows() {
+			op.lastBatch = b
+			op.curBatch = nil
+			continue
+		}
+		pos := b.LiveRow(op.curLive)
+		if op.curFetch < 0 {
+			id := b.Vecs[op.rangeCol].Int32s()[pos]
+			op.curFetch, op.curHi = op.ranges.rng(id)
+		}
+		for op.curFetch < op.curHi && len(op.leftIdx) < bs {
+			op.leftIdx = append(op.leftIdx, int32(pos))
+			op.fetchIdx = append(op.fetchIdx, op.curFetch)
+			op.curFetch++
+		}
+		if op.curFetch >= op.curHi {
+			op.curLive++
+			op.curFetch = -1
+		}
+	}
+	if len(op.leftIdx) == 0 {
+		return nil, nil
+	}
+	b := op.curBatch
+	if b == nil {
+		b = op.lastBatch
+	}
+	nl := len(b.Vecs)
+	k := len(op.leftIdx)
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	for c := 0; c < nl; c++ {
+		v := vector.New(op.schema[c].Type, k)
+		v.Gather(b.Vecs[c], op.leftIdx)
+		v.Typ = op.schema[c].Type
+		out.Vecs[c] = v
+	}
+	for i, cname := range op.node.Cols {
+		col := op.table.Col(cname)
+		v := vector.New(col.Typ, k)
+		fetchColumn(v, col, op.fetchIdx, nil, k)
+		v.Typ = col.Typ
+		out.Vecs[nl+i] = v
+	}
+	op.opts.Tracer.RecordOperator("FetchNJoin("+op.node.Table+")", k, time.Since(t0))
+	return out, nil
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// hashJoinOp implements the Join operator for equi-conditions. The right
+// (build) side is drained into columnar builders and indexed by a chained
+// hash table; left (probe) batches are hashed vector-at-a-time and matches
+// are emitted in batch-sized chunks. Kinds: inner, semi, anti, leftouter,
+// mark (Section 4.1.2 lists Join over left-deep plans; semi/anti/mark are
+// the decorrelation workhorses for the TPC-H plans).
+type hashJoinOp struct {
+	left, right Operator
+	node        *algebra.Join
+	opts        ExecOptions
+	schema      vector.Schema
+
+	leftKeys  []int // column indices in left schema
+	rightKeys []int // column indices in right schema
+
+	// build state
+	built    bool
+	rbuild   []*colBuilder // all right columns
+	buckets  []int32       // head row id + 1
+	next     []int32       // chain
+	mask     uint64
+	nRight   int
+	hashBuf  []uint64
+	residual expr.Scalar // optional, over concatenated schema
+
+	// probe state
+	curBatch   *vector.Batch
+	curLive    int   // next live-row ordinal within curBatch
+	curChain   int32 // current candidate right row (-2 = start next left row)
+	matchedCur bool  // current left row has matched (left-outer tracking)
+	lastBatch  *vector.Batch
+
+	// reusable output buffers
+	leftIdx  []int32
+	rightIdx []int32
+}
+
+func newHashJoinOp(left, right Operator, node *algebra.Join, opts ExecOptions) (*hashJoinOp, error) {
+	ls, rs := left.Schema(), right.Schema()
+	op := &hashJoinOp{left: left, right: right, node: node, opts: opts}
+	for _, c := range node.On {
+		li := ls.ColIndex(c.L)
+		ri := rs.ColIndex(c.R)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("core: join key %s=%s not found", c.L, c.R)
+		}
+		if ls[li].Type.Physical() != rs[ri].Type.Physical() {
+			return nil, fmt.Errorf("core: join key type mismatch %v vs %v", ls[li].Type, rs[ri].Type)
+		}
+		op.leftKeys = append(op.leftKeys, li)
+		op.rightKeys = append(op.rightKeys, ri)
+	}
+	switch node.Kind {
+	case algebra.Semi, algebra.Anti:
+		op.schema = ls.Clone()
+	case algebra.Mark:
+		op.schema = append(ls.Clone(), vector.Field{Name: node.MarkCol, Type: vector.Bool})
+	default:
+		op.schema = append(ls.Clone(), rs.Clone()...)
+	}
+	if node.Residual != nil {
+		combined := append(ls.Clone(), rs.Clone()...)
+		sc, _, err := expr.Bind(node.Residual, combined)
+		if err != nil {
+			return nil, err
+		}
+		op.residual = sc
+	}
+	return op, nil
+}
+
+func (op *hashJoinOp) Schema() vector.Schema { return op.schema }
+
+func (op *hashJoinOp) Open() error {
+	if err := op.left.Open(); err != nil {
+		return err
+	}
+	if err := op.right.Open(); err != nil {
+		return err
+	}
+	op.built = false
+	op.curBatch = nil
+	op.curLive = 0
+	op.curChain = -1
+	op.hashBuf = nil
+	op.leftIdx = op.leftIdx[:0]
+	op.rightIdx = op.rightIdx[:0]
+	return nil
+}
+
+func (op *hashJoinOp) Close() error {
+	if err := op.left.Close(); err != nil {
+		op.right.Close()
+		return err
+	}
+	return op.right.Close()
+}
+
+func (op *hashJoinOp) build() error {
+	t0 := time.Now()
+	rs := op.right.Schema()
+	op.rbuild = make([]*colBuilder, len(rs))
+	for i, f := range rs {
+		op.rbuild[i] = newColBuilder(f.Type)
+	}
+	for {
+		b, err := op.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i, v := range b.Vecs {
+			op.rbuild[i].appendVec(v, b.Sel, b.N)
+		}
+	}
+	op.nRight = op.rbuild[0].len()
+	if len(op.rbuild) == 0 {
+		op.nRight = 0
+	}
+	// Size the table to ~2x rows, power of two.
+	sz := 1024
+	for sz < op.nRight*2 {
+		sz *= 2
+	}
+	op.buckets = make([]int32, sz)
+	op.mask = uint64(sz - 1)
+	op.next = make([]int32, op.nRight)
+	for r := 0; r < op.nRight; r++ {
+		var h uint64
+		for _, ki := range op.rightKeys {
+			h = op.rbuild[ki].hashAt(r, h)
+		}
+		slot := h & op.mask
+		op.next[r] = op.buckets[slot] - 1
+		op.buckets[slot] = int32(r) + 1
+	}
+	op.built = true
+	op.opts.Tracer.RecordOperator("HashJoin(build)", op.nRight, time.Since(t0))
+	return nil
+}
+
+// probeHashes computes hashes of the left key columns for a batch.
+func (op *hashJoinOp) probeHashes(b *vector.Batch) error {
+	if b.N > len(op.hashBuf) {
+		op.hashBuf = make([]uint64, b.N)
+	}
+	hashes := op.hashBuf[:b.N]
+	for i, ki := range op.leftKeys {
+		if err := hashVector(hashes, b.Vecs[ki], b.Sel, i == 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keyMatch verifies that build row r equals left batch row pos on all keys.
+func (op *hashJoinOp) keyMatch(r int32, b *vector.Batch, pos int) bool {
+	for i, ki := range op.rightKeys {
+		if !op.rbuild[ki].equalAt(int(r), b.Vecs[op.leftKeys[i]], pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// residualOK evaluates the residual predicate on (left row pos, right row r).
+func (op *hashJoinOp) residualOK(b *vector.Batch, pos int, r int32) bool {
+	if op.residual == nil {
+		return true
+	}
+	nl := len(b.Vecs)
+	row := make([]any, nl+len(op.rbuild))
+	for c, v := range b.Vecs {
+		row[c] = v.Value(pos)
+	}
+	for c, cb := range op.rbuild {
+		row[nl+c] = cb.vec().Value(int(r))
+	}
+	return op.residual(row).(bool)
+}
+
+func (op *hashJoinOp) Next() (*vector.Batch, error) {
+	if !op.built {
+		if err := op.build(); err != nil {
+			return nil, err
+		}
+	}
+	switch op.node.Kind {
+	case algebra.Inner, algebra.LeftOuter:
+		return op.nextExpand()
+	default:
+		return op.nextFiltered()
+	}
+}
+
+// nextExpand emits (left,right) pairs for inner and left-outer joins,
+// resuming mid-chain across calls.
+func (op *hashJoinOp) nextExpand() (*vector.Batch, error) {
+	t0 := time.Now()
+	bs := op.opts.batchSize()
+	op.leftIdx = op.leftIdx[:0]
+	op.rightIdx = op.rightIdx[:0]
+	outer := op.node.Kind == algebra.LeftOuter
+
+	for len(op.leftIdx) < bs {
+		if op.curBatch == nil {
+			// Pending output pairs reference the previous batch's vectors;
+			// emit them before pulling a new batch.
+			if len(op.leftIdx) > 0 {
+				break
+			}
+			b, err := op.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if err := op.probeHashes(b); err != nil {
+				return nil, err
+			}
+			op.curBatch = b
+			op.curLive = 0
+			op.curChain = -2 // -2: start a new left row
+		}
+		b := op.curBatch
+		nLive := b.Rows()
+		if op.curLive >= nLive {
+			op.lastBatch = b
+			op.curBatch = nil
+			continue
+		}
+		pos := b.LiveRow(op.curLive)
+		if op.curChain == -2 {
+			// Begin chain for this left row.
+			op.curChain = op.buckets[op.hashBuf[pos]&op.mask] - 1
+			op.matchedCur = false
+		}
+		for op.curChain >= 0 && len(op.leftIdx) < bs {
+			r := op.curChain
+			op.curChain = op.next[r]
+			if op.keyMatch(r, b, pos) && op.residualOK(b, pos, r) {
+				op.leftIdx = append(op.leftIdx, int32(pos))
+				op.rightIdx = append(op.rightIdx, r)
+				op.matchedCur = true
+			}
+		}
+		if op.curChain < 0 {
+			if outer && !op.matchedCur {
+				op.leftIdx = append(op.leftIdx, int32(pos))
+				op.rightIdx = append(op.rightIdx, -1)
+			}
+			op.curLive++
+			op.curChain = -2
+		}
+	}
+	if len(op.leftIdx) == 0 {
+		return nil, nil
+	}
+	out := op.assembleExpand()
+	op.opts.Tracer.RecordOperator("HashJoin(probe)", out.Rows(), time.Since(t0))
+	return out, nil
+}
+
+func (op *hashJoinOp) assembleExpand() *vector.Batch {
+	b := op.curBatch
+	if b == nil {
+		b = op.lastBatch
+	}
+	nl := len(b.Vecs)
+	k := len(op.leftIdx)
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	for c := 0; c < nl; c++ {
+		v := vector.New(op.schema[c].Type, k)
+		v.Gather(b.Vecs[c], op.leftIdx)
+		v.Typ = op.schema[c].Type
+		out.Vecs[c] = v
+	}
+	for c := range op.rbuild {
+		out.Vecs[nl+c] = gatherOuter(op.rbuild[c], op.rightIdx, op.schema[nl+c].Type)
+	}
+	return out
+}
+
+// gatherOuter gathers build rows by id, writing the zero value for -1
+// (unmatched left-outer rows).
+func gatherOuter(cb *colBuilder, idx []int32, t vector.Type) *vector.Vector {
+	out := vector.New(t, len(idx))
+	src := cb.vec()
+	for j, r := range idx {
+		if r < 0 {
+			continue // zero value
+		}
+		out.Set(j, src.Value(int(r)))
+	}
+	out.Typ = t
+	return out
+}
+
+// nextFiltered handles semi, anti and mark joins: one output row (at most)
+// per left row, no expansion.
+func (op *hashJoinOp) nextFiltered() (*vector.Batch, error) {
+	for {
+		t0 := time.Now()
+		b, err := op.left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if err := op.probeHashes(b); err != nil {
+			return nil, err
+		}
+		n := b.Rows()
+		sel := make([]int32, 0, n)
+		var marks []bool
+		if op.node.Kind == algebra.Mark {
+			marks = make([]bool, b.N)
+		}
+		check := func(pos int) bool {
+			r := op.buckets[op.hashBuf[pos]&op.mask] - 1
+			for r >= 0 {
+				if op.keyMatch(r, b, pos) && op.residualOK(b, pos, r) {
+					return true
+				}
+				r = op.next[r]
+			}
+			return false
+		}
+		emit := func(pos int32) {
+			matched := check(int(pos))
+			switch op.node.Kind {
+			case algebra.Semi:
+				if matched {
+					sel = append(sel, pos)
+				}
+			case algebra.Anti:
+				if !matched {
+					sel = append(sel, pos)
+				}
+			case algebra.Mark:
+				marks[pos] = matched
+				sel = append(sel, pos)
+			}
+		}
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				emit(i)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				emit(int32(i))
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		out := &vector.Batch{Schema: op.schema, Vecs: b.Vecs, Sel: sel, N: b.N}
+		if op.node.Kind == algebra.Mark {
+			out.Vecs = append(append([]*vector.Vector{}, b.Vecs...), vector.FromBools(marks))
+		}
+		op.opts.Tracer.RecordOperator(fmt.Sprintf("HashJoin(%s)", op.node.Kind), len(sel), time.Since(t0))
+		return out, nil
+	}
+}
+
+// cartProdOp is the nested-loop CartProd operator: the paper's default
+// physical join (a Select on top applies the join condition).
+type cartProdOp struct {
+	left, right Operator
+	opts        ExecOptions
+	schema      vector.Schema
+
+	rbuild    []*colBuilder
+	nRight    int
+	built     bool
+	curBatch  *vector.Batch
+	lastBatch *vector.Batch
+	curLive   int
+	curRight  int
+	leftIdx   []int32
+	rightIdx  []int32
+}
+
+func newCartProdOp(left, right Operator, opts ExecOptions) (*cartProdOp, error) {
+	schema := append(left.Schema().Clone(), right.Schema().Clone()...)
+	return &cartProdOp{left: left, right: right, opts: opts, schema: schema}, nil
+}
+
+func (op *cartProdOp) Schema() vector.Schema { return op.schema }
+
+func (op *cartProdOp) Open() error {
+	if err := op.left.Open(); err != nil {
+		return err
+	}
+	if err := op.right.Open(); err != nil {
+		return err
+	}
+	op.built = false
+	op.curBatch = nil
+	op.curLive = 0
+	op.curRight = 0
+	return nil
+}
+
+func (op *cartProdOp) Close() error {
+	if err := op.left.Close(); err != nil {
+		op.right.Close()
+		return err
+	}
+	return op.right.Close()
+}
+
+func (op *cartProdOp) Next() (*vector.Batch, error) {
+	if !op.built {
+		rs := op.right.Schema()
+		op.rbuild = make([]*colBuilder, len(rs))
+		for i, f := range rs {
+			op.rbuild[i] = newColBuilder(f.Type)
+		}
+		for {
+			b, err := op.right.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for i, v := range b.Vecs {
+				op.rbuild[i].appendVec(v, b.Sel, b.N)
+			}
+		}
+		if len(op.rbuild) > 0 {
+			op.nRight = op.rbuild[0].len()
+		}
+		op.built = true
+	}
+	bs := op.opts.batchSize()
+	op.leftIdx = op.leftIdx[:0]
+	op.rightIdx = op.rightIdx[:0]
+	for len(op.leftIdx) < bs {
+		if op.curBatch == nil {
+			if len(op.leftIdx) > 0 {
+				break
+			}
+			b, err := op.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			op.curBatch = b
+			op.curLive = 0
+			op.curRight = 0
+		}
+		b := op.curBatch
+		if op.curLive >= b.Rows() {
+			op.lastBatch = b
+			op.curBatch = nil
+			continue
+		}
+		pos := b.LiveRow(op.curLive)
+		for op.curRight < op.nRight && len(op.leftIdx) < bs {
+			op.leftIdx = append(op.leftIdx, int32(pos))
+			op.rightIdx = append(op.rightIdx, int32(op.curRight))
+			op.curRight++
+		}
+		if op.curRight >= op.nRight {
+			op.curLive++
+			op.curRight = 0
+		}
+	}
+	if len(op.leftIdx) == 0 {
+		return nil, nil
+	}
+	b := op.curBatch
+	if b == nil {
+		b = op.lastBatch
+	}
+	nl := len(op.left.Schema())
+	k := len(op.leftIdx)
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	for c := 0; c < nl; c++ {
+		v := vector.New(op.schema[c].Type, k)
+		v.Gather(b.Vecs[c], op.leftIdx)
+		v.Typ = op.schema[c].Type
+		out.Vecs[c] = v
+	}
+	for c := range op.rbuild {
+		out.Vecs[nl+c] = op.rbuild[c].gather(op.rightIdx)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// TestSkewedJoinExpansion exercises the mid-chain resume path: a single
+// probe row matching far more build rows than fit one output batch.
+func TestSkewedJoinExpansion(t *testing.T) {
+	db := NewDatabase()
+	left := colstore.NewTable("l")
+	must(t, left.AddColumn("k", vector.Int32, []int32{7, 8}))
+	db.AddTable(left)
+
+	nRight := 5000 // ~5 output batches from one probe row
+	rk := make([]int32, nRight+3)
+	rv := make([]int64, nRight+3)
+	for i := 0; i < nRight; i++ {
+		rk[i] = 7
+		rv[i] = int64(i)
+	}
+	for i := nRight; i < nRight+3; i++ {
+		rk[i] = 8
+		rv[i] = int64(i)
+	}
+	right := colstore.NewTable("r")
+	must(t, right.AddColumn("rk", vector.Int32, rk))
+	must(t, right.AddColumn("rv", vector.Int64, rv))
+	db.AddTable(right)
+
+	plan := algebra.NewAggr(
+		algebra.NewJoin(algebra.NewScan("l", "k"), algebra.NewScan("r", "rk", "rv"),
+			algebra.EquiCond{L: "k", R: "rk"}),
+		[]algebra.NamedExpr{algebra.NE("k", expr.C("k"))},
+		[]algebra.AggExpr{algebra.Count("n"), algebra.Sum("s", expr.C("rv"))})
+	res := runPlan(t, db, algebra.NewOrder(plan, algebra.Asc(expr.C("k"))), DefaultOptions())
+	if res.NumRows() != 2 {
+		t.Fatalf("groups: %d", res.NumRows())
+	}
+	if res.Row(0)[1].(int64) != int64(nRight) {
+		t.Fatalf("k=7 matches: %v", res.Row(0))
+	}
+	var wantSum int64
+	for i := 0; i < nRight; i++ {
+		wantSum += int64(i)
+	}
+	if res.Row(0)[2].(int64) != wantSum {
+		t.Fatalf("k=7 sum: %v want %v", res.Row(0)[2], wantSum)
+	}
+	if res.Row(1)[1].(int64) != 3 {
+		t.Fatalf("k=8 matches: %v", res.Row(1))
+	}
+}
+
+// TestJoinAcrossManyProbeBatches: probe side much larger than one batch,
+// build side tiny — exercises the batch-boundary flush (pending pairs must
+// be emitted before a new probe batch is pulled).
+func TestJoinAcrossManyProbeBatches(t *testing.T) {
+	db := NewDatabase()
+	n := 10000
+	lk := make([]int32, n)
+	for i := range lk {
+		lk[i] = int32(i % 4)
+	}
+	left := colstore.NewTable("l")
+	must(t, left.AddColumn("k", vector.Int32, lk))
+	db.AddTable(left)
+	right := colstore.NewTable("r")
+	must(t, right.AddColumn("rk", vector.Int32, []int32{0, 1, 2}))
+	must(t, right.AddColumn("lbl", vector.String, []string{"zero", "one", "two"}))
+	db.AddTable(right)
+
+	plan := algebra.NewAggr(
+		algebra.NewJoin(algebra.NewScan("l", "k"), algebra.NewScan("r", "rk", "lbl"),
+			algebra.EquiCond{L: "k", R: "rk"}),
+		nil,
+		[]algebra.AggExpr{algebra.Count("n")})
+	for _, bs := range []int{1, 7, 1024, 1 << 20} {
+		opts := DefaultOptions()
+		opts.BatchSize = bs
+		res := runPlan(t, db, plan, opts)
+		if got := res.Row(0)[0].(int64); got != int64(3*n/4) {
+			t.Fatalf("batch size %d: %d matches, want %d", bs, got, 3*n/4)
+		}
+	}
+}
+
+// TestCartProdMultiBatch: cross product larger than one batch resumes
+// correctly and respects the residual select on top.
+func TestCartProdMultiBatch(t *testing.T) {
+	db := NewDatabase()
+	n := 100
+	av := make([]int32, n)
+	for i := range av {
+		av[i] = int32(i)
+	}
+	ta := colstore.NewTable("ta")
+	must(t, ta.AddColumn("a", vector.Int32, av))
+	db.AddTable(ta)
+	tb := colstore.NewTable("tb")
+	must(t, tb.AddColumn("b", vector.Int32, append([]int32(nil), av...)))
+	db.AddTable(tb)
+
+	// 100x100 = 10000 pairs > default batch; residual a == b keeps 100.
+	plan := algebra.NewAggr(
+		algebra.NewJoin(algebra.NewScan("ta", "a"), algebra.NewScan("tb", "b")).
+			WithResidual(expr.EQE(expr.C("a"), expr.C("b"))),
+		nil,
+		[]algebra.AggExpr{algebra.Count("n")})
+	res := runPlan(t, db, plan, DefaultOptions())
+	if got := res.Row(0)[0].(int64); got != 100 {
+		t.Fatalf("pairs: %d", got)
+	}
+}
+
+// TestOrderByComputedKey sorts on an expression (keyProgs path).
+func TestOrderByComputedKey(t *testing.T) {
+	db := NewDatabase()
+	tab := colstore.NewTable("t")
+	must(t, tab.AddColumn("x", vector.Float64, []float64{3, -5, 1, -2}))
+	db.AddTable(tab)
+	// Sort by x*x ascending: 1, -2, 3, -5.
+	plan := algebra.NewOrder(algebra.NewScan("t", "x"),
+		algebra.Asc(expr.MulE(expr.C("x"), expr.C("x"))))
+	res := runPlan(t, db, plan, DefaultOptions())
+	want := []float64{1, -2, 3, -5}
+	for i, w := range want {
+		if res.Row(i)[0].(float64) != w {
+			t.Fatalf("order: %v", res.Rows())
+		}
+	}
+}
+
+// TestJoinEmptySides covers empty build and empty probe sides.
+func TestJoinEmptySides(t *testing.T) {
+	db := NewDatabase()
+	tab := colstore.NewTable("t")
+	must(t, tab.AddColumn("k", vector.Int32, []int32{1, 2, 3}))
+	db.AddTable(tab)
+	empty := colstore.NewTable("e")
+	must(t, empty.AddColumn("ek", vector.Int32, []int32{}))
+	db.AddTable(empty)
+
+	inner := runPlan(t, db, algebra.NewJoin(
+		algebra.NewScan("t", "k"), algebra.NewScan("e", "ek"),
+		algebra.EquiCond{L: "k", R: "ek"}), DefaultOptions())
+	if inner.NumRows() != 0 {
+		t.Fatal("join with empty build must be empty")
+	}
+	anti := runPlan(t, db, algebra.NewJoinKind(algebra.Anti,
+		algebra.NewScan("t", "k"), algebra.NewScan("e", "ek"),
+		algebra.EquiCond{L: "k", R: "ek"}), DefaultOptions())
+	if anti.NumRows() != 3 {
+		t.Fatal("anti join with empty build keeps all left rows")
+	}
+	inner2 := runPlan(t, db, algebra.NewJoin(
+		algebra.NewScan("e", "ek"), algebra.NewScan("t", "k"),
+		algebra.EquiCond{L: "ek", R: "k"}), DefaultOptions())
+	if inner2.NumRows() != 0 {
+		t.Fatal("join with empty probe must be empty")
+	}
+}

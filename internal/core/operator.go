@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/trace"
+	"x100/internal/vector"
+)
+
+// Operator is the X100 physical operator interface: a Volcano-style pull
+// iterator whose granularity is a vector batch, not a tuple.
+type Operator interface {
+	// Open prepares the operator (and its children) for execution.
+	Open() error
+	// Next returns the next batch, or nil at end of dataflow. The returned
+	// batch (and its vectors) are only valid until the following Next call.
+	Next() (*vector.Batch, error)
+	// Close releases resources.
+	Close() error
+	// Schema returns the output schema.
+	Schema() vector.Schema
+}
+
+// ExecOptions configure plan execution.
+type ExecOptions struct {
+	// BatchSize is the vector length (the paper's default is ~1000 values;
+	// Figure 10 sweeps it from 1 to 4M).
+	BatchSize int
+	// Fuse enables compound-primitive fusion in expressions.
+	Fuse bool
+	// Tracer collects per-primitive statistics (nil disables).
+	Tracer *trace.Collector
+	// NoSummaryIndex disables summary-index range pruning (ablation).
+	NoSummaryIndex bool
+}
+
+// DefaultOptions returns the standard execution configuration.
+func DefaultOptions() ExecOptions {
+	return ExecOptions{BatchSize: vector.DefaultBatchSize, Fuse: true}
+}
+
+func (o ExecOptions) exprOptions() expr.Options {
+	return expr.Options{Fuse: o.Fuse, Tracer: o.Tracer}
+}
+
+func (o ExecOptions) batchSize() int {
+	if o.BatchSize <= 0 {
+		return vector.DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema vector.Schema
+	cols   []*colBuilder
+	n      int
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return r.n }
+
+// Row returns row i as boxed values.
+func (r *Result) Row(i int) []any {
+	row := make([]any, len(r.cols))
+	for c, cb := range r.cols {
+		row[c] = cb.vec().Value(i)
+	}
+	return row
+}
+
+// Rows materializes all rows (tests and small outputs).
+func (r *Result) Rows() [][]any {
+	out := make([][]any, r.n)
+	for i := range out {
+		out[i] = r.Row(i)
+	}
+	return out
+}
+
+// Col returns result column i as a vector.
+func (r *Result) Col(i int) *vector.Vector { return r.cols[i].vec() }
+
+// Format renders the result as an aligned text table (up to max rows;
+// max <= 0 means all).
+func (r *Result) Format(max int) string {
+	var b strings.Builder
+	for i, f := range r.Schema {
+		if i > 0 {
+			b.WriteString("\t")
+		}
+		b.WriteString(f.Name)
+	}
+	b.WriteString("\n")
+	n := r.n
+	if max > 0 && n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		for c, v := range r.Row(i) {
+			if c > 0 {
+				b.WriteString("\t")
+			}
+			switch x := v.(type) {
+			case float64:
+				fmt.Fprintf(&b, "%.4f", x)
+			default:
+				fmt.Fprintf(&b, "%v", x)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if n < r.n {
+		fmt.Fprintf(&b, "... (%d rows total)\n", r.n)
+	}
+	return b.String()
+}
+
+// AppendBatch adds the live rows of a batch to the result (used by the
+// baseline engines, which materialize relations wholesale).
+func (r *Result) AppendBatch(b *vector.Batch) {
+	if r.cols == nil {
+		r.cols = make([]*colBuilder, len(r.Schema))
+		for i, f := range r.Schema {
+			r.cols[i] = newColBuilder(f.Type)
+		}
+	}
+	for i, v := range b.Vecs {
+		r.cols[i].appendVec(v, b.Sel, b.N)
+	}
+	r.n += b.Rows()
+}
+
+// AppendRow adds one boxed row (tuple-at-a-time engine output).
+func (r *Result) AppendRow(row []any) {
+	if r.cols == nil {
+		r.cols = make([]*colBuilder, len(r.Schema))
+		for i, f := range r.Schema {
+			r.cols[i] = newColBuilder(f.Type)
+		}
+	}
+	for i, cb := range r.cols {
+		cb.appendValue(row[i])
+	}
+	r.n++
+}
+
+// Drain pulls an operator to exhaustion, materializing the result.
+func Drain(op Operator) (*Result, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	schema := op.Schema()
+	res := &Result{Schema: schema, cols: make([]*colBuilder, len(schema))}
+	for i, f := range schema {
+		res.cols[i] = newColBuilder(f.Type)
+	}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i, v := range b.Vecs {
+			res.cols[i].appendVec(v, b.Sel, b.N)
+		}
+		res.n += b.Rows()
+	}
+	return res, nil
+}
+
+// scalar hash helpers consistent with the vectorized hash primitives.
+func hashCombine(h, v uint64) uint64            { return primitives.HashCombineValueInt(h, v) }
+func hashCombineF64(h uint64, f float64) uint64 { return primitives.HashCombineValueF64(h, f) }
+func hashCombineStr(h uint64, s string) uint64  { return primitives.HashCombineValueStr(h, s) }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"x100/internal/colstore"
+	"x100/internal/delta"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// CodeSuffix marks a request for the raw enumeration codes of an enum
+// column: scanning "l_returnflag#" yields the uint8/uint16 codes instead of
+// decoded values. The matching dictionary is exposed as the mapping table
+// "l_returnflag#dict" with a single "value" column, so plans can group by
+// the small code domain (DirectAggr) and rehydrate values with a Fetch1Join
+// — exactly the paper's enum machinery (Sections 4.3, 5.1).
+const CodeSuffix = "#"
+
+// DictSuffix names dictionary mapping tables.
+const DictSuffix = "#dict"
+
+type scanCol struct {
+	name    string
+	col     *colstore.Column
+	isRowID bool
+	rawCode bool
+	typ     vector.Type // output type
+	// decode buffer for enum columns read logically.
+	buf *vector.Vector
+}
+
+type scanOp struct {
+	db     *Database
+	table  *colstore.Table
+	dstore *delta.Store
+	cols   []scanCol
+	schema vector.Schema
+	opts   ExecOptions
+	lo, hi int // base-fragment row bounds (summary-index pruning)
+
+	pos      int
+	deltaPos int
+	rowIDBuf []int32
+	batch    *vector.Batch
+}
+
+func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*scanOp, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := db.Delta(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		for _, c := range t.Cols {
+			cols = append(cols, c.Name)
+		}
+	}
+	op := &scanOp{db: db, table: t, dstore: ds, opts: opts, lo: 0, hi: t.N}
+	for _, name := range cols {
+		sc := scanCol{name: name}
+		switch {
+		case name == "#rowid":
+			sc.isRowID = true
+			sc.typ = vector.Int32
+		case strings.HasSuffix(name, CodeSuffix):
+			base := strings.TrimSuffix(name, CodeSuffix)
+			c := t.Col(base)
+			if c == nil || !c.IsEnum() {
+				return nil, fmt.Errorf("core: %s.%s is not an enum column", table, base)
+			}
+			sc.col = c
+			sc.rawCode = true
+			sc.typ = c.PhysType()
+		default:
+			c := t.Col(name)
+			if c == nil {
+				return nil, fmt.Errorf("core: table %s has no column %q", table, name)
+			}
+			sc.col = c
+			sc.typ = c.Typ
+		}
+		op.cols = append(op.cols, sc)
+		op.schema = append(op.schema, vector.Field{Name: name, Type: sc.typ})
+	}
+	return op, nil
+}
+
+func (s *scanOp) Schema() vector.Schema { return s.schema }
+
+func (s *scanOp) Open() error {
+	s.pos = s.lo
+	s.deltaPos = 0
+	// Buffers are sized to the actual batch length: with vector sizes far
+	// beyond the table size (Figure 10's right edge) a batch is at most the
+	// table itself.
+	n := min(s.opts.batchSize(), max(s.hi-s.lo, 1))
+	s.rowIDBuf = make([]int32, n)
+	for i := range s.cols {
+		sc := &s.cols[i]
+		if sc.col != nil && sc.col.IsEnum() && !sc.rawCode {
+			sc.buf = vector.New(sc.typ, n)
+		}
+	}
+	return nil
+}
+
+func (s *scanOp) Close() error { return nil }
+
+func (s *scanOp) Next() (*vector.Batch, error) {
+	if s.dstore.NumDeleted() > 0 || s.dstore.NumDeltaRows() > 0 {
+		return s.nextMerged()
+	}
+	if s.pos >= s.hi {
+		return nil, nil
+	}
+	k := min(s.opts.batchSize(), s.hi-s.pos)
+	lo, hi := s.pos, s.pos+k
+	s.pos = hi
+	b := &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols)), N: k}
+	for i := range s.cols {
+		sc := &s.cols[i]
+		switch {
+		case sc.isRowID:
+			ids := s.rowIDBuf[:k]
+			for j := range ids {
+				ids[j] = int32(lo + j)
+			}
+			b.Vecs[i] = vector.FromInt32s(ids)
+		case sc.col.IsEnum() && !sc.rawCode:
+			b.Vecs[i] = s.decodeEnum(sc, lo, hi)
+		default:
+			v := sc.col.VectorAt(lo, hi)
+			v.Typ = sc.typ
+			b.Vecs[i] = v
+		}
+	}
+	return b, nil
+}
+
+// decodeEnum gathers dictionary values through the code vector — the
+// automatic Fetch1Join against the mapping table (map_fetch_uchr_col in
+// Table 5 of the paper).
+func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) *vector.Vector {
+	k := hi - lo
+	out := sc.buf.Slice(0, k)
+	out.Typ = sc.typ
+	codes := sc.col.VectorAt(lo, hi)
+	tr := s.opts.Tracer
+	t0 := tr.Now()
+	var name string
+	if sc.typ.Physical() == vector.Float64 {
+		base := sc.col.Dict.F64s
+		if codes.Typ == vector.UInt8 {
+			primitives.GatherColU8(out.Float64s(), base, codes.UInt8s(), nil)
+			name = "map_fetch_uchr_col_flt_col"
+		} else {
+			primitives.GatherColU16(out.Float64s(), base, codes.UInt16s(), nil)
+			name = "map_fetch_usht_col_flt_col"
+		}
+	} else {
+		base := sc.col.Dict.Values
+		if codes.Typ == vector.UInt8 {
+			primitives.GatherColU8(out.Strings(), base, codes.UInt8s(), nil)
+			name = "map_fetch_uchr_col_str_col"
+		} else {
+			primitives.GatherColU16(out.Strings(), base, codes.UInt16s(), nil)
+			name = "map_fetch_usht_col_str_col"
+		}
+	}
+	tr.RecordPrimitiveSince(name, t0, k, k+8*k)
+	return out
+}
+
+// nextMerged is the delta-aware scan path: base rows minus the deletion
+// list, then insert-delta rows minus deletions. It is value-at-a-time; the
+// paper keeps deltas small (a small percentile of the table) before
+// reorganizing, so this path never dominates.
+func (s *scanOp) nextMerged() (*vector.Batch, error) {
+	bs := s.opts.batchSize()
+	baseN := s.table.N
+	type srcRow struct{ id int32 }
+	rows := make([]srcRow, 0, bs)
+	for len(rows) < bs && s.pos < s.hi {
+		id := int32(s.pos)
+		s.pos++
+		if !s.dstore.IsDeleted(id) {
+			rows = append(rows, srcRow{id: id})
+		}
+	}
+	for len(rows) < bs && s.deltaPos < s.dstore.NumDeltaRows() {
+		id := int32(baseN + s.deltaPos)
+		s.deltaPos++
+		if !s.dstore.IsDeleted(id) {
+			rows = append(rows, srcRow{id: id})
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	b := &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols)), N: len(rows)}
+	for ci := range s.cols {
+		sc := &s.cols[ci]
+		v := vector.New(sc.typ, len(rows))
+		for j, r := range rows {
+			switch {
+			case sc.isRowID:
+				v.Int32s()[j] = r.id
+			case int(r.id) < baseN:
+				if sc.rawCode {
+					v.Set(j, vector.FromAny(sc.col.PhysType(), sc.col.Data()).Value(int(r.id)))
+				} else {
+					v.Set(j, sc.col.DecodedValue(int(r.id)))
+				}
+			default:
+				val := s.deltaValue(sc, int(r.id)-baseN)
+				v.Set(j, val)
+			}
+		}
+		b.Vecs[ci] = v
+	}
+	return b, nil
+}
+
+func (s *scanOp) deltaValue(sc *scanCol, j int) any {
+	ti := 0
+	for i, c := range s.table.Cols {
+		if c == sc.col {
+			ti = i
+			break
+		}
+	}
+	val := s.dstore.DeltaValue(ti, j)
+	if !sc.rawCode {
+		return val
+	}
+	// Encode the uncompressed delta value into the dictionary code space.
+	var code int
+	if sc.col.Dict.Typ == vector.Float64 {
+		code = sc.col.Dict.CodeF64(val.(float64))
+	} else {
+		code = sc.col.Dict.Code(val.(string))
+	}
+	if sc.typ == vector.UInt8 {
+		return uint8(code)
+	}
+	return uint16(code)
+}
+
+// arrayOp generates all coordinates of an N-dimensional array in
+// column-major dimension order (paper Section 4.1.2).
+type arrayOp struct {
+	dims   []int
+	schema vector.Schema
+	opts   ExecOptions
+	total  int
+	pos    int
+}
+
+func newArrayOp(dims []int, opts ExecOptions) *arrayOp {
+	total := 1
+	schema := make(vector.Schema, len(dims))
+	for i, d := range dims {
+		total *= d
+		schema[i] = vector.Field{Name: fmt.Sprintf("dim%d", i), Type: vector.Int32}
+	}
+	if len(dims) == 0 {
+		total = 0
+	}
+	return &arrayOp{dims: dims, schema: schema, total: total, opts: opts}
+}
+
+func (a *arrayOp) Schema() vector.Schema { return a.schema }
+func (a *arrayOp) Open() error           { a.pos = 0; return nil }
+func (a *arrayOp) Close() error          { return nil }
+
+func (a *arrayOp) Next() (*vector.Batch, error) {
+	if a.pos >= a.total {
+		return nil, nil
+	}
+	bs := a.opts.batchSize()
+	if bs <= 0 {
+		bs = vector.DefaultBatchSize
+	}
+	k := min(bs, a.total-a.pos)
+	b := &vector.Batch{Schema: a.schema, Vecs: make([]*vector.Vector, len(a.dims)), N: k}
+	for d := range a.dims {
+		b.Vecs[d] = vector.New(vector.Int32, k)
+	}
+	for j := 0; j < k; j++ {
+		idx := a.pos + j
+		// Column-major: dim0 varies fastest.
+		for d := 0; d < len(a.dims); d++ {
+			b.Vecs[d].Int32s()[j] = int32(idx % a.dims[d])
+			idx /= a.dims[d]
+		}
+	}
+	a.pos += k
+	return b, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+func smokeDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	tab := colstore.NewTable("t")
+	if err := tab.AddColumn("a", vector.Int64, []int64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("b", vector.Float64, []float64{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddEnumColumn("c", []string{"x", "y", "x", "y", "x", "y", "x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(tab)
+	return db
+}
+
+func TestSmokeScanSelectProjectAggr(t *testing.T) {
+	db := smokeDB(t)
+	plan := algebra.NewAggr(
+		algebra.NewProject(
+			algebra.NewSelect(
+				algebra.NewScan("t", "a", "b", "c"),
+				expr.GTE(expr.C("a"), expr.Int(2)),
+			),
+			algebra.NE("c", expr.C("c")),
+			algebra.NE("double_b", expr.MulE(expr.C("b"), expr.Float(2))),
+		),
+		[]algebra.NamedExpr{algebra.NE("c", expr.C("c"))},
+		[]algebra.AggExpr{
+			algebra.Sum("s", expr.C("double_b")),
+			algebra.Count("n"),
+		},
+	)
+	res, err := Run(db, plan, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("got %d rows, want 2: %v", res.NumRows(), res.Rows())
+	}
+	// Rows a>2: a=3..8. Group x: b=3.5,5.5,7.5 doubled sum=33; y: 4.5,6.5,8.5 -> 39.
+	got := map[string]float64{}
+	cnt := map[string]int64{}
+	for _, row := range res.Rows() {
+		got[row[0].(string)] = row[1].(float64)
+		cnt[row[0].(string)] = row[2].(int64)
+	}
+	if got["x"] != 33 || got["y"] != 39 {
+		t.Fatalf("sums: %v", got)
+	}
+	if cnt["x"] != 3 || cnt["y"] != 3 {
+		t.Fatalf("counts: %v", cnt)
+	}
+}
+
+func TestSmokeJoinOrder(t *testing.T) {
+	db := smokeDB(t)
+	dim := colstore.NewTable("d")
+	if err := dim.AddColumn("k", vector.Int64, []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.AddColumn("name", vector.String, []string{"one", "two", "three", "four"}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(dim)
+	plan := algebra.NewOrder(
+		algebra.NewJoin(
+			algebra.NewScan("t", "a", "b"),
+			algebra.NewScan("d", "k", "name"),
+			algebra.EquiCond{L: "a", R: "k"},
+		),
+		algebra.Desc(expr.C("a")),
+	)
+	res, err := Run(db, plan, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("got %d rows, want 4: %v", res.NumRows(), res.Rows())
+	}
+	first := res.Row(0)
+	if first[0].(int64) != 4 || first[3].(string) != "four" {
+		t.Fatalf("first row: %v", first)
+	}
+}

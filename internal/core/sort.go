@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// orderOp is the materializing sort operator. It drains its input into
+// columnar builders (plus one builder per computed sort key), sorts an index
+// permutation, and re-emits batches in order. TopN shares the machinery and
+// truncates the permutation.
+type orderOp struct {
+	input Operator
+	keys  []algebra.OrdExpr
+	limit int // <= 0: no limit (Order); > 0: TopN
+	opts  ExecOptions
+
+	schema   vector.Schema
+	keyProgs []*expr.Prog
+	keyPass  []int
+
+	cols    []*colBuilder
+	keyCols []*colBuilder
+	perm    []int32
+	done    bool
+	emitPos int
+}
+
+func newOrderOp(input Operator, keys []algebra.OrdExpr, limit int, opts ExecOptions) (*orderOp, error) {
+	in := input.Schema()
+	op := &orderOp{input: input, keys: keys, limit: limit, opts: opts, schema: in.Clone()}
+	for _, k := range keys {
+		if c, ok := k.E.(*expr.Col); ok {
+			if i := in.ColIndex(c.Name); i >= 0 {
+				op.keyPass = append(op.keyPass, i)
+				op.keyProgs = append(op.keyProgs, nil)
+				continue
+			}
+		}
+		prog, err := expr.Compile(k.E, in, opts.exprOptions())
+		if err != nil {
+			return nil, err
+		}
+		op.keyPass = append(op.keyPass, -1)
+		op.keyProgs = append(op.keyProgs, prog)
+	}
+	return op, nil
+}
+
+func (op *orderOp) Schema() vector.Schema { return op.schema }
+
+func (op *orderOp) Open() error {
+	op.done = false
+	op.emitPos = 0
+	op.cols = nil
+	op.keyCols = nil
+	op.perm = nil
+	return op.input.Open()
+}
+
+func (op *orderOp) Close() error { return op.input.Close() }
+
+func (op *orderOp) Next() (*vector.Batch, error) {
+	if !op.done {
+		if err := op.consume(); err != nil {
+			return nil, err
+		}
+		op.done = true
+	}
+	total := len(op.perm)
+	if op.emitPos >= total {
+		return nil, nil
+	}
+	k := min(op.opts.batchSize(), total-op.emitPos)
+	idx := op.perm[op.emitPos : op.emitPos+k]
+	op.emitPos += k
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	for c, cb := range op.cols {
+		out.Vecs[c] = cb.gather(idx)
+	}
+	return out, nil
+}
+
+func (op *orderOp) consume() error {
+	var self time.Duration
+	in := op.input.Schema()
+	op.cols = make([]*colBuilder, len(in))
+	for i, f := range in {
+		op.cols[i] = newColBuilder(f.Type)
+	}
+	op.keyCols = make([]*colBuilder, len(op.keys))
+	for i := range op.keys {
+		var t vector.Type
+		if pi := op.keyPass[i]; pi >= 0 {
+			t = in[pi].Type
+		} else {
+			t = op.keyProgs[i].OutType()
+		}
+		op.keyCols[i] = newColBuilder(t)
+	}
+	for {
+		b, err := op.input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		t0 := time.Now()
+		for c, v := range b.Vecs {
+			op.cols[c].appendVec(v, b.Sel, b.N)
+		}
+		for i := range op.keys {
+			var kv *vector.Vector
+			if pi := op.keyPass[i]; pi >= 0 {
+				kv = b.Vecs[pi]
+			} else {
+				kv = op.keyProgs[i].Run(b)
+			}
+			op.keyCols[i].appendVec(kv, b.Sel, b.N)
+		}
+		self += time.Since(t0)
+	}
+	t1 := time.Now()
+	n := 0
+	if len(op.cols) > 0 {
+		n = op.cols[0].len()
+	}
+	op.perm = make([]int32, n)
+	for i := range op.perm {
+		op.perm[i] = int32(i)
+	}
+	sort.SliceStable(op.perm, func(a, b int) bool {
+		i, j := int(op.perm[a]), int(op.perm[b])
+		for c, k := range op.keys {
+			cb := op.keyCols[c]
+			if cb.equalRows(i, j) {
+				continue
+			}
+			if k.Desc {
+				return cb.less(j, i)
+			}
+			return cb.less(i, j)
+		}
+		return false
+	})
+	if op.limit > 0 && len(op.perm) > op.limit {
+		op.perm = op.perm[:op.limit]
+	}
+	name := "Order"
+	if op.limit > 0 {
+		name = "TopN"
+	}
+	op.opts.Tracer.RecordOperator(name, n, self+time.Since(t1))
+	return nil
+}

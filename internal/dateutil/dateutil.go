@@ -1,0 +1,130 @@
+// Package dateutil converts between civil dates and day numbers since the
+// Unix epoch (1970-01-01). Dates are stored in columns as int32 day numbers
+// (the paper stores dates as integers and uses summary indices over them),
+// so the engines only ever compare integers; these helpers are used at plan
+// construction, data generation and result rendering time.
+package dateutil
+
+import "fmt"
+
+// DaysFromCivil converts a proleptic Gregorian calendar date to the number
+// of days since 1970-01-01 (Howard Hinnant's algorithm).
+func DaysFromCivil(y, m, d int) int32 {
+	if m <= 2 {
+		y--
+	}
+	var era int
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1            // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return int32(era*146097 + doe - 719468)
+}
+
+// CivilFromDays converts a day number since 1970-01-01 back to (y, m, d).
+func CivilFromDays(z int32) (y, m, d int) {
+	zz := int(z) + 719468
+	var era int
+	if zz >= 0 {
+		era = zz / 146097
+	} else {
+		era = (zz - 146096) / 146097
+	}
+	doe := zz - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y = yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = doy - (153*mp+2)/5 + 1
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return y, m, d
+}
+
+// Year returns the calendar year of a day number.
+func Year(z int32) int32 {
+	y, _, _ := CivilFromDays(z)
+	return int32(y)
+}
+
+// Month returns the calendar month (1-12) of a day number.
+func Month(z int32) int32 {
+	_, m, _ := CivilFromDays(z)
+	return int32(m)
+}
+
+// Parse converts a "YYYY-MM-DD" literal into a day number.
+func Parse(s string) (int32, error) {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		return 0, fmt.Errorf("dateutil: bad date %q: %w", s, err)
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("dateutil: bad date %q", s)
+	}
+	return DaysFromCivil(y, m, d), nil
+}
+
+// MustParse is Parse for literals known to be valid (plan constants).
+func MustParse(s string) int32 {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Format renders a day number as "YYYY-MM-DD".
+func Format(z int32) string {
+	y, m, d := CivilFromDays(z)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// AddMonths shifts a day number by n calendar months, clamping the day of
+// month (SQL interval semantics: 1993-01-31 + 1 month = 1993-02-28).
+func AddMonths(z int32, n int) int32 {
+	y, m, d := CivilFromDays(z)
+	total := y*12 + (m - 1) + n
+	ny, nm := total/12, total%12+1
+	if nm < 1 {
+		nm += 12
+		ny--
+	}
+	if dim := daysInMonth(ny, nm); d > dim {
+		d = dim
+	}
+	return DaysFromCivil(ny, nm, d)
+}
+
+// AddYears shifts a day number by n years with day clamping.
+func AddYears(z int32, n int) int32 { return AddMonths(z, 12*n) }
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if (y%4 == 0 && y%100 != 0) || y%400 == 0 {
+			return 29
+		}
+		return 28
+	}
+}

@@ -1,0 +1,90 @@
+package dateutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownDates(t *testing.T) {
+	cases := []struct {
+		s    string
+		days int32
+	}{
+		{"1970-01-01", 0},
+		{"1970-01-02", 1},
+		{"1969-12-31", -1},
+		{"2000-03-01", 11017},
+		{"1998-09-02", 10471},
+		{"1992-01-01", 8035},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.days {
+			t.Errorf("%s: %d, want %d", c.s, got, c.days)
+		}
+		if Format(c.days) != c.s {
+			t.Errorf("format(%d) = %s, want %s", c.days, Format(c.days), c.s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(d int32) bool {
+		d = d % 200000 // stay within a few hundred millennia
+		y, m, day := CivilFromDays(d)
+		return DaysFromCivil(y, m, day) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYearMonth(t *testing.T) {
+	d := MustParse("1995-06-17")
+	if Year(d) != 1995 || Month(d) != 6 {
+		t.Fatalf("year/month of %d", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "1995-13-01", "1995-01-45", "1995/01/01"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("%q should fail", s)
+		}
+	}
+}
+
+func TestAddMonthsClamping(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"1993-01-31", 1, "1993-02-28"},
+		{"1996-01-31", 1, "1996-02-29"}, // leap year
+		{"1995-12-15", 1, "1996-01-15"},
+		{"1995-01-15", -1, "1994-12-15"},
+		{"1995-03-31", 3, "1995-06-30"},
+	}
+	for _, c := range cases {
+		got := AddMonths(MustParse(c.in), c.n)
+		if Format(got) != c.want {
+			t.Errorf("%s + %d months = %s, want %s", c.in, c.n, Format(got), c.want)
+		}
+	}
+	if Format(AddYears(MustParse("1992-02-29"), 1)) != "1993-02-28" {
+		t.Error("leap-day year shift")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not-a-date")
+}

@@ -1,0 +1,383 @@
+// Package delta implements the update scheme of Section 4.3 / Figure 8 of
+// the paper: vertical fragments are immutable; deletes append the row id to
+// a deletion list, inserts append to in-memory delta columns (the PAX-like
+// chunk of the paper), and an update is a delete plus an insert. When the
+// deltas exceed a small fraction of the table, Reorganize rewrites the base
+// fragments and clears the deltas.
+//
+// Scans therefore see: base rows minus the deletion list, followed by the
+// delta rows minus deletions of delta rows. Delta columns are never
+// compressed (inserted strings into enum columns extend the dictionary,
+// which is append-only, so existing codes stay valid).
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"x100/internal/colstore"
+	"x100/internal/vector"
+)
+
+// Store tracks pending modifications for one table.
+type Store struct {
+	table *colstore.Table
+	// deleted row ids (over base + delta space), kept as a set.
+	deleted map[int32]struct{}
+	// insert delta: one untyped column buffer per table column.
+	ins []deltaCol
+	// number of rows appended to the delta.
+	nIns int
+}
+
+type deltaCol struct {
+	name string
+	typ  vector.Type
+	// vals holds boxed values row-wise converted into typed slices lazily;
+	// kept typed to avoid per-value boxing on scan.
+	bools    []bool
+	u8s      []uint8
+	u16s     []uint16
+	i32s     []int32
+	i64s     []int64
+	f64s     []float64
+	strs     []string
+	physical vector.Type
+}
+
+// NewStore creates an empty delta store over a base table.
+func NewStore(t *colstore.Table) *Store {
+	s := &Store{table: t, deleted: make(map[int32]struct{})}
+	for _, c := range t.Cols {
+		s.ins = append(s.ins, deltaCol{name: c.Name, typ: c.Typ, physical: c.Typ.Physical()})
+	}
+	return s
+}
+
+// Table returns the underlying base table.
+func (s *Store) Table() *colstore.Table { return s.table }
+
+// NumRows returns the visible row count: base + inserts - deletions.
+func (s *Store) NumRows() int {
+	return s.table.N + s.nIns - len(s.deleted)
+}
+
+// NumDeltaRows returns the number of rows in the insert delta.
+func (s *Store) NumDeltaRows() int { return s.nIns }
+
+// NumDeleted returns the size of the deletion list.
+func (s *Store) NumDeleted() int { return len(s.deleted) }
+
+// Delete marks a row id (base or delta space) as deleted.
+func (s *Store) Delete(rowID int32) error {
+	if int(rowID) < 0 || int(rowID) >= s.table.N+s.nIns {
+		return fmt.Errorf("delta: row id %d out of range [0,%d)", rowID, s.table.N+s.nIns)
+	}
+	s.deleted[rowID] = struct{}{}
+	return nil
+}
+
+// IsDeleted reports whether a row id is on the deletion list.
+func (s *Store) IsDeleted(rowID int32) bool {
+	_, ok := s.deleted[rowID]
+	return ok
+}
+
+// Insert appends one row (one boxed value per column, in schema order) to
+// the delta columns and returns its row id.
+func (s *Store) Insert(row []any) (int32, error) {
+	if len(row) != len(s.ins) {
+		return 0, fmt.Errorf("delta: insert row has %d values, table %s has %d columns", len(row), s.table.Name, len(s.ins))
+	}
+	for i := range s.ins {
+		c := &s.ins[i]
+		v := row[i]
+		switch c.physical {
+		case vector.Bool:
+			x, ok := v.(bool)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.bools = append(c.bools, x)
+		case vector.UInt8:
+			x, ok := v.(uint8)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.u8s = append(c.u8s, x)
+		case vector.UInt16:
+			x, ok := v.(uint16)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.u16s = append(c.u16s, x)
+		case vector.Int32:
+			x, ok := v.(int32)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.i32s = append(c.i32s, x)
+		case vector.Int64:
+			x, ok := v.(int64)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.i64s = append(c.i64s, x)
+		case vector.Float64:
+			x, ok := v.(float64)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.f64s = append(c.f64s, x)
+		case vector.String:
+			x, ok := v.(string)
+			if !ok {
+				return 0, typeErr(c.name, c.typ, v)
+			}
+			c.strs = append(c.strs, x)
+		}
+	}
+	id := int32(s.table.N + s.nIns)
+	s.nIns++
+	return id, nil
+}
+
+// Update is a delete of rowID followed by an insert of row, per Figure 8.
+func (s *Store) Update(rowID int32, row []any) (int32, error) {
+	if err := s.Delete(rowID); err != nil {
+		return 0, err
+	}
+	return s.Insert(row)
+}
+
+func typeErr(col string, t vector.Type, v any) error {
+	return fmt.Errorf("delta: column %s expects %v, got %T", col, t, v)
+}
+
+// DeltaValue returns the boxed logical value of delta row j (0-based within
+// the delta) for column index ci.
+func (s *Store) DeltaValue(ci int, j int) any {
+	c := &s.ins[ci]
+	switch c.physical {
+	case vector.Bool:
+		return c.bools[j]
+	case vector.UInt8:
+		return c.u8s[j]
+	case vector.UInt16:
+		return c.u16s[j]
+	case vector.Int32:
+		return c.i32s[j]
+	case vector.Int64:
+		return c.i64s[j]
+	case vector.Float64:
+		return c.f64s[j]
+	default:
+		return c.strs[j]
+	}
+}
+
+// DeltaVector returns delta rows [lo:hi) of column ci as a logical-typed
+// vector (enum columns come back as plain strings: deltas are uncompressed).
+func (s *Store) DeltaVector(ci, lo, hi int) *vector.Vector {
+	c := &s.ins[ci]
+	switch c.physical {
+	case vector.Bool:
+		return vector.FromBools(c.bools[lo:hi])
+	case vector.UInt8:
+		return vector.FromUint8s(c.u8s[lo:hi])
+	case vector.UInt16:
+		return vector.FromUint16s(c.u16s[lo:hi])
+	case vector.Int32:
+		v := vector.FromInt32s(c.i32s[lo:hi])
+		v.Typ = c.typ
+		return v
+	case vector.Int64:
+		return vector.FromInt64s(c.i64s[lo:hi])
+	case vector.Float64:
+		return vector.FromFloat64s(c.f64s[lo:hi])
+	default:
+		return vector.FromStrings(c.strs[lo:hi])
+	}
+}
+
+// LiveRowIDs returns all visible row ids in ascending order (base rows
+// first, then delta rows), excluding deletions. Scans over tables with
+// small deltas use this to build their position lists.
+func (s *Store) LiveRowIDs() []int32 {
+	out := make([]int32, 0, s.NumRows())
+	total := int32(s.table.N + s.nIns)
+	for id := int32(0); id < total; id++ {
+		if _, dead := s.deleted[id]; !dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DeltaFraction returns the fraction of the table held in deltas (inserts +
+// deletes vs base size); the storage layer reorganizes when this exceeds a
+// small percentile (paper Section 4.3).
+func (s *Store) DeltaFraction() float64 {
+	if s.table.N == 0 {
+		if s.nIns == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(s.nIns+len(s.deleted)) / float64(s.table.N)
+}
+
+// Reorganize rewrites the base table to absorb all deltas: deleted base rows
+// are dropped, delta rows are appended, and the deltas are cleared. Enum
+// columns are re-encoded (dictionaries may have grown).
+func (s *Store) Reorganize() error {
+	t := s.table
+	// Build the surviving row id list deterministically.
+	live := s.LiveRowIDs()
+	baseN := t.N
+	for ci, col := range t.Cols {
+		logical := col.Typ
+		if col.IsEnum() {
+			// Rebuild decoded values, then re-encode.
+			nt := colstore.NewTable("tmp")
+			if col.Dict.Typ == vector.Float64 {
+				vals := make([]float64, 0, len(live))
+				for _, id := range live {
+					if int(id) < baseN {
+						vals = append(vals, col.DecodedValue(int(id)).(float64))
+					} else {
+						vals = append(vals, s.DeltaValue(ci, int(id)-baseN).(float64))
+					}
+				}
+				if err := nt.AddEnumF64Column(col.Name, vals); err != nil {
+					return err
+				}
+			} else {
+				vals := make([]string, 0, len(live))
+				for _, id := range live {
+					if int(id) < baseN {
+						vals = append(vals, col.DecodedValue(int(id)).(string))
+					} else {
+						vals = append(vals, s.DeltaValue(ci, int(id)-baseN).(string))
+					}
+				}
+				if err := nt.AddEnumColumn(col.Name, vals); err != nil {
+					return err
+				}
+			}
+			*col = *nt.Cols[0]
+			continue
+		}
+		newData, err := rebuildPlain(col, &s.ins[ci], live, baseN)
+		if err != nil {
+			return err
+		}
+		t.Cols[ci] = &colstore.Column{Name: col.Name, Typ: logical}
+		nt := colstore.NewTable("tmp")
+		if err := nt.AddColumn(col.Name, logical, newData); err != nil {
+			return err
+		}
+		*t.Cols[ci] = *nt.Cols[0]
+	}
+	t.N = len(live)
+	s.deleted = make(map[int32]struct{})
+	for i := range s.ins {
+		s.ins[i] = deltaCol{name: s.ins[i].name, typ: s.ins[i].typ, physical: s.ins[i].physical}
+	}
+	s.nIns = 0
+	return nil
+}
+
+func rebuildPlain(col *colstore.Column, dc *deltaCol, live []int32, baseN int) (any, error) {
+	switch dc.physical {
+	case vector.Bool:
+		base := col.Data().([]bool)
+		out := make([]bool, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.bools[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.UInt8:
+		base := col.Data().([]uint8)
+		out := make([]uint8, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.u8s[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.UInt16:
+		base := col.Data().([]uint16)
+		out := make([]uint16, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.u16s[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.Int32:
+		base := col.Data().([]int32)
+		out := make([]int32, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.i32s[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.Int64:
+		base := col.Data().([]int64)
+		out := make([]int64, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.i64s[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.Float64:
+		base := col.Data().([]float64)
+		out := make([]float64, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.f64s[int(id)-baseN])
+			}
+		}
+		return out, nil
+	case vector.String:
+		base := col.Data().([]string)
+		out := make([]string, 0, len(live))
+		for _, id := range live {
+			if int(id) < baseN {
+				out = append(out, base[id])
+			} else {
+				out = append(out, dc.strs[int(id)-baseN])
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("delta: unsupported physical type %v", dc.physical)
+}
+
+// SortedDeleted returns the deletion list in ascending order (for scans
+// that subtract it positionally and for deterministic tests).
+func (s *Store) SortedDeleted() []int32 {
+	out := make([]int32, 0, len(s.deleted))
+	for id := range s.deleted {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

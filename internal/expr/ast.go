@@ -1,0 +1,529 @@
+// Package expr defines the expression language shared by all three query
+// engines, and its compiler into X100 vectorized-primitive programs.
+//
+// The same AST is evaluated three ways, mirroring the paper's comparison:
+//
+//   - internal/core compiles it into a sequence of vectorized primitive
+//     calls over vector registers (X100, Section 4.2), optionally fusing
+//     sub-trees into compound primitives;
+//   - internal/volcano interprets it tuple-at-a-time through an interface
+//     tree (the MySQL Item_func_plus::val architecture of Table 2);
+//   - internal/mil evaluates it column-at-a-time with full materialization
+//     of every intermediate result (MonetDB/MIL multiplexed operators,
+//     Table 3).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"x100/internal/vector"
+)
+
+// Expr is a typed scalar expression over the columns of a schema.
+type Expr interface {
+	// Type computes the result type against a schema, validating operand
+	// types as it goes.
+	Type(s vector.Schema) (vector.Type, error)
+	// String renders the expression in X100-algebra syntax.
+	String() string
+}
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+// C is shorthand for a column reference.
+func C(name string) *Col { return &Col{Name: name} }
+
+// Type implements Expr.
+func (c *Col) Type(s vector.Schema) (vector.Type, error) {
+	f, ok := s.Field(c.Name)
+	if !ok {
+		return vector.Unknown, fmt.Errorf("expr: unknown column %q in schema %v", c.Name, s)
+	}
+	return f.Type, nil
+}
+
+func (c *Col) String() string { return c.Name }
+
+// Const is a literal value of a fixed type.
+type Const struct {
+	Typ vector.Type
+	Val any
+}
+
+// Float returns a float64 literal, Int an int64 literal, Str a string
+// literal, DateConst a date literal from day number, and BoolConst a bool.
+func Float(v float64) *Const    { return &Const{Typ: vector.Float64, Val: v} }
+func Int(v int64) *Const        { return &Const{Typ: vector.Int64, Val: v} }
+func Int32Const(v int32) *Const { return &Const{Typ: vector.Int32, Val: v} }
+func Str(v string) *Const       { return &Const{Typ: vector.String, Val: v} }
+func DateConst(days int32) *Const {
+	return &Const{Typ: vector.Date, Val: days}
+}
+func BoolConst(v bool) *Const { return &Const{Typ: vector.Bool, Val: v} }
+
+// Type implements Expr.
+func (c *Const) Type(vector.Schema) (vector.Type, error) { return c.Typ, nil }
+
+func (c *Const) String() string {
+	switch v := c.Val.(type) {
+	case string:
+		return fmt.Sprintf("%q", v)
+	default:
+		return fmt.Sprintf("%v(%v)", c.Typ, c.Val)
+	}
+}
+
+// BinKind enumerates arithmetic operators.
+type BinKind uint8
+
+// Arithmetic operators.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	Div
+)
+
+func (k BinKind) String() string {
+	switch k {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+// Bin is an arithmetic expression; both operands must share a numeric type.
+type Bin struct {
+	Op   BinKind
+	L, R Expr
+}
+
+// Arithmetic constructors.
+func AddE(l, r Expr) *Bin { return &Bin{Op: Add, L: l, R: r} }
+func SubE(l, r Expr) *Bin { return &Bin{Op: Sub, L: l, R: r} }
+func MulE(l, r Expr) *Bin { return &Bin{Op: Mul, L: l, R: r} }
+func DivE(l, r Expr) *Bin { return &Bin{Op: Div, L: l, R: r} }
+
+// Type implements Expr.
+func (b *Bin) Type(s vector.Schema) (vector.Type, error) {
+	lt, err := b.L.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	rt, err := b.R.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if lt.Physical() != rt.Physical() || !lt.IsNumeric() {
+		return vector.Unknown, fmt.Errorf("expr: %v %v %v: operand types must be equal numeric types", lt, b.Op, rt)
+	}
+	return lt, nil
+}
+
+func (b *Bin) String() string {
+	return fmt.Sprintf("%s(%s, %s)", b.Op, b.L, b.R)
+}
+
+// CmpKind enumerates comparison operators.
+type CmpKind uint8
+
+// Comparison operators.
+const (
+	LT CmpKind = iota
+	LE
+	GT
+	GE
+	EQ
+	NE
+)
+
+func (k CmpKind) String() string {
+	switch k {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// Cmp compares two expressions of the same type and yields a bool.
+type Cmp struct {
+	Op   CmpKind
+	L, R Expr
+}
+
+// Comparison constructors.
+func LTE(l, r Expr) *Cmp { return &Cmp{Op: LT, L: l, R: r} }
+func LEE(l, r Expr) *Cmp { return &Cmp{Op: LE, L: l, R: r} }
+func GTE(l, r Expr) *Cmp { return &Cmp{Op: GT, L: l, R: r} }
+func GEE(l, r Expr) *Cmp { return &Cmp{Op: GE, L: l, R: r} }
+func EQE(l, r Expr) *Cmp { return &Cmp{Op: EQ, L: l, R: r} }
+func NEE(l, r Expr) *Cmp { return &Cmp{Op: NE, L: l, R: r} }
+
+// Type implements Expr.
+func (c *Cmp) Type(s vector.Schema) (vector.Type, error) {
+	lt, err := c.L.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	rt, err := c.R.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if lt.Physical() != rt.Physical() {
+		return vector.Unknown, fmt.Errorf("expr: %v %v %v: comparison operands must share a type", lt, c.Op, rt)
+	}
+	if (c.Op != EQ && c.Op != NE) && lt == vector.Bool {
+		return vector.Unknown, fmt.Errorf("expr: bool operands only support =/!=")
+	}
+	return vector.Bool, nil
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s(%s, %s)", c.Op, c.L, c.R)
+}
+
+// And is an n-ary conjunction.
+type And struct{ Args []Expr }
+
+// AndE builds a conjunction.
+func AndE(args ...Expr) *And { return &And{Args: args} }
+
+// Type implements Expr.
+func (a *And) Type(s vector.Schema) (vector.Type, error) { return boolArgs(s, "and", a.Args) }
+
+func (a *And) String() string { return nary("and", a.Args) }
+
+// Or is an n-ary disjunction.
+type Or struct{ Args []Expr }
+
+// OrE builds a disjunction.
+func OrE(args ...Expr) *Or { return &Or{Args: args} }
+
+// Type implements Expr.
+func (o *Or) Type(s vector.Schema) (vector.Type, error) { return boolArgs(s, "or", o.Args) }
+
+func (o *Or) String() string { return nary("or", o.Args) }
+
+// Not negates a boolean expression.
+type Not struct{ Arg Expr }
+
+// NotE builds a negation.
+func NotE(a Expr) *Not { return &Not{Arg: a} }
+
+// Type implements Expr.
+func (n *Not) Type(s vector.Schema) (vector.Type, error) {
+	return boolArgs(s, "not", []Expr{n.Arg})
+}
+
+func (n *Not) String() string { return fmt.Sprintf("not(%s)", n.Arg) }
+
+func boolArgs(s vector.Schema, op string, args []Expr) (vector.Type, error) {
+	for _, a := range args {
+		t, err := a.Type(s)
+		if err != nil {
+			return vector.Unknown, err
+		}
+		if t != vector.Bool {
+			return vector.Unknown, fmt.Errorf("expr: %s argument %s is %v, want bool", op, a, t)
+		}
+	}
+	return vector.Bool, nil
+}
+
+func nary(op string, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Cast converts a numeric expression to another numeric type (the paper's
+// dbl() in the Query 1 plan).
+type Cast struct {
+	To  vector.Type
+	Arg Expr
+}
+
+// CastE builds a cast.
+func CastE(to vector.Type, a Expr) *Cast { return &Cast{To: to, Arg: a} }
+
+// Type implements Expr.
+func (c *Cast) Type(s vector.Schema) (vector.Type, error) {
+	t, err := c.Arg.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if !t.IsNumeric() || !c.To.IsNumeric() {
+		return vector.Unknown, fmt.Errorf("expr: cannot cast %v to %v", t, c.To)
+	}
+	return c.To, nil
+}
+
+func (c *Cast) String() string { return fmt.Sprintf("%s(%s)", castName(c.To), c.Arg) }
+
+func castName(t vector.Type) string {
+	switch t {
+	case vector.Float64:
+		return "dbl"
+	case vector.Int64:
+		return "lng"
+	case vector.Int32:
+		return "int"
+	default:
+		return "cast_" + t.String()
+	}
+}
+
+// Like matches a string expression against a SQL LIKE pattern.
+type Like struct {
+	Arg     Expr
+	Pattern string
+	Negate  bool
+}
+
+// LikeE and NotLikeE build LIKE predicates.
+func LikeE(a Expr, pattern string) *Like    { return &Like{Arg: a, Pattern: pattern} }
+func NotLikeE(a Expr, pattern string) *Like { return &Like{Arg: a, Pattern: pattern, Negate: true} }
+
+// Type implements Expr.
+func (l *Like) Type(s vector.Schema) (vector.Type, error) {
+	t, err := l.Arg.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if t != vector.String {
+		return vector.Unknown, fmt.Errorf("expr: like on %v, want string", t)
+	}
+	return vector.Bool, nil
+}
+
+func (l *Like) String() string {
+	op := "like"
+	if l.Negate {
+		op = "notlike"
+	}
+	return fmt.Sprintf("%s(%s, %q)", op, l.Arg, l.Pattern)
+}
+
+// In tests membership of an expression in a literal list.
+type In struct {
+	Arg  Expr
+	List []*Const
+}
+
+// InE builds an IN-list predicate.
+func InE(a Expr, list ...*Const) *In { return &In{Arg: a, List: list} }
+
+// Type implements Expr.
+func (in *In) Type(s vector.Schema) (vector.Type, error) {
+	t, err := in.Arg.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	for _, c := range in.List {
+		if c.Typ.Physical() != t.Physical() {
+			return vector.Unknown, fmt.Errorf("expr: in-list element %v does not match %v", c.Typ, t)
+		}
+	}
+	return vector.Bool, nil
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, c := range in.List {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("in(%s, [%s])", in.Arg, strings.Join(parts, ", "))
+}
+
+// Case is CASE WHEN cond THEN t ELSE e END; t and e must share a type.
+type Case struct {
+	Cond, Then, Else Expr
+}
+
+// CaseE builds a CASE expression.
+func CaseE(cond, then, els Expr) *Case { return &Case{Cond: cond, Then: then, Else: els} }
+
+// Type implements Expr.
+func (c *Case) Type(s vector.Schema) (vector.Type, error) {
+	ct, err := c.Cond.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if ct != vector.Bool {
+		return vector.Unknown, fmt.Errorf("expr: case condition is %v, want bool", ct)
+	}
+	tt, err := c.Then.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	et, err := c.Else.Type(s)
+	if err != nil {
+		return vector.Unknown, err
+	}
+	if tt.Physical() != et.Physical() {
+		return vector.Unknown, fmt.Errorf("expr: case branches disagree: %v vs %v", tt, et)
+	}
+	return tt, nil
+}
+
+func (c *Case) String() string {
+	return fmt.Sprintf("case(%s, %s, %s)", c.Cond, c.Then, c.Else)
+}
+
+// FuncKind enumerates scalar functions.
+type FuncKind uint8
+
+// Scalar functions.
+const (
+	FuncYear   FuncKind = iota // year(date) -> int32
+	FuncSubstr                 // substr(str, start, len) -> string
+	FuncSquare                 // square(x) -> x*x
+	FuncConcat                 // concat(a, b) -> string
+)
+
+// Func applies a scalar function.
+type Func struct {
+	Kind FuncKind
+	Args []Expr
+	// Start/Length parameterize FuncSubstr.
+	Start, Length int
+}
+
+// YearE extracts the year of a date expression.
+func YearE(a Expr) *Func { return &Func{Kind: FuncYear, Args: []Expr{a}} }
+
+// SubstrE takes the 1-based substring of a string expression.
+func SubstrE(a Expr, start, length int) *Func {
+	return &Func{Kind: FuncSubstr, Args: []Expr{a}, Start: start, Length: length}
+}
+
+// SquareE squares a numeric expression.
+func SquareE(a Expr) *Func { return &Func{Kind: FuncSquare, Args: []Expr{a}} }
+
+// ConcatE concatenates two string expressions.
+func ConcatE(a, b Expr) *Func { return &Func{Kind: FuncConcat, Args: []Expr{a, b}} }
+
+// Type implements Expr.
+func (f *Func) Type(s vector.Schema) (vector.Type, error) {
+	switch f.Kind {
+	case FuncYear:
+		t, err := f.Args[0].Type(s)
+		if err != nil {
+			return vector.Unknown, err
+		}
+		if t != vector.Date && t != vector.Int32 {
+			return vector.Unknown, fmt.Errorf("expr: year on %v, want date", t)
+		}
+		return vector.Int32, nil
+	case FuncSubstr:
+		t, err := f.Args[0].Type(s)
+		if err != nil {
+			return vector.Unknown, err
+		}
+		if t != vector.String {
+			return vector.Unknown, fmt.Errorf("expr: substr on %v, want string", t)
+		}
+		return vector.String, nil
+	case FuncSquare:
+		t, err := f.Args[0].Type(s)
+		if err != nil {
+			return vector.Unknown, err
+		}
+		if !t.IsNumeric() {
+			return vector.Unknown, fmt.Errorf("expr: square on %v", t)
+		}
+		return t, nil
+	case FuncConcat:
+		for _, a := range f.Args {
+			t, err := a.Type(s)
+			if err != nil {
+				return vector.Unknown, err
+			}
+			if t != vector.String {
+				return vector.Unknown, fmt.Errorf("expr: concat on %v, want string", t)
+			}
+		}
+		return vector.String, nil
+	default:
+		return vector.Unknown, fmt.Errorf("expr: unknown function kind %d", f.Kind)
+	}
+}
+
+func (f *Func) String() string {
+	switch f.Kind {
+	case FuncYear:
+		return fmt.Sprintf("year(%s)", f.Args[0])
+	case FuncSubstr:
+		return fmt.Sprintf("substr(%s, %d, %d)", f.Args[0], f.Start, f.Length)
+	case FuncSquare:
+		return fmt.Sprintf("square(%s)", f.Args[0])
+	case FuncConcat:
+		return fmt.Sprintf("concat(%s, %s)", f.Args[0], f.Args[1])
+	default:
+		return "func(?)"
+	}
+}
+
+// Columns appends the column names referenced by e to dst (with
+// duplicates); plan builders use it to prune scans.
+func Columns(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case *Col:
+		return append(dst, x.Name)
+	case *Const:
+		return dst
+	case *Bin:
+		return Columns(x.R, Columns(x.L, dst))
+	case *Cmp:
+		return Columns(x.R, Columns(x.L, dst))
+	case *And:
+		for _, a := range x.Args {
+			dst = Columns(a, dst)
+		}
+		return dst
+	case *Or:
+		for _, a := range x.Args {
+			dst = Columns(a, dst)
+		}
+		return dst
+	case *Not:
+		return Columns(x.Arg, dst)
+	case *Cast:
+		return Columns(x.Arg, dst)
+	case *Like:
+		return Columns(x.Arg, dst)
+	case *In:
+		return Columns(x.Arg, dst)
+	case *Case:
+		return Columns(x.Else, Columns(x.Then, Columns(x.Cond, dst)))
+	case *Func:
+		for _, a := range x.Args {
+			dst = Columns(a, dst)
+		}
+		return dst
+	default:
+		return dst
+	}
+}

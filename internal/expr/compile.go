@@ -1,0 +1,966 @@
+package expr
+
+import (
+	"fmt"
+
+	"x100/internal/dateutil"
+	"x100/internal/primitives"
+	"x100/internal/trace"
+	"x100/internal/vector"
+)
+
+// Options configure expression compilation.
+type Options struct {
+	// Fuse enables compound-primitive fusion of expression sub-trees
+	// (Section 4.2); disabled it falls back to one primitive per node,
+	// which the compound ablation bench measures.
+	Fuse bool
+	// Tracer receives per-primitive statistics; nil disables tracing.
+	Tracer *trace.Collector
+}
+
+// DefaultOptions enable fusion without tracing.
+func DefaultOptions() Options { return Options{Fuse: true} }
+
+type okind uint8
+
+const (
+	oCol okind = iota
+	oReg
+	oConst
+)
+
+// operand locates a value source: a batch column, a register, or a literal.
+type operand struct {
+	kind okind
+	idx  int
+	cval any
+	typ  vector.Type
+}
+
+type stepFn func(p *Prog, b *vector.Batch)
+
+// Prog is a compiled vectorized expression: a sequence of primitive
+// invocations over reusable vector registers. A Prog is not safe for
+// concurrent use; each operator owns its own.
+type Prog struct {
+	steps   []stepFn
+	regs    []*vector.Vector
+	regTyps []vector.Type
+	out     operand
+	outType vector.Type
+	tracer  *trace.Collector
+}
+
+// OutType returns the result type of the expression.
+func (p *Prog) OutType() vector.Type { return p.outType }
+
+// Run evaluates the program against a batch and returns the result vector.
+// Values at unselected positions are unspecified; callers must respect
+// b.Sel. The returned vector is owned by the Prog (or is a batch column)
+// and is valid until the next Run.
+func (p *Prog) Run(b *vector.Batch) *vector.Vector {
+	for _, s := range p.steps {
+		s(p, b)
+	}
+	switch p.out.kind {
+	case oCol:
+		return b.Vecs[p.out.idx]
+	case oReg:
+		return p.regs[p.out.idx].Slice(0, b.N)
+	default:
+		// Constant expression: materialize once per call.
+		r := p.ensureReg(p.out.idx, p.outType, b.N)
+		fillConst(r, p.out.cval, b)
+		return r
+	}
+}
+
+func (p *Prog) ensureReg(i int, t vector.Type, n int) *vector.Vector {
+	r := p.regs[i]
+	if r == nil || r.Len() < n {
+		r = vector.New(t, n)
+		p.regs[i] = r
+	}
+	return p.regs[i].Slice(0, n)
+}
+
+// regSlice returns register i as a typed slice of length n, growing it as
+// needed.
+func regSlice[T any](p *Prog, i int, t vector.Type, n int) []T {
+	return vector.Data[T](p.ensureReg(i, t, n))
+}
+
+func fillConst(v *vector.Vector, val any, b *vector.Batch) {
+	n := v.Len()
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			v.Set(int(i), val)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		v.Set(i, val)
+	}
+}
+
+type compiler struct {
+	schema vector.Schema
+	opts   Options
+	prog   *Prog
+}
+
+// Compile builds a vectorized program for e over the given input schema.
+func Compile(e Expr, schema vector.Schema, opts Options) (*Prog, error) {
+	if _, err := e.Type(schema); err != nil {
+		return nil, err
+	}
+	c := &compiler{schema: schema, opts: opts, prog: &Prog{tracer: opts.Tracer}}
+	out, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	if out.kind == oConst {
+		// Reserve a register to materialize into.
+		out.idx = c.newReg(out.typ)
+	}
+	c.prog.out = out
+	c.prog.outType = out.typ
+	return c.prog, nil
+}
+
+func (c *compiler) newReg(t vector.Type) int {
+	c.prog.regs = append(c.prog.regs, nil)
+	c.prog.regTyps = append(c.prog.regTyps, t)
+	return len(c.prog.regs) - 1
+}
+
+func (c *compiler) compile(e Expr) (operand, error) {
+	switch x := e.(type) {
+	case *Col:
+		i := c.schema.ColIndex(x.Name)
+		if i < 0 {
+			return operand{}, fmt.Errorf("expr: unknown column %q", x.Name)
+		}
+		return operand{kind: oCol, idx: i, typ: c.schema[i].Type}, nil
+	case *Const:
+		return operand{kind: oConst, cval: x.Val, typ: x.Typ}, nil
+	case *Bin:
+		return c.compileBin(x)
+	case *Cast:
+		return c.compileCast(x)
+	case *Cmp:
+		return c.compileCmpBool(x)
+	case *And:
+		return c.compileLogic(x.Args, true)
+	case *Or:
+		return c.compileLogic(x.Args, false)
+	case *Not:
+		a, err := c.compile(x.Arg)
+		if err != nil {
+			return operand{}, err
+		}
+		dst := c.newReg(vector.Bool)
+		c.emit(func(p *Prog, b *vector.Batch) {
+			res := regSlice[bool](p, dst, vector.Bool, b.N)
+			t0 := p.tracer.Now()
+			primitives.MapNotCol(res, fetch[bool](p, b, a), b.Sel)
+			p.tracer.RecordPrimitiveSince("map_not_bool_col", t0, b.Rows(), 2*b.Rows())
+		})
+		return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+	case *Like:
+		return c.compileLike(x)
+	case *In:
+		return c.compileIn(x)
+	case *Case:
+		return c.compileCase(x)
+	case *Func:
+		return c.compileFunc(x)
+	default:
+		return operand{}, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+func (c *compiler) emit(s stepFn) { c.prog.steps = append(c.prog.steps, s) }
+
+// fetch extracts the typed slice of an operand, sized to the batch.
+func fetch[T any](p *Prog, b *vector.Batch, o operand) []T {
+	switch o.kind {
+	case oCol:
+		return vector.Data[T](b.Vecs[o.idx])[:b.N]
+	case oReg:
+		return vector.Data[T](p.regs[o.idx])[:b.N]
+	default:
+		panic("expr: fetch of constant operand")
+	}
+}
+
+func constVal[T any](o operand) T { return o.cval.(T) }
+
+// --- arithmetic ---
+
+func (c *compiler) compileBin(x *Bin) (operand, error) {
+	t, err := x.Type(c.schema)
+	if err != nil {
+		return operand{}, err
+	}
+	// Compound-primitive fusion (Section 4.2).
+	if c.opts.Fuse {
+		if op, ok, err := c.tryFuse(x, t); err != nil {
+			return operand{}, err
+		} else if ok {
+			return op, nil
+		}
+	}
+	l, err := c.compile(x.L)
+	if err != nil {
+		return operand{}, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return operand{}, err
+	}
+	if l.kind == oConst && r.kind == oConst {
+		return foldBin(x.Op, t, l, r)
+	}
+	switch t.Physical() {
+	case vector.Int32:
+		return arithT[int32](c, x.Op, t, l, r)
+	case vector.Int64:
+		return arithT[int64](c, x.Op, t, l, r)
+	case vector.Float64:
+		return arithT[float64](c, x.Op, t, l, r)
+	default:
+		return operand{}, fmt.Errorf("expr: arithmetic on %v unsupported", t)
+	}
+}
+
+func arithT[T primitives.Number](c *compiler, op BinKind, t vector.Type, l, r operand) (operand, error) {
+	dst := c.newReg(t)
+	name := fmt.Sprintf("map_%s_%s_%s_%s", opName(op), typeAbbrev(t), shape(l), shape(r))
+	width := t.Width()
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[T](p, dst, t, b.N)
+		t0 := p.tracer.Now()
+		switch {
+		case l.kind == oConst:
+			v := constVal[T](l)
+			a := fetch[T](p, b, r)
+			switch op {
+			case Add:
+				primitives.MapAddColVal(res, a, v, b.Sel)
+			case Sub:
+				primitives.MapSubValCol(res, v, a, b.Sel)
+			case Mul:
+				primitives.MapMulColVal(res, a, v, b.Sel)
+			case Div:
+				primitives.MapDivValCol(res, v, a, b.Sel)
+			}
+		case r.kind == oConst:
+			a := fetch[T](p, b, l)
+			v := constVal[T](r)
+			switch op {
+			case Add:
+				primitives.MapAddColVal(res, a, v, b.Sel)
+			case Sub:
+				primitives.MapSubColVal(res, a, v, b.Sel)
+			case Mul:
+				primitives.MapMulColVal(res, a, v, b.Sel)
+			case Div:
+				primitives.MapDivColVal(res, a, v, b.Sel)
+			}
+		default:
+			a := fetch[T](p, b, l)
+			bb := fetch[T](p, b, r)
+			switch op {
+			case Add:
+				primitives.MapAddColCol(res, a, bb, b.Sel)
+			case Sub:
+				primitives.MapSubColCol(res, a, bb, b.Sel)
+			case Mul:
+				primitives.MapMulColCol(res, a, bb, b.Sel)
+			case Div:
+				primitives.MapDivColCol(res, a, bb, b.Sel)
+			}
+		}
+		p.tracer.RecordPrimitiveSince(name, t0, b.Rows(), 3*width*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: t}, nil
+}
+
+func foldBin(op BinKind, t vector.Type, l, r operand) (operand, error) {
+	switch t.Physical() {
+	case vector.Float64:
+		a, b := l.cval.(float64), r.cval.(float64)
+		return operand{kind: oConst, cval: foldNum(op, a, b), typ: t}, nil
+	case vector.Int64:
+		a, b := l.cval.(int64), r.cval.(int64)
+		return operand{kind: oConst, cval: foldNum(op, a, b), typ: t}, nil
+	case vector.Int32:
+		a, b := l.cval.(int32), r.cval.(int32)
+		return operand{kind: oConst, cval: foldNum(op, a, b), typ: t}, nil
+	}
+	return operand{}, fmt.Errorf("expr: cannot fold %v", t)
+}
+
+func foldNum[T primitives.Number](op BinKind, a, b T) T {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+// tryFuse recognizes compound sub-trees and emits a single fused primitive:
+//
+//	mul(sub(const, col), x)  -> fused_sub_mul  ((1-discount)*extprice)
+//	mul(add(const, col), x)  -> fused_add_mul  ((1+tax)*discountprice)
+//	div(square(sub(a,b)), c) -> fused_mahalanobis
+func (c *compiler) tryFuse(x *Bin, t vector.Type) (operand, bool, error) {
+	if t.Physical() != vector.Float64 {
+		return operand{}, false, nil
+	}
+	if x.Op == Mul {
+		if inner, ok := x.L.(*Bin); ok && (inner.Op == Sub || inner.Op == Add) {
+			if cst, ok := inner.L.(*Const); ok {
+				return c.emitFusedValColCol(inner.Op, cst, inner.R, x.R)
+			}
+		}
+		if inner, ok := x.R.(*Bin); ok && (inner.Op == Sub || inner.Op == Add) {
+			if cst, ok := inner.L.(*Const); ok {
+				return c.emitFusedValColCol(inner.Op, cst, inner.R, x.L)
+			}
+		}
+	}
+	if x.Op == Div {
+		if sq, ok := x.L.(*Func); ok && sq.Kind == FuncSquare {
+			if sub, ok := sq.Args[0].(*Bin); ok && sub.Op == Sub {
+				a, err := c.compile(sub.L)
+				if err != nil {
+					return operand{}, false, err
+				}
+				bOp, err := c.compile(sub.R)
+				if err != nil {
+					return operand{}, false, err
+				}
+				cc, err := c.compile(x.R)
+				if err != nil {
+					return operand{}, false, err
+				}
+				if a.kind == oConst || bOp.kind == oConst || cc.kind == oConst {
+					return operand{}, false, nil
+				}
+				dst := c.newReg(vector.Float64)
+				c.emit(func(p *Prog, b *vector.Batch) {
+					res := regSlice[float64](p, dst, vector.Float64, b.N)
+					t0 := p.tracer.Now()
+					primitives.FusedMahalanobis(res, fetch[float64](p, b, a), fetch[float64](p, b, bOp), fetch[float64](p, b, cc), b.Sel)
+					p.tracer.RecordPrimitiveSince("fused_mahalanobis_flt", t0, b.Rows(), 4*8*b.Rows())
+				})
+				return operand{kind: oReg, idx: dst, typ: vector.Float64}, true, nil
+			}
+		}
+	}
+	return operand{}, false, nil
+}
+
+func (c *compiler) emitFusedValColCol(inner BinKind, cst *Const, colE, otherE Expr) (operand, bool, error) {
+	a, err := c.compile(colE)
+	if err != nil {
+		return operand{}, false, err
+	}
+	if a.kind == oConst {
+		return operand{}, false, nil
+	}
+	o, err := c.compile(otherE)
+	if err != nil {
+		return operand{}, false, err
+	}
+	if o.kind == oConst {
+		return operand{}, false, nil
+	}
+	v, ok := cst.Val.(float64)
+	if !ok {
+		return operand{}, false, nil
+	}
+	dst := c.newReg(vector.Float64)
+	name := "fused_sub_mul_flt_val_flt_col_flt_col"
+	if inner == Add {
+		name = "fused_add_mul_flt_val_flt_col_flt_col"
+	}
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[float64](p, dst, vector.Float64, b.N)
+		t0 := p.tracer.Now()
+		if inner == Sub {
+			primitives.FusedSubMulValColCol(res, v, fetch[float64](p, b, a), fetch[float64](p, b, o), b.Sel)
+		} else {
+			primitives.FusedAddMulValColCol(res, v, fetch[float64](p, b, a), fetch[float64](p, b, o), b.Sel)
+		}
+		p.tracer.RecordPrimitiveSince(name, t0, b.Rows(), 3*8*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: vector.Float64}, true, nil
+}
+
+// --- casts and functions ---
+
+func (c *compiler) compileCast(x *Cast) (operand, error) {
+	a, err := c.compile(x.Arg)
+	if err != nil {
+		return operand{}, err
+	}
+	if a.typ.Physical() == x.To.Physical() {
+		a.typ = x.To
+		return a, nil
+	}
+	if a.kind == oConst {
+		return operand{kind: oConst, cval: convertConst(a.cval, x.To), typ: x.To}, nil
+	}
+	dst := c.newReg(x.To)
+	name := fmt.Sprintf("map_cast_%s_%s_col", typeAbbrev(a.typ), typeAbbrev(x.To))
+	from, to := a.typ.Physical(), x.To.Physical()
+	c.emit(func(p *Prog, b *vector.Batch) {
+		t0 := p.tracer.Now()
+		castStep(p, b, dst, x.To, from, to, a)
+		p.tracer.RecordPrimitiveSince(name, t0, b.Rows(), (a.typ.Width()+x.To.Width())*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: x.To}, nil
+}
+
+func castStep(p *Prog, b *vector.Batch, dst int, logTo, from, to vector.Type, a operand) {
+	switch to {
+	case vector.Float64:
+		res := regSlice[float64](p, dst, logTo, b.N)
+		switch from {
+		case vector.Int32:
+			primitives.MapConvert(res, fetch[int32](p, b, a), b.Sel)
+		case vector.Int64:
+			primitives.MapConvert(res, fetch[int64](p, b, a), b.Sel)
+		case vector.UInt8:
+			primitives.MapConvert(res, fetch[uint8](p, b, a), b.Sel)
+		case vector.UInt16:
+			primitives.MapConvert(res, fetch[uint16](p, b, a), b.Sel)
+		}
+	case vector.Int64:
+		res := regSlice[int64](p, dst, logTo, b.N)
+		switch from {
+		case vector.Int32:
+			primitives.MapConvert(res, fetch[int32](p, b, a), b.Sel)
+		case vector.Float64:
+			primitives.MapConvert(res, fetch[float64](p, b, a), b.Sel)
+		case vector.UInt8:
+			primitives.MapConvert(res, fetch[uint8](p, b, a), b.Sel)
+		case vector.UInt16:
+			primitives.MapConvert(res, fetch[uint16](p, b, a), b.Sel)
+		}
+	case vector.Int32:
+		res := regSlice[int32](p, dst, logTo, b.N)
+		switch from {
+		case vector.Int64:
+			primitives.MapConvert(res, fetch[int64](p, b, a), b.Sel)
+		case vector.Float64:
+			primitives.MapConvert(res, fetch[float64](p, b, a), b.Sel)
+		case vector.UInt8:
+			primitives.MapConvert(res, fetch[uint8](p, b, a), b.Sel)
+		case vector.UInt16:
+			primitives.MapConvert(res, fetch[uint16](p, b, a), b.Sel)
+		}
+	}
+}
+
+func convertConst(v any, to vector.Type) any {
+	var f float64
+	switch x := v.(type) {
+	case int32:
+		f = float64(x)
+	case int64:
+		f = float64(x)
+	case float64:
+		f = x
+	case uint8:
+		f = float64(x)
+	case uint16:
+		f = float64(x)
+	}
+	switch to.Physical() {
+	case vector.Int32:
+		return int32(f)
+	case vector.Int64:
+		return int64(f)
+	default:
+		return f
+	}
+}
+
+func (c *compiler) compileFunc(x *Func) (operand, error) {
+	switch x.Kind {
+	case FuncYear:
+		a, err := c.compile(x.Args[0])
+		if err != nil {
+			return operand{}, err
+		}
+		dst := c.newReg(vector.Int32)
+		c.emit(func(p *Prog, b *vector.Batch) {
+			res := regSlice[int32](p, dst, vector.Int32, b.N)
+			days := fetch[int32](p, b, a)
+			t0 := p.tracer.Now()
+			if b.Sel != nil {
+				for _, i := range b.Sel {
+					res[i] = dateutil.Year(days[i])
+				}
+			} else {
+				for i := range res {
+					res[i] = dateutil.Year(days[i])
+				}
+			}
+			p.tracer.RecordPrimitiveSince("map_year_date_col", t0, b.Rows(), 8*b.Rows())
+		})
+		return operand{kind: oReg, idx: dst, typ: vector.Int32}, nil
+	case FuncSquare:
+		// Rewritten as x*x over a shared operand.
+		a, err := c.compile(x.Args[0])
+		if err != nil {
+			return operand{}, err
+		}
+		if a.kind == oConst {
+			f := a.cval.(float64)
+			return operand{kind: oConst, cval: f * f, typ: a.typ}, nil
+		}
+		t := a.typ
+		switch t.Physical() {
+		case vector.Float64:
+			return squareT[float64](c, t, a)
+		case vector.Int64:
+			return squareT[int64](c, t, a)
+		case vector.Int32:
+			return squareT[int32](c, t, a)
+		}
+		return operand{}, fmt.Errorf("expr: square on %v", t)
+	case FuncSubstr:
+		a, err := c.compile(x.Args[0])
+		if err != nil {
+			return operand{}, err
+		}
+		dst := c.newReg(vector.String)
+		start, length := x.Start, x.Length
+		c.emit(func(p *Prog, b *vector.Batch) {
+			res := regSlice[string](p, dst, vector.String, b.N)
+			t0 := p.tracer.Now()
+			primitives.MapSubstrCol(res, fetch[string](p, b, a), start, length, b.Sel)
+			p.tracer.RecordPrimitiveSince("map_substr_str_col", t0, b.Rows(), 32*b.Rows())
+		})
+		return operand{kind: oReg, idx: dst, typ: vector.String}, nil
+	case FuncConcat:
+		a, err := c.compile(x.Args[0])
+		if err != nil {
+			return operand{}, err
+		}
+		bOp, err := c.compile(x.Args[1])
+		if err != nil {
+			return operand{}, err
+		}
+		dst := c.newReg(vector.String)
+		c.emit(func(p *Prog, b *vector.Batch) {
+			res := regSlice[string](p, dst, vector.String, b.N)
+			t0 := p.tracer.Now()
+			primitives.MapConcatColCol(res, fetch[string](p, b, a), fetch[string](p, b, bOp), b.Sel)
+			p.tracer.RecordPrimitiveSince("map_concat_str_col_str_col", t0, b.Rows(), 48*b.Rows())
+		})
+		return operand{kind: oReg, idx: dst, typ: vector.String}, nil
+	default:
+		return operand{}, fmt.Errorf("expr: unknown function kind %d", x.Kind)
+	}
+}
+
+func squareT[T primitives.Number](c *compiler, t vector.Type, a operand) (operand, error) {
+	dst := c.newReg(t)
+	name := fmt.Sprintf("map_square_%s_col", typeAbbrev(t))
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[T](p, dst, t, b.N)
+		in := fetch[T](p, b, a)
+		t0 := p.tracer.Now()
+		primitives.MapMulColCol(res, in, in, b.Sel)
+		p.tracer.RecordPrimitiveSince(name, t0, b.Rows(), 2*t.Width()*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: t}, nil
+}
+
+// --- booleans ---
+
+func (c *compiler) compileLogic(args []Expr, isAnd bool) (operand, error) {
+	if len(args) == 0 {
+		return operand{kind: oConst, cval: isAnd, typ: vector.Bool}, nil
+	}
+	acc, err := c.compileBoolOperand(args[0])
+	if err != nil {
+		return operand{}, err
+	}
+	for _, arg := range args[1:] {
+		nxt, err := c.compileBoolOperand(arg)
+		if err != nil {
+			return operand{}, err
+		}
+		dst := c.newReg(vector.Bool)
+		a, bOp := acc, nxt
+		and := isAnd
+		c.emit(func(p *Prog, b *vector.Batch) {
+			res := regSlice[bool](p, dst, vector.Bool, b.N)
+			t0 := p.tracer.Now()
+			if and {
+				primitives.MapAndColCol(res, fetch[bool](p, b, a), fetch[bool](p, b, bOp), b.Sel)
+				p.tracer.RecordPrimitiveSince("map_and_bool_col_bool_col", t0, b.Rows(), 3*b.Rows())
+			} else {
+				primitives.MapOrColCol(res, fetch[bool](p, b, a), fetch[bool](p, b, bOp), b.Sel)
+				p.tracer.RecordPrimitiveSince("map_or_bool_col_bool_col", t0, b.Rows(), 3*b.Rows())
+			}
+		})
+		acc = operand{kind: oReg, idx: dst, typ: vector.Bool}
+	}
+	return acc, nil
+}
+
+// compileBoolOperand compiles a boolean expression, materializing constants
+// into registers so logical steps can fetch slices uniformly.
+func (c *compiler) compileBoolOperand(e Expr) (operand, error) {
+	o, err := c.compile(e)
+	if err != nil {
+		return operand{}, err
+	}
+	if o.kind != oConst {
+		return o, nil
+	}
+	dst := c.newReg(vector.Bool)
+	v := o.cval.(bool)
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[bool](p, dst, vector.Bool, b.N)
+		for i := range res {
+			res[i] = v
+		}
+	})
+	return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+}
+
+func (c *compiler) compileCmpBool(x *Cmp) (operand, error) {
+	l, err := c.compile(x.L)
+	if err != nil {
+		return operand{}, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return operand{}, err
+	}
+	if l.kind == oConst && r.kind == oConst {
+		return operand{}, fmt.Errorf("expr: constant comparison %s not supported; fold it", x)
+	}
+	// Normalize const to the right side by flipping the operator.
+	op := x.Op
+	if l.kind == oConst {
+		l, r = r, l
+		op = flipCmp(op)
+	}
+	t := l.typ
+	switch t.Physical() {
+	case vector.Int32:
+		return cmpBoolT[int32](c, op, t, l, r)
+	case vector.Int64:
+		return cmpBoolT[int64](c, op, t, l, r)
+	case vector.Float64:
+		return cmpBoolT[float64](c, op, t, l, r)
+	case vector.String:
+		return cmpBoolT[string](c, op, t, l, r)
+	case vector.UInt8:
+		return cmpBoolT[uint8](c, op, t, l, r)
+	case vector.UInt16:
+		return cmpBoolT[uint16](c, op, t, l, r)
+	case vector.Bool:
+		return c.cmpBoolBool(op, l, r)
+	default:
+		return operand{}, fmt.Errorf("expr: comparison on %v unsupported", t)
+	}
+}
+
+func flipCmp(op CmpKind) CmpKind {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+func cmpBoolT[T primitives.Ordered](c *compiler, op CmpKind, t vector.Type, l, r operand) (operand, error) {
+	dst := c.newReg(vector.Bool)
+	name := fmt.Sprintf("map_%s_%s_%s_%s", cmpName(op), typeAbbrev(t), shape(l), shape(r))
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[bool](p, dst, vector.Bool, b.N)
+		a := fetch[T](p, b, l)
+		t0 := p.tracer.Now()
+		if r.kind == oConst {
+			v := constVal[T](r)
+			switch op {
+			case LT:
+				primitives.MapLTColValBool(res, a, v, b.Sel)
+			case LE:
+				primitives.MapLEColValBool(res, a, v, b.Sel)
+			case GT:
+				primitives.MapGTColValBool(res, a, v, b.Sel)
+			case GE:
+				primitives.MapGEColValBool(res, a, v, b.Sel)
+			case EQ:
+				primitives.MapEQColValBool(res, a, v, b.Sel)
+			case NE:
+				primitives.MapNEColValBool(res, a, v, b.Sel)
+			}
+		} else {
+			bb := fetch[T](p, b, r)
+			switch op {
+			case LT:
+				primitives.MapLTColColBool(res, a, bb, b.Sel)
+			case LE:
+				primitives.MapLEColColBool(res, a, bb, b.Sel)
+			case GT:
+				primitives.MapGTColColBool(res, a, bb, b.Sel)
+			case GE:
+				primitives.MapGEColColBool(res, a, bb, b.Sel)
+			case EQ:
+				primitives.MapEQColColBool(res, a, bb, b.Sel)
+			case NE:
+				primitives.MapNEColColBool(res, a, bb, b.Sel)
+			}
+		}
+		p.tracer.RecordPrimitiveSince(name, t0, b.Rows(), (2*t.Width()+1)*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+}
+
+func (c *compiler) cmpBoolBool(op CmpKind, l, r operand) (operand, error) {
+	if op != EQ && op != NE {
+		return operand{}, fmt.Errorf("expr: bool comparison only supports =/!=")
+	}
+	dst := c.newReg(vector.Bool)
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[bool](p, dst, vector.Bool, b.N)
+		a := fetch[bool](p, b, l)
+		if r.kind == oConst {
+			v := constVal[bool](r)
+			if op == EQ {
+				primitives.MapEQColValBool(res, a, v, b.Sel)
+			} else {
+				primitives.MapNEColValBool(res, a, v, b.Sel)
+			}
+			return
+		}
+		bb := fetch[bool](p, b, r)
+		if op == EQ {
+			primitives.MapEQColColBool(res, a, bb, b.Sel)
+		} else {
+			primitives.MapNEColColBool(res, a, bb, b.Sel)
+		}
+	})
+	return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+}
+
+func (c *compiler) compileLike(x *Like) (operand, error) {
+	a, err := c.compile(x.Arg)
+	if err != nil {
+		return operand{}, err
+	}
+	dst := c.newReg(vector.Bool)
+	m := primitives.CompileLike(x.Pattern)
+	neg := x.Negate
+	c.emit(func(p *Prog, b *vector.Batch) {
+		res := regSlice[bool](p, dst, vector.Bool, b.N)
+		in := fetch[string](p, b, a)
+		t0 := p.tracer.Now()
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				res[i] = m.Match(in[i]) != neg
+			}
+		} else {
+			for i := range res {
+				res[i] = m.Match(in[i]) != neg
+			}
+		}
+		p.tracer.RecordPrimitiveSince("map_like_str_col", t0, b.Rows(), 24*b.Rows())
+	})
+	return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+}
+
+func (c *compiler) compileIn(x *In) (operand, error) {
+	a, err := c.compile(x.Arg)
+	if err != nil {
+		return operand{}, err
+	}
+	dst := c.newReg(vector.Bool)
+	t := a.typ
+	switch t.Physical() {
+	case vector.String:
+		set := make(map[string]struct{}, len(x.List))
+		for _, cst := range x.List {
+			set[cst.Val.(string)] = struct{}{}
+		}
+		c.emit(inStep[string](dst, a, set))
+	case vector.Int32:
+		set := make(map[int32]struct{}, len(x.List))
+		for _, cst := range x.List {
+			set[cst.Val.(int32)] = struct{}{}
+		}
+		c.emit(inStep[int32](dst, a, set))
+	case vector.Int64:
+		set := make(map[int64]struct{}, len(x.List))
+		for _, cst := range x.List {
+			set[cst.Val.(int64)] = struct{}{}
+		}
+		c.emit(inStep[int64](dst, a, set))
+	default:
+		return operand{}, fmt.Errorf("expr: in-list on %v unsupported", t)
+	}
+	return operand{kind: oReg, idx: dst, typ: vector.Bool}, nil
+}
+
+func inStep[T comparable](dst int, a operand, set map[T]struct{}) stepFn {
+	return func(p *Prog, b *vector.Batch) {
+		res := regSlice[bool](p, dst, vector.Bool, b.N)
+		in := fetch[T](p, b, a)
+		t0 := p.tracer.Now()
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				_, res[i] = set[in[i]]
+			}
+		} else {
+			for i := range res {
+				_, res[i] = set[in[i]]
+			}
+		}
+		p.tracer.RecordPrimitiveSince("map_in_col", t0, b.Rows(), 16*b.Rows())
+	}
+}
+
+func (c *compiler) compileCase(x *Case) (operand, error) {
+	cond, err := c.compileBoolOperand(x.Cond)
+	if err != nil {
+		return operand{}, err
+	}
+	thenO, err := c.materialize(x.Then)
+	if err != nil {
+		return operand{}, err
+	}
+	elseO, err := c.materialize(x.Else)
+	if err != nil {
+		return operand{}, err
+	}
+	t := thenO.typ
+	dst := c.newReg(t)
+	switch t.Physical() {
+	case vector.Float64:
+		c.emit(caseStep[float64](dst, t, cond, thenO, elseO))
+	case vector.Int64:
+		c.emit(caseStep[int64](dst, t, cond, thenO, elseO))
+	case vector.Int32:
+		c.emit(caseStep[int32](dst, t, cond, thenO, elseO))
+	case vector.String:
+		c.emit(caseStep[string](dst, t, cond, thenO, elseO))
+	default:
+		return operand{}, fmt.Errorf("expr: case of %v unsupported", t)
+	}
+	return operand{kind: oReg, idx: dst, typ: t}, nil
+}
+
+// materialize compiles e and, if constant, copies it into a register so
+// MapSelectColBool can fetch it.
+func (c *compiler) materialize(e Expr) (operand, error) {
+	o, err := c.compile(e)
+	if err != nil {
+		return operand{}, err
+	}
+	if o.kind != oConst {
+		return o, nil
+	}
+	dst := c.newReg(o.typ)
+	val := o.cval
+	t := o.typ
+	c.emit(func(p *Prog, b *vector.Batch) {
+		r := p.ensureReg(dst, t, b.N)
+		fillConst(r, val, b)
+	})
+	return operand{kind: oReg, idx: dst, typ: o.typ}, nil
+}
+
+func caseStep[T any](dst int, t vector.Type, cond, thenO, elseO operand) stepFn {
+	return func(p *Prog, b *vector.Batch) {
+		res := regSlice[T](p, dst, t, b.N)
+		t0 := p.tracer.Now()
+		primitives.MapSelectColBool(res, fetch[bool](p, b, cond), fetch[T](p, b, thenO), fetch[T](p, b, elseO), b.Sel)
+		p.tracer.RecordPrimitiveSince("map_case_bool_col", t0, b.Rows(), (3*t.Width()+1)*b.Rows())
+	}
+}
+
+// --- naming helpers (paper-style primitive names) ---
+
+func typeAbbrev(t vector.Type) string {
+	switch t.Physical() {
+	case vector.Float64:
+		return "flt"
+	case vector.Int64:
+		return "lng"
+	case vector.Int32:
+		return "sint"
+	case vector.UInt8:
+		return "uchr"
+	case vector.UInt16:
+		return "usht"
+	case vector.String:
+		return "str"
+	case vector.Bool:
+		return "bit"
+	default:
+		return t.String()
+	}
+}
+
+func opName(op BinKind) string {
+	switch op {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Mul:
+		return "mul"
+	default:
+		return "div"
+	}
+}
+
+func cmpName(op CmpKind) string {
+	switch op {
+	case LT:
+		return "lt"
+	case LE:
+		return "le"
+	case GT:
+		return "gt"
+	case GE:
+		return "ge"
+	case EQ:
+		return "eq"
+	default:
+		return "ne"
+	}
+}
+
+func shape(o operand) string {
+	if o.kind == oConst {
+		return "val"
+	}
+	return "col"
+}

@@ -1,0 +1,271 @@
+package expr
+
+import (
+	"fmt"
+
+	"x100/internal/dateutil"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// Scalar is a bound scalar evaluator: it computes the expression for one
+// row of boxed values. It is the reference implementation the vectorized
+// compiler is differentially tested against, and the building block of the
+// column-at-a-time MIL evaluator's per-value path.
+type Scalar func(row []any) any
+
+// Bind resolves column references against a schema and returns a scalar
+// evaluator closure tree (one dynamic call per node per row — deliberately
+// the "interpreted" architecture of Section 3.1).
+func Bind(e Expr, schema vector.Schema) (Scalar, vector.Type, error) {
+	t, err := e.Type(schema)
+	if err != nil {
+		return nil, vector.Unknown, err
+	}
+	s, err := bind(e, schema)
+	if err != nil {
+		return nil, vector.Unknown, err
+	}
+	return s, t, nil
+}
+
+func bind(e Expr, schema vector.Schema) (Scalar, error) {
+	switch x := e.(type) {
+	case *Col:
+		i := schema.ColIndex(x.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: unknown column %q", x.Name)
+		}
+		return func(row []any) any { return row[i] }, nil
+	case *Const:
+		v := x.Val
+		return func([]any) any { return v }, nil
+	case *Bin:
+		t, err := x.Type(schema)
+		if err != nil {
+			return nil, err
+		}
+		l, err := bind(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		switch t.Physical() {
+		case vector.Float64:
+			return func(row []any) any { return foldNum(op, l(row).(float64), r(row).(float64)) }, nil
+		case vector.Int64:
+			return func(row []any) any { return foldNum(op, l(row).(int64), r(row).(int64)) }, nil
+		case vector.Int32:
+			return func(row []any) any { return foldNum(op, l(row).(int32), r(row).(int32)) }, nil
+		}
+		return nil, fmt.Errorf("expr: arithmetic on %v", t)
+	case *Cmp:
+		lt, err := x.L.Type(schema)
+		if err != nil {
+			return nil, err
+		}
+		l, err := bind(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		switch lt.Physical() {
+		case vector.Float64:
+			return func(row []any) any { return cmpOrd(op, l(row).(float64), r(row).(float64)) }, nil
+		case vector.Int64:
+			return func(row []any) any { return cmpOrd(op, l(row).(int64), r(row).(int64)) }, nil
+		case vector.Int32:
+			return func(row []any) any { return cmpOrd(op, l(row).(int32), r(row).(int32)) }, nil
+		case vector.String:
+			return func(row []any) any { return cmpOrd(op, l(row).(string), r(row).(string)) }, nil
+		case vector.UInt8:
+			return func(row []any) any { return cmpOrd(op, l(row).(uint8), r(row).(uint8)) }, nil
+		case vector.UInt16:
+			return func(row []any) any { return cmpOrd(op, l(row).(uint16), r(row).(uint16)) }, nil
+		case vector.Bool:
+			if op == EQ {
+				return func(row []any) any { return l(row).(bool) == r(row).(bool) }, nil
+			}
+			return func(row []any) any { return l(row).(bool) != r(row).(bool) }, nil
+		}
+		return nil, fmt.Errorf("expr: comparison on %v", lt)
+	case *And:
+		args, err := bindAll(x.Args, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any {
+			for _, a := range args {
+				if !a(row).(bool) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *Or:
+		args, err := bindAll(x.Args, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any {
+			for _, a := range args {
+				if a(row).(bool) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case *Not:
+		a, err := bind(x.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any { return !a(row).(bool) }, nil
+	case *Cast:
+		a, err := bind(x.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		to := x.To
+		return func(row []any) any { return convertConst(a(row), to) }, nil
+	case *Like:
+		a, err := bind(x.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		m := primitives.CompileLike(x.Pattern)
+		neg := x.Negate
+		return func(row []any) any { return m.Match(a(row).(string)) != neg }, nil
+	case *In:
+		a, err := bind(x.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[any]struct{}, len(x.List))
+		for _, c := range x.List {
+			set[c.Val] = struct{}{}
+		}
+		return func(row []any) any {
+			_, ok := set[a(row)]
+			return ok
+		}, nil
+	case *Case:
+		cond, err := bind(x.Cond, schema)
+		if err != nil {
+			return nil, err
+		}
+		th, err := bind(x.Then, schema)
+		if err != nil {
+			return nil, err
+		}
+		el, err := bind(x.Else, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any {
+			if cond(row).(bool) {
+				return th(row)
+			}
+			return el(row)
+		}, nil
+	case *Func:
+		switch x.Kind {
+		case FuncYear:
+			a, err := bind(x.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			return func(row []any) any { return dateutil.Year(a(row).(int32)) }, nil
+		case FuncSquare:
+			t, err := x.Args[0].Type(schema)
+			if err != nil {
+				return nil, err
+			}
+			a, err := bind(x.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			switch t.Physical() {
+			case vector.Float64:
+				return func(row []any) any { v := a(row).(float64); return v * v }, nil
+			case vector.Int64:
+				return func(row []any) any { v := a(row).(int64); return v * v }, nil
+			case vector.Int32:
+				return func(row []any) any { v := a(row).(int32); return v * v }, nil
+			}
+			return nil, fmt.Errorf("expr: square on %v", t)
+		case FuncSubstr:
+			a, err := bind(x.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			start, length := x.Start, x.Length
+			return func(row []any) any { return substrEval(a(row).(string), start, length) }, nil
+		case FuncConcat:
+			a, err := bind(x.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			b, err := bind(x.Args[1], schema)
+			if err != nil {
+				return nil, err
+			}
+			return func(row []any) any { return a(row).(string) + b(row).(string) }, nil
+		}
+		return nil, fmt.Errorf("expr: unknown function kind %d", x.Kind)
+	default:
+		return nil, fmt.Errorf("expr: cannot bind %T", e)
+	}
+}
+
+func bindAll(es []Expr, schema vector.Schema) ([]Scalar, error) {
+	out := make([]Scalar, len(es))
+	for i, e := range es {
+		s, err := bind(e, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func cmpOrd[T primitives.Ordered](op CmpKind, a, b T) bool {
+	switch op {
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	case EQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+func substrEval(s string, start, length int) string {
+	lo := start - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > len(s) {
+		lo = len(s)
+	}
+	hi := lo + length
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

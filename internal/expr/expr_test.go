@@ -1,0 +1,265 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"x100/internal/vector"
+)
+
+// testBatch builds a batch with float, int, string and date columns.
+func testBatch(f []float64, g []float64, s []string, d []int32) *vector.Batch {
+	n := len(f)
+	return &vector.Batch{
+		Schema: vector.Schema{
+			{Name: "f", Type: vector.Float64},
+			{Name: "g", Type: vector.Float64},
+			{Name: "s", Type: vector.String},
+			{Name: "d", Type: vector.Date},
+		},
+		Vecs: []*vector.Vector{
+			vector.FromFloat64s(f), vector.FromFloat64s(g),
+			vector.FromStrings(s), vector.FromDates(d),
+		},
+		N: n,
+	}
+}
+
+var testSchema = vector.Schema{
+	{Name: "f", Type: vector.Float64},
+	{Name: "g", Type: vector.Float64},
+	{Name: "s", Type: vector.String},
+	{Name: "d", Type: vector.Date},
+}
+
+// compiledEqualsScalar checks that the vectorized program and the scalar
+// interpreter agree on an expression for arbitrary inputs.
+func compiledEqualsScalar(t *testing.T, e Expr, fuse bool) {
+	t.Helper()
+	prog, err := Compile(e, testSchema, Options{Fuse: fuse})
+	if err != nil {
+		t.Fatalf("compile %s: %v", e, err)
+	}
+	scalar, _, err := Bind(e, testSchema)
+	if err != nil {
+		t.Fatalf("bind %s: %v", e, err)
+	}
+	check := func(f, g []float64, s []string, d []int32) bool {
+		n := min(len(f), len(g), len(s), len(d))
+		if n == 0 {
+			return true
+		}
+		b := testBatch(f[:n], g[:n], s[:n], d[:n])
+		out := prog.Run(b)
+		for i := 0; i < n; i++ {
+			want := scalar(b.Row(i))
+			got := out.Value(i)
+			if wf, ok := want.(float64); ok {
+				gf := got.(float64)
+				if wf != gf && !(math.IsNaN(wf) && math.IsNaN(gf)) {
+					return false
+				}
+				continue
+			}
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatalf("%s (fuse=%v): %v", e, fuse, err)
+	}
+}
+
+func TestCompileMatchesScalar(t *testing.T) {
+	exprs := []Expr{
+		AddE(C("f"), C("g")),
+		SubE(C("f"), Float(1.5)),
+		MulE(SubE(Float(1), C("f")), C("g")),               // fusion pattern
+		MulE(AddE(Float(1), C("f")), C("g")),               // fusion pattern
+		MulE(C("g"), SubE(Float(1), C("f"))),               // flipped fusion
+		DivE(SquareE(SubE(C("f"), C("g"))), C("g")),        // Mahalanobis
+		AddE(MulE(C("f"), C("g")), DivE(C("f"), Float(2))), // nested
+		LTE(C("f"), C("g")),
+		GEE(C("f"), Float(0.5)),
+		EQE(C("s"), Str("abc")),
+		AndE(LTE(C("f"), Float(0.7)), GTE(C("g"), Float(0.2))),
+		OrE(LTE(C("f"), Float(0.1)), GTE(C("g"), Float(0.9))),
+		NotE(LEE(C("f"), C("g"))),
+		CaseE(LTE(C("f"), C("g")), C("f"), C("g")),
+		LikeE(C("s"), "%a%"),
+		NotLikeE(C("s"), "a%"),
+		InE(C("s"), Str("x"), Str("abc")),
+		SubstrE(C("s"), 1, 2),
+		ConcatE(C("s"), C("s")),
+		YearE(C("d")),
+		CastE(vector.Int64, C("d")),
+		CastE(vector.Float64, C("d")),
+	}
+	for _, e := range exprs {
+		compiledEqualsScalar(t, e, true)
+		compiledEqualsScalar(t, e, false)
+	}
+}
+
+func TestCompileRespectsSelectionVector(t *testing.T) {
+	e := MulE(C("f"), Float(2))
+	prog, err := Compile(e, testSchema, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch([]float64{1, 2, 3}, []float64{0, 0, 0}, []string{"", "", ""}, []int32{0, 0, 0})
+	b.Sel = []int32{0, 2}
+	out := prog.Run(b)
+	v := out.Float64s()
+	if v[0] != 2 || v[2] != 6 {
+		t.Fatalf("selected positions wrong: %v", v)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	e := MulE(AddE(Float(2), Float(3)), C("f"))
+	prog, err := Compile(e, testSchema, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch([]float64{2}, []float64{0}, []string{""}, []int32{0})
+	if got := prog.Run(b).Float64s()[0]; got != 10 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	bad := []Expr{
+		AddE(C("f"), C("s")),                       // float + string
+		AddE(C("f"), Int(1)),                       // float + int64 (no implicit cast)
+		LTE(C("f"), C("s")),                        // mixed comparison
+		AndE(C("f")),                               // non-bool conjunct
+		LikeE(C("f"), "%x"),                        // like on float
+		CaseE(C("f"), C("f"), C("f")),              // non-bool condition
+		CaseE(LTE(C("f"), C("g")), C("f"), C("s")), // branch type mismatch
+		YearE(C("s")),                              // year of string
+		CastE(vector.String, C("f")),               // cast to string
+	}
+	for _, e := range bad {
+		if _, err := e.Type(testSchema); err == nil {
+			t.Errorf("%s: expected type error", e)
+		}
+	}
+	if _, err := C("nope").Type(testSchema); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestPredConjunctionChain(t *testing.T) {
+	pred, err := CompilePred(
+		AndE(GEE(C("f"), Float(0.25)), LTE(C("f"), Float(0.75)), GTE(C("g"), Float(0.5))),
+		testSchema, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []float64{0.1, 0.3, 0.5, 0.9, 0.6}
+	g := []float64{0.9, 0.9, 0.2, 0.9, 0.8}
+	b := testBatch(f, g, make([]string, 5), make([]int32, 5))
+	sel := pred.Select(b)
+	// f in [0.25,0.75) and g > 0.5: rows 1 and 4.
+	if len(sel) != 2 || sel[0] != 1 || sel[1] != 4 {
+		t.Fatalf("sel=%v", sel)
+	}
+}
+
+func TestPredWithIncomingSelection(t *testing.T) {
+	pred, err := CompilePred(GTE(C("f"), Float(0.0)), testSchema, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch([]float64{1, -1, 1, 1}, make([]float64, 4), make([]string, 4), make([]int32, 4))
+	b.Sel = []int32{1, 2}
+	sel := pred.Select(b)
+	if len(sel) != 1 || sel[0] != 2 {
+		t.Fatalf("sel=%v", sel)
+	}
+}
+
+func TestPredFallbackBoolPath(t *testing.T) {
+	// OR predicates take the boolean-program + select_bit_col path.
+	pred, err := CompilePred(
+		OrE(LTE(C("f"), Float(0.2)), GTE(C("f"), Float(0.8))),
+		testSchema, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBatch([]float64{0.1, 0.5, 0.9}, make([]float64, 3), make([]string, 3), make([]int32, 3))
+	sel := pred.Select(b)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 2 {
+		t.Fatalf("sel=%v", sel)
+	}
+}
+
+func TestPredMatchesScalar(t *testing.T) {
+	preds := []Expr{
+		LTE(C("f"), Float(0.5)),
+		AndE(GTE(C("f"), C("g")), NEE(C("s"), Str(""))),
+		OrE(EQE(C("s"), Str("a")), LTE(C("f"), Float(0.25))),
+		InE(C("s"), Str("a"), Str("b")),
+	}
+	for _, p := range preds {
+		pred, err := CompilePred(p, testSchema, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, _, err := Bind(p, testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(f, g []float64, s []string) bool {
+			n := min(len(f), len(g), len(s))
+			if n == 0 {
+				return true
+			}
+			b := testBatch(f[:n], g[:n], s[:n], make([]int32, n))
+			sel := pred.Select(b)
+			var want []int32
+			for i := 0; i < n; i++ {
+				if scalar(b.Row(i)).(bool) {
+					want = append(want, int32(i))
+				}
+			}
+			if len(sel) != len(want) {
+				return false
+			}
+			for i := range want {
+				if sel[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := AndE(LTE(C("f"), C("g")), LikeE(C("s"), "%x"), CaseE(GTE(C("f"), Float(0)), YearE(C("d")), CastE(vector.Int32, C("g"))))
+	cols := Columns(e, nil)
+	seen := map[string]bool{}
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for _, want := range []string{"f", "g", "s", "d"} {
+		if !seen[want] {
+			t.Errorf("missing column %s in %v", want, cols)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := MulE(SubE(Float(1), C("disc")), C("price"))
+	if e.String() != "*(-(float64(1), disc), price)" {
+		t.Fatalf("got %q", e.String())
+	}
+}

@@ -1,0 +1,290 @@
+package expr
+
+import (
+	"fmt"
+
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// Pred is a compiled predicate: it maps a batch (with an optional incoming
+// selection vector) to an outgoing selection vector of qualifying positions.
+//
+// A conjunctive predicate compiles to a chain of select_* primitives, each
+// shrinking the candidate list — the X100 Select operator "creates a
+// selection-vector, filled with positions of tuples that match our
+// predicate" (Section 4.1.1). Conjuncts that are not simple column/constant
+// comparisons fall back to a boolean-vector program followed by
+// select_bit_col.
+type Pred struct {
+	steps []selStep
+	bufA  []int32
+}
+
+type selStep func(b *vector.Batch, sel []int32) []int32
+
+// CompilePred builds a predicate program for a boolean expression e.
+func CompilePred(e Expr, schema vector.Schema, opts Options) (*Pred, error) {
+	t, err := e.Type(schema)
+	if err != nil {
+		return nil, err
+	}
+	if t != vector.Bool {
+		return nil, fmt.Errorf("expr: predicate %s has type %v, want bool", e, t)
+	}
+	pr := &Pred{}
+	conjuncts := flattenAnd(e, nil)
+	for _, cj := range conjuncts {
+		step, err := compileConjunct(cj, schema, opts)
+		if err != nil {
+			return nil, err
+		}
+		pr.steps = append(pr.steps, step)
+	}
+	return pr, nil
+}
+
+func flattenAnd(e Expr, dst []Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		for _, arg := range a.Args {
+			dst = flattenAnd(arg, dst)
+		}
+		return dst
+	}
+	return append(dst, e)
+}
+
+// Select evaluates the predicate over b and returns the selection vector of
+// qualifying positions. The returned slice is owned by the Pred and valid
+// until the next Select call.
+func (pr *Pred) Select(b *vector.Batch) []int32 {
+	if cap(pr.bufA) < b.N {
+		pr.bufA = make([]int32, b.N)
+	}
+	sel := b.Sel
+	for _, step := range pr.steps {
+		sel = step(b, sel)
+		if len(sel) == 0 {
+			return sel
+		}
+	}
+	if sel == nil {
+		// Degenerate: empty conjunct list (constant true).
+		sel = pr.bufA[:b.N]
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+	}
+	return sel
+}
+
+func compileConjunct(e Expr, schema vector.Schema, opts Options) (selStep, error) {
+	if cmp, ok := e.(*Cmp); ok {
+		if step, ok, err := trySelectPrimitive(cmp, schema, opts); err != nil {
+			return nil, err
+		} else if ok {
+			return step, nil
+		}
+	}
+	// Fallback: boolean program + select_bit_col.
+	prog, err := Compile(e, schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapBoolStep(prog, opts), nil
+}
+
+// trySelectPrimitive recognizes col-vs-const and col-vs-col comparisons on
+// raw batch columns and emits a direct select primitive.
+func trySelectPrimitive(cmp *Cmp, schema vector.Schema, opts Options) (selStep, bool, error) {
+	lc, lok := cmp.L.(*Col)
+	rc, rok := cmp.R.(*Col)
+	lv, lconst := cmp.L.(*Const)
+	rv, rconst := cmp.R.(*Const)
+	op := cmp.Op
+
+	switch {
+	case lok && rconst:
+		return selColVal(op, schema, lc.Name, rv, opts)
+	case rok && lconst:
+		return selColVal(flipCmp(op), schema, rc.Name, lv, opts)
+	case lok && rok:
+		return selColCol(op, schema, lc.Name, rc.Name, opts)
+	default:
+		return nil, false, nil
+	}
+}
+
+func selColVal(op CmpKind, schema vector.Schema, col string, cst *Const, opts Options) (selStep, bool, error) {
+	ci := schema.ColIndex(col)
+	if ci < 0 {
+		return nil, false, fmt.Errorf("expr: unknown column %q", col)
+	}
+	t := schema[ci].Type
+	if t.Physical() != cst.Typ.Physical() {
+		return nil, false, fmt.Errorf("expr: comparison of %v column %s with %v literal", t, col, cst.Typ)
+	}
+	name := fmt.Sprintf("select_%s_%s_col_%s_val", cmpName(op), typeAbbrev(t), typeAbbrev(t))
+	switch t.Physical() {
+	case vector.Int32:
+		return selColValT[int32](op, ci, cst.Val.(int32), name, opts), true, nil
+	case vector.Int64:
+		return selColValT[int64](op, ci, cst.Val.(int64), name, opts), true, nil
+	case vector.Float64:
+		return selColValT[float64](op, ci, cst.Val.(float64), name, opts), true, nil
+	case vector.String:
+		return selColValT[string](op, ci, cst.Val.(string), name, opts), true, nil
+	case vector.UInt8:
+		return selColValT[uint8](op, ci, cst.Val.(uint8), name, opts), true, nil
+	case vector.UInt16:
+		return selColValT[uint16](op, ci, cst.Val.(uint16), name, opts), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// selBuf is a per-step scratch selection buffer. Each step owns one and
+// grows it to the batch size on demand; select primitives may safely write
+// in place over their input, but distinct buffers keep the incoming
+// operator-owned selection vector intact.
+type selBuf struct{ buf []int32 }
+
+func (s *selBuf) get(n int) []int32 {
+	if cap(s.buf) < n {
+		s.buf = make([]int32, n)
+	}
+	return s.buf[:n]
+}
+
+func selColValT[T primitives.Ordered](op CmpKind, ci int, v T, name string, opts Options) selStep {
+	buf := &selBuf{}
+	tr := opts.Tracer
+	return func(b *vector.Batch, sel []int32) []int32 {
+		res := buf.get(b.N)
+		in := vector.Data[T](b.Vecs[ci])[:b.N]
+		nin := b.N
+		if sel != nil {
+			nin = len(sel)
+		}
+		t0 := tr.Now()
+		var k int
+		switch op {
+		case LT:
+			k = primitives.SelectLTColVal(res, in, v, sel)
+		case LE:
+			k = primitives.SelectLEColVal(res, in, v, sel)
+		case GT:
+			k = primitives.SelectGTColVal(res, in, v, sel)
+		case GE:
+			k = primitives.SelectGEColVal(res, in, v, sel)
+		case EQ:
+			k = primitives.SelectEQColVal(res, in, v, sel)
+		default:
+			k = primitives.SelectNEColVal(res, in, v, sel)
+		}
+		tr.RecordPrimitiveSince(name, t0, nin, nin*int(unsafeWidth[T]())+4*k)
+		return res[:k]
+	}
+}
+
+func selColCol(op CmpKind, schema vector.Schema, colL, colR string, opts Options) (selStep, bool, error) {
+	li := schema.ColIndex(colL)
+	ri := schema.ColIndex(colR)
+	if li < 0 || ri < 0 {
+		return nil, false, fmt.Errorf("expr: unknown column %q or %q", colL, colR)
+	}
+	t := schema[li].Type
+	if t.Physical() != schema[ri].Type.Physical() {
+		return nil, false, fmt.Errorf("expr: comparison of %v with %v", t, schema[ri].Type)
+	}
+	name := fmt.Sprintf("select_%s_%s_col_%s_col", cmpName(op), typeAbbrev(t), typeAbbrev(t))
+	switch t.Physical() {
+	case vector.Int32:
+		return selColColT[int32](op, li, ri, name, opts), true, nil
+	case vector.Int64:
+		return selColColT[int64](op, li, ri, name, opts), true, nil
+	case vector.Float64:
+		return selColColT[float64](op, li, ri, name, opts), true, nil
+	case vector.String:
+		return selColColT[string](op, li, ri, name, opts), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func selColColT[T primitives.Ordered](op CmpKind, li, ri int, name string, opts Options) selStep {
+	buf := &selBuf{}
+	tr := opts.Tracer
+	return func(b *vector.Batch, sel []int32) []int32 {
+		res := buf.get(b.N)
+		a := vector.Data[T](b.Vecs[li])[:b.N]
+		bb := vector.Data[T](b.Vecs[ri])[:b.N]
+		nin := b.N
+		if sel != nil {
+			nin = len(sel)
+		}
+		t0 := tr.Now()
+		var k int
+		switch op {
+		case LT:
+			k = primitives.SelectLTColCol(res, a, bb, sel)
+		case LE:
+			k = primitives.SelectLEColCol(res, a, bb, sel)
+		case GT:
+			k = primitives.SelectGTColCol(res, a, bb, sel)
+		case GE:
+			k = primitives.SelectGEColCol(res, a, bb, sel)
+		case EQ:
+			k = primitives.SelectEQColCol(res, a, bb, sel)
+		default:
+			k = primitives.SelectNEColCol(res, a, bb, sel)
+		}
+		tr.RecordPrimitiveSince(name, t0, nin, nin*2*int(unsafeWidth[T]())+4*k)
+		return res[:k]
+	}
+}
+
+// wrapBoolStep runs a boolean program over the current candidates and
+// selects the true positions.
+func wrapBoolStep(prog *Prog, opts Options) selStep {
+	buf := &selBuf{}
+	tr := opts.Tracer
+	return func(b *vector.Batch, sel []int32) []int32 {
+		// Temporarily narrow the batch selection so the program only
+		// evaluates live candidates.
+		saved := b.Sel
+		b.Sel = sel
+		v := prog.Run(b)
+		b.Sel = saved
+		res := buf.get(b.N)
+		bools := vector.Data[bool](v)
+		nin := b.N
+		if sel != nil {
+			nin = len(sel)
+		}
+		t0 := tr.Now()
+		k := primitives.SelectBoolCol(res, bools, sel)
+		tr.RecordPrimitiveSince("select_bit_col", t0, nin, nin+4*k)
+		return res[:k]
+	}
+}
+
+// unsafeWidth reports the byte width of T for bandwidth accounting (strings
+// count their header).
+func unsafeWidth[T any]() uintptr {
+	var z T
+	switch any(z).(type) {
+	case uint8:
+		return 1
+	case uint16:
+		return 2
+	case int32:
+		return 4
+	case int64, float64:
+		return 8
+	case string:
+		return 16
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,265 @@
+package mil
+
+import (
+	"fmt"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// evalAggr implements grouped aggregation column-at-a-time: a group()
+// statement assigns dense group ids to all rows at once, then one
+// {sum}/{count}/... statement per aggregate folds a full column.
+func (e *Engine) evalAggr(n *algebra.Aggr) (*rel, error) {
+	in, err := e.eval(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate group key columns.
+	keys := make([]*vector.Vector, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		v, _, err := e.evalExpr(in, g.E)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	gids, reps, nGroups, err := e.groupIDs(in.n, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &rel{n: nGroups}
+	for i, g := range n.GroupBy {
+		gathered := vector.New(keys[i].Typ, nGroups)
+		gathered.Gather(keys[i], reps)
+		gathered.Typ = keys[i].Typ
+		out.schema = append(out.schema, vector.Field{Name: g.Alias, Type: keys[i].Typ})
+		out.cols = append(out.cols, gathered)
+	}
+
+	rowCount := make([]int64, nGroups)
+	primitives.AggrCount(rowCount, gids, nil, in.n)
+	for _, a := range n.Aggs {
+		v, t, err := e.evalAggOne(in, a, gids, nGroups, rowCount)
+		if err != nil {
+			return nil, err
+		}
+		out.schema = append(out.schema, vector.Field{Name: a.Alias, Type: t})
+		out.cols = append(out.cols, v)
+	}
+	return out, nil
+}
+
+// groupIDs assigns dense group ids over full columns; with no keys it is
+// scalar aggregation (a single group, even for empty input).
+func (e *Engine) groupIDs(n int, keys []*vector.Vector) ([]int32, []int32, int, error) {
+	gids := make([]int32, n)
+	if len(keys) == 0 {
+		return gids, []int32{0}, 1, nil
+	}
+	t0 := time.Now()
+	hashes := make([]uint64, n)
+	var keyBytes int64
+	for i, k := range keys {
+		if err := hashFullVector(hashes, k, i == 0); err != nil {
+			return nil, nil, 0, err
+		}
+		keyBytes += int64(k.Bytes())
+	}
+	table := make(map[uint64][]int32, 1024)
+	var reps []int32
+	for i := 0; i < n; i++ {
+		h := hashes[i]
+		found := int32(-1)
+		for _, g := range table[h] {
+			if rowsEqual(keys, int(reps[g]), i) {
+				found = g
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(reps))
+			reps = append(reps, int32(i))
+			table[h] = append(table[h], found)
+		}
+		gids[i] = found
+	}
+	e.Trace.record(fmt.Sprintf("%s := group(keys)", e.Trace.name("s")),
+		keyBytes, int64(4*n), n, time.Since(t0))
+	return gids, reps, len(reps), nil
+}
+
+func rowsEqual(keys []*vector.Vector, i, j int) bool {
+	for _, k := range keys {
+		if compareAt(k, i, j) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashFullVector(hashes []uint64, v *vector.Vector, first bool) error {
+	switch v.Typ.Physical() {
+	case vector.Int32:
+		if first {
+			primitives.HashInt(hashes, v.Int32s(), nil)
+		} else {
+			primitives.HashCombineInt(hashes, v.Int32s(), nil)
+		}
+	case vector.Int64:
+		if first {
+			primitives.HashInt(hashes, v.Int64s(), nil)
+		} else {
+			primitives.HashCombineInt(hashes, v.Int64s(), nil)
+		}
+	case vector.UInt8:
+		if first {
+			primitives.HashInt(hashes, v.UInt8s(), nil)
+		} else {
+			primitives.HashCombineInt(hashes, v.UInt8s(), nil)
+		}
+	case vector.UInt16:
+		if first {
+			primitives.HashInt(hashes, v.UInt16s(), nil)
+		} else {
+			primitives.HashCombineInt(hashes, v.UInt16s(), nil)
+		}
+	case vector.Float64:
+		if first {
+			primitives.HashFloat64(hashes, v.Float64s(), nil)
+		} else {
+			primitives.HashCombineFloat64(hashes, v.Float64s(), nil)
+		}
+	case vector.String:
+		if first {
+			primitives.HashString(hashes, v.Strings(), nil)
+		} else {
+			primitives.HashCombineString(hashes, v.Strings(), nil)
+		}
+	case vector.Bool:
+		if first {
+			primitives.HashBool(hashes, v.Bools(), nil)
+		} else {
+			primitives.HashCombineBool(hashes, v.Bools(), nil)
+		}
+	default:
+		return fmt.Errorf("mil: cannot hash %v", v.Typ)
+	}
+	return nil
+}
+
+func (e *Engine) evalAggOne(in *rel, a algebra.AggExpr, gids []int32, nGroups int, rowCount []int64) (*vector.Vector, vector.Type, error) {
+	switch a.Fn {
+	case algebra.AggCount:
+		t0 := time.Now()
+		out := vector.FromInt64s(append([]int64(nil), rowCount...))
+		e.Trace.record(fmt.Sprintf("%s := {count}(grp)", e.Trace.name("r")),
+			int64(4*in.n), int64(out.Bytes()), nGroups, time.Since(t0))
+		return out, vector.Int64, nil
+	case algebra.AggAvg:
+		arg, _, err := e.evalExpr(in, a.Arg)
+		if err != nil {
+			return nil, vector.Unknown, err
+		}
+		t0 := time.Now()
+		sums := make([]float64, nGroups)
+		if err := sumInto(sums, arg, gids); err != nil {
+			return nil, vector.Unknown, err
+		}
+		for g := range sums {
+			if rowCount[g] > 0 {
+				sums[g] /= float64(rowCount[g])
+			}
+		}
+		out := vector.FromFloat64s(sums)
+		e.Trace.record(fmt.Sprintf("%s := {avg}(%s, grp)", e.Trace.name("r"), a.Arg),
+			int64(arg.Bytes()+4*in.n), int64(out.Bytes()), nGroups, time.Since(t0))
+		return out, vector.Float64, nil
+	case algebra.AggSum:
+		arg, _, err := e.evalExpr(in, a.Arg)
+		if err != nil {
+			return nil, vector.Unknown, err
+		}
+		t0 := time.Now()
+		if arg.Typ.Physical() == vector.Float64 {
+			sums := make([]float64, nGroups)
+			primitives.AggrSum(sums, arg.Float64s(), gids, nil)
+			out := vector.FromFloat64s(sums)
+			e.Trace.record(fmt.Sprintf("%s := {sum}(%s, grp)", e.Trace.name("r"), a.Arg),
+				int64(arg.Bytes()+4*in.n), int64(out.Bytes()), nGroups, time.Since(t0))
+			return out, vector.Float64, nil
+		}
+		sums := make([]int64, nGroups)
+		switch arg.Typ.Physical() {
+		case vector.Int32:
+			primitives.AggrSum(sums, arg.Int32s(), gids, nil)
+		case vector.Int64:
+			primitives.AggrSum(sums, arg.Int64s(), gids, nil)
+		case vector.UInt8:
+			primitives.AggrSum(sums, arg.UInt8s(), gids, nil)
+		case vector.UInt16:
+			primitives.AggrSum(sums, arg.UInt16s(), gids, nil)
+		default:
+			return nil, vector.Unknown, fmt.Errorf("mil: sum of %v", arg.Typ)
+		}
+		out := vector.FromInt64s(sums)
+		e.Trace.record(fmt.Sprintf("%s := {sum}(%s, grp)", e.Trace.name("r"), a.Arg),
+			int64(arg.Bytes()+4*in.n), int64(out.Bytes()), nGroups, time.Since(t0))
+		return out, vector.Int64, nil
+	case algebra.AggMin, algebra.AggMax:
+		arg, _, err := e.evalExpr(in, a.Arg)
+		if err != nil {
+			return nil, vector.Unknown, err
+		}
+		t0 := time.Now()
+		out := vector.New(arg.Typ, nGroups)
+		seen := make([]bool, nGroups)
+		isMin := a.Fn == algebra.AggMin
+		switch arg.Typ.Physical() {
+		case vector.Float64:
+			minMax(out.Float64s(), seen, arg.Float64s(), gids, isMin)
+		case vector.Int64:
+			minMax(out.Int64s(), seen, arg.Int64s(), gids, isMin)
+		case vector.Int32:
+			minMax(out.Int32s(), seen, arg.Int32s(), gids, isMin)
+		case vector.String:
+			minMax(out.Strings(), seen, arg.Strings(), gids, isMin)
+		default:
+			return nil, vector.Unknown, fmt.Errorf("mil: min/max of %v", arg.Typ)
+		}
+		e.Trace.record(fmt.Sprintf("%s := {%s}(%s, grp)", e.Trace.name("r"), a.Fn, a.Arg),
+			int64(arg.Bytes()+4*in.n), int64(out.Bytes()), nGroups, time.Since(t0))
+		return out, arg.Typ, nil
+	default:
+		return nil, vector.Unknown, fmt.Errorf("mil: unknown aggregate %v", a.Fn)
+	}
+}
+
+func sumInto(dst []float64, v *vector.Vector, gids []int32) error {
+	switch v.Typ.Physical() {
+	case vector.Float64:
+		primitives.AggrSum(dst, v.Float64s(), gids, nil)
+	case vector.Int32:
+		primitives.AggrSum(dst, v.Int32s(), gids, nil)
+	case vector.Int64:
+		primitives.AggrSum(dst, v.Int64s(), gids, nil)
+	case vector.UInt8:
+		primitives.AggrSum(dst, v.UInt8s(), gids, nil)
+	case vector.UInt16:
+		primitives.AggrSum(dst, v.UInt16s(), gids, nil)
+	default:
+		return fmt.Errorf("mil: avg of %v", v.Typ)
+	}
+	return nil
+}
+
+func minMax[T primitives.Ordered](acc []T, seen []bool, vals []T, gids []int32, isMin bool) {
+	if isMin {
+		primitives.AggrMin(acc, seen, vals, gids, nil)
+		return
+	}
+	primitives.AggrMax(acc, seen, vals, gids, nil)
+}

@@ -1,0 +1,600 @@
+package mil
+
+import (
+	"fmt"
+	"time"
+
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// oper is an evaluated operand: either a full column or a scalar constant
+// (MIL multiplex operators take BATs or constants).
+type oper struct {
+	vec  *vector.Vector
+	cval any
+	typ  vector.Type
+}
+
+func (o oper) isConst() bool { return o.vec == nil }
+
+func (o oper) bytes() int64 {
+	if o.vec == nil {
+		return 0
+	}
+	return int64(o.vec.Bytes())
+}
+
+// evalExpr evaluates an expression column-at-a-time, materializing every
+// intermediate result as a full column. It returns the result vector and
+// the total input bytes consumed by the statement chain.
+func (e *Engine) evalExpr(r *rel, x expr.Expr) (*vector.Vector, int64, error) {
+	o, in, err := e.evalOperand(r, x)
+	if err != nil {
+		return nil, 0, err
+	}
+	if o.isConst() {
+		// Materialize a constant column (rare: constant projections).
+		v := vector.New(o.typ, r.n)
+		for i := 0; i < r.n; i++ {
+			v.Set(i, o.cval)
+		}
+		return v, in, nil
+	}
+	return o.vec, in, nil
+}
+
+// evalBool evaluates a boolean expression to a full []bool column.
+func (e *Engine) evalBool(r *rel, x expr.Expr) ([]bool, int64, error) {
+	v, in, err := e.evalExpr(r, x)
+	if err != nil {
+		return nil, 0, err
+	}
+	if v.Typ != vector.Bool {
+		return nil, 0, fmt.Errorf("mil: predicate has type %v", v.Typ)
+	}
+	return v.Bools(), in, nil
+}
+
+func (e *Engine) evalOperand(r *rel, x expr.Expr) (oper, int64, error) {
+	switch n := x.(type) {
+	case *expr.Col:
+		v := r.col(n.Name)
+		if v == nil {
+			return oper{}, 0, fmt.Errorf("mil: unknown column %q", n.Name)
+		}
+		return oper{vec: v, typ: v.Typ}, 0, nil
+	case *expr.Const:
+		return oper{cval: n.Val, typ: n.Typ}, 0, nil
+	case *expr.Bin:
+		return e.evalBin(r, n)
+	case *expr.Cmp:
+		return e.evalCmp(r, n)
+	case *expr.And:
+		return e.evalLogic(r, n.Args, true)
+	case *expr.Or:
+		return e.evalLogic(r, n.Args, false)
+	case *expr.Not:
+		a, in, err := e.evalOperand(r, n.Arg)
+		if err != nil {
+			return oper{}, 0, err
+		}
+		t0 := time.Now()
+		out := vector.New(vector.Bool, r.n)
+		primitives.MapNotCol(out.Bools(), a.vec.Bools(), nil)
+		e.statement("[not](b)", a.bytes(), out, r.n, t0)
+		return oper{vec: out, typ: vector.Bool}, in + a.bytes(), nil
+	case *expr.Cast:
+		return e.evalCast(r, n)
+	case *expr.Like:
+		return e.evalLike(r, n)
+	case *expr.In:
+		return e.evalIn(r, n)
+	case *expr.Case:
+		return e.evalCase(r, n)
+	case *expr.Func:
+		return e.evalFunc(r, n)
+	default:
+		return oper{}, 0, fmt.Errorf("mil: cannot evaluate %T", x)
+	}
+}
+
+func (e *Engine) statement(text string, in int64, out *vector.Vector, rows int, t0 time.Time) {
+	e.Trace.record(fmt.Sprintf("%s := %s", e.Trace.name("r"), text), in, int64(out.Bytes()), rows, time.Since(t0))
+}
+
+func (e *Engine) evalBin(r *rel, n *expr.Bin) (oper, int64, error) {
+	l, inL, err := e.evalOperand(r, n.L)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	rr, inR, err := e.evalOperand(r, n.R)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	if l.isConst() && rr.isConst() {
+		v, err := foldConstBin(n.Op, l, rr)
+		if err != nil {
+			return oper{}, 0, err
+		}
+		return oper{cval: v, typ: l.typ}, inL + inR, nil
+	}
+	t := l.typ
+	if l.isConst() {
+		t = rr.typ
+	}
+	out := vector.New(t, r.n)
+	t0 := time.Now()
+	switch t.Physical() {
+	case vector.Float64:
+		milArith[float64](n.Op, out, l, rr)
+	case vector.Int64:
+		milArith[int64](n.Op, out, l, rr)
+	case vector.Int32:
+		milArith[int32](n.Op, out, l, rr)
+	default:
+		return oper{}, 0, fmt.Errorf("mil: arithmetic on %v", t)
+	}
+	e.statement(fmt.Sprintf("[%s](%s, %s)", n.Op, n.L, n.R), l.bytes()+rr.bytes(), out, r.n, t0)
+	return oper{vec: out, typ: t}, inL + inR + l.bytes() + rr.bytes(), nil
+}
+
+// foldConstBin evaluates constant arithmetic at plan time.
+func foldConstBin(op expr.BinKind, l, r oper) (any, error) {
+	switch l.typ.Physical() {
+	case vector.Float64:
+		return foldNum(op, l.cval.(float64), r.cval.(float64)), nil
+	case vector.Int64:
+		return foldNum(op, l.cval.(int64), r.cval.(int64)), nil
+	case vector.Int32:
+		return foldNum(op, l.cval.(int32), r.cval.(int32)), nil
+	default:
+		return nil, fmt.Errorf("mil: constant arithmetic on %v", l.typ)
+	}
+}
+
+func foldNum[T primitives.Number](op expr.BinKind, a, b T) T {
+	switch op {
+	case expr.Add:
+		return a + b
+	case expr.Sub:
+		return a - b
+	case expr.Mul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func milArith[T primitives.Number](op expr.BinKind, out *vector.Vector, l, r oper) {
+	res := vector.Data[T](out)
+	switch {
+	case l.isConst():
+		v := l.cval.(T)
+		a := vector.Data[T](r.vec)
+		switch op {
+		case expr.Add:
+			primitives.MapAddColVal(res, a, v, nil)
+		case expr.Sub:
+			primitives.MapSubValCol(res, v, a, nil)
+		case expr.Mul:
+			primitives.MapMulColVal(res, a, v, nil)
+		case expr.Div:
+			primitives.MapDivValCol(res, v, a, nil)
+		}
+	case r.isConst():
+		a := vector.Data[T](l.vec)
+		v := r.cval.(T)
+		switch op {
+		case expr.Add:
+			primitives.MapAddColVal(res, a, v, nil)
+		case expr.Sub:
+			primitives.MapSubColVal(res, a, v, nil)
+		case expr.Mul:
+			primitives.MapMulColVal(res, a, v, nil)
+		case expr.Div:
+			primitives.MapDivColVal(res, a, v, nil)
+		}
+	default:
+		a := vector.Data[T](l.vec)
+		b := vector.Data[T](r.vec)
+		switch op {
+		case expr.Add:
+			primitives.MapAddColCol(res, a, b, nil)
+		case expr.Sub:
+			primitives.MapSubColCol(res, a, b, nil)
+		case expr.Mul:
+			primitives.MapMulColCol(res, a, b, nil)
+		case expr.Div:
+			primitives.MapDivColCol(res, a, b, nil)
+		}
+	}
+}
+
+func (e *Engine) evalCmp(r *rel, n *expr.Cmp) (oper, int64, error) {
+	l, inL, err := e.evalOperand(r, n.L)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	rr, inR, err := e.evalOperand(r, n.R)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	op := n.Op
+	if l.isConst() {
+		l, rr = rr, l
+		op = flipCmp(op)
+	}
+	out := vector.New(vector.Bool, r.n)
+	t0 := time.Now()
+	var err2 error
+	switch l.typ.Physical() {
+	case vector.Float64:
+		milCmp[float64](op, out, l, rr)
+	case vector.Int64:
+		milCmp[int64](op, out, l, rr)
+	case vector.Int32:
+		milCmp[int32](op, out, l, rr)
+	case vector.UInt8:
+		milCmp[uint8](op, out, l, rr)
+	case vector.UInt16:
+		milCmp[uint16](op, out, l, rr)
+	case vector.String:
+		milCmp[string](op, out, l, rr)
+	case vector.Bool:
+		err2 = milCmpBool(op, out, l, rr)
+	default:
+		err2 = fmt.Errorf("mil: comparison on %v", l.typ)
+	}
+	if err2 != nil {
+		return oper{}, 0, err2
+	}
+	e.statement(fmt.Sprintf("[%s](%s, %s)", op, n.L, n.R), l.bytes()+rr.bytes(), out, r.n, t0)
+	return oper{vec: out, typ: vector.Bool}, inL + inR + l.bytes() + rr.bytes(), nil
+}
+
+func flipCmp(op expr.CmpKind) expr.CmpKind {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}
+
+func milCmp[T primitives.Ordered](op expr.CmpKind, out *vector.Vector, l, r oper) {
+	res := out.Bools()
+	a := vector.Data[T](l.vec)
+	if r.isConst() {
+		v := r.cval.(T)
+		switch op {
+		case expr.LT:
+			primitives.MapLTColValBool(res, a, v, nil)
+		case expr.LE:
+			primitives.MapLEColValBool(res, a, v, nil)
+		case expr.GT:
+			primitives.MapGTColValBool(res, a, v, nil)
+		case expr.GE:
+			primitives.MapGEColValBool(res, a, v, nil)
+		case expr.EQ:
+			primitives.MapEQColValBool(res, a, v, nil)
+		default:
+			primitives.MapNEColValBool(res, a, v, nil)
+		}
+		return
+	}
+	b := vector.Data[T](r.vec)
+	switch op {
+	case expr.LT:
+		primitives.MapLTColColBool(res, a, b, nil)
+	case expr.LE:
+		primitives.MapLEColColBool(res, a, b, nil)
+	case expr.GT:
+		primitives.MapGTColColBool(res, a, b, nil)
+	case expr.GE:
+		primitives.MapGEColColBool(res, a, b, nil)
+	case expr.EQ:
+		primitives.MapEQColColBool(res, a, b, nil)
+	default:
+		primitives.MapNEColColBool(res, a, b, nil)
+	}
+}
+
+func milCmpBool(op expr.CmpKind, out *vector.Vector, l, r oper) error {
+	if op != expr.EQ && op != expr.NE {
+		return fmt.Errorf("mil: bool comparison supports only =/!=")
+	}
+	res := out.Bools()
+	a := l.vec.Bools()
+	if r.isConst() {
+		v := r.cval.(bool)
+		if op == expr.EQ {
+			primitives.MapEQColValBool(res, a, v, nil)
+		} else {
+			primitives.MapNEColValBool(res, a, v, nil)
+		}
+		return nil
+	}
+	b := r.vec.Bools()
+	if op == expr.EQ {
+		primitives.MapEQColColBool(res, a, b, nil)
+	} else {
+		primitives.MapNEColColBool(res, a, b, nil)
+	}
+	return nil
+}
+
+func (e *Engine) evalLogic(r *rel, args []expr.Expr, isAnd bool) (oper, int64, error) {
+	acc, in, err := e.evalOperand(r, args[0])
+	if err != nil {
+		return oper{}, 0, err
+	}
+	for _, arg := range args[1:] {
+		nxt, inN, err := e.evalOperand(r, arg)
+		if err != nil {
+			return oper{}, 0, err
+		}
+		out := vector.New(vector.Bool, r.n)
+		t0 := time.Now()
+		if isAnd {
+			primitives.MapAndColCol(out.Bools(), acc.vec.Bools(), nxt.vec.Bools(), nil)
+			e.statement("[and](a, b)", acc.bytes()+nxt.bytes(), out, r.n, t0)
+		} else {
+			primitives.MapOrColCol(out.Bools(), acc.vec.Bools(), nxt.vec.Bools(), nil)
+			e.statement("[or](a, b)", acc.bytes()+nxt.bytes(), out, r.n, t0)
+		}
+		in += inN + acc.bytes() + nxt.bytes()
+		acc = oper{vec: out, typ: vector.Bool}
+	}
+	return acc, in, nil
+}
+
+func (e *Engine) evalCast(r *rel, n *expr.Cast) (oper, int64, error) {
+	a, in, err := e.evalOperand(r, n.Arg)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	if a.isConst() {
+		return oper{cval: castConst(a.cval, n.To), typ: n.To}, in, nil
+	}
+	if a.typ.Physical() == n.To.Physical() {
+		v := a.vec.Slice(0, a.vec.Len())
+		v.Typ = n.To
+		return oper{vec: v, typ: n.To}, in, nil
+	}
+	out := vector.New(n.To, r.n)
+	t0 := time.Now()
+	if err := milCast(out, a.vec); err != nil {
+		return oper{}, 0, err
+	}
+	e.statement(fmt.Sprintf("[%s](%s)", n.To, n.Arg), a.bytes(), out, r.n, t0)
+	return oper{vec: out, typ: n.To}, in + a.bytes(), nil
+}
+
+func castConst(v any, to vector.Type) any {
+	var f float64
+	switch x := v.(type) {
+	case int32:
+		f = float64(x)
+	case int64:
+		f = float64(x)
+	case float64:
+		f = x
+	case uint8:
+		f = float64(x)
+	case uint16:
+		f = float64(x)
+	}
+	switch to.Physical() {
+	case vector.Int32:
+		return int32(f)
+	case vector.Int64:
+		return int64(f)
+	default:
+		return f
+	}
+}
+
+func milCast(out, in *vector.Vector) error {
+	switch out.Typ.Physical() {
+	case vector.Float64:
+		switch in.Typ.Physical() {
+		case vector.Int32:
+			primitives.MapConvert(out.Float64s(), in.Int32s(), nil)
+		case vector.Int64:
+			primitives.MapConvert(out.Float64s(), in.Int64s(), nil)
+		case vector.UInt8:
+			primitives.MapConvert(out.Float64s(), in.UInt8s(), nil)
+		case vector.UInt16:
+			primitives.MapConvert(out.Float64s(), in.UInt16s(), nil)
+		default:
+			return fmt.Errorf("mil: cast %v -> %v", in.Typ, out.Typ)
+		}
+	case vector.Int64:
+		switch in.Typ.Physical() {
+		case vector.Int32:
+			primitives.MapConvert(out.Int64s(), in.Int32s(), nil)
+		case vector.Float64:
+			primitives.MapConvert(out.Int64s(), in.Float64s(), nil)
+		case vector.UInt8:
+			primitives.MapConvert(out.Int64s(), in.UInt8s(), nil)
+		case vector.UInt16:
+			primitives.MapConvert(out.Int64s(), in.UInt16s(), nil)
+		default:
+			return fmt.Errorf("mil: cast %v -> %v", in.Typ, out.Typ)
+		}
+	case vector.Int32:
+		switch in.Typ.Physical() {
+		case vector.Int64:
+			primitives.MapConvert(out.Int32s(), in.Int64s(), nil)
+		case vector.Float64:
+			primitives.MapConvert(out.Int32s(), in.Float64s(), nil)
+		case vector.UInt8:
+			primitives.MapConvert(out.Int32s(), in.UInt8s(), nil)
+		case vector.UInt16:
+			primitives.MapConvert(out.Int32s(), in.UInt16s(), nil)
+		default:
+			return fmt.Errorf("mil: cast %v -> %v", in.Typ, out.Typ)
+		}
+	default:
+		return fmt.Errorf("mil: cast to %v", out.Typ)
+	}
+	return nil
+}
+
+func (e *Engine) evalLike(r *rel, n *expr.Like) (oper, int64, error) {
+	a, in, err := e.evalOperand(r, n.Arg)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	out := vector.New(vector.Bool, r.n)
+	t0 := time.Now()
+	m := primitives.CompileLike(n.Pattern)
+	res := out.Bools()
+	strs := a.vec.Strings()
+	for i := range res {
+		res[i] = m.Match(strs[i]) != n.Negate
+	}
+	e.statement(fmt.Sprintf("[like](%s, %q)", n.Arg, n.Pattern), a.bytes(), out, r.n, t0)
+	return oper{vec: out, typ: vector.Bool}, in + a.bytes(), nil
+}
+
+func (e *Engine) evalIn(r *rel, n *expr.In) (oper, int64, error) {
+	a, in, err := e.evalOperand(r, n.Arg)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	out := vector.New(vector.Bool, r.n)
+	res := out.Bools()
+	t0 := time.Now()
+	switch a.typ.Physical() {
+	case vector.String:
+		set := map[string]struct{}{}
+		for _, cst := range n.List {
+			set[cst.Val.(string)] = struct{}{}
+		}
+		vals := a.vec.Strings()
+		for i := range res {
+			_, res[i] = set[vals[i]]
+		}
+	case vector.Int32:
+		set := map[int32]struct{}{}
+		for _, cst := range n.List {
+			set[cst.Val.(int32)] = struct{}{}
+		}
+		vals := a.vec.Int32s()
+		for i := range res {
+			_, res[i] = set[vals[i]]
+		}
+	case vector.Int64:
+		set := map[int64]struct{}{}
+		for _, cst := range n.List {
+			set[cst.Val.(int64)] = struct{}{}
+		}
+		vals := a.vec.Int64s()
+		for i := range res {
+			_, res[i] = set[vals[i]]
+		}
+	default:
+		return oper{}, 0, fmt.Errorf("mil: in-list on %v", a.typ)
+	}
+	e.statement(fmt.Sprintf("[in](%s, ...)", n.Arg), a.bytes(), out, r.n, t0)
+	return oper{vec: out, typ: vector.Bool}, in + a.bytes(), nil
+}
+
+func (e *Engine) evalCase(r *rel, n *expr.Case) (oper, int64, error) {
+	cond, in1, err := e.evalExpr(r, n.Cond)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	th, in2, err := e.evalExpr(r, n.Then)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	el, in3, err := e.evalExpr(r, n.Else)
+	if err != nil {
+		return oper{}, 0, err
+	}
+	out := vector.New(th.Typ, r.n)
+	t0 := time.Now()
+	switch th.Typ.Physical() {
+	case vector.Float64:
+		primitives.MapSelectColBool(out.Float64s(), cond.Bools(), th.Float64s(), el.Float64s(), nil)
+	case vector.Int64:
+		primitives.MapSelectColBool(out.Int64s(), cond.Bools(), th.Int64s(), el.Int64s(), nil)
+	case vector.Int32:
+		primitives.MapSelectColBool(out.Int32s(), cond.Bools(), th.Int32s(), el.Int32s(), nil)
+	case vector.String:
+		primitives.MapSelectColBool(out.Strings(), cond.Bools(), th.Strings(), el.Strings(), nil)
+	default:
+		return oper{}, 0, fmt.Errorf("mil: case of %v", th.Typ)
+	}
+	e.statement("[ifthenelse](c, t, e)", int64(cond.Bytes()+th.Bytes()+el.Bytes()), out, r.n, t0)
+	return oper{vec: out, typ: th.Typ}, in1 + in2 + in3, nil
+}
+
+func (e *Engine) evalFunc(r *rel, n *expr.Func) (oper, int64, error) {
+	switch n.Kind {
+	case expr.FuncYear:
+		a, in, err := e.evalExpr(r, n.Args[0])
+		if err != nil {
+			return oper{}, 0, err
+		}
+		t0 := time.Now()
+		out := vector.FromInt32s(dateYear(a.Int32s()))
+		e.statement(fmt.Sprintf("[year](%s)", n.Args[0]), int64(a.Bytes()), out, r.n, t0)
+		return oper{vec: out, typ: vector.Int32}, in + int64(a.Bytes()), nil
+	case expr.FuncSquare:
+		a, in, err := e.evalExpr(r, n.Args[0])
+		if err != nil {
+			return oper{}, 0, err
+		}
+		out := vector.New(a.Typ, r.n)
+		t0 := time.Now()
+		switch a.Typ.Physical() {
+		case vector.Float64:
+			primitives.MapMulColCol(out.Float64s(), a.Float64s(), a.Float64s(), nil)
+		case vector.Int64:
+			primitives.MapMulColCol(out.Int64s(), a.Int64s(), a.Int64s(), nil)
+		case vector.Int32:
+			primitives.MapMulColCol(out.Int32s(), a.Int32s(), a.Int32s(), nil)
+		default:
+			return oper{}, 0, fmt.Errorf("mil: square on %v", a.Typ)
+		}
+		e.statement(fmt.Sprintf("[square](%s)", n.Args[0]), int64(a.Bytes()), out, r.n, t0)
+		return oper{vec: out, typ: a.Typ}, in + int64(a.Bytes()), nil
+	case expr.FuncSubstr:
+		a, in, err := e.evalExpr(r, n.Args[0])
+		if err != nil {
+			return oper{}, 0, err
+		}
+		out := vector.New(vector.String, r.n)
+		t0 := time.Now()
+		primitives.MapSubstrCol(out.Strings(), a.Strings(), n.Start, n.Length, nil)
+		e.statement(fmt.Sprintf("[substr](%s)", n.Args[0]), int64(a.Bytes()), out, r.n, t0)
+		return oper{vec: out, typ: vector.String}, in + int64(a.Bytes()), nil
+	case expr.FuncConcat:
+		a, in1, err := e.evalExpr(r, n.Args[0])
+		if err != nil {
+			return oper{}, 0, err
+		}
+		b, in2, err := e.evalExpr(r, n.Args[1])
+		if err != nil {
+			return oper{}, 0, err
+		}
+		out := vector.New(vector.String, r.n)
+		t0 := time.Now()
+		primitives.MapConcatColCol(out.Strings(), a.Strings(), b.Strings(), nil)
+		e.statement("[concat](a, b)", int64(a.Bytes()+b.Bytes()), out, r.n, t0)
+		return oper{vec: out, typ: vector.String}, in1 + in2, nil
+	default:
+		return oper{}, 0, fmt.Errorf("mil: unknown function kind %d", n.Kind)
+	}
+}

@@ -1,0 +1,136 @@
+package mil
+
+import (
+	"strings"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/core"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+func milDB(t *testing.T) *core.Database {
+	t.Helper()
+	db := core.NewDatabase()
+	tab := colstore.NewTable("t")
+	if err := tab.AddColumn("a", vector.Float64, []float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddEnumColumn("g", []string{"x", "y", "x", "y", "x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(tab)
+	return db
+}
+
+func TestMILSelectMaterializesJoins(t *testing.T) {
+	db := milDB(t)
+	tr := &Trace{}
+	eng := &Engine{DB: db, Trace: tr}
+	plan := algebra.NewSelect(algebra.NewScan("t", "a", "g"),
+		expr.GTE(expr.C("a"), expr.Float(3)))
+	res, err := eng.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("rows: %d", res.NumRows())
+	}
+	rendered := tr.Render()
+	// Table 3 pattern: a select statement followed by positional joins for
+	// each materialized column, plus the enum decode.
+	for _, want := range []string{"select(", "join(oids,a)", "join(oids,g)", "decode(t.g)", "TOTAL"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("trace missing %q:\n%s", want, rendered)
+		}
+	}
+	// Every statement accounts bytes.
+	for _, s := range tr.Statements {
+		if s.Text == "" || s.Nanos < 0 {
+			t.Fatalf("bad statement %+v", s)
+		}
+	}
+}
+
+func TestMILExpressionsMaterializeIntermediates(t *testing.T) {
+	db := milDB(t)
+	tr := &Trace{}
+	eng := &Engine{DB: db, Trace: tr}
+	plan := algebra.NewProject(algebra.NewScan("t", "a"),
+		algebra.NE("out", expr.MulE(expr.SubE(expr.Float(1), expr.C("a")), expr.C("a"))))
+	res, err := eng.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 6 {
+		t.Fatal("rows")
+	}
+	// Two multiplex statements: [-] then [*]; no fusion in MIL.
+	var mapStmts int
+	for _, s := range tr.Statements {
+		if strings.Contains(s.Text, ":= [-]") || strings.Contains(s.Text, ":= [*]") {
+			mapStmts++
+			if s.OutBytes != 6*8 {
+				t.Fatalf("intermediate not fully materialized: %+v", s)
+			}
+		}
+	}
+	if mapStmts != 2 {
+		t.Fatalf("map statements: %d", mapStmts)
+	}
+}
+
+func TestMILRejectsPendingDeltas(t *testing.T) {
+	db := milDB(t)
+	ds, err := db.Delta("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(db)
+	if _, err := eng.Run(algebra.NewScan("t", "a")); err == nil {
+		t.Fatal("MIL scan over pending deltas must be rejected")
+	}
+}
+
+func TestMILNilTraceIsFine(t *testing.T) {
+	db := milDB(t)
+	eng := New(db)
+	res, err := eng.Run(algebra.NewAggr(algebra.NewScan("t", "a", "g"),
+		[]algebra.NamedExpr{algebra.NE("g", expr.C("g"))},
+		[]algebra.AggExpr{algebra.Sum("s", expr.C("a"))}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows: %d", res.NumRows())
+	}
+}
+
+func TestMILArray(t *testing.T) {
+	eng := New(core.NewDatabase())
+	res, err := eng.Run(algebra.NewArray(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatal("array rows")
+	}
+	if res.Row(1)[0].(int32) != 1 || res.Row(1)[1].(int32) != 0 {
+		t.Fatalf("column-major order: %v", res.Row(1))
+	}
+}
+
+func TestStatementBandwidth(t *testing.T) {
+	s := Statement{InBytes: 500_000, OutBytes: 500_000, Nanos: 1_000_000} // 1MB in 1ms
+	if mbs := s.MBs(); mbs < 999 || mbs > 1001 {
+		t.Fatalf("MBs: %v", mbs)
+	}
+	if (Statement{}).MBs() != 0 {
+		t.Fatal("zero statement")
+	}
+}

@@ -1,0 +1,166 @@
+package primitives
+
+// Aggregation primitives (aggr_* in the paper). Grouped variants take a
+// groups vector assigning each live input position a dense group index
+// (the "position in hash table" vector of Figure 6) and update per-group
+// accumulator arrays in place. The paper specifies each aggregate as an
+// init/update/epilogue triple; here init is the zero value of the
+// accumulator slice (or seen[] for min/max) and the epilogue (e.g. avg =
+// sum/count) is performed by the aggregation operator.
+
+// AggrSum accumulates acc[groups[i]] += vals[i] with a widening conversion
+// into the accumulator type A (float64 for floats, int64 for integers).
+func AggrSum[A, T Number](acc []A, vals []T, groups []int32, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			acc[groups[i]] += A(vals[i])
+		}
+		return
+	}
+	groups = groups[:len(vals)]
+	for i := range vals {
+		acc[groups[i]] += A(vals[i])
+	}
+}
+
+// AggrCount increments acc[groups[i]] for every live position.
+func AggrCount(acc []int64, groups []int32, sel []int32, n int) {
+	if sel != nil {
+		for _, i := range sel {
+			acc[groups[i]]++
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		acc[groups[i]]++
+	}
+}
+
+// AggrMin folds the per-group minimum. seen tracks whether a group has
+// received any value yet.
+func AggrMin[T Ordered](acc []T, seen []bool, vals []T, groups []int32, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			g := groups[i]
+			if !seen[g] || vals[i] < acc[g] {
+				acc[g] = vals[i]
+				seen[g] = true
+			}
+		}
+		return
+	}
+	groups = groups[:len(vals)]
+	for i := range vals {
+		g := groups[i]
+		if !seen[g] || vals[i] < acc[g] {
+			acc[g] = vals[i]
+			seen[g] = true
+		}
+	}
+}
+
+// AggrMax folds the per-group maximum.
+func AggrMax[T Ordered](acc []T, seen []bool, vals []T, groups []int32, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			g := groups[i]
+			if !seen[g] || vals[i] > acc[g] {
+				acc[g] = vals[i]
+				seen[g] = true
+			}
+		}
+		return
+	}
+	groups = groups[:len(vals)]
+	for i := range vals {
+		g := groups[i]
+		if !seen[g] || vals[i] > acc[g] {
+			acc[g] = vals[i]
+			seen[g] = true
+		}
+	}
+}
+
+// SumCol computes an ungrouped sum with a widening conversion; used by
+// scalar-aggregate plans (e.g. TPC-H Q6) where no grouping is present.
+func SumCol[A, T Number](vals []T, sel []int32) A {
+	var s A
+	if sel != nil {
+		for _, i := range sel {
+			s += A(vals[i])
+		}
+		return s
+	}
+	for i := range vals {
+		s += A(vals[i])
+	}
+	return s
+}
+
+// MinCol computes an ungrouped minimum; ok reports whether any value was
+// present.
+func MinCol[T Ordered](vals []T, sel []int32) (m T, ok bool) {
+	if sel != nil {
+		for _, i := range sel {
+			if !ok || vals[i] < m {
+				m, ok = vals[i], true
+			}
+		}
+		return m, ok
+	}
+	for i := range vals {
+		if !ok || vals[i] < m {
+			m, ok = vals[i], true
+		}
+	}
+	return m, ok
+}
+
+// MaxCol computes an ungrouped maximum.
+func MaxCol[T Ordered](vals []T, sel []int32) (m T, ok bool) {
+	if sel != nil {
+		for _, i := range sel {
+			if !ok || vals[i] > m {
+				m, ok = vals[i], true
+			}
+		}
+		return m, ok
+	}
+	for i := range vals {
+		if !ok || vals[i] > m {
+			m, ok = vals[i], true
+		}
+	}
+	return m, ok
+}
+
+// DirectGroupU8 computes the direct-aggregation group index for one or two
+// single-byte key columns: (a<<8)+b, mirroring the hard-coded Query 1 UDF
+// (Figure 4) and the map_directgrp primitive of Table 5. With b nil the
+// group index is a itself.
+func DirectGroupU8(groups []int32, a, b []uint8, sel []int32) {
+	if b == nil {
+		if sel != nil {
+			for _, i := range sel {
+				groups[i] = int32(a[i])
+			}
+			return
+		}
+		a = a[:len(groups)]
+		for i := range groups {
+			groups[i] = int32(a[i])
+		}
+		return
+	}
+	if sel != nil {
+		for _, i := range sel {
+			groups[i] = int32(a[i])<<8 | int32(b[i])
+		}
+		return
+	}
+	a = a[:len(groups)]
+	b = b[:len(groups)]
+	for i := range groups {
+		groups[i] = int32(a[i])<<8 | int32(b[i])
+	}
+}

@@ -1,0 +1,303 @@
+// Package primitives implements the X100 vectorized execution primitives:
+// tight loops over typed slices that perform one operation for every (live)
+// position of a vector.
+//
+// The paper generates hundreds of such primitives from code patterns
+// ("any::1 +(any::1 x, any::1 y) plus = x + y") expanded over type and
+// column/value parameter combinations. Go generics play the role of that
+// macro expander: each Map* function below instantiates for all numeric
+// types, in col⊗col, col⊗val and val⊗col variants.
+//
+// Every primitive takes an optional selection vector sel ([]int32 of live
+// positions). When sel is nil the primitive runs a dense loop over the whole
+// vector; otherwise it touches only the selected positions, writing results
+// at the same positions as the inputs so that a single selection vector
+// remains valid across a whole expression pipeline (paper Section 4.2).
+package primitives
+
+// Number is the constraint for arithmetic primitives.
+type Number interface {
+	~uint8 | ~uint16 | ~int32 | ~int64 | ~float64
+}
+
+// Ordered is the constraint for comparison primitives.
+type Ordered interface {
+	~uint8 | ~uint16 | ~int32 | ~int64 | ~float64 | ~string
+}
+
+// MapAddColCol computes res[i] = a[i] + b[i].
+func MapAddColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] + b[i]
+		}
+		return
+	}
+	// The compiler can keep this loop free of per-iteration dispatch; the
+	// explicit slicing helps it eliminate bounds checks.
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = a[i] + b[i]
+	}
+}
+
+// MapAddColVal computes res[i] = a[i] + v.
+func MapAddColVal[T Number](res, a []T, v T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] + v
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = a[i] + v
+	}
+}
+
+// MapSubColCol computes res[i] = a[i] - b[i].
+func MapSubColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] - b[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = a[i] - b[i]
+	}
+}
+
+// MapSubColVal computes res[i] = a[i] - v.
+func MapSubColVal[T Number](res, a []T, v T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] - v
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = a[i] - v
+	}
+}
+
+// MapSubValCol computes res[i] = v - a[i] (e.g. "1.0 - discount").
+func MapSubValCol[T Number](res []T, v T, a []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = v - a[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = v - a[i]
+	}
+}
+
+// MapMulColCol computes res[i] = a[i] * b[i].
+func MapMulColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] * b[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = a[i] * b[i]
+	}
+}
+
+// MapMulColVal computes res[i] = a[i] * v.
+func MapMulColVal[T Number](res, a []T, v T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] * v
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = a[i] * v
+	}
+}
+
+// MapDivColCol computes res[i] = a[i] / b[i]. Integer division by zero
+// follows Go semantics (panics); the expression compiler guards divisors
+// where the plan requires it.
+func MapDivColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] / b[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = a[i] / b[i]
+	}
+}
+
+// MapDivColVal computes res[i] = a[i] / v.
+func MapDivColVal[T Number](res, a []T, v T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] / v
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = a[i] / v
+	}
+}
+
+// MapDivValCol computes res[i] = v / a[i].
+func MapDivValCol[T Number](res []T, v T, a []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = v / a[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = v / a[i]
+	}
+}
+
+// MapNegCol computes res[i] = -a[i] for signed types.
+func MapNegCol[T ~int32 | ~int64 | ~float64](res, a []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = -a[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = -a[i]
+	}
+}
+
+// MapMinColCol computes res[i] = min(a[i], b[i]).
+func MapMinColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = min(a[i], b[i])
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = min(a[i], b[i])
+	}
+}
+
+// MapMaxColCol computes res[i] = max(a[i], b[i]).
+func MapMaxColCol[T Number](res, a, b []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = max(a[i], b[i])
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = max(a[i], b[i])
+	}
+}
+
+// MapCopy copies a into res at the live positions.
+func MapCopy[T any](res, a []T, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i]
+		}
+		return
+	}
+	copy(res, a)
+}
+
+// MapConvert converts a numeric column to another numeric type,
+// e.g. the dbl(count_order) cast in the paper's Query 1 plan.
+func MapConvert[D, S Number](res []D, a []S, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = D(a[i])
+		}
+		return
+	}
+	a = a[:len(res)]
+	for i := range res {
+		res[i] = D(a[i])
+	}
+}
+
+// MapConcatColCol concatenates two string columns.
+func MapConcatColCol(res, a, b []string, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = a[i] + b[i]
+		}
+		return
+	}
+	a = a[:len(res)]
+	b = b[:len(res)]
+	for i := range res {
+		res[i] = a[i] + b[i]
+	}
+}
+
+// GatherCol fetches base[idx[i]] into res[i] for the live positions: the
+// inner loop of the Fetch1Join positional join (paper Section 4.1.2) and of
+// enum-column decoding.
+func GatherCol[T any](res []T, base []T, idx []int32, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = base[idx[i]]
+		}
+		return
+	}
+	idx = idx[:len(res)]
+	for i := range res {
+		res[i] = base[idx[i]]
+	}
+}
+
+// GatherColU8 and GatherColU16 fetch through unsigned enum codes, the
+// map_fetch_uchr_col pattern of Table 5.
+func GatherColU8[T any](res []T, base []T, idx []uint8, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = base[idx[i]]
+		}
+		return
+	}
+	idx = idx[:len(res)]
+	for i := range res {
+		res[i] = base[idx[i]]
+	}
+}
+
+func GatherColU16[T any](res []T, base []T, idx []uint16, sel []int32) {
+	if sel != nil {
+		for _, i := range sel {
+			res[i] = base[idx[i]]
+		}
+		return
+	}
+	idx = idx[:len(res)]
+	for i := range res {
+		res[i] = base[idx[i]]
+	}
+}

@@ -1,0 +1,287 @@
+package primitives
+
+// Selection primitives. Unlike map primitives, which produce a full result
+// vector, select_* primitives fill a result array with the positions of the
+// qualifying values and return how many qualified (paper Section 4.2). They
+// accept an input selection vector so that conjunctions are evaluated by
+// chaining select primitives, each shrinking the candidate list.
+//
+// Each comparison exists in two variants, reproducing Figure 2 of the paper:
+//
+//   - the "branch" variant uses an if statement, whose cost on a speculative
+//     CPU depends on the predictability of the predicate (worst around 50%
+//     selectivity);
+//   - the "predicated" variant replaces the branch by arithmetic on the
+//     comparison outcome, giving selectivity-independent cost.
+//
+// The engine uses the predicated variants by default.
+
+// SelectLTColValBranch selects positions where in[i] < v, branching variant.
+func SelectLTColValBranch[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			if in[i] < v {
+				res[k] = i
+				k++
+			}
+		}
+		return k
+	}
+	for i := range in {
+		if in[i] < v {
+			res[k] = int32(i)
+			k++
+		}
+	}
+	return k
+}
+
+// SelectLTColVal selects positions where in[i] < v, predicated variant.
+// res must have capacity for len(in) (or len(sel)) positions.
+func SelectLTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] < v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] < v)
+	}
+	return k
+}
+
+// SelectLEColVal selects positions where in[i] <= v (predicated).
+func SelectLEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] <= v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] <= v)
+	}
+	return k
+}
+
+// SelectGTColVal selects positions where in[i] > v (predicated).
+func SelectGTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] > v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] > v)
+	}
+	return k
+}
+
+// SelectGEColVal selects positions where in[i] >= v (predicated).
+func SelectGEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] >= v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] >= v)
+	}
+	return k
+}
+
+// SelectEQColVal selects positions where in[i] == v (predicated).
+func SelectEQColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] == v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] == v)
+	}
+	return k
+}
+
+// SelectNEColVal selects positions where in[i] != v (predicated).
+func SelectNEColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] != v)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] != v)
+	}
+	return k
+}
+
+// SelectLTColCol selects positions where a[i] < b[i] (predicated).
+func SelectLTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] < b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] < b[i])
+	}
+	return k
+}
+
+// SelectLEColCol selects positions where a[i] <= b[i] (predicated).
+func SelectLEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] <= b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] <= b[i])
+	}
+	return k
+}
+
+// SelectGTColCol selects positions where a[i] > b[i] (predicated).
+func SelectGTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] > b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] > b[i])
+	}
+	return k
+}
+
+// SelectGEColCol selects positions where a[i] >= b[i] (predicated).
+func SelectGEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] >= b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] >= b[i])
+	}
+	return k
+}
+
+// SelectEQColCol selects positions where a[i] == b[i] (predicated).
+func SelectEQColCol[T comparable](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] == b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] == b[i])
+	}
+	return k
+}
+
+// SelectNEColCol selects positions where a[i] != b[i] (predicated).
+func SelectNEColCol[T comparable](res []int32, a, b []T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(a[i] != b[i])
+		}
+		return k
+	}
+	for i := range a {
+		res[k] = int32(i)
+		k += b2i(a[i] != b[i])
+	}
+	return k
+}
+
+// SelectBoolCol selects positions where in[i] is true (used for residual
+// boolean expressions, e.g. LIKE results).
+func SelectBoolCol(res []int32, in []bool, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i])
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i])
+	}
+	return k
+}
+
+// SelectBetweenColVal selects positions where lo <= in[i] <= hi (predicated,
+// fused conjunction for range predicates, common in TPC-H).
+func SelectBetweenColVal[T Ordered](res []int32, in []T, lo, hi T, sel []int32) int {
+	k := 0
+	if sel != nil {
+		for _, i := range sel {
+			res[k] = i
+			k += b2i(in[i] >= lo && in[i] <= hi)
+		}
+		return k
+	}
+	for i := range in {
+		res[k] = int32(i)
+		k += b2i(in[i] >= lo && in[i] <= hi)
+	}
+	return k
+}
+
+// b2i converts a bool to 0/1 in a form the compiler lowers without a branch.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

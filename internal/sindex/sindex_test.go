@@ -1,0 +1,155 @@
+package sindex
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBoundsOnSorted(t *testing.T) {
+	col := make([]int32, 1000)
+	for i := range col {
+		col[i] = int32(i)
+	}
+	s := BuildSummary(col, 100)
+	lo, hi := s.Bounds(250, true, 349, true)
+	if lo > 250 || hi < 350 {
+		t.Fatalf("bounds [%d,%d) exclude matches", lo, hi)
+	}
+	// Bounds must be tight to within a granule on sorted data.
+	if lo < 200 || hi > 400 {
+		t.Fatalf("bounds [%d,%d) too loose", lo, hi)
+	}
+	// One-sided predicates.
+	lo, hi = s.Bounds(900, true, 0, false)
+	if lo < 800 || hi != 1000 {
+		t.Fatalf(">=900: [%d,%d)", lo, hi)
+	}
+	lo, hi = s.Bounds(0, false, 99, true)
+	if lo != 0 || hi > 200 {
+		t.Fatalf("<=99: [%d,%d)", lo, hi)
+	}
+	// Empty range clamps sanely.
+	lo, hi = s.Bounds(5000, true, 6000, true)
+	if lo != hi {
+		t.Fatalf("no-match range should be empty, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestSummaryEmptyAndSmall(t *testing.T) {
+	s := BuildSummary([]int32{}, 10)
+	lo, hi := s.Bounds(1, true, 2, true)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty column")
+	}
+	s2 := BuildSummary([]float64{3.5}, 10)
+	lo, hi = s2.Bounds(0, false, 10, true)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("single value: [%d,%d)", lo, hi)
+	}
+}
+
+// Property: bounds are sound for arbitrary (unsorted) data — every row
+// matching lo <= v <= hi lies inside the returned range.
+func TestSummarySoundness(t *testing.T) {
+	f := func(col []int32, a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		s := BuildSummary(col, 4)
+		lo, hi := s.Bounds(a, true, b, true)
+		for i, v := range col {
+			if v >= a && v <= b {
+				if i < lo || i >= hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinIndex(t *testing.T) {
+	refKey := []int32{100, 200, 300}
+	fk := []int32{200, 100, 300, 200}
+	ji, err := BuildJoinIndex("fact", "dim", fk, refKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 0, 2, 1}
+	for i := range want {
+		if ji.RowIDs[i] != want[i] {
+			t.Fatalf("rowids: %v", ji.RowIDs)
+		}
+	}
+	if _, err := BuildJoinIndex("f", "d", []int32{999}, refKey); err == nil {
+		t.Fatal("dangling fk must fail")
+	}
+	if _, err := BuildJoinIndex("f", "d", fk, []int32{1, 1}); err == nil {
+		t.Fatal("duplicate ref key must fail")
+	}
+}
+
+func TestRangeIndex(t *testing.T) {
+	// lineitem-style: clustered referencing rows 0..5 over 3 referenced rows.
+	ji := &JoinIndex{From: "lineitem", To: "orders", RowIDs: []int32{0, 0, 1, 2, 2, 2}}
+	ri, err := BuildRangeIndex(ji, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ ref, lo, hi int32 }{{0, 0, 2}, {1, 2, 3}, {2, 3, 6}}
+	for _, c := range cases {
+		lo, hi := ri.Range(c.ref)
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("range(%d) = [%d,%d)", c.ref, lo, hi)
+		}
+	}
+	// Gaps: referenced row with no referencing rows.
+	ji2 := &JoinIndex{RowIDs: []int32{0, 2}}
+	ri2, err := BuildRangeIndex(ji2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := ri2.Range(1); lo != hi {
+		t.Fatalf("empty range: [%d,%d)", lo, hi)
+	}
+	// Unclustered input is rejected.
+	if _, err := BuildRangeIndex(&JoinIndex{RowIDs: []int32{1, 0}}, 2); err == nil {
+		t.Fatal("unclustered must fail")
+	}
+}
+
+// Property: for a clustered join index, every referencing row appears in
+// exactly the range of its referenced row.
+func TestRangeIndexProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 || len(counts) > 50 {
+			return true
+		}
+		var rows []int32
+		for ref, c := range counts {
+			for j := 0; j < int(c%5); j++ {
+				rows = append(rows, int32(ref))
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		ji := &JoinIndex{RowIDs: rows}
+		ri, err := BuildRangeIndex(ji, len(counts))
+		if err != nil {
+			return false
+		}
+		for i, ref := range rows {
+			lo, hi := ri.Range(ref)
+			if int32(i) < lo || int32(i) >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

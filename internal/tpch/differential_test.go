@@ -1,0 +1,71 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"x100/internal/core"
+	"x100/internal/mil"
+	"x100/internal/volcano"
+)
+
+// TestEnginesAgree runs every TPC-H query on all three engines — X100
+// (vectorized), MIL (column-at-a-time) and Volcano (tuple-at-a-time) — and
+// requires identical results. The three executors share no execution code
+// beyond the scalar primitives, so agreement is strong evidence of
+// correctness.
+func TestEnginesAgree(t *testing.T) {
+	db := getDB(t)
+	milE := mil.New(db)
+	volE := volcano.New(db)
+	for q := 1; q <= NumQueries; q++ {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			plan, err := Query(q, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x100Res, err := core.Run(db, plan, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("x100: %v", err)
+			}
+			milRes, err := milE.Run(plan)
+			if err != nil {
+				t.Fatalf("mil: %v", err)
+			}
+			volRes, err := volE.Run(plan)
+			if err != nil {
+				t.Fatalf("volcano: %v", err)
+			}
+			compareResults(t, "mil", x100Res, milRes)
+			compareResults(t, "volcano", x100Res, volRes)
+		})
+	}
+}
+
+func compareResults(t *testing.T, name string, want, got *core.Result) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("%s: %d rows, x100 produced %d", name, got.NumRows(), want.NumRows())
+	}
+	if len(got.Schema) != len(want.Schema) {
+		t.Fatalf("%s: schema %v vs %v", name, got.Schema, want.Schema)
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		wr, gr := want.Row(i), got.Row(i)
+		for c := range wr {
+			if !cellsEqual(wr[c], gr[c]) {
+				t.Fatalf("%s: row %d col %d (%s): x100=%v, %s=%v",
+					name, i, c, want.Schema[c].Name, wr[c], name, gr[c])
+			}
+		}
+	}
+}
+
+func cellsEqual(a, b any) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && relDiff(af, bf) < 1e-9
+	}
+	return a == b
+}

@@ -1,0 +1,133 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/core"
+	"x100/internal/expr"
+	"x100/internal/mil"
+	"x100/internal/volcano"
+)
+
+// TestRandomPlansAgree generates random (but type-correct) plans over the
+// TPC-H schema and checks that all three engines agree — a randomized
+// extension of the fixed 22-query differential test.
+func TestRandomPlansAgree(t *testing.T) {
+	db := getDB(t)
+	milE := mil.New(db)
+	volE := volcano.New(db)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		plan := randomPlan(rng)
+		x, err := core.Run(db, plan, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d x100 (%s): %v", trial, algebra.Explain(plan), err)
+		}
+		m, err := milE.Run(plan)
+		if err != nil {
+			t.Fatalf("trial %d mil: %v", trial, err)
+		}
+		v, err := volE.Run(plan)
+		if err != nil {
+			t.Fatalf("trial %d volcano: %v", trial, err)
+		}
+		for name, got := range map[string]*core.Result{"mil": m, "volcano": v} {
+			if got.NumRows() != x.NumRows() {
+				t.Fatalf("trial %d %s rows %d vs %d\nplan:\n%s",
+					trial, name, got.NumRows(), x.NumRows(), algebra.Explain(plan))
+			}
+			for i := 0; i < x.NumRows(); i++ {
+				wr, gr := x.Row(i), got.Row(i)
+				for c := range wr {
+					if !cellsEqual(wr[c], gr[c]) {
+						t.Fatalf("trial %d %s row %d col %d: %v vs %v\nplan:\n%s",
+							trial, name, i, c, wr[c], gr[c], algebra.Explain(plan))
+					}
+				}
+			}
+		}
+		// Vector-size invariance on the same random plan.
+		opts := core.DefaultOptions()
+		opts.BatchSize = 1 + rng.Intn(300)
+		x2, err := core.Run(db, plan, opts)
+		if err != nil {
+			t.Fatalf("trial %d small vectors: %v", trial, err)
+		}
+		if x2.NumRows() != x.NumRows() {
+			t.Fatalf("trial %d: vector size changed row count", trial)
+		}
+	}
+}
+
+// randomPlan builds Select/Project/Aggr/Join/Order pipelines over the
+// orders and customer tables with random predicates and expressions.
+func randomPlan(rng *rand.Rand) algebra.Node {
+	c := expr.C
+	var n algebra.Node = algebra.NewScan("orders", "o_orderkey", "o_custkey", "o_totalprice", "o_orderdate", "o_orderpriority")
+
+	// Random selection.
+	preds := []func() expr.Expr{
+		func() expr.Expr {
+			return expr.LTE(c("o_totalprice"), expr.Float(float64(rng.Intn(300000))))
+		},
+		func() expr.Expr {
+			return expr.GEE(c("o_orderdate"), expr.DateConst(startDate+int32(rng.Intn(2000))))
+		},
+		func() expr.Expr {
+			return expr.EQE(c("o_orderpriority"), expr.Str(priorities[rng.Intn(len(priorities))]))
+		},
+		func() expr.Expr {
+			return expr.OrE(
+				expr.LTE(c("o_totalprice"), expr.Float(50000)),
+				expr.GTE(c("o_totalprice"), expr.Float(float64(100000+rng.Intn(100000)))))
+		},
+	}
+	n = algebra.NewSelect(n, preds[rng.Intn(len(preds))]())
+
+	// Sometimes join customer.
+	if rng.Intn(2) == 0 {
+		kind := []algebra.JoinKind{algebra.Inner, algebra.Semi, algebra.Anti}[rng.Intn(3)]
+		right := algebra.NewSelect(
+			algebra.NewScan("customer", "c_custkey", "c_acctbal"),
+			expr.GTE(c("c_acctbal"), expr.Float(float64(rng.Intn(5000)))))
+		n = algebra.NewJoinKind(kind, n, right, algebra.EquiCond{L: "o_custkey", R: "c_custkey"})
+	}
+
+	// Random projection.
+	if rng.Intn(2) == 0 {
+		n = algebra.NewProject(n,
+			algebra.NE("o_orderkey", c("o_orderkey")),
+			algebra.NE("o_orderpriority", c("o_orderpriority")),
+			algebra.NE("v", expr.MulE(expr.SubE(expr.Float(1), expr.Float(0.1)), c("o_totalprice"))),
+			algebra.NE("bucket", expr.CaseE(
+				expr.LTE(c("o_totalprice"), expr.Float(100000)), expr.Int(0), expr.Int(1))),
+		)
+	} else {
+		n = algebra.NewProject(n,
+			algebra.NE("o_orderkey", c("o_orderkey")),
+			algebra.NE("o_orderpriority", c("o_orderpriority")),
+			algebra.NE("v", c("o_totalprice")),
+			algebra.NE("bucket", expr.YearE(c("o_orderdate"))),
+		)
+	}
+
+	// Aggregate or order.
+	if rng.Intn(2) == 0 {
+		n = algebra.NewAggr(n,
+			[]algebra.NamedExpr{algebra.NE("o_orderpriority", c("o_orderpriority"))},
+			[]algebra.AggExpr{
+				algebra.Sum("s", c("v")),
+				algebra.Count("n"),
+				algebra.Min("mn", c("v")),
+				algebra.Max("mx", c("v")),
+			})
+		return algebra.NewOrder(n, algebra.Asc(c("o_orderpriority")))
+	}
+	return algebra.NewTopN(n, 1+rng.Intn(50),
+		algebra.Desc(c("v")), algebra.Asc(c("o_orderkey")))
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,120 @@
+package tpch
+
+import (
+	"sort"
+
+	"x100/internal/core"
+	"x100/internal/dateutil"
+)
+
+// Q1Group is one row of the hard-coded Query 1 result.
+type Q1Group struct {
+	ReturnFlag   string
+	LineStatus   string
+	SumQty       float64
+	SumBasePrice float64
+	SumDiscPrice float64
+	SumCharge    float64
+	AvgQty       float64
+	AvgPrice     float64
+	AvgDisc      float64
+	CountOrder   int64
+}
+
+// q1Slot is the aggregation record of the Figure 4 UDF.
+type q1Slot struct {
+	count                                  int64
+	sumQty, sumBase, sumDisc, sumDiscPrice float64
+	sumCharge                              float64
+}
+
+// HardcodedQ1 is the paper's Figure 4 baseline: TPC-H Query 1 as a single
+// hand-written loop over the raw column arrays, using the (returnflag<<8 |
+// linestatus) bit representation as a direct index into the aggregation
+// table. It bounds what the hardware can do on this query; X100 aims to be
+// within a factor ~2 of it (Table 1).
+func HardcodedQ1(db *core.Database) ([]Q1Group, error) {
+	t, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	hiDate := dateutil.MustParse("1998-09-02")
+
+	shipdate := t.Col("l_shipdate").Data().([]int32)
+	extprice := t.Col("l_extendedprice").Data().([]float64)
+	// The enum columns are decoded to full arrays once, mirroring the UDF's
+	// double* parameters (the paper passes plain arrays into the UDF).
+	quantity := decodeF64(db, "l_quantity")
+	discount := decodeF64(db, "l_discount")
+	tax := decodeF64(db, "l_tax")
+	rf := codesOf(db, "l_returnflag")
+	ls := codesOf(db, "l_linestatus")
+
+	var hashtab [65536]q1Slot
+	n := t.N
+	for i := 0; i < n; i++ {
+		if shipdate[i] <= hiDate {
+			entry := &hashtab[int(rf[i])<<8|int(ls[i])]
+			disc := discount[i]
+			price := extprice[i]
+			entry.count++
+			entry.sumQty += quantity[i]
+			entry.sumDisc += disc
+			entry.sumBase += price
+			price *= 1 - disc
+			entry.sumDiscPrice += price
+			entry.sumCharge += price * (1 + tax[i])
+		}
+	}
+
+	rfDict := t.Col("l_returnflag").Dict
+	lsDict := t.Col("l_linestatus").Dict
+	var out []Q1Group
+	for slot, e := range hashtab {
+		if e.count == 0 {
+			continue
+		}
+		g := Q1Group{
+			ReturnFlag:   rfDict.Values[slot>>8],
+			LineStatus:   lsDict.Values[slot&0xff],
+			SumQty:       e.sumQty,
+			SumBasePrice: e.sumBase,
+			SumDiscPrice: e.sumDiscPrice,
+			SumCharge:    e.sumCharge,
+			AvgQty:       e.sumQty / float64(e.count),
+			AvgPrice:     e.sumBase / float64(e.count),
+			AvgDisc:      e.sumDisc / float64(e.count),
+			CountOrder:   e.count,
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].ReturnFlag != out[b].ReturnFlag {
+			return out[a].ReturnFlag < out[b].ReturnFlag
+		}
+		return out[a].LineStatus < out[b].LineStatus
+	})
+	return out, nil
+}
+
+// decodeF64 materializes an enum float column to a plain array.
+func decodeF64(db *core.Database, col string) []float64 {
+	t, _ := db.Table("lineitem")
+	c := t.Col(col)
+	if !c.IsEnum() {
+		return c.Data().([]float64)
+	}
+	codes := c.Data().([]uint8)
+	out := make([]float64, len(codes))
+	base := c.Dict.F64s
+	for i, code := range codes {
+		out[i] = base[code]
+	}
+	return out
+}
+
+// codesOf returns the uint8 codes of an enum column.
+func codesOf(db *core.Database, col string) []uint8 {
+	t, _ := db.Table("lineitem")
+	return t.Col(col).Data().([]uint8)
+}

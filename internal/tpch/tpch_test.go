@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"x100/internal/core"
+)
+
+var (
+	testDBOnce sync.Once
+	testDB     *core.Database
+)
+
+func getDB(t *testing.T) *core.Database {
+	t.Helper()
+	testDBOnce.Do(func() {
+		db, err := Generate(Config{SF: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testDB = db
+	})
+	return testDB
+}
+
+func TestGenerateSizes(t *testing.T) {
+	db := getDB(t)
+	for _, tc := range []struct {
+		table string
+		want  int
+	}{
+		{"region", 5}, {"nation", 25}, {"supplier", 100},
+		{"customer", 1500}, {"part", 2000}, {"partsupp", 8000},
+		{"orders", 15000},
+	} {
+		tab, err := db.Table(tc.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.N != tc.want {
+			t.Errorf("%s: %d rows, want %d", tc.table, tab.N, tc.want)
+		}
+	}
+	li, _ := db.Table("lineitem")
+	if li.N < 15000 || li.N > 15000*7 {
+		t.Errorf("lineitem has %d rows", li.N)
+	}
+}
+
+func TestQ1MatchesHardcoded(t *testing.T) {
+	db := getDB(t)
+	want, err := HardcodedQ1(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4 {
+		t.Fatalf("hardcoded Q1 produced %d groups, want 4", len(want))
+	}
+	plan, err := Query(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(db, plan, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != len(want) {
+		t.Fatalf("X100 Q1 produced %d rows, want %d", res.NumRows(), len(want))
+	}
+	for i, g := range want {
+		row := res.Row(i)
+		if row[0].(string) != g.ReturnFlag || row[1].(string) != g.LineStatus {
+			t.Fatalf("row %d keys: %v/%v, want %s/%s", i, row[0], row[1], g.ReturnFlag, g.LineStatus)
+		}
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"sum_qty", row[2].(float64), g.SumQty},
+			{"sum_base_price", row[3].(float64), g.SumBasePrice},
+			{"sum_disc_price", row[4].(float64), g.SumDiscPrice},
+			{"sum_charge", row[5].(float64), g.SumCharge},
+			{"avg_qty", row[6].(float64), g.AvgQty},
+			{"avg_price", row[7].(float64), g.AvgPrice},
+			{"avg_disc", row[8].(float64), g.AvgDisc},
+		}
+		for _, ch := range checks {
+			if relDiff(ch.got, ch.want) > 1e-9 {
+				t.Errorf("row %d %s: got %v want %v", i, ch.name, ch.got, ch.want)
+			}
+		}
+		if row[9].(int64) != g.CountOrder {
+			t.Errorf("row %d count: got %v want %v", i, row[9], g.CountOrder)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func TestAllQueriesRunOnX100(t *testing.T) {
+	db := getDB(t)
+	for q := 1; q <= NumQueries; q++ {
+		plan, err := Query(q, 0.01)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		res, err := core.Run(db, plan, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		t.Logf("Q%d: %d rows", q, res.NumRows())
+		// Queries expected to return rows at this scale.
+		switch q {
+		case 1, 3, 4, 5, 6, 7, 10, 12, 13, 14, 15, 22:
+			if res.NumRows() == 0 {
+				t.Errorf("Q%d returned no rows", q)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace implements the detailed profiling support of X100
+// (Section 5.1, Table 5): per-primitive and per-operator counters — call
+// counts, tuples processed, elapsed time, and bandwidth — collected during
+// query execution and rendered in the paper's trace-table format.
+//
+// The paper reads low-level CPU cycle counters; the Go stdlib cannot, so
+// time is wall-clock and "cycles/tuple" is derived from a configurable
+// nominal clock frequency purely for comparability with the paper's tables.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NominalGHz is the clock frequency used to convert ns/tuple into a
+// cycles/tuple estimate in rendered traces. It is presentation only.
+var NominalGHz = 3.0
+
+// Stat accumulates counters for one primitive or operator.
+type Stat struct {
+	Name   string
+	Calls  int64
+	Tuples int64
+	Bytes  int64
+	Nanos  int64
+}
+
+// MBPerSec returns the achieved bandwidth in MB/s (input+output bytes).
+func (s *Stat) MBPerSec() float64 {
+	if s.Nanos == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / 1e6 / (float64(s.Nanos) / 1e9)
+}
+
+// NsPerTuple returns the average time per tuple in nanoseconds.
+func (s *Stat) NsPerTuple() float64 {
+	if s.Tuples == 0 {
+		return 0
+	}
+	return float64(s.Nanos) / float64(s.Tuples)
+}
+
+// CyclesPerTuple estimates cycles/tuple at the nominal clock.
+func (s *Stat) CyclesPerTuple() float64 {
+	return s.NsPerTuple() * NominalGHz
+}
+
+// Collector gathers stats during one query execution. The zero Collector is
+// disabled: Record* calls are cheap no-ops so production paths can leave
+// tracing statements in place.
+type Collector struct {
+	Enabled bool
+	prims   map[string]*Stat
+	ops     map[string]*Stat
+	primSeq []string
+	opSeq   []string
+	start   time.Time
+	total   time.Duration
+}
+
+// New returns an enabled collector.
+func New() *Collector {
+	return &Collector{
+		Enabled: true,
+		prims:   make(map[string]*Stat),
+		ops:     make(map[string]*Stat),
+	}
+}
+
+// Begin marks the start of query execution.
+func (c *Collector) Begin() {
+	if c == nil || !c.Enabled {
+		return
+	}
+	c.start = time.Now()
+}
+
+// End marks the end of query execution.
+func (c *Collector) End() {
+	if c == nil || !c.Enabled {
+		return
+	}
+	c.total = time.Since(c.start)
+}
+
+// Total returns the wall-clock time between Begin and End.
+func (c *Collector) Total() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.total
+}
+
+// Now returns the current time when tracing is enabled, else the zero time;
+// paired with RecordPrimitiveSince it keeps disabled-path cost to one branch.
+func (c *Collector) Now() time.Time {
+	if c == nil || !c.Enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// RecordPrimitiveSince accumulates one primitive invocation that started at
+// t0 (obtained from Now), processing n tuples and touching bytes bytes.
+func (c *Collector) RecordPrimitiveSince(name string, t0 time.Time, n, bytes int) {
+	if c == nil || !c.Enabled || t0.IsZero() {
+		return
+	}
+	c.record(c.prims, &c.primSeq, name, n, bytes, time.Since(t0).Nanoseconds())
+}
+
+// RecordOperator accumulates time attributed to an algebra operator.
+func (c *Collector) RecordOperator(name string, n int, d time.Duration) {
+	if c == nil || !c.Enabled {
+		return
+	}
+	c.record(c.ops, &c.opSeq, name, n, 0, d.Nanoseconds())
+}
+
+func (c *Collector) record(m map[string]*Stat, seq *[]string, name string, n, bytes int, ns int64) {
+	s, ok := m[name]
+	if !ok {
+		s = &Stat{Name: name}
+		m[name] = s
+		*seq = append(*seq, name)
+	}
+	s.Calls++
+	s.Tuples += int64(n)
+	s.Bytes += int64(bytes)
+	s.Nanos += ns
+}
+
+// Primitives returns primitive stats in first-seen order.
+func (c *Collector) Primitives() []*Stat { return c.ordered(c.prims, c.primSeq) }
+
+// Operators returns operator stats in first-seen order.
+func (c *Collector) Operators() []*Stat { return c.ordered(c.ops, c.opSeq) }
+
+func (c *Collector) ordered(m map[string]*Stat, seq []string) []*Stat {
+	out := make([]*Stat, 0, len(seq))
+	for _, n := range seq {
+		out = append(out, m[n])
+	}
+	return out
+}
+
+// Render formats the collector in the layout of the paper's Table 5: the
+// primitive-level block on top, the operator-level block below.
+func (c *Collector) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %10s %12s %9s %7s  %s\n",
+		"input count", "total MB", "time (us)", "BW MB/s", "cyc/tup", "X100 primitive")
+	for _, s := range c.Primitives() {
+		fmt.Fprintf(&b, "%12d %10.1f %12.0f %9.0f %7.1f  %s\n",
+			s.Tuples, float64(s.Bytes)/1e6, float64(s.Nanos)/1e3, s.MBPerSec(), s.CyclesPerTuple(), s.Name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%12s %12s  %s\n", "tuples", "time (us)", "X100 operator")
+	for _, s := range c.Operators() {
+		fmt.Fprintf(&b, "%12d %12.0f  %s\n", s.Tuples, float64(s.Nanos)/1e3, s.Name)
+	}
+	if c.total > 0 {
+		fmt.Fprintf(&b, "\nTOTAL %12.0f us\n", float64(c.total.Nanoseconds())/1e3)
+	}
+	return b.String()
+}
+
+// TopPrimitives returns up to k primitive stats sorted by descending time,
+// for profile-style summaries.
+func (c *Collector) TopPrimitives(k int) []*Stat {
+	out := c.Primitives()
+	sort.Slice(out, func(i, j int) bool { return out[i].Nanos > out[j].Nanos })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package vector
+
+// Batch is the unit of exchange between X100 operators: a set of aligned
+// column vectors of the same logical length plus an optional selection
+// vector.
+//
+// When Sel is nil, all N positions are live. When Sel is non-nil, only the
+// positions it lists (strictly increasing, each < N) are live; the data
+// vectors still contain the unselected values, which downstream primitives
+// simply skip. This avoids copying survivors after a filter (Section 4.2 of
+// the paper).
+type Batch struct {
+	Schema Schema
+	Vecs   []*Vector
+	Sel    []int32 // nil means "all N rows live"
+	N      int     // physical length of each vector
+}
+
+// NewBatch allocates a batch with capacity cap values per column.
+func NewBatch(schema Schema, capacity int) *Batch {
+	b := &Batch{Schema: schema.Clone(), Vecs: make([]*Vector, len(schema))}
+	for i, f := range schema {
+		b.Vecs[i] = New(f.Type, capacity)
+	}
+	b.N = capacity
+	return b
+}
+
+// Rows returns the number of live rows: len(Sel) if a selection vector is
+// present, otherwise N.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Col returns the vector of the named column, or nil if absent.
+func (b *Batch) Col(name string) *Vector {
+	if i := b.Schema.ColIndex(name); i >= 0 {
+		return b.Vecs[i]
+	}
+	return nil
+}
+
+// AddCol appends a column to the batch.
+func (b *Batch) AddCol(name string, v *Vector) {
+	b.Schema = append(b.Schema, Field{Name: name, Type: v.Typ})
+	b.Vecs = append(b.Vecs, v)
+}
+
+// Compact materializes the selection vector: survivors are gathered into
+// fresh dense vectors and Sel is cleared. Operators that need contiguous
+// data (e.g. Order) call this; most do not.
+func (b *Batch) Compact() {
+	if b.Sel == nil {
+		return
+	}
+	for i, v := range b.Vecs {
+		out := New(v.Typ, len(b.Sel))
+		out.Gather(v, b.Sel)
+		b.Vecs[i] = out
+	}
+	b.N = len(b.Sel)
+	b.Sel = nil
+}
+
+// LiveRow returns the physical position of the i-th live row.
+func (b *Batch) LiveRow(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// Row materializes the i-th live row as a boxed value slice (slow path for
+// result collection and tests).
+func (b *Batch) Row(i int) []any {
+	p := b.LiveRow(i)
+	row := make([]any, len(b.Vecs))
+	for c, v := range b.Vecs {
+		row[c] = v.Value(p)
+	}
+	return row
+}
+
+// Bytes returns the total live payload size of the batch, for bandwidth
+// accounting.
+func (b *Batch) Bytes() int {
+	total := 0
+	for _, v := range b.Vecs {
+		total += v.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+// Package vector provides the typed columnar vectors and batches that form
+// the unit of data exchange in the X100 vectorized execution engine.
+//
+// A Vector is a small (default 1024 values) typed array of a single column's
+// values. A Batch groups aligned vectors for several columns together with an
+// optional selection vector listing the positions that survived a selection.
+// Keeping data vectors intact and carrying a separate selection vector is the
+// core X100 trick: after a filter, downstream primitives iterate only the
+// selected positions without copying (Boncz et al., CIDR 2005, Section 4.2).
+package vector
+
+import "fmt"
+
+// Type identifies the logical type of a vector or column.
+type Type uint8
+
+// Supported logical types. Date is physically an int32 (days since
+// 1970-01-01); Enum8/Enum16 are dictionary-encoded strings whose codes are
+// physically uint8/uint16 with the dictionary kept by the storage layer.
+const (
+	Unknown Type = iota
+	Bool
+	UInt8
+	UInt16
+	Int32
+	Int64
+	Float64
+	String
+	Date
+)
+
+// String returns the lower-case name of the type as used by the algebra
+// parser and EXPLAIN output.
+func (t Type) String() string {
+	switch t {
+	case Bool:
+		return "bool"
+	case UInt8:
+		return "uint8"
+	case UInt16:
+		return "uint16"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	case Date:
+		return "date"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseType converts a type name to a Type. It is the inverse of
+// Type.String.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "bool":
+		return Bool, nil
+	case "uint8":
+		return UInt8, nil
+	case "uint16":
+		return UInt16, nil
+	case "int32":
+		return Int32, nil
+	case "int64":
+		return Int64, nil
+	case "float64", "double", "flt":
+		return Float64, nil
+	case "string", "str":
+		return String, nil
+	case "date":
+		return Date, nil
+	default:
+		return Unknown, fmt.Errorf("vector: unknown type %q", s)
+	}
+}
+
+// Width returns the in-memory width in bytes of one value of the type.
+// Strings report the slice-header size (16) plus average payload is
+// accounted separately by the bandwidth tracer.
+func (t Type) Width() int {
+	switch t {
+	case Bool, UInt8:
+		return 1
+	case UInt16:
+		return 2
+	case Int32, Date:
+		return 4
+	case Int64, Float64:
+		return 8
+	case String:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// IsNumeric reports whether arithmetic primitives exist for the type.
+func (t Type) IsNumeric() bool {
+	switch t {
+	case UInt8, UInt16, Int32, Int64, Float64, Date:
+		return true
+	default:
+		return false
+	}
+}
+
+// Physical returns the physical storage type: Date degrades to Int32,
+// everything else is itself.
+func (t Type) Physical() Type {
+	if t == Date {
+		return Int32
+	}
+	return t
+}
+
+// Field describes one column of a schema: a name and a logical type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema []Field
+
+// ColIndex returns the position of the named column, or -1 if absent.
+func (s Schema) ColIndex(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Field returns the field with the given name.
+func (s Schema) Field(name string) (Field, bool) {
+	if i := s.ColIndex(name); i >= 0 {
+		return s[i], true
+	}
+	return Field{}, false
+}
+
+// String renders the schema as "(name:type, ...)".
+func (s Schema) String() string {
+	out := "("
+	for i, f := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += f.Name + ":" + f.Type.String()
+	}
+	return out + ")"
+}
+
+// Clone returns an independent copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}

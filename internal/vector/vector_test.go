@@ -1,0 +1,211 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeRoundTrip(t *testing.T) {
+	for _, typ := range []Type{Bool, UInt8, UInt16, Int32, Int64, Float64, String, Date} {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got != typ {
+			t.Errorf("round trip %v -> %v", typ, got)
+		}
+	}
+	if _, err := ParseType("nope"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	if Date.Physical() != Int32 {
+		t.Error("date must be physically int32")
+	}
+	if !Date.IsNumeric() || String.IsNumeric() || Bool.IsNumeric() {
+		t.Error("numeric classification wrong")
+	}
+	if Int64.Width() != 8 || Int32.Width() != 4 || UInt8.Width() != 1 || String.Width() != 16 {
+		t.Error("widths wrong")
+	}
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	for _, typ := range []Type{Bool, UInt8, UInt16, Int32, Int64, Float64, String, Date} {
+		v := New(typ, 5)
+		if v.Len() != 5 {
+			t.Fatalf("%v: len %d", typ, v.Len())
+		}
+	}
+	v := FromInt64s([]int64{1, 2, 3})
+	if v.Len() != 3 || v.Int64s()[2] != 3 {
+		t.Fatal("FromInt64s")
+	}
+	if v.Value(1).(int64) != 2 {
+		t.Fatal("Value")
+	}
+	v.Set(1, int64(42))
+	if v.Int64s()[1] != 42 {
+		t.Fatal("Set")
+	}
+	if Data[int64](v)[0] != 1 {
+		t.Fatal("Data")
+	}
+}
+
+func TestSliceSharesBacking(t *testing.T) {
+	v := FromFloat64s([]float64{1, 2, 3, 4})
+	s := v.Slice(1, 3)
+	if s.Len() != 2 || s.Float64s()[0] != 2 {
+		t.Fatal("slice")
+	}
+	s.Float64s()[0] = 99
+	if v.Float64s()[1] != 99 {
+		t.Fatal("slice must share backing array")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := FromStrings([]string{"a", "b"})
+	c := v.Clone()
+	c.Strings()[0] = "z"
+	if v.Strings()[0] != "a" {
+		t.Fatal("clone must not share backing")
+	}
+}
+
+func TestGather(t *testing.T) {
+	src := FromInt32s([]int32{10, 20, 30, 40})
+	dst := New(Int32, 0)
+	dst.Gather(src, []int32{3, 1})
+	if dst.Len() != 2 || dst.Int32s()[0] != 40 || dst.Int32s()[1] != 20 {
+		t.Fatalf("gather: %v", dst.Int32s())
+	}
+}
+
+func TestFloat64At(t *testing.T) {
+	if FromInt32s([]int32{7}).Float64At(0) != 7 {
+		t.Fatal("int32")
+	}
+	if FromUint8s([]uint8{3}).Float64At(0) != 3 {
+		t.Fatal("uint8")
+	}
+	if FromFloat64s([]float64{1.5}).Float64At(0) != 1.5 {
+		t.Fatal("float")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if FromInt64s(make([]int64, 4)).Bytes() != 32 {
+		t.Fatal("int64 bytes")
+	}
+	s := FromStrings([]string{"ab", "c"})
+	if s.Bytes() != 3+32 {
+		t.Fatalf("string bytes %d", s.Bytes())
+	}
+}
+
+func TestDateVector(t *testing.T) {
+	v := FromDates([]int32{100, 200})
+	if v.Typ != Date || v.Int32s()[1] != 200 {
+		t.Fatal("dates")
+	}
+}
+
+func TestBatchBasics(t *testing.T) {
+	schema := Schema{{Name: "a", Type: Int64}, {Name: "b", Type: String}}
+	b := NewBatch(schema, 4)
+	if b.Rows() != 4 || b.N != 4 {
+		t.Fatal("rows")
+	}
+	b.Vecs[0].Int64s()[2] = 7
+	b.Vecs[1].Strings()[2] = "x"
+	b.Sel = []int32{2}
+	if b.Rows() != 1 {
+		t.Fatal("sel rows")
+	}
+	if b.LiveRow(0) != 2 {
+		t.Fatal("live row")
+	}
+	row := b.Row(0)
+	if row[0].(int64) != 7 || row[1].(string) != "x" {
+		t.Fatalf("row: %v", row)
+	}
+	if b.Col("b") == nil || b.Col("zz") != nil {
+		t.Fatal("col lookup")
+	}
+}
+
+func TestBatchCompact(t *testing.T) {
+	schema := Schema{{Name: "a", Type: Int32}}
+	b := NewBatch(schema, 4)
+	copy(b.Vecs[0].Int32s(), []int32{10, 20, 30, 40})
+	b.Sel = []int32{1, 3}
+	b.Compact()
+	if b.Sel != nil || b.N != 2 {
+		t.Fatal("compact meta")
+	}
+	got := b.Vecs[0].Int32s()
+	if got[0] != 20 || got[1] != 40 {
+		t.Fatalf("compact data: %v", got)
+	}
+	// Compacting a dense batch is a no-op.
+	b.Compact()
+	if b.N != 2 {
+		t.Fatal("double compact")
+	}
+}
+
+func TestBatchAddCol(t *testing.T) {
+	b := NewBatch(Schema{{Name: "a", Type: Int32}}, 2)
+	b.AddCol("c", FromBools([]bool{true, false}))
+	if b.Schema.ColIndex("c") != 1 || b.Col("c").Bools()[0] != true {
+		t.Fatal("addcol")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{{Name: "x", Type: Int64}, {Name: "y", Type: String}}
+	if s.ColIndex("y") != 1 || s.ColIndex("z") != -1 {
+		t.Fatal("colindex")
+	}
+	f, ok := s.Field("x")
+	if !ok || f.Type != Int64 {
+		t.Fatal("field")
+	}
+	c := s.Clone()
+	c[0].Name = "q"
+	if s[0].Name != "x" {
+		t.Fatal("clone aliases")
+	}
+	if s.String() != "(x:int64, y:string)" {
+		t.Fatalf("string: %s", s.String())
+	}
+}
+
+// Property: Gather(src, sel) picks exactly src[sel[i]].
+func TestGatherProperty(t *testing.T) {
+	f := func(vals []int64, picks []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sel := make([]int32, len(picks))
+		for i, p := range picks {
+			sel[i] = int32(int(p) % len(vals))
+		}
+		src := FromInt64s(vals)
+		dst := New(Int64, 0)
+		dst.Gather(src, sel)
+		for i, s := range sel {
+			if dst.Int64s()[i] != vals[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

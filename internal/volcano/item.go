@@ -1,0 +1,422 @@
+package volcano
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"x100/internal/dateutil"
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// item is one node of the interpreted expression tree: the analogue of
+// MySQL's Item classes. Each eval is a dynamic call per tuple; with
+// profiling enabled each call is also counted and timed under its
+// MySQL-style name (Item_func_plus::val and friends), which regenerates the
+// gprof trace of Table 2.
+type item struct {
+	name string
+	eval func(Row) any
+}
+
+func (e *Engine) wrap(name string, fn func(Row) any) *item {
+	p := e.Profile
+	if p == nil {
+		return &item{name: name, eval: fn}
+	}
+	return &item{name: name, eval: func(r Row) any {
+		done := p.enter(name)
+		v := fn(r)
+		done()
+		return v
+	}}
+}
+
+func (e *Engine) buildItem(x expr.Expr, schema vector.Schema) (*item, error) {
+	switch n := x.(type) {
+	case *expr.Col:
+		i := schema.ColIndex(n.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("volcano: unknown column %q", n.Name)
+		}
+		return e.wrap("Item_field::val", func(r Row) any { return r[i] }), nil
+	case *expr.Const:
+		v := n.Val
+		return &item{name: "Item_literal", eval: func(Row) any { return v }}, nil
+	case *expr.Bin:
+		t, err := x.Type(schema)
+		if err != nil {
+			return nil, err
+		}
+		l, err := e.buildItem(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.buildItem(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		name := "Item_func_" + binName(n.Op) + "::val"
+		switch t.Physical() {
+		case vector.Float64:
+			return e.wrap(name, binEval[float64](n.Op, l, r)), nil
+		case vector.Int64:
+			return e.wrap(name, binEval[int64](n.Op, l, r)), nil
+		case vector.Int32:
+			return e.wrap(name, binEval[int32](n.Op, l, r)), nil
+		}
+		return nil, fmt.Errorf("volcano: arithmetic on %v", t)
+	case *expr.Cmp:
+		lt, err := n.L.Type(schema)
+		if err != nil {
+			return nil, err
+		}
+		l, err := e.buildItem(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.buildItem(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		name := "Item_func_" + cmpName(n.Op) + "::val"
+		switch lt.Physical() {
+		case vector.Float64:
+			return e.wrap(name, cmpEval[float64](n.Op, l, r)), nil
+		case vector.Int64:
+			return e.wrap(name, cmpEval[int64](n.Op, l, r)), nil
+		case vector.Int32:
+			return e.wrap(name, cmpEval[int32](n.Op, l, r)), nil
+		case vector.String:
+			return e.wrap(name, cmpEval[string](n.Op, l, r)), nil
+		case vector.UInt8:
+			return e.wrap(name, cmpEval[uint8](n.Op, l, r)), nil
+		case vector.UInt16:
+			return e.wrap(name, cmpEval[uint16](n.Op, l, r)), nil
+		case vector.Bool:
+			eq := n.Op == expr.EQ
+			return e.wrap(name, func(row Row) any {
+				return (l.eval(row).(bool) == r.eval(row).(bool)) == eq
+			}), nil
+		}
+		return nil, fmt.Errorf("volcano: comparison on %v", lt)
+	case *expr.And:
+		items, err := e.buildItems(n.Args, schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_cond_and::val", func(r Row) any {
+			for _, it := range items {
+				if !it.eval(r).(bool) {
+					return false
+				}
+			}
+			return true
+		}), nil
+	case *expr.Or:
+		items, err := e.buildItems(n.Args, schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_cond_or::val", func(r Row) any {
+			for _, it := range items {
+				if it.eval(r).(bool) {
+					return true
+				}
+			}
+			return false
+		}), nil
+	case *expr.Not:
+		a, err := e.buildItem(n.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_func_not::val", func(r Row) any { return !a.eval(r).(bool) }), nil
+	case *expr.Cast:
+		a, err := e.buildItem(n.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		to := n.To
+		return e.wrap("Item_func_cast::val", func(r Row) any { return convertAny(a.eval(r), to) }), nil
+	case *expr.Like:
+		a, err := e.buildItem(n.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		m := primitives.CompileLike(n.Pattern)
+		neg := n.Negate
+		return e.wrap("Item_func_like::val", func(r Row) any {
+			return m.Match(a.eval(r).(string)) != neg
+		}), nil
+	case *expr.In:
+		a, err := e.buildItem(n.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[any]struct{}, len(n.List))
+		for _, c := range n.List {
+			set[c.Val] = struct{}{}
+		}
+		return e.wrap("Item_func_in::val", func(r Row) any {
+			_, ok := set[a.eval(r)]
+			return ok
+		}), nil
+	case *expr.Case:
+		cond, err := e.buildItem(n.Cond, schema)
+		if err != nil {
+			return nil, err
+		}
+		th, err := e.buildItem(n.Then, schema)
+		if err != nil {
+			return nil, err
+		}
+		el, err := e.buildItem(n.Else, schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_func_case::val", func(r Row) any {
+			if cond.eval(r).(bool) {
+				return th.eval(r)
+			}
+			return el.eval(r)
+		}), nil
+	case *expr.Func:
+		return e.buildFuncItem(n, schema)
+	default:
+		return nil, fmt.Errorf("volcano: cannot interpret %T", x)
+	}
+}
+
+func (e *Engine) buildItems(xs []expr.Expr, schema vector.Schema) ([]*item, error) {
+	out := make([]*item, len(xs))
+	for i, x := range xs {
+		it, err := e.buildItem(x, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = it
+	}
+	return out, nil
+}
+
+func (e *Engine) buildFuncItem(n *expr.Func, schema vector.Schema) (*item, error) {
+	switch n.Kind {
+	case expr.FuncYear:
+		a, err := e.buildItem(n.Args[0], schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_func_year::val", func(r Row) any {
+			return dateutil.Year(a.eval(r).(int32))
+		}), nil
+	case expr.FuncSquare:
+		t, err := n.Args[0].Type(schema)
+		if err != nil {
+			return nil, err
+		}
+		a, err := e.buildItem(n.Args[0], schema)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Physical() {
+		case vector.Float64:
+			return e.wrap("Item_func_square::val", func(r Row) any {
+				v := a.eval(r).(float64)
+				return v * v
+			}), nil
+		case vector.Int64:
+			return e.wrap("Item_func_square::val", func(r Row) any {
+				v := a.eval(r).(int64)
+				return v * v
+			}), nil
+		case vector.Int32:
+			return e.wrap("Item_func_square::val", func(r Row) any {
+				v := a.eval(r).(int32)
+				return v * v
+			}), nil
+		}
+		return nil, fmt.Errorf("volcano: square on %v", t)
+	case expr.FuncSubstr:
+		a, err := e.buildItem(n.Args[0], schema)
+		if err != nil {
+			return nil, err
+		}
+		start, length := n.Start, n.Length
+		return e.wrap("Item_func_substr::val", func(r Row) any {
+			s := a.eval(r).(string)
+			lo := start - 1
+			if lo < 0 {
+				lo = 0
+			}
+			if lo > len(s) {
+				lo = len(s)
+			}
+			hi := lo + length
+			if hi > len(s) {
+				hi = len(s)
+			}
+			return s[lo:hi]
+		}), nil
+	case expr.FuncConcat:
+		a, err := e.buildItem(n.Args[0], schema)
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.buildItem(n.Args[1], schema)
+		if err != nil {
+			return nil, err
+		}
+		return e.wrap("Item_func_concat::val", func(r Row) any {
+			return a.eval(r).(string) + b.eval(r).(string)
+		}), nil
+	default:
+		return nil, fmt.Errorf("volcano: unknown function kind %d", n.Kind)
+	}
+}
+
+func binName(op expr.BinKind) string {
+	switch op {
+	case expr.Add:
+		return "plus"
+	case expr.Sub:
+		return "minus"
+	case expr.Mul:
+		return "mul"
+	default:
+		return "div"
+	}
+}
+
+func cmpName(op expr.CmpKind) string {
+	switch op {
+	case expr.LT:
+		return "lt"
+	case expr.LE:
+		return "le"
+	case expr.GT:
+		return "gt"
+	case expr.GE:
+		return "ge"
+	case expr.EQ:
+		return "eq"
+	default:
+		return "ne"
+	}
+}
+
+func binEval[T int32 | int64 | float64](op expr.BinKind, l, r *item) func(Row) any {
+	switch op {
+	case expr.Add:
+		return func(row Row) any { return l.eval(row).(T) + r.eval(row).(T) }
+	case expr.Sub:
+		return func(row Row) any { return l.eval(row).(T) - r.eval(row).(T) }
+	case expr.Mul:
+		return func(row Row) any { return l.eval(row).(T) * r.eval(row).(T) }
+	default:
+		return func(row Row) any { return l.eval(row).(T) / r.eval(row).(T) }
+	}
+}
+
+func cmpEval[T int32 | int64 | float64 | string | uint8 | uint16](op expr.CmpKind, l, r *item) func(Row) any {
+	switch op {
+	case expr.LT:
+		return func(row Row) any { return l.eval(row).(T) < r.eval(row).(T) }
+	case expr.LE:
+		return func(row Row) any { return l.eval(row).(T) <= r.eval(row).(T) }
+	case expr.GT:
+		return func(row Row) any { return l.eval(row).(T) > r.eval(row).(T) }
+	case expr.GE:
+		return func(row Row) any { return l.eval(row).(T) >= r.eval(row).(T) }
+	case expr.EQ:
+		return func(row Row) any { return l.eval(row).(T) == r.eval(row).(T) }
+	default:
+		return func(row Row) any { return l.eval(row).(T) != r.eval(row).(T) }
+	}
+}
+
+func convertAny(v any, to vector.Type) any {
+	var f float64
+	switch x := v.(type) {
+	case int32:
+		f = float64(x)
+	case int64:
+		f = float64(x)
+	case float64:
+		f = x
+	case uint8:
+		f = float64(x)
+	case uint16:
+		f = float64(x)
+	}
+	switch to.Physical() {
+	case vector.Int32:
+		return int32(f)
+	case vector.Int64:
+		return int64(f)
+	default:
+		return f
+	}
+}
+
+// --- byte-record marshalling (MySQL record format stand-in) ---
+
+func appendField(rec []byte, v any) []byte {
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return append(rec, 1)
+		}
+		return append(rec, 0)
+	case uint8:
+		return append(rec, x)
+	case uint16:
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], x)
+		return append(rec, b[:]...)
+	case int32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		return append(rec, b[:]...)
+	case int64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		return append(rec, b[:]...)
+	case float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		return append(rec, b[:]...)
+	case string:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(x)))
+		rec = append(rec, b[:]...)
+		return append(rec, x...)
+	default:
+		panic(fmt.Sprintf("volcano: cannot marshal %T", v))
+	}
+}
+
+func readField(rec []byte, off int, t vector.Type) (any, int) {
+	switch t.Physical() {
+	case vector.Bool:
+		return rec[off] != 0, off + 1
+	case vector.UInt8:
+		return rec[off], off + 1
+	case vector.UInt16:
+		return binary.LittleEndian.Uint16(rec[off:]), off + 2
+	case vector.Int32:
+		return int32(binary.LittleEndian.Uint32(rec[off:])), off + 4
+	case vector.Int64:
+		return int64(binary.LittleEndian.Uint64(rec[off:])), off + 8
+	case vector.Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(rec[off:])), off + 8
+	case vector.String:
+		n := int(binary.LittleEndian.Uint32(rec[off:]))
+		off += 4
+		return string(rec[off : off+n]), off + n
+	default:
+		panic(fmt.Sprintf("volcano: cannot unmarshal %v", t))
+	}
+}

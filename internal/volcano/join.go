@@ -1,0 +1,321 @@
+package volcano
+
+import (
+	"fmt"
+
+	"x100/internal/algebra"
+	"x100/internal/core"
+	"x100/internal/vector"
+)
+
+// joinOp is the tuple-at-a-time hash join (and nested-loop cross product
+// when no equi-conditions are given). The right side is materialized into a
+// boxed-row hash table; each left tuple probes it with an encoded key.
+type joinOp struct {
+	eng    *Engine
+	left   Operator
+	right  Operator
+	node   *algebra.Join
+	schema vector.Schema
+
+	lKeyIdx  []int
+	rKeyIdx  []int
+	residual *item
+
+	built    bool
+	table    map[string][]Row
+	rightAll []Row
+	rWidth   int
+
+	pending []Row
+	keyBuf  []byte
+}
+
+func newJoin(e *Engine, l, r Operator, n *algebra.Join) (*joinOp, error) {
+	op := &joinOp{eng: e, left: l, right: r, node: n}
+	ls, rs := l.Schema(), r.Schema()
+	for _, c := range n.On {
+		li, ri := ls.ColIndex(c.L), rs.ColIndex(c.R)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("volcano: join key %s=%s not found", c.L, c.R)
+		}
+		op.lKeyIdx = append(op.lKeyIdx, li)
+		op.rKeyIdx = append(op.rKeyIdx, ri)
+	}
+	switch n.Kind {
+	case algebra.Semi, algebra.Anti:
+		op.schema = ls.Clone()
+	case algebra.Mark:
+		op.schema = append(ls.Clone(), vector.Field{Name: n.MarkCol, Type: vector.Bool})
+	default:
+		op.schema = append(ls.Clone(), rs.Clone()...)
+	}
+	op.rWidth = len(rs)
+	if n.Residual != nil {
+		combined := append(ls.Clone(), rs.Clone()...)
+		it, err := e.buildItem(n.Residual, combined)
+		if err != nil {
+			return nil, err
+		}
+		op.residual = it
+	}
+	return op, nil
+}
+
+func (j *joinOp) Schema() vector.Schema { return j.schema }
+
+func (j *joinOp) Open() error {
+	j.built = false
+	j.pending = nil
+	j.table = nil
+	j.rightAll = nil
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	return j.right.Open()
+}
+
+func (j *joinOp) Close() error {
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+func (j *joinOp) build() error {
+	j.table = make(map[string][]Row)
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if len(j.node.On) == 0 {
+			j.rightAll = append(j.rightAll, row)
+			continue
+		}
+		key := j.encodeKey(row, j.rKeyIdx)
+		j.table[key] = append(j.table[key], row)
+	}
+	j.built = true
+	return nil
+}
+
+func (j *joinOp) encodeKey(row Row, idx []int) string {
+	j.keyBuf = j.keyBuf[:0]
+	for _, i := range idx {
+		j.keyBuf = appendField(j.keyBuf, row[i])
+	}
+	return string(j.keyBuf)
+}
+
+func (j *joinOp) residualOK(l, r Row) bool {
+	if j.residual == nil {
+		return true
+	}
+	combined := make(Row, 0, len(l)+len(r))
+	combined = append(combined, l...)
+	combined = append(combined, r...)
+	return j.residual.eval(combined).(bool)
+}
+
+func (j *joinOp) Next() (Row, bool, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if len(j.pending) > 0 {
+			row := j.pending[0]
+			j.pending = j.pending[1:]
+			return row, true, nil
+		}
+		l, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		var candidates []Row
+		if len(j.node.On) == 0 {
+			candidates = j.rightAll
+		} else {
+			candidates = j.table[j.encodeKey(l, j.lKeyIdx)]
+		}
+		matched := false
+		for _, r := range candidates {
+			if !j.residualOK(l, r) {
+				continue
+			}
+			matched = true
+			if j.node.Kind == algebra.Inner || j.node.Kind == algebra.LeftOuter {
+				combined := make(Row, 0, len(l)+len(r))
+				combined = append(combined, l...)
+				combined = append(combined, r...)
+				j.pending = append(j.pending, combined)
+			} else {
+				break
+			}
+		}
+		switch j.node.Kind {
+		case algebra.LeftOuter:
+			if !matched {
+				combined := make(Row, len(l)+j.rWidth)
+				copy(combined, l)
+				for i := 0; i < j.rWidth; i++ {
+					combined[len(l)+i] = zeroOf(j.schema[len(l)+i].Type)
+				}
+				j.pending = append(j.pending, combined)
+			}
+		case algebra.Semi:
+			if matched {
+				return l, true, nil
+			}
+		case algebra.Anti:
+			if !matched {
+				return l, true, nil
+			}
+		case algebra.Mark:
+			out := make(Row, len(l)+1)
+			copy(out, l)
+			out[len(l)] = matched
+			return out, true, nil
+		}
+	}
+}
+
+// fetch1Op fetches referenced-table columns by row id, one tuple at a time.
+type fetch1Op struct {
+	eng    *Engine
+	input  Operator
+	node   *algebra.Fetch1Join
+	rowID  *item
+	cols   []func(int) any
+	schema vector.Schema
+}
+
+func newFetch1(e *Engine, in Operator, n *algebra.Fetch1Join) (*fetch1Op, error) {
+	t, err := e.DB.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	it, err := e.buildItem(n.RowID, in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	op := &fetch1Op{eng: e, input: in, node: n, rowID: it, schema: in.Schema().Clone()}
+	for i, cname := range n.Cols {
+		col := t.Col(cname)
+		if col == nil {
+			return nil, fmt.Errorf("volcano: table %s has no column %q", n.Table, cname)
+		}
+		cc := col
+		op.cols = append(op.cols, func(r int) any { return cc.DecodedValue(r) })
+		name := cname
+		if i < len(n.As) && n.As[i] != "" {
+			name = n.As[i]
+		}
+		op.schema = append(op.schema, vector.Field{Name: name, Type: col.Typ})
+	}
+	return op, nil
+}
+
+func (f *fetch1Op) Schema() vector.Schema { return f.schema }
+func (f *fetch1Op) Open() error           { return f.input.Open() }
+func (f *fetch1Op) Close() error          { return f.input.Close() }
+
+func (f *fetch1Op) Next() (Row, bool, error) {
+	row, ok, err := f.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	id := int(f.rowID.eval(row).(int32))
+	out := make(Row, 0, len(f.schema))
+	out = append(out, row...)
+	p := f.eng.Profile
+	for _, g := range f.cols {
+		d := p.enter("rec_get_nth_field")
+		out = append(out, g(id))
+		d()
+	}
+	return out, true, nil
+}
+
+// fetchNOp expands each input row into its referenced-table range.
+type fetchNOp struct {
+	eng      *Engine
+	input    Operator
+	node     *algebra.FetchNJoin
+	starts   []int32
+	cols     []func(int) any
+	schema   vector.Schema
+	rangeIdx int
+
+	cur   Row
+	curLo int32
+	curHi int32
+}
+
+func newFetchN(e *Engine, in Operator, n *algebra.FetchNJoin) (*fetchNOp, error) {
+	t, err := e.DB.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	ri := e.DB.RangeIndexAny(n.Table)
+	if ri == nil {
+		return nil, fmt.Errorf("volcano: no range index registered for %s", n.Table)
+	}
+	rc := in.Schema().ColIndex(n.RangeOf)
+	if rc < 0 {
+		return nil, fmt.Errorf("volcano: input has no column %q", n.RangeOf)
+	}
+	op := &fetchNOp{eng: e, input: in, node: n, starts: ri.Starts, rangeIdx: rc, schema: in.Schema().Clone()}
+	for i, cname := range n.Cols {
+		col := t.Col(cname)
+		if col == nil {
+			return nil, fmt.Errorf("volcano: table %s has no column %q", n.Table, cname)
+		}
+		cc := col
+		op.cols = append(op.cols, func(r int) any { return cc.DecodedValue(r) })
+		name := cname
+		if i < len(n.As) && n.As[i] != "" {
+			name = n.As[i]
+		}
+		op.schema = append(op.schema, vector.Field{Name: name, Type: col.Typ})
+	}
+	return op, nil
+}
+
+func (f *fetchNOp) Schema() vector.Schema { return f.schema }
+func (f *fetchNOp) Open() error           { f.cur = nil; return f.input.Open() }
+func (f *fetchNOp) Close() error          { return f.input.Close() }
+
+func (f *fetchNOp) Next() (Row, bool, error) {
+	for {
+		if f.cur == nil {
+			row, ok, err := f.input.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			id := row[f.rangeIdx].(int32)
+			f.cur = row
+			f.curLo, f.curHi = f.starts[id], f.starts[id+1]
+		}
+		if f.curLo >= f.curHi {
+			f.cur = nil
+			continue
+		}
+		r := int(f.curLo)
+		f.curLo++
+		out := make(Row, 0, len(f.schema))
+		out = append(out, f.cur...)
+		for _, g := range f.cols {
+			out = append(out, g(r))
+		}
+		return out, true, nil
+	}
+}
+
+var _ = core.DictSuffix

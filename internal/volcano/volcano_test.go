@@ -1,0 +1,199 @@
+package volcano
+
+import (
+	"strings"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/core"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+func volDB(t *testing.T) *core.Database {
+	t.Helper()
+	db := core.NewDatabase()
+	tab := colstore.NewTable("t")
+	if err := tab.AddColumn("a", vector.Float64, []float64{5, 1, 4, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddEnumColumn("g", []string{"p", "q", "p", "q", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("d", vector.Date, []int32{10, 20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(tab)
+	return db
+}
+
+func TestVolcanoScanSelectsAndDecodes(t *testing.T) {
+	db := volDB(t)
+	eng := New(db)
+	res, err := eng.Run(algebra.NewSelect(algebra.NewScan("t", "a", "g"),
+		expr.GEE(expr.C("a"), expr.Float(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("rows: %d", res.NumRows())
+	}
+	if res.Row(0)[1].(string) != "p" {
+		t.Fatalf("enum decode: %v", res.Row(0))
+	}
+}
+
+func TestVolcanoAggrOrderProject(t *testing.T) {
+	db := volDB(t)
+	eng := New(db)
+	plan := algebra.NewOrder(
+		algebra.NewAggr(
+			algebra.NewProject(algebra.NewScan("t", "a", "g"),
+				algebra.NE("g", expr.C("g")),
+				algebra.NE("a2", expr.MulE(expr.C("a"), expr.Float(2)))),
+			[]algebra.NamedExpr{algebra.NE("g", expr.C("g"))},
+			[]algebra.AggExpr{
+				algebra.Sum("s", expr.C("a2")),
+				algebra.Min("mn", expr.C("a2")),
+				algebra.Max("mx", expr.C("a2")),
+				algebra.Avg("av", expr.C("a2")),
+				algebra.Count("n"),
+			}),
+		algebra.Asc(expr.C("g")))
+	res, err := eng.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows: %d", res.NumRows())
+	}
+	p := res.Row(0) // group p: a = 5,4,3 doubled: 10,8,6
+	if p[1].(float64) != 24 || p[2].(float64) != 6 || p[3].(float64) != 10 || p[4].(float64) != 8 || p[5].(int64) != 3 {
+		t.Fatalf("group p: %v", p)
+	}
+}
+
+func TestVolcanoProfileShape(t *testing.T) {
+	db := volDB(t)
+	prof := NewProfile()
+	eng := &Engine{DB: db, Profile: prof}
+	plan := algebra.NewAggr(
+		algebra.NewSelect(algebra.NewScan("t", "a", "g", "d"),
+			expr.LEE(expr.C("d"), expr.Int32Const(40))),
+		[]algebra.NamedExpr{algebra.NE("g", expr.C("g"))},
+		[]algebra.AggExpr{algebra.Sum("s", expr.AddE(expr.C("a"), expr.C("a")))})
+	if _, err := eng.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]*FuncStat{}
+	for _, s := range prof.Stats() {
+		stats[s.Name] = s
+	}
+	// 5 tuples scanned: one record store each, 3 field decodes each.
+	if s := stats["row_sel_store_mysql_rec"]; s == nil || s.Calls != 5 {
+		t.Fatalf("record stores: %+v", s)
+	}
+	if s := stats["rec_get_nth_field"]; s == nil || s.Calls != 15 {
+		t.Fatalf("field decodes: %+v", s)
+	}
+	// 4 qualifying tuples: one plus per tuple inside the sum argument.
+	if s := stats["Item_func_plus::val"]; s == nil || s.Calls != 4 {
+		t.Fatalf("plus calls: %+v", s)
+	}
+	if s := stats["Item_sum_sum::update_field"]; s == nil || s.Calls != 4 {
+		t.Fatalf("sum updates: %+v", s)
+	}
+	out := prof.Render()
+	for _, want := range []string{"cum.", "excl.", "Item_func_le::val", "ut_fold_binary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestVolcanoJoinKinds(t *testing.T) {
+	db := volDB(t)
+	dim := colstore.NewTable("dim")
+	if err := dim.AddColumn("k", vector.Float64, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.AddColumn("lbl", vector.String, []string{"one", "two"}); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(dim)
+	eng := New(db)
+	left := func() algebra.Node { return algebra.NewScan("t", "a") }
+	right := func() algebra.Node { return algebra.NewScan("dim", "k", "lbl") }
+
+	inner, err := eng.Run(algebra.NewJoin(left(), right(), algebra.EquiCond{L: "a", R: "k"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.NumRows() != 2 {
+		t.Fatalf("inner: %d", inner.NumRows())
+	}
+	anti, err := eng.Run(algebra.NewJoinKind(algebra.Anti, left(), right(), algebra.EquiCond{L: "a", R: "k"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.NumRows() != 3 {
+		t.Fatalf("anti: %d", anti.NumRows())
+	}
+	outer, err := eng.Run(algebra.NewJoinKind(algebra.LeftOuter, left(), right(), algebra.EquiCond{L: "a", R: "k"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.NumRows() != 5 {
+		t.Fatalf("outer: %d", outer.NumRows())
+	}
+	mark, err := eng.Run(algebra.NewJoinKind(algebra.Mark, left(), right(),
+		algebra.EquiCond{L: "a", R: "k"}).WithMark("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < mark.NumRows(); i++ {
+		if mark.Row(i)[1].(bool) {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("mark hits: %d", hits)
+	}
+}
+
+func TestVolcanoRejectsPendingDeltas(t *testing.T) {
+	db := volDB(t)
+	ds, err := db.Delta("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Insert([]any{1.0, "p", int32(60)}); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(db)
+	if _, err := eng.Run(algebra.NewScan("t", "a")); err == nil {
+		t.Fatal("volcano scan over pending deltas must be rejected")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	vals := []any{true, uint8(7), uint16(300), int32(-5), int64(1 << 40), 3.25, "hello"}
+	types := []vector.Type{vector.Bool, vector.UInt8, vector.UInt16, vector.Int32, vector.Int64, vector.Float64, vector.String}
+	var rec []byte
+	for _, v := range vals {
+		rec = appendField(rec, v)
+	}
+	off := 0
+	for i, typ := range types {
+		var got any
+		got, off = readField(rec, off, typ)
+		if got != vals[i] {
+			t.Fatalf("field %d: %v != %v", i, got, vals[i])
+		}
+	}
+	if off != len(rec) {
+		t.Fatalf("offset %d != %d", off, len(rec))
+	}
+}

@@ -1,0 +1,291 @@
+// Package x100 is the public API of this reproduction of "MonetDB/X100:
+// Hyper-Pipelining Query Execution" (Boncz, Zukowski, Nes — CIDR 2005): an
+// embeddable, vectorized, columnar query engine.
+//
+// A DB holds columnar tables (with optional enumeration compression, delta
+// updates, summary and join indices). Queries are plans in the paper's X100
+// relational algebra, built either with the fluent Q builder:
+//
+//	q := x100.ScanT("lineitem", "l_shipdate", "l_extendedprice").
+//	       Where(x100.Le(x100.Col("l_shipdate"), x100.Date("1998-09-02"))).
+//	       AggrBy(nil, x100.SumA("total", x100.Col("l_extendedprice")))
+//	res, err := db.Exec(q.Node())
+//
+// or parsed from the paper's textual syntax:
+//
+//	res, err := db.ExecText(`Aggr(Select(Scan(lineitem),
+//	    <(l_shipdate, date('1998-09-02'))), [], [total = sum(l_extendedprice)])`)
+//
+// Execution defaults to the vectorized X100 engine; the two baseline
+// engines the paper compares against (tuple-at-a-time Volcano, and
+// column-at-a-time MIL) are selectable per query for comparison.
+package x100
+
+import (
+	"fmt"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/core"
+	"x100/internal/delta"
+	"x100/internal/expr"
+	"x100/internal/mil"
+	"x100/internal/tpch"
+	"x100/internal/trace"
+	"x100/internal/vector"
+	"x100/internal/volcano"
+)
+
+// Type aliases re-exported for schema construction.
+type (
+	// Type is a column type.
+	Type = vector.Type
+	// Schema describes a relation.
+	Schema = vector.Schema
+	// Field is one schema column.
+	Field = vector.Field
+	// Result is a materialized query result.
+	Result = core.Result
+	// Expr is a scalar expression.
+	Expr = expr.Expr
+	// Node is an algebra plan node.
+	Node = algebra.Node
+	// Tracer collects per-primitive execution statistics (Table 5 format).
+	Tracer = trace.Collector
+)
+
+// Column types.
+const (
+	Bool     = vector.Bool
+	UInt8    = vector.UInt8
+	UInt16   = vector.UInt16
+	Int32T   = vector.Int32
+	Int64T   = vector.Int64
+	Float64T = vector.Float64
+	StringT  = vector.String
+	DateT    = vector.Date
+)
+
+// DB is a columnar database instance.
+type DB struct {
+	inner *core.Database
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{inner: core.NewDatabase()} }
+
+// GenerateTPCH creates a database pre-loaded with the deterministic TPC-H
+// dataset this reproduction benchmarks on, at the given scale factor
+// (1.0 = the 1GB schema).
+func GenerateTPCH(sf float64) (*DB, error) {
+	db, err := tpch.Generate(tpch.Config{SF: sf})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: db}, nil
+}
+
+// TPCHQuery returns the plan of TPC-H query q (1..22).
+func TPCHQuery(q int, sf float64) (Node, error) { return tpch.Query(q, sf) }
+
+// Internal returns the underlying engine database (escape hatch for
+// advanced use: index registration, delta access).
+func (db *DB) Internal() *core.Database { return db.inner }
+
+// ColumnData attaches one column when creating a table.
+type ColumnData struct {
+	Name string
+	Type Type
+	// Data is the typed slice ([]int64, []float64, []int32, []string,
+	// []bool, ...). For Date columns pass []int32 day numbers.
+	Data any
+	// Enum stores a string or float64 column enumeration-compressed.
+	Enum bool
+}
+
+// CreateTable registers a new table from full columns.
+func (db *DB) CreateTable(name string, cols ...ColumnData) error {
+	t := colstore.NewTable(name)
+	for _, c := range cols {
+		var err error
+		switch {
+		case c.Enum && c.Type == StringT:
+			err = t.AddEnumColumn(c.Name, c.Data.([]string))
+		case c.Enum && c.Type == Float64T:
+			err = t.AddEnumF64Column(c.Name, c.Data.([]float64))
+		case c.Enum:
+			err = fmt.Errorf("x100: enum columns must be string or float64, got %v", c.Type)
+		default:
+			err = t.AddColumn(c.Name, c.Type, c.Data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	db.inner.AddTable(t)
+	return nil
+}
+
+// TableSchema returns a table's schema.
+func (db *DB) TableSchema(name string) (Schema, error) { return db.inner.TableSchema(name) }
+
+// NumRows returns a table's visible row count (base + deltas).
+func (db *DB) NumRows(name string) (int, error) {
+	ds, err := db.inner.Delta(name)
+	if err != nil {
+		return 0, err
+	}
+	return ds.NumRows(), nil
+}
+
+// Insert appends a row (boxed values in schema order) to a table's delta
+// store (Figure 8 of the paper: base fragments are immutable).
+func (db *DB) Insert(table string, row ...any) error {
+	ds, err := db.inner.Delta(table)
+	if err != nil {
+		return err
+	}
+	_, err = ds.Insert(row)
+	return err
+}
+
+// Delete marks a row id deleted.
+func (db *DB) Delete(table string, rowID int32) error {
+	ds, err := db.inner.Delta(table)
+	if err != nil {
+		return err
+	}
+	return ds.Delete(rowID)
+}
+
+// Update replaces a row (a delete plus an insert, per the paper).
+func (db *DB) Update(table string, rowID int32, row ...any) error {
+	ds, err := db.inner.Delta(table)
+	if err != nil {
+		return err
+	}
+	_, err = ds.Update(rowID, row)
+	return err
+}
+
+// DeltaFraction reports the delta-to-base size ratio of a table; reorganize
+// when it exceeds a small percentile.
+func (db *DB) DeltaFraction(table string) (float64, error) {
+	ds, err := db.inner.Delta(table)
+	if err != nil {
+		return 0, err
+	}
+	return ds.DeltaFraction(), nil
+}
+
+// Reorganize absorbs a table's deltas into its base fragments.
+func (db *DB) Reorganize(table string) error {
+	ds, err := db.inner.Delta(table)
+	if err != nil {
+		return err
+	}
+	return ds.Reorganize()
+}
+
+// Delta exposes a table's delta store.
+func (db *DB) Delta(table string) (*delta.Store, error) { return db.inner.Delta(table) }
+
+// BuildSummaryIndex builds a sparse min/max index over a clustered column
+// (granule <= 0 selects the default of 1024 rows).
+func (db *DB) BuildSummaryIndex(table, column string, granule int) error {
+	return db.inner.BuildSummaryIndex(table, column, granule)
+}
+
+// Engine selects an execution architecture.
+type Engine int
+
+// Execution engines: the paper's vectorized X100 engine (default), and the
+// two baselines it is evaluated against.
+const (
+	Vectorized Engine = iota // X100: vector-at-a-time pipeline
+	MIL                      // column-at-a-time full materialization
+	Volcano                  // tuple-at-a-time interpretation
+)
+
+// ExecOption configures Exec.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	engine     Engine
+	vectorSize int
+	fuse       bool
+	tracer     *trace.Collector
+	milTrace   *mil.Trace
+	profile    *volcano.Profile
+}
+
+// WithEngine selects the execution engine.
+func WithEngine(e Engine) ExecOption { return func(c *execConfig) { c.engine = e } }
+
+// WithVectorSize overrides the vector length (default 1024; Figure 10).
+func WithVectorSize(n int) ExecOption { return func(c *execConfig) { c.vectorSize = n } }
+
+// WithoutFusion disables compound-primitive fusion (Section 4.2 ablation).
+func WithoutFusion() ExecOption { return func(c *execConfig) { c.fuse = false } }
+
+// WithTracer attaches a per-primitive tracer (Vectorized engine).
+func WithTracer(t *Tracer) ExecOption { return func(c *execConfig) { c.tracer = t } }
+
+// WithMILTrace attaches a per-statement trace (MIL engine, Table 3 format).
+func WithMILTrace(t *mil.Trace) ExecOption { return func(c *execConfig) { c.milTrace = t } }
+
+// WithProfile attaches a gprof-style profile (Volcano engine, Table 2
+// format).
+func WithProfile(p *volcano.Profile) ExecOption { return func(c *execConfig) { c.profile = p } }
+
+// NewTracer creates a tracer for WithTracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewMILTrace creates a statement trace for WithMILTrace.
+func NewMILTrace() *mil.Trace { return &mil.Trace{} }
+
+// NewProfile creates a profile for WithProfile.
+func NewProfile() *volcano.Profile { return volcano.NewProfile() }
+
+// Exec runs a plan and materializes the result.
+func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
+	cfg := execConfig{fuse: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch cfg.engine {
+	case MIL:
+		eng := &mil.Engine{DB: db.inner, Trace: cfg.milTrace}
+		return eng.Run(plan)
+	case Volcano:
+		eng := &volcano.Engine{DB: db.inner, Profile: cfg.profile}
+		return eng.Run(plan)
+	default:
+		eo := core.DefaultOptions()
+		eo.Fuse = cfg.fuse
+		eo.Tracer = cfg.tracer
+		if cfg.vectorSize > 0 {
+			eo.BatchSize = cfg.vectorSize
+		}
+		return core.Run(db.inner, plan, eo)
+	}
+}
+
+// ExecText parses a plan in the paper's textual algebra syntax and runs it.
+func (db *DB) ExecText(plan string, opts ...ExecOption) (*Result, error) {
+	n, err := algebra.Parse(plan)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(n, opts...)
+}
+
+// Parse parses a textual algebra plan without executing it.
+func Parse(plan string) (Node, error) { return algebra.Parse(plan) }
+
+// Explain renders a plan tree (Figure 6 style).
+func Explain(plan Node) string { return algebra.Explain(plan) }
+
+// Validate type-checks a plan against the database catalog and returns its
+// output schema.
+func (db *DB) Validate(plan Node) (Schema, error) { return plan.Out(db.inner) }
