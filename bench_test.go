@@ -134,6 +134,28 @@ func BenchmarkTable1_Q1_Hardcoded(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1_Q1_X100Parallel measures the multi-core scan-aggregate
+// path (morsel-partitioned scan, parallel partial aggregation) at several
+// worker counts; compare against BenchmarkTable1_Q1_X100 for the speedup.
+func BenchmarkTable1_Q1_X100Parallel(b *testing.B) {
+	db := getBenchDB(b)
+	plan, err := tpch.Query(1, benchSF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism%d", p), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(db, plan, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Table 2: profiled tuple-at-a-time Q1 ---
 
 func BenchmarkTable2_Q1_VolcanoProfiled(b *testing.B) {

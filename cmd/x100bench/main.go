@@ -7,13 +7,21 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// ablation-compound, ablation-enum, ablation-summary, ablation-selvec, all.
+// parallel, ablation-compound, ablation-enum, ablation-summary,
+// ablation-selvec, all.
+//
+// The parallel experiment measures multi-core scaling of the Q1/Q6
+// scan-aggregate workloads; -parallel selects the worker counts and -json
+// writes the measurements as machine-readable records:
+//
+//	x100bench -exp parallel -sf 1 -parallel 1,2,4,8 -json BENCH_parallel.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"x100/internal/bench"
@@ -26,15 +34,37 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor for the main database")
 	smallSF := flag.Float64("small-sf", 0.001, "scale factor for the cache-resident database (Table 3)")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	par := flag.String("parallel", "", "comma-separated parallelism levels for the parallel experiment (default 1,2,4[,NumCPU])")
+	jsonPath := flag.String("json", "", "write benchmark records as JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *sf, *smallSF, *seed); err != nil {
+	levels, err := parseLevels(*par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x100bench:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, *sf, *smallSF, *seed, levels, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "x100bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, sf, smallSF float64, seed uint64) error {
+func parseLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -parallel level %q", part)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
+}
+
+func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath string) error {
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -44,8 +74,8 @@ func run(exp string, sf, smallSF float64, seed uint64) error {
 
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
-		want["table5"] || want["fig10"] || want["ablation-compound"] || want["ablation-summary"] ||
-		want["ablation-fetchjoin"]
+		want["table5"] || want["fig10"] || want["parallel"] || want["ablation-compound"] ||
+		want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
 		var err error
@@ -63,6 +93,7 @@ func run(exp string, sf, smallSF float64, seed uint64) error {
 	}
 	sep := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
 
+	var records []bench.Record
 	type step struct {
 		name string
 		fn   func() error
@@ -70,6 +101,11 @@ func run(exp string, sf, smallSF float64, seed uint64) error {
 	steps := []step{
 		{"fig2", func() error { return bench.Fig2(w) }},
 		{"table1", func() error { return bench.Table1(w, db, sf) }},
+		{"parallel", func() error {
+			recs, err := bench.ParallelScaling(w, db, sf, levels)
+			records = append(records, recs...)
+			return err
+		}},
 		{"table2", func() error { return bench.Table2(w, db, sf) }},
 		{"table3", func() error { return bench.Table3(w, db, sf, smallDB, smallSF) }},
 		{"table4", func() error { return bench.Table4(w, db, sf) }},
@@ -97,6 +133,12 @@ func run(exp string, sf, smallSF float64, seed uint64) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if jsonPath != "" {
+		if err := bench.WriteRecords(jsonPath, records); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d benchmark records to %s\n", len(records), jsonPath)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module x100
+
+go 1.24

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"x100/internal/core"
+	"x100/internal/tpch"
+)
+
+// Record is one machine-readable benchmark measurement, emitted as JSON by
+// cmd/x100bench -json for trajectory tracking across versions.
+type Record struct {
+	Name        string  `json:"name"`
+	SF          float64 `json:"sf"`
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Rows        int     `json:"rows"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+// WriteRecords writes benchmark records as an indented JSON array (an
+// empty array, never null, so downstream parsers always see an array).
+func WriteRecords(path string, recs []Record) error {
+	if recs == nil {
+		recs = []Record{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParallelScaling measures the Q1-style scan-select-aggregate workload and
+// the Q6 scan-select-scalar-aggregate at increasing Parallelism, reporting
+// speedup over serial execution. Near-linear scaling up to the physical
+// core count is the expectation on multi-core hardware; levels beyond
+// runtime.GOMAXPROCS(0) only measure scheduling overhead.
+func ParallelScaling(w io.Writer, db *core.Database, sf float64, levels []int) ([]Record, error) {
+	if len(levels) == 0 {
+		levels = defaultParallelLevels()
+	}
+	lineitemRows := 0
+	if t, err := db.Table("lineitem"); err == nil {
+		lineitemRows = t.N
+	}
+	fmt.Fprintf(w, "Parallel scaling at SF=%g (GOMAXPROCS=%d, lineitem=%d rows)\n",
+		sf, runtime.GOMAXPROCS(0), lineitemRows)
+	fmt.Fprintf(w, "%-10s %12s %14s %14s %10s\n",
+		"query", "parallelism", "time", "rows/sec", "speedup")
+	var recs []Record
+	for _, q := range []int{1, 6} {
+		plan, err := tpch.Query(q, sf)
+		if err != nil {
+			return nil, err
+		}
+		// The serial baseline is measured once up front so speedups are
+		// well-defined for any level list (e.g. -parallel 2,4,8).
+		serial, err := timeIt(200*time.Millisecond, func() error {
+			_, err := core.Run(db, plan, core.DefaultOptions())
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range levels {
+			d := serial
+			if p > 1 {
+				opts := core.DefaultOptions()
+				opts.Parallelism = p
+				d, err = timeIt(200*time.Millisecond, func() error {
+					_, err := core.Run(db, plan, opts)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			speedup := 0.0
+			if serial > 0 {
+				speedup = float64(serial) / float64(d)
+			}
+			rowsPerSec := 0.0
+			if d > 0 {
+				rowsPerSec = float64(lineitemRows) / d.Seconds()
+			}
+			name := fmt.Sprintf("Q%d_parallel", q)
+			fmt.Fprintf(w, "%-10s %12d %14v %14.0f %9.2fx\n",
+				fmt.Sprintf("Q%d", q), p, d.Round(time.Microsecond), rowsPerSec, speedup)
+			recs = append(recs, Record{
+				Name:        name,
+				SF:          sf,
+				Parallelism: p,
+				NsPerOp:     float64(d.Nanoseconds()),
+				Rows:        lineitemRows,
+				RowsPerSec:  rowsPerSec,
+				Speedup:     speedup,
+			})
+		}
+	}
+	return recs, nil
+}
+
+func defaultParallelLevels() []int {
+	levels := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		levels = append(levels, n)
+	}
+	return levels
+}

@@ -518,46 +518,43 @@ func (op *aggrOp) assignHash(b *vector.Batch) error {
 
 	gids := op.gidBuf[:b.N]
 	t1 := op.opts.Tracer.Now()
-	process := func(i int32) error {
-		slot := hashes[i] & op.mask
-		for {
-			g := op.buckets[slot] - 1
-			if g < 0 {
-				// New group: store keys.
-				for c, k := range keys {
-					op.groups[c].appendAt(k, int(i))
-				}
-				g = int32(op.nGroups)
-				op.nGroups++
-				op.buckets[slot] = g + 1
-				op.growGroups(op.nGroups)
-				gids[i] = g
-				return nil
-			}
-			if op.groupEquals(int(g), keys, int(i)) {
-				gids[i] = g
-				return nil
-			}
-			slot = (slot + 1) & op.mask
-		}
-	}
 	if b.Sel != nil {
 		for _, i := range b.Sel {
-			if err := process(i); err != nil {
-				return err
-			}
-			op.maybeGrowTable()
+			gids[i] = op.findOrAddGroup(keys, int(i), hashes[i])
 		}
 	} else {
 		for i := 0; i < b.N; i++ {
-			if err := process(int32(i)); err != nil {
-				return err
-			}
-			op.maybeGrowTable()
+			gids[i] = op.findOrAddGroup(keys, i, hashes[i])
 		}
 	}
 	op.opts.Tracer.RecordPrimitiveSince("aggr_hashprobe_uidx_col", t1, b.Rows(), 12*b.Rows())
 	return nil
+}
+
+// findOrAddGroup probes the group hash table for the key at the given row
+// of the key vectors (hash h), inserting a new group on miss. Shared by the
+// per-batch hash-assignment path and the parallel partial-result merge.
+func (op *aggrOp) findOrAddGroup(keys []*vector.Vector, row int, h uint64) int32 {
+	slot := h & op.mask
+	for {
+		g := op.buckets[slot] - 1
+		if g < 0 {
+			// New group: store keys.
+			for c, k := range keys {
+				op.groups[c].appendAt(k, row)
+			}
+			g = int32(op.nGroups)
+			op.nGroups++
+			op.buckets[slot] = g + 1
+			op.growGroups(op.nGroups)
+			op.maybeGrowTable()
+			return g
+		}
+		if op.groupEquals(int(g), keys, row) {
+			return g
+		}
+		slot = (slot + 1) & op.mask
+	}
 }
 
 func (op *aggrOp) groupEquals(g int, keys []*vector.Vector, row int) bool {
@@ -684,6 +681,95 @@ func (op *aggrOp) emit() (*vector.Batch, error) {
 		out.Vecs[ng+i] = v
 	}
 	return out, nil
+}
+
+// mergeFrom folds the partial aggregation state of src — a worker's
+// aggregation over one partition of the input — into op. The group sets are
+// unioned and the accumulators combine order-insensitively: sums and counts
+// add, min/max compare (respecting seen flags), and avg adds its sums and
+// row counts before finalization, so the merged result equals a serial
+// aggregation up to floating-point summation order. op and src must be
+// built from the same Aggr node and run in the same mode.
+func (op *aggrOp) mergeFrom(src *aggrOp) {
+	switch op.mode {
+	case algebra.ModeDirect:
+		// Group id is the code slot itself: merge slot-wise.
+		op.growGroups(len(src.rowCount))
+		for g, rc := range src.rowCount {
+			if rc == 0 {
+				continue
+			}
+			op.rowCount[g] += rc
+			for i, a := range op.accs {
+				a.merge(src.accs[i], g, g)
+			}
+		}
+	default:
+		if len(op.node.GroupBy) == 0 {
+			// Scalar aggregation: the single pre-existing group 0.
+			op.rowCount[0] += src.rowCount[0]
+			for i, a := range op.accs {
+				a.merge(src.accs[i], 0, 0)
+			}
+			return
+		}
+		keys := make([]*vector.Vector, len(src.groups))
+		for c, cb := range src.groups {
+			keys[c] = cb.vec()
+		}
+		for g := 0; g < src.nGroups; g++ {
+			var h uint64
+			for _, cb := range src.groups {
+				h = cb.hashAt(g, h)
+			}
+			dg := int(op.findOrAddGroup(keys, g, h))
+			op.rowCount[dg] += src.rowCount[g]
+			for i, a := range op.accs {
+				a.merge(src.accs[i], g, dg)
+			}
+		}
+	}
+}
+
+// merge combines the partial accumulator state of src group sg into group
+// dg of a.
+func (a *accumulator) merge(src *accumulator, sg, dg int) {
+	switch a.fn {
+	case algebra.AggCount:
+		a.i64[dg] += src.i64[sg]
+	case algebra.AggAvg:
+		a.f64[dg] += src.f64[sg]
+	case algebra.AggSum:
+		if a.outTyp == vector.Float64 {
+			a.f64[dg] += src.f64[sg]
+		} else {
+			a.i64[dg] += src.i64[sg]
+		}
+	default: // min/max
+		if !src.seen[sg] {
+			return
+		}
+		first := !a.seen[dg]
+		a.seen[dg] = true
+		takeMin := a.fn == algebra.AggMin
+		switch a.outTyp.Physical() {
+		case vector.Float64:
+			a.f64[dg] = mergeMinMax(takeMin, first, a.f64[dg], src.f64[sg])
+		case vector.Int64:
+			a.i64[dg] = mergeMinMax(takeMin, first, a.i64[dg], src.i64[sg])
+		case vector.Int32:
+			a.i32[dg] = mergeMinMax(takeMin, first, a.i32[dg], src.i32[sg])
+		case vector.String:
+			a.str[dg] = mergeMinMax(takeMin, first, a.str[dg], src.str[sg])
+		}
+	}
+}
+
+func mergeMinMax[T primitives.Ordered](takeMin, first bool, dst, src T) T {
+	if first || (takeMin && src < dst) || (!takeMin && src > dst) {
+		return src
+	}
+	return dst
 }
 
 // hashVector hashes one key vector into hashes (first column initializes,

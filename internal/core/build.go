@@ -8,10 +8,15 @@ import (
 	"x100/internal/vector"
 )
 
-// Build compiles an algebra plan into an X100 operator tree.
+// Build compiles an algebra plan into an X100 operator tree. With
+// opts.Parallelism > 1, partitionable plan fragments compile into parallel
+// worker pipelines joined by exchange/merge operators (see exchange.go).
 func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
 	if _, err := plan.Out(db); err != nil {
 		return nil, err
+	}
+	if opts.parallelism() > 1 {
+		return buildParallel(db, plan, opts)
 	}
 	return build(db, plan, opts)
 }

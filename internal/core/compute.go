@@ -27,8 +27,18 @@ func newSelectOp(input Operator, p expr.Expr, opts ExecOptions) (*selectOp, erro
 }
 
 func (s *selectOp) Schema() vector.Schema { return s.input.Schema() }
-func (s *selectOp) Open() error           { return s.input.Open() }
-func (s *selectOp) Close() error          { return s.input.Close() }
+
+func (s *selectOp) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	// Preallocate the predicate's selection buffers once; Next then runs
+	// allocation-free.
+	s.pred.Reserve(s.opts.batchSize())
+	return nil
+}
+
+func (s *selectOp) Close() error { return s.input.Close() }
 
 func (s *selectOp) Next() (*vector.Batch, error) {
 	for {
@@ -58,6 +68,7 @@ type projectOp struct {
 	pass   []int // input column index for pass-through, else -1
 	schema vector.Schema
 	opts   ExecOptions
+	out    *vector.Batch // reused output batch (valid until the next Next)
 }
 
 func newProjectOp(input Operator, exprs []algebra.NamedExpr, opts ExecOptions) (*projectOp, error) {
@@ -84,8 +95,16 @@ func newProjectOp(input Operator, exprs []algebra.NamedExpr, opts ExecOptions) (
 }
 
 func (p *projectOp) Schema() vector.Schema { return p.schema }
-func (p *projectOp) Open() error           { return p.input.Open() }
-func (p *projectOp) Close() error          { return p.input.Close() }
+
+func (p *projectOp) Open() error {
+	// The output batch struct and vector-pointer slice are reused across
+	// Next calls; the vectors themselves alias input columns or
+	// program-owned registers, so no payload is allocated here either.
+	p.out = &vector.Batch{Schema: p.schema, Vecs: make([]*vector.Vector, len(p.exprs))}
+	return p.input.Open()
+}
+
+func (p *projectOp) Close() error { return p.input.Close() }
 
 func (p *projectOp) Next() (*vector.Batch, error) {
 	b, err := p.input.Next()
@@ -93,7 +112,9 @@ func (p *projectOp) Next() (*vector.Batch, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	out := &vector.Batch{Schema: p.schema, Vecs: make([]*vector.Vector, len(p.exprs)), Sel: b.Sel, N: b.N}
+	out := p.out
+	out.Sel = b.Sel
+	out.N = b.N
 	for i := range p.exprs {
 		if pi := p.pass[i]; pi >= 0 {
 			out.Vecs[i] = b.Vecs[pi]

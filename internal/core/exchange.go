@@ -1,0 +1,639 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+	"x100/internal/trace"
+	"x100/internal/vector"
+)
+
+// This file implements intra-query parallelism: morsel-driven partitioned
+// scans, the exchange (fan-out/fan-in) operator, and parallel partial
+// aggregation with a merge phase. The paper executes on one core; on
+// multi-core hardware the same vectorized pipelines parallelize naturally
+// because all per-batch state (selection vectors, expression registers,
+// decode buffers) is owned by the operator instance, so cloning the
+// pipeline per worker makes each goroutine race-free by construction.
+// Shared read-only structures — base column fragments, dictionaries,
+// summary indices, and the hash-join build — are probed concurrently
+// without locks.
+
+// defaultMorselRows is the number of rows handed to a worker per claim: a
+// multiple of the vector size large enough to amortize the atomic claim,
+// small enough that stragglers rebalance (morsel-driven scheduling).
+const defaultMorselRows = 16384
+
+// morselSource hands out contiguous row-range morsels of a scan to worker
+// pipelines. Claiming is a single atomic add, so workers that finish early
+// keep pulling work until the range is exhausted.
+type morselSource struct {
+	lo, hi int
+	morsel int
+	next   atomic.Int64
+}
+
+func newMorselSource(lo, hi int, opts ExecOptions) *morselSource {
+	m := &morselSource{lo: lo, hi: hi, morsel: max(opts.batchSize(), defaultMorselRows)}
+	m.next.Store(int64(lo))
+	return m
+}
+
+// reset rewinds the dispenser so a re-Opened plan scans the full range
+// again. The coordinating operator (exchange, parallel aggregation) calls
+// it at Open, before any worker goroutine starts claiming.
+func (m *morselSource) reset() { m.next.Store(int64(m.lo)) }
+
+// claim returns the next unclaimed morsel [lo,hi), or ok=false when the
+// range is exhausted.
+func (m *morselSource) claim() (int, int, bool) {
+	lo := int(m.next.Add(int64(m.morsel))) - m.morsel
+	if lo >= m.hi {
+		return 0, 0, false
+	}
+	return lo, min(lo+m.morsel, m.hi), true
+}
+
+// exchMsg is one hand-off from a worker to the consumer.
+type exchMsg struct {
+	b   *vector.Batch
+	err error
+}
+
+// exchangeOp merges the batch streams of N worker pipelines into one
+// stream (the exchange operator of parallel Volcano engines). Each worker
+// goroutine pulls from its own partition pipeline and copies live rows
+// into an owned buffer batch before sending, preserving the "batch valid
+// until the next Next()" contract across the goroutine boundary; buffers
+// recycle through a free list so the steady state allocates nothing.
+// Batch order across partitions is not deterministic — order-sensitive
+// consumers (Order, TopN) sort downstream.
+type exchangeOp struct {
+	parts   []Operator      // per-worker partition pipelines
+	extra   []Operator      // shared build-side pipelines to close with the op
+	sources []*morselSource // morsel dispensers, rewound at Open
+	tracers []*trace.Collector
+	opts    ExecOptions
+	schema  vector.Schema
+
+	out     chan exchMsg
+	recycle chan *vector.Batch
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped sync.Once
+	cur     *vector.Batch
+	merged  bool
+}
+
+func newExchangeOpFromParts(parts []Operator, ctx *parCtx, tracers []*trace.Collector, opts ExecOptions) *exchangeOp {
+	return &exchangeOp{
+		parts:   parts,
+		extra:   ctx.extra,
+		sources: ctx.sources(),
+		tracers: tracers,
+		opts:    opts,
+		schema:  parts[0].Schema(),
+	}
+}
+
+func (e *exchangeOp) Schema() vector.Schema { return e.schema }
+
+func (e *exchangeOp) Open() error {
+	for _, src := range e.sources {
+		src.reset()
+	}
+	for i, p := range e.parts {
+		if err := p.Open(); err != nil {
+			for _, q := range e.parts[:i] {
+				q.Close()
+			}
+			return err
+		}
+	}
+	e.out = make(chan exchMsg, len(e.parts))
+	e.recycle = make(chan *vector.Batch, 2*len(e.parts)+1)
+	e.stop = make(chan struct{})
+	e.stopped = sync.Once{}
+	e.cur = nil
+	e.merged = false
+	for _, p := range e.parts {
+		e.wg.Add(1)
+		go e.worker(p)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.out)
+	}()
+	return nil
+}
+
+func (e *exchangeOp) worker(p Operator) {
+	defer e.wg.Done()
+	for {
+		b, err := p.Next()
+		if err != nil {
+			select {
+			case e.out <- exchMsg{err: err}:
+			case <-e.stop:
+			}
+			return
+		}
+		if b == nil {
+			return
+		}
+		var buf *vector.Batch
+		select {
+		case buf = <-e.recycle:
+		default:
+			buf = &vector.Batch{}
+		}
+		buf.CopyFrom(b)
+		select {
+		case e.out <- exchMsg{b: buf}:
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *exchangeOp) Next() (*vector.Batch, error) {
+	t0 := time.Now()
+	if e.cur != nil {
+		select {
+		case e.recycle <- e.cur:
+		default:
+		}
+		e.cur = nil
+	}
+	msg, ok := <-e.out
+	if !ok {
+		return nil, nil
+	}
+	if msg.err != nil {
+		e.signalStop()
+		return nil, msg.err
+	}
+	e.cur = msg.b
+	e.opts.Tracer.RecordOperator("Exchange", msg.b.Rows(), time.Since(t0))
+	return msg.b, nil
+}
+
+func (e *exchangeOp) signalStop() {
+	e.stopped.Do(func() { close(e.stop) })
+}
+
+func (e *exchangeOp) Close() error {
+	if e.stop != nil {
+		e.signalStop()
+		// Unblock workers parked on the full out channel, then wait them
+		// out (the closer goroutine closes out after the last worker).
+		for range e.out {
+		}
+	}
+	var firstErr error
+	for _, p := range e.parts {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range e.extra {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.mergeTracers()
+	return firstErr
+}
+
+func (e *exchangeOp) mergeTracers() {
+	if e.merged {
+		return
+	}
+	e.merged = true
+	for _, tr := range e.tracers {
+		e.opts.Tracer.Merge(tr)
+	}
+}
+
+// schemaOnlyOp is a zero-row input used to instantiate the merge-phase
+// aggregation of parallelAggrOp with the partition pipelines' schema.
+type schemaOnlyOp struct{ schema vector.Schema }
+
+func (s schemaOnlyOp) Schema() vector.Schema        { return s.schema }
+func (s schemaOnlyOp) Open() error                  { return nil }
+func (s schemaOnlyOp) Next() (*vector.Batch, error) { return nil, nil }
+func (s schemaOnlyOp) Close() error                 { return nil }
+
+// parallelAggrOp executes an aggregation in two phases: N workers each run
+// a full aggrOp over their partition of the input (partial aggregation,
+// building thread-local group tables), then the partials merge into one
+// final group table which emits the result. The merge is order-insensitive
+// — sums and counts add, min/max compare, avg combines sums and row counts
+// before finalization — so the group set and all integer aggregates are
+// identical to serial execution; float aggregates agree up to summation
+// order.
+type parallelAggrOp struct {
+	workers []*aggrOp
+	extra   []Operator
+	sources []*morselSource
+	tracers []*trace.Collector
+	merged  *aggrOp
+	opts    ExecOptions
+	done    bool
+}
+
+func (op *parallelAggrOp) Schema() vector.Schema { return op.merged.Schema() }
+
+func (op *parallelAggrOp) Open() error {
+	op.done = false
+	for _, src := range op.sources {
+		src.reset()
+	}
+	return op.merged.Open()
+}
+
+func (op *parallelAggrOp) Close() error {
+	var firstErr error
+	for _, w := range op.workers {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range op.extra {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := op.merged.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (op *parallelAggrOp) Next() (*vector.Batch, error) {
+	if !op.done {
+		if err := op.run(); err != nil {
+			return nil, err
+		}
+		op.done = true
+	}
+	return op.merged.emit()
+}
+
+// run executes the partial-aggregation phase on worker goroutines, then
+// merges the partials in worker order (fixed merge order keeps repeated
+// runs at the same parallelism bit-identical for a given partitioning).
+func (op *parallelAggrOp) run() error {
+	t0 := time.Now()
+	errs := make([]error, len(op.workers))
+	var wg sync.WaitGroup
+	for i, w := range op.workers {
+		wg.Add(1)
+		go func(i int, w *aggrOp) {
+			defer wg.Done()
+			if err := w.Open(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.consume()
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, w := range op.workers {
+		op.merged.mergeFrom(w)
+	}
+	for _, tr := range op.tracers {
+		op.opts.Tracer.Merge(tr)
+	}
+	op.merged.done = true
+	op.opts.Tracer.RecordOperator("Aggr(parallel-merge)", op.merged.nGroups, time.Since(t0))
+	return nil
+}
+
+// --- parallel plan compilation ---
+
+// partitionable reports whether the subtree rooted at plan can be compiled
+// into per-worker partition pipelines over a shared morsel source: a chain
+// of Select/Project/Fetch1Join/FetchNJoin and hash-join probe sides rooted
+// at a Scan of a table with no pending deltas (the delta-merging scan path
+// is value-at-a-time and single-threaded).
+func partitionable(db *Database, plan algebra.Node) bool {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		ds, err := db.Delta(n.Table)
+		if err != nil {
+			return false
+		}
+		return ds.NumDeleted() == 0 && ds.NumDeltaRows() == 0
+	case *algebra.Select:
+		return partitionable(db, n.Input)
+	case *algebra.Project:
+		return partitionable(db, n.Input)
+	case *algebra.Join:
+		// Equi-joins only: the probe side partitions, the build side is
+		// materialized once and probed concurrently.
+		return len(n.On) > 0 && partitionable(db, n.Left)
+	case *algebra.Fetch1Join:
+		return partitionable(db, n.Input)
+	case *algebra.FetchNJoin:
+		return partitionable(db, n.Input)
+	default:
+		return false
+	}
+}
+
+// parCtx carries the state shared by the N partition pipelines of one
+// parallel plan fragment: per-Scan morsel sources and per-Join shared
+// builds, keyed by plan node identity.
+type parCtx struct {
+	db    *Database
+	scans map[algebra.Node]*morselSource
+	joins map[algebra.Node]*joinBuild
+	extra []Operator // build-side pipelines owned by the fragment
+}
+
+// sources lists the fragment's morsel dispensers.
+func (c *parCtx) sources() []*morselSource {
+	out := make([]*morselSource, 0, len(c.scans))
+	for _, src := range c.scans {
+		out = append(out, src)
+	}
+	return out
+}
+
+func newParCtx(db *Database) *parCtx {
+	return &parCtx{
+		db:    db,
+		scans: make(map[algebra.Node]*morselSource),
+		joins: make(map[algebra.Node]*joinBuild),
+	}
+}
+
+// buildPartition compiles one worker's copy of a partitionable subtree.
+// Every operator instance (and its compiled expression programs, buffers
+// and selection vectors) is private to the worker; only the morsel sources
+// and join builds are shared.
+func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, error) {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		return c.partScan(n, nil, opts)
+	case *algebra.Select:
+		if sc, ok := n.Input.(*algebra.Scan); ok && !opts.NoSummaryIndex {
+			in, err := c.partScan(sc, n.Pred, opts)
+			if err != nil {
+				return nil, err
+			}
+			return newSelectOp(in, n.Pred, opts)
+		}
+		in, err := c.buildPartition(n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newSelectOp(in, n.Pred, opts)
+	case *algebra.Project:
+		in, err := c.buildPartition(n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectOp(in, n.Exprs, opts)
+	case *algebra.Join:
+		left, err := c.buildPartition(n.Left, opts)
+		if err != nil {
+			return nil, err
+		}
+		jb := c.joins[n]
+		if jb == nil {
+			// The build side runs once, serially, shared by all probers.
+			right, err := build(c.db, n.Right, opts)
+			if err != nil {
+				return nil, err
+			}
+			jb = &joinBuild{right: right}
+			c.joins[n] = jb
+			c.extra = append(c.extra, right)
+		}
+		return newSharedProbeJoinOp(left, jb, n, opts)
+	case *algebra.Fetch1Join:
+		in, err := c.buildPartition(n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetch1JoinOp(c.db, in, n, opts)
+	case *algebra.FetchNJoin:
+		in, err := c.buildPartition(n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetchNJoinOp(c.db, in, n, opts)
+	default:
+		return nil, fmt.Errorf("core: internal: buildPartition on non-partitionable %T", plan)
+	}
+}
+
+// partScan builds one worker's partitioned scan. The first worker derives
+// the scanned row range (after summary-index pruning from the enclosing
+// Select, when present) and creates the shared morsel source.
+func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (Operator, error) {
+	op, err := newScanOp(c.db, n.Table, n.Cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	src := c.scans[n]
+	if src == nil {
+		if pred != nil {
+			applySummaryBounds(c.db, n.Table, pred, op)
+		}
+		src = newMorselSource(op.lo, op.hi, opts)
+		c.scans[n] = src
+	}
+	op.source = src
+	return op, nil
+}
+
+// workerOptions derives the per-worker ExecOptions: identical to the
+// query's options except for the tracer, which each worker owns (the trace
+// collector is not synchronized) and merges back when the workers join.
+func workerOptions(opts ExecOptions, tracers []*trace.Collector, i int) ExecOptions {
+	w := opts
+	if opts.Tracer != nil {
+		tracers[i] = trace.New()
+		w.Tracer = tracers[i]
+	}
+	return w
+}
+
+// newParallelPipelines compiles plan into opts.parallelism() partition
+// pipelines sharing one parCtx.
+func newParallelPipelines(db *Database, plan algebra.Node, opts ExecOptions) ([]Operator, *parCtx, []*trace.Collector, error) {
+	nw := opts.parallelism()
+	ctx := newParCtx(db)
+	parts := make([]Operator, nw)
+	tracers := make([]*trace.Collector, nw)
+	for i := range parts {
+		p, err := ctx.buildPartition(plan, workerOptions(opts, tracers, i))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		parts[i] = p
+	}
+	return parts, ctx, tracers, nil
+}
+
+// newExchangeOp compiles a partitionable subtree into an exchange over N
+// partition pipelines.
+func newExchangeOp(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
+	parts, ctx, tracers, err := newParallelPipelines(db, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newExchangeOpFromParts(parts, ctx, tracers, opts), nil
+}
+
+// newParallelAggr compiles Aggr(partitionable input) into partial
+// aggregations over partition pipelines plus a merge phase. ok=false means
+// the aggregation mode cannot merge (ordered aggregation) and the caller
+// should fall back.
+func newParallelAggr(db *Database, n *algebra.Aggr, opts ExecOptions) (Operator, bool, error) {
+	parts, ctx, tracers, err := newParallelPipelines(db, n.Input, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	workers := make([]*aggrOp, len(parts))
+	for i, p := range parts {
+		w := opts
+		if tracers[i] != nil {
+			w.Tracer = tracers[i]
+		}
+		workers[i], err = newAggrOp(p, n, w)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if workers[0].mode == algebra.ModeOrdered {
+		// Ordered aggregation relies on global input order; its inputs
+		// (Order nodes) are not partitionable, so this is unreachable —
+		// kept as a correctness backstop.
+		return nil, false, nil
+	}
+	merged, err := newAggrOp(schemaOnlyOp{schema: parts[0].Schema()}, n, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return &parallelAggrOp{
+		workers: workers,
+		extra:   ctx.extra,
+		sources: ctx.sources(),
+		tracers: tracers,
+		merged:  merged,
+		opts:    opts,
+	}, true, nil
+}
+
+// buildParallel compiles a plan with intra-query parallelism: maximal
+// partitionable fragments become exchange fan-outs or two-phase parallel
+// aggregations, and the remaining (pipeline-breaking or order-sensitive)
+// operators run serially on the merged stream.
+func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
+	switch n := plan.(type) {
+	case *algebra.Aggr:
+		if partitionable(db, n.Input) {
+			op, ok, err := newParallelAggr(db, n, opts)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return op, nil
+			}
+		}
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newAggrOp(in, n, opts)
+	case *algebra.Scan:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		return build(db, plan, opts)
+	case *algebra.Select:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		if _, ok := n.Input.(*algebra.Scan); ok {
+			// Delta-bearing scan below: serial path keeps the
+			// summary-bounds special case.
+			return build(db, plan, opts)
+		}
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newSelectOp(in, n.Pred, opts)
+	case *algebra.Project:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectOp(in, n.Exprs, opts)
+	case *algebra.Join:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		if len(n.On) == 0 {
+			return build(db, plan, opts)
+		}
+		l, err := buildParallel(db, n.Left, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildParallel(db, n.Right, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newHashJoinOp(l, r, n, opts)
+	case *algebra.Fetch1Join:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetch1JoinOp(db, in, n, opts)
+	case *algebra.FetchNJoin:
+		if partitionable(db, n) {
+			return newExchangeOp(db, n, opts)
+		}
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newFetchNJoinOp(db, in, n, opts)
+	case *algebra.Order:
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newOrderOp(in, n.Keys, 0, opts)
+	case *algebra.TopN:
+		in, err := buildParallel(db, n.Input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newOrderOp(in, n.Keys, n.N, opts)
+	default:
+		return build(db, plan, opts)
+	}
+}

@@ -2,12 +2,83 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"x100/internal/algebra"
 	"x100/internal/expr"
 	"x100/internal/vector"
 )
+
+// joinBuild is the hash-join build state: the materialized build side plus
+// its chained hash table. It is immutable once built, so N probe pipelines
+// running on separate goroutines can share one instance — the first prober
+// constructs it (the sync.Once), the rest wait and then probe concurrently.
+type joinBuild struct {
+	right     Operator // build-side pipeline, drained exactly once
+	rightKeys []int
+	once      sync.Once
+	err       error
+
+	rbuild  []*colBuilder // all right columns
+	buckets []int32       // head row id + 1
+	next    []int32       // chain
+	mask    uint64
+	nRight  int
+}
+
+// run materializes the build side on first call; subsequent (possibly
+// concurrent) calls return the first call's outcome.
+func (jb *joinBuild) run(opts ExecOptions) error {
+	jb.once.Do(func() { jb.err = jb.build(opts) })
+	return jb.err
+}
+
+func (jb *joinBuild) build(opts ExecOptions) error {
+	t0 := time.Now()
+	if err := jb.right.Open(); err != nil {
+		return err
+	}
+	rs := jb.right.Schema()
+	jb.rbuild = make([]*colBuilder, len(rs))
+	for i, f := range rs {
+		jb.rbuild[i] = newColBuilder(f.Type)
+	}
+	for {
+		b, err := jb.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i, v := range b.Vecs {
+			jb.rbuild[i].appendVec(v, b.Sel, b.N)
+		}
+	}
+	if len(jb.rbuild) > 0 {
+		jb.nRight = jb.rbuild[0].len()
+	}
+	// Size the table to ~2x rows, power of two.
+	sz := 1024
+	for sz < jb.nRight*2 {
+		sz *= 2
+	}
+	jb.buckets = make([]int32, sz)
+	jb.mask = uint64(sz - 1)
+	jb.next = make([]int32, jb.nRight)
+	for r := 0; r < jb.nRight; r++ {
+		var h uint64
+		for _, ki := range jb.rightKeys {
+			h = jb.rbuild[ki].hashAt(r, h)
+		}
+		slot := h & jb.mask
+		jb.next[r] = jb.buckets[slot] - 1
+		jb.buckets[slot] = int32(r) + 1
+	}
+	opts.Tracer.RecordOperator("HashJoin(build)", jb.nRight, time.Since(t0))
+	return nil
+}
 
 // hashJoinOp implements the Join operator for equi-conditions. The right
 // (build) side is drained into columnar builders and indexed by a chained
@@ -16,21 +87,18 @@ import (
 // mark (Section 4.1.2 lists Join over left-deep plans; semi/anti/mark are
 // the decorrelation workhorses for the TPC-H plans).
 type hashJoinOp struct {
-	left, right Operator
-	node        *algebra.Join
-	opts        ExecOptions
-	schema      vector.Schema
+	left   Operator
+	right  Operator // nil when the build is shared with sibling probe pipelines
+	node   *algebra.Join
+	opts   ExecOptions
+	schema vector.Schema
 
 	leftKeys  []int // column indices in left schema
 	rightKeys []int // column indices in right schema
 
-	// build state
-	built    bool
-	rbuild   []*colBuilder // all right columns
-	buckets  []int32       // head row id + 1
-	next     []int32       // chain
-	mask     uint64
-	nRight   int
+	// bld holds the build side. Serial joins own a fresh one per Open;
+	// parallel probe pipelines share a single prebuilt instance.
+	bld      *joinBuild
 	hashBuf  []uint64
 	residual expr.Scalar // optional, over concatenated schema
 
@@ -80,16 +148,32 @@ func newHashJoinOp(left, right Operator, node *algebra.Join, opts ExecOptions) (
 	return op, nil
 }
 
+// newSharedProbeJoinOp builds one probe pipeline of a parallel hash join:
+// the left input is this worker's partition and jb is the build shared by
+// all sibling probers. jb.right is only used for its schema here; the
+// parallel plan builder retains ownership and closes it.
+func newSharedProbeJoinOp(left Operator, jb *joinBuild, node *algebra.Join, opts ExecOptions) (*hashJoinOp, error) {
+	op, err := newHashJoinOp(left, jb.right, node, opts)
+	if err != nil {
+		return nil, err
+	}
+	op.right = nil
+	jb.rightKeys = op.rightKeys
+	op.bld = jb
+	return op, nil
+}
+
 func (op *hashJoinOp) Schema() vector.Schema { return op.schema }
 
 func (op *hashJoinOp) Open() error {
 	if err := op.left.Open(); err != nil {
 		return err
 	}
-	if err := op.right.Open(); err != nil {
-		return err
+	if op.right != nil {
+		// Owned build side: a fresh build per Open (the build-side pipeline
+		// is opened and drained lazily by joinBuild.run at the first Next).
+		op.bld = &joinBuild{right: op.right, rightKeys: op.rightKeys}
 	}
-	op.built = false
 	op.curBatch = nil
 	op.curLive = 0
 	op.curChain = -1
@@ -101,54 +185,14 @@ func (op *hashJoinOp) Open() error {
 
 func (op *hashJoinOp) Close() error {
 	if err := op.left.Close(); err != nil {
-		op.right.Close()
+		if op.right != nil {
+			op.right.Close()
+		}
 		return err
 	}
-	return op.right.Close()
-}
-
-func (op *hashJoinOp) build() error {
-	t0 := time.Now()
-	rs := op.right.Schema()
-	op.rbuild = make([]*colBuilder, len(rs))
-	for i, f := range rs {
-		op.rbuild[i] = newColBuilder(f.Type)
+	if op.right != nil {
+		return op.right.Close()
 	}
-	for {
-		b, err := op.right.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		for i, v := range b.Vecs {
-			op.rbuild[i].appendVec(v, b.Sel, b.N)
-		}
-	}
-	op.nRight = op.rbuild[0].len()
-	if len(op.rbuild) == 0 {
-		op.nRight = 0
-	}
-	// Size the table to ~2x rows, power of two.
-	sz := 1024
-	for sz < op.nRight*2 {
-		sz *= 2
-	}
-	op.buckets = make([]int32, sz)
-	op.mask = uint64(sz - 1)
-	op.next = make([]int32, op.nRight)
-	for r := 0; r < op.nRight; r++ {
-		var h uint64
-		for _, ki := range op.rightKeys {
-			h = op.rbuild[ki].hashAt(r, h)
-		}
-		slot := h & op.mask
-		op.next[r] = op.buckets[slot] - 1
-		op.buckets[slot] = int32(r) + 1
-	}
-	op.built = true
-	op.opts.Tracer.RecordOperator("HashJoin(build)", op.nRight, time.Since(t0))
 	return nil
 }
 
@@ -169,7 +213,7 @@ func (op *hashJoinOp) probeHashes(b *vector.Batch) error {
 // keyMatch verifies that build row r equals left batch row pos on all keys.
 func (op *hashJoinOp) keyMatch(r int32, b *vector.Batch, pos int) bool {
 	for i, ki := range op.rightKeys {
-		if !op.rbuild[ki].equalAt(int(r), b.Vecs[op.leftKeys[i]], pos) {
+		if !op.bld.rbuild[ki].equalAt(int(r), b.Vecs[op.leftKeys[i]], pos) {
 			return false
 		}
 	}
@@ -182,21 +226,19 @@ func (op *hashJoinOp) residualOK(b *vector.Batch, pos int, r int32) bool {
 		return true
 	}
 	nl := len(b.Vecs)
-	row := make([]any, nl+len(op.rbuild))
+	row := make([]any, nl+len(op.bld.rbuild))
 	for c, v := range b.Vecs {
 		row[c] = v.Value(pos)
 	}
-	for c, cb := range op.rbuild {
+	for c, cb := range op.bld.rbuild {
 		row[nl+c] = cb.vec().Value(int(r))
 	}
 	return op.residual(row).(bool)
 }
 
 func (op *hashJoinOp) Next() (*vector.Batch, error) {
-	if !op.built {
-		if err := op.build(); err != nil {
-			return nil, err
-		}
+	if err := op.bld.run(op.opts); err != nil {
+		return nil, err
 	}
 	switch op.node.Kind {
 	case algebra.Inner, algebra.LeftOuter:
@@ -246,12 +288,12 @@ func (op *hashJoinOp) nextExpand() (*vector.Batch, error) {
 		pos := b.LiveRow(op.curLive)
 		if op.curChain == -2 {
 			// Begin chain for this left row.
-			op.curChain = op.buckets[op.hashBuf[pos]&op.mask] - 1
+			op.curChain = op.bld.buckets[op.hashBuf[pos]&op.bld.mask] - 1
 			op.matchedCur = false
 		}
 		for op.curChain >= 0 && len(op.leftIdx) < bs {
 			r := op.curChain
-			op.curChain = op.next[r]
+			op.curChain = op.bld.next[r]
 			if op.keyMatch(r, b, pos) && op.residualOK(b, pos, r) {
 				op.leftIdx = append(op.leftIdx, int32(pos))
 				op.rightIdx = append(op.rightIdx, r)
@@ -289,8 +331,8 @@ func (op *hashJoinOp) assembleExpand() *vector.Batch {
 		v.Typ = op.schema[c].Type
 		out.Vecs[c] = v
 	}
-	for c := range op.rbuild {
-		out.Vecs[nl+c] = gatherOuter(op.rbuild[c], op.rightIdx, op.schema[nl+c].Type)
+	for c := range op.bld.rbuild {
+		out.Vecs[nl+c] = gatherOuter(op.bld.rbuild[c], op.rightIdx, op.schema[nl+c].Type)
 	}
 	return out
 }
@@ -329,12 +371,12 @@ func (op *hashJoinOp) nextFiltered() (*vector.Batch, error) {
 			marks = make([]bool, b.N)
 		}
 		check := func(pos int) bool {
-			r := op.buckets[op.hashBuf[pos]&op.mask] - 1
+			r := op.bld.buckets[op.hashBuf[pos]&op.bld.mask] - 1
 			for r >= 0 {
 				if op.keyMatch(r, b, pos) && op.residualOK(b, pos, r) {
 					return true
 				}
-				r = op.next[r]
+				r = op.bld.next[r]
 			}
 			return false
 		}

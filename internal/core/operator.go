@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"x100/internal/expr"
@@ -35,6 +36,13 @@ type ExecOptions struct {
 	Tracer *trace.Collector
 	// NoSummaryIndex disables summary-index range pruning (ablation).
 	NoSummaryIndex bool
+	// Parallelism is the number of worker pipelines for intra-query
+	// parallelism. 0 and 1 run single-threaded; negative values select
+	// runtime.GOMAXPROCS(0). Partitionable plan fragments (scan → select →
+	// project chains, hash-join probes, and the input of hash/direct
+	// aggregation) are split into row-range morsels executed by that many
+	// goroutines; the rest of the plan runs serially on the merged stream.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard execution configuration.
@@ -51,6 +59,17 @@ func (o ExecOptions) batchSize() int {
 		return vector.DefaultBatchSize
 	}
 	return o.BatchSize
+}
+
+// parallelism resolves the Parallelism field to a worker count.
+func (o ExecOptions) parallelism() int {
+	if o.Parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism == 0 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // Result is a fully materialized query result.

@@ -40,6 +40,13 @@ type scanOp struct {
 	opts   ExecOptions
 	lo, hi int // base-fragment row bounds (summary-index pruning)
 
+	// source, when non-nil, makes this a partitioned scan: instead of
+	// walking [lo,hi) sequentially the operator claims row-range morsels
+	// from the shared dispenser, so sibling scans on other goroutines
+	// balance the work dynamically.
+	source   *morselSource
+	morselHi int
+
 	pos      int
 	deltaPos int
 	rowIDBuf []int32
@@ -94,6 +101,11 @@ func (s *scanOp) Schema() vector.Schema { return s.schema }
 
 func (s *scanOp) Open() error {
 	s.pos = s.lo
+	s.morselHi = 0
+	if s.source != nil {
+		// Partitioned scan: rows come from claimed morsels, not [lo,hi).
+		s.pos = 0
+	}
 	s.deltaPos = 0
 	// Buffers are sized to the actual batch length: with vector sizes far
 	// beyond the table size (Figure 10's right edge) a batch is at most the
@@ -106,6 +118,7 @@ func (s *scanOp) Open() error {
 			sc.buf = vector.New(sc.typ, n)
 		}
 	}
+	s.batch = &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols))}
 	return nil
 }
 
@@ -115,13 +128,26 @@ func (s *scanOp) Next() (*vector.Batch, error) {
 	if s.dstore.NumDeleted() > 0 || s.dstore.NumDeltaRows() > 0 {
 		return s.nextMerged()
 	}
-	if s.pos >= s.hi {
+	limit := s.hi
+	if s.source != nil {
+		if s.pos >= s.morselHi {
+			mlo, mhi, ok := s.source.claim()
+			if !ok {
+				return nil, nil
+			}
+			s.pos, s.morselHi = mlo, mhi
+		}
+		limit = s.morselHi
+	}
+	if s.pos >= limit {
 		return nil, nil
 	}
-	k := min(s.opts.batchSize(), s.hi-s.pos)
+	k := min(s.opts.batchSize(), limit-s.pos)
 	lo, hi := s.pos, s.pos+k
 	s.pos = hi
-	b := &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols)), N: k}
+	b := s.batch
+	b.N = k
+	b.Sel = nil
 	for i := range s.cols {
 		sc := &s.cols[i]
 		switch {

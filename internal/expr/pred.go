@@ -19,6 +19,28 @@ import (
 type Pred struct {
 	steps []selStep
 	bufA  []int32
+	// bufs tracks the per-step scratch buffers so Reserve can preallocate
+	// them once per execution instead of growing lazily on the hot path.
+	bufs []*selBuf
+}
+
+// Reserve preallocates all selection buffers for batches of up to n values.
+// The Select operator calls it at Open so steady-state Next calls allocate
+// nothing.
+func (pr *Pred) Reserve(n int) {
+	if cap(pr.bufA) < n {
+		pr.bufA = make([]int32, n)
+	}
+	for _, b := range pr.bufs {
+		b.get(n)
+	}
+}
+
+// newSelBuf registers a fresh per-step scratch buffer with the predicate.
+func (pr *Pred) newSelBuf() *selBuf {
+	b := &selBuf{}
+	pr.bufs = append(pr.bufs, b)
+	return b
 }
 
 type selStep func(b *vector.Batch, sel []int32) []int32
@@ -35,7 +57,7 @@ func CompilePred(e Expr, schema vector.Schema, opts Options) (*Pred, error) {
 	pr := &Pred{}
 	conjuncts := flattenAnd(e, nil)
 	for _, cj := range conjuncts {
-		step, err := compileConjunct(cj, schema, opts)
+		step, err := compileConjunct(pr, cj, schema, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -78,9 +100,9 @@ func (pr *Pred) Select(b *vector.Batch) []int32 {
 	return sel
 }
 
-func compileConjunct(e Expr, schema vector.Schema, opts Options) (selStep, error) {
+func compileConjunct(pr *Pred, e Expr, schema vector.Schema, opts Options) (selStep, error) {
 	if cmp, ok := e.(*Cmp); ok {
-		if step, ok, err := trySelectPrimitive(cmp, schema, opts); err != nil {
+		if step, ok, err := trySelectPrimitive(pr, cmp, schema, opts); err != nil {
 			return nil, err
 		} else if ok {
 			return step, nil
@@ -91,12 +113,12 @@ func compileConjunct(e Expr, schema vector.Schema, opts Options) (selStep, error
 	if err != nil {
 		return nil, err
 	}
-	return wrapBoolStep(prog, opts), nil
+	return wrapBoolStep(pr, prog, opts), nil
 }
 
 // trySelectPrimitive recognizes col-vs-const and col-vs-col comparisons on
 // raw batch columns and emits a direct select primitive.
-func trySelectPrimitive(cmp *Cmp, schema vector.Schema, opts Options) (selStep, bool, error) {
+func trySelectPrimitive(pr *Pred, cmp *Cmp, schema vector.Schema, opts Options) (selStep, bool, error) {
 	lc, lok := cmp.L.(*Col)
 	rc, rok := cmp.R.(*Col)
 	lv, lconst := cmp.L.(*Const)
@@ -105,17 +127,17 @@ func trySelectPrimitive(cmp *Cmp, schema vector.Schema, opts Options) (selStep, 
 
 	switch {
 	case lok && rconst:
-		return selColVal(op, schema, lc.Name, rv, opts)
+		return selColVal(pr, op, schema, lc.Name, rv, opts)
 	case rok && lconst:
-		return selColVal(flipCmp(op), schema, rc.Name, lv, opts)
+		return selColVal(pr, flipCmp(op), schema, rc.Name, lv, opts)
 	case lok && rok:
-		return selColCol(op, schema, lc.Name, rc.Name, opts)
+		return selColCol(pr, op, schema, lc.Name, rc.Name, opts)
 	default:
 		return nil, false, nil
 	}
 }
 
-func selColVal(op CmpKind, schema vector.Schema, col string, cst *Const, opts Options) (selStep, bool, error) {
+func selColVal(pr *Pred, op CmpKind, schema vector.Schema, col string, cst *Const, opts Options) (selStep, bool, error) {
 	ci := schema.ColIndex(col)
 	if ci < 0 {
 		return nil, false, fmt.Errorf("expr: unknown column %q", col)
@@ -127,17 +149,17 @@ func selColVal(op CmpKind, schema vector.Schema, col string, cst *Const, opts Op
 	name := fmt.Sprintf("select_%s_%s_col_%s_val", cmpName(op), typeAbbrev(t), typeAbbrev(t))
 	switch t.Physical() {
 	case vector.Int32:
-		return selColValT[int32](op, ci, cst.Val.(int32), name, opts), true, nil
+		return selColValT[int32](pr, op, ci, cst.Val.(int32), name, opts), true, nil
 	case vector.Int64:
-		return selColValT[int64](op, ci, cst.Val.(int64), name, opts), true, nil
+		return selColValT[int64](pr, op, ci, cst.Val.(int64), name, opts), true, nil
 	case vector.Float64:
-		return selColValT[float64](op, ci, cst.Val.(float64), name, opts), true, nil
+		return selColValT[float64](pr, op, ci, cst.Val.(float64), name, opts), true, nil
 	case vector.String:
-		return selColValT[string](op, ci, cst.Val.(string), name, opts), true, nil
+		return selColValT[string](pr, op, ci, cst.Val.(string), name, opts), true, nil
 	case vector.UInt8:
-		return selColValT[uint8](op, ci, cst.Val.(uint8), name, opts), true, nil
+		return selColValT[uint8](pr, op, ci, cst.Val.(uint8), name, opts), true, nil
 	case vector.UInt16:
-		return selColValT[uint16](op, ci, cst.Val.(uint16), name, opts), true, nil
+		return selColValT[uint16](pr, op, ci, cst.Val.(uint16), name, opts), true, nil
 	default:
 		return nil, false, nil
 	}
@@ -156,8 +178,8 @@ func (s *selBuf) get(n int) []int32 {
 	return s.buf[:n]
 }
 
-func selColValT[T primitives.Ordered](op CmpKind, ci int, v T, name string, opts Options) selStep {
-	buf := &selBuf{}
+func selColValT[T primitives.Ordered](pr *Pred, op CmpKind, ci int, v T, name string, opts Options) selStep {
+	buf := pr.newSelBuf()
 	tr := opts.Tracer
 	return func(b *vector.Batch, sel []int32) []int32 {
 		res := buf.get(b.N)
@@ -187,7 +209,7 @@ func selColValT[T primitives.Ordered](op CmpKind, ci int, v T, name string, opts
 	}
 }
 
-func selColCol(op CmpKind, schema vector.Schema, colL, colR string, opts Options) (selStep, bool, error) {
+func selColCol(pr *Pred, op CmpKind, schema vector.Schema, colL, colR string, opts Options) (selStep, bool, error) {
 	li := schema.ColIndex(colL)
 	ri := schema.ColIndex(colR)
 	if li < 0 || ri < 0 {
@@ -200,20 +222,20 @@ func selColCol(op CmpKind, schema vector.Schema, colL, colR string, opts Options
 	name := fmt.Sprintf("select_%s_%s_col_%s_col", cmpName(op), typeAbbrev(t), typeAbbrev(t))
 	switch t.Physical() {
 	case vector.Int32:
-		return selColColT[int32](op, li, ri, name, opts), true, nil
+		return selColColT[int32](pr, op, li, ri, name, opts), true, nil
 	case vector.Int64:
-		return selColColT[int64](op, li, ri, name, opts), true, nil
+		return selColColT[int64](pr, op, li, ri, name, opts), true, nil
 	case vector.Float64:
-		return selColColT[float64](op, li, ri, name, opts), true, nil
+		return selColColT[float64](pr, op, li, ri, name, opts), true, nil
 	case vector.String:
-		return selColColT[string](op, li, ri, name, opts), true, nil
+		return selColColT[string](pr, op, li, ri, name, opts), true, nil
 	default:
 		return nil, false, nil
 	}
 }
 
-func selColColT[T primitives.Ordered](op CmpKind, li, ri int, name string, opts Options) selStep {
-	buf := &selBuf{}
+func selColColT[T primitives.Ordered](pr *Pred, op CmpKind, li, ri int, name string, opts Options) selStep {
+	buf := pr.newSelBuf()
 	tr := opts.Tracer
 	return func(b *vector.Batch, sel []int32) []int32 {
 		res := buf.get(b.N)
@@ -246,8 +268,8 @@ func selColColT[T primitives.Ordered](op CmpKind, li, ri int, name string, opts 
 
 // wrapBoolStep runs a boolean program over the current candidates and
 // selects the true positions.
-func wrapBoolStep(prog *Prog, opts Options) selStep {
-	buf := &selBuf{}
+func wrapBoolStep(pr *Pred, prog *Prog, opts Options) selStep {
+	buf := pr.newSelBuf()
 	tr := opts.Tracer
 	return func(b *vector.Batch, sel []int32) []int32 {
 		// Temporarily narrow the batch selection so the program only

@@ -134,6 +134,32 @@ func (c *Collector) record(m map[string]*Stat, seq *[]string, name string, n, by
 	s.Nanos += ns
 }
 
+// Merge folds the counters of other into c. Parallel execution gives each
+// worker pipeline its own Collector (Record* calls are not synchronized)
+// and merges them into the query's main collector when the workers join.
+func (c *Collector) Merge(other *Collector) {
+	if c == nil || !c.Enabled || other == nil || !other.Enabled {
+		return
+	}
+	merge := func(m map[string]*Stat, seq *[]string, src map[string]*Stat, srcSeq []string) {
+		for _, name := range srcSeq {
+			s := src[name]
+			d, ok := m[name]
+			if !ok {
+				d = &Stat{Name: name}
+				m[name] = d
+				*seq = append(*seq, name)
+			}
+			d.Calls += s.Calls
+			d.Tuples += s.Tuples
+			d.Bytes += s.Bytes
+			d.Nanos += s.Nanos
+		}
+	}
+	merge(c.prims, &c.primSeq, other.prims, other.primSeq)
+	merge(c.ops, &c.opSeq, other.ops, other.opSeq)
+}
+
 // Primitives returns primitive stats in first-seen order.
 func (c *Collector) Primitives() []*Stat { return c.ordered(c.prims, c.primSeq) }
 

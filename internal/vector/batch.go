@@ -65,6 +65,32 @@ func (b *Batch) Compact() {
 	b.Sel = nil
 }
 
+// CopyFrom replaces b's contents with a dense copy of src's live rows.
+// Existing vector buffers are reused when large enough, so a consumer that
+// recycles batches (the exchange operator's per-worker buffers) allocates
+// only on the first few calls. After the call b owns its data: it stays
+// valid when src's producer reuses src on its next Next().
+func (b *Batch) CopyFrom(src *Batch) {
+	if len(b.Vecs) != len(src.Vecs) {
+		b.Schema = src.Schema.Clone()
+		b.Vecs = make([]*Vector, len(src.Vecs))
+	}
+	k := src.Rows()
+	for i, v := range src.Vecs {
+		if b.Vecs[i] == nil {
+			b.Vecs[i] = New(v.Typ, k)
+		}
+		if src.Sel != nil {
+			b.Vecs[i].Gather(v, src.Sel)
+		} else {
+			b.Vecs[i].CopyN(v, k)
+		}
+		b.Vecs[i].Typ = v.Typ
+	}
+	b.N = k
+	b.Sel = nil
+}
+
 // LiveRow returns the physical position of the i-th live row.
 func (b *Batch) LiveRow(i int) int {
 	if b.Sel != nil {

@@ -216,6 +216,45 @@ func (v *Vector) Clone() *Vector {
 	return out
 }
 
+// CopyN copies the first n values of src into v, resizing v to n and
+// reusing its buffer when large enough. v and src must share a physical
+// type.
+func (v *Vector) CopyN(src *Vector, n int) {
+	switch d := src.data.(type) {
+	case []bool:
+		dst := ensureCap(v.data.([]bool), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []uint8:
+		dst := ensureCap(v.data.([]uint8), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []uint16:
+		dst := ensureCap(v.data.([]uint16), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []int32:
+		dst := ensureCap(v.data.([]int32), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []int64:
+		dst := ensureCap(v.data.([]int64), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []float64:
+		dst := ensureCap(v.data.([]float64), n)
+		copy(dst, d[:n])
+		v.data = dst
+	case []string:
+		dst := ensureCap(v.data.([]string), n)
+		copy(dst, d[:n])
+		v.data = dst
+	default:
+		panic(fmt.Sprintf("vector: unsupported payload %T", src.data))
+	}
+	v.Typ = src.Typ
+}
+
 // Gather copies the values of src at the given positions into v, resizing v
 // to len(sel). v and src must share a physical type.
 func (v *Vector) Gather(src *Vector, sel []int32) {

@@ -1,0 +1,184 @@
+package x100_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"x100"
+)
+
+var (
+	parDBOnce sync.Once
+	parDB     *x100.DB
+	parDBErr  error
+)
+
+func parallelTPCH(t *testing.T) *x100.DB {
+	t.Helper()
+	parDBOnce.Do(func() { parDB, parDBErr = x100.GenerateTPCH(0.01) })
+	if parDBErr != nil {
+		t.Fatal(parDBErr)
+	}
+	return parDB
+}
+
+// sameRowSets compares two results as row multisets: bit-exact when
+// possible, otherwise paired by non-float columns with relative 1e-9
+// tolerance on floats (parallel aggregation sums in a different order).
+func sameRowSets(t *testing.T, want, got *x100.Result) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("row count %d, want %d", got.NumRows(), want.NumRows())
+	}
+	key := func(row []any, withFloats bool) string {
+		s := ""
+		for _, v := range row {
+			if _, ok := v.(float64); ok && !withFloats {
+				continue
+			}
+			s += fmt.Sprintf("|%v", v)
+		}
+		return s
+	}
+	exact := func(res *x100.Result) []string {
+		keys := make([]string, res.NumRows())
+		for i := range keys {
+			keys[i] = key(res.Row(i), true)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	ew, eg := exact(want), exact(got)
+	same := true
+	for i := range ew {
+		if ew[i] != eg[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return
+	}
+	index := func(res *x100.Result) map[string][]any {
+		m := make(map[string][]any, res.NumRows())
+		for i := 0; i < res.NumRows(); i++ {
+			row := res.Row(i)
+			k := key(row, false)
+			if _, dup := m[k]; dup {
+				t.Fatalf("non-float key %q not unique", k)
+			}
+			m[k] = row
+		}
+		return m
+	}
+	mw, mg := index(want), index(got)
+	for k, wrow := range mw {
+		grow, ok := mg[k]
+		if !ok {
+			t.Fatalf("row %q missing from parallel result", k)
+		}
+		for c := range wrow {
+			wf, wok := wrow[c].(float64)
+			gf, gok := grow[c].(float64)
+			if wok && gok {
+				if diff := math.Abs(wf - gf); diff > 1e-9*math.Max(1, math.Abs(wf)) {
+					t.Fatalf("row %q col %d: %v != %v", k, c, gf, wf)
+				}
+				continue
+			}
+			if wrow[c] != grow[c] {
+				t.Fatalf("row %q col %d: %v != %v", k, c, grow[c], wrow[c])
+			}
+		}
+	}
+}
+
+func execLevels(t *testing.T, db *x100.DB, plan x100.Node) {
+	t.Helper()
+	want, err := db.Exec(plan, x100.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		t.Run(fmt.Sprintf("parallelism%d", p), func(t *testing.T) {
+			got, err := db.Exec(plan, x100.WithParallelism(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRowSets(t, want, got)
+		})
+	}
+}
+
+// TestParallelQ1 runs the paper's flagship scan-select-aggregate query at
+// Parallelism 1, 2 and 8 and requires identical results.
+func TestParallelQ1(t *testing.T) {
+	db := parallelTPCH(t)
+	plan, err := x100.TPCHQuery(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execLevels(t, db, plan)
+}
+
+// TestParallelJoinQuery exercises the shared-build/concurrent-probe hash
+// join through the public API: lineitem (partitioned probe) against orders
+// (shared build), aggregated above the exchange.
+func TestParallelJoinQuery(t *testing.T) {
+	db := parallelTPCH(t)
+	q := x100.ScanT("lineitem", "l_orderkey", "l_extendedprice").
+		Join(
+			x100.ScanT("orders", "o_orderkey", "o_orderpriority"),
+			x100.On("l_orderkey", "o_orderkey"),
+		).
+		AggrBy(
+			[]x100.Named{x100.As("priority", x100.Col("o_orderpriority"))},
+			x100.SumA("revenue", x100.Col("l_extendedprice")),
+			x100.CountA("n"),
+		)
+	execLevels(t, db, q.Node())
+}
+
+// TestParallelEmptyTableAPI: parallel execution over a zero-row table.
+func TestParallelEmptyTableAPI(t *testing.T) {
+	db := x100.NewDB()
+	err := db.CreateTable("nothing",
+		x100.ColumnData{Name: "a", Type: x100.Int64T, Data: []int64{}},
+		x100.ColumnData{Name: "b", Type: x100.Float64T, Data: []float64{}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := x100.ScanT("nothing", "a", "b").
+		Where(x100.Gt(x100.Col("a"), x100.I(0))).
+		AggrBy(nil, x100.SumA("s", x100.Col("b")), x100.CountA("n"))
+	execLevels(t, db, q.Node())
+}
+
+// TestParallelTraced: the per-worker trace collectors must merge into the
+// query tracer without racing.
+func TestParallelTraced(t *testing.T) {
+	db := parallelTPCH(t)
+	plan, err := x100.TPCHQuery(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := x100.NewTracer()
+	if _, err := db.Exec(plan, x100.WithParallelism(4), x100.WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	prims := tr.Primitives()
+	if len(prims) == 0 {
+		t.Fatal("no primitive stats collected from parallel workers")
+	}
+	var tuples int64
+	for _, s := range prims {
+		tuples += s.Tuples
+	}
+	if tuples == 0 {
+		t.Fatal("merged trace has zero tuples")
+	}
+}

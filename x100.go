@@ -19,6 +19,29 @@
 // Execution defaults to the vectorized X100 engine; the two baseline
 // engines the paper compares against (tuple-at-a-time Volcano, and
 // column-at-a-time MIL) are selectable per query for comparison.
+//
+// # Parallel execution
+//
+// WithParallelism(n) executes a query on n worker pipelines. Partitionable
+// plan fragments — scan → select → project chains, the probe side of hash
+// joins, and the input of hash/direct aggregation — are split into
+// contiguous row-range morsels (16K rows, or one vector when
+// WithVectorSize exceeds that) claimed dynamically by the workers, so an
+// uneven selectivity distribution rebalances automatically. Each worker
+// owns a full copy of its pipeline (vectors, selection buffers, compiled
+// expression programs), so workers share only read-only state: column
+// fragments, dictionaries, summary indices, and hash-join builds, which
+// are materialized once and probed concurrently. Results fan back in
+// through an exchange operator, and aggregations merge per-worker partial
+// group tables order-insensitively.
+//
+// Determinism: the result row set, group sets, and all integer aggregates
+// are identical at every parallelism level; floating-point aggregates are
+// deterministic up to summation order (partial sums combine in worker
+// order, but morsels race to workers). Row order out of an exchange is not
+// deterministic — order-sensitive queries sort above it (Order and TopN
+// always run on the merged stream). Tables with pending deltas fall back
+// to the serial scan path.
 package x100
 
 import (
@@ -211,12 +234,13 @@ const (
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	engine     Engine
-	vectorSize int
-	fuse       bool
-	tracer     *trace.Collector
-	milTrace   *mil.Trace
-	profile    *volcano.Profile
+	engine      Engine
+	vectorSize  int
+	fuse        bool
+	parallelism int
+	tracer      *trace.Collector
+	milTrace    *mil.Trace
+	profile     *volcano.Profile
 }
 
 // WithEngine selects the execution engine.
@@ -227,6 +251,11 @@ func WithVectorSize(n int) ExecOption { return func(c *execConfig) { c.vectorSiz
 
 // WithoutFusion disables compound-primitive fusion (Section 4.2 ablation).
 func WithoutFusion() ExecOption { return func(c *execConfig) { c.fuse = false } }
+
+// WithParallelism executes on n worker pipelines (Vectorized engine; see
+// the package documentation for the parallelism model). 0 and 1 run
+// single-threaded; negative values select runtime.GOMAXPROCS(0).
+func WithParallelism(n int) ExecOption { return func(c *execConfig) { c.parallelism = n } }
 
 // WithTracer attaches a per-primitive tracer (Vectorized engine).
 func WithTracer(t *Tracer) ExecOption { return func(c *execConfig) { c.tracer = t } }
@@ -264,6 +293,7 @@ func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
 		eo := core.DefaultOptions()
 		eo.Fuse = cfg.fuse
 		eo.Tracer = cfg.tracer
+		eo.Parallelism = cfg.parallelism
 		if cfg.vectorSize > 0 {
 			eo.BatchSize = cfg.vectorSize
 		}
