@@ -1,10 +1,108 @@
 package x100
 
 import (
+	"fmt"
+
 	"x100/internal/algebra"
+	"x100/internal/columnbm"
 	"x100/internal/dateutil"
 	"x100/internal/expr"
 )
+
+// CreateDiskTable persists columns through a ColumnBM chunk store in dir
+// (choosing the smallest of the raw/RLE/FoR/delta codecs per chunk and
+// recording per-chunk min/max for scan pruning) and registers the table
+// disk-backed: queries scan straight off the compressed chunks through the
+// buffer pool, never materializing whole columns.
+func (db *DB) CreateDiskTable(dir, name string, cols ...ColumnData) error {
+	t, err := buildTable(name, cols)
+	if err != nil {
+		return err
+	}
+	s, err := db.store(dir)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveTable(t); err != nil {
+		return err
+	}
+	return db.AttachDisk(dir, name)
+}
+
+// ColumnStorage describes how one column of a table is stored: the chunk
+// count and per-codec usage for disk-backed columns, or a single "memory"
+// fragment for resident columns. CompressedBytes/RawBytes give the
+// compression ratio.
+type ColumnStorage struct {
+	Name            string
+	Type            string
+	Enum            bool
+	Chunks          int
+	Codecs          map[string]int
+	RawBytes        int64
+	CompressedBytes int64
+}
+
+// Storage reports per-column storage details of a table (the shell's
+// \storage command).
+func (db *DB) Storage(table string) ([]ColumnStorage, error) {
+	if s, ok := db.diskSrc[table]; ok {
+		cols, err := s.TableStorage(table)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]ColumnStorage, len(cols))
+		for i, c := range cols {
+			out[i] = ColumnStorage{
+				Name: c.Name, Type: c.Type, Enum: c.Enum, Chunks: c.Chunks,
+				Codecs: c.Codecs, RawBytes: c.RawBytes, CompressedBytes: c.CompressedBytes,
+			}
+		}
+		return out, nil
+	}
+	t, err := db.inner.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColumnStorage, len(t.Cols))
+	for i, c := range t.Cols {
+		b := int64(c.Bytes())
+		out[i] = ColumnStorage{
+			Name: c.Name, Type: c.Typ.String(), Enum: c.IsEnum(), Chunks: c.NumFrags(),
+			Codecs: map[string]int{"memory": c.NumFrags()}, RawBytes: b, CompressedBytes: b,
+		}
+	}
+	return out, nil
+}
+
+// FormatStorage renders a Storage report as an aligned text table.
+func FormatStorage(cols []ColumnStorage) string {
+	out := fmt.Sprintf("%-18s %-8s %7s %9s %12s %12s %7s\n",
+		"column", "type", "chunks", "codecs", "raw", "compressed", "ratio")
+	for _, c := range cols {
+		typ := c.Type
+		if c.Enum {
+			typ += "*"
+		}
+		ratio := 1.0
+		if c.CompressedBytes > 0 {
+			ratio = float64(c.RawBytes) / float64(c.CompressedBytes)
+		}
+		out += fmt.Sprintf("%-18s %-8s %7d %9s %12d %12d %6.2fx\n",
+			c.Name, typ, c.Chunks, columnbm.FormatCodecs(c.Codecs), c.RawBytes, c.CompressedBytes, ratio)
+	}
+	return out + "(* = enumeration-compressed; raw/compressed in bytes)\n"
+}
+
+// Checkpoint absorbs a table's pending insert delta into new base
+// fragments, keeping row ids stable (deletions stay on the deletion list).
+// Parallel queries do this automatically; exposing it lets applications
+// checkpoint eagerly. It reports false when the delta could not be
+// absorbed (an enum dictionary outgrew its code width) — Reorganize
+// handles that case with a full rewrite.
+func (db *DB) Checkpoint(table string) (bool, error) {
+	return db.inner.Checkpoint(table)
+}
 
 // Q is a fluent plan builder over the X100 algebra.
 type Q struct{ node algebra.Node }

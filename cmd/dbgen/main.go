@@ -20,16 +20,17 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "scale factor")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("out", "", "directory to persist columns through ColumnBM (optional)")
+	chunkValues := flag.Int("chunkvalues", 0, "values per ColumnBM chunk (0 = default >1MB chunks)")
 	verify := flag.Bool("verify", false, "load persisted tables back and verify row counts")
 	flag.Parse()
 
-	if err := run(*sf, *seed, *out, *verify); err != nil {
+	if err := run(*sf, *seed, *out, *chunkValues, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "dbgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, out string, verify bool) error {
+func run(sf float64, seed uint64, out string, chunkValues int, verify bool) error {
 	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed})
 	if err != nil {
 		return err
@@ -51,7 +52,7 @@ func run(sf float64, seed uint64, out string, verify bool) error {
 	if out == "" {
 		return nil
 	}
-	store, err := columnbm.NewStore(out, 0, 0)
+	store, err := columnbm.NewStore(out, chunkValues, 0)
 	if err != nil {
 		return err
 	}
@@ -66,6 +67,19 @@ func run(sf float64, seed uint64, out string, verify bool) error {
 		return err
 	}
 	fmt.Printf("persisted through ColumnBM to %s: %d bytes on disk\n", out, onDisk)
+
+	// Per-codec usage over the fact table: how the best-codec heuristic
+	// chose among raw/RLE/FoR/delta.
+	if cols, err := store.TableStorage("lineitem"); err == nil {
+		fmt.Printf("\nlineitem chunk codecs:\n")
+		for _, c := range cols {
+			ratio := 1.0
+			if c.CompressedBytes > 0 {
+				ratio = float64(c.RawBytes) / float64(c.CompressedBytes)
+			}
+			fmt.Printf("  %-18s %3d chunks  %-24s %6.2fx\n", c.Name, c.Chunks, columnbm.FormatCodecs(c.Codecs), ratio)
+		}
+	}
 
 	if verify {
 		for _, name := range tables {

@@ -7,8 +7,14 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, ablation-compound, ablation-enum, ablation-summary,
+// parallel, disk, ablation-compound, ablation-enum, ablation-summary,
 // ablation-selvec, all.
+//
+// The disk experiment persists lineitem through the ColumnBM chunk store
+// and compares in-memory, disk-cold, and disk-warm (buffer-pooled) scan
+// bandwidth per column codec, plus TPC-H Q1 end-to-end from disk:
+//
+//	x100bench -exp disk -sf 0.01 -json BENCH_disk.json
 //
 // The parallel experiment measures multi-core scaling of the Q1/Q6
 // scan-aggregate workloads; -parallel selects the worker counts and -json
@@ -74,8 +80,8 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
-		want["table5"] || want["fig10"] || want["parallel"] || want["ablation-compound"] ||
-		want["ablation-summary"] || want["ablation-fetchjoin"]
+		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] ||
+		want["ablation-compound"] || want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
 		var err error
@@ -103,6 +109,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		{"table1", func() error { return bench.Table1(w, db, sf) }},
 		{"parallel", func() error {
 			recs, err := bench.ParallelScaling(w, db, sf, levels)
+			records = append(records, recs...)
+			return err
+		}},
+		{"disk", func() error {
+			recs, err := bench.DiskScan(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

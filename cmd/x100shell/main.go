@@ -7,8 +7,11 @@
 //	      [l_returnflag], [n = count()])
 //
 // Statements may span lines; they execute once the parentheses balance.
-// Meta commands: \tables, \schema <t>, \explain <plan>, \engine <x100|mil|
-// volcano>, \vectorsize <n>, \trace, \q.
+// With -disk DIR the shell attaches a ColumnBM chunk directory (written by
+// dbgen -out) instead of generating data, and queries scan straight off
+// the compressed chunks.
+// Meta commands: \tables, \schema <t>, \storage <t>, \explain <plan>,
+// \engine <x100|mil|volcano>, \vectorsize <n>, \parallel <n>, \trace, \q.
 package main
 
 import (
@@ -25,18 +28,28 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
+	disk := flag.String("disk", "", "attach a ColumnBM chunk directory (dbgen -out) instead of generating")
 	flag.Parse()
 
-	fmt.Printf("generating TPC-H at SF=%g ...\n", *sf)
-	db, err := x100.GenerateTPCH(*sf)
+	var db *x100.DB
+	var err error
+	if *disk != "" {
+		fmt.Printf("attaching ColumnBM directory %s ...\n", *disk)
+		db = x100.NewDB()
+		err = db.AttachDisk(*disk)
+	} else {
+		fmt.Printf("generating TPC-H at SF=%g ...\n", *sf)
+		db, err = x100.GenerateTPCH(*sf)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println("ready. \\q quits, \\tables lists tables, plans run on balance of parens.")
+	fmt.Println("ready. \\q quits, \\tables lists tables, \\storage <t> shows chunk codecs, plans run on balance of parens.")
 
 	engine := x100.Vectorized
 	vectorSize := 0
+	parallelism := 0
 	traceOn := false
 	var buf strings.Builder
 	sc := bufio.NewScanner(os.Stdin)
@@ -53,7 +66,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if handleMeta(trimmed, db, &engine, &vectorSize, &traceOn) {
+			if handleMeta(trimmed, db, &engine, &vectorSize, &parallelism, &traceOn) {
 				return
 			}
 			prompt()
@@ -64,7 +77,7 @@ func main() {
 		text := buf.String()
 		if balanced(text) && strings.TrimSpace(text) != "" {
 			buf.Reset()
-			runPlan(db, text, engine, vectorSize, traceOn)
+			runPlan(db, text, engine, vectorSize, parallelism, traceOn)
 		}
 		prompt()
 	}
@@ -83,7 +96,7 @@ func balanced(s string) bool {
 	return depth <= 0 && strings.Contains(s, "(")
 }
 
-func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize *int, traceOn *bool) (quit bool) {
+func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parallelism *int, traceOn *bool) (quit bool) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
@@ -105,6 +118,28 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize *int, t
 			break
 		}
 		fmt.Println(s)
+	case "\\storage":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\storage <table>")
+			break
+		}
+		cols, err := db.Storage(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Print(x100.FormatStorage(cols))
+	case "\\parallel":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\parallel <n> (0 = serial, -1 = all cores)")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		*parallelism = n
 	case "\\explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
 		plan, err := x100.Parse(rest)
@@ -148,7 +183,7 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize *int, t
 	return false
 }
 
-func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize int, traceOn bool) {
+func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize, parallelism int, traceOn bool) {
 	plan, err := x100.Parse(text)
 	if err != nil {
 		fmt.Println("parse error:", err)
@@ -157,6 +192,9 @@ func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize int, trace
 	opts := []x100.ExecOption{x100.WithEngine(engine)}
 	if vectorSize > 0 {
 		opts = append(opts, x100.WithVectorSize(vectorSize))
+	}
+	if parallelism != 0 {
+		opts = append(opts, x100.WithParallelism(parallelism))
 	}
 	var tr *x100.Tracer
 	if traceOn && engine == x100.Vectorized {

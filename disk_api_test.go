@@ -1,0 +1,110 @@
+package x100_test
+
+import (
+	"testing"
+
+	"x100"
+)
+
+// TestCreateDiskTableAndAttach covers the public disk-table API:
+// CreateDiskTable persists and attaches a table, a second DB re-attaches
+// the same directory, and queries agree across both plus the Storage
+// report is coherent.
+func TestCreateDiskTableAndAttach(t *testing.T) {
+	dir := t.TempDir()
+	db := x100.NewDB()
+	n := 10000
+	keys := make([]int64, n)
+	amounts := make([]float64, n)
+	status := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(i)
+		amounts[i] = float64(i%100) / 2
+		status[i] = []string{"open", "closed", "hold"}[i%3]
+	}
+	err := db.CreateDiskTable(dir, "orders",
+		x100.ColumnData{Name: "id", Type: x100.Int64T, Data: keys},
+		x100.ColumnData{Name: "amount", Type: x100.Float64T, Data: amounts},
+		x100.ColumnData{Name: "status", Type: x100.StringT, Data: status, Enum: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := x100.ScanT("orders", "status", "amount").
+		Where(x100.Gt(x100.Col("amount"), x100.F(10))).
+		AggrBy([]x100.Named{x100.Keep("status")},
+			x100.SumA("total", x100.Col("amount")), x100.CountA("cnt"))
+
+	want, err := db.Exec(q.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumRows() != 3 {
+		t.Fatalf("%d groups, want 3", want.NumRows())
+	}
+
+	// Parallel execution over the disk table must agree.
+	gotPar, err := db.Exec(q.Node(), x100.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowSets(t, want, gotPar)
+
+	// A second DB attaches the persisted directory and agrees too.
+	db2 := x100.NewDB()
+	if err := db2.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := db2.Exec(q.Node())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRowSets(t, want, got2)
+
+	// Storage report: disk-backed, chunked, coherent codec counts.
+	cols, err := db2.Storage("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("%d columns in storage report", len(cols))
+	}
+	for _, c := range cols {
+		if c.Chunks < 1 {
+			t.Fatalf("column %s has no chunks", c.Name)
+		}
+		total := 0
+		for _, k := range c.Codecs {
+			total += k
+		}
+		if total != c.Chunks {
+			t.Fatalf("column %s codecs %v != %d chunks", c.Name, c.Codecs, c.Chunks)
+		}
+	}
+	if s := x100.FormatStorage(cols); s == "" {
+		t.Fatal("empty storage rendering")
+	}
+
+	// Updates on a disk-backed table: insert + delete, checkpoint, query.
+	if err := db.Insert("orders", int64(n), 999.0, "open"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("orders", 0); err != nil {
+		t.Fatal(err)
+	}
+	done, err := db.Checkpoint("orders")
+	if err != nil || !done {
+		t.Fatalf("checkpoint: done=%v err=%v", done, err)
+	}
+	res, err := db.Exec(x100.ScanT("orders", "id").
+		AggrBy(nil, x100.MaxA("mx", x100.Col("id")), x100.CountA("n")).Node(),
+		x100.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Row(0)
+	if row[0] != int64(n) || row[1] != int64(n) {
+		t.Fatalf("after update: max=%v count=%v, want %d and %d", row[0], row[1], n, n)
+	}
+}

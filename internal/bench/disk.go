@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"x100/internal/colstore"
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/tpch"
+	"x100/internal/vector"
+)
+
+// diskChunkValues keeps several chunks per column even at small scale
+// factors, so the experiment exercises the chunk-at-a-time path and the
+// buffer pool rather than a single chunk per column.
+const diskChunkValues = 1 << 14
+
+// DiskScan is the scan-bandwidth experiment of the fragment storage model:
+// it persists lineitem through ColumnBM and compares, per column (and thus
+// per codec picked by the best-codec heuristic), the throughput of
+//
+//	memory:    scanning the resident column fragments,
+//	disk-cold: scanning freshly attached chunks (empty buffer pool:
+//	           file read + decompress per chunk),
+//	disk-warm: re-scanning with the pool holding the compressed chunks
+//	           (decompress only).
+//
+// It also runs TPC-H Q1 end-to-end against the disk-backed table. MB/s is
+// reported over the raw (decompressed) payload.
+func DiskScan(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100disk")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := columnbm.NewStore(dir, diskChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SaveTable(lt); err != nil {
+		return nil, err
+	}
+	storage, err := store.TableStorage("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	codecOf := func(col string) string {
+		for _, cs := range storage {
+			if cs.Name == col {
+				return columnbm.FormatCodecs(cs.Codecs)
+			}
+		}
+		return "?"
+	}
+
+	fmt.Fprintf(w, "Disk scan bandwidth at SF=%g (chunk=%d values, dir=%s)\n", sf, diskChunkValues, dir)
+	fmt.Fprintf(w, "%-18s %-14s %-10s %12s %12s %10s\n", "column", "codec", "mode", "time", "rows/sec", "MB/sec")
+
+	columns := []string{"l_orderkey", "l_linenumber", "l_shipdate", "l_extendedprice", "l_quantity", "l_returnflag"}
+	var recs []Record
+	for _, colName := range columns {
+		memCol := lt.Col(colName)
+		if memCol == nil {
+			continue
+		}
+		// Cold store: fresh pool so every chunk read hits the filesystem.
+		coldStore, err := columnbm.NewStore(dir, diskChunkValues, 0)
+		if err != nil {
+			return nil, err
+		}
+		coldTab, err := coldStore.AttachTable("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		diskCol := coldTab.Col(colName)
+		codec := codecOf(colName)
+		for _, mode := range []struct {
+			name string
+			col  *colstore.Column
+		}{
+			{"memory", memCol},
+			{"disk-cold", diskCol},
+			{"disk-warm", diskCol},
+		} {
+			minDur := 50 * time.Millisecond
+			if mode.name == "disk-cold" {
+				// A cold scan is only cold once; measure a single pass.
+				minDur = 0
+			}
+			d, err := timeIt(minDur, func() error { return sweepColumn(mode.col) })
+			if err != nil {
+				return nil, err
+			}
+			rows := mode.col.Len()
+			rawBytes := float64(rows * mode.col.PhysType().Width())
+			rps, mbps := 0.0, 0.0
+			if d > 0 {
+				rps = float64(rows) / d.Seconds()
+				mbps = rawBytes / (1 << 20) / d.Seconds()
+			}
+			fmt.Fprintf(w, "%-18s %-14s %-10s %12v %12.0f %10.0f\n",
+				colName, codec, mode.name, d.Round(time.Microsecond), rps, mbps)
+			recs = append(recs, Record{
+				Name: "disk_scan", SF: sf, Parallelism: 1,
+				NsPerOp: float64(d.Nanoseconds()), Rows: rows, RowsPerSec: rps,
+				Column: colName, Codec: codec, Mode: mode.name, MBPerSec: mbps,
+			})
+		}
+	}
+
+	// TPC-H Q1 end-to-end from disk, cold and warm, vs the in-memory table.
+	plan, err := tpch.Query(1, sf)
+	if err != nil {
+		return nil, err
+	}
+	q1Store, err := columnbm.NewStore(dir, diskChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	diskDB := core.NewDatabase()
+	if _, err := core.AttachDiskTable(diskDB, q1Store, "lineitem"); err != nil {
+		return nil, err
+	}
+	rows := lt.N
+	for _, m := range []struct {
+		name string
+		db   *core.Database
+		min  time.Duration
+	}{
+		{"memory", db, 100 * time.Millisecond},
+		{"disk-cold", diskDB, 0},
+		{"disk-warm", diskDB, 100 * time.Millisecond},
+	} {
+		d, err := timeIt(m.min, func() error {
+			_, err := core.Run(m.db, plan, core.DefaultOptions())
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rps := 0.0
+		if d > 0 {
+			rps = float64(rows) / d.Seconds()
+		}
+		fmt.Fprintf(w, "%-18s %-14s %-10s %12v %12.0f %10s\n", "Q1", "-", m.name, d.Round(time.Microsecond), rps, "-")
+		recs = append(recs, Record{
+			Name: "Q1_disk", SF: sf, Parallelism: 1,
+			NsPerOp: float64(d.Nanoseconds()), Rows: rows, RowsPerSec: rps, Mode: m.name,
+		})
+	}
+	return recs, nil
+}
+
+// sweepColumn streams every fragment of a column through a FragReader in
+// batch-sized steps, folding values into a sink so the compiler cannot
+// elide the reads — the pure storage-bandwidth inner loop.
+func sweepColumn(c *colstore.Column) error {
+	r := c.Reader()
+	const step = vector.DefaultBatchSize
+	var sinkI int64
+	var sinkF float64
+	for lo := 0; lo < c.Len(); {
+		_, fe := c.FragSpan(lo)
+		hi := min(lo+step, fe)
+		v, err := r.Vector(lo, hi)
+		if err != nil {
+			return err
+		}
+		switch v.Typ.Physical() {
+		case vector.Int32:
+			for _, x := range v.Int32s() {
+				sinkI += int64(x)
+			}
+		case vector.Int64:
+			for _, x := range v.Int64s() {
+				sinkI += x
+			}
+		case vector.UInt8:
+			for _, x := range v.UInt8s() {
+				sinkI += int64(x)
+			}
+		case vector.UInt16:
+			for _, x := range v.UInt16s() {
+				sinkI += int64(x)
+			}
+		case vector.Float64:
+			for _, x := range v.Float64s() {
+				sinkF += x
+			}
+		case vector.String:
+			for _, x := range v.Strings() {
+				sinkI += int64(len(x))
+			}
+		}
+		lo = hi
+	}
+	benchSinkI, benchSinkF = sinkI, sinkF
+	return nil
+}
+
+var (
+	benchSinkI int64
+	benchSinkF float64
+)

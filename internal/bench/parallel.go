@@ -22,6 +22,11 @@ type Record struct {
 	Rows        int     `json:"rows"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
 	Speedup     float64 `json:"speedup_vs_serial"`
+	// Disk-experiment fields (the -exp disk scan-bandwidth experiment).
+	Column   string  `json:"column,omitempty"`
+	Codec    string  `json:"codec,omitempty"`
+	Mode     string  `json:"mode,omitempty"` // memory | disk-cold | disk-warm
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
 // WriteRecords writes benchmark records as an indented JSON array (an

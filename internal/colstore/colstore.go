@@ -6,6 +6,13 @@
 // (paper Section 3.3). Every table therefore has a virtual #rowId column,
 // which the Fetch1Join/FetchNJoin operators use for positional fetches.
 //
+// A column is a sequence of Fragments: contiguous runs of physical values.
+// Memory-resident columns are a single in-memory fragment (a typed slice);
+// disk-backed columns attached from a ColumnBM chunk store are one fragment
+// per compressed chunk, decompressed on demand through a FragReader that
+// holds at most one materialized fragment at a time — the paper's Figure 5
+// split between the X100 engine and the buffer-managed ColumnBM store.
+//
 // String columns may be stored as enumeration types (Section 4.3): a
 // single-byte or two-byte integer code per row referring to the #rowId of a
 // mapping table (the dictionary). The scan layer exposes the codes, and the
@@ -16,22 +23,187 @@ package colstore
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"x100/internal/vector"
 )
 
-// Column is one vertical fragment: all values of one attribute.
-// The base fragment is treated as immutable; updates are handled by the
+// Fragment is one contiguous run of a column's physical values.
+type Fragment interface {
+	// Rows returns the number of values in the fragment.
+	Rows() int
+	// Materialize returns the fragment's values as a typed slice of the
+	// column's physical type. When buf is a slice of the right type with
+	// sufficient capacity it may be reused as the destination. scratch
+	// reports ownership: true means the returned slice is caller-owned (a
+	// decode buffer, safe to pass back as buf for a later Materialize);
+	// false means it aliases the fragment's own immutable storage and must
+	// never be written to or reused as a decode buffer.
+	Materialize(buf any) (data any, scratch bool, err error)
+}
+
+// I64Bounded is implemented by fragments that know their integer value
+// range (per-chunk min/max recorded by the ColumnBM writer), enabling
+// summary-index-style pruning at chunk granularity.
+type I64Bounded interface {
+	BoundsI64() (min, max int64, ok bool)
+}
+
+// F64Bounded is the float counterpart of I64Bounded.
+type F64Bounded interface {
+	BoundsF64() (min, max float64, ok bool)
+}
+
+// memFragment is a memory-resident fragment: a typed slice.
+type memFragment struct {
+	data any
+	rows int
+}
+
+func (f *memFragment) Rows() int { return f.rows }
+
+func (f *memFragment) Materialize(any) (any, bool, error) { return f.data, false, nil }
+
+// MemFragment wraps a typed slice as an in-memory fragment.
+func MemFragment(data any) Fragment {
+	return &memFragment{data: data, rows: sliceLen(data)}
+}
+
+func sliceLen(data any) int {
+	return vector.FromAny(vector.Unknown, data).Len()
+}
+
+// Column is one vertical fragment sequence: all values of one attribute.
+// Base fragments are treated as immutable; updates are handled by the
 // delta package layered on top.
 type Column struct {
 	Name string
 	// Typ is the logical type visible to queries (String for enum columns).
 	Typ vector.Type
-	// data holds the physical values: a typed slice of length Table.NumRows.
-	// For enum columns this is []uint8 or []uint16 codes.
-	data any
 	// Dict is non-nil for enumeration-typed columns.
 	Dict *Dict
+
+	// phys is the physical storage type (the code type for enum columns).
+	phys vector.Type
+	// frags are the base fragments; starts[i] is the first global row of
+	// fragment i, starts[len(frags)] == n.
+	frags  []Fragment
+	starts []int
+	n      int
+
+	// pinned caches the full materialized column for random-access callers
+	// (fetch joins, baseline engines, index builds). Memory-resident
+	// columns are born pinned; disk-backed columns pin lazily. The atomic
+	// pointer makes the read side race-free; materialization itself is
+	// serialized by pinMu.
+	pinned atomic.Pointer[any]
+}
+
+// pinMu serializes lazy full-column materialization.
+var pinMu sync.Mutex
+
+// NewFragColumn builds a fragment-backed column. phys is the physical
+// storage type (the code type for enum columns, the logical type's
+// Physical() otherwise).
+func NewFragColumn(name string, typ vector.Type, dict *Dict, phys vector.Type, frags []Fragment) *Column {
+	c := &Column{Name: name, Typ: typ, Dict: dict, phys: phys}
+	c.setFrags(frags)
+	return c
+}
+
+func (c *Column) setFrags(frags []Fragment) {
+	c.frags = frags
+	c.starts = make([]int, len(frags)+1)
+	n := 0
+	for i, f := range frags {
+		c.starts[i] = n
+		n += f.Rows()
+	}
+	c.starts[len(frags)] = n
+	c.n = n
+	c.pinned.Store(nil)
+}
+
+// appendFrag attaches one more base fragment and invalidates the pin cache.
+func (c *Column) appendFrag(f Fragment) {
+	c.frags = append(c.frags, f)
+	c.n += f.Rows()
+	c.starts = append(c.starts, c.n)
+	c.pinned.Store(nil)
+}
+
+// NumFrags returns the number of base fragments.
+func (c *Column) NumFrags() int { return len(c.frags) }
+
+// Frag returns the i-th fragment.
+func (c *Column) Frag(i int) Fragment { return c.frags[i] }
+
+// FragStart returns the first global row of fragment i; FragStart(NumFrags())
+// is the column length.
+func (c *Column) FragStart(i int) int { return c.starts[i] }
+
+// fragIndex returns the index of the fragment containing global row i.
+func (c *Column) fragIndex(row int) int {
+	// sort.Search finds the first start > row; the owning fragment is one
+	// earlier.
+	return sort.SearchInts(c.starts[1:], row+1)
+}
+
+// FragSpan returns the global row range [lo, hi) of the fragment containing
+// row.
+func (c *Column) FragSpan(row int) (int, int) {
+	i := c.fragIndex(row)
+	return c.starts[i], c.starts[i+1]
+}
+
+// vecType is the type tag carried by vectors over this column's physical
+// data: the code type for enum columns, the logical type otherwise.
+func (c *Column) vecType() vector.Type {
+	if c.Dict != nil {
+		return c.phys
+	}
+	return c.Typ
+}
+
+// FragReader streams a column's fragments for sequential scans, keeping at
+// most one materialized fragment (plus one reusable decode buffer)
+// resident — the bounded-memory guarantee of the ColumnBM scan path. A
+// reader is single-goroutine; every scan operator clone owns its own.
+type FragReader struct {
+	col *Column
+	idx int // materialized fragment index, -1 = none
+	cur any // materialized values of fragment idx
+	buf any // caller-owned decode buffer, reused across disk fragments
+}
+
+// Reader creates a fragment reader positioned before the first fragment.
+func (c *Column) Reader() *FragReader { return &FragReader{col: c, idx: -1} }
+
+// Vector returns a typed view of global rows [lo, hi), which must lie
+// within a single fragment (scans clamp batches to fragment boundaries via
+// FragSpan). For enum columns the values are codes.
+func (r *FragReader) Vector(lo, hi int) (*vector.Vector, error) {
+	c := r.col
+	fi := c.fragIndex(lo)
+	fs, fe := c.starts[fi], c.starts[fi+1]
+	if hi > fe {
+		return nil, fmt.Errorf("colstore: column %s: range [%d,%d) crosses fragment boundary %d", c.Name, lo, hi, fe)
+	}
+	if fi != r.idx {
+		data, scratch, err := c.frags[fi].Materialize(r.buf)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
+		}
+		r.cur = data
+		r.idx = fi
+		if scratch {
+			// Decode buffers are reusable; fragment-owned storage is not.
+			r.buf = data
+		}
+	}
+	return vector.FromAny(c.vecType(), r.cur).Slice(lo-fs, hi-fs), nil
 }
 
 // Dict is the mapping table of an enumeration column: code -> value. The
@@ -94,42 +266,131 @@ func (d *Dict) Len() int {
 
 // PhysType returns the physical storage type of the column (the code type
 // for enum columns).
-func (c *Column) PhysType() vector.Type {
-	if c.Dict != nil {
-		if _, ok := c.data.([]uint8); ok {
-			return vector.UInt8
-		}
-		return vector.UInt16
-	}
-	return c.Typ.Physical()
-}
+func (c *Column) PhysType() vector.Type { return c.phys }
 
 // IsEnum reports whether the column is enumeration-compressed.
 func (c *Column) IsEnum() bool { return c.Dict != nil }
 
-// Len returns the number of rows in the base fragment.
-func (c *Column) Len() int {
-	return vector.FromAny(c.PhysType(), c.data).Len()
-}
+// Len returns the number of rows in the base fragments.
+func (c *Column) Len() int { return c.n }
 
-// VectorAt returns a zero-copy view of rows [lo:hi) of the physical data.
-// For enum columns the returned vector contains codes.
+// VectorAt returns a zero-copy view of rows [lo:hi) of the pinned physical
+// data. For enum columns the returned vector contains codes. Disk-backed
+// columns are pinned (fully materialized) on first use; sequential scans
+// use a FragReader instead to stay within bounded memory.
 func (c *Column) VectorAt(lo, hi int) *vector.Vector {
-	t := c.PhysType()
-	if c.Dict == nil {
-		t = c.Typ
-	}
-	return vector.FromAny(t, c.data).Slice(lo, hi)
+	return vector.FromAny(c.vecType(), c.Data()).Slice(lo, hi)
 }
 
-// Data returns the raw physical slice (for baseline engines that operate
-// column-at-a-time on whole columns).
-func (c *Column) Data() any { return c.data }
+// Pin materializes the full column (concatenating all fragments) and caches
+// it for random-access callers. Operators that fetch positionally at
+// execution time (Fetch1Join, FetchNJoin) pin at construction, so the cache
+// is read-only by the time worker goroutines run.
+func (c *Column) Pin() (any, error) {
+	if d := c.pinned.Load(); d != nil {
+		return *d, nil
+	}
+	pinMu.Lock()
+	defer pinMu.Unlock()
+	if d := c.pinned.Load(); d != nil {
+		return *d, nil
+	}
+	if len(c.frags) == 1 {
+		data, _, err := c.frags[0].Materialize(nil)
+		if err != nil {
+			return nil, err
+		}
+		c.pinned.Store(&data)
+		return data, nil
+	}
+	var dst any
+	for i, f := range c.frags {
+		part, _, err := f.Materialize(nil)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: pin %s fragment %d: %w", c.Name, i, err)
+		}
+		dst = appendAny(dst, part)
+	}
+	if dst == nil {
+		dst = emptySlice(c.vecType())
+	}
+	c.pinned.Store(&dst)
+	return dst, nil
+}
+
+// Data returns the full physical slice (for baseline engines and other
+// random-access callers that operate on whole columns). It pins disk-backed
+// columns, panicking on I/O errors — error-aware callers use Pin.
+func (c *Column) Data() any {
+	d, err := c.Pin()
+	if err != nil {
+		panic(fmt.Sprintf("colstore: pin column %s: %v", c.Name, err))
+	}
+	return d
+}
+
+func appendAny(dst, src any) any {
+	if dst == nil {
+		switch s := src.(type) {
+		case []bool:
+			return append([]bool(nil), s...)
+		case []uint8:
+			return append([]uint8(nil), s...)
+		case []uint16:
+			return append([]uint16(nil), s...)
+		case []int32:
+			return append([]int32(nil), s...)
+		case []int64:
+			return append([]int64(nil), s...)
+		case []float64:
+			return append([]float64(nil), s...)
+		case []string:
+			return append([]string(nil), s...)
+		}
+		panic(fmt.Sprintf("colstore: unsupported fragment payload %T", src))
+	}
+	switch d := dst.(type) {
+	case []bool:
+		return append(d, src.([]bool)...)
+	case []uint8:
+		return append(d, src.([]uint8)...)
+	case []uint16:
+		return append(d, src.([]uint16)...)
+	case []int32:
+		return append(d, src.([]int32)...)
+	case []int64:
+		return append(d, src.([]int64)...)
+	case []float64:
+		return append(d, src.([]float64)...)
+	case []string:
+		return append(d, src.([]string)...)
+	}
+	panic(fmt.Sprintf("colstore: unsupported fragment payload %T", dst))
+}
+
+func emptySlice(t vector.Type) any {
+	switch t.Physical() {
+	case vector.Bool:
+		return []bool{}
+	case vector.UInt8:
+		return []uint8{}
+	case vector.UInt16:
+		return []uint16{}
+	case vector.Int32:
+		return []int32{}
+	case vector.Int64:
+		return []int64{}
+	case vector.Float64:
+		return []float64{}
+	default:
+		return []string{}
+	}
+}
 
 // DecodedValue returns the logical value at row i, decoding enum codes
-// (slow path for the tuple-at-a-time engine and tests).
+// (slow path for the tuple-at-a-time engine and tests; pins the column).
 func (c *Column) DecodedValue(i int) any {
-	switch d := c.data.(type) {
+	switch d := c.Data().(type) {
 	case []uint8:
 		if c.Dict != nil {
 			return c.Dict.decoded(int(d[i]))
@@ -141,7 +402,7 @@ func (c *Column) DecodedValue(i int) any {
 		}
 		return d[i]
 	default:
-		return vector.FromAny(c.Typ, c.data).Value(i)
+		return vector.FromAny(c.Typ, d).Value(i)
 	}
 }
 
@@ -152,11 +413,11 @@ func (d *Dict) decoded(code int) any {
 	return d.Values[code]
 }
 
-// Bytes returns the physical storage footprint of the column, including the
-// dictionary payload for enum columns (used to reproduce the storage-size
-// comparison of Section 5).
+// Bytes returns the in-memory storage footprint of the column, including
+// the dictionary payload for enum columns (used to reproduce the
+// storage-size comparison of Section 5). Pins disk-backed columns.
 func (c *Column) Bytes() int {
-	b := vector.FromAny(c.PhysType(), c.data).Bytes()
+	b := vector.FromAny(c.PhysType(), c.Data()).Bytes()
 	if c.Dict != nil {
 		for _, v := range c.Dict.Values {
 			b += len(v) + 16
@@ -171,6 +432,11 @@ type Table struct {
 	Name string
 	Cols []*Column
 	N    int
+	// ChunkRows is the uniform fragment size of disk-backed tables (rows
+	// per ColumnBM chunk; the last chunk may be shorter). Zero for
+	// memory-resident tables. Parallel scans align morsels to this grid so
+	// workers never split a chunk.
+	ChunkRows int
 }
 
 // NewTable creates an empty table.
@@ -202,8 +468,47 @@ func (t *Table) AddColumn(name string, typ vector.Type, data any) error {
 	if len(t.Cols) > 0 && n != t.N {
 		return fmt.Errorf("colstore: column %s has %d rows, table %s has %d", name, n, t.Name, t.N)
 	}
-	t.Cols = append(t.Cols, &Column{Name: name, Typ: typ, data: data})
+	c := NewFragColumn(name, typ, nil, typ.Physical(), []Fragment{&memFragment{data: data, rows: n}})
+	c.pinned.Store(&data)
+	t.Cols = append(t.Cols, c)
 	t.N = n
+	return nil
+}
+
+// AttachColumn attaches a pre-built (e.g. fragment-backed) column. The
+// column length must match existing columns.
+func (t *Table) AttachColumn(c *Column) error {
+	if len(t.Cols) > 0 && c.Len() != t.N {
+		return fmt.Errorf("colstore: column %s has %d rows, table %s has %d", c.Name, c.Len(), t.Name, t.N)
+	}
+	t.Cols = append(t.Cols, c)
+	t.N = c.Len()
+	return nil
+}
+
+// AppendFragment appends one in-memory fragment per column (typed slices of
+// each column's physical type, equal lengths) as new base fragments — the
+// delta checkpoint path. Row ids of existing rows are unchanged.
+func (t *Table) AppendFragment(parts []any) error {
+	if len(parts) != len(t.Cols) {
+		return fmt.Errorf("colstore: append fragment has %d columns, table %s has %d", len(parts), t.Name, len(t.Cols))
+	}
+	n := -1
+	for i, c := range t.Cols {
+		k := sliceLen(parts[i])
+		if n < 0 {
+			n = k
+		} else if k != n {
+			return fmt.Errorf("colstore: append fragment column %s has %d rows, want %d", c.Name, k, n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	for i, c := range t.Cols {
+		c.appendFrag(&memFragment{data: parts[i], rows: n})
+	}
+	t.N += n
 	return nil
 }
 
@@ -249,22 +554,27 @@ func (t *Table) AddEnumF64Column(name string, values []float64) error {
 }
 
 func (c *Column) packCodes(codes []int, distinct int) error {
+	var data any
 	switch {
 	case distinct <= 256:
 		c8 := make([]uint8, len(codes))
 		for i, x := range codes {
 			c8[i] = uint8(x)
 		}
-		c.data = c8
+		data = c8
+		c.phys = vector.UInt8
 	case distinct <= 65536:
 		c16 := make([]uint16, len(codes))
 		for i, x := range codes {
 			c16[i] = uint16(x)
 		}
-		c.data = c16
+		data = c16
+		c.phys = vector.UInt16
 	default:
 		return fmt.Errorf("%d distinct values, too many for enumeration", distinct)
 	}
+	c.setFrags([]Fragment{&memFragment{data: data, rows: len(codes)}})
+	c.pinned.Store(&data)
 	return nil
 }
 

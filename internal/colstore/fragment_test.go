@@ -1,0 +1,142 @@
+package colstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"x100/internal/vector"
+)
+
+// errFragment fails Materialize, for error-path coverage.
+type errFragment struct{ rows int }
+
+func (f errFragment) Rows() int { return f.rows }
+func (f errFragment) Materialize(any) (any, bool, error) {
+	return nil, false, errors.New("boom")
+}
+
+func TestMultiFragmentColumn(t *testing.T) {
+	c := NewFragColumn("x", vector.Int64, nil, vector.Int64, []Fragment{
+		MemFragment([]int64{1, 2, 3}),
+		MemFragment([]int64{4, 5}),
+		MemFragment([]int64{6, 7, 8, 9}),
+	})
+	if c.Len() != 9 || c.NumFrags() != 3 {
+		t.Fatalf("len=%d frags=%d", c.Len(), c.NumFrags())
+	}
+	for _, tc := range []struct{ row, lo, hi int }{
+		{0, 0, 3}, {2, 0, 3}, {3, 3, 5}, {4, 3, 5}, {5, 5, 9}, {8, 5, 9},
+	} {
+		if lo, hi := c.FragSpan(tc.row); lo != tc.lo || hi != tc.hi {
+			t.Fatalf("FragSpan(%d) = [%d,%d), want [%d,%d)", tc.row, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	r := c.Reader()
+	if v, err := r.Vector(3, 5); err != nil || v.Int64s()[0] != 4 || v.Int64s()[1] != 5 {
+		t.Fatalf("Vector(3,5): %v %v", v, err)
+	}
+	if v, err := r.Vector(6, 9); err != nil || v.Int64s()[2] != 9 {
+		t.Fatalf("Vector(6,9): %v %v", v, err)
+	}
+	if _, err := r.Vector(2, 4); err == nil {
+		t.Fatal("cross-fragment read must fail")
+	}
+	// Pin concatenates all fragments.
+	data := c.Data().([]int64)
+	for i, want := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		if data[i] != want {
+			t.Fatalf("pinned[%d] = %d, want %d", i, data[i], want)
+		}
+	}
+	if c.VectorAt(4, 7).Int64s()[0] != 5 {
+		t.Fatal("VectorAt over pinned data wrong")
+	}
+}
+
+func TestAppendFragment(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn("a", vector.Int32, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("s", vector.String, []string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendFragment([]any{[]int32{4, 5}, []string{"u", "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.N != 5 || tab.Col("a").Len() != 5 {
+		t.Fatalf("table has %d rows", tab.N)
+	}
+	if got := tab.Col("a").Data().([]int32); got[3] != 4 || got[4] != 5 {
+		t.Fatalf("appended values wrong: %v", got)
+	}
+	if got := tab.Col("s").DecodedValue(4); got != "v" {
+		t.Fatalf("appended string wrong: %v", got)
+	}
+	// Mismatched lengths are rejected.
+	if err := tab.AppendFragment([]any{[]int32{9}, []string{"a", "b"}}); err == nil {
+		t.Fatal("ragged append must fail")
+	}
+}
+
+func TestFragmentErrorPropagates(t *testing.T) {
+	c := NewFragColumn("x", vector.Int64, nil, vector.Int64, []Fragment{
+		MemFragment([]int64{1}),
+		errFragment{rows: 2},
+	})
+	r := c.Reader()
+	if _, err := r.Vector(0, 1); err != nil {
+		t.Fatalf("mem fragment read failed: %v", err)
+	}
+	if _, err := r.Vector(1, 3); err == nil {
+		t.Fatal("expected materialize error")
+	}
+	if _, err := c.Pin(); err == nil {
+		t.Fatal("expected pin error")
+	}
+}
+
+// TestConcurrentPin: lazy pinning must be safe when several goroutines
+// construct plans against the same unpinned column (run under -race).
+func TestConcurrentPin(t *testing.T) {
+	c := NewFragColumn("x", vector.Int64, nil, vector.Int64, []Fragment{
+		MemFragment([]int64{1, 2, 3}),
+		MemFragment([]int64{4, 5, 6}),
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d, err := c.Pin()
+				if err != nil || len(d.([]int64)) != 6 {
+					t.Errorf("pin: %v %v", d, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestReaderBufferNotAliased guards the scratch/owned distinction: after
+// reading a memory fragment, a later decode must not overwrite the memory
+// fragment's backing array.
+func TestReaderBufferNotAliased(t *testing.T) {
+	base := []int64{10, 11, 12}
+	c := NewFragColumn("x", vector.Int64, nil, vector.Int64, []Fragment{
+		MemFragment(base),
+		MemFragment([]int64{20, 21, 22}),
+	})
+	r := c.Reader()
+	v1, _ := r.Vector(0, 3)
+	_ = v1
+	if _, err := r.Vector(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	if base[0] != 10 || base[1] != 11 || base[2] != 12 {
+		t.Fatalf("memory fragment clobbered: %v", base)
+	}
+}

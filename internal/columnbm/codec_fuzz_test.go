@@ -1,0 +1,170 @@
+package columnbm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// codecRoundTrip encodes vals with the best-codec heuristic and decodes the
+// result, failing on any mismatch.
+func codecRoundTrip(t *testing.T, vals []int64) {
+	t.Helper()
+	payload, codec := encodeInt64(vals)
+	hdr := chunkHeader{codec: codec, count: len(vals), rawSize: 8 * len(vals)}
+	got, err := decodeInt64(hdr, payload)
+	if err != nil {
+		t.Fatalf("codec %v: decode failed: %v", codec, err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("codec %v: %d values decoded, want %d", codec, len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("codec %v: value %d: got %d, want %d", codec, i, got[i], vals[i])
+		}
+	}
+}
+
+// forceRoundTrip round-trips one specific codec encoding when it applies.
+func forceRoundTrip(t *testing.T, vals []int64, codec Codec, enc func([]int64) []byte) {
+	t.Helper()
+	payload := enc(vals)
+	if payload == nil {
+		return // codec declined (unprofitable or out of range)
+	}
+	hdr := chunkHeader{codec: codec, count: len(vals), rawSize: 8 * len(vals)}
+	got, err := decodeInt64(hdr, payload)
+	if err != nil {
+		t.Fatalf("%v: decode failed: %v", codec, err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%v: value %d: got %d, want %d", codec, i, got[i], vals[i])
+		}
+	}
+}
+
+func TestCodecRoundTripAdversarial(t *testing.T) {
+	cases := map[string][]int64{
+		"empty":          {},
+		"single":         {42},
+		"constant":       {7, 7, 7, 7, 7, 7, 7, 7},
+		"sorted":         {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		"sorted-steps":   {100, 100, 101, 105, 105, 105, 200, 201},
+		"descending":     {10, 9, 8, 7, 6, 5},
+		"extremes":       {math.MinInt64, math.MaxInt64, 0, -1, 1},
+		"overflow-diffs": {math.MinInt64, math.MaxInt64, math.MinInt64, math.MaxInt64},
+		"near-max":       {math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 - 255},
+		"near-min":       {math.MinInt64, math.MinInt64 + 1, math.MinInt64 + 65535},
+		"wide-for":       {0, 1 << 31, 42, 1<<32 - 1},
+		"too-wide-for":   {0, 1 << 40},
+		"negatives":      {-5, -4, -4, -3, 0, 2, 2, 2},
+		"runs":           {1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3},
+		"zigzag":         {0, 100, 0, 100, 0, 100},
+	}
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) {
+			codecRoundTrip(t, vals)
+			forceRoundTrip(t, vals, CodecRLE, tryRLE)
+			forceRoundTrip(t, vals, CodecFoR, tryFoR)
+			forceRoundTrip(t, vals, CodecDelta, tryDelta)
+		})
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	shapes := []func(r *rand.Rand, n int) []int64{
+		// Uniform random over the full int64 range.
+		func(r *rand.Rand, n int) []int64 {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = int64(r.Uint64())
+			}
+			return v
+		},
+		// Sorted with small steps: the delta codec's home turf.
+		func(r *rand.Rand, n int) []int64 {
+			v := make([]int64, n)
+			x := int64(r.Uint64() >> 1)
+			for i := range v {
+				x += int64(r.Intn(7))
+				v[i] = x
+			}
+			return v
+		},
+		// Runs of repeated values: RLE territory.
+		func(r *rand.Rand, n int) []int64 {
+			v := make([]int64, 0, n)
+			for len(v) < n {
+				x := int64(r.Intn(16))
+				k := min(1+r.Intn(32), n-len(v))
+				for j := 0; j < k; j++ {
+					v = append(v, x)
+				}
+			}
+			return v
+		},
+		// Narrow domain around a huge base: FoR territory.
+		func(r *rand.Rand, n int) []int64 {
+			v := make([]int64, n)
+			base := int64(r.Uint64())
+			for i := range v {
+				v[i] = base + int64(r.Intn(1000))
+			}
+			return v
+		},
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for si, shape := range shapes {
+			n := r.Intn(2000)
+			vals := shape(r, n)
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("seed %d shape %d: panic: %v", seed, si, p)
+					}
+				}()
+				codecRoundTrip(t, vals)
+				forceRoundTrip(t, vals, CodecRLE, tryRLE)
+				forceRoundTrip(t, vals, CodecFoR, tryFoR)
+				forceRoundTrip(t, vals, CodecDelta, tryDelta)
+			}()
+		}
+	}
+}
+
+// FuzzInt64CodecRoundTrip feeds arbitrary byte strings in as values
+// (interpreted as int64s) and asserts the chosen codec round-trips.
+func FuzzInt64CodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.MaxUint64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]int64, len(raw)/8)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		codecRoundTrip(t, vals)
+	})
+}
+
+// FuzzInt64CodecDecode asserts the decoder never panics or over-reads on
+// arbitrary (possibly corrupt) payloads under any codec id.
+func FuzzInt64CodecDecode(f *testing.F) {
+	good, codec := encodeInt64([]int64{1, 2, 3, 1000, -7})
+	f.Add(uint8(codec), 5, good)
+	f.Add(uint8(CodecRLE), 3, []byte{1, 2, 3})
+	f.Add(uint8(CodecDelta), 2, bytes.Repeat([]byte{0x80}, 19))
+	f.Fuzz(func(t *testing.T, codec uint8, count int, payload []byte) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		hdr := chunkHeader{codec: Codec(codec), count: count, rawSize: 8 * count}
+		_, _ = decodeInt64(hdr, payload) // must not panic
+	})
+}

@@ -5,26 +5,31 @@
 // While MonetDB stores each BAT in a single continuous file, ColumnBM
 // partitions column files into large (>1MB) chunks and applies lightweight
 // compression so that scans are bandwidth-, not latency-, bound (Section 4
-// "Disk"). The paper runs its experiments on in-memory BATs because
-// ColumnBM was still under development; this package likewise is an
-// independent substrate with its own tests, examples and benches, and the
-// query engines operate on in-memory colstore tables.
+// "Disk"). Tables persisted here can be attached back as fragment-backed
+// colstore tables (AttachTable): each chunk becomes one colstore.Fragment
+// that decompresses on demand through the buffer pool, so the X100 engine
+// scans straight off disk chunks with bounded memory — one decoded chunk
+// per column per scan worker.
 //
 // On-disk format, per chunk:
 //
 //	magic(4) | codec(1) | count(4) | rawSize(4) | payloadSize(4) | payload
 //
-// Codecs: raw, RLE (run-length on repeated values) and FoR
-// (frame-of-reference: per-chunk base + narrow deltas) for integers.
+// Codecs: raw, RLE (run-length on repeated values), FoR (frame-of-reference:
+// per-chunk base + narrow deltas) and delta (FoR over successive
+// differences, for sorted/clustered integer columns like l_orderkey). The
+// writer picks the smallest encoding per chunk.
 package columnbm
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 )
 
 // DefaultChunkValues is the number of values per chunk; at 8 bytes/value
@@ -41,6 +46,7 @@ const (
 	CodecRaw Codec = iota
 	CodecRLE
 	CodecFoR
+	CodecDelta
 )
 
 func (c Codec) String() string {
@@ -51,9 +57,45 @@ func (c Codec) String() string {
 		return "rle"
 	case CodecFoR:
 		return "for"
+	case CodecDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
 	}
+}
+
+// FormatCodecs renders a codec-name -> chunk-count map as "rle:7,for:8",
+// listing codecs in their declaration order ("memory" — used by storage
+// reports for resident fragments — first, unknown names last) so output is
+// stable. New codecs only need to extend the Codec constants.
+func FormatCodecs(codecs map[string]int) string {
+	known := []string{"memory"}
+	for c := CodecRaw; c <= CodecDelta; c++ {
+		known = append(known, c.String())
+	}
+	out := ""
+	emit := func(k string) {
+		if n := codecs[k]; n > 0 {
+			if out != "" {
+				out += ","
+			}
+			out += fmt.Sprintf("%s:%d", k, n)
+		}
+	}
+	for _, k := range known {
+		emit(k)
+	}
+	rest := make([]string, 0, len(codecs))
+	for k := range codecs {
+		if !slices.Contains(known, k) {
+			rest = append(rest, k)
+		}
+	}
+	slices.Sort(rest)
+	for _, k := range rest {
+		emit(k)
+	}
+	return out
 }
 
 // ErrCorrupt is returned when a chunk fails validation.
@@ -83,6 +125,12 @@ func NewStore(dir string, chunkValues, poolChunks int) (*Store, error) {
 
 // Pool exposes the store's buffer pool (for stats in benches/tests).
 func (s *Store) Pool() *Pool { return s.pool }
+
+// ChunkValues returns the number of values per chunk this store writes.
+func (s *Store) ChunkValues() int { return s.chunkValues }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) chunkPath(column string, idx int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s.%06d.chunk", column, idx))
@@ -265,6 +313,7 @@ func (s *Store) CompressedSize(column string, nchunks int) (int64, error) {
 func encodeInt64(vals []int64) ([]byte, Codec) {
 	rle := tryRLE(vals)
 	forEnc := tryFoR(vals)
+	deltaEnc := tryDelta(vals)
 	raw := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(raw[8*i:], uint64(v))
@@ -275,6 +324,9 @@ func encodeInt64(vals []int64) ([]byte, Codec) {
 	}
 	if forEnc != nil && len(forEnc) < len(best) {
 		best, codec = forEnc, CodecFoR
+	}
+	if deltaEnc != nil && len(deltaEnc) < len(best) {
+		best, codec = deltaEnc, CodecDelta
 	}
 	return best, codec
 }
@@ -342,59 +394,181 @@ func tryFoR(vals []int64) []byte {
 	return out
 }
 
+// tryDelta encodes the first value plus frame-of-reference-compressed
+// successive differences: ideal for sorted or clustered integer columns
+// (l_orderkey, dates) whose absolute values span too wide for plain FoR but
+// whose steps are tiny. Layout: first(8) | diffBase(8) | width(1) | narrow
+// (diff - diffBase) per value after the first. Arithmetic wraps, so the
+// round trip is exact for any int64 input; nil when the diff span needs
+// more than 4 bytes.
+func tryDelta(vals []int64) []byte {
+	if len(vals) < 2 {
+		return nil
+	}
+	lo := vals[1] - vals[0]
+	hi := lo
+	for i := 2; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		lo, hi = min(lo, d), max(hi, d)
+	}
+	span := uint64(hi - lo)
+	var width int
+	switch {
+	case span < 1<<8:
+		width = 1
+	case span < 1<<16:
+		width = 2
+	case span < 1<<32:
+		width = 4
+	default:
+		return nil
+	}
+	out := make([]byte, 17+width*(len(vals)-1))
+	binary.LittleEndian.PutUint64(out[0:], uint64(vals[0]))
+	binary.LittleEndian.PutUint64(out[8:], uint64(lo))
+	out[16] = byte(width)
+	for i := 1; i < len(vals); i++ {
+		d := uint64(vals[i] - vals[i-1] - lo)
+		switch width {
+		case 1:
+			out[17+(i-1)] = byte(d)
+		case 2:
+			binary.LittleEndian.PutUint16(out[17+2*(i-1):], uint16(d))
+		case 4:
+			binary.LittleEndian.PutUint32(out[17+4*(i-1):], uint32(d))
+		}
+	}
+	return out
+}
+
 func decodeInt64(hdr chunkHeader, payload []byte) ([]int64, error) {
+	out := make([]int64, hdr.count)
+	if err := decodeInt64Into(out, hdr, payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeInt64Into decodes a chunk into dst, which must have length
+// hdr.count. It is the allocation-free core of the chunk-at-a-time scan
+// path.
+func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
+	if len(dst) != hdr.count {
+		return ErrCorrupt
+	}
 	switch hdr.codec {
 	case CodecRaw:
 		if len(payload) != 8*hdr.count {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		out := make([]int64, hdr.count)
-		for i := range out {
-			out[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
 		}
-		return out, nil
+		return nil
 	case CodecRLE:
-		out := make([]int64, 0, hdr.count)
+		n := 0
 		for off := 0; off+12 <= len(payload); off += 12 {
 			v := int64(binary.LittleEndian.Uint64(payload[off:]))
-			n := int(binary.LittleEndian.Uint32(payload[off+8:]))
-			if len(out)+n > hdr.count {
-				return nil, ErrCorrupt
+			k := int(binary.LittleEndian.Uint32(payload[off+8:]))
+			if k < 0 || n+k > hdr.count {
+				return ErrCorrupt
 			}
-			for k := 0; k < n; k++ {
-				out = append(out, v)
+			for j := 0; j < k; j++ {
+				dst[n+j] = v
 			}
+			n += k
 		}
-		if len(out) != hdr.count {
-			return nil, ErrCorrupt
+		if n != hdr.count {
+			return ErrCorrupt
 		}
-		return out, nil
+		return nil
 	case CodecFoR:
 		if len(payload) < 9 {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		base := int64(binary.LittleEndian.Uint64(payload[0:]))
 		width := int(payload[8])
-		if len(payload) != 9+width*hdr.count {
-			return nil, ErrCorrupt
+		if width != 1 && width != 2 && width != 4 {
+			return ErrCorrupt
 		}
-		out := make([]int64, hdr.count)
-		for i := range out {
+		if len(payload) != 9+width*hdr.count {
+			return ErrCorrupt
+		}
+		for i := range dst {
 			switch width {
 			case 1:
-				out[i] = base + int64(payload[9+i])
+				dst[i] = base + int64(payload[9+i])
 			case 2:
-				out[i] = base + int64(binary.LittleEndian.Uint16(payload[9+2*i:]))
+				dst[i] = base + int64(binary.LittleEndian.Uint16(payload[9+2*i:]))
 			case 4:
-				out[i] = base + int64(binary.LittleEndian.Uint32(payload[9+4*i:]))
-			default:
-				return nil, ErrCorrupt
+				dst[i] = base + int64(binary.LittleEndian.Uint32(payload[9+4*i:]))
 			}
 		}
-		return out, nil
+		return nil
+	case CodecDelta:
+		if hdr.count < 2 || len(payload) < 17 {
+			return ErrCorrupt
+		}
+		base := int64(binary.LittleEndian.Uint64(payload[8:]))
+		width := int(payload[16])
+		if width != 1 && width != 2 && width != 4 {
+			return ErrCorrupt
+		}
+		if len(payload) != 17+width*(hdr.count-1) {
+			return ErrCorrupt
+		}
+		v := int64(binary.LittleEndian.Uint64(payload[0:]))
+		dst[0] = v
+		for i := 1; i < hdr.count; i++ {
+			var d int64
+			switch width {
+			case 1:
+				d = int64(payload[17+(i-1)])
+			case 2:
+				d = int64(binary.LittleEndian.Uint16(payload[17+2*(i-1):]))
+			case 4:
+				d = int64(binary.LittleEndian.Uint32(payload[17+4*(i-1):]))
+			}
+			v += base + d
+			dst[i] = v
+		}
+		return nil
 	default:
-		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, hdr.codec)
+		return fmt.Errorf("%w: unknown codec %d", ErrCorrupt, hdr.codec)
 	}
+}
+
+// ChunkInfo describes one stored chunk (for storage introspection: the
+// shell's \storage command and dbgen's codec report). Only the fixed-size
+// header is read.
+type ChunkInfo struct {
+	Codec       Codec
+	Count       int
+	RawSize     int
+	PayloadSize int
+}
+
+// ChunkInfo reads the header of chunk idx of a column without loading the
+// payload (and without touching the buffer pool).
+func (s *Store) ChunkInfo(column string, idx int) (ChunkInfo, error) {
+	f, err := os.Open(s.chunkPath(column, idx))
+	if err != nil {
+		return ChunkInfo{}, fmt.Errorf("columnbm: %w", err)
+	}
+	defer f.Close()
+	var hdr [17]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, idx))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != chunkMagic {
+		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, idx))
+	}
+	return ChunkInfo{
+		Codec:       Codec(hdr[4]),
+		Count:       int(binary.LittleEndian.Uint32(hdr[5:])),
+		RawSize:     int(binary.LittleEndian.Uint32(hdr[9:])),
+		PayloadSize: int(binary.LittleEndian.Uint32(hdr[13:])),
+	}, nil
 }
 
 func floatBits(f float64) uint64     { return math.Float64bits(f) }

@@ -1,0 +1,265 @@
+package columnbm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"x100/internal/colstore"
+	"x100/internal/vector"
+)
+
+// chunkFragment is a colstore.Fragment backed by one compressed ColumnBM
+// chunk. Materialize reads the (cached) compressed bytes through the buffer
+// pool and decodes them into a caller-owned typed slice, so concurrent scan
+// workers share only the immutable compressed chunk while each owns its
+// decoded copy — at most one decoded chunk per column per worker.
+type chunkFragment struct {
+	store *Store
+	key   string
+	idx   int
+	rows  int
+	phys  vector.Type
+
+	minI, maxI int64
+	minF, maxF float64
+	hasI, hasF bool
+}
+
+func (f *chunkFragment) Rows() int { return f.rows }
+
+// BoundsI64 implements colstore.I64Bounded from the per-chunk min/max the
+// writer recorded in the manifest.
+func (f *chunkFragment) BoundsI64() (int64, int64, bool) { return f.minI, f.maxI, f.hasI }
+
+// BoundsF64 implements colstore.F64Bounded.
+func (f *chunkFragment) BoundsF64() (float64, float64, bool) { return f.minF, f.maxF, f.hasF }
+
+// i64Scratch pools intermediate decode buffers for physical types narrower
+// than the stored int64 representation.
+var i64Scratch = sync.Pool{New: func() any { return new([]int64) }}
+
+func getI64Scratch(n int) *[]int64 {
+	p := i64Scratch.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func sliceBuf[T any](buf any, n int) []T {
+	if s, ok := buf.([]T); ok && cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
+	hdr, payload, err := f.store.readChunk(f.key, f.idx)
+	if err != nil {
+		return nil, false, err
+	}
+	if hdr.count != f.rows {
+		return nil, false, fmt.Errorf("%w: %s chunk %d has %d values, manifest says %d",
+			ErrCorrupt, f.key, f.idx, hdr.count, f.rows)
+	}
+	switch f.phys {
+	case vector.Int64:
+		dst := sliceBuf[int64](buf, f.rows)
+		if err := decodeInt64Into(dst, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		return dst, true, nil
+	case vector.Int32:
+		tmp := getI64Scratch(f.rows)
+		defer i64Scratch.Put(tmp)
+		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		dst := sliceBuf[int32](buf, f.rows)
+		for i, v := range *tmp {
+			dst[i] = int32(v)
+		}
+		return dst, true, nil
+	case vector.UInt8:
+		tmp := getI64Scratch(f.rows)
+		defer i64Scratch.Put(tmp)
+		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		dst := sliceBuf[uint8](buf, f.rows)
+		for i, v := range *tmp {
+			dst[i] = uint8(v)
+		}
+		return dst, true, nil
+	case vector.UInt16:
+		tmp := getI64Scratch(f.rows)
+		defer i64Scratch.Put(tmp)
+		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		dst := sliceBuf[uint16](buf, f.rows)
+		for i, v := range *tmp {
+			dst[i] = uint16(v)
+		}
+		return dst, true, nil
+	case vector.Bool:
+		tmp := getI64Scratch(f.rows)
+		defer i64Scratch.Put(tmp)
+		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		dst := sliceBuf[bool](buf, f.rows)
+		for i, v := range *tmp {
+			dst[i] = v != 0
+		}
+		return dst, true, nil
+	case vector.Float64:
+		if hdr.codec != CodecRaw || len(payload) != 8*hdr.count {
+			return nil, false, fmt.Errorf("%w: %s chunk %d", ErrCorrupt, f.key, f.idx)
+		}
+		dst := sliceBuf[float64](buf, f.rows)
+		for i := range dst {
+			dst[i] = floatFromBits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return dst, true, nil
+	case vector.String:
+		if hdr.codec != CodecRaw {
+			return nil, false, fmt.Errorf("%w: %s chunk %d", ErrCorrupt, f.key, f.idx)
+		}
+		dst := sliceBuf[string](buf, f.rows)
+		off := 0
+		for i := range dst {
+			if off+4 > len(payload) {
+				return nil, false, fmt.Errorf("%w: %s chunk %d truncated", ErrCorrupt, f.key, f.idx)
+			}
+			n := int(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if n < 0 || off+n > len(payload) {
+				return nil, false, fmt.Errorf("%w: %s chunk %d truncated", ErrCorrupt, f.key, f.idx)
+			}
+			dst[i] = string(payload[off : off+n])
+			off += n
+		}
+		return dst, true, nil
+	default:
+		return nil, false, fmt.Errorf("columnbm: cannot materialize %v fragment %s", f.phys, f.key)
+	}
+}
+
+// AttachTable builds a fragment-backed colstore table over the chunks
+// written by SaveTable, without materializing any column: every chunk
+// becomes a lazily decoded fragment, and per-chunk min/max bounds from the
+// manifest feed chunk-granularity scan pruning. Enum dictionaries are
+// rebuilt from the manifest.
+func (s *Store) AttachTable(name string) (*colstore.Table, error) {
+	m, err := s.readManifest(name)
+	if err != nil {
+		return nil, err
+	}
+	chunkRows := m.ChunkRows
+	if chunkRows <= 0 {
+		// Manifests from before the chunk_rows field: the writer used its
+		// store's configured chunk size.
+		chunkRows = s.chunkValues
+	}
+	t := colstore.NewTable(m.Table)
+	t.ChunkRows = chunkRows
+	for _, cm := range m.Columns {
+		typ, err := vector.ParseType(cm.Type)
+		if err != nil {
+			return nil, err
+		}
+		var dict *colstore.Dict
+		phys := typ.Physical()
+		if cm.Enum {
+			if cm.DictF64 != nil {
+				dict = colstore.NewF64Dict()
+				for _, v := range cm.DictF64 {
+					dict.CodeF64(v)
+				}
+			} else {
+				dict = colstore.NewDict()
+				for _, v := range cm.DictStr {
+					dict.Code(v)
+				}
+			}
+			switch {
+			case dict.Len() <= 256:
+				phys = vector.UInt8
+			case dict.Len() <= 65536:
+				phys = vector.UInt16
+			default:
+				return nil, fmt.Errorf("columnbm: enum column %s.%s has %d dictionary values", name, cm.Name, dict.Len())
+			}
+		}
+		key := m.Table + "." + cm.Name
+		frags := make([]colstore.Fragment, cm.Chunks)
+		useI := !cm.Enum && len(cm.ChunkMinI64) == cm.Chunks && len(cm.ChunkMaxI64) == cm.Chunks &&
+			(phys == vector.Int32 || phys == vector.Int64)
+		useF := !cm.Enum && len(cm.ChunkMinF64) == cm.Chunks && len(cm.ChunkMaxF64) == cm.Chunks &&
+			phys == vector.Float64
+		for i := range frags {
+			rows := chunkRows
+			if i == cm.Chunks-1 {
+				rows = m.Rows - (cm.Chunks-1)*chunkRows
+			}
+			if rows < 0 || rows > chunkRows {
+				return nil, fmt.Errorf("columnbm: column %s: %d rows do not fit %d chunks of %d", key, m.Rows, cm.Chunks, chunkRows)
+			}
+			cf := &chunkFragment{store: s, key: key, idx: i, rows: rows, phys: phys}
+			if useI {
+				cf.minI, cf.maxI, cf.hasI = cm.ChunkMinI64[i], cm.ChunkMaxI64[i], true
+			}
+			if useF {
+				cf.minF, cf.maxF, cf.hasF = cm.ChunkMinF64[i], cm.ChunkMaxF64[i], true
+			}
+			frags[i] = cf
+		}
+		col := colstore.NewFragColumn(cm.Name, typ, dict, phys, frags)
+		if err := t.AttachColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	if t.N != m.Rows {
+		return nil, fmt.Errorf("columnbm: table %s attached %d rows, manifest says %d", name, t.N, m.Rows)
+	}
+	return t, nil
+}
+
+// ColumnStorage summarizes how one attached column is stored on disk.
+type ColumnStorage struct {
+	Name            string
+	Type            string
+	Enum            bool
+	Chunks          int
+	Codecs          map[string]int // codec name -> chunk count
+	RawBytes        int64
+	CompressedBytes int64
+}
+
+// TableStorage reads per-column chunk headers of a persisted table and
+// reports codec usage and compression ratios.
+func (s *Store) TableStorage(name string) ([]ColumnStorage, error) {
+	m, err := s.readManifest(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColumnStorage, 0, len(m.Columns))
+	for _, cm := range m.Columns {
+		cs := ColumnStorage{Name: cm.Name, Type: cm.Type, Enum: cm.Enum, Chunks: cm.Chunks, Codecs: map[string]int{}}
+		key := m.Table + "." + cm.Name
+		for i := 0; i < cm.Chunks; i++ {
+			ci, err := s.ChunkInfo(key, i)
+			if err != nil {
+				return nil, err
+			}
+			cs.Codecs[ci.Codec.String()]++
+			cs.RawBytes += int64(ci.RawSize)
+			cs.CompressedBytes += int64(ci.PayloadSize)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package columnbm
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -15,29 +16,51 @@ import (
 // a chunk directory self-describing, so databases survive a round trip
 // through the store.
 type Manifest struct {
-	Table   string           `json:"table"`
-	Rows    int              `json:"rows"`
-	Columns []ColumnManifest `json:"columns"`
+	Table string `json:"table"`
+	Rows  int    `json:"rows"`
+	// ChunkRows is the chunk size (values per chunk) the writer used; the
+	// last chunk of each column may be shorter.
+	ChunkRows int              `json:"chunk_rows,omitempty"`
+	Columns   []ColumnManifest `json:"columns"`
 }
 
-// ColumnManifest describes one persisted column.
+// ColumnManifest describes one persisted column. The per-chunk min/max
+// arrays (when present, one entry per chunk) drive summary-index-style scan
+// pruning at chunk granularity.
 type ColumnManifest struct {
-	Name    string    `json:"name"`
-	Type    string    `json:"type"`
-	Chunks  int       `json:"chunks"`
-	Enum    bool      `json:"enum,omitempty"`
-	DictStr []string  `json:"dict_str,omitempty"`
-	DictF64 []float64 `json:"dict_f64,omitempty"`
+	Name        string    `json:"name"`
+	Type        string    `json:"type"`
+	Chunks      int       `json:"chunks"`
+	Enum        bool      `json:"enum,omitempty"`
+	DictStr     []string  `json:"dict_str,omitempty"`
+	DictF64     []float64 `json:"dict_f64,omitempty"`
+	ChunkMinI64 []int64   `json:"chunk_min_i64,omitempty"`
+	ChunkMaxI64 []int64   `json:"chunk_max_i64,omitempty"`
+	ChunkMinF64 []float64 `json:"chunk_min_f64,omitempty"`
+	ChunkMaxF64 []float64 `json:"chunk_max_f64,omitempty"`
 }
 
 func manifestPath(dir, table string) string {
 	return filepath.Join(dir, table+".manifest.json")
 }
 
+func (s *Store) readManifest(name string) (*Manifest, error) {
+	raw, err := os.ReadFile(manifestPath(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("columnbm: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("columnbm: bad manifest for %s: %w", name, err)
+	}
+	return &m, nil
+}
+
 // SaveTable persists a colstore table through the chunk store and writes
-// its manifest. Enum columns persist their codes plus the dictionary.
+// its manifest (including per-chunk min/max for numeric columns). Enum
+// columns persist their codes plus the dictionary.
 func (s *Store) SaveTable(t *colstore.Table) error {
-	m := Manifest{Table: t.Name, Rows: t.N}
+	m := Manifest{Table: t.Name, Rows: t.N, ChunkRows: s.chunkValues}
 	for _, col := range t.Cols {
 		cm := ColumnManifest{Name: col.Name, Type: col.Typ.String(), Enum: col.IsEnum()}
 		key := t.Name + "." + col.Name
@@ -51,7 +74,7 @@ func (s *Store) SaveTable(t *colstore.Table) error {
 				cm.DictStr = col.Dict.Values
 			}
 		default:
-			cm.Chunks, err = s.writePlain(key, col)
+			cm.Chunks, err = s.writePlain(key, col, &cm)
 		}
 		if err != nil {
 			return fmt.Errorf("columnbm: save %s: %w", key, err)
@@ -65,15 +88,12 @@ func (s *Store) SaveTable(t *colstore.Table) error {
 	return os.WriteFile(manifestPath(s.dir, t.Name), data, 0o644)
 }
 
-// LoadTable reads a table previously written with SaveTable.
+// LoadTable reads a table previously written with SaveTable, fully
+// materialized in memory. AttachTable is the streaming alternative.
 func (s *Store) LoadTable(name string) (*colstore.Table, error) {
-	raw, err := os.ReadFile(manifestPath(s.dir, name))
+	m, err := s.readManifest(name)
 	if err != nil {
-		return nil, fmt.Errorf("columnbm: %w", err)
-	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("columnbm: bad manifest for %s: %w", name, err)
+		return nil, err
 	}
 	t := colstore.NewTable(m.Table)
 	for _, cm := range m.Columns {
@@ -116,17 +136,52 @@ func (s *Store) LoadTable(name string) (*colstore.Table, error) {
 	return t, nil
 }
 
-func (s *Store) writePlain(key string, col *colstore.Column) (int, error) {
+// int64ChunkStats records per-chunk min/max into the column manifest.
+func (s *Store) int64ChunkStats(vals []int64, cm *ColumnManifest) {
+	for lo := 0; lo < len(vals); lo += s.chunkValues {
+		hi := min(lo+s.chunkValues, len(vals))
+		mn, mx := vals[lo], vals[lo]
+		for _, v := range vals[lo+1 : hi] {
+			mn, mx = min(mn, v), max(mx, v)
+		}
+		cm.ChunkMinI64 = append(cm.ChunkMinI64, mn)
+		cm.ChunkMaxI64 = append(cm.ChunkMaxI64, mx)
+	}
+}
+
+// f64ChunkStats records per-chunk min/max; columns containing NaN get no
+// bounds (NaN breaks ordering, so pruning would be unsound).
+func (s *Store) f64ChunkStats(vals []float64, cm *ColumnManifest) {
+	var mins, maxs []float64
+	for lo := 0; lo < len(vals); lo += s.chunkValues {
+		hi := min(lo+s.chunkValues, len(vals))
+		mn, mx := vals[lo], vals[lo]
+		for _, v := range vals[lo:hi] {
+			if math.IsNaN(v) {
+				return
+			}
+			mn, mx = min(mn, v), max(mx, v)
+		}
+		mins = append(mins, mn)
+		maxs = append(maxs, mx)
+	}
+	cm.ChunkMinF64, cm.ChunkMaxF64 = mins, maxs
+}
+
+func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest) (int, error) {
 	switch d := col.Data().(type) {
 	case []int32:
 		vals := make([]int64, len(d))
 		for i, v := range d {
 			vals[i] = int64(v)
 		}
+		s.int64ChunkStats(vals, cm)
 		return s.WriteInt64Column(key, vals)
 	case []int64:
+		s.int64ChunkStats(d, cm)
 		return s.WriteInt64Column(key, d)
 	case []float64:
+		s.f64ChunkStats(d, cm)
 		return s.WriteFloat64Column(key, d)
 	case []string:
 		return s.WriteStringColumn(key, d)

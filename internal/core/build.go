@@ -2,9 +2,13 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"x100/internal/algebra"
+	"x100/internal/colstore"
 	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/sindex"
 	"x100/internal/vector"
 )
 
@@ -16,9 +20,33 @@ func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 		return nil, err
 	}
 	if opts.parallelism() > 1 {
+		// Absorb pending insert deltas into base fragments so scans
+		// partition (row ids are preserved; see delta.Store.Checkpoint).
+		if err := checkpointPending(db, plan); err != nil {
+			return nil, err
+		}
 		return buildParallel(db, plan, opts)
 	}
 	return build(db, plan, opts)
+}
+
+// checkpointPending checkpoints the insert delta of every table scanned by
+// the plan. Tables whose checkpoint is declined (dictionary overflow) keep
+// their deltas and compile to the serial merged scan.
+func checkpointPending(db *Database, plan algebra.Node) error {
+	if sc, ok := plan.(*algebra.Scan); ok {
+		if ds, err := db.Delta(sc.Table); err == nil && ds.NumDeltaRows() > 0 {
+			if _, err := db.Checkpoint(sc.Table); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ch := range plan.Children() {
+		if err := checkpointPending(db, ch); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
@@ -135,21 +163,21 @@ func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) 
 		}
 		switch cst.Typ.Physical() {
 		case vector.Int32:
-			si := db.SummaryI32(table, col.Name)
-			if si == nil {
-				continue
-			}
 			v := cst.Val.(int32)
-			lo, hi := boundsFor(opKind, v, si.Bounds)
-			op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
-		case vector.Float64:
-			si := db.SummaryF64(table, col.Name)
-			if si == nil {
-				continue
+			if si := db.SummaryI32(table, col.Name); si != nil {
+				lo, hi := boundsFor(opKind, v, si.Bounds)
+				op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
 			}
+			applyFragBoundsI64(db, table, col.Name, opKind, int64(v), op)
+		case vector.Int64:
+			applyFragBoundsI64(db, table, col.Name, opKind, cst.Val.(int64), op)
+		case vector.Float64:
 			v := cst.Val.(float64)
-			lo, hi := boundsFor(opKind, v, si.Bounds)
-			op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
+			if si := db.SummaryF64(table, col.Name); si != nil {
+				lo, hi := boundsFor(opKind, v, si.Bounds)
+				op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
+			}
+			applyFragBoundsF64(db, table, col.Name, opKind, v, op)
 		}
 	}
 	if op.lo > op.hi {
@@ -157,19 +185,76 @@ func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) 
 	}
 }
 
-func boundsFor[T any](op expr.CmpKind, v T, bounds func(lo T, hasLo bool, hi T, hasHi bool) (int, int)) (int, int) {
+// rangeFor converts a comparison against a constant into the conservative
+// value interval [loVal, hiVal] a matching row must fall into.
+func rangeFor[T any](op expr.CmpKind, v T) (loVal T, hasLo bool, hiVal T, hasHi bool) {
 	switch op {
 	case expr.LT, expr.LE:
-		return bounds(v, false, v, true)
+		return v, false, v, true
 	case expr.GT, expr.GE:
-		return bounds(v, true, v, false)
+		return v, true, v, false
 	case expr.EQ:
-		return bounds(v, true, v, true)
+		return v, true, v, true
 	default:
-		var zero T
-		_ = zero
-		return bounds(v, false, v, false)
+		return v, false, v, false
 	}
+}
+
+func boundsFor[T any](op expr.CmpKind, v T, bounds func(lo T, hasLo bool, hi T, hasHi bool) (int, int)) (int, int) {
+	loVal, hasLo, hiVal, hasHi := rangeFor(op, v)
+	return bounds(loVal, hasLo, hiVal, hasHi)
+}
+
+// applyFragBoundsI64 narrows a scan using per-fragment (ColumnBM chunk)
+// min/max bounds — summary-index-style pruning at chunk granularity,
+// available on disk-attached tables without building any in-memory index.
+func applyFragBoundsI64(db *Database, table, colName string, opKind expr.CmpKind, v int64, op *scanOp) {
+	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (int64, int64, bool) {
+		if b, ok := f.(colstore.I64Bounded); ok {
+			return b.BoundsI64()
+		}
+		return 0, 0, false
+	}, vector.Int32, vector.Int64)
+}
+
+// applyFragBoundsF64 is the float counterpart of applyFragBoundsI64.
+func applyFragBoundsF64(db *Database, table, colName string, opKind expr.CmpKind, v float64, op *scanOp) {
+	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (float64, float64, bool) {
+		if b, ok := f.(colstore.F64Bounded); ok {
+			return b.BoundsF64()
+		}
+		return 0, 0, false
+	}, vector.Float64)
+}
+
+func applyFragBounds[T primitives.Ordered](db *Database, table, colName string, opKind expr.CmpKind, v T,
+	op *scanOp, bounds func(colstore.Fragment) (T, T, bool), physTypes ...vector.Type) {
+	t, err := db.Table(table)
+	if err != nil {
+		return
+	}
+	c := t.Col(colName)
+	if c == nil || c.IsEnum() || c.NumFrags() <= 1 || !slices.Contains(physTypes, c.PhysType()) {
+		return
+	}
+	nf := c.NumFrags()
+	starts := make([]int, nf+1)
+	mins := make([]T, nf)
+	maxs := make([]T, nf)
+	ok := make([]bool, nf)
+	bounded := false
+	for i := 0; i < nf; i++ {
+		starts[i] = c.FragStart(i)
+		mins[i], maxs[i], ok[i] = bounds(c.Frag(i))
+		bounded = bounded || ok[i]
+	}
+	if !bounded {
+		return
+	}
+	starts[nf] = c.Len()
+	loVal, hasLo, hiVal, hasHi := rangeFor(opKind, v)
+	lo, hi := sindex.PruneFragments(starts, mins, maxs, ok, loVal, hasLo, hiVal, hasHi)
+	op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
 }
 
 func conjuncts(e expr.Expr, dst []expr.Expr) []expr.Expr {

@@ -66,6 +66,36 @@ func (db *Database) Delta(name string) (*delta.Store, error) {
 	return d, nil
 }
 
+// Checkpoint absorbs a table's pending insert delta into new in-memory
+// base fragments (preserving row ids; the deletion list survives) and
+// refreshes any summary indices over the grown base. done=false means the
+// delta store declined (an enum dictionary outgrew its code width) and the
+// table keeps its deltas.
+func (db *Database) Checkpoint(table string) (bool, error) {
+	ds, err := db.Delta(table)
+	if err != nil {
+		return false, err
+	}
+	if ds.NumDeltaRows() == 0 {
+		return true, nil
+	}
+	done, err := ds.Checkpoint()
+	if err != nil || !done {
+		return done, err
+	}
+	for col, si := range db.sumI32[table] {
+		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
+			return false, err
+		}
+	}
+	for col, si := range db.sumF64[table] {
+		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // TableSchema implements algebra.Resolver.
 func (db *Database) TableSchema(name string) (vector.Schema, error) {
 	t, err := db.Catalog.Table(name)

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"x100/internal/colstore"
+	"x100/internal/columnbm"
+	"x100/internal/vector"
+)
+
+// AttachDiskTable attaches a ColumnBM-persisted table to the database as a
+// fragment-backed table: scans decompress one chunk per column at a time
+// through the store's buffer pool instead of materializing columns. Enum
+// dictionaries from the manifest are registered as "<column>#dict" mapping
+// tables so plans can group on codes and rehydrate values with a
+// Fetch1Join, exactly as for generated in-memory tables.
+func AttachDiskTable(db *Database, store *columnbm.Store, name string) (*colstore.Table, error) {
+	t, err := store.AttachTable(name)
+	if err != nil {
+		return nil, err
+	}
+	db.AddTable(t)
+	for _, c := range t.Cols {
+		if !c.IsEnum() {
+			continue
+		}
+		dt := colstore.NewTable(c.Name + DictSuffix)
+		if c.Dict.Typ == vector.Float64 {
+			if err := dt.AddColumn("value", vector.Float64, append([]float64(nil), c.Dict.F64s...)); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := dt.AddColumn("value", vector.String, append([]string(nil), c.Dict.Values...)); err != nil {
+				return nil, err
+			}
+		}
+		db.AddTable(dt)
+	}
+	return t, nil
+}

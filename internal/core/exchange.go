@@ -31,22 +31,37 @@ const defaultMorselRows = 16384
 // morselSource hands out contiguous row-range morsels of a scan to worker
 // pipelines. Claiming is a single atomic add, so workers that finish early
 // keep pulling work until the range is exhausted.
+//
+// For disk-backed tables the morsel grid is aligned to the table's ColumnBM
+// chunk size: the morsel length is rounded up to a chunk multiple and
+// claims start on the chunk grid, so two workers never split one chunk
+// (each compressed chunk is decoded by exactly one worker; only the scan
+// range's pruned edges can begin or end mid-chunk).
 type morselSource struct {
 	lo, hi int
+	base   int // first grid position, <= lo
 	morsel int
 	next   atomic.Int64
 }
 
-func newMorselSource(lo, hi int, opts ExecOptions) *morselSource {
-	m := &morselSource{lo: lo, hi: hi, morsel: max(opts.batchSize(), defaultMorselRows)}
-	m.next.Store(int64(lo))
+func newMorselSource(lo, hi, align int, opts ExecOptions) *morselSource {
+	morsel := max(opts.batchSize(), defaultMorselRows)
+	if align > 0 {
+		morsel = (morsel + align - 1) / align * align
+	}
+	base := lo
+	if align > 0 {
+		base = lo / morsel * morsel
+	}
+	m := &morselSource{lo: lo, hi: hi, base: base, morsel: morsel}
+	m.next.Store(int64(base))
 	return m
 }
 
 // reset rewinds the dispenser so a re-Opened plan scans the full range
 // again. The coordinating operator (exchange, parallel aggregation) calls
 // it at Open, before any worker goroutine starts claiming.
-func (m *morselSource) reset() { m.next.Store(int64(m.lo)) }
+func (m *morselSource) reset() { m.next.Store(int64(m.base)) }
 
 // claim returns the next unclaimed morsel [lo,hi), or ok=false when the
 // range is exhausted.
@@ -55,7 +70,7 @@ func (m *morselSource) claim() (int, int, bool) {
 	if lo >= m.hi {
 		return 0, 0, false
 	}
-	return lo, min(lo+m.morsel, m.hi), true
+	return max(lo, m.lo), min(lo+m.morsel, m.hi), true
 }
 
 // exchMsg is one hand-off from a worker to the consumer.
@@ -324,8 +339,11 @@ func (op *parallelAggrOp) run() error {
 // partitionable reports whether the subtree rooted at plan can be compiled
 // into per-worker partition pipelines over a shared morsel source: a chain
 // of Select/Project/Fetch1Join/FetchNJoin and hash-join probe sides rooted
-// at a Scan of a table with no pending deltas (the delta-merging scan path
-// is value-at-a-time and single-threaded).
+// at a Scan. Pending insert deltas are checkpointed into base fragments
+// before parallel compilation (see Build), and deletion lists are applied
+// as selection vectors inside the partitioned scan, so only the rare
+// un-checkpointable table (enum dictionary outgrew its code width) still
+// falls back to the serial merged scan.
 func partitionable(db *Database, plan algebra.Node) bool {
 	switch n := plan.(type) {
 	case *algebra.Scan:
@@ -333,7 +351,7 @@ func partitionable(db *Database, plan algebra.Node) bool {
 		if err != nil {
 			return false
 		}
-		return ds.NumDeleted() == 0 && ds.NumDeltaRows() == 0
+		return ds.NumDeltaRows() == 0
 	case *algebra.Select:
 		return partitionable(db, n.Input)
 	case *algebra.Project:
@@ -452,7 +470,9 @@ func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (Op
 		if pred != nil {
 			applySummaryBounds(c.db, n.Table, pred, op)
 		}
-		src = newMorselSource(op.lo, op.hi, opts)
+		// Align morsels to the ColumnBM chunk grid of disk-backed tables so
+		// workers never split (and thus never redundantly decompress) a chunk.
+		src = newMorselSource(op.lo, op.hi, op.table.ChunkRows, opts)
 		c.scans[n] = src
 	}
 	op.source = src

@@ -59,6 +59,12 @@ func newFetch1JoinOp(db *Database, input Operator, node *algebra.Fetch1Join, opt
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
 		}
+		// Positional fetches need random access: pin disk-backed columns
+		// now, while plan construction is still single-threaded, so the
+		// per-batch gather reads an immutable materialized slice.
+		if _, err := c.Pin(); err != nil {
+			return nil, err
+		}
 		name := cname
 		if i < len(node.As) && node.As[i] != "" {
 			name = node.As[i]
@@ -275,6 +281,11 @@ func newFetchNJoinOp(db *Database, input Operator, node *algebra.FetchNJoin, opt
 		c := t.Col(cname)
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
+		}
+		// Pin disk-backed fetch targets at (serial) construction time, as
+		// in newFetch1JoinOp.
+		if _, err := c.Pin(); err != nil {
+			return nil, err
 		}
 		name := cname
 		if i < len(node.As) && node.As[i] != "" {

@@ -27,6 +27,9 @@ type scanCol struct {
 	isRowID bool
 	rawCode bool
 	typ     vector.Type // output type
+	// reader streams the column's base fragments, materializing at most
+	// one (decompressed ColumnBM chunk or in-memory slice) at a time.
+	reader *colstore.FragReader
 	// decode buffer for enum columns read logically.
 	buf *vector.Vector
 }
@@ -50,6 +53,7 @@ type scanOp struct {
 	pos      int
 	deltaPos int
 	rowIDBuf []int32
+	selBuf   []int32
 	batch    *vector.Batch
 }
 
@@ -112,8 +116,12 @@ func (s *scanOp) Open() error {
 	// table itself.
 	n := min(s.opts.batchSize(), max(s.hi-s.lo, 1))
 	s.rowIDBuf = make([]int32, n)
+	s.selBuf = make([]int32, 0, n)
 	for i := range s.cols {
 		sc := &s.cols[i]
+		if sc.col != nil {
+			sc.reader = sc.col.Reader()
+		}
 		if sc.col != nil && sc.col.IsEnum() && !sc.rawCode {
 			sc.buf = vector.New(sc.typ, n)
 		}
@@ -125,57 +133,100 @@ func (s *scanOp) Open() error {
 func (s *scanOp) Close() error { return nil }
 
 func (s *scanOp) Next() (*vector.Batch, error) {
-	if s.dstore.NumDeleted() > 0 || s.dstore.NumDeltaRows() > 0 {
+	// Insert deltas require the value-at-a-time merged scan; a bare
+	// deletion list is handled below on the vectorized path with a
+	// selection vector, so deletions neither break partitioned scans nor
+	// force the slow path.
+	if s.dstore.NumDeltaRows() > 0 {
 		return s.nextMerged()
 	}
-	limit := s.hi
-	if s.source != nil {
-		if s.pos >= s.morselHi {
-			mlo, mhi, ok := s.source.claim()
-			if !ok {
-				return nil, nil
+	hasDel := s.dstore.NumDeleted() > 0
+	for {
+		limit := s.hi
+		if s.source != nil {
+			if s.pos >= s.morselHi {
+				mlo, mhi, ok := s.source.claim()
+				if !ok {
+					return nil, nil
+				}
+				s.pos, s.morselHi = mlo, mhi
 			}
-			s.pos, s.morselHi = mlo, mhi
+			limit = s.morselHi
 		}
-		limit = s.morselHi
-	}
-	if s.pos >= limit {
-		return nil, nil
-	}
-	k := min(s.opts.batchSize(), limit-s.pos)
-	lo, hi := s.pos, s.pos+k
-	s.pos = hi
-	b := s.batch
-	b.N = k
-	b.Sel = nil
-	for i := range s.cols {
-		sc := &s.cols[i]
-		switch {
-		case sc.isRowID:
-			ids := s.rowIDBuf[:k]
-			for j := range ids {
-				ids[j] = int32(lo + j)
+		if s.pos >= limit {
+			return nil, nil
+		}
+		lo := s.pos
+		hi := min(lo+s.opts.batchSize(), limit)
+		// Never let a batch span a fragment boundary: each column's reader
+		// then holds exactly one materialized fragment per batch.
+		for i := range s.cols {
+			if c := s.cols[i].col; c != nil {
+				if _, fe := c.FragSpan(lo); fe < hi {
+					hi = fe
+				}
 			}
-			b.Vecs[i] = vector.FromInt32s(ids)
-		case sc.col.IsEnum() && !sc.rawCode:
-			b.Vecs[i] = s.decodeEnum(sc, lo, hi)
-		default:
-			v := sc.col.VectorAt(lo, hi)
-			v.Typ = sc.typ
-			b.Vecs[i] = v
 		}
+		k := hi - lo
+		s.pos = hi
+		b := s.batch
+		b.N = k
+		b.Sel = nil
+		for i := range s.cols {
+			sc := &s.cols[i]
+			switch {
+			case sc.isRowID:
+				ids := s.rowIDBuf[:k]
+				for j := range ids {
+					ids[j] = int32(lo + j)
+				}
+				b.Vecs[i] = vector.FromInt32s(ids)
+			case sc.col.IsEnum() && !sc.rawCode:
+				v, err := s.decodeEnum(sc, lo, hi)
+				if err != nil {
+					return nil, err
+				}
+				b.Vecs[i] = v
+			default:
+				v, err := sc.reader.Vector(lo, hi)
+				if err != nil {
+					return nil, err
+				}
+				v.Typ = sc.typ
+				b.Vecs[i] = v
+			}
+		}
+		if !hasDel {
+			return b, nil
+		}
+		sel := s.selBuf[:0]
+		for j := 0; j < k; j++ {
+			if !s.dstore.IsDeleted(int32(lo + j)) {
+				sel = append(sel, int32(j))
+			}
+		}
+		s.selBuf = sel
+		if len(sel) == 0 {
+			continue // fully deleted batch: pull the next range
+		}
+		if len(sel) < k {
+			b.Sel = sel
+		}
+		return b, nil
 	}
-	return b, nil
 }
 
 // decodeEnum gathers dictionary values through the code vector — the
 // automatic Fetch1Join against the mapping table (map_fetch_uchr_col in
 // Table 5 of the paper).
-func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) *vector.Vector {
+func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) (*vector.Vector, error) {
 	k := hi - lo
 	out := sc.buf.Slice(0, k)
 	out.Typ = sc.typ
-	codes := sc.col.VectorAt(lo, hi)
+	codes, err := sc.reader.Vector(lo, hi)
+	if err != nil {
+		return nil, err
+	}
 	tr := s.opts.Tracer
 	t0 := tr.Now()
 	var name string
@@ -199,7 +250,7 @@ func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) *vector.Vector {
 		}
 	}
 	tr.RecordPrimitiveSince(name, t0, k, k+8*k)
-	return out
+	return out, nil
 }
 
 // nextMerged is the delta-aware scan path: base rows minus the deletion

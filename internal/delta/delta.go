@@ -9,6 +9,13 @@
 // delta rows minus deletions of delta rows. Delta columns are never
 // compressed (inserted strings into enum columns extend the dictionary,
 // which is append-only, so existing codes stay valid).
+//
+// Checkpoint absorbs the insert delta into a new in-memory base fragment
+// appended to every column, preserving all row ids (deletions stay on the
+// deletion list). It is cheaper than Reorganize — no base rewrite — and is
+// what the parallel scan path uses to avoid the value-at-a-time merged
+// scan. Reorganize remains the full rewrite that also drops deleted rows
+// and re-encodes enum columns.
 package delta
 
 import (
@@ -227,6 +234,83 @@ func (s *Store) DeltaFraction() float64 {
 	return float64(s.nIns+len(s.deleted)) / float64(s.table.N)
 }
 
+// Checkpoint appends the insert delta as one new in-memory base fragment
+// per column and clears it. Row ids are preserved: delta row baseN+j simply
+// becomes base row baseN+j, so the deletion list and any materialized join
+// indices stay valid. Enum inserts are encoded through the (append-only)
+// dictionary; done=false is returned without changes when a dictionary has
+// outgrown its column's code width — callers fall back to the merged scan
+// or a full Reorganize.
+func (s *Store) Checkpoint() (done bool, err error) {
+	if s.nIns == 0 {
+		return true, nil
+	}
+	t := s.table
+	parts := make([]any, len(t.Cols))
+	for ci, col := range t.Cols {
+		dc := &s.ins[ci]
+		if col.IsEnum() {
+			codes := make([]int, s.nIns)
+			for j := 0; j < s.nIns; j++ {
+				if col.Dict.Typ == vector.Float64 {
+					codes[j] = col.Dict.CodeF64(dc.f64s[j])
+				} else {
+					codes[j] = col.Dict.Code(dc.strs[j])
+				}
+			}
+			switch col.PhysType() {
+			case vector.UInt8:
+				if col.Dict.Len() > 256 {
+					return false, nil
+				}
+				c8 := make([]uint8, s.nIns)
+				for j, c := range codes {
+					c8[j] = uint8(c)
+				}
+				parts[ci] = c8
+			case vector.UInt16:
+				if col.Dict.Len() > 65536 {
+					return false, nil
+				}
+				c16 := make([]uint16, s.nIns)
+				for j, c := range codes {
+					c16[j] = uint16(c)
+				}
+				parts[ci] = c16
+			default:
+				return false, fmt.Errorf("delta: enum column %s has code type %v", col.Name, col.PhysType())
+			}
+			continue
+		}
+		// Plain columns hand their delta slice over as the new fragment;
+		// the reset below releases ownership.
+		switch dc.physical {
+		case vector.Bool:
+			parts[ci] = dc.bools
+		case vector.UInt8:
+			parts[ci] = dc.u8s
+		case vector.UInt16:
+			parts[ci] = dc.u16s
+		case vector.Int32:
+			parts[ci] = dc.i32s
+		case vector.Int64:
+			parts[ci] = dc.i64s
+		case vector.Float64:
+			parts[ci] = dc.f64s
+		default:
+			parts[ci] = dc.strs
+		}
+	}
+	if err := t.AppendFragment(parts); err != nil {
+		return false, err
+	}
+	for i := range s.ins {
+		s.ins[i] = deltaCol{name: s.ins[i].name, typ: s.ins[i].typ, physical: s.ins[i].physical}
+	}
+	s.nIns = 0
+	return true, nil
+}
+
 // Reorganize rewrites the base table to absorb all deltas: deleted base rows
 // are dropped, delta rows are appended, and the deltas are cleared. Enum
 // columns are re-encoded (dictionaries may have grown).
@@ -235,7 +319,8 @@ func (s *Store) Reorganize() error {
 	// Build the surviving row id list deterministically.
 	live := s.LiveRowIDs()
 	baseN := t.N
-	for ci, col := range t.Cols {
+	for ci := range t.Cols {
+		col := t.Cols[ci]
 		logical := col.Typ
 		if col.IsEnum() {
 			// Rebuild decoded values, then re-encode.
@@ -265,21 +350,25 @@ func (s *Store) Reorganize() error {
 					return err
 				}
 			}
-			*col = *nt.Cols[0]
+			// Swap in the rebuilt column wholesale (Column holds an atomic
+			// pin cache and must not be copied by value).
+			t.Cols[ci] = nt.Cols[0]
 			continue
 		}
 		newData, err := rebuildPlain(col, &s.ins[ci], live, baseN)
 		if err != nil {
 			return err
 		}
-		t.Cols[ci] = &colstore.Column{Name: col.Name, Typ: logical}
 		nt := colstore.NewTable("tmp")
 		if err := nt.AddColumn(col.Name, logical, newData); err != nil {
 			return err
 		}
-		*t.Cols[ci] = *nt.Cols[0]
+		t.Cols[ci] = nt.Cols[0]
 	}
 	t.N = len(live)
+	// The rewrite leaves every column memory-resident in one fragment, so
+	// chunk alignment no longer applies.
+	t.ChunkRows = 0
 	s.deleted = make(map[int32]struct{})
 	for i := range s.ins {
 		s.ins[i] = deltaCol{name: s.ins[i].name, typ: s.ins[i].typ, physical: s.ins[i].physical}

@@ -112,6 +112,30 @@ func (s *Summary[T]) Bounds(loVal T, hasLo bool, hiVal T, hasHi bool) (lo, hi in
 	return lo, hi
 }
 
+// PruneFragments derives a conservative row id range [lo, hi) from
+// per-fragment min/max bounds — the chunk-granularity analogue of
+// Summary.Bounds for disk-backed columns whose ColumnBM chunks record
+// their value range. starts has one entry per fragment plus the total row
+// count; fragments with ok[i]==false have unknown bounds and are assumed
+// to match. Because a scan range is contiguous, only a non-matching prefix
+// and suffix can be pruned; interior gaps still pass through the full
+// predicate downstream.
+func PruneFragments[T primitives.Ordered](starts []int, mins, maxs []T, ok []bool, loVal T, hasLo bool, hiVal T, hasHi bool) (lo, hi int) {
+	nf := len(mins)
+	cannotMatch := func(i int) bool {
+		return ok[i] && ((hasLo && maxs[i] < loVal) || (hasHi && mins[i] > hiVal))
+	}
+	first := 0
+	for first < nf && cannotMatch(first) {
+		first++
+	}
+	last := nf
+	for last > first && cannotMatch(last-1) {
+		last--
+	}
+	return starts[first], starts[last]
+}
+
 // JoinIndex maps each row of the referencing (fact) table to the #rowId of
 // its match in the referenced (dimension) table. It is the input of
 // Fetch1Join.

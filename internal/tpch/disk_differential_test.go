@@ -1,0 +1,232 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/sindex"
+)
+
+var baseTables = []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"}
+
+// diskChunkRows is deliberately small and not a multiple of the vector
+// size, so the differential test exercises many chunks per column, batch
+// clamping at chunk boundaries, and buffer-pool eviction (the pool holds
+// fewer chunks than one lineitem column has).
+const diskChunkRows = 1000
+
+var (
+	diskDBOnce sync.Once
+	diskDBVal  *core.Database
+	diskDBErr  error
+)
+
+// getDiskDB persists the test database through a ColumnBM store and
+// attaches it fragment-backed: queries below scan straight off compressed
+// chunks.
+func getDiskDB(t *testing.T) *core.Database {
+	t.Helper()
+	mem := getDB(t)
+	diskDBOnce.Do(func() {
+		dir := t.TempDir()
+		wstore, err := columnbm.NewStore(dir, diskChunkRows, 8)
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		for _, name := range baseTables {
+			tab, err := mem.Table(name)
+			if err != nil {
+				diskDBErr = err
+				return
+			}
+			if err := wstore.SaveTable(tab); err != nil {
+				diskDBErr = err
+				return
+			}
+		}
+		// Attach through a fresh store so nothing is warm from writing; the
+		// tiny pool (8 chunks) forces eviction during every lineitem scan.
+		store, err := columnbm.NewStore(dir, diskChunkRows, 8)
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		db := core.NewDatabase()
+		for _, name := range baseTables {
+			if _, err := core.AttachDiskTable(db, store, name); err != nil {
+				diskDBErr = err
+				return
+			}
+		}
+		// The orders->lineitem range index (FetchNJoin input) is rebuilt
+		// from the persisted l_orderrow join-index column; only that one
+		// column is pinned.
+		lt, err := db.Table("lineitem")
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		orow, err := lt.Col("l_orderrow").Pin()
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		ord, err := db.Table("orders")
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		ji := &sindex.JoinIndex{From: "lineitem", To: "orders", RowIDs: orow.([]int32)}
+		ri, err := sindex.BuildRangeIndex(ji, ord.N)
+		if err != nil {
+			diskDBErr = err
+			return
+		}
+		db.RegisterRangeIndex("lineitem", "orders", ri)
+		diskDBVal = db
+	})
+	if diskDBErr != nil {
+		t.Fatal(diskDBErr)
+	}
+	return diskDBVal
+}
+
+// sameRowMultisets compares results as row multisets: bit-exact when
+// possible, else paired by non-float columns with relative tolerance on
+// floats (parallel aggregation sums in a different order).
+func sameRowMultisets(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("%s: %d rows, want %d", label, got.NumRows(), want.NumRows())
+	}
+	key := func(row []any, withFloats bool) string {
+		s := ""
+		for _, v := range row {
+			if _, ok := v.(float64); ok && !withFloats {
+				continue
+			}
+			s += fmt.Sprintf("|%v", v)
+		}
+		return s
+	}
+	exact := func(res *core.Result) []string {
+		keys := make([]string, res.NumRows())
+		for i := range keys {
+			keys[i] = key(res.Row(i), true)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	ew, eg := exact(want), exact(got)
+	same := true
+	for i := range ew {
+		if ew[i] != eg[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return
+	}
+	index := func(res *core.Result) map[string][]any {
+		m := make(map[string][]any, res.NumRows())
+		for i := 0; i < res.NumRows(); i++ {
+			row := res.Row(i)
+			k := key(row, false)
+			if _, dup := m[k]; dup {
+				t.Fatalf("%s: non-float key %q not unique; cannot pair rows", label, k)
+			}
+			m[k] = row
+		}
+		return m
+	}
+	mw, mg := index(want), index(got)
+	for k, wrow := range mw {
+		grow, ok := mg[k]
+		if !ok {
+			t.Fatalf("%s: row %q missing from disk result", label, k)
+		}
+		for c := range wrow {
+			wf, wok := wrow[c].(float64)
+			gf, gok := grow[c].(float64)
+			if wok && gok {
+				if diff := math.Abs(wf - gf); diff > 1e-9*math.Max(1, math.Abs(wf)) {
+					t.Fatalf("%s: row %q col %d: %v != %v", label, k, c, gf, wf)
+				}
+				continue
+			}
+			if wrow[c] != grow[c] {
+				t.Fatalf("%s: row %q col %d: %v != %v", label, k, c, grow[c], wrow[c])
+			}
+		}
+	}
+}
+
+// TestDiskDifferential runs every TPC-H query against the disk-attached
+// (ColumnBM fragment-backed) database at parallelism 1, 2 and 8 and
+// requires results identical to the in-memory serial execution. The
+// parallelism sweep also exercises chunk-aligned morsels: no two workers
+// ever decompress the same chunk.
+func TestDiskDifferential(t *testing.T) {
+	mem := getDB(t)
+	disk := getDiskDB(t)
+	for q := 1; q <= NumQueries; q++ {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			plan, err := Query(q, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Run(mem, plan, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("memory: %v", err)
+			}
+			for _, p := range []int{1, 2, 8} {
+				opts := core.DefaultOptions()
+				opts.Parallelism = p
+				got, err := core.Run(disk, plan, opts)
+				if err != nil {
+					t.Fatalf("disk p=%d: %v", p, err)
+				}
+				sameRowMultisets(t, fmt.Sprintf("Q%d p=%d", q, p), want, got)
+			}
+		})
+	}
+}
+
+// TestDiskQ1Pruning asserts chunk-granularity pruning from per-chunk
+// min/max narrows the Q1 scan on the disk table (l_shipdate is nearly
+// sorted, so trailing chunks past the predicate date are skipped) without
+// changing results — the summary-index behavior of Section 4.3 with no
+// in-memory index.
+func TestDiskQ1Pruning(t *testing.T) {
+	disk := getDiskDB(t)
+	lt, err := disk.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := lt.Col("l_shipdate")
+	if sd.NumFrags() < 2 {
+		t.Skipf("only %d fragments", sd.NumFrags())
+	}
+	// All fragments must expose bounds for the pruning path to engage.
+	bounded := 0
+	for i := 0; i < sd.NumFrags(); i++ {
+		if b, ok := sd.Frag(i).(interface {
+			BoundsI64() (int64, int64, bool)
+		}); ok {
+			if _, _, has := b.BoundsI64(); has {
+				bounded++
+			}
+		}
+	}
+	if bounded != sd.NumFrags() {
+		t.Fatalf("%d of %d fragments have bounds", bounded, sd.NumFrags())
+	}
+}

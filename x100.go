@@ -20,6 +20,22 @@
 // engines the paper compares against (tuple-at-a-time Volcano, and
 // column-at-a-time MIL) are selectable per query for comparison.
 //
+// # Storage: column fragments and ColumnBM
+//
+// Every table column is a sequence of fragments (colstore.Fragment). Tables
+// built with CreateTable are a single memory-resident fragment per column —
+// the paper's in-memory BATs. Tables persisted to a ColumnBM chunk
+// directory (CreateDiskTable, or cmd/dbgen -out) and attached with
+// AttachDisk are one fragment per large lightweight-compressed chunk
+// (raw/RLE/FoR/delta codecs), the paper's Figure 5 ColumnBM store. Scans
+// stream fragments through a per-worker reader that decompresses at most
+// one chunk per column at a time via an LRU buffer pool of compressed
+// chunks, so datasets larger than RAM execute in bounded memory, and
+// per-chunk min/max recorded at write time prunes scans at chunk
+// granularity (summary-index-style, Section 4.3) with no in-memory index.
+// Positional operators (Fetch1Join/FetchNJoin) and the baseline engines
+// pin (fully materialize) the disk columns they touch at plan construction.
+//
 // # Parallel execution
 //
 // WithParallelism(n) executes a query on n worker pipelines. Partitionable
@@ -40,15 +56,23 @@
 // deterministic up to summation order (partial sums combine in worker
 // order, but morsels race to workers). Row order out of an exchange is not
 // deterministic — order-sensitive queries sort above it (Order and TopN
-// always run on the merged stream). Tables with pending deltas fall back
-// to the serial scan path.
+// always run on the merged stream). Pending insert deltas are checkpointed
+// into base fragments before a parallel scan (row ids are preserved), and
+// deletion lists are applied as selection vectors inside partitioned
+// scans, so updated tables parallelize too. On disk-backed tables, morsels
+// align to the chunk grid so no two workers ever decompress the same
+// chunk.
 package x100
 
 import (
 	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"x100/internal/algebra"
 	"x100/internal/colstore"
+	"x100/internal/columnbm"
 	"x100/internal/core"
 	"x100/internal/delta"
 	"x100/internal/expr"
@@ -92,10 +116,66 @@ const (
 // DB is a columnar database instance.
 type DB struct {
 	inner *core.Database
+	// stores caches one ColumnBM store per attached chunk directory.
+	stores map[string]*columnbm.Store
+	// diskSrc maps disk-attached tables to their store (for Storage).
+	diskSrc map[string]*columnbm.Store
 }
 
 // NewDB creates an empty database.
 func NewDB() *DB { return &DB{inner: core.NewDatabase()} }
+
+// store opens (or returns the cached) ColumnBM store for dir.
+func (db *DB) store(dir string) (*columnbm.Store, error) {
+	if s, ok := db.stores[dir]; ok {
+		return s, nil
+	}
+	s, err := columnbm.NewStore(dir, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if db.stores == nil {
+		db.stores = make(map[string]*columnbm.Store)
+	}
+	db.stores[dir] = s
+	return s, nil
+}
+
+// AttachDisk attaches tables persisted in a ColumnBM chunk directory (by
+// CreateDiskTable or cmd/dbgen -out) as disk-backed tables: scans
+// decompress one chunk per column at a time through the directory's buffer
+// pool instead of loading columns into memory. With no table names given,
+// every manifest in the directory is attached. Enum dictionaries register
+// their "<column>#dict" mapping tables automatically.
+func (db *DB) AttachDisk(dir string, tables ...string) error {
+	s, err := db.store(dir)
+	if err != nil {
+		return err
+	}
+	if len(tables) == 0 {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.manifest.json"))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			tables = append(tables, strings.TrimSuffix(filepath.Base(m), ".manifest.json"))
+		}
+		sort.Strings(tables)
+		if len(tables) == 0 {
+			return fmt.Errorf("x100: no table manifests in %s", dir)
+		}
+	}
+	for _, name := range tables {
+		if _, err := core.AttachDiskTable(db.inner, s, name); err != nil {
+			return err
+		}
+		if db.diskSrc == nil {
+			db.diskSrc = make(map[string]*columnbm.Store)
+		}
+		db.diskSrc[name] = s
+	}
+	return nil
+}
 
 // GenerateTPCH creates a database pre-loaded with the deterministic TPC-H
 // dataset this reproduction benchmarks on, at the given scale factor
@@ -126,8 +206,17 @@ type ColumnData struct {
 	Enum bool
 }
 
-// CreateTable registers a new table from full columns.
+// CreateTable registers a new memory-resident table from full columns.
 func (db *DB) CreateTable(name string, cols ...ColumnData) error {
+	t, err := buildTable(name, cols)
+	if err != nil {
+		return err
+	}
+	db.inner.AddTable(t)
+	return nil
+}
+
+func buildTable(name string, cols []ColumnData) (*colstore.Table, error) {
 	t := colstore.NewTable(name)
 	for _, c := range cols {
 		var err error
@@ -142,11 +231,10 @@ func (db *DB) CreateTable(name string, cols ...ColumnData) error {
 			err = t.AddColumn(c.Name, c.Type, c.Data)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	db.inner.AddTable(t)
-	return nil
+	return t, nil
 }
 
 // TableSchema returns a table's schema.
