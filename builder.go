@@ -10,10 +10,11 @@ import (
 )
 
 // CreateDiskTable persists columns through a ColumnBM chunk store in dir
-// (choosing the smallest of the raw/RLE/FoR/delta codecs per chunk and
-// recording per-chunk min/max for scan pruning) and registers the table
-// disk-backed: queries scan straight off the compressed chunks through the
-// buffer pool, never materializing whole columns.
+// (choosing the smallest codec per chunk — raw/RLE/FoR/delta for integers,
+// raw/dict/prefix for strings — and recording per-chunk min/max for scan
+// pruning) and registers the table disk-backed: queries scan straight off
+// the compressed chunks through the buffer pool, never materializing whole
+// columns.
 func (db *DB) CreateDiskTable(dir, name string, cols ...ColumnData) error {
 	t, err := buildTable(name, cols)
 	if err != nil {
@@ -32,7 +33,8 @@ func (db *DB) CreateDiskTable(dir, name string, cols ...ColumnData) error {
 // ColumnStorage describes how one column of a table is stored: the chunk
 // count and per-codec usage for disk-backed columns, or a single "memory"
 // fragment for resident columns. CompressedBytes/RawBytes give the
-// compression ratio.
+// compression ratio; DictCard is the largest per-chunk dictionary
+// cardinality of dict-coded string chunks (0 when none are dict-coded).
 type ColumnStorage struct {
 	Name            string
 	Type            string
@@ -41,6 +43,7 @@ type ColumnStorage struct {
 	Codecs          map[string]int
 	RawBytes        int64
 	CompressedBytes int64
+	DictCard        int
 }
 
 // Storage reports per-column storage details of a table (the shell's
@@ -56,6 +59,7 @@ func (db *DB) Storage(table string) ([]ColumnStorage, error) {
 			out[i] = ColumnStorage{
 				Name: c.Name, Type: c.Type, Enum: c.Enum, Chunks: c.Chunks,
 				Codecs: c.Codecs, RawBytes: c.RawBytes, CompressedBytes: c.CompressedBytes,
+				DictCard: c.DictCard,
 			}
 		}
 		return out, nil
@@ -75,10 +79,12 @@ func (db *DB) Storage(table string) ([]ColumnStorage, error) {
 	return out, nil
 }
 
-// FormatStorage renders a Storage report as an aligned text table.
+// FormatStorage renders a Storage report as an aligned text table. The
+// "dict" column shows the largest per-chunk dictionary cardinality of
+// dict-coded string chunks ("-" when no chunk is dict-coded).
 func FormatStorage(cols []ColumnStorage) string {
-	out := fmt.Sprintf("%-18s %-8s %7s %9s %12s %12s %7s\n",
-		"column", "type", "chunks", "codecs", "raw", "compressed", "ratio")
+	out := fmt.Sprintf("%-18s %-8s %7s %-16s %6s %12s %12s %7s\n",
+		"column", "type", "chunks", "codecs", "dict", "raw", "compressed", "ratio")
 	for _, c := range cols {
 		typ := c.Type
 		if c.Enum {
@@ -88,10 +94,14 @@ func FormatStorage(cols []ColumnStorage) string {
 		if c.CompressedBytes > 0 {
 			ratio = float64(c.RawBytes) / float64(c.CompressedBytes)
 		}
-		out += fmt.Sprintf("%-18s %-8s %7d %9s %12d %12d %6.2fx\n",
-			c.Name, typ, c.Chunks, columnbm.FormatCodecs(c.Codecs), c.RawBytes, c.CompressedBytes, ratio)
+		card := "-"
+		if c.DictCard > 0 {
+			card = fmt.Sprintf("%d", c.DictCard)
+		}
+		out += fmt.Sprintf("%-18s %-8s %7d %-16s %6s %12d %12d %6.2fx\n",
+			c.Name, typ, c.Chunks, columnbm.FormatCodecs(c.Codecs), card, c.RawBytes, c.CompressedBytes, ratio)
 	}
-	return out + "(* = enumeration-compressed; raw/compressed in bytes)\n"
+	return out + "(* = enumeration-compressed; dict = per-chunk dictionary cardinality; raw/compressed in bytes)\n"
 }
 
 // Checkpoint absorbs a table's pending insert delta into new base
@@ -206,15 +216,25 @@ func Keep(col string) Named { return Named{Alias: col, E: expr.C(col)} }
 // Agg is an aggregate computation.
 type Agg algebra.AggExpr
 
-// Aggregate constructors.
+// SumA aggregates the sum of arg as the named output column.
 func SumA(alias string, arg Expr) Agg { return Agg(algebra.Sum(alias, arg)) }
-func CountA(alias string) Agg         { return Agg(algebra.Count(alias)) }
+
+// CountA counts rows per group as the named output column.
+func CountA(alias string) Agg { return Agg(algebra.Count(alias)) }
+
+// MinA aggregates the minimum of arg as the named output column.
 func MinA(alias string, arg Expr) Agg { return Agg(algebra.Min(alias, arg)) }
+
+// MaxA aggregates the maximum of arg as the named output column.
 func MaxA(alias string, arg Expr) Agg { return Agg(algebra.Max(alias, arg)) }
+
+// AvgA aggregates the mean of arg as the named output column.
 func AvgA(alias string, arg Expr) Agg { return Agg(algebra.Avg(alias, arg)) }
 
-// Sort key constructors.
-func Asc(e Expr) algebra.OrdExpr  { return algebra.Asc(e) }
+// Asc sorts ascending on e.
+func Asc(e Expr) algebra.OrdExpr { return algebra.Asc(e) }
+
+// Desc sorts descending on e.
 func Desc(e Expr) algebra.OrdExpr { return algebra.Desc(e) }
 
 // Expression constructors.
@@ -222,45 +242,85 @@ func Desc(e Expr) algebra.OrdExpr { return algebra.Desc(e) }
 // Col references a column.
 func Col(name string) Expr { return expr.C(name) }
 
-// F is a float64 literal; I an int64 literal; I32 an int32 literal; S a
-// string literal; B a bool literal.
+// F is a float64 literal.
 func F(v float64) Expr { return expr.Float(v) }
-func I(v int64) Expr   { return expr.Int(v) }
+
+// I is an int64 literal.
+func I(v int64) Expr { return expr.Int(v) }
+
+// I32 is an int32 literal.
 func I32(v int32) Expr { return expr.Int32Const(v) }
-func S(v string) Expr  { return expr.Str(v) }
-func B(v bool) Expr    { return expr.BoolConst(v) }
+
+// S is a string literal.
+func S(v string) Expr { return expr.Str(v) }
+
+// B is a bool literal.
+func B(v bool) Expr { return expr.BoolConst(v) }
 
 // Date is a date literal from "YYYY-MM-DD".
 func Date(s string) Expr { return expr.DateConst(dateutil.MustParse(s)) }
 
-// Arithmetic.
+// Add is l + r.
 func Add(l, r Expr) Expr { return expr.AddE(l, r) }
+
+// Sub is l - r.
 func Sub(l, r Expr) Expr { return expr.SubE(l, r) }
+
+// Mul is l * r.
 func Mul(l, r Expr) Expr { return expr.MulE(l, r) }
+
+// Div is l / r.
 func Div(l, r Expr) Expr { return expr.DivE(l, r) }
 
-// Comparisons.
+// Lt is the comparison l < r.
 func Lt(l, r Expr) Expr { return expr.LTE(l, r) }
+
+// Le is the comparison l <= r.
 func Le(l, r Expr) Expr { return expr.LEE(l, r) }
+
+// Gt is the comparison l > r.
 func Gt(l, r Expr) Expr { return expr.GTE(l, r) }
+
+// Ge is the comparison l >= r.
 func Ge(l, r Expr) Expr { return expr.GEE(l, r) }
+
+// Eq is the comparison l = r.
 func Eq(l, r Expr) Expr { return expr.EQE(l, r) }
+
+// Ne is the comparison l <> r.
 func Ne(l, r Expr) Expr { return expr.NEE(l, r) }
 
-// Boolean connectives.
+// And is the boolean conjunction of args.
 func And(args ...Expr) Expr { return expr.AndE(args...) }
-func Or(args ...Expr) Expr  { return expr.OrE(args...) }
-func Not(a Expr) Expr       { return expr.NotE(a) }
 
-// Strings and misc.
-func Like(a Expr, pattern string) Expr    { return expr.LikeE(a, pattern) }
+// Or is the boolean disjunction of args.
+func Or(args ...Expr) Expr { return expr.OrE(args...) }
+
+// Not negates a boolean expression.
+func Not(a Expr) Expr { return expr.NotE(a) }
+
+// Like is the SQL LIKE predicate with % and _ wildcards.
+func Like(a Expr, pattern string) Expr { return expr.LikeE(a, pattern) }
+
+// NotLike is the negated LIKE predicate.
 func NotLike(a Expr, pattern string) Expr { return expr.NotLikeE(a, pattern) }
+
+// Substr takes length bytes of a string expression starting at the 1-based
+// byte position start.
 func Substr(a Expr, start, length int) Expr {
 	return expr.SubstrE(a, start, length)
 }
+
+// Concat concatenates two string expressions.
 func Concat(a, b Expr) Expr { return expr.ConcatE(a, b) }
-func Year(a Expr) Expr      { return expr.YearE(a) }
-func Square(a Expr) Expr    { return expr.SquareE(a) }
+
+// Year extracts the year of a date expression.
+func Year(a Expr) Expr { return expr.YearE(a) }
+
+// Square is a * a (the paper's micro-benchmark expression).
+func Square(a Expr) Expr { return expr.SquareE(a) }
+
+// Cast converts an expression to the given type.
 func Cast(to Type, a Expr) Expr {
 	return expr.CastE(to, a)
 }

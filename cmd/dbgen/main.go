@@ -68,16 +68,28 @@ func run(sf float64, seed uint64, out string, chunkValues int, verify bool) erro
 	}
 	fmt.Printf("persisted through ColumnBM to %s: %d bytes on disk\n", out, onDisk)
 
-	// Per-codec usage over the fact table: how the best-codec heuristic
-	// chose among raw/RLE/FoR/delta.
-	if cols, err := store.TableStorage("lineitem"); err == nil {
-		fmt.Printf("\nlineitem chunk codecs:\n")
+	// Per-codec usage over the fact table and the string-heavy tables: how
+	// the best-codec heuristic chose among raw/RLE/FoR/delta for integers
+	// and raw/dict/prefix for strings. The dict(n) suffix is the largest
+	// per-chunk dictionary cardinality of dict-coded string chunks.
+	for _, table := range []string{"lineitem", "orders", "customer", "part"} {
+		cols, err := store.TableStorage(table)
+		if err != nil {
+			// Every listed table was just saved above, so a report failure
+			// means the write left a corrupt manifest or chunk behind.
+			return fmt.Errorf("storage report for %s: %w", table, err)
+		}
+		fmt.Printf("\n%s chunk codecs:\n", table)
 		for _, c := range cols {
 			ratio := 1.0
 			if c.CompressedBytes > 0 {
 				ratio = float64(c.RawBytes) / float64(c.CompressedBytes)
 			}
-			fmt.Printf("  %-18s %3d chunks  %-24s %6.2fx\n", c.Name, c.Chunks, columnbm.FormatCodecs(c.Codecs), ratio)
+			card := ""
+			if c.DictCard > 0 {
+				card = fmt.Sprintf(" dict(%d)", c.DictCard)
+			}
+			fmt.Printf("  %-18s %3d chunks  %-24s %6.2fx%s\n", c.Name, c.Chunks, columnbm.FormatCodecs(c.Codecs), ratio, card)
 		}
 	}
 

@@ -7,14 +7,21 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, disk, ablation-compound, ablation-enum, ablation-summary,
-// ablation-selvec, all.
+// parallel, disk, strings, ablation-compound, ablation-enum,
+// ablation-summary, ablation-selvec, all.
 //
 // The disk experiment persists lineitem through the ColumnBM chunk store
 // and compares in-memory, disk-cold, and disk-warm (buffer-pooled) scan
 // bandwidth per column codec, plus TPC-H Q1 end-to-end from disk:
 //
 //	x100bench -exp disk -sf 0.01 -json BENCH_disk.json
+//
+// The strings experiment persists string-typed TPC-H columns (comments,
+// clerk ids, customer names, dates formatted as strings) and reports the
+// string codec the writer picked (raw/dict/prefix), the compression ratio,
+// and cold/warm scan bandwidth per codec:
+//
+//	x100bench -exp strings -sf 0.01 -json BENCH_strings.json
 //
 // The parallel experiment measures multi-core scaling of the Q1/Q6
 // scan-aggregate workloads; -parallel selects the worker counts and -json
@@ -80,7 +87,7 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
-		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] ||
+		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] || want["strings"] ||
 		want["ablation-compound"] || want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
@@ -114,6 +121,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"disk", func() error {
 			recs, err := bench.DiskScan(w, db, sf)
+			records = append(records, recs...)
+			return err
+		}},
+		{"strings", func() error {
+			recs, err := bench.StringCodecs(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

@@ -22,11 +22,17 @@ type Record struct {
 	Rows        int     `json:"rows"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
 	Speedup     float64 `json:"speedup_vs_serial"`
-	// Disk-experiment fields (the -exp disk scan-bandwidth experiment).
+	// Disk-experiment fields (the -exp disk and -exp strings
+	// scan-bandwidth experiments).
 	Column   string  `json:"column,omitempty"`
 	Codec    string  `json:"codec,omitempty"`
 	Mode     string  `json:"mode,omitempty"` // memory | disk-cold | disk-warm
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// String-codec fields (-exp strings): compression ratio versus the raw
+	// length-prefixed layout, and the largest per-chunk dictionary
+	// cardinality of dict-coded chunks.
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+	DictCard         int     `json:"dict_card,omitempty"`
 }
 
 // WriteRecords writes benchmark records as an indented JSON array (an

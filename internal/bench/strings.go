@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"x100/internal/colstore"
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/dateutil"
+	"x100/internal/vector"
+)
+
+// stringsChunkValues mirrors diskChunkValues: small enough that every
+// benchmark column spans several chunks even at SF=0.01.
+const stringsChunkValues = 1 << 13
+
+// StringCodecs is the string-compression experiment: it persists a set of
+// TPC-H string columns chosen to exercise each string codec —
+//
+//	l_comment:   random text, high cardinality   -> raw
+//	o_clerk:     ~sf*1000 distinct clerk ids     -> dict
+//	c_name:      "Customer#000000001"-style keys -> prefix
+//	l_shipdate (formatted "YYYY-MM-DD"):
+//	             near-sorted dates-as-strings    -> prefix
+//
+// and reports, per column, the codec the writer picked, the compression
+// ratio versus the raw length-prefixed layout, the per-chunk dictionary
+// cardinality for dict chunks, and memory / disk-cold / disk-warm scan
+// bandwidth (MB/s over the raw string payload).
+func StringCodecs(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100strings")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cols, err := stringBenchColumns(db)
+	if err != nil {
+		return nil, err
+	}
+
+	wstore, err := columnbm.NewStore(dir, stringsChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "String codec bandwidth at SF=%g (chunk=%d values, dir=%s)\n", sf, stringsChunkValues, dir)
+	fmt.Fprintf(w, "%-16s %-14s %6s %7s %-10s %12s %12s %10s\n",
+		"column", "codec", "dict", "ratio", "mode", "time", "rows/sec", "MB/sec")
+
+	var recs []Record
+	for _, bc := range cols {
+		table := colstore.NewTable("strings_" + bc.name)
+		if err := table.AddColumn(bc.name, vector.String, bc.vals); err != nil {
+			return nil, err
+		}
+		if err := wstore.SaveTable(table); err != nil {
+			return nil, err
+		}
+		storage, err := wstore.TableStorage(table.Name)
+		if err != nil {
+			return nil, err
+		}
+		cs := storage[0]
+		codec := columnbm.FormatCodecs(cs.Codecs)
+		ratio := 1.0
+		if cs.CompressedBytes > 0 {
+			ratio = float64(cs.RawBytes) / float64(cs.CompressedBytes)
+		}
+
+		// Cold store: fresh pool, so every chunk read hits the filesystem.
+		coldStore, err := columnbm.NewStore(dir, stringsChunkValues, 0)
+		if err != nil {
+			return nil, err
+		}
+		coldTab, err := coldStore.AttachTable(table.Name)
+		if err != nil {
+			return nil, err
+		}
+		rawBytes := float64(cs.RawBytes)
+		for _, mode := range []struct {
+			name string
+			col  *colstore.Column
+		}{
+			{"memory", table.Col(bc.name)},
+			{"disk-cold", coldTab.Col(bc.name)},
+			{"disk-warm", coldTab.Col(bc.name)},
+		} {
+			minDur := 50 * time.Millisecond
+			if mode.name == "disk-cold" {
+				// A cold scan is only cold once; measure a single pass.
+				minDur = 0
+			}
+			d, err := timeIt(minDur, func() error { return sweepColumn(mode.col) })
+			if err != nil {
+				return nil, err
+			}
+			rows := mode.col.Len()
+			rps, mbps := 0.0, 0.0
+			if d > 0 {
+				rps = float64(rows) / d.Seconds()
+				mbps = rawBytes / (1 << 20) / d.Seconds()
+			}
+			card := "-"
+			if cs.DictCard > 0 {
+				card = fmt.Sprintf("%d", cs.DictCard)
+			}
+			fmt.Fprintf(w, "%-16s %-14s %6s %6.2fx %-10s %12v %12.0f %10.0f\n",
+				bc.name, codec, card, ratio, mode.name, d.Round(time.Microsecond), rps, mbps)
+			recs = append(recs, Record{
+				Name: "string_codecs", SF: sf, Parallelism: 1,
+				NsPerOp: float64(d.Nanoseconds()), Rows: rows, RowsPerSec: rps,
+				Column: bc.name, Codec: codec, Mode: mode.name, MBPerSec: mbps,
+				CompressionRatio: ratio, DictCard: cs.DictCard,
+			})
+		}
+	}
+	return recs, nil
+}
+
+type stringBenchColumn struct {
+	name string
+	vals []string
+}
+
+// stringBenchColumns extracts the benchmark string columns from the TPC-H
+// database, formatting l_shipdate as "YYYY-MM-DD" strings (the classic
+// dates-as-strings case front coding is built for).
+func stringBenchColumns(db *core.Database) ([]stringBenchColumn, error) {
+	var out []stringBenchColumn
+	pick := func(table, col string) error {
+		t, err := db.Table(table)
+		if err != nil {
+			return err
+		}
+		c := t.Col(col)
+		if c == nil {
+			return fmt.Errorf("bench: %s has no column %s", table, col)
+		}
+		switch d := c.Data().(type) {
+		case []string:
+			out = append(out, stringBenchColumn{name: col, vals: d})
+		case []int32:
+			vals := make([]string, len(d))
+			for i, day := range d {
+				vals[i] = dateutil.Format(day)
+			}
+			out = append(out, stringBenchColumn{name: col + "_str", vals: vals})
+		default:
+			return fmt.Errorf("bench: %s.%s is %T, want strings or dates", table, col, d)
+		}
+		return nil
+	}
+	for _, src := range []struct{ table, col string }{
+		{"lineitem", "l_comment"},
+		{"orders", "o_clerk"},
+		{"customer", "c_name"},
+		{"lineitem", "l_shipdate"},
+	} {
+		if err := pick(src.table, src.col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

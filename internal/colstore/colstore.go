@@ -56,6 +56,14 @@ type F64Bounded interface {
 	BoundsF64() (min, max float64, ok bool)
 }
 
+// StrBounded is the string counterpart of I64Bounded (byte-wise string
+// ordering), implemented by ColumnBM string chunks so predicates on
+// near-sorted string columns — dates-as-strings, front-coded keys — prune
+// at chunk granularity too.
+type StrBounded interface {
+	BoundsStr() (min, max string, ok bool)
+}
+
 // memFragment is a memory-resident fragment: a typed slice.
 type memFragment struct {
 	data any

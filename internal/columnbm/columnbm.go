@@ -16,9 +16,13 @@
 //	magic(4) | codec(1) | count(4) | rawSize(4) | payloadSize(4) | payload
 //
 // Codecs: raw, RLE (run-length on repeated values), FoR (frame-of-reference:
-// per-chunk base + narrow deltas) and delta (FoR over successive
-// differences, for sorted/clustered integer columns like l_orderkey). The
-// writer picks the smallest encoding per chunk.
+// per-chunk base + narrow deltas), delta (FoR over successive differences,
+// for sorted/clustered integer columns like l_orderkey), dict (per-chunk
+// string dictionary with narrow integer codes, for low-cardinality string
+// columns) and prefix (front coding: shared prefix with the previous value
+// elided, for near-sorted or shared-prefix strings). The writer picks the
+// smallest encoding per chunk. See docs/STORAGE_FORMAT.md for the full
+// byte-level specification.
 package columnbm
 
 import (
@@ -41,38 +45,43 @@ const chunkMagic = 0xB41C0DE
 // Codec identifies a chunk compression scheme.
 type Codec uint8
 
-// Supported codecs.
+// Supported codecs. Integer chunks use raw/RLE/FoR/delta; string chunks
+// use raw/dict/prefix.
 const (
 	CodecRaw Codec = iota
 	CodecRLE
 	CodecFoR
 	CodecDelta
+	CodecDict
+	CodecPrefix
 )
 
+// codecNames lists every codec name indexed by its Codec value. It is the
+// single registration point for codec enumeration: Codec.String and
+// FormatCodecs both derive from it, so adding a codec constant plus one
+// entry here keeps every report complete.
+var codecNames = [...]string{
+	CodecRaw:    "raw",
+	CodecRLE:    "rle",
+	CodecFoR:    "for",
+	CodecDelta:  "delta",
+	CodecDict:   "dict",
+	CodecPrefix: "prefix",
+}
+
 func (c Codec) String() string {
-	switch c {
-	case CodecRaw:
-		return "raw"
-	case CodecRLE:
-		return "rle"
-	case CodecFoR:
-		return "for"
-	case CodecDelta:
-		return "delta"
-	default:
-		return fmt.Sprintf("codec(%d)", uint8(c))
+	if int(c) < len(codecNames) {
+		return codecNames[c]
 	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
 }
 
 // FormatCodecs renders a codec-name -> chunk-count map as "rle:7,for:8",
 // listing codecs in their declaration order ("memory" — used by storage
 // reports for resident fragments — first, unknown names last) so output is
-// stable. New codecs only need to extend the Codec constants.
+// stable.
 func FormatCodecs(codecs map[string]int) string {
-	known := []string{"memory"}
-	for c := CodecRaw; c <= CodecDelta; c++ {
-		known = append(known, c.String())
-	}
+	known := append([]string{"memory"}, codecNames[:]...)
 	out := ""
 	emit := func(k string) {
 		if n := codecs[k]; n > 0 {
@@ -209,20 +218,28 @@ func (s *Store) ReadFloat64Column(column string, nchunks int) ([]float64, error)
 	return out, nil
 }
 
-// WriteStringColumn writes a string column, length-prefixed, raw codec.
+// WriteStringColumn splits a string column into chunks, compresses each
+// with the best of the string codecs (raw, dict, prefix), and writes them.
+// It returns the number of chunks. writeStringChunks is the variant that
+// also reports per-chunk dictionary cardinality for the manifest.
 func (s *Store) WriteStringColumn(column string, vals []string) (int, error) {
+	return s.writeStringChunks(column, vals, nil)
+}
+
+// writeStringChunks writes a string column and, when cards is non-nil,
+// appends the dictionary cardinality of each chunk (0 for non-dict chunks)
+// to *cards. rawSize always records the raw (length-prefixed) encoding
+// size, so compression ratios compare against the uncompressed layout.
+func (s *Store) writeStringChunks(column string, vals []string, cards *[]int) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
-		var payload []byte
-		for _, v := range vals[lo:hi] {
-			var lenBuf [4]byte
-			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(v)))
-			payload = append(payload, lenBuf[:]...)
-			payload = append(payload, v...)
-		}
-		if err := s.writeChunk(column, nchunks, CodecRaw, hi-lo, len(payload), payload); err != nil {
+		payload, codec, card, rawSize := encodeString(vals[lo:hi])
+		if err := s.writeChunk(column, nchunks, codec, hi-lo, rawSize, payload); err != nil {
 			return nchunks, err
+		}
+		if cards != nil {
+			*cards = append(*cards, card)
 		}
 		nchunks++
 		if len(vals) == 0 {
@@ -232,7 +249,7 @@ func (s *Store) WriteStringColumn(column string, vals []string) (int, error) {
 	return nchunks, nil
 }
 
-// ReadStringColumn reads a string column.
+// ReadStringColumn reads a string column written by WriteStringColumn.
 func (s *Store) ReadStringColumn(column string, nchunks int) ([]string, error) {
 	var out []string
 	for i := 0; i < nchunks; i++ {
@@ -240,19 +257,11 @@ func (s *Store) ReadStringColumn(column string, nchunks int) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		off := 0
-		for j := 0; j < hdr.count; j++ {
-			if off+4 > len(payload) {
-				return nil, fmt.Errorf("%w: column %s chunk %d truncated", ErrCorrupt, column, i)
-			}
-			n := int(binary.LittleEndian.Uint32(payload[off:]))
-			off += 4
-			if off+n > len(payload) {
-				return nil, fmt.Errorf("%w: column %s chunk %d truncated", ErrCorrupt, column, i)
-			}
-			out = append(out, string(payload[off:off+n]))
-			off += n
+		dst := make([]string, hdr.count)
+		if err := decodeStringInto(dst, hdr, payload); err != nil {
+			return nil, fmt.Errorf("column %s chunk %d: %w", column, i, err)
 		}
+		out = append(out, dst...)
 	}
 	return out, nil
 }
@@ -443,16 +452,33 @@ func tryDelta(vals []int64) []byte {
 
 func decodeInt64(hdr chunkHeader, payload []byte) ([]int64, error) {
 	out := make([]int64, hdr.count)
-	if err := decodeInt64Into(out, hdr, payload); err != nil {
+	if err := decodeIntInto(out, hdr, payload); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // decodeInt64Into decodes a chunk into dst, which must have length
-// hdr.count. It is the allocation-free core of the chunk-at-a-time scan
-// path.
+// hdr.count (kept as a named instantiation for the int64 read path).
 func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
+	return decodeIntInto(dst, hdr, payload)
+}
+
+// intNative constrains the destination element types of narrow-native chunk
+// decoding: integer chunks decode straight into the column's physical
+// representation (int32 keys, uint8/uint16 enum codes) with no intermediate
+// int64 buffer.
+type intNative interface {
+	~uint8 | ~uint16 | ~int32 | ~int64
+}
+
+// decodeIntInto decodes an integer chunk into dst, which must have length
+// hdr.count. Codec arithmetic runs in int64 (the stored representation) and
+// each value is truncated to the destination type on store; the writer only
+// produces values from the column's physical domain, so the truncation is
+// lossless on well-formed chunks. It is the allocation-free core of the
+// chunk-at-a-time scan path.
+func decodeIntInto[T intNative](dst []T, hdr chunkHeader, payload []byte) error {
 	if len(dst) != hdr.count {
 		return ErrCorrupt
 	}
@@ -462,13 +488,13 @@ func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
 			return ErrCorrupt
 		}
 		for i := range dst {
-			dst[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+			dst[i] = T(binary.LittleEndian.Uint64(payload[8*i:]))
 		}
 		return nil
 	case CodecRLE:
 		n := 0
 		for off := 0; off+12 <= len(payload); off += 12 {
-			v := int64(binary.LittleEndian.Uint64(payload[off:]))
+			v := T(binary.LittleEndian.Uint64(payload[off:]))
 			k := int(binary.LittleEndian.Uint32(payload[off+8:]))
 			if k < 0 || n+k > hdr.count {
 				return ErrCorrupt
@@ -497,11 +523,11 @@ func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
 		for i := range dst {
 			switch width {
 			case 1:
-				dst[i] = base + int64(payload[9+i])
+				dst[i] = T(base + int64(payload[9+i]))
 			case 2:
-				dst[i] = base + int64(binary.LittleEndian.Uint16(payload[9+2*i:]))
+				dst[i] = T(base + int64(binary.LittleEndian.Uint16(payload[9+2*i:])))
 			case 4:
-				dst[i] = base + int64(binary.LittleEndian.Uint32(payload[9+4*i:]))
+				dst[i] = T(base + int64(binary.LittleEndian.Uint32(payload[9+4*i:])))
 			}
 		}
 		return nil
@@ -518,7 +544,7 @@ func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
 			return ErrCorrupt
 		}
 		v := int64(binary.LittleEndian.Uint64(payload[0:]))
-		dst[0] = v
+		dst[0] = T(v)
 		for i := 1; i < hdr.count; i++ {
 			var d int64
 			switch width {
@@ -530,11 +556,243 @@ func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
 				d = int64(binary.LittleEndian.Uint32(payload[17+4*(i-1):]))
 			}
 			v += base + d
-			dst[i] = v
+			dst[i] = T(v)
 		}
 		return nil
 	default:
 		return fmt.Errorf("%w: unknown codec %d", ErrCorrupt, hdr.codec)
+	}
+}
+
+// --- string codecs ---
+
+// maxDictCard caps per-chunk dictionary cardinality: codes are at most two
+// bytes wide.
+const maxDictCard = 1 << 16
+
+// encodeString compresses a chunk of strings with the best of the string
+// codecs and reports the chosen codec, the dictionary cardinality for dict
+// chunks (0 otherwise), and the raw-layout size the chunk header records.
+// A compressed codec must beat the raw layout by at least 1/16th of its
+// size: prefix coding's shorter varint lengths win a few percent on any
+// input, and such marginal wins neither pay for the extra decode work nor
+// keep codec reports stable across chunks.
+func encodeString(vals []string) (payload []byte, codec Codec, dictCard, rawSize int) {
+	raw := encodeStringRaw(vals)
+	limit := len(raw) - len(raw)/16
+	payload, codec = raw, CodecRaw
+	if d, card := tryDictStr(vals, limit); d != nil && len(d) < min(limit, len(payload)) {
+		payload, codec, dictCard = d, CodecDict, card
+	}
+	if p := tryPrefix(vals, limit); p != nil && len(p) < min(limit, len(payload)) {
+		payload, codec, dictCard = p, CodecPrefix, 0
+	}
+	return payload, codec, dictCard, len(raw)
+}
+
+// encodeStringRaw is the uncompressed string layout: per value, a 4-byte
+// little-endian length followed by the bytes.
+func encodeStringRaw(vals []string) []byte {
+	size := 0
+	for _, v := range vals {
+		size += 4 + len(v)
+	}
+	out := make([]byte, 0, size)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+// tryDictStr encodes a per-chunk dictionary of distinct values (in order of
+// first occurrence) followed by narrow per-row codes:
+//
+//	card(4) | card × (len(4) | bytes) | width(1) | count × code(width)
+//
+// width is 1 byte for up to 256 distinct values, else 2. Returns nil when
+// the chunk exceeds maxDictCard distinct values or the encoding would not
+// beat the raw layout (limit short-circuits the dictionary build on
+// high-cardinality chunks).
+func tryDictStr(vals []string, limit int) ([]byte, int) {
+	if len(vals) == 0 {
+		return nil, 0
+	}
+	index := make(map[string]int)
+	var order []string
+	dictBytes := 4
+	codes := make([]int, len(vals))
+	for i, v := range vals {
+		c, ok := index[v]
+		if !ok {
+			c = len(order)
+			if c+1 > maxDictCard {
+				return nil, 0
+			}
+			index[v] = c
+			order = append(order, v)
+			dictBytes += 4 + len(v)
+			// A dict encoding is at least the dictionary plus one code per
+			// row; stop early once that can no longer beat raw.
+			if dictBytes+1+len(vals) >= limit {
+				return nil, 0
+			}
+		}
+		codes[i] = c
+	}
+	width := 1
+	if len(order) > 256 {
+		width = 2
+	}
+	out := make([]byte, 0, dictBytes+1+width*len(vals))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(order)))
+	for _, v := range order {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v)))
+		out = append(out, v...)
+	}
+	out = append(out, byte(width))
+	for _, c := range codes {
+		if width == 1 {
+			out = append(out, byte(c))
+		} else {
+			out = binary.LittleEndian.AppendUint16(out, uint16(c))
+		}
+	}
+	return out, len(order)
+}
+
+// tryPrefix front-codes the chunk: each value stores the length of its
+// common prefix with the previous value (uvarint), the suffix length
+// (uvarint), and the suffix bytes. The first value has prefix length 0.
+// Returns nil once the encoding reaches the raw size.
+func tryPrefix(vals []string, limit int) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, limit)
+	prev := ""
+	for _, v := range vals {
+		p := commonPrefixLen(prev, v)
+		out = binary.AppendUvarint(out, uint64(p))
+		out = binary.AppendUvarint(out, uint64(len(v)-p))
+		out = append(out, v[p:]...)
+		if len(out) >= limit {
+			return nil
+		}
+		prev = v
+	}
+	return out
+}
+
+func commonPrefixLen(a, b string) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// decodeStringInto decodes a string chunk (raw, dict or prefix codec) into
+// dst, which must have length hdr.count. Decoded strings are fresh copies:
+// they never alias the (pooled, reusable) compressed payload.
+func decodeStringInto(dst []string, hdr chunkHeader, payload []byte) error {
+	if len(dst) != hdr.count {
+		return ErrCorrupt
+	}
+	switch hdr.codec {
+	case CodecRaw:
+		off := 0
+		for i := range dst {
+			if off+4 > len(payload) {
+				return fmt.Errorf("%w: truncated string chunk", ErrCorrupt)
+			}
+			n := int(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if n < 0 || off+n > len(payload) {
+				return fmt.Errorf("%w: truncated string chunk", ErrCorrupt)
+			}
+			dst[i] = string(payload[off : off+n])
+			off += n
+		}
+		if off != len(payload) {
+			return fmt.Errorf("%w: trailing bytes in string chunk", ErrCorrupt)
+		}
+		return nil
+	case CodecDict:
+		if len(payload) < 4 {
+			return fmt.Errorf("%w: dict chunk too short", ErrCorrupt)
+		}
+		card := int(binary.LittleEndian.Uint32(payload[0:]))
+		if card <= 0 || card > maxDictCard {
+			return fmt.Errorf("%w: dict cardinality %d", ErrCorrupt, card)
+		}
+		off := 4
+		dict := make([]string, card)
+		for i := range dict {
+			if off+4 > len(payload) {
+				return fmt.Errorf("%w: truncated dict", ErrCorrupt)
+			}
+			n := int(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if n < 0 || off+n > len(payload) {
+				return fmt.Errorf("%w: truncated dict", ErrCorrupt)
+			}
+			dict[i] = string(payload[off : off+n])
+			off += n
+		}
+		if off >= len(payload) {
+			return fmt.Errorf("%w: dict chunk missing code width", ErrCorrupt)
+		}
+		width := int(payload[off])
+		off++
+		if width != 1 && width != 2 {
+			return fmt.Errorf("%w: dict code width %d", ErrCorrupt, width)
+		}
+		if len(payload) != off+width*hdr.count {
+			return fmt.Errorf("%w: dict code section size mismatch", ErrCorrupt)
+		}
+		for i := range dst {
+			var c int
+			if width == 1 {
+				c = int(payload[off+i])
+			} else {
+				c = int(binary.LittleEndian.Uint16(payload[off+2*i:]))
+			}
+			if c >= card {
+				return fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
+			}
+			dst[i] = dict[c]
+		}
+		return nil
+	case CodecPrefix:
+		off := 0
+		prev := ""
+		for i := range dst {
+			p, n := binary.Uvarint(payload[off:])
+			if n <= 0 || p > uint64(len(prev)) {
+				return fmt.Errorf("%w: bad prefix length", ErrCorrupt)
+			}
+			off += n
+			sl, n := binary.Uvarint(payload[off:])
+			if n <= 0 || sl > uint64(len(payload)) {
+				return fmt.Errorf("%w: bad suffix length", ErrCorrupt)
+			}
+			off += n
+			if off+int(sl) > len(payload) {
+				return fmt.Errorf("%w: truncated prefix chunk", ErrCorrupt)
+			}
+			v := prev[:p] + string(payload[off:off+int(sl)])
+			off += int(sl)
+			dst[i] = v
+			prev = v
+		}
+		if off != len(payload) {
+			return fmt.Errorf("%w: trailing bytes in prefix chunk", ErrCorrupt)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: codec %v is not a string codec", ErrCorrupt, hdr.codec)
 	}
 }
 

@@ -21,9 +21,10 @@ type chunkFragment struct {
 	rows  int
 	phys  vector.Type
 
-	minI, maxI int64
-	minF, maxF float64
-	hasI, hasF bool
+	minI, maxI       int64
+	minF, maxF       float64
+	minS, maxS       string
+	hasI, hasF, hasS bool
 }
 
 func (f *chunkFragment) Rows() int { return f.rows }
@@ -35,8 +36,12 @@ func (f *chunkFragment) BoundsI64() (int64, int64, bool) { return f.minI, f.maxI
 // BoundsF64 implements colstore.F64Bounded.
 func (f *chunkFragment) BoundsF64() (float64, float64, bool) { return f.minF, f.maxF, f.hasF }
 
-// i64Scratch pools intermediate decode buffers for physical types narrower
-// than the stored int64 representation.
+// BoundsStr implements colstore.StrBounded.
+func (f *chunkFragment) BoundsStr() (string, string, bool) { return f.minS, f.maxS, f.hasS }
+
+// i64Scratch pools intermediate decode buffers for the one physical type
+// (bool) that still round-trips through the stored int64 representation;
+// integer types decode narrow-native via decodeIntInto.
 var i64Scratch = sync.Pool{New: func() any { return new([]int64) }}
 
 func getI64Scratch(n int) *[]int64 {
@@ -66,44 +71,13 @@ func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
 	}
 	switch f.phys {
 	case vector.Int64:
-		dst := sliceBuf[int64](buf, f.rows)
-		if err := decodeInt64Into(dst, hdr, payload); err != nil {
-			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
-		}
-		return dst, true, nil
+		return decodeNarrow[int64](f, buf, hdr, payload)
 	case vector.Int32:
-		tmp := getI64Scratch(f.rows)
-		defer i64Scratch.Put(tmp)
-		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
-			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
-		}
-		dst := sliceBuf[int32](buf, f.rows)
-		for i, v := range *tmp {
-			dst[i] = int32(v)
-		}
-		return dst, true, nil
+		return decodeNarrow[int32](f, buf, hdr, payload)
 	case vector.UInt8:
-		tmp := getI64Scratch(f.rows)
-		defer i64Scratch.Put(tmp)
-		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
-			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
-		}
-		dst := sliceBuf[uint8](buf, f.rows)
-		for i, v := range *tmp {
-			dst[i] = uint8(v)
-		}
-		return dst, true, nil
+		return decodeNarrow[uint8](f, buf, hdr, payload)
 	case vector.UInt16:
-		tmp := getI64Scratch(f.rows)
-		defer i64Scratch.Put(tmp)
-		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
-			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
-		}
-		dst := sliceBuf[uint16](buf, f.rows)
-		for i, v := range *tmp {
-			dst[i] = uint16(v)
-		}
-		return dst, true, nil
+		return decodeNarrow[uint16](f, buf, hdr, payload)
 	case vector.Bool:
 		tmp := getI64Scratch(f.rows)
 		defer i64Scratch.Put(tmp)
@@ -125,27 +99,25 @@ func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
 		}
 		return dst, true, nil
 	case vector.String:
-		if hdr.codec != CodecRaw {
-			return nil, false, fmt.Errorf("%w: %s chunk %d", ErrCorrupt, f.key, f.idx)
-		}
 		dst := sliceBuf[string](buf, f.rows)
-		off := 0
-		for i := range dst {
-			if off+4 > len(payload) {
-				return nil, false, fmt.Errorf("%w: %s chunk %d truncated", ErrCorrupt, f.key, f.idx)
-			}
-			n := int(binary.LittleEndian.Uint32(payload[off:]))
-			off += 4
-			if n < 0 || off+n > len(payload) {
-				return nil, false, fmt.Errorf("%w: %s chunk %d truncated", ErrCorrupt, f.key, f.idx)
-			}
-			dst[i] = string(payload[off : off+n])
-			off += n
+		if err := decodeStringInto(dst, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
 		}
 		return dst, true, nil
 	default:
 		return nil, false, fmt.Errorf("columnbm: cannot materialize %v fragment %s", f.phys, f.key)
 	}
+}
+
+// decodeNarrow decodes an integer chunk straight into a typed destination
+// buffer of the column's physical type — no int64 round-trip on the scan
+// hot path.
+func decodeNarrow[T intNative](f *chunkFragment, buf any, hdr chunkHeader, payload []byte) (any, bool, error) {
+	dst := sliceBuf[T](buf, f.rows)
+	if err := decodeIntInto(dst, hdr, payload); err != nil {
+		return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+	}
+	return dst, true, nil
 }
 
 // AttachTable builds a fragment-backed colstore table over the chunks
@@ -200,6 +172,8 @@ func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 			(phys == vector.Int32 || phys == vector.Int64)
 		useF := !cm.Enum && len(cm.ChunkMinF64) == cm.Chunks && len(cm.ChunkMaxF64) == cm.Chunks &&
 			phys == vector.Float64
+		useS := !cm.Enum && len(cm.ChunkMinStr) == cm.Chunks && len(cm.ChunkMaxStr) == cm.Chunks &&
+			phys == vector.String
 		for i := range frags {
 			rows := chunkRows
 			if i == cm.Chunks-1 {
@@ -214,6 +188,9 @@ func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 			}
 			if useF {
 				cf.minF, cf.maxF, cf.hasF = cm.ChunkMinF64[i], cm.ChunkMaxF64[i], true
+			}
+			if useS {
+				cf.minS, cf.maxS, cf.hasS = cm.ChunkMinStr[i], cm.ChunkMaxStr[i], true
 			}
 			frags[i] = cf
 		}
@@ -237,10 +214,13 @@ type ColumnStorage struct {
 	Codecs          map[string]int // codec name -> chunk count
 	RawBytes        int64
 	CompressedBytes int64
+	// DictCard is the largest per-chunk dictionary cardinality of the
+	// column's dict-coded chunks (0 when no chunk is dict-coded).
+	DictCard int
 }
 
 // TableStorage reads per-column chunk headers of a persisted table and
-// reports codec usage and compression ratios.
+// reports codec usage, compression ratios, and dictionary cardinality.
 func (s *Store) TableStorage(name string) ([]ColumnStorage, error) {
 	m, err := s.readManifest(name)
 	if err != nil {
@@ -258,6 +238,9 @@ func (s *Store) TableStorage(name string) ([]ColumnStorage, error) {
 			cs.Codecs[ci.Codec.String()]++
 			cs.RawBytes += int64(ci.RawSize)
 			cs.CompressedBytes += int64(ci.PayloadSize)
+		}
+		for _, card := range cm.ChunkDictCard {
+			cs.DictCard = max(cs.DictCard, card)
 		}
 		out = append(out, cs)
 	}

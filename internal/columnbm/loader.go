@@ -26,18 +26,22 @@ type Manifest struct {
 
 // ColumnManifest describes one persisted column. The per-chunk min/max
 // arrays (when present, one entry per chunk) drive summary-index-style scan
-// pruning at chunk granularity.
+// pruning at chunk granularity; ChunkDictCard records, per chunk, the
+// dictionary cardinality of dict-coded string chunks (0 for other codecs).
 type ColumnManifest struct {
-	Name        string    `json:"name"`
-	Type        string    `json:"type"`
-	Chunks      int       `json:"chunks"`
-	Enum        bool      `json:"enum,omitempty"`
-	DictStr     []string  `json:"dict_str,omitempty"`
-	DictF64     []float64 `json:"dict_f64,omitempty"`
-	ChunkMinI64 []int64   `json:"chunk_min_i64,omitempty"`
-	ChunkMaxI64 []int64   `json:"chunk_max_i64,omitempty"`
-	ChunkMinF64 []float64 `json:"chunk_min_f64,omitempty"`
-	ChunkMaxF64 []float64 `json:"chunk_max_f64,omitempty"`
+	Name          string    `json:"name"`
+	Type          string    `json:"type"`
+	Chunks        int       `json:"chunks"`
+	Enum          bool      `json:"enum,omitempty"`
+	DictStr       []string  `json:"dict_str,omitempty"`
+	DictF64       []float64 `json:"dict_f64,omitempty"`
+	ChunkMinI64   []int64   `json:"chunk_min_i64,omitempty"`
+	ChunkMaxI64   []int64   `json:"chunk_max_i64,omitempty"`
+	ChunkMinF64   []float64 `json:"chunk_min_f64,omitempty"`
+	ChunkMaxF64   []float64 `json:"chunk_max_f64,omitempty"`
+	ChunkMinStr   []string  `json:"chunk_min_str,omitempty"`
+	ChunkMaxStr   []string  `json:"chunk_max_str,omitempty"`
+	ChunkDictCard []int     `json:"chunk_dict_card,omitempty"`
 }
 
 func manifestPath(dir, table string) string {
@@ -168,6 +172,20 @@ func (s *Store) f64ChunkStats(vals []float64, cm *ColumnManifest) {
 	cm.ChunkMinF64, cm.ChunkMaxF64 = mins, maxs
 }
 
+// strChunkStats records per-chunk min/max of a string column (byte-wise
+// string ordering, matching the engine's string comparisons).
+func (s *Store) strChunkStats(vals []string, cm *ColumnManifest) {
+	for lo := 0; lo < len(vals); lo += s.chunkValues {
+		hi := min(lo+s.chunkValues, len(vals))
+		mn, mx := vals[lo], vals[lo]
+		for _, v := range vals[lo+1 : hi] {
+			mn, mx = min(mn, v), max(mx, v)
+		}
+		cm.ChunkMinStr = append(cm.ChunkMinStr, mn)
+		cm.ChunkMaxStr = append(cm.ChunkMaxStr, mx)
+	}
+}
+
 func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest) (int, error) {
 	switch d := col.Data().(type) {
 	case []int32:
@@ -184,7 +202,8 @@ func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest)
 		s.f64ChunkStats(d, cm)
 		return s.WriteFloat64Column(key, d)
 	case []string:
-		return s.WriteStringColumn(key, d)
+		s.strChunkStats(d, cm)
+		return s.writeStringChunks(key, d, &cm.ChunkDictCard)
 	case []bool:
 		vals := make([]int64, len(d))
 		for i, v := range d {

@@ -178,6 +178,10 @@ func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) 
 				op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
 			}
 			applyFragBoundsF64(db, table, col.Name, opKind, v, op)
+		case vector.String:
+			if v, ok := cst.Val.(string); ok {
+				applyFragBoundsStr(db, table, col.Name, opKind, v, op)
+			}
 		}
 	}
 	if op.lo > op.hi {
@@ -225,6 +229,19 @@ func applyFragBoundsF64(db *Database, table, colName string, opKind expr.CmpKind
 		}
 		return 0, 0, false
 	}, vector.Float64)
+}
+
+// applyFragBoundsStr is the string counterpart of applyFragBoundsI64: plain
+// (non-enum) string columns persisted through ColumnBM carry per-chunk
+// min/max strings in the manifest, so range and equality predicates on
+// near-sorted string columns prune chunks exactly like numeric ones.
+func applyFragBoundsStr(db *Database, table, colName string, opKind expr.CmpKind, v string, op *scanOp) {
+	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (string, string, bool) {
+		if b, ok := f.(colstore.StrBounded); ok {
+			return b.BoundsStr()
+		}
+		return "", "", false
+	}, vector.String)
 }
 
 func applyFragBounds[T primitives.Ordered](db *Database, table, colName string, opKind expr.CmpKind, v T,

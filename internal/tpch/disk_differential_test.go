@@ -7,9 +7,12 @@ import (
 	"sync"
 	"testing"
 
+	"x100/internal/algebra"
+	"x100/internal/colstore"
 	"x100/internal/columnbm"
 	"x100/internal/core"
 	"x100/internal/sindex"
+	"x100/internal/vector"
 )
 
 var baseTables = []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"}
@@ -195,6 +198,131 @@ func TestDiskDifferential(t *testing.T) {
 					t.Fatalf("disk p=%d: %v", p, err)
 				}
 				sameRowMultisets(t, fmt.Sprintf("Q%d p=%d", q, p), want, got)
+			}
+		})
+	}
+}
+
+// stringHeavyDB builds a synthetic string-heavy table shaped to exercise
+// every string codec — a low-cardinality mode column (dict), sorted
+// shared-prefix names and dates-as-strings (prefix/dict), and random notes
+// (raw) — persists it in 1000-row chunks, and returns the memory and
+// disk-attached databases plus the store for codec inspection.
+func stringHeavyDB(t *testing.T) (mem, disk *core.Database, store *columnbm.Store) {
+	t.Helper()
+	const n = 25000
+	modes := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	mode := make([]string, n)
+	name := make([]string, n)
+	day := make([]string, n)
+	note := make([]string, n)
+	id := make([]int32, n)
+	rng := uint64(42)
+	for i := 0; i < n; i++ {
+		id[i] = int32(i)
+		mode[i] = modes[(i/3)%len(modes)]
+		name[i] = fmt.Sprintf("Customer#%09d", i)
+		day[i] = fmt.Sprintf("2024-%02d-%02d", 1+(i/70)/28%12, 1+(i/70)%28)
+		// xorshift-ish noise, long enough that prefix coding's shorter
+		// length headers stay below the profitability margin: raw chunks.
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		note[i] = fmt.Sprintf("%016x%016x%016x", rng, rng*2654435761, ^rng)
+	}
+	tab := colstore.NewTable("strtab")
+	for _, c := range []struct {
+		name string
+		data any
+	}{
+		{"id", id}, {"mode", mode}, {"name", name}, {"day", day}, {"note", note},
+	} {
+		typ := vector.String
+		if c.name == "id" {
+			typ = vector.Int32
+		}
+		if err := tab.AddColumn(c.name, typ, c.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem = core.NewDatabase()
+	mem.AddTable(tab)
+
+	dir := t.TempDir()
+	wstore, err := columnbm.NewStore(dir, diskChunkRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wstore.SaveTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	store, err = columnbm.NewStore(dir, diskChunkRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk = core.NewDatabase()
+	if _, err := core.AttachDiskTable(disk, store, "strtab"); err != nil {
+		t.Fatal(err)
+	}
+	return mem, disk, store
+}
+
+// TestStringHeavyDiskDifferential runs string-touching queries (string
+// equality and range selections, group-by on strings, string min/max
+// aggregates, LIKE, TopN on a front-coded column) against the disk-attached
+// string-heavy table at parallelism 1, 2 and 8 and requires results
+// identical to in-memory serial execution — so dict and prefix chunks are
+// decoded on every path, including chunk-aligned parallel morsels.
+func TestStringHeavyDiskDifferential(t *testing.T) {
+	mem, disk, store := stringHeavyDB(t)
+
+	// The writer must actually have chosen the new codecs, or the
+	// differential below exercises nothing.
+	storage, err := store.TableStorage("strtab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecChunks := map[string]map[string]int{}
+	for _, cs := range storage {
+		codecChunks[cs.Name] = cs.Codecs
+		if cs.Name == "mode" && cs.DictCard != len([]string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}) {
+			t.Errorf("mode dict cardinality = %d, want 7", cs.DictCard)
+		}
+	}
+	for col, codec := range map[string]string{"mode": "dict", "name": "prefix", "note": "raw"} {
+		if codecChunks[col][codec] == 0 {
+			t.Errorf("column %s has no %s chunks: %v", col, codec, codecChunks[col])
+		}
+	}
+	if codecChunks["day"]["dict"]+codecChunks["day"]["prefix"] == 0 {
+		t.Errorf("day column stayed raw: %v", codecChunks["day"])
+	}
+
+	queries := map[string]string{
+		"eq-groupby": `Aggr(Select(Scan(strtab), =(mode, 'RAIL')), [mode], [n = count(), s = sum(id)])`,
+		"minmax-str": `Aggr(Scan(strtab), [mode], [n = count(), lo = min(name), hi = max(name)])`,
+		"range-day":  `Aggr(Select(Scan(strtab), >=(day, '2024-07-01')), [], [n = count(), lo = min(note)])`,
+		"like-note":  `Aggr(Select(Scan(strtab), like(note, '%7a%')), [], [n = count()])`,
+		"topn-name":  `TopN(Select(Scan(strtab, [name, note, mode]), <(mode, 'SHIP')), [name DESC], 15)`,
+	}
+	for label, text := range queries {
+		t.Run(label, func(t *testing.T) {
+			plan, err := algebra.Parse(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Run(mem, plan, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("memory: %v", err)
+			}
+			for _, p := range []int{1, 2, 8} {
+				opts := core.DefaultOptions()
+				opts.Parallelism = p
+				got, err := core.Run(disk, plan, opts)
+				if err != nil {
+					t.Fatalf("disk p=%d: %v", p, err)
+				}
+				sameRowMultisets(t, fmt.Sprintf("%s p=%d", label, p), want, got)
 			}
 		})
 	}

@@ -26,13 +26,17 @@
 // built with CreateTable are a single memory-resident fragment per column —
 // the paper's in-memory BATs. Tables persisted to a ColumnBM chunk
 // directory (CreateDiskTable, or cmd/dbgen -out) and attached with
-// AttachDisk are one fragment per large lightweight-compressed chunk
-// (raw/RLE/FoR/delta codecs), the paper's Figure 5 ColumnBM store. Scans
-// stream fragments through a per-worker reader that decompresses at most
-// one chunk per column at a time via an LRU buffer pool of compressed
-// chunks, so datasets larger than RAM execute in bounded memory, and
-// per-chunk min/max recorded at write time prunes scans at chunk
-// granularity (summary-index-style, Section 4.3) with no in-memory index.
+// AttachDisk are one fragment per large lightweight-compressed chunk —
+// raw/RLE/FoR/delta codecs for integer columns, raw/dict/prefix for string
+// columns — the paper's Figure 5 ColumnBM store. Scans stream fragments
+// through a per-worker reader that decodes at most one chunk per column at
+// a time, straight into buffers of the column's physical type, via an LRU
+// buffer pool of compressed chunks, so datasets larger than RAM execute in
+// bounded memory; per-chunk min/max recorded at write time (integer, float
+// and string bounds alike) prunes scans at chunk granularity
+// (summary-index-style, Section 4.3) with no in-memory index. See
+// docs/ARCHITECTURE.md for the end-to-end tour and docs/STORAGE_FORMAT.md
+// for the on-disk format.
 // Positional operators (Fetch1Join/FetchNJoin) and the baseline engines
 // pin (fully materialize) the disk columns they touch at plan construction.
 //
