@@ -106,10 +106,18 @@ func FormatStorage(cols []ColumnStorage) string {
 
 // Checkpoint absorbs a table's pending insert delta into new base
 // fragments, keeping row ids stable (deletions stay on the deletion list).
-// Parallel queries do this automatically; exposing it lets applications
-// checkpoint eagerly. It reports false when the delta could not be
-// absorbed (an enum dictionary outgrew its code width) — Reorganize
-// handles that case with a full rewrite.
+// On a disk-attached table (AttachDisk/CreateDiskTable) the checkpoint is
+// durable: the delta is written back to the chunk directory as new
+// compressed chunks (best-of codec, as at save time), the deletion list is
+// recorded, and the manifest is extended with one atomic rename — so
+// re-attaching the directory after a restart recovers every checkpointed
+// row and deletion, and a crash mid-checkpoint leaves exactly the previous
+// committed state. The new chunks re-attach as lazily decoded disk
+// fragments, keeping the table within bounded memory. Parallel queries
+// checkpoint automatically before partitioned scans; exposing it lets
+// applications checkpoint (and thus commit) eagerly. It reports false when
+// the delta could not be absorbed (an enum dictionary outgrew its code
+// width) — Reorganize handles that case with a full rewrite.
 func (db *DB) Checkpoint(table string) (bool, error) {
 	return db.inner.Checkpoint(table)
 }

@@ -66,7 +66,12 @@ func run(sf float64, seed uint64, out string, chunkValues int, verify bool) erro
 	if err != nil {
 		return err
 	}
-	fmt.Printf("persisted through ColumnBM to %s: %d bytes on disk\n", out, onDisk)
+	m, err := store.ReadManifest("lineitem")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("persisted through ColumnBM to %s: %d bytes on disk (manifest v%d, chunk grid %d rows)\n",
+		out, onDisk, m.Version, m.ChunkRows)
 
 	// Per-codec usage over the fact table and the string-heavy tables: how
 	// the best-codec heuristic chose among raw/RLE/FoR/delta for integers

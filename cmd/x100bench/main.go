@@ -7,7 +7,7 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, disk, strings, ablation-compound, ablation-enum,
+// parallel, disk, strings, updates, ablation-compound, ablation-enum,
 // ablation-summary, ablation-selvec, all.
 //
 // The disk experiment persists lineitem through the ColumnBM chunk store
@@ -22,6 +22,13 @@
 // and cold/warm scan bandwidth per codec:
 //
 //	x100bench -exp strings -sf 0.01 -json BENCH_strings.json
+//
+// The updates experiment persists the fact tables through ColumnBM and
+// measures durable-checkpoint write-back throughput (insert delta ->
+// compressed chunks + atomic manifest extension) and the latency of
+// positional fetch joins from disk (chunk-wise, non-pinning) vs memory:
+//
+//	x100bench -exp updates -sf 0.01 -json BENCH_updates.json
 //
 // The parallel experiment measures multi-core scaling of the Q1/Q6
 // scan-aggregate workloads; -parallel selects the worker counts and -json
@@ -88,7 +95,8 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
 		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] || want["strings"] ||
-		want["ablation-compound"] || want["ablation-summary"] || want["ablation-fetchjoin"]
+		want["updates"] || want["ablation-compound"] || want["ablation-summary"] ||
+		want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
 		var err error
@@ -126,6 +134,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"strings", func() error {
 			recs, err := bench.StringCodecs(w, db, sf)
+			records = append(records, recs...)
+			return err
+		}},
+		{"updates", func() error {
+			recs, err := bench.Updates(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

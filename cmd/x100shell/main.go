@@ -11,7 +11,9 @@
 // dbgen -out) instead of generating data, and queries scan straight off
 // the compressed chunks.
 // Meta commands: \tables, \schema <t>, \storage <t>, \explain <plan>,
-// \engine <x100|mil|volcano>, \vectorsize <n>, \parallel <n>, \trace, \q.
+// \engine <x100|mil|volcano>, \vectorsize <n>, \parallel <n>, \trace,
+// \delete <t> <rowid>, \checkpoint <t> (durable write-back on disk tables),
+// \reorganize <t> (directory compaction), \q.
 package main
 
 import (
@@ -140,6 +142,45 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parall
 			break
 		}
 		*parallelism = n
+	case "\\delete":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\delete <table> <rowid>")
+			break
+		}
+		id, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		if err := db.Delete(fields[1], int32(id)); err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Printf("deleted row %d of %s (checkpoint to persist on disk tables)\n", id, fields[1])
+	case "\\checkpoint":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\checkpoint <table>")
+			break
+		}
+		done, err := db.Checkpoint(fields[1])
+		switch {
+		case err != nil:
+			fmt.Println(err)
+		case !done:
+			fmt.Println("checkpoint declined (enum dictionary outgrew its code width); use \\reorganize")
+		default:
+			fmt.Println("checkpointed", fields[1])
+		}
+	case "\\reorganize":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\reorganize <table>")
+			break
+		}
+		if err := db.Reorganize(fields[1]); err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Println("reorganized", fields[1])
 	case "\\explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
 		plan, err := x100.Parse(rest)

@@ -108,3 +108,100 @@ func TestCreateDiskTableAndAttach(t *testing.T) {
 		t.Fatalf("after update: max=%v count=%v, want %d and %d", row[0], row[1], n, n)
 	}
 }
+
+// TestDiskTableDurableUpdates covers durability through the public API: a
+// checkpoint on a disk table survives a "restart" (a fresh DB attaching the
+// same directory recovers the inserted rows and the deletion list), and
+// Reorganize compacts the directory so the next attach starts with no
+// deletions and the smaller row count.
+func TestDiskTableDurableUpdates(t *testing.T) {
+	dir := t.TempDir()
+	db := x100.NewDB()
+	n := 5000
+	keys := make([]int64, n)
+	status := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(i)
+		status[i] = []string{"open", "closed", "hold"}[i%3]
+	}
+	err := db.CreateDiskTable(dir, "events",
+		x100.ColumnData{Name: "id", Type: x100.Int64T, Data: keys},
+		x100.ColumnData{Name: "status", Type: x100.StringT, Data: status, Enum: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Insert("events", int64(n+i), "open"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 50; i++ {
+		if err := db.Delete("events", i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done, err := db.Checkpoint("events"); err != nil || !done {
+		t.Fatalf("checkpoint: done=%v err=%v", done, err)
+	}
+
+	count := x100.ScanT("events", "id").
+		AggrBy(nil, x100.CountA("cnt"), x100.MaxA("mx", x100.Col("id"))).Node()
+	want, err := db.Exec(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart: a fresh DB over the same directory sees the checkpointed
+	// inserts AND deletions.
+	db2 := x100.NewDB()
+	if err := db2.AttachDisk(dir, "events"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Exec(count, x100.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Row(0)[0] != int64(n+100-50) || got.Row(0)[0] != want.Row(0)[0] || got.Row(0)[1] != want.Row(0)[1] {
+		t.Fatalf("after restart: %v, want %v (count %d)", got.Row(0), want.Row(0), n+100-50)
+	}
+	rows, err := db2.NumRows("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != n+100-50 {
+		t.Fatalf("restart sees %d visible rows, want %d", rows, n+100-50)
+	}
+
+	// Reorganize compacts deletions into a fresh chunk generation; the
+	// next attach starts clean.
+	if err := db2.Reorganize("events"); err != nil {
+		t.Fatal(err)
+	}
+	db3 := x100.NewDB()
+	if err := db3.AttachDisk(dir, "events"); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := db3.Delta("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumDeleted() != 0 || ds.NumRows() != n+100-50 {
+		t.Fatalf("after reorganize+attach: %d rows, %d deletions; want %d and 0",
+			ds.NumRows(), ds.NumDeleted(), n+100-50)
+	}
+	got3, err := db3.Exec(count, x100.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3.Row(0)[0] != want.Row(0)[0] || got3.Row(0)[1] != want.Row(0)[1] {
+		t.Fatalf("after reorganize: %v, want %v", got3.Row(0), want.Row(0))
+	}
+	// The compacted table is still disk-backed (chunked storage report).
+	cols, err := db3.Storage("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Chunks < 1 || cols[0].Codecs["memory"] != 0 {
+		t.Fatalf("storage after reorganize: %+v", cols)
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"x100/internal/columnbm"
+	"x100/internal/core"
+)
+
+// updatesChunkValues keeps several chunks per column at small scale factors
+// (as in the disk experiment), so checkpoint write-back appends real chunk
+// runs and fetch joins cross chunk boundaries.
+const updatesChunkValues = 1 << 14
+
+// Updates is the durable-update experiment: it persists the TPC-H fact
+// tables through ColumnBM, attaches them disk-backed, and measures
+//
+//	checkpoint write-back: rows/sec of Checkpoint absorbing an insert
+//	    delta into new compressed chunks + the atomic manifest extension
+//	    (measured at several delta sizes);
+//	fetch-join latency: the Q10-style join via positional Fetch1Joins on
+//	    the persisted join-index columns, in memory vs disk-cold vs
+//	    disk-warm — the disk runs gather through chunk-wise fragment
+//	    locators and never pin columns.
+func Updates(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100updates")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := columnbm.NewStore(dir, updatesChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	tables := []string{"lineitem", "orders", "customer"}
+	for _, name := range tables {
+		t, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.SaveTable(t); err != nil {
+			return nil, err
+		}
+	}
+	attach := func() (*core.Database, *columnbm.Store, error) {
+		s, err := columnbm.NewStore(dir, updatesChunkValues, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		d := core.NewDatabase()
+		for _, name := range tables {
+			if _, err := core.AttachDiskTable(d, s, name); err != nil {
+				return nil, nil, err
+			}
+		}
+		return d, s, nil
+	}
+
+	var recs []Record
+	fmt.Fprintf(w, "Durable updates at SF=%g (chunk=%d values, dir=%s)\n", sf, updatesChunkValues, dir)
+
+	// Checkpoint write-back throughput: insert copies of the last lineitem
+	// row (keeps the l_orderrow join index clustered) and time the durable
+	// checkpoint.
+	memLT, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	template := make([]any, len(memLT.Cols))
+	rowBytes := 0
+	for i, c := range memLT.Cols {
+		template[i] = c.DecodedValue(memLT.N - 1)
+		if s, ok := template[i].(string); ok {
+			rowBytes += len(s)
+		} else {
+			rowBytes += 8
+		}
+	}
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %10s\n", "experiment", "rows", "time", "rows/sec", "MB/sec")
+	for _, batch := range []int{1000, 10000, 50000} {
+		diskDB, _, err := attach()
+		if err != nil {
+			return nil, err
+		}
+		ds, err := diskDB.Delta("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < batch; i++ {
+			if _, err := ds.Insert(template); err != nil {
+				return nil, err
+			}
+		}
+		t0 := time.Now()
+		done, err := diskDB.Checkpoint("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			return nil, fmt.Errorf("bench: checkpoint declined")
+		}
+		d := time.Since(t0)
+		rps := float64(batch) / d.Seconds()
+		mbps := float64(batch*rowBytes) / (1 << 20) / d.Seconds()
+		fmt.Fprintf(w, "%-28s %10d %12v %12.0f %10.1f\n",
+			"checkpoint-writeback", batch, d.Round(time.Microsecond), rps, mbps)
+		recs = append(recs, Record{
+			Name: "checkpoint_writeback", SF: sf, Parallelism: 1,
+			NsPerOp: float64(d.Nanoseconds()), Rows: batch, RowsPerSec: rps,
+			Mode: "write-back", MBPerSec: mbps,
+		})
+	}
+
+	// Fetch-join latency, memory vs disk (cold and warm): Q10 via the
+	// materialized join indices — positional fetches, chunk-wise on disk.
+	plan := Q10FetchJoinPlan()
+	diskDB, _, err := attach()
+	if err != nil {
+		return nil, err
+	}
+	rows := memLT.N
+	for _, m := range []struct {
+		name string
+		db   *core.Database
+		min  time.Duration
+	}{
+		{"memory", db, 100 * time.Millisecond},
+		{"disk-cold", diskDB, 0},
+		{"disk-warm", diskDB, 100 * time.Millisecond},
+	} {
+		d, err := timeIt(m.min, func() error {
+			_, err := core.Run(m.db, plan, core.DefaultOptions())
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rps := 0.0
+		if d > 0 {
+			rps = float64(rows) / d.Seconds()
+		}
+		fmt.Fprintf(w, "%-28s %10d %12v %12.0f %10s\n",
+			"q10-fetchjoin-"+m.name, rows, d.Round(time.Microsecond), rps, "-")
+		recs = append(recs, Record{
+			Name: "q10_fetchjoin", SF: sf, Parallelism: 1,
+			NsPerOp: float64(d.Nanoseconds()), Rows: rows, RowsPerSec: rps, Mode: m.name,
+		})
+	}
+	return recs, nil
+}

@@ -276,6 +276,13 @@ func (d *Dict) Len() int {
 // for enum columns).
 func (c *Column) PhysType() vector.Type { return c.phys }
 
+// Pinned reports whether the column currently caches a full materialized
+// copy. Memory-resident columns are born pinned; for disk-backed columns
+// this staying false is the observable guarantee that no consumer fell off
+// the bounded-memory paths (FragReader for scans, FragLocator for
+// positional fetches).
+func (c *Column) Pinned() bool { return c.pinned.Load() != nil }
+
 // IsEnum reports whether the column is enumeration-compressed.
 func (c *Column) IsEnum() bool { return c.Dict != nil }
 
@@ -515,6 +522,38 @@ func (t *Table) AppendFragment(parts []any) error {
 	}
 	for i, c := range t.Cols {
 		c.appendFrag(&memFragment{data: parts[i], rows: n})
+	}
+	t.N += n
+	return nil
+}
+
+// AppendFragments appends pre-built fragments (one slice per column, equal
+// total rows — e.g. the freshly written ColumnBM chunks of a checkpoint
+// write-back) as new base fragments. Row ids of existing rows are
+// unchanged, exactly like AppendFragment.
+func (t *Table) AppendFragments(perCol [][]Fragment) error {
+	if len(perCol) != len(t.Cols) {
+		return fmt.Errorf("colstore: append has %d columns, table %s has %d", len(perCol), t.Name, len(t.Cols))
+	}
+	n := -1
+	for i, c := range t.Cols {
+		k := 0
+		for _, f := range perCol[i] {
+			k += f.Rows()
+		}
+		if n < 0 {
+			n = k
+		} else if k != n {
+			return fmt.Errorf("colstore: append column %s has %d rows, want %d", c.Name, k, n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	for i, c := range t.Cols {
+		for _, f := range perCol[i] {
+			c.appendFrag(f)
+		}
 	}
 	t.N += n
 	return nil

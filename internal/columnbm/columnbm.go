@@ -115,6 +115,22 @@ type Store struct {
 	dir         string
 	chunkValues int
 	pool        *Pool
+
+	// FaultHook, when non-nil, is called at the stages of a write-back
+	// ("chunk" after each appended chunk file, "manifest-temp" after the
+	// temp manifest is written, "manifest-commit" after the rename); a
+	// non-nil return aborts the operation with that error. It exists for
+	// crash-safety tests, which kill a checkpoint mid-stream and assert
+	// that re-attaching sees exactly the last committed state.
+	FaultHook func(stage string) error
+}
+
+// fault runs the fault-injection hook for a write-back stage.
+func (s *Store) fault(stage string) error {
+	if s.FaultHook == nil {
+		return nil
+	}
+	return s.FaultHook(stage)
 }
 
 // NewStore opens (creating if needed) a store in dir. chunkValues <= 0
@@ -141,18 +157,31 @@ func (s *Store) ChunkValues() int { return s.chunkValues }
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) chunkPath(column string, idx int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s.%06d.chunk", column, idx))
+// chunkPath names chunk idx of a column at a chunk-file generation.
+// Generation 0 keeps the original (version 1) naming so old directories
+// attach unchanged; rewrites bump the generation and add a ".gN" infix, so
+// a rewrite never touches files referenced by the committed manifest.
+func (s *Store) chunkPath(column string, gen, idx int) string {
+	if gen == 0 {
+		return filepath.Join(s.dir, fmt.Sprintf("%s.%06d.chunk", column, idx))
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s.g%d.%06d.chunk", column, gen, idx))
 }
 
 // WriteInt64Column splits vals into chunks, compresses each with the best
 // of the available codecs, and writes them. It returns the number of chunks.
 func (s *Store) WriteInt64Column(column string, vals []int64) (int, error) {
+	return s.writeInt64Chunks(column, 0, 0, vals)
+}
+
+// writeInt64Chunks writes vals as chunks [start, start+k) of a column at a
+// generation; it returns k. start > 0 is the checkpoint append path.
+func (s *Store) writeInt64Chunks(column string, gen, start int, vals []int64) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
 		payload, codec := encodeInt64(vals[lo:hi])
-		if err := s.writeChunk(column, nchunks, codec, hi-lo, 8*(hi-lo), payload); err != nil {
+		if err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, 8*(hi-lo), payload); err != nil {
 			return nchunks, err
 		}
 		nchunks++
@@ -165,9 +194,13 @@ func (s *Store) WriteInt64Column(column string, vals []int64) (int, error) {
 
 // ReadInt64Column reads all chunks of a column written by WriteInt64Column.
 func (s *Store) ReadInt64Column(column string, nchunks int) ([]int64, error) {
+	return s.readInt64Chunks(column, 0, nchunks)
+}
+
+func (s *Store) readInt64Chunks(column string, gen, nchunks int) ([]int64, error) {
 	var out []int64
 	for i := 0; i < nchunks; i++ {
-		hdr, payload, err := s.readChunk(column, i)
+		hdr, payload, err := s.readChunk(column, gen, i)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +215,10 @@ func (s *Store) ReadInt64Column(column string, nchunks int) ([]int64, error) {
 
 // WriteFloat64Column writes a float column (raw codec: floats rarely RLE).
 func (s *Store) WriteFloat64Column(column string, vals []float64) (int, error) {
+	return s.writeFloat64Chunks(column, 0, 0, vals)
+}
+
+func (s *Store) writeFloat64Chunks(column string, gen, start int, vals []float64) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
@@ -189,7 +226,7 @@ func (s *Store) WriteFloat64Column(column string, vals []float64) (int, error) {
 		for i, v := range vals[lo:hi] {
 			binary.LittleEndian.PutUint64(payload[8*i:], floatBits(v))
 		}
-		if err := s.writeChunk(column, nchunks, CodecRaw, hi-lo, len(payload), payload); err != nil {
+		if err := s.writeChunk(column, gen, start+nchunks, CodecRaw, hi-lo, len(payload), payload); err != nil {
 			return nchunks, err
 		}
 		nchunks++
@@ -202,9 +239,13 @@ func (s *Store) WriteFloat64Column(column string, vals []float64) (int, error) {
 
 // ReadFloat64Column reads a float column.
 func (s *Store) ReadFloat64Column(column string, nchunks int) ([]float64, error) {
+	return s.readFloat64Chunks(column, 0, nchunks)
+}
+
+func (s *Store) readFloat64Chunks(column string, gen, nchunks int) ([]float64, error) {
 	var out []float64
 	for i := 0; i < nchunks; i++ {
-		hdr, payload, err := s.readChunk(column, i)
+		hdr, payload, err := s.readChunk(column, gen, i)
 		if err != nil {
 			return nil, err
 		}
@@ -223,19 +264,20 @@ func (s *Store) ReadFloat64Column(column string, nchunks int) ([]float64, error)
 // It returns the number of chunks. writeStringChunks is the variant that
 // also reports per-chunk dictionary cardinality for the manifest.
 func (s *Store) WriteStringColumn(column string, vals []string) (int, error) {
-	return s.writeStringChunks(column, vals, nil)
+	return s.writeStringChunks(column, 0, 0, vals, nil)
 }
 
-// writeStringChunks writes a string column and, when cards is non-nil,
-// appends the dictionary cardinality of each chunk (0 for non-dict chunks)
-// to *cards. rawSize always records the raw (length-prefixed) encoding
-// size, so compression ratios compare against the uncompressed layout.
-func (s *Store) writeStringChunks(column string, vals []string, cards *[]int) (int, error) {
+// writeStringChunks writes vals as chunks [start, start+k) of a column at a
+// generation and, when cards is non-nil, appends the dictionary cardinality
+// of each chunk (0 for non-dict chunks) to *cards. rawSize always records
+// the raw (length-prefixed) encoding size, so compression ratios compare
+// against the uncompressed layout.
+func (s *Store) writeStringChunks(column string, gen, start int, vals []string, cards *[]int) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
 		payload, codec, card, rawSize := encodeString(vals[lo:hi])
-		if err := s.writeChunk(column, nchunks, codec, hi-lo, rawSize, payload); err != nil {
+		if err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, rawSize, payload); err != nil {
 			return nchunks, err
 		}
 		if cards != nil {
@@ -251,9 +293,13 @@ func (s *Store) writeStringChunks(column string, vals []string, cards *[]int) (i
 
 // ReadStringColumn reads a string column written by WriteStringColumn.
 func (s *Store) ReadStringColumn(column string, nchunks int) ([]string, error) {
+	return s.readStringChunks(column, 0, nchunks)
+}
+
+func (s *Store) readStringChunks(column string, gen, nchunks int) ([]string, error) {
 	var out []string
 	for i := 0; i < nchunks; i++ {
-		hdr, payload, err := s.readChunk(column, i)
+		hdr, payload, err := s.readChunk(column, gen, i)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +318,7 @@ type chunkHeader struct {
 	rawSize int
 }
 
-func (s *Store) writeChunk(column string, idx int, codec Codec, count, rawSize int, payload []byte) error {
+func (s *Store) writeChunk(column string, gen, idx int, codec Codec, count, rawSize int, payload []byte) error {
 	buf := make([]byte, 17+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], chunkMagic)
 	buf[4] = byte(codec)
@@ -280,11 +326,29 @@ func (s *Store) writeChunk(column string, idx int, codec Codec, count, rawSize i
 	binary.LittleEndian.PutUint32(buf[9:], uint32(rawSize))
 	binary.LittleEndian.PutUint32(buf[13:], uint32(len(payload)))
 	copy(buf[17:], payload)
-	return os.WriteFile(s.chunkPath(column, idx), buf, 0o644)
+	// Chunk data is fsynced before the manifest commit can reference it:
+	// the crash contract ("a committed manifest's chunks are readable")
+	// must hold under power loss, not just process death.
+	f, err := os.OpenFile(s.chunkPath(column, gen, idx), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fault("chunk")
 }
 
-func (s *Store) readChunk(column string, idx int) (chunkHeader, []byte, error) {
-	key := s.chunkPath(column, idx)
+func (s *Store) readChunk(column string, gen, idx int) (chunkHeader, []byte, error) {
+	key := s.chunkPath(column, gen, idx)
 	raw, err := s.pool.Get(key, func() ([]byte, error) { return os.ReadFile(key) })
 	if err != nil {
 		return chunkHeader{}, nil, fmt.Errorf("columnbm: %w", err)
@@ -304,11 +368,12 @@ func (s *Store) readChunk(column string, idx int) (chunkHeader, []byte, error) {
 	return hdr, raw[17:], nil
 }
 
-// CompressedSize returns the total on-disk size of a column's chunks.
+// CompressedSize returns the total on-disk size of a column's chunks
+// (generation 0; column-level experiments that bypass manifests).
 func (s *Store) CompressedSize(column string, nchunks int) (int64, error) {
 	var total int64
 	for i := 0; i < nchunks; i++ {
-		fi, err := os.Stat(s.chunkPath(column, i))
+		fi, err := os.Stat(s.chunkPath(column, 0, i))
 		if err != nil {
 			return 0, err
 		}
@@ -806,20 +871,25 @@ type ChunkInfo struct {
 	PayloadSize int
 }
 
-// ChunkInfo reads the header of chunk idx of a column without loading the
-// payload (and without touching the buffer pool).
+// ChunkInfo reads the header of chunk idx of a column (generation 0)
+// without loading the payload (and without touching the buffer pool).
+// TableStorage resolves the committed generation from the manifest.
 func (s *Store) ChunkInfo(column string, idx int) (ChunkInfo, error) {
-	f, err := os.Open(s.chunkPath(column, idx))
+	return s.chunkInfoGen(column, 0, idx)
+}
+
+func (s *Store) chunkInfoGen(column string, gen, idx int) (ChunkInfo, error) {
+	f, err := os.Open(s.chunkPath(column, gen, idx))
 	if err != nil {
 		return ChunkInfo{}, fmt.Errorf("columnbm: %w", err)
 	}
 	defer f.Close()
 	var hdr [17]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, idx))
+		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, gen, idx))
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != chunkMagic {
-		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, idx))
+		return ChunkInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, gen, idx))
 	}
 	return ChunkInfo{
 		Codec:       Codec(hdr[4]),

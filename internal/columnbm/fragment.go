@@ -17,6 +17,7 @@ import (
 type chunkFragment struct {
 	store *Store
 	key   string
+	gen   int
 	idx   int
 	rows  int
 	phys  vector.Type
@@ -61,7 +62,7 @@ func sliceBuf[T any](buf any, n int) []T {
 }
 
 func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
-	hdr, payload, err := f.store.readChunk(f.key, f.idx)
+	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -120,11 +121,71 @@ func decodeNarrow[T intNative](f *chunkFragment, buf any, hdr chunkHeader, paylo
 	return dst, true, nil
 }
 
+// enumPhys returns the physical code type for an attached enum dictionary.
+func enumPhys(table, column string, dict *colstore.Dict) (vector.Type, error) {
+	switch {
+	case dict.Len() <= 256:
+		return vector.UInt8, nil
+	case dict.Len() <= 65536:
+		return vector.UInt16, nil
+	default:
+		return vector.Unknown, fmt.Errorf("columnbm: enum column %s.%s has %d dictionary values", table, column, dict.Len())
+	}
+}
+
+// attachDict rebuilds an enum dictionary from its manifest entry.
+func attachDict(cm *ColumnManifest) *colstore.Dict {
+	if cm.DictF64 != nil {
+		dict := colstore.NewF64Dict()
+		for _, v := range cm.DictF64 {
+			dict.CodeF64(v)
+		}
+		return dict
+	}
+	dict := colstore.NewDict()
+	for _, v := range cm.DictStr {
+		dict.Code(v)
+	}
+	return dict
+}
+
+// columnFragments builds the lazily decoded fragments [from, cm.Chunks) of
+// a persisted column, carrying per-chunk min/max bounds when the manifest
+// records them for every chunk. counts is the table's shared per-chunk row
+// grid. It is used by AttachTable (from 0) and by the checkpoint write-back
+// (from the pre-append chunk count, to re-attach just the new chunks).
+func (s *Store) columnFragments(m *Manifest, cm *ColumnManifest, phys vector.Type, counts []int, from int) []colstore.Fragment {
+	key := m.Table + "." + cm.Name
+	useI := !cm.Enum && len(cm.ChunkMinI64) == cm.Chunks && len(cm.ChunkMaxI64) == cm.Chunks &&
+		(phys == vector.Int32 || phys == vector.Int64)
+	useF := !cm.Enum && len(cm.ChunkMinF64) == cm.Chunks && len(cm.ChunkMaxF64) == cm.Chunks &&
+		phys == vector.Float64
+	useS := !cm.Enum && len(cm.ChunkMinStr) == cm.Chunks && len(cm.ChunkMaxStr) == cm.Chunks &&
+		phys == vector.String
+	frags := make([]colstore.Fragment, 0, cm.Chunks-from)
+	for i := from; i < cm.Chunks; i++ {
+		cf := &chunkFragment{store: s, key: key, gen: m.Gen, idx: i, rows: counts[i], phys: phys}
+		if useI {
+			cf.minI, cf.maxI, cf.hasI = cm.ChunkMinI64[i], cm.ChunkMaxI64[i], true
+		}
+		if useF {
+			cf.minF, cf.maxF, cf.hasF = cm.ChunkMinF64[i], cm.ChunkMaxF64[i], true
+		}
+		if useS {
+			cf.minS, cf.maxS, cf.hasS = cm.ChunkMinStr[i], cm.ChunkMaxStr[i], true
+		}
+		frags = append(frags, cf)
+	}
+	return frags
+}
+
 // AttachTable builds a fragment-backed colstore table over the chunks
 // written by SaveTable, without materializing any column: every chunk
 // becomes a lazily decoded fragment, and per-chunk min/max bounds from the
 // manifest feed chunk-granularity scan pruning. Enum dictionaries are
-// rebuilt from the manifest.
+// rebuilt from the manifest. The persisted deletion list (if any) is
+// recovered separately via ReadManifest — the storage layer has no notion
+// of delta stores.
 func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 	m, err := s.readManifest(name)
 	if err != nil {
@@ -138,7 +199,8 @@ func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 	}
 	t := colstore.NewTable(m.Table)
 	t.ChunkRows = chunkRows
-	for _, cm := range m.Columns {
+	for i := range m.Columns {
+		cm := &m.Columns[i]
 		typ, err := vector.ParseType(cm.Type)
 		if err != nil {
 			return nil, err
@@ -146,55 +208,17 @@ func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 		var dict *colstore.Dict
 		phys := typ.Physical()
 		if cm.Enum {
-			if cm.DictF64 != nil {
-				dict = colstore.NewF64Dict()
-				for _, v := range cm.DictF64 {
-					dict.CodeF64(v)
-				}
-			} else {
-				dict = colstore.NewDict()
-				for _, v := range cm.DictStr {
-					dict.Code(v)
-				}
-			}
-			switch {
-			case dict.Len() <= 256:
-				phys = vector.UInt8
-			case dict.Len() <= 65536:
-				phys = vector.UInt16
-			default:
-				return nil, fmt.Errorf("columnbm: enum column %s.%s has %d dictionary values", name, cm.Name, dict.Len())
+			dict = attachDict(cm)
+			phys, err = enumPhys(name, cm.Name, dict)
+			if err != nil {
+				return nil, err
 			}
 		}
-		key := m.Table + "." + cm.Name
-		frags := make([]colstore.Fragment, cm.Chunks)
-		useI := !cm.Enum && len(cm.ChunkMinI64) == cm.Chunks && len(cm.ChunkMaxI64) == cm.Chunks &&
-			(phys == vector.Int32 || phys == vector.Int64)
-		useF := !cm.Enum && len(cm.ChunkMinF64) == cm.Chunks && len(cm.ChunkMaxF64) == cm.Chunks &&
-			phys == vector.Float64
-		useS := !cm.Enum && len(cm.ChunkMinStr) == cm.Chunks && len(cm.ChunkMaxStr) == cm.Chunks &&
-			phys == vector.String
-		for i := range frags {
-			rows := chunkRows
-			if i == cm.Chunks-1 {
-				rows = m.Rows - (cm.Chunks-1)*chunkRows
-			}
-			if rows < 0 || rows > chunkRows {
-				return nil, fmt.Errorf("columnbm: column %s: %d rows do not fit %d chunks of %d", key, m.Rows, cm.Chunks, chunkRows)
-			}
-			cf := &chunkFragment{store: s, key: key, idx: i, rows: rows, phys: phys}
-			if useI {
-				cf.minI, cf.maxI, cf.hasI = cm.ChunkMinI64[i], cm.ChunkMaxI64[i], true
-			}
-			if useF {
-				cf.minF, cf.maxF, cf.hasF = cm.ChunkMinF64[i], cm.ChunkMaxF64[i], true
-			}
-			if useS {
-				cf.minS, cf.maxS, cf.hasS = cm.ChunkMinStr[i], cm.ChunkMaxStr[i], true
-			}
-			frags[i] = cf
+		counts, err := m.chunkRowCounts(chunkRows, cm.Chunks)
+		if err != nil {
+			return nil, fmt.Errorf("columnbm: column %s.%s: %w", name, cm.Name, err)
 		}
-		col := colstore.NewFragColumn(cm.Name, typ, dict, phys, frags)
+		col := colstore.NewFragColumn(cm.Name, typ, dict, phys, s.columnFragments(m, cm, phys, counts, 0))
 		if err := t.AttachColumn(col); err != nil {
 			return nil, err
 		}
@@ -231,7 +255,7 @@ func (s *Store) TableStorage(name string) ([]ColumnStorage, error) {
 		cs := ColumnStorage{Name: cm.Name, Type: cm.Type, Enum: cm.Enum, Chunks: cm.Chunks, Codecs: map[string]int{}}
 		key := m.Table + "." + cm.Name
 		for i := 0; i < cm.Chunks; i++ {
-			ci, err := s.ChunkInfo(key, i)
+			ci, err := s.chunkInfoGen(key, m.Gen, i)
 			if err != nil {
 				return nil, err
 			}

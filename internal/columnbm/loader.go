@@ -11,17 +11,43 @@ import (
 	"x100/internal/vector"
 )
 
+// ManifestVersion is the manifest format version this package writes.
+// Version 2 added durable updates: the Gen, ChunkCounts and Deleted fields
+// plus the atomic (temp-file + rename) manifest commit protocol. Manifests
+// without a version field are version 1 and attach with the uniform chunk
+// grid; readers reject manifests from the future.
+const ManifestVersion = 2
+
 // Manifest records how a table was persisted: per column, the logical
 // type, chunk count, and (for enum columns) the dictionary values. It makes
 // a chunk directory self-describing, so databases survive a round trip
 // through the store.
 type Manifest struct {
-	Table string `json:"table"`
-	Rows  int    `json:"rows"`
+	// Version is the manifest format version (0 or absent = version 1).
+	Version int    `json:"version,omitempty"`
+	Table   string `json:"table"`
+	Rows    int    `json:"rows"`
 	// ChunkRows is the chunk size (values per chunk) the writer used; the
-	// last chunk of each column may be shorter.
-	ChunkRows int              `json:"chunk_rows,omitempty"`
-	Columns   []ColumnManifest `json:"columns"`
+	// last chunk of each column may be shorter. It stays the nominal grid
+	// (morsel alignment) even when ChunkCounts records shorter chunks.
+	ChunkRows int `json:"chunk_rows,omitempty"`
+	// Gen is the chunk-file generation: Reorganize rewrites a table into
+	// fresh files of the next generation and commits them with one manifest
+	// rename, so chunk files referenced by a committed manifest are never
+	// modified in place. Generation 0 files carry no generation infix in
+	// their names (version 1 layout).
+	Gen int `json:"gen,omitempty"`
+	// ChunkCounts lists the exact row count of every chunk (all columns
+	// share one grid). Absent means the uniform grid: ChunkRows per chunk,
+	// last chunk shorter. Checkpoint write-back appends delta chunks that
+	// start a fresh chunk, so a table that has absorbed deltas has "short"
+	// interior chunks and needs the explicit counts.
+	ChunkCounts []int `json:"chunk_counts,omitempty"`
+	// Deleted is the persisted deletion list (ascending row ids): deletions
+	// survive restarts once a checkpoint has written them back. Reorganize
+	// compacts them away and clears the list.
+	Deleted []int32          `json:"deleted,omitempty"`
+	Columns []ColumnManifest `json:"columns"`
 }
 
 // ColumnManifest describes one persisted column. The per-chunk min/max
@@ -57,39 +83,215 @@ func (s *Store) readManifest(name string) (*Manifest, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("columnbm: bad manifest for %s: %w", name, err)
 	}
+	if m.Version > ManifestVersion {
+		return nil, fmt.Errorf("columnbm: manifest for %s has version %d, this build reads up to %d", name, m.Version, ManifestVersion)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("columnbm: bad manifest for %s: %w", name, err)
+	}
 	return &m, nil
+}
+
+// ReadManifest returns the committed manifest of a persisted table (storage
+// introspection and recovery: core reads the persisted deletion list from
+// it at attach time).
+func (s *Store) ReadManifest(name string) (*Manifest, error) { return s.readManifest(name) }
+
+// validate checks the cross-field invariants shared by every manifest
+// version, so corrupt or torn manifests are rejected before any chunk I/O.
+func (m *Manifest) validate() error {
+	if m.Rows < 0 || m.ChunkRows < 0 || m.Gen < 0 {
+		return fmt.Errorf("negative rows/chunk_rows/gen")
+	}
+	if m.ChunkCounts != nil {
+		sum := 0
+		// A zero-count chunk is legal: saving an empty table writes one
+		// empty chunk per column, and appends extend that grid.
+		for _, c := range m.ChunkCounts {
+			if c < 0 {
+				return fmt.Errorf("chunk_counts entry %d negative", c)
+			}
+			sum += c
+		}
+		if sum != m.Rows {
+			return fmt.Errorf("chunk_counts sum %d, manifest says %d rows", sum, m.Rows)
+		}
+		for _, cm := range m.Columns {
+			if cm.Chunks != len(m.ChunkCounts) {
+				return fmt.Errorf("column %s has %d chunks, chunk_counts lists %d", cm.Name, cm.Chunks, len(m.ChunkCounts))
+			}
+		}
+	}
+	for i, id := range m.Deleted {
+		if int(id) < 0 || int(id) >= m.Rows {
+			return fmt.Errorf("deleted row id %d out of range [0,%d)", id, m.Rows)
+		}
+		if i > 0 && m.Deleted[i-1] >= id {
+			return fmt.Errorf("deleted list not strictly ascending at %d", id)
+		}
+	}
+	for _, cm := range m.Columns {
+		if cm.Chunks < 0 {
+			return fmt.Errorf("column %s has negative chunk count", cm.Name)
+		}
+	}
+	return nil
+}
+
+// chunkRowCounts returns the exact per-chunk row counts of the table's
+// shared chunk grid: the explicit v2 counts when present, else the uniform
+// grid (chunkRows per chunk, last chunk shorter) over nchunks chunks.
+func (m *Manifest) chunkRowCounts(chunkRows, nchunks int) ([]int, error) {
+	if m.ChunkCounts != nil {
+		return m.ChunkCounts, nil
+	}
+	counts := make([]int, nchunks)
+	rows := m.Rows
+	for i := range counts {
+		n := chunkRows
+		if i == nchunks-1 {
+			n = rows
+		}
+		if n < 0 || n > chunkRows || (n == 0 && nchunks > 1) {
+			return nil, fmt.Errorf("%d rows do not fit %d chunks of %d", m.Rows, nchunks, chunkRows)
+		}
+		counts[i] = n
+		rows -= n
+	}
+	if rows != 0 {
+		return nil, fmt.Errorf("%d rows do not fit %d chunks of %d", m.Rows, nchunks, chunkRows)
+	}
+	return counts, nil
+}
+
+// writeManifest commits a manifest atomically: the JSON is written and
+// fsynced to a temp file in the same directory, then renamed over the live
+// manifest. A crash at any point leaves either the old or the new manifest,
+// never a torn one — chunk files referenced by a committed manifest are
+// never modified in place, so the rename is the single commit point of
+// every write-back. The store's FaultHook (tests) can inject failures
+// between the stages.
+func (s *Store) writeManifest(m *Manifest) error {
+	m.Version = ManifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := manifestPath(s.dir, m.Table)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("columnbm: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("columnbm: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("columnbm: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("columnbm: %w", err)
+	}
+	if err := s.fault("manifest-temp"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("columnbm: %w", err)
+	}
+	// Fsync the directory so the rename itself is durable: without it a
+	// power loss can roll the commit back even though the process saw it
+	// succeed. Best-effort on filesystems that reject directory fsync.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return s.fault("manifest-commit")
 }
 
 // SaveTable persists a colstore table through the chunk store and writes
 // its manifest (including per-chunk min/max for numeric columns). Enum
-// columns persist their codes plus the dictionary.
+// columns persist their codes plus the dictionary. When the directory
+// already holds a manifest for the table, the new chunk files are written
+// under the next generation and committed by the atomic manifest rename, so
+// a crash mid-save leaves the previous version intact; the superseded
+// generation's files are removed after the commit.
 func (s *Store) SaveTable(t *colstore.Table) error {
-	m := Manifest{Table: t.Name, Rows: t.N, ChunkRows: s.chunkValues}
+	return s.saveTableNextGen(t, s.chunkValues)
+}
+
+// RewriteTable is SaveTable preserving the table's existing chunk grid: the
+// disk Reorganize path, which compacts deletions and re-encodes enums into
+// a fresh generation of chunk files without changing the chunk size the
+// directory was created with.
+func (s *Store) RewriteTable(t *colstore.Table) error {
+	chunkRows := s.chunkValues
+	if old, err := s.readManifest(t.Name); err == nil && old.ChunkRows > 0 {
+		chunkRows = old.ChunkRows
+	}
+	return s.saveTableNextGen(t, chunkRows)
+}
+
+// withChunkValues returns a view of the store writing chunkRows-value
+// chunks (sharing the directory, pool and fault hook).
+func (s *Store) withChunkValues(chunkRows int) *Store {
+	if chunkRows == s.chunkValues {
+		return s
+	}
+	return &Store{dir: s.dir, chunkValues: chunkRows, pool: s.pool, FaultHook: s.FaultHook}
+}
+
+func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {
+	gen := 0
+	var old *Manifest
+	if m, err := s.readManifest(t.Name); err == nil {
+		old = m
+		gen = m.Gen + 1
+	}
+	w := s.withChunkValues(chunkRows)
+	m := Manifest{Table: t.Name, Rows: t.N, ChunkRows: chunkRows, Gen: gen}
 	for _, col := range t.Cols {
 		cm := ColumnManifest{Name: col.Name, Type: col.Typ.String(), Enum: col.IsEnum()}
 		key := t.Name + "." + col.Name
 		var err error
 		switch {
 		case col.IsEnum():
-			cm.Chunks, err = s.writeCodes(key, col)
+			cm.Chunks, err = w.writeCodes(key, gen, col)
 			if col.Dict.Typ == vector.Float64 {
 				cm.DictF64 = col.Dict.F64s
 			} else {
 				cm.DictStr = col.Dict.Values
 			}
 		default:
-			cm.Chunks, err = s.writePlain(key, col, &cm)
+			cm.Chunks, err = w.writePlain(key, gen, col, &cm)
 		}
 		if err != nil {
 			return fmt.Errorf("columnbm: save %s: %w", key, err)
 		}
 		m.Columns = append(m.Columns, cm)
 	}
-	data, err := json.MarshalIndent(&m, "", "  ")
-	if err != nil {
+	if err := s.writeManifest(&m); err != nil {
 		return err
 	}
-	return os.WriteFile(manifestPath(s.dir, t.Name), data, 0o644)
+	if old != nil && old.Gen != gen {
+		s.removeGeneration(old)
+	}
+	return nil
+}
+
+// removeGeneration deletes the chunk files of a superseded manifest
+// generation (best-effort: the files are unreferenced once the new manifest
+// is committed, so failures only leave orphans behind).
+func (s *Store) removeGeneration(old *Manifest) {
+	for _, cm := range old.Columns {
+		key := old.Table + "." + cm.Name
+		for i := 0; i < cm.Chunks; i++ {
+			path := s.chunkPath(key, old.Gen, i)
+			s.pool.Invalidate(path)
+			os.Remove(path)
+		}
+	}
 }
 
 // LoadTable reads a table previously written with SaveTable, fully
@@ -107,7 +309,7 @@ func (s *Store) LoadTable(name string) (*colstore.Table, error) {
 		}
 		key := m.Table + "." + cm.Name
 		if cm.Enum {
-			codes, err := s.ReadInt64Column(key, cm.Chunks)
+			codes, err := s.readInt64Chunks(key, m.Gen, cm.Chunks)
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +332,7 @@ func (s *Store) LoadTable(name string) (*colstore.Table, error) {
 			}
 			continue
 		}
-		if err := s.loadPlain(t, key, cm, typ); err != nil {
+		if err := s.loadPlain(t, key, m.Gen, cm, typ); err != nil {
 			return nil, err
 		}
 	}
@@ -186,7 +388,7 @@ func (s *Store) strChunkStats(vals []string, cm *ColumnManifest) {
 	}
 }
 
-func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest) (int, error) {
+func (s *Store) writePlain(key string, gen int, col *colstore.Column, cm *ColumnManifest) (int, error) {
 	switch d := col.Data().(type) {
 	case []int32:
 		vals := make([]int64, len(d))
@@ -194,16 +396,16 @@ func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest)
 			vals[i] = int64(v)
 		}
 		s.int64ChunkStats(vals, cm)
-		return s.WriteInt64Column(key, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals)
 	case []int64:
 		s.int64ChunkStats(d, cm)
-		return s.WriteInt64Column(key, d)
+		return s.writeInt64Chunks(key, gen, 0, d)
 	case []float64:
 		s.f64ChunkStats(d, cm)
-		return s.WriteFloat64Column(key, d)
+		return s.writeFloat64Chunks(key, gen, 0, d)
 	case []string:
 		s.strChunkStats(d, cm)
-		return s.writeStringChunks(key, d, &cm.ChunkDictCard)
+		return s.writeStringChunks(key, gen, 0, d, &cm.ChunkDictCard)
 	case []bool:
 		vals := make([]int64, len(d))
 		for i, v := range d {
@@ -211,35 +413,35 @@ func (s *Store) writePlain(key string, col *colstore.Column, cm *ColumnManifest)
 				vals[i] = 1
 			}
 		}
-		return s.WriteInt64Column(key, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals)
 	default:
 		return 0, fmt.Errorf("unsupported column payload %T", d)
 	}
 }
 
-func (s *Store) writeCodes(key string, col *colstore.Column) (int, error) {
+func (s *Store) writeCodes(key string, gen int, col *colstore.Column) (int, error) {
 	switch codes := col.Data().(type) {
 	case []uint8:
 		vals := make([]int64, len(codes))
 		for i, c := range codes {
 			vals[i] = int64(c)
 		}
-		return s.WriteInt64Column(key, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals)
 	case []uint16:
 		vals := make([]int64, len(codes))
 		for i, c := range codes {
 			vals[i] = int64(c)
 		}
-		return s.WriteInt64Column(key, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals)
 	default:
 		return 0, fmt.Errorf("unsupported code payload %T", codes)
 	}
 }
 
-func (s *Store) loadPlain(t *colstore.Table, key string, cm ColumnManifest, typ vector.Type) error {
+func (s *Store) loadPlain(t *colstore.Table, key string, gen int, cm ColumnManifest, typ vector.Type) error {
 	switch typ.Physical() {
 	case vector.Int32:
-		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		raw, err := s.readInt64Chunks(key, gen, cm.Chunks)
 		if err != nil {
 			return err
 		}
@@ -249,25 +451,25 @@ func (s *Store) loadPlain(t *colstore.Table, key string, cm ColumnManifest, typ 
 		}
 		return t.AddColumn(cm.Name, typ, vals)
 	case vector.Int64:
-		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		raw, err := s.readInt64Chunks(key, gen, cm.Chunks)
 		if err != nil {
 			return err
 		}
 		return t.AddColumn(cm.Name, typ, raw)
 	case vector.Float64:
-		raw, err := s.ReadFloat64Column(key, cm.Chunks)
+		raw, err := s.readFloat64Chunks(key, gen, cm.Chunks)
 		if err != nil {
 			return err
 		}
 		return t.AddColumn(cm.Name, typ, raw)
 	case vector.String:
-		raw, err := s.ReadStringColumn(key, cm.Chunks)
+		raw, err := s.readStringChunks(key, gen, cm.Chunks)
 		if err != nil {
 			return err
 		}
 		return t.AddColumn(cm.Name, typ, raw)
 	case vector.Bool:
-		raw, err := s.ReadInt64Column(key, cm.Chunks)
+		raw, err := s.readInt64Chunks(key, gen, cm.Chunks)
 		if err != nil {
 			return err
 		}

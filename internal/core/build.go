@@ -22,31 +22,30 @@ func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 	if opts.parallelism() > 1 {
 		// Absorb pending insert deltas into base fragments so scans
 		// partition (row ids are preserved; see delta.Store.Checkpoint).
-		if err := checkpointPending(db, plan); err != nil {
-			return nil, err
-		}
+		checkpointPending(db, plan)
 		return buildParallel(db, plan, opts)
 	}
 	return build(db, plan, opts)
 }
 
 // checkpointPending checkpoints the insert delta of every table scanned by
-// the plan. Tables whose checkpoint is declined (dictionary overflow) keep
-// their deltas and compile to the serial merged scan.
-func checkpointPending(db *Database, plan algebra.Node) error {
+// the plan. Tables whose checkpoint is declined (dictionary overflow) or
+// fails (e.g. the chunk directory of a disk-attached table is not
+// writable) keep their deltas and compile to the serial merged scan — the
+// implicit checkpoint is a performance optimization and must never turn a
+// readable database unqueryable; the durable-write contract belongs to the
+// explicit Checkpoint call, which does surface errors. Tables with no
+// pending inserts are never checkpointed here, so a parallel query over a
+// read-only attached directory performs no writes at all.
+func checkpointPending(db *Database, plan algebra.Node) {
 	if sc, ok := plan.(*algebra.Scan); ok {
 		if ds, err := db.Delta(sc.Table); err == nil && ds.NumDeltaRows() > 0 {
-			if _, err := db.Checkpoint(sc.Table); err != nil {
-				return err
-			}
+			_, _ = db.Checkpoint(sc.Table)
 		}
 	}
 	for _, ch := range plan.Children() {
-		if err := checkpointPending(db, ch); err != nil {
-			return err
-		}
+		checkpointPending(db, ch)
 	}
-	return nil
 }
 
 func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {

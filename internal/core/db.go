@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"x100/internal/colstore"
+	"x100/internal/columnbm"
 	"x100/internal/delta"
 	"x100/internal/sindex"
 	"x100/internal/vector"
@@ -28,6 +29,19 @@ type Database struct {
 	sumF64 map[string]map[string]*sindex.Summary[float64]
 	// rangeIdx: fetched-table -> referenced-table -> range index.
 	rangeIdx map[string]map[string]*sindex.RangeIndex
+	// disk: tables attached from a ColumnBM directory, with the store they
+	// came from (the checkpoint write-back target) and how many deletions
+	// the committed manifest already records.
+	disk map[string]*diskAttachment
+}
+
+type diskAttachment struct {
+	store *columnbm.Store
+	// persistedDel is the size of the deletion list in the committed
+	// manifest; checkpoints only rewrite the manifest when the list (or the
+	// insert delta) has grown past it. Deletion lists only grow, so the
+	// count identifies the persisted set.
+	persistedDel int
 }
 
 // NewDatabase creates a database over an empty catalog.
@@ -38,13 +52,19 @@ func NewDatabase() *Database {
 		sumI32:   make(map[string]map[string]*sindex.Summary[int32]),
 		sumF64:   make(map[string]map[string]*sindex.Summary[float64]),
 		rangeIdx: make(map[string]map[string]*sindex.RangeIndex),
+		disk:     make(map[string]*diskAttachment),
 	}
 }
 
-// AddTable registers a table and creates its delta store.
+// AddTable registers a table and creates its delta store. Re-registering a
+// name drops any disk attachment recorded under it: the new table is not
+// the one the old chunk directory describes, so checkpoints must not write
+// back there (AttachDiskTable re-records its attachment after calling
+// this).
 func (db *Database) AddTable(t *colstore.Table) {
 	db.Catalog.Add(t)
 	db.deltas[t.Name] = delta.NewStore(t)
+	delete(db.disk, t.Name)
 }
 
 // Table returns the named base table.
@@ -66,15 +86,23 @@ func (db *Database) Delta(name string) (*delta.Store, error) {
 	return d, nil
 }
 
-// Checkpoint absorbs a table's pending insert delta into new in-memory
-// base fragments (preserving row ids; the deletion list survives) and
-// refreshes any summary indices over the grown base. done=false means the
-// delta store declined (an enum dictionary outgrew its code width) and the
-// table keeps its deltas.
+// Checkpoint absorbs a table's pending insert delta into new base
+// fragments (preserving row ids; the deletion list survives) and refreshes
+// any summary indices over the grown base. For a table attached from a
+// ColumnBM directory the checkpoint is durable: the delta is written back
+// to the directory as new compressed chunks, the deletion list is recorded,
+// and the manifest is extended atomically — re-attaching after a restart
+// sees every checkpointed row and deletion. The new chunks re-attach to the
+// live table as lazily decoded disk fragments, so the table stays within
+// bounded memory. done=false means the delta store declined (an enum
+// dictionary outgrew its code width) and the table keeps its deltas.
 func (db *Database) Checkpoint(table string) (bool, error) {
 	ds, err := db.Delta(table)
 	if err != nil {
 		return false, err
+	}
+	if att := db.disk[table]; att != nil {
+		return db.checkpointDisk(table, ds, att)
 	}
 	if ds.NumDeltaRows() == 0 {
 		return true, nil
@@ -83,17 +111,94 @@ func (db *Database) Checkpoint(table string) (bool, error) {
 	if err != nil || !done {
 		return done, err
 	}
+	return true, db.refreshSummaries(table)
+}
+
+// checkpointDisk is the durable checkpoint of a disk-attached table: write
+// the delta back through the store, then re-attach the new chunks.
+func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttachment) (bool, error) {
+	if ds.NumDeltaRows() == 0 && ds.NumDeleted() == att.persistedDel {
+		// Read-only (or already fully persisted) table: a checkpoint is a
+		// no-op and must not touch the directory.
+		return true, nil
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return false, err
+	}
+	parts, done, err := ds.Parts()
+	if err != nil || !done {
+		return done, err
+	}
+	frags, err := att.store.AppendTable(t, parts, ds.SortedDeleted())
+	if err != nil {
+		// Nothing was committed (the manifest rename is the single commit
+		// point), so the delta stays pending and scans remain correct.
+		return false, err
+	}
+	if parts != nil {
+		if err := t.AppendFragments(frags); err != nil {
+			return false, err
+		}
+		ds.ClearInserts()
+	}
+	att.persistedDel = ds.NumDeleted()
+	return true, db.refreshSummaries(table)
+}
+
+// refreshSummaries rebuilds the summary indices registered over a table
+// (after its base fragments changed).
+func (db *Database) refreshSummaries(table string) error {
 	for col, si := range db.sumI32[table] {
 		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
-			return false, err
+			return err
 		}
 	}
 	for col, si := range db.sumF64[table] {
 		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
-			return false, err
+			return err
 		}
 	}
-	return true, nil
+	return nil
+}
+
+// Reorganize rewrites a table's base to absorb all deltas: deleted rows are
+// dropped, delta rows appended, enum columns re-encoded. For a disk-attached
+// table the compacted result is also written back to the ColumnBM directory
+// as a fresh chunk-file generation (committed by one atomic manifest
+// rename, with the persisted deletion list cleared) and re-attached
+// fragment-backed, so the table keeps scanning off disk chunks within
+// bounded memory. Summary indices and enum dictionary mapping tables are
+// rebuilt; positional join indices over the table are NOT adjusted — as
+// with the in-memory Reorganize, callers re-derive them when row ids moved.
+func (db *Database) Reorganize(table string) error {
+	ds, err := db.Delta(table)
+	if err != nil {
+		return err
+	}
+	if err := ds.Reorganize(); err != nil {
+		return err
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if att := db.disk[table]; att != nil {
+		if err := att.store.RewriteTable(t); err != nil {
+			return err
+		}
+		// Swap the memory-resident rewrite for the freshly attached
+		// fragment-backed version (same *Table identity: the delta store
+		// and catalog keep their pointers).
+		nt, err := att.store.AttachTable(table)
+		if err != nil {
+			return err
+		}
+		t.Cols, t.N, t.ChunkRows = nt.Cols, nt.N, nt.ChunkRows
+		att.persistedDel = 0
+	}
+	registerDictTables(db, t)
+	return db.refreshSummaries(table)
 }
 
 // TableSchema implements algebra.Resolver.

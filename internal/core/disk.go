@@ -11,28 +11,49 @@ import (
 // through the store's buffer pool instead of materializing columns. Enum
 // dictionaries from the manifest are registered as "<column>#dict" mapping
 // tables so plans can group on codes and rehydrate values with a
-// Fetch1Join, exactly as for generated in-memory tables.
+// Fetch1Join, exactly as for generated in-memory tables. The store is
+// remembered as the table's write-back target — Checkpoint writes deltas
+// back to the directory and Reorganize rewrites it — and the deletion list
+// persisted by earlier checkpoints is restored into the table's delta
+// store, so an attach after a restart recovers the full committed state.
 func AttachDiskTable(db *Database, store *columnbm.Store, name string) (*colstore.Table, error) {
 	t, err := store.AttachTable(name)
 	if err != nil {
 		return nil, err
 	}
+	m, err := store.ReadManifest(name)
+	if err != nil {
+		return nil, err
+	}
 	db.AddTable(t)
+	db.disk[name] = &diskAttachment{store: store, persistedDel: len(m.Deleted)}
+	if len(m.Deleted) > 0 {
+		ds, err := db.Delta(name)
+		if err != nil {
+			return nil, err
+		}
+		ds.RestoreDeleted(m.Deleted)
+	}
+	registerDictTables(db, t)
+	return t, nil
+}
+
+// registerDictTables (re-)registers the "<column>#dict" mapping tables of a
+// table's enum columns: single-column value tables the plan layer
+// Fetch1Joins against to rehydrate enum codes. Re-registration replaces
+// stale mappings after a Reorganize re-encoded the dictionaries.
+func registerDictTables(db *Database, t *colstore.Table) {
 	for _, c := range t.Cols {
 		if !c.IsEnum() {
 			continue
 		}
 		dt := colstore.NewTable(c.Name + DictSuffix)
 		if c.Dict.Typ == vector.Float64 {
-			if err := dt.AddColumn("value", vector.Float64, append([]float64(nil), c.Dict.F64s...)); err != nil {
-				return nil, err
-			}
+			// AddColumn over fresh copies cannot fail (single column).
+			_ = dt.AddColumn("value", vector.Float64, append([]float64(nil), c.Dict.F64s...))
 		} else {
-			if err := dt.AddColumn("value", vector.String, append([]string(nil), c.Dict.Values...)); err != nil {
-				return nil, err
-			}
+			_ = dt.AddColumn("value", vector.String, append([]string(nil), c.Dict.Values...))
 		}
 		db.AddTable(dt)
 	}
-	return t, nil
 }

@@ -14,7 +14,11 @@ import (
 // fetch1JoinOp fetches columns of a referenced table positionally by row id
 // (Section 4.1.2): the vectorized inner loop is a gather through the row-id
 // vector. Enum columns decode through their dictionary in the same pass
-// (double indirection: dict[codes[rowid]]).
+// (double indirection: dict[codes[rowid]]). Disk-backed columns are never
+// pinned: each fetched column gathers through a colstore.FragLocator that
+// resolves row ids to (fragment, offset) by binary search over the
+// fragment grid and holds at most a small LRU of decoded chunks, so fetch
+// joins against directories larger than RAM stay within bounded memory.
 type fetch1JoinOp struct {
 	input   Operator
 	node    *algebra.Fetch1Join
@@ -24,6 +28,8 @@ type fetch1JoinOp struct {
 	rowPass int // input column index when RowID is a plain column
 	opts    ExecOptions
 	schema  vector.Schema
+	cols    []*colstore.Column
+	locs    []*colstore.FragLocator
 	bufs    []*vector.Vector
 }
 
@@ -59,12 +65,7 @@ func newFetch1JoinOp(db *Database, input Operator, node *algebra.Fetch1Join, opt
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
 		}
-		// Positional fetches need random access: pin disk-backed columns
-		// now, while plan construction is still single-threaded, so the
-		// per-batch gather reads an immutable materialized slice.
-		if _, err := c.Pin(); err != nil {
-			return nil, err
-		}
+		op.cols = append(op.cols, c)
 		name := cname
 		if i < len(node.As) && node.As[i] != "" {
 			name = node.As[i]
@@ -80,9 +81,14 @@ func (op *fetch1JoinOp) Open() error {
 	if err := op.input.Open(); err != nil {
 		return err
 	}
-	op.bufs = make([]*vector.Vector, len(op.node.Cols))
-	for i, cname := range op.node.Cols {
-		op.bufs[i] = vector.New(op.table.Col(cname).Typ, 0)
+	op.bufs = make([]*vector.Vector, len(op.cols))
+	op.locs = make([]*colstore.FragLocator, len(op.cols))
+	for i, c := range op.cols {
+		op.bufs[i] = vector.New(c.Typ, 0)
+		// One locator per fetched column per operator instance: parallel
+		// plans build one fetch op per worker, so locators (like readers)
+		// are single-goroutine by construction.
+		op.locs[i] = c.Locator(0)
 	}
 	return nil
 }
@@ -104,8 +110,7 @@ func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
 	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, 0, len(op.schema)), Sel: b.Sel, N: b.N}
 	out.Vecs = append(out.Vecs, b.Vecs...)
 	hasDelta := op.dstore.NumDeltaRows() > 0
-	for ci, cname := range op.node.Cols {
-		col := op.table.Col(cname)
+	for ci, col := range op.cols {
 		dst := op.bufs[ci]
 		if dst.Len() < b.N {
 			dst = vector.New(col.Typ, b.N)
@@ -115,9 +120,12 @@ func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
 		v.Typ = col.Typ
 		tr := op.opts.Tracer.Now()
 		if hasDelta {
-			op.fetchWithDelta(v, col, ids, b.Sel, b.N)
+			err = op.fetchWithDelta(v, ci, ids, b.Sel, b.N)
 		} else {
-			fetchColumn(v, col, ids, b.Sel, b.N)
+			err = op.locs[ci].Gather(v, ids, b.Sel, b.N)
+		}
+		if err != nil {
+			return nil, err
 		}
 		op.opts.Tracer.RecordPrimitiveSince(
 			fmt.Sprintf("map_fetch_sint_col_%s_col", typeAbbrevCore(col.Typ)),
@@ -130,13 +138,10 @@ func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
 
 // FetchColumn gathers col values (decoding enums) at the given row ids into
 // dst, for the live positions. It is exported for the baseline engines,
-// which perform the same positional joins on whole columns.
+// which perform the same positional joins on whole pinned columns; the
+// vectorized fetch operators gather through FragLocators instead and never
+// pin.
 func FetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
-	fetchColumn(dst, col, ids, sel, n)
-}
-
-// fetchColumn gathers col values at the given row ids into dst.
-func fetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
 	if col.IsEnum() {
 		fetchEnum(dst, col, ids, sel, n)
 		return
@@ -206,9 +211,13 @@ func enumGather[T any, C uint8 | uint16](dst []T, base []T, codes []C, ids []int
 }
 
 // fetchWithDelta is the slow path when the referenced table has pending
-// inserts: row ids at or beyond the base fragment resolve into the delta.
-func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+// inserts: row ids at or beyond the base fragments resolve into the delta,
+// base ids resolve value-at-a-time through the column's locator (still
+// never pinning).
+func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, ci int, ids []int32, sel []int32, n int) error {
 	baseN := op.table.N
+	col := op.cols[ci]
+	loc := op.locs[ci]
 	ti := 0
 	for i, c := range op.table.Cols {
 		if c == col {
@@ -216,26 +225,37 @@ func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, col *colstore.Column,
 			break
 		}
 	}
-	get := func(id int32) any {
+	get := func(id int32) (any, error) {
 		if int(id) < baseN {
-			return col.DecodedValue(int(id))
+			return loc.Value(int(id))
 		}
-		return op.dstore.DeltaValue(ti, int(id)-baseN)
+		return op.dstore.DeltaValue(ti, int(id)-baseN), nil
 	}
 	if sel != nil {
 		for _, i := range sel {
-			dst.Set(int(i), get(ids[i]))
+			v, err := get(ids[i])
+			if err != nil {
+				return err
+			}
+			dst.Set(int(i), v)
 		}
-		return
+		return nil
 	}
 	for i := 0; i < n; i++ {
-		dst.Set(i, get(ids[i]))
+		v, err := get(ids[i])
+		if err != nil {
+			return err
+		}
+		dst.Set(i, v)
 	}
+	return nil
 }
 
 // fetchNJoinOp expands each input row into the contiguous range of
 // referenced-table rows given by a range index, fetching columns
-// positionally (the FetchNJoin of Section 4.1.2).
+// positionally (the FetchNJoin of Section 4.1.2). Like Fetch1Join it
+// gathers through per-column FragLocators, so disk-backed fetch targets
+// decode at most a few chunks at a time instead of pinning.
 type fetchNJoinOp struct {
 	input    Operator
 	node     *algebra.FetchNJoin
@@ -244,6 +264,8 @@ type fetchNJoinOp struct {
 	opts     ExecOptions
 	schema   vector.Schema
 	rangeCol int
+	cols     []*colstore.Column
+	locs     []*colstore.FragLocator
 
 	curBatch  *vector.Batch
 	lastBatch *vector.Batch
@@ -282,11 +304,7 @@ func newFetchNJoinOp(db *Database, input Operator, node *algebra.FetchNJoin, opt
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
 		}
-		// Pin disk-backed fetch targets at (serial) construction time, as
-		// in newFetch1JoinOp.
-		if _, err := c.Pin(); err != nil {
-			return nil, err
-		}
+		op.cols = append(op.cols, c)
 		name := cname
 		if i < len(node.As) && node.As[i] != "" {
 			name = node.As[i]
@@ -305,6 +323,10 @@ func (op *fetchNJoinOp) Open() error {
 	bs := op.opts.batchSize()
 	op.leftIdx = make([]int32, 0, bs)
 	op.fetchIdx = make([]int32, 0, bs)
+	op.locs = make([]*colstore.FragLocator, len(op.cols))
+	for i, c := range op.cols {
+		op.locs[i] = c.Locator(0)
+	}
 	return op.input.Open()
 }
 
@@ -368,10 +390,11 @@ func (op *fetchNJoinOp) Next() (*vector.Batch, error) {
 		v.Typ = op.schema[c].Type
 		out.Vecs[c] = v
 	}
-	for i, cname := range op.node.Cols {
-		col := op.table.Col(cname)
+	for i, col := range op.cols {
 		v := vector.New(col.Typ, k)
-		fetchColumn(v, col, op.fetchIdx, nil, k)
+		if err := op.locs[i].Gather(v, op.fetchIdx, nil, k); err != nil {
+			return nil, err
+		}
 		v.Typ = col.Typ
 		out.Vecs[nl+i] = v
 	}

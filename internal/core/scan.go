@@ -30,6 +30,9 @@ type scanCol struct {
 	// reader streams the column's base fragments, materializing at most
 	// one (decompressed ColumnBM chunk or in-memory slice) at a time.
 	reader *colstore.FragReader
+	// loc resolves single row ids on the merged delta path without pinning
+	// (built lazily: most scans never need it).
+	loc *colstore.FragLocator
 	// decode buffer for enum columns read logically.
 	buf *vector.Vector
 }
@@ -256,7 +259,8 @@ func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) (*vector.Vector, error) {
 // nextMerged is the delta-aware scan path: base rows minus the deletion
 // list, then insert-delta rows minus deletions. It is value-at-a-time; the
 // paper keeps deltas small (a small percentile of the table) before
-// reorganizing, so this path never dominates.
+// reorganizing, so this path never dominates. Base values resolve through
+// per-column FragLocators, so even this path never pins disk columns.
 func (s *scanOp) nextMerged() (*vector.Batch, error) {
 	bs := s.opts.batchSize()
 	baseN := s.table.N
@@ -282,17 +286,26 @@ func (s *scanOp) nextMerged() (*vector.Batch, error) {
 	b := &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols)), N: len(rows)}
 	for ci := range s.cols {
 		sc := &s.cols[ci]
+		if sc.col != nil && sc.loc == nil {
+			sc.loc = sc.col.Locator(0)
+		}
 		v := vector.New(sc.typ, len(rows))
 		for j, r := range rows {
 			switch {
 			case sc.isRowID:
 				v.Int32s()[j] = r.id
 			case int(r.id) < baseN:
+				var val any
+				var err error
 				if sc.rawCode {
-					v.Set(j, vector.FromAny(sc.col.PhysType(), sc.col.Data()).Value(int(r.id)))
+					val, err = sc.loc.PhysValue(int(r.id))
 				} else {
-					v.Set(j, sc.col.DecodedValue(int(r.id)))
+					val, err = sc.loc.Value(int(r.id))
 				}
+				if err != nil {
+					return nil, err
+				}
+				v.Set(j, val)
 			default:
 				val := s.deltaValue(sc, int(r.id)-baseN)
 				v.Set(j, val)

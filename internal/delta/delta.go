@@ -234,19 +234,20 @@ func (s *Store) DeltaFraction() float64 {
 	return float64(s.nIns+len(s.deleted)) / float64(s.table.N)
 }
 
-// Checkpoint appends the insert delta as one new in-memory base fragment
-// per column and clears it. Row ids are preserved: delta row baseN+j simply
-// becomes base row baseN+j, so the deletion list and any materialized join
-// indices stay valid. Enum inserts are encoded through the (append-only)
-// dictionary; done=false is returned without changes when a dictionary has
+// Parts encodes the insert delta as one slice per column in the column's
+// physical representation (enum inserts encode through the append-only
+// dictionary), without clearing the delta: the checkpoint paths hand the
+// parts either to Table.AppendFragment (in-memory) or to the ColumnBM
+// write-back (disk), then call ClearInserts once the rows are durably part
+// of the base. done=false is returned without changes when a dictionary has
 // outgrown its column's code width — callers fall back to the merged scan
-// or a full Reorganize.
-func (s *Store) Checkpoint() (done bool, err error) {
+// or a full Reorganize. With no pending inserts it returns (nil, true, nil).
+func (s *Store) Parts() (parts []any, done bool, err error) {
 	if s.nIns == 0 {
-		return true, nil
+		return nil, true, nil
 	}
 	t := s.table
-	parts := make([]any, len(t.Cols))
+	parts = make([]any, len(t.Cols))
 	for ci, col := range t.Cols {
 		dc := &s.ins[ci]
 		if col.IsEnum() {
@@ -261,7 +262,7 @@ func (s *Store) Checkpoint() (done bool, err error) {
 			switch col.PhysType() {
 			case vector.UInt8:
 				if col.Dict.Len() > 256 {
-					return false, nil
+					return nil, false, nil
 				}
 				c8 := make([]uint8, s.nIns)
 				for j, c := range codes {
@@ -270,7 +271,7 @@ func (s *Store) Checkpoint() (done bool, err error) {
 				parts[ci] = c8
 			case vector.UInt16:
 				if col.Dict.Len() > 65536 {
-					return false, nil
+					return nil, false, nil
 				}
 				c16 := make([]uint16, s.nIns)
 				for j, c := range codes {
@@ -278,12 +279,12 @@ func (s *Store) Checkpoint() (done bool, err error) {
 				}
 				parts[ci] = c16
 			default:
-				return false, fmt.Errorf("delta: enum column %s has code type %v", col.Name, col.PhysType())
+				return nil, false, fmt.Errorf("delta: enum column %s has code type %v", col.Name, col.PhysType())
 			}
 			continue
 		}
 		// Plain columns hand their delta slice over as the new fragment;
-		// the reset below releases ownership.
+		// ClearInserts releases ownership.
 		switch dc.physical {
 		case vector.Bool:
 			parts[ci] = dc.bools
@@ -301,13 +302,44 @@ func (s *Store) Checkpoint() (done bool, err error) {
 			parts[ci] = dc.strs
 		}
 	}
-	if err := t.AppendFragment(parts); err != nil {
-		return false, err
-	}
+	return parts, true, nil
+}
+
+// ClearInserts drops the insert delta (after the caller has absorbed the
+// Parts into base fragments). The deletion list is untouched.
+func (s *Store) ClearInserts() {
 	for i := range s.ins {
 		s.ins[i] = deltaCol{name: s.ins[i].name, typ: s.ins[i].typ, physical: s.ins[i].physical}
 	}
 	s.nIns = 0
+}
+
+// RestoreDeleted seeds the deletion list from a persisted manifest
+// (attach-time recovery of a disk table's checkpointed deletions).
+func (s *Store) RestoreDeleted(ids []int32) {
+	for _, id := range ids {
+		if int(id) >= 0 && int(id) < s.table.N+s.nIns {
+			s.deleted[id] = struct{}{}
+		}
+	}
+}
+
+// Checkpoint appends the insert delta as one new in-memory base fragment
+// per column and clears it. Row ids are preserved: delta row baseN+j simply
+// becomes base row baseN+j, so the deletion list and any materialized join
+// indices stay valid. done=false is returned without changes when a
+// dictionary has outgrown its column's code width (see Parts). Disk-backed
+// tables checkpoint through core.Database.Checkpoint instead, which routes
+// the same Parts into a ColumnBM write-back so the rows survive restarts.
+func (s *Store) Checkpoint() (done bool, err error) {
+	parts, done, err := s.Parts()
+	if err != nil || !done || parts == nil {
+		return done, err
+	}
+	if err := s.table.AppendFragment(parts); err != nil {
+		return false, err
+	}
+	s.ClearInserts()
 	return true, nil
 }
 

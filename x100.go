@@ -37,8 +37,24 @@
 // (summary-index-style, Section 4.3) with no in-memory index. See
 // docs/ARCHITECTURE.md for the end-to-end tour and docs/STORAGE_FORMAT.md
 // for the on-disk format.
-// Positional operators (Fetch1Join/FetchNJoin) and the baseline engines
-// pin (fully materialize) the disk columns they touch at plan construction.
+// Positional operators (Fetch1Join/FetchNJoin) gather through per-column
+// fragment locators — binary search over the fragment grid plus a small
+// LRU of decoded chunks — so fetch joins against disk tables also run in
+// bounded memory; only the baseline engines still pin (fully materialize)
+// the disk columns they touch.
+//
+// # Durable updates
+//
+// Inserts, deletes and updates accumulate in per-table deltas (Insert,
+// Delete, Update). On a disk-attached table, Checkpoint writes the insert
+// delta back to the chunk directory as new compressed chunks and records
+// the deletion list, committing with one atomic manifest rename: AttachDisk
+// after a restart recovers every checkpointed row and deletion, and a
+// crash mid-checkpoint leaves exactly the previous committed state.
+// Reorganize rewrites the directory into a fresh chunk-file generation,
+// compacting deletions and re-encoding enums. A read-only attached table is
+// never written: implicit checkpoints before parallel scans are no-ops
+// unless inserts are pending.
 //
 // # Parallel execution
 //
@@ -293,13 +309,14 @@ func (db *DB) DeltaFraction(table string) (float64, error) {
 	return ds.DeltaFraction(), nil
 }
 
-// Reorganize absorbs a table's deltas into its base fragments.
+// Reorganize absorbs a table's deltas into its base fragments: deleted rows
+// are dropped, delta rows appended, enum columns re-encoded. A disk-attached
+// table (AttachDisk/CreateDiskTable) is additionally rewritten on disk — a
+// fresh generation of compressed chunk files committed by one atomic
+// manifest rename, compacting checkpointed deletions away — and re-attached
+// fragment-backed, so it keeps scanning off disk chunks in bounded memory.
 func (db *DB) Reorganize(table string) error {
-	ds, err := db.inner.Delta(table)
-	if err != nil {
-		return err
-	}
-	return ds.Reorganize()
+	return db.inner.Reorganize(table)
 }
 
 // Delta exposes a table's delta store.
