@@ -34,7 +34,10 @@ func (db *DB) CreateDiskTable(dir, name string, cols ...ColumnData) error {
 // count and per-codec usage for disk-backed columns, or a single "memory"
 // fragment for resident columns. CompressedBytes/RawBytes give the
 // compression ratio; DictCard is the largest per-chunk dictionary
-// cardinality of dict-coded string chunks (0 when none are dict-coded).
+// cardinality of dict-coded string chunks (0 when none are dict-coded);
+// MergedDict is the cardinality of the table-level merged dictionary built
+// at attach time (0 when the column has none) — columns with one execute
+// string predicates, group-bys and join keys in the code domain.
 type ColumnStorage struct {
 	Name            string
 	Type            string
@@ -44,6 +47,7 @@ type ColumnStorage struct {
 	RawBytes        int64
 	CompressedBytes int64
 	DictCard        int
+	MergedDict      int
 }
 
 // Storage reports per-column storage details of a table (the shell's
@@ -54,12 +58,20 @@ func (db *DB) Storage(table string) ([]ColumnStorage, error) {
 		if err != nil {
 			return nil, err
 		}
+		live, _ := db.inner.Table(table)
 		out := make([]ColumnStorage, len(cols))
 		for i, c := range cols {
 			out[i] = ColumnStorage{
 				Name: c.Name, Type: c.Type, Enum: c.Enum, Chunks: c.Chunks,
 				Codecs: c.Codecs, RawBytes: c.RawBytes, CompressedBytes: c.CompressedBytes,
 				DictCard: c.DictCard,
+			}
+			if live != nil {
+				if lc := live.Col(c.Name); lc != nil {
+					if md := lc.MergedDict(); md != nil {
+						out[i].MergedDict = md.Len()
+					}
+				}
 			}
 		}
 		return out, nil
@@ -81,10 +93,12 @@ func (db *DB) Storage(table string) ([]ColumnStorage, error) {
 
 // FormatStorage renders a Storage report as an aligned text table. The
 // "dict" column shows the largest per-chunk dictionary cardinality of
-// dict-coded string chunks ("-" when no chunk is dict-coded).
+// dict-coded string chunks ("-" when no chunk is dict-coded); "mdict"
+// shows the table-level merged-dictionary cardinality of columns that
+// execute in the code domain ("-" when the column has none).
 func FormatStorage(cols []ColumnStorage) string {
-	out := fmt.Sprintf("%-18s %-8s %7s %-16s %6s %12s %12s %7s\n",
-		"column", "type", "chunks", "codecs", "dict", "raw", "compressed", "ratio")
+	out := fmt.Sprintf("%-18s %-8s %7s %-16s %6s %6s %12s %12s %7s\n",
+		"column", "type", "chunks", "codecs", "dict", "mdict", "raw", "compressed", "ratio")
 	for _, c := range cols {
 		typ := c.Type
 		if c.Enum {
@@ -98,10 +112,15 @@ func FormatStorage(cols []ColumnStorage) string {
 		if c.DictCard > 0 {
 			card = fmt.Sprintf("%d", c.DictCard)
 		}
-		out += fmt.Sprintf("%-18s %-8s %7d %-16s %6s %12d %12d %6.2fx\n",
-			c.Name, typ, c.Chunks, columnbm.FormatCodecs(c.Codecs), card, c.RawBytes, c.CompressedBytes, ratio)
+		merged := "-"
+		if c.MergedDict > 0 {
+			merged = fmt.Sprintf("%d", c.MergedDict)
+		}
+		out += fmt.Sprintf("%-18s %-8s %7d %-16s %6s %6s %12d %12d %6.2fx\n",
+			c.Name, typ, c.Chunks, columnbm.FormatCodecs(c.Codecs), card, merged, c.RawBytes, c.CompressedBytes, ratio)
 	}
-	return out + "(* = enumeration-compressed; dict = per-chunk dictionary cardinality; raw/compressed in bytes)\n"
+	return out + "(* = enumeration-compressed; dict = per-chunk dictionary cardinality;\n" +
+		" mdict = table-level merged dictionary (code-domain execution); raw/compressed in bytes)\n"
 }
 
 // Checkpoint absorbs a table's pending insert delta into new base

@@ -7,8 +7,8 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, disk, strings, updates, ablation-compound, ablation-enum,
-// ablation-summary, ablation-selvec, all.
+// parallel, disk, strings, updates, compressed, ablation-compound,
+// ablation-enum, ablation-summary, ablation-selvec, all.
 //
 // The disk experiment persists lineitem through the ColumnBM chunk store
 // and compares in-memory, disk-cold, and disk-warm (buffer-pooled) scan
@@ -29,6 +29,14 @@
 // positional fetch joins from disk (chunk-wise, non-pinning) vs memory:
 //
 //	x100bench -exp updates -sf 0.01 -json BENCH_updates.json
+//
+// The compressed experiment persists an enum-free (PlainColumns) lineitem
+// whose low-cardinality string columns land as dict-coded chunks, and
+// measures string-predicate scans and string group-bys with code-domain
+// execution (predicates, group keys, and joins on dictionary codes; late
+// string materialization) against the decode-first baseline, cold and warm:
+//
+//	x100bench -exp compressed -sf 0.01 -json BENCH_compressed.json
 //
 // The parallel experiment measures multi-core scaling of the Q1/Q6
 // scan-aggregate workloads; -parallel selects the worker counts and -json
@@ -139,6 +147,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"updates", func() error {
 			recs, err := bench.Updates(w, db, sf)
+			records = append(records, recs...)
+			return err
+		}},
+		{"compressed", func() error {
+			recs, err := bench.Compressed(w, sf, seed)
 			records = append(records, recs...)
 			return err
 		}},

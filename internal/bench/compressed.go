@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/expr"
+	"x100/internal/tpch"
+)
+
+// compressedChunkValues mirrors the other disk experiments: small enough
+// that every lineitem column spans many chunks at SF=0.01.
+const compressedChunkValues = 1 << 13
+
+// Compressed is the code-domain execution experiment: it persists a
+// PlainColumns (enum-free) TPC-H lineitem through ColumnBM — the
+// low-cardinality string columns (l_shipinstruct, l_shipmode,
+// l_returnflag, l_linestatus) land as dict-coded chunks and attach with
+// table-level merged dictionaries — then measures string-predicate scans
+// and string group-bys with code-domain execution against the decode-first
+// baseline (x100.WithoutCodeDomain), cold (fresh store and buffer pool,
+// re-attached) and warm.
+//
+// Methodology notes: "cold" means a fresh buffer pool, not a dropped OS
+// page cache, so cold numbers measure decompression + engine work rather
+// than disk latency (same caveat as the disk/strings experiments); the
+// attach itself (which builds the merged dictionaries by reading the dict
+// sections of every string chunk) is reported as its own record per mode.
+func Compressed(w io.Writer, sf float64, seed uint64) ([]Record, error) {
+	mem, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed, PlainColumns: true})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "x100compressed")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	wstore, err := columnbm.NewStore(dir, compressedChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := mem.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	if err := wstore.SaveTable(lt); err != nil {
+		return nil, err
+	}
+	nRows := lt.N
+
+	revenue := expr.MulE(expr.SubE(expr.Float(1), expr.C("l_discount")), expr.C("l_extendedprice"))
+	queries := []struct {
+		name string
+		plan algebra.Node
+	}{
+		{"strpred_eq_scan", algebra.NewAggr(
+			algebra.NewSelect(
+				algebra.NewScan("lineitem", "l_shipinstruct", "l_extendedprice"),
+				expr.EQE(expr.C("l_shipinstruct"), expr.Str("DELIVER IN PERSON"))),
+			nil,
+			[]algebra.AggExpr{algebra.Count("n"), algebra.Sum("s", expr.C("l_extendedprice"))})},
+		{"strpred_in_scan", algebra.NewAggr(
+			algebra.NewSelect(
+				algebra.NewScan("lineitem", "l_shipmode", "l_extendedprice"),
+				expr.InE(expr.C("l_shipmode"), expr.Str("AIR"), expr.Str("MAIL"), expr.Str("SHIP"))),
+			nil,
+			[]algebra.AggExpr{algebra.Count("n"), algebra.Sum("s", expr.C("l_extendedprice"))})},
+		{"strgroup_shipmode", algebra.NewOrder(
+			algebra.NewAggr(
+				algebra.NewScan("lineitem", "l_shipmode", "l_extendedprice", "l_discount"),
+				[]algebra.NamedExpr{algebra.NE("l_shipmode", expr.C("l_shipmode"))},
+				[]algebra.AggExpr{algebra.Sum("revenue", revenue), algebra.Count("n")}),
+			algebra.Asc(expr.C("l_shipmode")))},
+		{"strgroup_flag_status", algebra.NewOrder(
+			algebra.NewAggr(
+				algebra.NewScan("lineitem", "l_returnflag", "l_linestatus", "l_quantity"),
+				[]algebra.NamedExpr{
+					algebra.NE("l_returnflag", expr.C("l_returnflag")),
+					algebra.NE("l_linestatus", expr.C("l_linestatus")),
+				},
+				[]algebra.AggExpr{algebra.Sum("sum_qty", expr.C("l_quantity")), algebra.Count("n")}),
+			algebra.Asc(expr.C("l_returnflag")), algebra.Asc(expr.C("l_linestatus")))},
+	}
+
+	fmt.Fprintf(w, "Code-domain vs decode-first execution at SF=%g (chunk=%d values, dir=%s)\n",
+		sf, compressedChunkValues, dir)
+	fmt.Fprintf(w, "%-22s %-14s %12s %14s %10s\n", "query", "mode", "time", "rows/sec", "out rows")
+
+	var recs []Record
+	rowCounts := map[string]int{}
+	for _, mode := range []string{"code", "decode"} {
+		opts := core.DefaultOptions()
+		opts.NoCodeDomain = mode == "decode"
+
+		// Fresh store + attach per mode: the attach cost (merged-dict
+		// construction included) is its own record.
+		t0 := time.Now()
+		store, err := columnbm.NewStore(dir, compressedChunkValues, 0)
+		if err != nil {
+			return nil, err
+		}
+		db := core.NewDatabase()
+		if _, err := core.AttachDiskTable(db, store, "lineitem"); err != nil {
+			return nil, err
+		}
+		attach := time.Since(t0)
+		recs = append(recs, Record{Name: "attach", SF: sf, Mode: mode, NsPerOp: float64(attach.Nanoseconds()), Rows: nRows})
+		fmt.Fprintf(w, "%-22s %-14s %12v\n", "attach", mode, attach.Round(time.Microsecond))
+
+		for _, q := range queries {
+			// Cold: a fresh buffer pool per query so every chunk read misses.
+			coldStore, err := columnbm.NewStore(dir, compressedChunkValues, 0)
+			if err != nil {
+				return nil, err
+			}
+			coldDB := core.NewDatabase()
+			if _, err := core.AttachDiskTable(coldDB, coldStore, "lineitem"); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := core.Run(coldDB, q.plan, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s (%s, cold): %w", q.name, mode, err)
+			}
+			cold := time.Since(start)
+			if prev, ok := rowCounts[q.name]; ok && prev != res.NumRows() {
+				return nil, fmt.Errorf("%s: %s mode returned %d rows, other mode %d", q.name, mode, res.NumRows(), prev)
+			}
+			rowCounts[q.name] = res.NumRows()
+
+			// Warm: repeated runs over the now-populated pool.
+			warm, err := timeIt(200*time.Millisecond, func() error {
+				_, err := core.Run(coldDB, q.plan, opts)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s (%s, warm): %w", q.name, mode, err)
+			}
+			for _, r := range []struct {
+				state string
+				d     time.Duration
+			}{{"cold", cold}, {"warm", warm}} {
+				recs = append(recs, Record{
+					Name: q.name, SF: sf, Mode: mode + "-" + r.state,
+					NsPerOp:    float64(r.d.Nanoseconds()),
+					Rows:       nRows,
+					RowsPerSec: float64(nRows) / r.d.Seconds(),
+				})
+				fmt.Fprintf(w, "%-22s %-14s %12v %14.0f %10d\n",
+					q.name, mode+"-"+r.state, r.d.Round(time.Microsecond),
+					float64(nRows)/r.d.Seconds(), res.NumRows())
+			}
+		}
+	}
+	return recs, nil
+}

@@ -95,6 +95,14 @@ type Column struct {
 
 	// phys is the physical storage type (the code type for enum columns).
 	phys vector.Type
+	// mdict is the table-level merged dictionary of a dict-compressed (but
+	// not enum) string column, built at attach time when every chunk is
+	// dict-coded and the merged cardinality is small enough. The column's
+	// physical type stays String — writes and reorganization are untouched —
+	// but scans can read globally comparable codes (mdictPhys wide) through
+	// FragReader.CodeVector and decode strings only for surviving rows.
+	mdict     *Dict
+	mdictPhys vector.Type
 	// frags are the base fragments; starts[i] is the first global row of
 	// fragment i, starts[len(frags)] == n.
 	frags  []Fragment
@@ -135,11 +143,15 @@ func (c *Column) setFrags(frags []Fragment) {
 }
 
 // appendFrag attaches one more base fragment and invalidates the pin cache.
+// The merged-dictionary view is dropped too: a checkpoint-appended fragment
+// carries its own chunk dictionaries (or none), so the attach-time global
+// code domain no longer covers the column. Re-attaching rebuilds it.
 func (c *Column) appendFrag(f Fragment) {
 	c.frags = append(c.frags, f)
 	c.n += f.Rows()
 	c.starts = append(c.starts, c.n)
 	c.pinned.Store(nil)
+	c.mdict, c.mdictPhys = nil, vector.Unknown
 }
 
 // NumFrags returns the number of base fragments.
@@ -175,45 +187,6 @@ func (c *Column) vecType() vector.Type {
 	return c.Typ
 }
 
-// FragReader streams a column's fragments for sequential scans, keeping at
-// most one materialized fragment (plus one reusable decode buffer)
-// resident — the bounded-memory guarantee of the ColumnBM scan path. A
-// reader is single-goroutine; every scan operator clone owns its own.
-type FragReader struct {
-	col *Column
-	idx int // materialized fragment index, -1 = none
-	cur any // materialized values of fragment idx
-	buf any // caller-owned decode buffer, reused across disk fragments
-}
-
-// Reader creates a fragment reader positioned before the first fragment.
-func (c *Column) Reader() *FragReader { return &FragReader{col: c, idx: -1} }
-
-// Vector returns a typed view of global rows [lo, hi), which must lie
-// within a single fragment (scans clamp batches to fragment boundaries via
-// FragSpan). For enum columns the values are codes.
-func (r *FragReader) Vector(lo, hi int) (*vector.Vector, error) {
-	c := r.col
-	fi := c.fragIndex(lo)
-	fs, fe := c.starts[fi], c.starts[fi+1]
-	if hi > fe {
-		return nil, fmt.Errorf("colstore: column %s: range [%d,%d) crosses fragment boundary %d", c.Name, lo, hi, fe)
-	}
-	if fi != r.idx {
-		data, scratch, err := c.frags[fi].Materialize(r.buf)
-		if err != nil {
-			return nil, fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
-		}
-		r.cur = data
-		r.idx = fi
-		if scratch {
-			// Decode buffers are reusable; fragment-owned storage is not.
-			r.buf = data
-		}
-	}
-	return vector.FromAny(c.vecType(), r.cur).Slice(lo-fs, hi-fs), nil
-}
-
 // Dict is the mapping table of an enumeration column: code -> value. The
 // paper enum-compresses any small-domain column — Table 5 shows the float
 // columns l_discount, l_tax and l_quantity stored as single-byte enums — so
@@ -222,8 +195,25 @@ type Dict struct {
 	Typ    vector.Type // String or Float64
 	Values []string
 	F64s   []float64
+	// Sorted reports that Values is in ascending byte order, making codes
+	// order-isomorphic to the strings they encode: range predicates then
+	// translate exactly into code ranges. Merged dictionaries built at
+	// attach time are sorted; insertion-ordered enum dictionaries are not,
+	// and a sorted dictionary loses the property as soon as a new value is
+	// appended (codes are positional and must stay stable).
+	Sorted bool
 	sindex map[string]int
 	findex map[float64]int
+}
+
+// NewSortedDict builds a string dictionary over values, which must be in
+// strictly ascending order (codes are the positions).
+func NewSortedDict(values []string) *Dict {
+	d := &Dict{Typ: vector.String, Values: values, Sorted: true, sindex: make(map[string]int, len(values))}
+	for i, v := range values {
+		d.sindex[v] = i
+	}
+	return d
 }
 
 // NewDict creates an empty string dictionary.
@@ -236,7 +226,9 @@ func NewF64Dict() *Dict {
 	return &Dict{Typ: vector.Float64, findex: make(map[float64]int)}
 }
 
-// Code returns the code for s, inserting it if new.
+// Code returns the code for s, inserting it if new. Inserting into a
+// sorted dictionary appends (codes are positional and stay stable) and
+// clears the Sorted property.
 func (d *Dict) Code(s string) int {
 	if c, ok := d.sindex[s]; ok {
 		return c
@@ -244,7 +236,16 @@ func (d *Dict) Code(s string) int {
 	c := len(d.Values)
 	d.Values = append(d.Values, s)
 	d.sindex[s] = c
+	if c > 0 && d.Sorted && d.Values[c-1] >= s {
+		d.Sorted = false
+	}
 	return c
+}
+
+// SearchValue returns the number of dictionary values byte-wise less than
+// s (binary search; only meaningful on sorted dictionaries).
+func (d *Dict) SearchValue(s string) int {
+	return sort.SearchStrings(d.Values, s)
 }
 
 // CodeF64 returns the code for f, inserting it if new.
@@ -275,6 +276,42 @@ func (d *Dict) Len() int {
 // PhysType returns the physical storage type of the column (the code type
 // for enum columns).
 func (c *Column) PhysType() vector.Type { return c.phys }
+
+// SetMergedDict attaches a table-level merged dictionary view: every base
+// fragment must be able to serve codes into d (CodeMaterializer), phys is
+// the code width (UInt8/UInt16). The storage layer calls it at attach time;
+// appending fragments drops the view (new fragments cannot be assumed to
+// share the domain).
+func (c *Column) SetMergedDict(d *Dict, phys vector.Type) {
+	c.mdict, c.mdictPhys = d, phys
+}
+
+// MergedDict returns the table-level merged dictionary of a dict-compressed
+// string column, or nil.
+func (c *Column) MergedDict() *Dict { return c.mdict }
+
+// CodeDomain returns the column's shared string dictionary and code width
+// when the column can serve globally comparable dictionary codes: enum
+// string columns (insertion-ordered dictionary) and merged-dict columns
+// (sorted dictionary). ok=false for every other column, including float
+// enums.
+func (c *Column) CodeDomain() (d *Dict, phys vector.Type, ok bool) {
+	if c.Dict != nil && c.Dict.Typ == vector.String {
+		return c.Dict, c.phys, true
+	}
+	if c.mdict != nil {
+		return c.mdict, c.mdictPhys, true
+	}
+	return nil, vector.Unknown, false
+}
+
+// codePhys is the code vector type of the column's code domain.
+func (c *Column) codePhys() vector.Type {
+	if c.Dict != nil {
+		return c.phys
+	}
+	return c.mdictPhys
+}
 
 // Pinned reports whether the column currently caches a full materialized
 // copy. Memory-resident columns are born pinned; for disk-backed columns

@@ -1,0 +1,382 @@
+package colstore
+
+import (
+	"fmt"
+
+	"x100/internal/vector"
+)
+
+// CodeMaterializer is implemented by fragments that can produce the
+// column's table-level dictionary codes directly, without materializing the
+// decoded values (ColumnBM dict-coded string chunks remapped through the
+// merged dictionary built at attach time).
+type CodeMaterializer interface {
+	// MaterializeCodes returns the fragment's values as global dictionary
+	// codes ([]uint8 or []uint16, matching the column's code domain type).
+	// buf follows the same reuse/ownership contract as Materialize.
+	MaterializeCodes(buf any) (data any, scratch bool, err error)
+}
+
+// DictFragment is implemented by fragments that may be dictionary-coded on
+// their own (a per-chunk dictionary with no table-level merged domain).
+type DictFragment interface {
+	// MaterializeDict returns the fragment's chunk-local dictionary and the
+	// per-row codes into it ([]uint8 or []uint16). ok=false means the
+	// fragment is not dict-coded (raw or prefix chunk) and the caller must
+	// fall back to Materialize. codeBuf follows the buf reuse contract.
+	MaterializeDict(codeBuf any) (dict []string, codes any, ok bool, err error)
+}
+
+// DictHint is implemented by fragments that know WITHOUT I/O whether
+// MaterializeDict can succeed (ColumnBM chunks carry the per-chunk
+// dictionary cardinality in the manifest). Scans use it to skip the
+// per-chunk translation machinery for columns with no dict-coded chunk at
+// all, and MaterializeDict probes on chunks known to be raw/prefix.
+type DictHint interface {
+	// MayServeDict reports whether the fragment is (or may be, when the
+	// manifest predates the cardinality field) dictionary-coded.
+	MayServeDict() bool
+}
+
+// ReaderStats counts the decode work a FragReader performed. Byte figures
+// for strings are estimates (16 bytes per materialized or skipped string
+// header); integer and code figures are exact.
+type ReaderStats struct {
+	// DecodedValues/DecodedBytes count values actually materialized
+	// (full-fragment decodes plus per-row gathers).
+	DecodedValues int64
+	DecodedBytes  int64
+	// SkippedValues/SkippedBytes count values a selection-pushdown read
+	// (VectorSel) did NOT materialize because the row was filtered out.
+	SkippedValues int64
+	SkippedBytes  int64
+}
+
+// readerRep tags what the reader's cached payload holds.
+type readerRep uint8
+
+const (
+	repNone      readerRep = iota
+	repValues              // cur = decoded values of the column's vector type
+	repCodes               // cur = table-level dictionary codes
+	repChunkDict           // cur = chunk-local codes, dict = chunk dictionary
+)
+
+// FragReader streams a column's fragments for sequential scans, keeping at
+// most one materialized fragment (plus reusable decode buffers) resident —
+// the bounded-memory guarantee of the ColumnBM scan path. A reader is
+// single-goroutine; every scan operator clone owns its own.
+//
+// Beyond the plain Vector access, the reader implements the code-domain /
+// late-materialization scan path: CodeVector serves table-level dictionary
+// codes, DictVector serves per-chunk dictionaries, and VectorSel accepts
+// the scan's current selection vector so dict-backed fragments decode only
+// surviving rows ("decompress only what you use").
+type FragReader struct {
+	col      *Column
+	codeMode bool // Vector() serves table-level codes (code-view columns)
+
+	idx  int // materialized fragment index, -1 = none
+	rep  readerRep
+	cur  any      // payload in rep representation
+	dict []string // chunk-local dictionary when rep == repChunkDict
+
+	vbuf any      // caller-owned value decode buffer
+	cbuf any      // caller-owned code decode buffer
+	sbuf []string // gather destination for partial string materialization
+
+	// Stats accumulates decode counters for trace output.
+	Stats ReaderStats
+}
+
+// Reader creates a fragment reader positioned before the first fragment.
+func (c *Column) Reader() *FragReader { return &FragReader{col: c, idx: -1} }
+
+// CodeReader creates a reader whose Vector returns table-level dictionary
+// codes instead of decoded values. The column must have a code domain
+// (enum columns serve codes through the plain Reader already; CodeReader is
+// for merged-dict string columns whose physical type is string).
+func (c *Column) CodeReader() *FragReader { return &FragReader{col: c, idx: -1, codeMode: true} }
+
+// locate resolves the fragment containing [lo,hi) and its start row.
+func (r *FragReader) locate(lo, hi int) (int, int, error) {
+	c := r.col
+	fi := c.fragIndex(lo)
+	fs, fe := c.starts[fi], c.starts[fi+1]
+	if hi > fe {
+		return 0, 0, fmt.Errorf("colstore: column %s: range [%d,%d) crosses fragment boundary %d", c.Name, lo, hi, fe)
+	}
+	return fi, fs, nil
+}
+
+// estWidth estimates the byte width of one value of t for the stats.
+func estWidth(t vector.Type) int64 {
+	switch t.Physical() {
+	case vector.Bool, vector.UInt8:
+		return 1
+	case vector.UInt16:
+		return 2
+	case vector.Int32:
+		return 4
+	case vector.String:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// materializeValues fills the cache with the decoded values of fragment fi.
+func (r *FragReader) materializeValues(fi int) error {
+	c := r.col
+	data, scratch, err := c.frags[fi].Materialize(r.vbuf)
+	if err != nil {
+		return fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
+	}
+	r.cur = data
+	r.idx = fi
+	r.rep = repValues
+	r.dict = nil
+	if scratch {
+		// Decode buffers are reusable; fragment-owned storage is not.
+		r.vbuf = data
+	}
+	k := int64(c.frags[fi].Rows())
+	r.Stats.DecodedValues += k
+	r.Stats.DecodedBytes += k * estWidth(c.vecType())
+	return nil
+}
+
+// materializeCodes fills the cache with the table-level codes of fragment
+// fi. For enum columns the physical values already are the codes; merged
+// dictionary columns go through CodeMaterializer.
+func (r *FragReader) materializeCodes(fi int) error {
+	c := r.col
+	if c.IsEnum() {
+		return r.materializeValues(fi)
+	}
+	cm, ok := c.frags[fi].(CodeMaterializer)
+	if !ok {
+		return fmt.Errorf("colstore: column %s fragment %d cannot serve codes", c.Name, fi)
+	}
+	data, scratch, err := cm.MaterializeCodes(r.cbuf)
+	if err != nil {
+		return fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
+	}
+	r.cur = data
+	r.idx = fi
+	r.rep = repCodes
+	r.dict = nil
+	if scratch {
+		r.cbuf = data
+	}
+	k := int64(c.frags[fi].Rows())
+	r.Stats.DecodedValues += k
+	r.Stats.DecodedBytes += k * estWidth(c.codePhys())
+	return nil
+}
+
+// Vector returns a typed view of global rows [lo, hi), which must lie
+// within a single fragment (scans clamp batches to fragment boundaries via
+// FragSpan). For enum columns the values are codes; for code-mode readers
+// (CodeReader) the values are table-level dictionary codes.
+func (r *FragReader) Vector(lo, hi int) (*vector.Vector, error) {
+	c := r.col
+	fi, fs, err := r.locate(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if r.codeMode {
+		if fi != r.idx || (r.rep != repCodes && !(c.IsEnum() && r.rep == repValues)) {
+			if err := r.materializeCodes(fi); err != nil {
+				return nil, err
+			}
+		}
+		return vector.FromAny(c.codePhys(), r.cur).Slice(lo-fs, hi-fs), nil
+	}
+	if fi == r.idx {
+		switch r.rep {
+		case repValues:
+			return vector.FromAny(c.vecType(), r.cur).Slice(lo-fs, hi-fs), nil
+		case repCodes, repChunkDict:
+			// A code representation is cached (a predicate read codes
+			// first): serve values by gathering through the dictionary
+			// instead of re-decoding the chunk.
+			return r.gather(lo, hi, fs, nil)
+		}
+	}
+	if err := r.materializeValues(fi); err != nil {
+		return nil, err
+	}
+	return vector.FromAny(c.vecType(), r.cur).Slice(lo-fs, hi-fs), nil
+}
+
+// CodeVector returns the table-level dictionary codes of rows [lo, hi).
+// The column must have a code domain (Column.CodeDomain).
+func (r *FragReader) CodeVector(lo, hi int) (*vector.Vector, error) {
+	c := r.col
+	fi, fs, err := r.locate(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if fi != r.idx || (r.rep != repCodes && !(c.IsEnum() && r.rep == repValues)) {
+		if err := r.materializeCodes(fi); err != nil {
+			return nil, err
+		}
+	}
+	return vector.FromAny(c.codePhys(), r.cur).Slice(lo-fs, hi-fs), nil
+}
+
+// DictVector tries to serve rows [lo, hi) of a string column as chunk-local
+// dictionary codes plus the chunk's dictionary. ok=false means the current
+// fragment is not dict-coded (raw or prefix chunk, or an in-memory
+// fragment); the caller falls back to Vector — the decode-first path.
+func (r *FragReader) DictVector(lo, hi int) (codes *vector.Vector, dict []string, ok bool, err error) {
+	c := r.col
+	fi, fs, err := r.locate(lo, hi)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if fi == r.idx {
+		switch r.rep {
+		case repChunkDict:
+			return r.chunkCodesVec(lo, hi, fs), r.dict, true, nil
+		case repValues:
+			// Already decoded (a previous fallback); no point re-reading.
+			return nil, nil, false, nil
+		}
+	}
+	df, can := c.frags[fi].(DictFragment)
+	if !can {
+		return nil, nil, false, nil
+	}
+	d, cd, isDict, err := df.MaterializeDict(r.cbuf)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
+	}
+	if !isDict {
+		return nil, nil, false, nil
+	}
+	r.cur = cd
+	r.cbuf = cd
+	r.dict = d
+	r.idx = fi
+	r.rep = repChunkDict
+	k := int64(c.frags[fi].Rows())
+	r.Stats.DecodedValues += k
+	r.Stats.DecodedBytes += k * int64(codeWidth(cd))
+	return r.chunkCodesVec(lo, hi, fs), d, true, nil
+}
+
+func (r *FragReader) chunkCodesVec(lo, hi, fs int) *vector.Vector {
+	t := vector.UInt8
+	if _, is16 := r.cur.([]uint16); is16 {
+		t = vector.UInt16
+	}
+	return vector.FromAny(t, r.cur).Slice(lo-fs, hi-fs)
+}
+
+func codeWidth(codes any) int {
+	if _, is16 := codes.([]uint16); is16 {
+		return 2
+	}
+	return 1
+}
+
+// VectorSel is Vector accepting the scan's current selection vector: only
+// the positions listed in sel (relative to lo; nil = all) are guaranteed to
+// be materialized, so dict-backed fragments decode only surviving rows.
+// Values at unselected positions are unspecified. Non-dict fragments fall
+// back to the full Vector decode.
+func (r *FragReader) VectorSel(lo, hi int, sel []int32) (*vector.Vector, error) {
+	if sel == nil || r.col.vecType().Physical() != vector.String {
+		return r.Vector(lo, hi)
+	}
+	c := r.col
+	fi, fs, err := r.locate(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if fi != r.idx || r.rep == repNone {
+		// Nothing cached yet: prefer the chunk-dictionary representation
+		// when the fragment offers one (merged-dict columns never get
+		// here — scans route them through CodeVector + dictionary
+		// gathers), else fall back to a full value decode.
+		materialized := false
+		if df, can := c.frags[fi].(DictFragment); can {
+			d, cd, isDict, err := df.MaterializeDict(r.cbuf)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %s fragment %d: %w", c.Name, fi, err)
+			}
+			if isDict {
+				r.cur, r.cbuf, r.dict, r.idx, r.rep = cd, cd, d, fi, repChunkDict
+				k := int64(c.frags[fi].Rows())
+				r.Stats.DecodedValues += k
+				r.Stats.DecodedBytes += k * int64(codeWidth(cd))
+				materialized = true
+			}
+		}
+		if !materialized {
+			if err := r.materializeValues(fi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.rep == repValues {
+		return vector.FromAny(c.vecType(), r.cur).Slice(lo-fs, hi-fs), nil
+	}
+	return r.gather(lo, hi, fs, sel)
+}
+
+// gather materializes string values of [lo,hi) from the cached code
+// representation through the matching dictionary, restricted to sel.
+func (r *FragReader) gather(lo, hi, fs int, sel []int32) (*vector.Vector, error) {
+	values := r.dict
+	if r.rep == repCodes {
+		md := r.col.MergedDict()
+		if md == nil {
+			return nil, fmt.Errorf("colstore: column %s: codes cached without dictionary", r.col.Name)
+		}
+		values = md.Values
+	}
+	k := hi - lo
+	if cap(r.sbuf) < k {
+		r.sbuf = make([]string, k)
+	}
+	dst := r.sbuf[:k]
+	off := lo - fs
+	switch codes := r.cur.(type) {
+	case []uint8:
+		if sel == nil {
+			for i := 0; i < k; i++ {
+				dst[i] = values[codes[off+i]]
+			}
+		} else {
+			for _, i := range sel {
+				dst[i] = values[codes[off+int(i)]]
+			}
+		}
+	case []uint16:
+		if sel == nil {
+			for i := 0; i < k; i++ {
+				dst[i] = values[codes[off+i]]
+			}
+		} else {
+			for _, i := range sel {
+				dst[i] = values[codes[off+int(i)]]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("colstore: column %s: unexpected code payload %T", r.col.Name, r.cur)
+	}
+	live := int64(k)
+	if sel != nil {
+		live = int64(len(sel))
+	}
+	r.Stats.DecodedValues += live
+	r.Stats.DecodedBytes += live * 16
+	r.Stats.SkippedValues += int64(k) - live
+	r.Stats.SkippedBytes += (int64(k) - live) * 16
+	v := vector.FromStrings(dst)
+	v.Typ = r.col.vecType()
+	return v, nil
+}

@@ -1,0 +1,150 @@
+package columnbm
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"x100/internal/colstore"
+	"x100/internal/vector"
+)
+
+// saveAttach persists one single-column table and attaches it back.
+func saveAttach(t *testing.T, name string, typ vector.Type, data any, chunkRows int) (*colstore.Table, *Store) {
+	t.Helper()
+	tab := colstore.NewTable(name)
+	if err := tab.AddColumn("c", typ, data); err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore(t.TempDir(), chunkRows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	att, err := store.AttachTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return att, store
+}
+
+// TestAttachMergedDict checks the attach-time merged dictionary: sorted,
+// complete, installed only when every chunk is dict-coded, and the
+// fragments' MaterializeCodes produce codes that decode back to the
+// original values through it.
+func TestAttachMergedDict(t *testing.T) {
+	const n = 5000
+	vals := make([]string, n)
+	for i := range vals {
+		// Pools shift every chunk so chunk dictionaries differ.
+		vals[i] = fmt.Sprintf("v%02d", (i/1000*2+i%7)%20)
+	}
+	tab, _ := saveAttach(t, "md", vector.String, vals, 1000)
+	col := tab.Col("c")
+	md := col.MergedDict()
+	if md == nil {
+		t.Fatal("no merged dictionary")
+	}
+	if !sort.StringsAreSorted(md.Values) || !md.Sorted {
+		t.Fatalf("merged dictionary not sorted: %v", md.Values)
+	}
+	distinct := map[string]struct{}{}
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+	}
+	if md.Len() != len(distinct) {
+		t.Fatalf("merged cardinality %d, want %d", md.Len(), len(distinct))
+	}
+	// Codes round-trip through the merged dictionary.
+	r := col.CodeReader()
+	for lo := 0; lo < n; lo += 1000 {
+		cv, err := r.Vector(lo, min(lo+1000, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes := cv.UInt8s()
+		for j, c := range codes {
+			if got := md.Values[c]; got != vals[lo+j] {
+				t.Fatalf("row %d: code %d decodes to %q, want %q", lo+j, c, got, vals[lo+j])
+			}
+		}
+	}
+}
+
+// TestAttachMergedDictSkipsMixed verifies a column with any non-dict chunk
+// gets no merged dictionary (the per-chunk/per-fallback path owns it).
+func TestAttachMergedDictSkipsMixed(t *testing.T) {
+	const n = 3000
+	vals := make([]string, n)
+	for i := range vals {
+		if i/1000 == 1 {
+			vals[i] = fmt.Sprintf("unique-%08d-%08d", i*7919, i*104729) // raw chunk
+		} else {
+			vals[i] = fmt.Sprintf("m%d", i%5)
+		}
+	}
+	tab, _ := saveAttach(t, "mixed", vector.String, vals, 1000)
+	if tab.Col("c").MergedDict() != nil {
+		t.Fatal("mixed-codec column got a merged dictionary")
+	}
+	// The dict chunks still serve per-chunk dictionaries.
+	r := tab.Col("c").Reader()
+	codes, dict, ok, err := r.DictVector(0, 1000)
+	if err != nil || !ok {
+		t.Fatalf("first chunk should be dict-coded: ok=%v err=%v", ok, err)
+	}
+	for j := 0; j < 1000; j++ {
+		if dict[codes.UInt8s()[j]] != vals[j] {
+			t.Fatalf("row %d chunk-dict decode mismatch", j)
+		}
+	}
+	// The raw chunk reports ok=false and falls back to value decode.
+	r2 := tab.Col("c").Reader()
+	if _, _, ok, err := r2.DictVector(1000, 2000); err != nil || ok {
+		t.Fatalf("raw chunk should not serve a dictionary: ok=%v err=%v", ok, err)
+	}
+	v, err := r2.Vector(1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Strings()[0] != vals[1000] {
+		t.Fatal("fallback decode mismatch")
+	}
+}
+
+// TestBoolNarrowDecode round-trips bool chunks through every codec shape
+// (constant runs -> RLE, alternating -> FoR/raw) via the narrow uint8
+// scratch path.
+func TestBoolNarrowDecode(t *testing.T) {
+	const n = 4000
+	shapes := map[string]func(i int) bool{
+		"alternating": func(i int) bool { return i%2 == 0 },
+		"runs":        func(i int) bool { return i/500%2 == 0 },
+		"constant":    func(i int) bool { return true },
+		"sparse":      func(i int) bool { return i%97 == 0 },
+	}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			vals := make([]bool, n)
+			for i := range vals {
+				vals[i] = gen(i)
+			}
+			tab, _ := saveAttach(t, "b_"+name, vector.Bool, vals, 1000)
+			col := tab.Col("c")
+			r := col.Reader()
+			for lo := 0; lo < n; lo += 1000 {
+				v, err := r.Vector(lo, lo+1000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, b := range v.Bools() {
+					if b != vals[lo+j] {
+						t.Fatalf("row %d: %v, want %v", lo+j, b, vals[lo+j])
+					}
+				}
+			}
+		})
+	}
+}

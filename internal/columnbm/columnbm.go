@@ -523,12 +523,6 @@ func decodeInt64(hdr chunkHeader, payload []byte) ([]int64, error) {
 	return out, nil
 }
 
-// decodeInt64Into decodes a chunk into dst, which must have length
-// hdr.count (kept as a named instantiation for the int64 read path).
-func decodeInt64Into(dst []int64, hdr chunkHeader, payload []byte) error {
-	return decodeIntInto(dst, hdr, payload)
-}
-
 // intNative constrains the destination element types of narrow-native chunk
 // decoding: integer chunks decode straight into the column's physical
 // representation (int32 keys, uint8/uint16 enum codes) with no intermediate
@@ -785,46 +779,18 @@ func decodeStringInto(dst []string, hdr chunkHeader, payload []byte) error {
 		}
 		return nil
 	case CodecDict:
-		if len(payload) < 4 {
-			return fmt.Errorf("%w: dict chunk too short", ErrCorrupt)
-		}
-		card := int(binary.LittleEndian.Uint32(payload[0:]))
-		if card <= 0 || card > maxDictCard {
-			return fmt.Errorf("%w: dict cardinality %d", ErrCorrupt, card)
-		}
-		off := 4
-		dict := make([]string, card)
-		for i := range dict {
-			if off+4 > len(payload) {
-				return fmt.Errorf("%w: truncated dict", ErrCorrupt)
-			}
-			n := int(binary.LittleEndian.Uint32(payload[off:]))
-			off += 4
-			if n < 0 || off+n > len(payload) {
-				return fmt.Errorf("%w: truncated dict", ErrCorrupt)
-			}
-			dict[i] = string(payload[off : off+n])
-			off += n
-		}
-		if off >= len(payload) {
-			return fmt.Errorf("%w: dict chunk missing code width", ErrCorrupt)
-		}
-		width := int(payload[off])
-		off++
-		if width != 1 && width != 2 {
-			return fmt.Errorf("%w: dict code width %d", ErrCorrupt, width)
-		}
-		if len(payload) != off+width*hdr.count {
-			return fmt.Errorf("%w: dict code section size mismatch", ErrCorrupt)
+		dict, width, codes, err := scanDictPayload(hdr, payload, true)
+		if err != nil {
+			return err
 		}
 		for i := range dst {
 			var c int
 			if width == 1 {
-				c = int(payload[off+i])
+				c = int(codes[i])
 			} else {
-				c = int(binary.LittleEndian.Uint16(payload[off+2*i:]))
+				c = int(binary.LittleEndian.Uint16(codes[2*i:]))
 			}
-			if c >= card {
+			if c >= len(dict) {
 				return fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
 			}
 			dst[i] = dict[c]
@@ -859,6 +825,131 @@ func decodeStringInto(dst []string, hdr chunkHeader, payload []byte) error {
 	default:
 		return fmt.Errorf("%w: codec %v is not a string codec", ErrCorrupt, hdr.codec)
 	}
+}
+
+// scanDictPayload validates a dict-codec chunk payload and splits it into
+// its sections: the dictionary values (materialized only when wantValues is
+// set — code-only readers skip the string allocations), the code width
+// (1 or 2 bytes), and the raw code section.
+func scanDictPayload(hdr chunkHeader, payload []byte, wantValues bool) (dict []string, width int, codes []byte, err error) {
+	card, width, codes, dictBytes, err := dictSections(hdr, payload)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if wantValues {
+		dict = make([]string, card)
+		off := 4
+		for i := range dict {
+			n := int(binary.LittleEndian.Uint32(dictBytes[off:]))
+			dict[i] = string(dictBytes[off+4 : off+4+n])
+			off += 4 + n
+		}
+	}
+	return dict, width, codes, nil
+}
+
+// dictSections walks a dict chunk payload without materializing any value:
+// it returns the dictionary cardinality, code width, the code section, and
+// the payload prefix holding card + the length-prefixed values.
+func dictSections(hdr chunkHeader, payload []byte) (card, width int, codes, dictBytes []byte, err error) {
+	if len(payload) < 4 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: dict chunk too short", ErrCorrupt)
+	}
+	card = int(binary.LittleEndian.Uint32(payload[0:]))
+	if card <= 0 || card > maxDictCard {
+		return 0, 0, nil, nil, fmt.Errorf("%w: dict cardinality %d", ErrCorrupt, card)
+	}
+	off := 4
+	for i := 0; i < card; i++ {
+		if off+4 > len(payload) {
+			return 0, 0, nil, nil, fmt.Errorf("%w: truncated dict", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if n < 0 || off+n > len(payload) {
+			return 0, 0, nil, nil, fmt.Errorf("%w: truncated dict", ErrCorrupt)
+		}
+		off += n
+	}
+	if off >= len(payload) {
+		return 0, 0, nil, nil, fmt.Errorf("%w: dict chunk missing code width", ErrCorrupt)
+	}
+	width = int(payload[off])
+	dictBytes = payload[:off]
+	off++
+	if width != 1 && width != 2 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: dict code width %d", ErrCorrupt, width)
+	}
+	if len(payload) != off+width*hdr.count {
+		return 0, 0, nil, nil, fmt.Errorf("%w: dict code section size mismatch", ErrCorrupt)
+	}
+	return card, width, payload[off:], dictBytes, nil
+}
+
+// decodeDictCodesInto extracts the code section of a dict chunk into dst,
+// mapping each chunk-local code through remap (chunk-local -> table-level
+// code). It allocates nothing: the per-chunk dictionary strings are never
+// materialized. dst must have length hdr.count; remap must cover the
+// chunk's dictionary cardinality.
+func decodeDictCodesInto[T intNative](dst []T, remap []T, hdr chunkHeader, payload []byte) error {
+	if len(dst) != hdr.count {
+		return ErrCorrupt
+	}
+	card, width, codes, _, err := dictSections(hdr, payload)
+	if err != nil {
+		return err
+	}
+	if card > len(remap) {
+		return fmt.Errorf("%w: dict cardinality %d exceeds remap table %d", ErrCorrupt, card, len(remap))
+	}
+	if width == 1 {
+		for i := range dst {
+			c := int(codes[i])
+			if c >= card {
+				return fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
+			}
+			dst[i] = remap[c]
+		}
+		return nil
+	}
+	for i := range dst {
+		c := int(binary.LittleEndian.Uint16(codes[2*i:]))
+		if c >= card {
+			return fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
+		}
+		dst[i] = remap[c]
+	}
+	return nil
+}
+
+// decodeLocalDictCodes extracts the code section of a dict chunk as
+// chunk-local codes (uint8 or uint16 by the chunk's own width) plus the
+// chunk dictionary, for per-chunk code-domain predicate evaluation.
+func decodeLocalDictCodes(hdr chunkHeader, payload []byte, codeBuf any) (dict []string, out any, err error) {
+	dict, width, codes, err := scanDictPayload(hdr, payload, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	card := len(dict)
+	if width == 1 {
+		dst := sliceBuf[uint8](codeBuf, hdr.count)
+		for i := range dst {
+			if int(codes[i]) >= card {
+				return nil, nil, fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, codes[i])
+			}
+			dst[i] = codes[i]
+		}
+		return dict, dst, nil
+	}
+	dst := sliceBuf[uint16](codeBuf, hdr.count)
+	for i := range dst {
+		c := binary.LittleEndian.Uint16(codes[2*i:])
+		if int(c) >= card {
+			return nil, nil, fmt.Errorf("%w: dict code %d out of range", ErrCorrupt, c)
+		}
+		dst[i] = c
+	}
+	return dict, dst, nil
 }
 
 // ChunkInfo describes one stored chunk (for storage introspection: the

@@ -1,8 +1,12 @@
 package columnbm
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
+	"os"
+	"slices"
 	"sync"
 
 	"x100/internal/colstore"
@@ -22,6 +26,19 @@ type chunkFragment struct {
 	rows  int
 	phys  vector.Type
 
+	// remap maps this chunk's local dictionary codes to the table-level
+	// merged dictionary built at attach time ([]uint8 or []uint16, the
+	// merged code width). Non-nil only on dict-coded string chunks of a
+	// column whose every chunk is dict-coded; it makes the fragment a
+	// colstore.CodeMaterializer, so scans can read globally comparable
+	// codes without ever materializing the strings.
+	remap any
+	// dictCard is the chunk's dictionary cardinality from the manifest:
+	// > 0 dict-coded, 0 known not dict-coded, -1 unknown (manifest predates
+	// the chunk_dict_card field). It lets MaterializeDict reject raw/prefix
+	// chunks without any I/O (colstore.DictHint).
+	dictCard int
+
 	minI, maxI       int64
 	minF, maxF       float64
 	minS, maxS       string
@@ -40,15 +57,15 @@ func (f *chunkFragment) BoundsF64() (float64, float64, bool) { return f.minF, f.
 // BoundsStr implements colstore.StrBounded.
 func (f *chunkFragment) BoundsStr() (string, string, bool) { return f.minS, f.maxS, f.hasS }
 
-// i64Scratch pools intermediate decode buffers for the one physical type
-// (bool) that still round-trips through the stored int64 representation;
-// integer types decode narrow-native via decodeIntInto.
-var i64Scratch = sync.Pool{New: func() any { return new([]int64) }}
+// u8Scratch pools the narrow intermediate buffer of the bool decode path:
+// bool chunks are stored as 0/1 integer chunks, decode narrow-native into
+// uint8 (no int64 scratch round-trip), and convert to bool with one pass.
+var u8Scratch = sync.Pool{New: func() any { return new([]uint8) }}
 
-func getI64Scratch(n int) *[]int64 {
-	p := i64Scratch.Get().(*[]int64)
+func getU8Scratch(n int) *[]uint8 {
+	p := u8Scratch.Get().(*[]uint8)
 	if cap(*p) < n {
-		*p = make([]int64, n)
+		*p = make([]uint8, n)
 	}
 	*p = (*p)[:n]
 	return p
@@ -80,9 +97,9 @@ func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
 	case vector.UInt16:
 		return decodeNarrow[uint16](f, buf, hdr, payload)
 	case vector.Bool:
-		tmp := getI64Scratch(f.rows)
-		defer i64Scratch.Put(tmp)
-		if err := decodeInt64Into(*tmp, hdr, payload); err != nil {
+		tmp := getU8Scratch(f.rows)
+		defer u8Scratch.Put(tmp)
+		if err := decodeIntInto(*tmp, hdr, payload); err != nil {
 			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
 		}
 		dst := sliceBuf[bool](buf, f.rows)
@@ -108,6 +125,71 @@ func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("columnbm: cannot materialize %v fragment %s", f.phys, f.key)
 	}
+}
+
+// MaterializeCodes implements colstore.CodeMaterializer: the chunk's rows
+// as table-level merged-dictionary codes. It decodes only the narrow code
+// section of the dict chunk and maps it through the attach-time remap
+// table — no string is ever materialized.
+func (f *chunkFragment) MaterializeCodes(buf any) (any, bool, error) {
+	if f.remap == nil {
+		return nil, false, fmt.Errorf("columnbm: %s chunk %d has no merged dictionary", f.key, f.idx)
+	}
+	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
+	if err != nil {
+		return nil, false, err
+	}
+	if hdr.count != f.rows || hdr.codec != CodecDict {
+		return nil, false, fmt.Errorf("%w: %s chunk %d is not the dict chunk the manifest promised", ErrCorrupt, f.key, f.idx)
+	}
+	switch remap := f.remap.(type) {
+	case []uint8:
+		dst := sliceBuf[uint8](buf, f.rows)
+		if err := decodeDictCodesInto(dst, remap, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		return dst, true, nil
+	case []uint16:
+		dst := sliceBuf[uint16](buf, f.rows)
+		if err := decodeDictCodesInto(dst, remap, hdr, payload); err != nil {
+			return nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+		}
+		return dst, true, nil
+	default:
+		return nil, false, fmt.Errorf("columnbm: %s chunk %d: bad remap table %T", f.key, f.idx, f.remap)
+	}
+}
+
+// MayServeDict implements colstore.DictHint from the manifest's per-chunk
+// dictionary cardinality — no I/O.
+func (f *chunkFragment) MayServeDict() bool {
+	return f.phys == vector.String && f.dictCard != 0
+}
+
+// MaterializeDict implements colstore.DictFragment: the chunk's own
+// dictionary plus chunk-local codes when the chunk is dict-coded, ok=false
+// (decode-first fallback) for raw and prefix chunks — decided without I/O
+// when the manifest records the chunk's dictionary cardinality.
+func (f *chunkFragment) MaterializeDict(codeBuf any) ([]string, any, bool, error) {
+	if !f.MayServeDict() {
+		return nil, nil, false, nil
+	}
+	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if hdr.count != f.rows {
+		return nil, nil, false, fmt.Errorf("%w: %s chunk %d has %d values, manifest says %d",
+			ErrCorrupt, f.key, f.idx, hdr.count, f.rows)
+	}
+	if hdr.codec != CodecDict {
+		return nil, nil, false, nil
+	}
+	dict, codes, err := decodeLocalDictCodes(hdr, payload, codeBuf)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("%s chunk %d: %w", f.key, f.idx, err)
+	}
+	return dict, codes, true, nil
 }
 
 // decodeNarrow decodes an integer chunk straight into a typed destination
@@ -164,7 +246,10 @@ func (s *Store) columnFragments(m *Manifest, cm *ColumnManifest, phys vector.Typ
 		phys == vector.String
 	frags := make([]colstore.Fragment, 0, cm.Chunks-from)
 	for i := from; i < cm.Chunks; i++ {
-		cf := &chunkFragment{store: s, key: key, gen: m.Gen, idx: i, rows: counts[i], phys: phys}
+		cf := &chunkFragment{store: s, key: key, gen: m.Gen, idx: i, rows: counts[i], phys: phys, dictCard: -1}
+		if len(cm.ChunkDictCard) == cm.Chunks {
+			cf.dictCard = cm.ChunkDictCard[i]
+		}
 		if useI {
 			cf.minI, cf.maxI, cf.hasI = cm.ChunkMinI64[i], cm.ChunkMaxI64[i], true
 		}
@@ -179,13 +264,137 @@ func (s *Store) columnFragments(m *Manifest, cm *ColumnManifest, phys vector.Typ
 	return frags
 }
 
+// readChunkDict reads just the fixed header and dictionary section of a
+// dict-coded chunk file — a streamed prefix read that never loads the code
+// section and never touches the buffer pool, keeping attach cost
+// proportional to the dictionary bytes, not the column bytes. It returns
+// (nil, nil) when the chunk is stored with a different codec.
+func (s *Store) readChunkDict(column string, gen, idx int) ([]string, error) {
+	f, err := os.Open(s.chunkPath(column, gen, idx))
+	if err != nil {
+		return nil, fmt.Errorf("columnbm: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 16*1024)
+	var hdr [21]byte // chunk header (17) + dict cardinality (4)
+	if _, err := io.ReadFull(br, hdr[:17]); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, gen, idx))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != chunkMagic {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, s.chunkPath(column, gen, idx))
+	}
+	if Codec(hdr[4]) != CodecDict {
+		return nil, nil
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(hdr[13:]))
+	if _, err := io.ReadFull(br, hdr[17:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated dict chunk", ErrCorrupt)
+	}
+	card := int(binary.LittleEndian.Uint32(hdr[17:]))
+	if card <= 0 || card > maxDictCard {
+		return nil, fmt.Errorf("%w: dict cardinality %d", ErrCorrupt, card)
+	}
+	remaining := payloadLen - 4
+	dict := make([]string, card)
+	var lb [4]byte
+	for i := range dict {
+		if _, err := io.ReadFull(br, lb[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated dict", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(lb[:]))
+		remaining -= 4 + n
+		if n < 0 || remaining < 0 {
+			return nil, fmt.Errorf("%w: truncated dict", ErrCorrupt)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated dict", ErrCorrupt)
+		}
+		dict[i] = string(buf)
+	}
+	return dict, nil
+}
+
+// attachMergedDict builds the table-level merged dictionary of a plain
+// (non-enum) string column when every chunk is dict-coded (per the
+// manifest's ChunkDictCard) and the union of the chunk dictionaries fits
+// the two-byte code space. It reads only the header + dictionary prefix of
+// each chunk (readChunkDict — no code sections, no buffer-pool traffic),
+// sorts the merged values so codes are order-isomorphic to the strings,
+// and installs a chunk-local -> merged remap table on every fragment.
+// Returns the merged dictionary and its code type, or nil when the column
+// does not qualify — the decode-first path then applies.
+func (s *Store) attachMergedDict(m *Manifest, cm *ColumnManifest, counts []int, frags []colstore.Fragment) (*colstore.Dict, vector.Type) {
+	if cm.Enum || cm.Chunks == 0 || len(cm.ChunkDictCard) != cm.Chunks {
+		return nil, vector.Unknown
+	}
+	total := 0
+	for i, card := range cm.ChunkDictCard {
+		if card <= 0 || counts[i] == 0 {
+			return nil, vector.Unknown
+		}
+		total += card
+	}
+	key := m.Table + "." + cm.Name
+	chunkDicts := make([][]string, cm.Chunks)
+	set := make(map[string]struct{}, min(total, maxDictCard))
+	for i := 0; i < cm.Chunks; i++ {
+		dict, err := s.readChunkDict(key, m.Gen, i)
+		if err != nil || dict == nil {
+			return nil, vector.Unknown
+		}
+		chunkDicts[i] = dict
+		for _, v := range dict {
+			set[v] = struct{}{}
+		}
+		if len(set) > maxDictCard {
+			return nil, vector.Unknown
+		}
+	}
+	values := make([]string, 0, len(set))
+	for v := range set {
+		values = append(values, v)
+	}
+	slices.Sort(values)
+	merged := colstore.NewSortedDict(values)
+	phys := vector.UInt8
+	if len(values) > 256 {
+		phys = vector.UInt16
+	}
+	for i, frag := range frags {
+		cf, ok := frag.(*chunkFragment)
+		if !ok {
+			return nil, vector.Unknown
+		}
+		local := chunkDicts[i]
+		if phys == vector.UInt8 {
+			remap := make([]uint8, len(local))
+			for c, v := range local {
+				g, _ := merged.Lookup(v)
+				remap[c] = uint8(g)
+			}
+			cf.remap = remap
+		} else {
+			remap := make([]uint16, len(local))
+			for c, v := range local {
+				g, _ := merged.Lookup(v)
+				remap[c] = uint16(g)
+			}
+			cf.remap = remap
+		}
+	}
+	return merged, phys
+}
+
 // AttachTable builds a fragment-backed colstore table over the chunks
 // written by SaveTable, without materializing any column: every chunk
 // becomes a lazily decoded fragment, and per-chunk min/max bounds from the
 // manifest feed chunk-granularity scan pruning. Enum dictionaries are
-// rebuilt from the manifest. The persisted deletion list (if any) is
-// recovered separately via ReadManifest — the storage layer has no notion
-// of delta stores.
+// rebuilt from the manifest; fully dict-coded plain string columns
+// additionally get a table-level merged dictionary (attachMergedDict), so
+// scans, predicates, and keys over them can run in the code domain. The
+// persisted deletion list (if any) is recovered separately via
+// ReadManifest — the storage layer has no notion of delta stores.
 func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 	m, err := s.readManifest(name)
 	if err != nil {
@@ -218,7 +427,13 @@ func (s *Store) AttachTable(name string) (*colstore.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("columnbm: column %s.%s: %w", name, cm.Name, err)
 		}
-		col := colstore.NewFragColumn(cm.Name, typ, dict, phys, s.columnFragments(m, cm, phys, counts, 0))
+		frags := s.columnFragments(m, cm, phys, counts, 0)
+		col := colstore.NewFragColumn(cm.Name, typ, dict, phys, frags)
+		if dict == nil && phys == vector.String {
+			if merged, codeTyp := s.attachMergedDict(m, cm, counts, frags); merged != nil {
+				col.SetMergedDict(merged, codeTyp)
+			}
+		}
 		if err := t.AttachColumn(col); err != nil {
 			return nil, err
 		}

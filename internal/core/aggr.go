@@ -67,51 +67,43 @@ func newAccumulator(fn algebra.AggFn, argTyp, outTyp vector.Type) *accumulator {
 	return a
 }
 
+// growTo zero-extends s to length n in one allocation (direct aggregation
+// opens with the full 256/65536-slot domain, so element-wise growth would
+// cost more than the aggregation itself on small inputs).
+func growTo[T any](s []T, n int) []T {
+	if len(s) >= n {
+		return s
+	}
+	return append(s, make([]T, n-len(s))...)
+}
+
 func (a *accumulator) grow(n int) {
 	switch a.fn {
 	case algebra.AggCount:
-		for len(a.i64) < n {
-			a.i64 = append(a.i64, 0)
-		}
+		a.i64 = growTo(a.i64, n)
 		return
 	case algebra.AggAvg:
-		for len(a.f64) < n {
-			a.f64 = append(a.f64, 0)
-		}
+		a.f64 = growTo(a.f64, n)
 		return
 	case algebra.AggSum:
 		if a.outTyp == vector.Float64 {
-			for len(a.f64) < n {
-				a.f64 = append(a.f64, 0)
-			}
+			a.f64 = growTo(a.f64, n)
 		} else {
-			for len(a.i64) < n {
-				a.i64 = append(a.i64, 0)
-			}
+			a.i64 = growTo(a.i64, n)
 		}
 		return
 	default: // min/max
 		switch a.outTyp.Physical() {
 		case vector.Float64:
-			for len(a.f64) < n {
-				a.f64 = append(a.f64, 0)
-			}
+			a.f64 = growTo(a.f64, n)
 		case vector.Int64:
-			for len(a.i64) < n {
-				a.i64 = append(a.i64, 0)
-			}
+			a.i64 = growTo(a.i64, n)
 		case vector.Int32:
-			for len(a.i32) < n {
-				a.i32 = append(a.i32, 0)
-			}
+			a.i32 = growTo(a.i32, n)
 		case vector.String:
-			for len(a.str) < n {
-				a.str = append(a.str, "")
-			}
+			a.str = growTo(a.str, n)
 		}
-		for len(a.seen) < n {
-			a.seen = append(a.seen, false)
-		}
+		a.seen = growTo(a.seen, n)
 	}
 }
 
@@ -398,9 +390,7 @@ func (op *aggrOp) growGroups(n int) {
 	for _, a := range op.accs {
 		a.grow(n)
 	}
-	for len(op.rowCount) < n {
-		op.rowCount = append(op.rowCount, 0)
-	}
+	op.rowCount = growTo(op.rowCount, n)
 }
 
 func (op *aggrOp) Close() error { return op.input.Close() }

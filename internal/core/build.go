@@ -23,6 +23,21 @@ func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 		// Absorb pending insert deltas into base fragments so scans
 		// partition (row ids are preserved; see delta.Store.Checkpoint).
 		checkpointPending(db, plan)
+	}
+	if !opts.NoCodeDomain {
+		// Run group-by and join keys over dictionary-backed string columns
+		// in the code domain, rehydrating via Fetch1Join at emit. The
+		// rewrite happens after checkpointPending so freshly absorbed
+		// deltas no longer block it. Unchanged plans return the original
+		// node, so only rewritten plans pay the re-validation walk.
+		if rewritten := rewriteCodeDomain(db, plan, &opts); rewritten != plan {
+			if _, err := rewritten.Out(db); err != nil {
+				return nil, fmt.Errorf("core: code-domain rewrite produced an invalid plan: %w", err)
+			}
+			plan = rewritten
+		}
+	}
+	if opts.parallelism() > 1 {
 		return buildParallel(db, plan, opts)
 	}
 	return build(db, plan, opts)
@@ -55,13 +70,22 @@ func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 	case *algebra.Select:
 		// Summary-index pruning: a Select directly over a Scan derives
 		// #rowId bounds from range conjuncts on indexed columns
-		// (Section 4.3), then still applies the full predicate.
-		if sc, ok := n.Input.(*algebra.Scan); ok && !opts.NoSummaryIndex {
+		// (Section 4.3), then still applies the full predicate — fused into
+		// the scan so predicate translation runs on dictionary codes and
+		// later columns decode only surviving rows. The two optimizations
+		// are independent: NoSummaryIndex only skips the bounds,
+		// NoCodeDomain only skips the fusion.
+		if sc, ok := n.Input.(*algebra.Scan); ok {
 			op, err := newScanOp(db, sc.Table, sc.Cols, opts)
 			if err != nil {
 				return nil, err
 			}
-			applySummaryBounds(db, sc.Table, n.Pred, op)
+			if !opts.NoSummaryIndex {
+				applySummaryBounds(db, sc.Table, n.Pred, op)
+			}
+			if !opts.NoCodeDomain {
+				return newScanSelectOp(op, n.Pred, opts)
+			}
 			return newSelectOp(op, n.Pred, opts)
 		}
 		in, err := build(db, n.Input, opts)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/columnbm"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// FuzzCodeDomainPredicate cross-checks string -> code predicate
+// translation against decode-first evaluation on a table whose chunks are
+// deliberately adversarial: tiny chunks (so predicates span many per-chunk
+// dictionary boundaries), per-chunk value pools that shift with the chunk
+// index (so chunk-local dictionaries overlap but differ, and chunk-local
+// codes mean different strings in different chunks), and periodic
+// incompressible chunks (so the per-chunk path interleaves with the
+// decode-first fallback inside one scan). Any divergence between the two
+// evaluation paths is a bug in the translation.
+func FuzzCodeDomainPredicate(f *testing.F) {
+	f.Add(uint64(1), byte(0), byte(0), false)
+	f.Add(uint64(2), byte(1), byte(13), true)
+	f.Add(uint64(3), byte(4), byte(200), false)
+	f.Add(uint64(42), byte(6), byte(77), true)
+	f.Add(uint64(99), byte(7), byte(5), false)
+	f.Fuzz(func(t *testing.T, seed uint64, opb, pick byte, missing bool) {
+		const (
+			n         = 2000
+			chunkRows = 173 // prime: chunk boundaries never align with value periods
+		)
+		rng := seed | 1
+		next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+		vals := make([]string, n)
+		for i := range vals {
+			chunk := i / chunkRows
+			if chunk%4 == 3 {
+				// Incompressible chunk: unique long strings -> raw codec.
+				vals[i] = fmt.Sprintf("raw-%016x-%016x", next(), next())
+				continue
+			}
+			// Low-cardinality pool shifted per chunk: dictionaries overlap
+			// across boundaries but are never identical.
+			pool := 5 + chunk%7
+			vals[i] = fmt.Sprintf("w%03d", (chunk*3+int(next()%uint64(pool)))%64)
+		}
+		tab := colstore.NewTable("fz")
+		if err := tab.AddColumn("s", vector.String, vals); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		if err := tab.AddColumn("id", vector.Int64, ids); err != nil {
+			t.Fatal(err)
+		}
+		store, err := columnbm.NewStore(t.TempDir(), chunkRows, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.SaveTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		db := NewDatabase()
+		if _, err := AttachDiskTable(db, store, "fz"); err != nil {
+			t.Fatal(err)
+		}
+
+		cst := vals[int(pick)%n]
+		if missing {
+			cst = "nowhere-" + cst
+		}
+		col := expr.C("s")
+		var pred expr.Expr
+		switch opb % 8 {
+		case 0:
+			pred = expr.EQE(col, expr.Str(cst))
+		case 1:
+			pred = expr.NEE(col, expr.Str(cst))
+		case 2:
+			pred = expr.LTE(col, expr.Str(cst))
+		case 3:
+			pred = expr.LEE(col, expr.Str(cst))
+		case 4:
+			pred = expr.GTE(col, expr.Str(cst))
+		case 5:
+			pred = expr.GEE(col, expr.Str(cst))
+		case 6:
+			pred = expr.InE(col, expr.Str(cst), expr.Str("w001"), expr.Str("w010"))
+		default:
+			if len(cst) > 3 {
+				cst = cst[:3]
+			}
+			pred = expr.LikeE(col, "%"+cst+"%")
+		}
+		plan := algebra.NewSelect(algebra.NewScan("fz", "s", "id"), pred)
+		code, decode := runBoth(t, db, plan, 1)
+		assertSameRows(t, fmt.Sprintf("op=%d cst=%q", opb%8, cst), code, decode)
+	})
+}

@@ -210,18 +210,25 @@ func (db *Database) TableSchema(name string) (vector.Schema, error) {
 	return t.Schema(), nil
 }
 
-// CodeColumnType implements algebra.CodeResolver: the physical type of an
-// enum column's code vector.
+// CodeColumnType implements algebra.CodeResolver: the physical type of a
+// code-domain column's code vector — enum columns and merged-dict string
+// columns both expose "<column>#" scan targets.
 func (db *Database) CodeColumnType(table, column string) (vector.Type, error) {
 	t, err := db.Catalog.Table(table)
 	if err != nil {
 		return vector.Unknown, err
 	}
 	c := t.Col(column)
-	if c == nil || !c.IsEnum() {
-		return vector.Unknown, fmt.Errorf("core: %s.%s is not an enum column", table, column)
+	if c == nil {
+		return vector.Unknown, fmt.Errorf("core: table %s has no column %q", table, column)
 	}
-	return c.PhysType(), nil
+	if c.IsEnum() {
+		return c.PhysType(), nil
+	}
+	if _, phys, ok := c.CodeDomain(); ok {
+		return phys, nil
+	}
+	return vector.Unknown, fmt.Errorf("core: %s.%s is not an enum or dict-compressed column", table, column)
 }
 
 // BuildSummaryIndex builds a summary index over a clustered column of a

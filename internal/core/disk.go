@@ -39,20 +39,21 @@ func AttachDiskTable(db *Database, store *columnbm.Store, name string) (*colstor
 }
 
 // registerDictTables (re-)registers the "<column>#dict" mapping tables of a
-// table's enum columns: single-column value tables the plan layer
-// Fetch1Joins against to rehydrate enum codes. Re-registration replaces
-// stale mappings after a Reorganize re-encoded the dictionaries.
+// table's code-domain columns — enum columns and merged-dict string
+// columns: single-column value tables the plan layer Fetch1Joins against to
+// rehydrate dictionary codes. Re-registration replaces stale mappings after
+// a Reorganize re-encoded the dictionaries.
 func registerDictTables(db *Database, t *colstore.Table) {
 	for _, c := range t.Cols {
-		if !c.IsEnum() {
-			continue
-		}
 		dt := colstore.NewTable(c.Name + DictSuffix)
-		if c.Dict.Typ == vector.Float64 {
+		switch d, _, ok := c.CodeDomain(); {
+		case ok: // enum string or merged-dict column
 			// AddColumn over fresh copies cannot fail (single column).
+			_ = dt.AddColumn("value", vector.String, append([]string(nil), d.Values...))
+		case c.IsEnum(): // float enum
 			_ = dt.AddColumn("value", vector.Float64, append([]float64(nil), c.Dict.F64s...))
-		} else {
-			_ = dt.AddColumn("value", vector.String, append([]string(nil), c.Dict.Values...))
+		default:
+			continue
 		}
 		db.AddTable(dt)
 	}

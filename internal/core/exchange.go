@@ -405,10 +405,17 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 	case *algebra.Scan:
 		return c.partScan(n, nil, opts)
 	case *algebra.Select:
-		if sc, ok := n.Input.(*algebra.Scan); ok && !opts.NoSummaryIndex {
-			in, err := c.partScan(sc, n.Pred, opts)
+		if sc, ok := n.Input.(*algebra.Scan); ok {
+			boundsPred := n.Pred
+			if opts.NoSummaryIndex {
+				boundsPred = nil // fuse without summary/fragment pruning
+			}
+			in, err := c.partScan(sc, boundsPred, opts)
 			if err != nil {
 				return nil, err
+			}
+			if !opts.NoCodeDomain {
+				return newScanSelectOp(in, n.Pred, opts)
 			}
 			return newSelectOp(in, n.Pred, opts)
 		}
@@ -460,7 +467,7 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 // partScan builds one worker's partitioned scan. The first worker derives
 // the scanned row range (after summary-index pruning from the enclosing
 // Select, when present) and creates the shared morsel source.
-func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (Operator, error) {
+func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (*scanOp, error) {
 	op, err := newScanOp(c.db, n.Table, n.Cols, opts)
 	if err != nil {
 		return nil, err

@@ -17,14 +17,50 @@ import (
 type joinBuild struct {
 	right     Operator // build-side pipeline, drained exactly once
 	rightKeys []int
-	once      sync.Once
-	err       error
+	// keyXlat, when non-nil for key i, maps the build side's dictionary
+	// codes into the probe side's code domain (-1 = value absent from the
+	// probe dictionary, can never match). It keeps both sides of a
+	// code-domain join hashing and comparing narrow codes even though the
+	// two columns carry distinct dictionaries.
+	keyXlat [][]int32
+	once    sync.Once
+	err     error
 
 	rbuild  []*colBuilder // all right columns
 	buckets []int32       // head row id + 1
 	next    []int32       // chain
 	mask    uint64
 	nRight  int
+}
+
+// buildKeyHash hashes build row r over the join keys, translating
+// code-domain keys into the probe dictionary first.
+func (jb *joinBuild) buildKeyHash(r int) uint64 {
+	var h uint64
+	for i, ki := range jb.rightKeys {
+		if i < len(jb.keyXlat) && jb.keyXlat[i] != nil {
+			h = hashCombine(h, uint64(uint32(jb.keyXlat[i][builderCode(jb.rbuild[ki], r)])))
+			continue
+		}
+		h = jb.rbuild[ki].hashAt(r, h)
+	}
+	return h
+}
+
+// builderCode reads the narrow dictionary code at build row r.
+func builderCode(cb *colBuilder, r int) int32 {
+	if cb.typ.Physical() == vector.UInt8 {
+		return int32(cb.u8[r])
+	}
+	return int32(cb.u16[r])
+}
+
+// probeCode reads the narrow dictionary code at probe position pos.
+func probeCode(v *vector.Vector, pos int) int32 {
+	if v.Typ.Physical() == vector.UInt8 {
+		return int32(v.UInt8s()[pos])
+	}
+	return int32(v.UInt16s()[pos])
 }
 
 // run materializes the build side on first call; subsequent (possibly
@@ -68,11 +104,7 @@ func (jb *joinBuild) build(opts ExecOptions) error {
 	jb.mask = uint64(sz - 1)
 	jb.next = make([]int32, jb.nRight)
 	for r := 0; r < jb.nRight; r++ {
-		var h uint64
-		for _, ki := range jb.rightKeys {
-			h = jb.rbuild[ki].hashAt(r, h)
-		}
-		slot := h & jb.mask
+		slot := jb.buildKeyHash(r) & jb.mask
 		jb.next[r] = jb.buckets[slot] - 1
 		jb.buckets[slot] = int32(r) + 1
 	}
@@ -95,6 +127,9 @@ type hashJoinOp struct {
 
 	leftKeys  []int // column indices in left schema
 	rightKeys []int // column indices in right schema
+	// keyXlat mirrors joinBuild.keyXlat: per key, the build-code ->
+	// probe-code translation of a code-domain join key (nil = plain key).
+	keyXlat [][]int32
 
 	// bld holds the build side. Serial joins own a fresh one per Open;
 	// parallel probe pipelines share a single prebuilt instance.
@@ -117,13 +152,32 @@ type hashJoinOp struct {
 func newHashJoinOp(left, right Operator, node *algebra.Join, opts ExecOptions) (*hashJoinOp, error) {
 	ls, rs := left.Schema(), right.Schema()
 	op := &hashJoinOp{left: left, right: right, node: node, opts: opts}
-	for _, c := range node.On {
+	codeKeys := make(map[int]codeJoinKey)
+	for _, ck := range opts.codeJoins[node] {
+		codeKeys[ck.idx] = ck
+	}
+	op.keyXlat = make([][]int32, len(node.On))
+	for i, c := range node.On {
 		li := ls.ColIndex(c.L)
 		ri := rs.ColIndex(c.R)
 		if li < 0 || ri < 0 {
 			return nil, fmt.Errorf("core: join key %s=%s not found", c.L, c.R)
 		}
-		if ls[li].Type.Physical() != rs[ri].Type.Physical() {
+		ck, isCode := codeKeys[i]
+		if isCode && narrowCode(ls[li].Type) && narrowCode(rs[ri].Type) {
+			// Code-domain key: the two sides carry distinct dictionaries
+			// (possibly of different code widths); build the build-side ->
+			// probe-side code translation once.
+			xlat := make([]int32, ck.rdict.Len())
+			for rc, v := range ck.rdict.Values {
+				lc, found := ck.ldict.Lookup(v)
+				if !found {
+					lc = -1
+				}
+				xlat[rc] = int32(lc)
+			}
+			op.keyXlat[i] = xlat
+		} else if ls[li].Type.Physical() != rs[ri].Type.Physical() {
 			return nil, fmt.Errorf("core: join key type mismatch %v vs %v", ls[li].Type, rs[ri].Type)
 		}
 		op.leftKeys = append(op.leftKeys, li)
@@ -159,8 +213,15 @@ func newSharedProbeJoinOp(left Operator, jb *joinBuild, node *algebra.Join, opts
 	}
 	op.right = nil
 	jb.rightKeys = op.rightKeys
+	jb.keyXlat = op.keyXlat
 	op.bld = jb
 	return op, nil
+}
+
+// narrowCode reports whether a join key type is a dictionary code vector.
+func narrowCode(t vector.Type) bool {
+	p := t.Physical()
+	return p == vector.UInt8 || p == vector.UInt16
 }
 
 func (op *hashJoinOp) Schema() vector.Schema { return op.schema }
@@ -172,7 +233,7 @@ func (op *hashJoinOp) Open() error {
 	if op.right != nil {
 		// Owned build side: a fresh build per Open (the build-side pipeline
 		// is opened and drained lazily by joinBuild.run at the first Next).
-		op.bld = &joinBuild{right: op.right, rightKeys: op.rightKeys}
+		op.bld = &joinBuild{right: op.right, rightKeys: op.rightKeys, keyXlat: op.keyXlat}
 	}
 	op.curBatch = nil
 	op.curLive = 0
@@ -211,8 +272,16 @@ func (op *hashJoinOp) probeHashes(b *vector.Batch) error {
 }
 
 // keyMatch verifies that build row r equals left batch row pos on all keys.
+// Code-domain keys compare the translated build code against the probe
+// code — two narrow integer loads, no string touch.
 func (op *hashJoinOp) keyMatch(r int32, b *vector.Batch, pos int) bool {
 	for i, ki := range op.rightKeys {
+		if x := op.keyXlat[i]; x != nil {
+			if x[builderCode(op.bld.rbuild[ki], int(r))] != probeCode(b.Vecs[op.leftKeys[i]], pos) {
+				return false
+			}
+			continue
+		}
 		if !op.bld.rbuild[ki].equalAt(int(r), b.Vecs[op.leftKeys[i]], pos) {
 			return false
 		}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 
+	"x100/internal/algebra"
 	"x100/internal/expr"
 	"x100/internal/primitives"
 	"x100/internal/trace"
@@ -36,6 +37,15 @@ type ExecOptions struct {
 	Tracer *trace.Collector
 	// NoSummaryIndex disables summary-index range pruning (ablation).
 	NoSummaryIndex bool
+	// NoCodeDomain disables code-domain execution: the scan-select fusion
+	// with selection pushdown, string-predicate translation onto dictionary
+	// codes, and the group-by/join-key code rewrite. Everything then runs
+	// decode-first, which is the comparison baseline of the compressed
+	// benchmark and the differential tests.
+	NoCodeDomain bool
+	// codeJoins carries the code-domain join-key annotations produced by
+	// the plan rewrite (see rewriteCodeDomain) to hash-join construction.
+	codeJoins map[*algebra.Join][]codeJoinKey
 	// Parallelism is the number of worker pipelines for intra-query
 	// parallelism. 0 and 1 run single-threaded; negative values select
 	// runtime.GOMAXPROCS(0). Partitionable plan fragments (scan → select →

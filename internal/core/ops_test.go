@@ -162,16 +162,35 @@ func TestOrderedAggrAutoDetected(t *testing.T) {
 	if res.NumRows() != 3 {
 		t.Fatalf("groups: %d", res.NumRows())
 	}
-	// Unsorted input must NOT pick ordered mode.
+	// Unsorted input must NOT pick ordered mode (decode-first build: the
+	// code-domain rewrite would otherwise group on the enum codes).
 	plain := algebra.NewAggr(algebra.NewScan("fact", "grp", "val"),
 		[]algebra.NamedExpr{algebra.NE("grp", expr.C("grp"))},
 		[]algebra.AggExpr{algebra.Count("n")})
-	op2, err := Build(db, plain, DefaultOptions())
+	decodeFirst := DefaultOptions()
+	decodeFirst.NoCodeDomain = true
+	op2, err := Build(db, plain, decodeFirst)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := op2.(*aggrOp).mode; got != algebra.ModeHash {
 		t.Fatalf("auto mode over unsorted input: %v, want HASH", got)
+	}
+	// With code-domain execution the same plan groups on the uint8 enum
+	// codes and upgrades to direct aggregation (rehydrated via Fetch1Join).
+	op3, err := Build(db, plain, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isAggr := op3.(*aggrOp); isAggr {
+		t.Fatalf("code-domain build did not rewrite the string group key")
+	}
+	res3, err := Drain(op3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.NumRows() != 3 {
+		t.Fatalf("code-domain groups: %d", res3.NumRows())
 	}
 }
 

@@ -26,15 +26,43 @@ type scanCol struct {
 	col     *colstore.Column
 	isRowID bool
 	rawCode bool
-	typ     vector.Type // output type
+	// dictRead marks a logical read served through the code domain: enum
+	// columns and merged-dict string columns scan their narrow codes and
+	// gather the decoded values through the shared dictionary — only for
+	// rows that survive the selection vector (late materialization).
+	dictRead bool
+	typ      vector.Type // output type
 	// reader streams the column's base fragments, materializing at most
 	// one (decompressed ColumnBM chunk or in-memory slice) at a time.
 	reader *colstore.FragReader
 	// loc resolves single row ids on the merged delta path without pinning
 	// (built lazily: most scans never need it).
 	loc *colstore.FragLocator
-	// decode buffer for enum columns read logically.
+	// decode buffer for dictionary columns read logically.
 	buf *vector.Vector
+}
+
+// newReader creates the column's fragment reader: a "<col>#" scan of a
+// merged-dict string column needs the code-mode reader (its Vector serves
+// codes); every other column — including dictRead columns, which ask for
+// codes explicitly via CodeVector — uses the plain reader.
+func (sc *scanCol) newReader() *colstore.FragReader {
+	if sc.col == nil {
+		return nil
+	}
+	if sc.rawCode && !sc.col.IsEnum() {
+		return sc.col.CodeReader()
+	}
+	return sc.col.Reader()
+}
+
+// domainValues returns the shared dictionary of a dictRead/rawCode string
+// column.
+func (sc *scanCol) domainDict() *colstore.Dict {
+	if d, _, ok := sc.col.CodeDomain(); ok {
+		return d
+	}
+	return sc.col.Dict // float enums
 }
 
 type scanOp struct {
@@ -84,12 +112,21 @@ func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*sc
 		case strings.HasSuffix(name, CodeSuffix):
 			base := strings.TrimSuffix(name, CodeSuffix)
 			c := t.Col(base)
-			if c == nil || !c.IsEnum() {
-				return nil, fmt.Errorf("core: %s.%s is not an enum column", table, base)
+			if c == nil {
+				return nil, fmt.Errorf("core: table %s has no column %q", table, base)
 			}
 			sc.col = c
 			sc.rawCode = true
-			sc.typ = c.PhysType()
+			switch {
+			case c.IsEnum():
+				sc.typ = c.PhysType()
+			default:
+				_, phys, ok := c.CodeDomain()
+				if !ok {
+					return nil, fmt.Errorf("core: %s.%s is not an enum or dict-compressed column", table, base)
+				}
+				sc.typ = phys
+			}
 		default:
 			c := t.Col(name)
 			if c == nil {
@@ -97,6 +134,11 @@ func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*sc
 			}
 			sc.col = c
 			sc.typ = c.Typ
+			if c.IsEnum() {
+				sc.dictRead = true
+			} else if _, _, ok := c.CodeDomain(); ok {
+				sc.dictRead = true
+			}
 		}
 		op.cols = append(op.cols, sc)
 		op.schema = append(op.schema, vector.Field{Name: name, Type: sc.typ})
@@ -122,10 +164,8 @@ func (s *scanOp) Open() error {
 	s.selBuf = make([]int32, 0, n)
 	for i := range s.cols {
 		sc := &s.cols[i]
-		if sc.col != nil {
-			sc.reader = sc.col.Reader()
-		}
-		if sc.col != nil && sc.col.IsEnum() && !sc.rawCode {
+		sc.reader = sc.newReader()
+		if sc.dictRead {
 			sc.buf = vector.New(sc.typ, n)
 		}
 	}
@@ -133,7 +173,102 @@ func (s *scanOp) Open() error {
 	return nil
 }
 
-func (s *scanOp) Close() error { return nil }
+// Close flushes the readers' decode counters into the tracer.
+func (s *scanOp) Close() error {
+	tr := s.opts.Tracer
+	for i := range s.cols {
+		if r := s.cols[i].reader; r != nil {
+			tr.RecordCounter("scan_decoded_values", r.Stats.DecodedValues)
+			tr.RecordCounter("scan_decoded_bytes", r.Stats.DecodedBytes)
+			tr.RecordCounter("scan_skipped_values", r.Stats.SkippedValues)
+			tr.RecordCounter("scan_skipped_bytes", r.Stats.SkippedBytes)
+			r.Stats = colstore.ReaderStats{}
+		}
+	}
+	return nil
+}
+
+// claimRange returns the next batch row range [lo, hi), clamped so that no
+// batch spans a fragment boundary: each column's reader then holds exactly
+// one materialized fragment per batch. ok=false means the scan (or its
+// morsel source) is exhausted.
+func (s *scanOp) claimRange() (int, int, bool) {
+	limit := s.hi
+	if s.source != nil {
+		if s.pos >= s.morselHi {
+			mlo, mhi, ok := s.source.claim()
+			if !ok {
+				return 0, 0, false
+			}
+			s.pos, s.morselHi = mlo, mhi
+		}
+		limit = s.morselHi
+	}
+	if s.pos >= limit {
+		return 0, 0, false
+	}
+	lo := s.pos
+	hi := min(lo+s.opts.batchSize(), limit)
+	for i := range s.cols {
+		if c := s.cols[i].col; c != nil {
+			if _, fe := c.FragSpan(lo); fe < hi {
+				hi = fe
+			}
+		}
+	}
+	s.pos = hi
+	return lo, hi, true
+}
+
+// deletionSel fills the scan's selection buffer with the positions of
+// [lo,hi) not on the deletion list.
+func (s *scanOp) deletionSel(lo, hi int) []int32 {
+	sel := s.selBuf[:0]
+	for j := 0; j < hi-lo; j++ {
+		if !s.dstore.IsDeleted(int32(lo + j)) {
+			sel = append(sel, int32(j))
+		}
+	}
+	s.selBuf = sel
+	return sel
+}
+
+// fillCol materializes column i of the current batch over [lo,hi). sel
+// (batch-relative positions, nil = all) is the selection known so far:
+// dictionary-backed columns decode only the selected rows.
+func (s *scanOp) fillCol(i, lo, hi int, sel []int32) error {
+	sc := &s.cols[i]
+	k := hi - lo
+	switch {
+	case sc.isRowID:
+		ids := s.rowIDBuf[:k]
+		for j := range ids {
+			ids[j] = int32(lo + j)
+		}
+		s.batch.Vecs[i] = vector.FromInt32s(ids)
+	case sc.dictRead:
+		v, err := s.decodeDict(sc, lo, hi, sel)
+		if err != nil {
+			return err
+		}
+		s.batch.Vecs[i] = v
+	case sc.rawCode:
+		v, err := sc.reader.Vector(lo, hi)
+		if err != nil {
+			return err
+		}
+		v.Typ = sc.typ
+		s.batch.Vecs[i] = v
+	default:
+		v, err := sc.reader.VectorSel(lo, hi, sel)
+		if err != nil {
+			return err
+		}
+		v.Typ = sc.typ
+		s.batch.Vecs[i] = v
+	}
+	return nil
+}
 
 func (s *scanOp) Next() (*vector.Batch, error) {
 	// Insert deltas require the value-at-a-time merged scan; a bare
@@ -145,114 +280,80 @@ func (s *scanOp) Next() (*vector.Batch, error) {
 	}
 	hasDel := s.dstore.NumDeleted() > 0
 	for {
-		limit := s.hi
-		if s.source != nil {
-			if s.pos >= s.morselHi {
-				mlo, mhi, ok := s.source.claim()
-				if !ok {
-					return nil, nil
-				}
-				s.pos, s.morselHi = mlo, mhi
-			}
-			limit = s.morselHi
-		}
-		if s.pos >= limit {
+		lo, hi, ok := s.claimRange()
+		if !ok {
 			return nil, nil
 		}
-		lo := s.pos
-		hi := min(lo+s.opts.batchSize(), limit)
-		// Never let a batch span a fragment boundary: each column's reader
-		// then holds exactly one materialized fragment per batch.
-		for i := range s.cols {
-			if c := s.cols[i].col; c != nil {
-				if _, fe := c.FragSpan(lo); fe < hi {
-					hi = fe
-				}
-			}
-		}
 		k := hi - lo
-		s.pos = hi
 		b := s.batch
 		b.N = k
 		b.Sel = nil
+		var sel []int32
+		if hasDel {
+			sel = s.deletionSel(lo, hi)
+			if len(sel) == 0 {
+				continue // fully deleted batch: pull the next range
+			}
+			if len(sel) == k {
+				sel = nil
+			}
+		}
 		for i := range s.cols {
-			sc := &s.cols[i]
-			switch {
-			case sc.isRowID:
-				ids := s.rowIDBuf[:k]
-				for j := range ids {
-					ids[j] = int32(lo + j)
-				}
-				b.Vecs[i] = vector.FromInt32s(ids)
-			case sc.col.IsEnum() && !sc.rawCode:
-				v, err := s.decodeEnum(sc, lo, hi)
-				if err != nil {
-					return nil, err
-				}
-				b.Vecs[i] = v
-			default:
-				v, err := sc.reader.Vector(lo, hi)
-				if err != nil {
-					return nil, err
-				}
-				v.Typ = sc.typ
-				b.Vecs[i] = v
+			if err := s.fillCol(i, lo, hi, sel); err != nil {
+				return nil, err
 			}
 		}
-		if !hasDel {
-			return b, nil
-		}
-		sel := s.selBuf[:0]
-		for j := 0; j < k; j++ {
-			if !s.dstore.IsDeleted(int32(lo + j)) {
-				sel = append(sel, int32(j))
-			}
-		}
-		s.selBuf = sel
-		if len(sel) == 0 {
-			continue // fully deleted batch: pull the next range
-		}
-		if len(sel) < k {
-			b.Sel = sel
-		}
+		b.Sel = sel
 		return b, nil
 	}
 }
 
-// decodeEnum gathers dictionary values through the code vector — the
+// decodeDict gathers dictionary values through the code vector — the
 // automatic Fetch1Join against the mapping table (map_fetch_uchr_col in
-// Table 5 of the paper).
-func (s *scanOp) decodeEnum(sc *scanCol, lo, hi int) (*vector.Vector, error) {
+// Table 5 of the paper). With a selection vector only surviving rows are
+// materialized: the decompress-only-what-you-use scan path.
+func (s *scanOp) decodeDict(sc *scanCol, lo, hi int, sel []int32) (*vector.Vector, error) {
 	k := hi - lo
 	out := sc.buf.Slice(0, k)
 	out.Typ = sc.typ
-	codes, err := sc.reader.Vector(lo, hi)
+	codes, err := sc.reader.CodeVector(lo, hi)
 	if err != nil {
 		return nil, err
 	}
 	tr := s.opts.Tracer
 	t0 := tr.Now()
 	var name string
+	dict := sc.domainDict()
 	if sc.typ.Physical() == vector.Float64 {
-		base := sc.col.Dict.F64s
+		base := dict.F64s
 		if codes.Typ == vector.UInt8 {
-			primitives.GatherColU8(out.Float64s(), base, codes.UInt8s(), nil)
+			primitives.GatherColU8(out.Float64s(), base, codes.UInt8s(), sel)
 			name = "map_fetch_uchr_col_flt_col"
 		} else {
-			primitives.GatherColU16(out.Float64s(), base, codes.UInt16s(), nil)
+			primitives.GatherColU16(out.Float64s(), base, codes.UInt16s(), sel)
 			name = "map_fetch_usht_col_flt_col"
 		}
 	} else {
-		base := sc.col.Dict.Values
+		base := dict.Values
 		if codes.Typ == vector.UInt8 {
-			primitives.GatherColU8(out.Strings(), base, codes.UInt8s(), nil)
+			primitives.GatherColU8(out.Strings(), base, codes.UInt8s(), sel)
 			name = "map_fetch_uchr_col_str_col"
 		} else {
-			primitives.GatherColU16(out.Strings(), base, codes.UInt16s(), nil)
+			primitives.GatherColU16(out.Strings(), base, codes.UInt16s(), sel)
 			name = "map_fetch_usht_col_str_col"
 		}
 	}
-	tr.RecordPrimitiveSince(name, t0, k, k+8*k)
+	live := k
+	if sel != nil {
+		live = len(sel)
+		width := int64(16) // string header estimate
+		if sc.typ.Physical() == vector.Float64 {
+			width = 8
+		}
+		tr.RecordCounter("scan_skipped_values", int64(k-live))
+		tr.RecordCounter("scan_skipped_bytes", int64(k-live)*width)
+	}
+	tr.RecordPrimitiveSince(name, t0, live, live+8*live)
 	return out, nil
 }
 
@@ -297,9 +398,18 @@ func (s *scanOp) nextMerged() (*vector.Batch, error) {
 			case int(r.id) < baseN:
 				var val any
 				var err error
-				if sc.rawCode {
+				switch {
+				case sc.rawCode && !sc.col.IsEnum():
+					// Merged-dict column: the physical value is the string;
+					// translate it through the shared code domain (base rows
+					// are covered by the attach-time merged dictionary).
+					val, err = sc.loc.Value(int(r.id))
+					if err == nil {
+						val, err = sc.lookupCode(val.(string))
+					}
+				case sc.rawCode:
 					val, err = sc.loc.PhysValue(int(r.id))
-				} else {
+				default:
 					val, err = sc.loc.Value(int(r.id))
 				}
 				if err != nil {
@@ -307,7 +417,10 @@ func (s *scanOp) nextMerged() (*vector.Batch, error) {
 				}
 				v.Set(j, val)
 			default:
-				val := s.deltaValue(sc, int(r.id)-baseN)
+				val, err := s.deltaValue(sc, int(r.id)-baseN)
+				if err != nil {
+					return nil, err
+				}
 				v.Set(j, val)
 			}
 		}
@@ -316,7 +429,7 @@ func (s *scanOp) nextMerged() (*vector.Batch, error) {
 	return b, nil
 }
 
-func (s *scanOp) deltaValue(sc *scanCol, j int) any {
+func (s *scanOp) deltaValue(sc *scanCol, j int) (any, error) {
 	ti := 0
 	for i, c := range s.table.Cols {
 		if c == sc.col {
@@ -326,15 +439,37 @@ func (s *scanOp) deltaValue(sc *scanCol, j int) any {
 	}
 	val := s.dstore.DeltaValue(ti, j)
 	if !sc.rawCode {
-		return val
+		return val, nil
 	}
 	// Encode the uncompressed delta value into the dictionary code space.
-	var code int
-	if sc.col.Dict.Typ == vector.Float64 {
-		code = sc.col.Dict.CodeF64(val.(float64))
-	} else {
-		code = sc.col.Dict.Code(val.(string))
+	// Enum dictionaries are append-only and grow with the delta (the
+	// existing insert contract); the attach-time merged dictionary of a
+	// dict-compressed disk column is a shared immutable snapshot — growing
+	// it would desynchronize compiled predicate translations and the
+	// registered "<col>#dict" mapping table — so an unseen value is an
+	// explicit error (checkpoint or reorganize first, then re-attach).
+	if d := sc.col.Dict; d != nil {
+		if d.Typ == vector.Float64 {
+			return sc.encodeCode(d.CodeF64(val.(float64))), nil
+		}
+		return sc.encodeCode(d.Code(val.(string))), nil
 	}
+	return sc.lookupCode(val.(string))
+}
+
+// lookupCode translates a string through a merged-dict column's shared
+// dictionary without inserting.
+func (sc *scanCol) lookupCode(s string) (any, error) {
+	code, ok := sc.domainDict().Lookup(s)
+	if !ok {
+		return nil, fmt.Errorf("core: column %s: value %q is not in the attached merged dictionary (checkpoint/reorganize and re-attach before scanning %s%s)",
+			sc.col.Name, s, sc.col.Name, CodeSuffix)
+	}
+	return sc.encodeCode(code), nil
+}
+
+// encodeCode casts a dictionary code to the column's code vector type.
+func (sc *scanCol) encodeCode(code int) any {
 	if sc.typ == vector.UInt8 {
 		return uint8(code)
 	}

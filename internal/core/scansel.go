@@ -1,0 +1,592 @@
+package core
+
+import (
+	"time"
+
+	"x100/internal/colstore"
+	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/vector"
+)
+
+// scanSelectOp fuses a Select directly over a Scan, enabling the two
+// code-domain scan optimizations of this engine:
+//
+//   - Code-domain predicates: conjuncts over a single dictionary-backed
+//     string column (enum columns, merged-dict ColumnBM columns, and
+//     per-chunk dict-coded chunks) are translated into the code domain and
+//     evaluated with narrow-native integer select primitives — string
+//     equality becomes select_eq_uchr, arbitrary predicates (IN, LIKE,
+//     ranges over unsorted dictionaries) become one predicate evaluation
+//     per distinct dictionary value plus a byte-lookup per row
+//     (select_lookup). Raw and prefix chunks fall back to the decode-first
+//     string evaluation per chunk.
+//
+//   - Selection pushdown into decode: predicate columns are read before the
+//     remaining scan columns, so every column read after the predicate only
+//     materializes the rows that survived it ("decompress only what you
+//     use") via FragReader.VectorSel and selective dictionary gathers.
+//
+// The delta-bearing merged scan path keeps the decode-first evaluation: it
+// materializes logical values anyway, and delta rows may carry dictionary
+// values the compiled translation has never seen.
+type scanSelectOp struct {
+	scan *scanOp
+	opts ExecOptions
+
+	codeSteps []*codeStep
+	// strPred evaluates the conjuncts that did not translate, over the
+	// scan's schema; strCols lists the scan columns it reads.
+	strPred *expr.Pred
+	strCols []int
+	// fullPred is the whole predicate, used on the merged delta path.
+	fullPred *expr.Pred
+
+	filled []bool
+}
+
+// stepKind tags how a code-domain step evaluates.
+type stepKind uint8
+
+const (
+	stepCmp   stepKind = iota // compare codes against a translated constant
+	stepBits                  // byte-lookup into a precomputed bitmap
+	stepChunk                 // per-chunk dictionary: bitmap rebuilt per chunk
+	stepNone                  // conjunct can never match (constant false)
+)
+
+// codeStep is one translated conjunct.
+type codeStep struct {
+	kind   stepKind
+	colIdx int // scan column index
+
+	// stepCmp: narrow comparison against code.
+	op   expr.CmpKind
+	code int
+
+	// stepBits: bitmap over the table-level dictionary.
+	bits []bool
+
+	// stepChunk: per-chunk translation state. predOnDict evaluates the
+	// original string conjunct over a chunk's dictionary values to build
+	// the chunk bitmap; strFallback evaluates it decode-first when the
+	// chunk is not dict-coded.
+	predOnDict  *expr.Pred
+	dictSchema  vector.Schema
+	strFallback *expr.Pred
+	lastFrag    int
+
+	buf []int32
+}
+
+// newScanSelectOp fuses pred over the scan. It always applies selection
+// pushdown; conjuncts additionally translate into the code domain when
+// they touch exactly one dictionary-backed string column.
+func newScanSelectOp(op *scanOp, pred expr.Expr, opts ExecOptions) (*scanSelectOp, error) {
+	full, err := expr.CompilePred(pred, op.schema, opts.exprOptions())
+	if err != nil {
+		return nil, err
+	}
+	s := &scanSelectOp{scan: op, opts: opts, fullPred: full, filled: make([]bool, len(op.cols))}
+	var rest []expr.Expr
+	for _, cj := range conjuncts(pred, nil) {
+		if st := s.translate(cj); st != nil {
+			s.codeSteps = append(s.codeSteps, st)
+			continue
+		}
+		rest = append(rest, cj)
+	}
+	if len(rest) > 0 {
+		restPred := rest[0]
+		if len(rest) > 1 {
+			restPred = expr.AndE(rest...)
+		}
+		if s.strPred, err = expr.CompilePred(restPred, op.schema, opts.exprOptions()); err != nil {
+			return nil, err
+		}
+		seen := map[int]bool{}
+		for _, name := range expr.Columns(restPred, nil) {
+			if ci := op.schema.ColIndex(name); ci >= 0 && !seen[ci] {
+				seen[ci] = true
+				s.strCols = append(s.strCols, ci)
+			}
+		}
+	}
+	return s, nil
+}
+
+// singleStringCol returns the scan column index when cj references exactly
+// one column and that column is a logically read string column.
+func (s *scanSelectOp) singleStringCol(cj expr.Expr) (int, bool) {
+	names := expr.Columns(cj, nil)
+	if len(names) == 0 {
+		return -1, false
+	}
+	for _, n := range names[1:] {
+		if n != names[0] {
+			return -1, false
+		}
+	}
+	ci := s.scan.schema.ColIndex(names[0])
+	if ci < 0 {
+		return -1, false
+	}
+	sc := &s.scan.cols[ci]
+	if sc.col == nil || sc.isRowID || sc.rawCode || sc.typ.Physical() != vector.String {
+		return -1, false
+	}
+	return ci, true
+}
+
+// translate attempts to turn one conjunct into a code-domain step. nil
+// means the conjunct stays on the decode-first path.
+func (s *scanSelectOp) translate(cj expr.Expr) *codeStep {
+	ci, ok := s.singleStringCol(cj)
+	if !ok {
+		return nil
+	}
+	sc := &s.scan.cols[ci]
+	if d, _, ok := sc.col.CodeDomain(); ok {
+		return s.translateGlobal(cj, ci, d)
+	}
+	return s.translateChunk(cj, ci)
+}
+
+// translateGlobal translates a conjunct against a table-level dictionary
+// (enum or merged-dict column): equality and inequality become narrow code
+// comparisons; sorted-dictionary ranges become code-range comparisons;
+// everything else (IN, LIKE, ranges over insertion-ordered enum
+// dictionaries, single-column boolean combinations) becomes a bitmap built
+// by evaluating the predicate once per distinct dictionary value.
+func (s *scanSelectOp) translateGlobal(cj expr.Expr, ci int, d *colstore.Dict) *codeStep {
+	if cmp, cst, ok := colConstCmp(cj); ok {
+		switch cmp {
+		case expr.EQ:
+			code, found := d.Lookup(cst)
+			if !found {
+				return &codeStep{kind: stepNone, colIdx: ci}
+			}
+			return &codeStep{kind: stepCmp, colIdx: ci, op: expr.EQ, code: code}
+		case expr.NE:
+			code, found := d.Lookup(cst)
+			if !found {
+				// Every dictionary value differs from the constant: the
+				// conjunct is always true on base rows. Keep an all-true
+				// step so the trace still shows a code-domain evaluation.
+				return allTrueStep(ci, d)
+			}
+			return &codeStep{kind: stepCmp, colIdx: ci, op: expr.NE, code: code}
+		case expr.LT, expr.LE, expr.GT, expr.GE:
+			if d.Sorted {
+				if st := rangeStep(cmp, cst, ci, d); st != nil {
+					return st
+				}
+			}
+		}
+	}
+	bits := s.bitsFor(cj, ci, d.Values)
+	if bits == nil {
+		return nil
+	}
+	return &codeStep{kind: stepBits, colIdx: ci, bits: bits}
+}
+
+// rangeStep translates a range comparison over a sorted dictionary into a
+// code-range comparison: codes of a sorted dictionary are order-isomorphic
+// to their strings, so "col < v" is exactly "code < #values(< v)".
+func rangeStep(op expr.CmpKind, v string, ci int, d *colstore.Dict) *codeStep {
+	below := d.SearchValue(v) // number of values < v
+	atOrBelow := below
+	if below < d.Len() && d.Values[below] == v {
+		atOrBelow++
+	}
+	// Express every range as "code < bound" or "code >= bound".
+	var bound int
+	ge := false
+	switch op {
+	case expr.LT:
+		bound = below
+	case expr.LE:
+		bound = atOrBelow
+	case expr.GE:
+		bound, ge = below, true
+	case expr.GT:
+		bound, ge = atOrBelow, true
+	}
+	switch {
+	case !ge && bound <= 0, ge && bound >= d.Len():
+		return &codeStep{kind: stepNone, colIdx: ci}
+	case !ge && bound >= d.Len(), ge && bound <= 0:
+		return allTrueStep(ci, d)
+	case ge:
+		return &codeStep{kind: stepCmp, colIdx: ci, op: expr.GE, code: bound}
+	default:
+		return &codeStep{kind: stepCmp, colIdx: ci, op: expr.LT, code: bound}
+	}
+}
+
+// allTrueStep is a bitmap step every dictionary code passes: the conjunct
+// is a tautology on base rows but stays visible in the trace counters.
+func allTrueStep(ci int, d *colstore.Dict) *codeStep {
+	bits := make([]bool, d.Len())
+	for i := range bits {
+		bits[i] = true
+	}
+	return &codeStep{kind: stepBits, colIdx: ci, bits: bits}
+}
+
+// colConstCmp matches cj as a comparison between the conjunct's column and
+// a string constant, normalizing the constant to the right-hand side.
+func colConstCmp(cj expr.Expr) (expr.CmpKind, string, bool) {
+	cmp, ok := cj.(*expr.Cmp)
+	if !ok {
+		return 0, "", false
+	}
+	if _, lcol := cmp.L.(*expr.Col); lcol {
+		if cst, rconst := cmp.R.(*expr.Const); rconst {
+			if v, isStr := cst.Val.(string); isStr {
+				return cmp.Op, v, true
+			}
+		}
+		return 0, "", false
+	}
+	if cst, lconst := cmp.L.(*expr.Const); lconst {
+		if _, rcol := cmp.R.(*expr.Col); rcol {
+			if v, isStr := cst.Val.(string); isStr {
+				return flipCmpKind(cmp.Op), v, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// dictPred compiles cj against a one-column {name: string} schema so it can
+// be evaluated over dictionary values instead of rows.
+func (s *scanSelectOp) dictPred(cj expr.Expr, ci int) (*expr.Pred, vector.Schema) {
+	schema := vector.Schema{{Name: s.scan.schema[ci].Name, Type: vector.String}}
+	// Dictionary evaluation is off the per-row hot path; keep it out of the
+	// primitive trace so per-row primitive counts stay meaningful.
+	p, err := expr.CompilePred(cj, schema, expr.Options{Fuse: s.opts.Fuse})
+	if err != nil {
+		return nil, nil
+	}
+	return p, schema
+}
+
+// bitsFor evaluates cj over the dictionary values and returns the
+// qualifying-code bitmap, or nil when the conjunct cannot be compiled
+// against the single-column schema.
+func (s *scanSelectOp) bitsFor(cj expr.Expr, ci int, values []string) []bool {
+	p, schema := s.dictPred(cj, ci)
+	if p == nil {
+		return nil
+	}
+	return evalDictBits(p, schema, values)
+}
+
+// evalDictBits runs a compiled single-column predicate over the dictionary
+// values and records the qualifying codes.
+func evalDictBits(p *expr.Pred, schema vector.Schema, values []string) []bool {
+	bits := make([]bool, len(values))
+	if len(values) == 0 {
+		return bits
+	}
+	b := &vector.Batch{Schema: schema, Vecs: []*vector.Vector{vector.FromStrings(values)}, N: len(values)}
+	for _, i := range p.Select(b) {
+		bits[i] = true
+	}
+	return bits
+}
+
+// translateChunk prepares a per-chunk code-domain step for a plain string
+// column whose ColumnBM chunks may be dict-coded: the chunk's dictionary is
+// read instead of its rows, the conjunct is evaluated once per distinct
+// value, and rows filter through a byte lookup. Chunks that are not
+// dict-coded (raw/prefix, or in-memory fragments) evaluate decode-first.
+func (s *scanSelectOp) translateChunk(cj expr.Expr, ci int) *codeStep {
+	sc := &s.scan.cols[ci]
+	hasDict := false
+	for i := 0; i < sc.col.NumFrags(); i++ {
+		f := sc.col.Frag(i)
+		if _, ok := f.(colstore.DictFragment); !ok {
+			continue
+		}
+		if h, ok := f.(colstore.DictHint); ok && !h.MayServeDict() {
+			continue // manifest says raw/prefix: no dictionary to serve
+		}
+		hasDict = true
+		break
+	}
+	if !hasDict {
+		return nil
+	}
+	p, schema := s.dictPred(cj, ci)
+	if p == nil {
+		return nil
+	}
+	fallback, err := expr.CompilePred(cj, s.scan.schema, s.opts.exprOptions())
+	if err != nil {
+		return nil
+	}
+	return &codeStep{
+		kind: stepChunk, colIdx: ci,
+		predOnDict: p, dictSchema: schema, strFallback: fallback,
+		lastFrag: -1,
+	}
+}
+
+func (s *scanSelectOp) Schema() vector.Schema { return s.scan.schema }
+
+func (s *scanSelectOp) Open() error {
+	if err := s.scan.Open(); err != nil {
+		return err
+	}
+	bs := s.opts.batchSize()
+	s.fullPred.Reserve(bs)
+	if s.strPred != nil {
+		s.strPred.Reserve(bs)
+	}
+	for _, st := range s.codeSteps {
+		if cap(st.buf) < bs {
+			st.buf = make([]int32, bs)
+		}
+		st.lastFrag = -1
+		if st.strFallback != nil {
+			st.strFallback.Reserve(bs)
+		}
+	}
+	return nil
+}
+
+func (s *scanSelectOp) Close() error { return s.scan.Close() }
+
+// apply runs one code step over the batch range, returning the surviving
+// selection (explicit, possibly empty). filled tracks per-batch column
+// materialization for the decode-first chunk fallback.
+func (st *codeStep) apply(s *scanSelectOp, lo, hi int, sel []int32) ([]int32, error) {
+	sc := &s.scan.cols[st.colIdx]
+	k := hi - lo
+	nin := k
+	if sel != nil {
+		nin = len(sel)
+	}
+	tr := s.opts.Tracer
+	if st.kind == stepNone {
+		tr.RecordCounter("select_code_domain", int64(nin))
+		return st.buf[:0], nil
+	}
+	if st.kind == stepChunk {
+		codes, dict, ok, err := sc.reader.DictVector(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Decode-first fallback for raw/prefix chunks: materialize the
+			// column (only surviving rows when dict-backed upstream) and
+			// evaluate the string conjunct.
+			if err := s.fill(st.colIdx, lo, hi, sel); err != nil {
+				return nil, err
+			}
+			b := s.scan.batch
+			saved := b.Sel
+			b.Sel = sel
+			out := st.strFallback.Select(b)
+			b.Sel = saved
+			tr.RecordCounter("select_decode_first", int64(nin))
+			return out, nil
+		}
+		if fs, _ := sc.col.FragSpan(lo); fs != st.lastFrag {
+			st.bits = evalDictBits(st.predOnDict, st.dictSchema, dict)
+			st.lastFrag = fs
+		}
+		res := st.buf[:k]
+		t0 := tr.Now()
+		var n int
+		if codes.Typ == vector.UInt8 {
+			n = primitives.SelectLookupCol(res, codes.UInt8s(), st.bits, sel)
+		} else {
+			n = primitives.SelectLookupCol(res, codes.UInt16s(), st.bits, sel)
+		}
+		tr.RecordPrimitiveSince(lookupPrimName(codes.Typ), t0, nin, nin+4*n)
+		tr.RecordCounter("select_code_domain", int64(nin))
+		return res[:n], nil
+	}
+	codes, err := sc.reader.CodeVector(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	res := st.buf[:k]
+	t0 := tr.Now()
+	var n int
+	switch st.kind {
+	case stepBits:
+		if codes.Typ == vector.UInt8 {
+			n = primitives.SelectLookupCol(res, codes.UInt8s(), st.bits, sel)
+		} else {
+			n = primitives.SelectLookupCol(res, codes.UInt16s(), st.bits, sel)
+		}
+		tr.RecordPrimitiveSince(lookupPrimName(codes.Typ), t0, nin, nin+4*n)
+	default: // stepCmp
+		n = selectCodeCmp(res, codes, st.op, st.code, sel)
+		tr.RecordPrimitiveSince(cmpPrimName(st.op, codes.Typ), t0, nin, nin+4*n)
+	}
+	tr.RecordCounter("select_code_domain", int64(nin))
+	return res[:n], nil
+}
+
+func lookupPrimName(t vector.Type) string {
+	if t == vector.UInt8 {
+		return "select_lookup_uchr_col"
+	}
+	return "select_lookup_usht_col"
+}
+
+func cmpPrimName(op expr.CmpKind, t vector.Type) string {
+	kind := "uchr"
+	if t == vector.UInt16 {
+		kind = "usht"
+	}
+	var o string
+	switch op {
+	case expr.EQ:
+		o = "eq"
+	case expr.NE:
+		o = "ne"
+	case expr.LT:
+		o = "lt"
+	default:
+		o = "ge"
+	}
+	return "select_" + o + "_" + kind + "_col_" + kind + "_val"
+}
+
+// selectCodeCmp applies a narrow-native comparison of the code vector
+// against a translated constant code.
+func selectCodeCmp(res []int32, codes *vector.Vector, op expr.CmpKind, code int, sel []int32) int {
+	if codes.Typ == vector.UInt8 {
+		in := codes.UInt8s()
+		switch op {
+		case expr.EQ:
+			return primitives.SelectEQColVal(res, in, uint8(code), sel)
+		case expr.NE:
+			return primitives.SelectNEColVal(res, in, uint8(code), sel)
+		case expr.LT:
+			return primitives.SelectLTColVal(res, in, uint8(code), sel)
+		default:
+			return primitives.SelectGEColVal(res, in, uint8(code), sel)
+		}
+	}
+	in := codes.UInt16s()
+	switch op {
+	case expr.EQ:
+		return primitives.SelectEQColVal(res, in, uint16(code), sel)
+	case expr.NE:
+		return primitives.SelectNEColVal(res, in, uint16(code), sel)
+	case expr.LT:
+		return primitives.SelectLTColVal(res, in, uint16(code), sel)
+	default:
+		return primitives.SelectGEColVal(res, in, uint16(code), sel)
+	}
+}
+
+// fill materializes scan column ci for the current batch once.
+func (s *scanSelectOp) fill(ci, lo, hi int, sel []int32) error {
+	if s.filled[ci] {
+		return nil
+	}
+	if err := s.scan.fillCol(ci, lo, hi, sel); err != nil {
+		return err
+	}
+	s.filled[ci] = true
+	return nil
+}
+
+func (s *scanSelectOp) Next() (*vector.Batch, error) {
+	if s.scan.dstore.NumDeltaRows() > 0 {
+		// Merged delta path: logical values are materialized anyway, so the
+		// whole predicate evaluates decode-first.
+		for {
+			b, err := s.scan.nextMerged()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			sel := s.fullPred.Select(b)
+			s.opts.Tracer.RecordCounter("select_decode_first", int64(b.Rows()))
+			s.opts.Tracer.RecordOperator("Select", len(sel), time.Since(t0))
+			if len(sel) == 0 {
+				continue
+			}
+			b.Sel = sel
+			return b, nil
+		}
+	}
+	hasDel := s.scan.dstore.NumDeleted() > 0
+	for {
+		lo, hi, ok := s.scan.claimRange()
+		if !ok {
+			return nil, nil
+		}
+		t0 := time.Now()
+		k := hi - lo
+		b := s.scan.batch
+		b.N = k
+		b.Sel = nil
+		for i := range s.filled {
+			s.filled[i] = false
+		}
+		var sel []int32
+		dead := false
+		if hasDel {
+			sel = s.scan.deletionSel(lo, hi)
+			if len(sel) == 0 {
+				continue
+			}
+			if len(sel) == k {
+				sel = nil
+			}
+		}
+		for _, st := range s.codeSteps {
+			out, err := st.apply(s, lo, hi, sel)
+			if err != nil {
+				return nil, err
+			}
+			sel = out
+			if len(sel) == 0 {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			s.opts.Tracer.RecordOperator("Select", 0, time.Since(t0))
+			continue
+		}
+		if s.strPred != nil {
+			for _, ci := range s.strCols {
+				if err := s.fill(ci, lo, hi, sel); err != nil {
+					return nil, err
+				}
+			}
+			nin := k
+			if sel != nil {
+				nin = len(sel)
+			}
+			b.Sel = sel
+			sel = s.strPred.Select(b)
+			s.opts.Tracer.RecordCounter("select_decode_first", int64(nin))
+			if len(sel) == 0 {
+				s.opts.Tracer.RecordOperator("Select", 0, time.Since(t0))
+				continue
+			}
+		}
+		// Materialize the remaining columns only for surviving rows.
+		for i := range s.scan.cols {
+			if err := s.fill(i, lo, hi, sel); err != nil {
+				return nil, err
+			}
+		}
+		b.Sel = sel
+		s.opts.Tracer.RecordOperator("Select", b.Rows(), time.Since(t0))
+		return b, nil
+	}
+}

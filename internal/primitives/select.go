@@ -278,6 +278,31 @@ func SelectBetweenColVal[T Ordered](res []int32, in []T, lo, hi T, sel []int32) 
 	return k
 }
 
+// SelectLookupCol selects positions whose dictionary code maps to true in
+// bits: the code-domain form of an arbitrary single-column string predicate.
+// The predicate is evaluated once per distinct dictionary value to fill
+// bits; per row only a narrow code load and a byte lookup remain. Codes not
+// covered by bits (a dictionary that grew after the predicate was compiled)
+// never qualify, keeping the primitive total on corrupt or racy inputs.
+func SelectLookupCol[T ~uint8 | ~uint16](res []int32, codes []T, bits []bool, sel []int32) int {
+	k := 0
+	n := len(bits)
+	if sel != nil {
+		for _, i := range sel {
+			c := int(codes[i])
+			res[k] = i
+			k += b2i(c < n && bits[c])
+		}
+		return k
+	}
+	for i, code := range codes {
+		c := int(code)
+		res[k] = int32(i)
+		k += b2i(c < n && bits[c])
+	}
+	return k
+}
+
 // b2i converts a bool to 0/1 in a form the compiler lowers without a branch.
 func b2i(b bool) int {
 	if b {

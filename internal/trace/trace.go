@@ -53,21 +53,32 @@ func (s *Stat) CyclesPerTuple() float64 {
 // disabled: Record* calls are cheap no-ops so production paths can leave
 // tracing statements in place.
 type Collector struct {
-	Enabled bool
-	prims   map[string]*Stat
-	ops     map[string]*Stat
-	primSeq []string
-	opSeq   []string
-	start   time.Time
-	total   time.Duration
+	Enabled  bool
+	prims    map[string]*Stat
+	ops      map[string]*Stat
+	counters map[string]*Counter
+	primSeq  []string
+	opSeq    []string
+	ctrSeq   []string
+	start    time.Time
+	total    time.Duration
+}
+
+// Counter is a named event counter (no timing attached): decoded vs
+// skipped values on the scan path, code-domain vs decode-first predicate
+// evaluations, and similar observability totals.
+type Counter struct {
+	Name  string
+	Value int64
 }
 
 // New returns an enabled collector.
 func New() *Collector {
 	return &Collector{
-		Enabled: true,
-		prims:   make(map[string]*Stat),
-		ops:     make(map[string]*Stat),
+		Enabled:  true,
+		prims:    make(map[string]*Stat),
+		ops:      make(map[string]*Stat),
+		counters: make(map[string]*Counter),
 	}
 }
 
@@ -111,6 +122,25 @@ func (c *Collector) RecordPrimitiveSince(name string, t0 time.Time, n, bytes int
 		return
 	}
 	c.record(c.prims, &c.primSeq, name, n, bytes, time.Since(t0).Nanoseconds())
+}
+
+// RecordCounter adds n to a named event counter. Unlike primitives and
+// operators, counters carry no timing — they count data-path events such as
+// decoded vs skipped values or code-domain predicate evaluations.
+func (c *Collector) RecordCounter(name string, n int64) {
+	if c == nil || !c.Enabled || n == 0 {
+		return
+	}
+	if c.counters == nil {
+		c.counters = make(map[string]*Counter)
+	}
+	ctr, ok := c.counters[name]
+	if !ok {
+		ctr = &Counter{Name: name}
+		c.counters[name] = ctr
+		c.ctrSeq = append(c.ctrSeq, name)
+	}
+	ctr.Value += n
 }
 
 // RecordOperator accumulates time attributed to an algebra operator.
@@ -158,10 +188,33 @@ func (c *Collector) Merge(other *Collector) {
 	}
 	merge(c.prims, &c.primSeq, other.prims, other.primSeq)
 	merge(c.ops, &c.opSeq, other.ops, other.opSeq)
+	for _, name := range other.ctrSeq {
+		c.RecordCounter(name, other.counters[name].Value)
+	}
 }
 
 // Primitives returns primitive stats in first-seen order.
 func (c *Collector) Primitives() []*Stat { return c.ordered(c.prims, c.primSeq) }
+
+// Counters returns event counters in first-seen order.
+func (c *Collector) Counters() []*Counter {
+	out := make([]*Counter, 0, len(c.ctrSeq))
+	for _, n := range c.ctrSeq {
+		out = append(out, c.counters[n])
+	}
+	return out
+}
+
+// CounterValue returns the value of a named counter (0 if never recorded).
+func (c *Collector) CounterValue(name string) int64 {
+	if c == nil || c.counters == nil {
+		return 0
+	}
+	if ctr, ok := c.counters[name]; ok {
+		return ctr.Value
+	}
+	return 0
+}
 
 // Operators returns operator stats in first-seen order.
 func (c *Collector) Operators() []*Stat { return c.ordered(c.ops, c.opSeq) }
@@ -188,6 +241,13 @@ func (c *Collector) Render() string {
 	fmt.Fprintf(&b, "%12s %12s  %s\n", "tuples", "time (us)", "X100 operator")
 	for _, s := range c.Operators() {
 		fmt.Fprintf(&b, "%12d %12.0f  %s\n", s.Tuples, float64(s.Nanos)/1e3, s.Name)
+	}
+	if len(c.ctrSeq) > 0 {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "%12s  %s\n", "count", "X100 counter")
+		for _, ctr := range c.Counters() {
+			fmt.Fprintf(&b, "%12d  %s\n", ctr.Value, ctr.Name)
+		}
 	}
 	if c.total > 0 {
 		fmt.Fprintf(&b, "\nTOTAL %12.0f us\n", float64(c.total.Nanoseconds())/1e3)

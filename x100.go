@@ -343,13 +343,14 @@ const (
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	engine      Engine
-	vectorSize  int
-	fuse        bool
-	parallelism int
-	tracer      *trace.Collector
-	milTrace    *mil.Trace
-	profile     *volcano.Profile
+	engine       Engine
+	vectorSize   int
+	fuse         bool
+	parallelism  int
+	noCodeDomain bool
+	tracer       *trace.Collector
+	milTrace     *mil.Trace
+	profile      *volcano.Profile
 }
 
 // WithEngine selects the execution engine.
@@ -360,6 +361,15 @@ func WithVectorSize(n int) ExecOption { return func(c *execConfig) { c.vectorSiz
 
 // WithoutFusion disables compound-primitive fusion (Section 4.2 ablation).
 func WithoutFusion() ExecOption { return func(c *execConfig) { c.fuse = false } }
+
+// WithoutCodeDomain disables code-domain execution (Vectorized engine):
+// string predicates, group-by keys and join keys over dictionary-backed
+// columns then evaluate decode-first on the materialized strings instead of
+// on the narrow dictionary codes, and scans materialize every row of every
+// column instead of only those surviving the selection. It is the
+// comparison baseline of the compressed benchmark and of the differential
+// tests.
+func WithoutCodeDomain() ExecOption { return func(c *execConfig) { c.noCodeDomain = true } }
 
 // WithParallelism executes on n worker pipelines (Vectorized engine; see
 // the package documentation for the parallelism model). 0 and 1 run
@@ -403,6 +413,7 @@ func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
 		eo.Fuse = cfg.fuse
 		eo.Tracer = cfg.tracer
 		eo.Parallelism = cfg.parallelism
+		eo.NoCodeDomain = cfg.noCodeDomain
 		if cfg.vectorSize > 0 {
 			eo.BatchSize = cfg.vectorSize
 		}
