@@ -123,6 +123,25 @@ func FormatStorage(cols []ColumnStorage) string {
 		" mdict = table-level merged dictionary (code-domain execution); raw/compressed in bytes)\n"
 }
 
+// FormatWalStatus renders WalStatuses as an aligned text table (the
+// shell's `\storage` WAL section): per table, records appended, fsyncs,
+// rotations, records replayed at attach, torn tails truncated, stale logs
+// discarded, chunk checksum failures, and directory-fsync errors.
+func FormatWalStatus(stats []WalStatus) string {
+	if len(stats) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%-18s %8s %7s %7s %8s %6s %6s %7s %8s\n",
+		"table", "appends", "syncs", "rotate", "replayed", "torn", "stale", "crcerr", "dirsync")
+	for _, s := range stats {
+		out += fmt.Sprintf("%-18s %8d %7d %7d %8d %6d %6d %7d %8d\n",
+			s.Table, s.Wal.Appends, s.Wal.Syncs, s.Wal.Rotations, s.Wal.Replayed,
+			s.Wal.TailTruncations, s.Wal.StaleDiscards,
+			s.Store.ChecksumFailures, s.Store.DirSyncErrors)
+	}
+	return out + "(wal activity and recovery/corruption counters per disk-attached table)\n"
+}
+
 // Checkpoint absorbs a table's pending insert delta into new base
 // fragments, keeping row ids stable (deletions stay on the deletion list).
 // On a disk-attached table (AttachDisk/CreateDiskTable) the checkpoint is

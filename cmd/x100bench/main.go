@@ -7,7 +7,7 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, disk, strings, updates, compressed, ablation-compound,
+// parallel, disk, strings, updates, ingest, compressed, ablation-compound,
 // ablation-enum, ablation-summary, ablation-selvec, all.
 //
 // The disk experiment persists lineitem through the ColumnBM chunk store
@@ -29,6 +29,13 @@
 // positional fetch joins from disk (chunk-wise, non-pinning) vs memory:
 //
 //	x100bench -exp updates -sf 0.01 -json BENCH_updates.json
+//
+// The ingest experiment attaches lineitem disk-backed under each durability
+// mode (group commit WAL, async WAL, checkpoint-only) and measures durable
+// single-row insert throughput plus Q1 latency over the unmerged delta;
+// every -json record also carries the host's NumCPU and GOMAXPROCS:
+//
+//	x100bench -exp ingest -sf 0.01 -json BENCH_ingest.json
 //
 // The compressed experiment persists an enum-free (PlainColumns) lineitem
 // whose low-cardinality string columns land as dict-coded chunks, and
@@ -103,8 +110,8 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
 		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] || want["strings"] ||
-		want["updates"] || want["ablation-compound"] || want["ablation-summary"] ||
-		want["ablation-fetchjoin"]
+		want["updates"] || want["ingest"] || want["ablation-compound"] ||
+		want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
 		var err error
@@ -147,6 +154,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"updates", func() error {
 			recs, err := bench.Updates(w, db, sf)
+			records = append(records, recs...)
+			return err
+		}},
+		{"ingest", func() error {
+			recs, err := bench.Ingest(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

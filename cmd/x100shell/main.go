@@ -131,6 +131,11 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parall
 			break
 		}
 		fmt.Print(x100.FormatStorage(cols))
+		for _, ws := range db.WalStatuses() {
+			if ws.Table == fields[1] {
+				fmt.Print(x100.FormatWalStatus([]x100.WalStatus{ws}))
+			}
+		}
 	case "\\parallel":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\parallel <n> (0 = serial, -1 = all cores)")

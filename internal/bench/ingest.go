@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/tpch"
+)
+
+// Ingest is the durable-ingest experiment: it persists lineitem through
+// ColumnBM, attaches it disk-backed under each durability mode, and
+// measures
+//
+//	ingest throughput: rows/sec of single-row Insert calls — under
+//	    group durability every insert is write-ahead logged and fsynced
+//	    (group commit batches the fsyncs of concurrent appenders; this
+//	    serial loop pays one per row, the worst case), under async the
+//	    log is written but the fsync deferred, and under checkpoint no
+//	    log is kept at all (durability only at the next checkpoint);
+//	query latency: TPC-H Q1 over the table with the freshly ingested
+//	    delta still unmerged, showing reads are unaffected by the WAL.
+func Ingest(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := columnbm.NewStore(dir, updatesChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	memLT, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SaveTable(memLT); err != nil {
+		return nil, err
+	}
+
+	template := make([]any, len(memLT.Cols))
+	rowBytes := 0
+	for i, c := range memLT.Cols {
+		template[i] = c.DecodedValue(memLT.N - 1)
+		if s, ok := template[i].(string); ok {
+			rowBytes += len(s)
+		} else {
+			rowBytes += 8
+		}
+	}
+	plan, err := tpch.Query(1, sf)
+	if err != nil {
+		return nil, err
+	}
+
+	const batch = 2000
+	var recs []Record
+	fmt.Fprintf(w, "Durable ingest at SF=%g (chunk=%d values, %d rows/mode, dir=%s)\n",
+		sf, updatesChunkValues, batch, dir)
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %10s\n", "experiment", "rows", "time", "rows/sec", "MB/sec")
+	for _, m := range []struct {
+		name string
+		d    core.Durability
+	}{
+		{"group", core.DurabilityGroup},
+		{"async", core.DurabilityAsync},
+		{"checkpoint", core.DurabilityCheckpoint},
+	} {
+		s, err := columnbm.NewStore(dir, updatesChunkValues, 0)
+		if err != nil {
+			return nil, err
+		}
+		diskDB := core.NewDatabase()
+		diskDB.SetDurability(m.d)
+		if _, err := core.AttachDiskTable(diskDB, s, "lineitem"); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			if _, err := diskDB.Insert("lineitem", template); err != nil {
+				return nil, err
+			}
+		}
+		d := time.Since(t0)
+		rps := float64(batch) / d.Seconds()
+		mbps := float64(batch*rowBytes) / (1 << 20) / d.Seconds()
+		fmt.Fprintf(w, "%-28s %10d %12v %12.0f %10.1f\n",
+			"ingest-"+m.name, batch, d.Round(time.Microsecond), rps, mbps)
+		recs = append(recs, Record{
+			Name: "ingest", SF: sf, Parallelism: 1,
+			NsPerOp: float64(d.Nanoseconds()) / float64(batch),
+			Rows:    batch, RowsPerSec: rps, MBPerSec: mbps,
+			Durability: m.name,
+		})
+
+		qd, err := timeIt(50*time.Millisecond, func() error {
+			_, err := core.Run(diskDB, plan, core.DefaultOptions())
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		qrows := memLT.N + batch
+		qrps := 0.0
+		if qd > 0 {
+			qrps = float64(qrows) / qd.Seconds()
+		}
+		fmt.Fprintf(w, "%-28s %10d %12v %12.0f %10s\n",
+			"q1-"+m.name, qrows, qd.Round(time.Microsecond), qrps, "-")
+		recs = append(recs, Record{
+			Name: "ingest_query", SF: sf, Parallelism: 1,
+			NsPerOp: float64(qd.Nanoseconds()), Rows: qrows, RowsPerSec: qrps,
+			Durability: m.name,
+		})
+	}
+	return recs, nil
+}

@@ -33,13 +33,27 @@ type Record struct {
 	// cardinality of dict-coded chunks.
 	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 	DictCard         int     `json:"dict_card,omitempty"`
+	// Host shape, stamped into every record by WriteRecords so JSON
+	// results from different machines stay comparable.
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Ingest-experiment field (-exp ingest): the durability mode the
+	// rows were inserted under (group | async | checkpoint).
+	Durability string `json:"durability,omitempty"`
 }
 
 // WriteRecords writes benchmark records as an indented JSON array (an
 // empty array, never null, so downstream parsers always see an array).
+// Every record is stamped with the host's runtime.NumCPU and GOMAXPROCS
+// so results from different machines remain comparable.
 func WriteRecords(path string, recs []Record) error {
 	if recs == nil {
 		recs = []Record{}
+	}
+	ncpu, gmp := runtime.NumCPU(), runtime.GOMAXPROCS(0)
+	for i := range recs {
+		recs[i].NumCPU = ncpu
+		recs[i].GoMaxProcs = gmp
 	}
 	f, err := os.Create(path)
 	if err != nil {

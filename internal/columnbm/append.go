@@ -131,6 +131,15 @@ func chunkCount(m *Manifest) int {
 // cardinality). The receiver's chunkValues is the manifest grid.
 func (s *Store) appendColumn(m *Manifest, cm *ColumnManifest, col *colstore.Column, part any, start int) error {
 	key := m.Table + "." + cm.Name
+	// Checksums, like bounds, are only usable when they cover every chunk:
+	// extend the array when it exactly covers the committed chunks, drop it
+	// otherwise (readers treat length-mismatched arrays as "no checksums").
+	var crcs *[]uint32
+	if len(cm.ChunkCRC32) == start {
+		crcs = &cm.ChunkCRC32
+	} else {
+		cm.ChunkCRC32 = nil
+	}
 	var k int
 	var err error
 	switch d := part.(type) {
@@ -140,13 +149,13 @@ func (s *Store) appendColumn(m *Manifest, cm *ColumnManifest, col *colstore.Colu
 			vals[i] = int64(v)
 		}
 		appendBoundsI64(cm, vals, s.chunkValues, start)
-		k, err = s.writeInt64Chunks(key, m.Gen, start, vals)
+		k, err = s.writeInt64Chunks(key, m.Gen, start, vals, crcs)
 	case []int64:
 		appendBoundsI64(cm, d, s.chunkValues, start)
-		k, err = s.writeInt64Chunks(key, m.Gen, start, d)
+		k, err = s.writeInt64Chunks(key, m.Gen, start, d, crcs)
 	case []float64:
 		appendBoundsF64(cm, d, s.chunkValues, start)
-		k, err = s.writeFloat64Chunks(key, m.Gen, start, d)
+		k, err = s.writeFloat64Chunks(key, m.Gen, start, d, crcs)
 	case []string:
 		appendBoundsStr(cm, d, s.chunkValues, start)
 		var cards *[]int
@@ -155,7 +164,7 @@ func (s *Store) appendColumn(m *Manifest, cm *ColumnManifest, col *colstore.Colu
 		} else {
 			cm.ChunkDictCard = nil
 		}
-		k, err = s.writeStringChunks(key, m.Gen, start, d, cards)
+		k, err = s.writeStringChunks(key, m.Gen, start, d, cards, crcs)
 	case []bool:
 		vals := make([]int64, len(d))
 		for i, v := range d {
@@ -163,19 +172,19 @@ func (s *Store) appendColumn(m *Manifest, cm *ColumnManifest, col *colstore.Colu
 				vals[i] = 1
 			}
 		}
-		k, err = s.writeInt64Chunks(key, m.Gen, start, vals)
+		k, err = s.writeInt64Chunks(key, m.Gen, start, vals, crcs)
 	case []uint8:
 		vals := make([]int64, len(d))
 		for i, v := range d {
 			vals[i] = int64(v)
 		}
-		k, err = s.writeInt64Chunks(key, m.Gen, start, vals)
+		k, err = s.writeInt64Chunks(key, m.Gen, start, vals, crcs)
 	case []uint16:
 		vals := make([]int64, len(d))
 		for i, v := range d {
 			vals[i] = int64(v)
 		}
-		k, err = s.writeInt64Chunks(key, m.Gen, start, vals)
+		k, err = s.writeInt64Chunks(key, m.Gen, start, vals, crcs)
 	default:
 		return fmt.Errorf("unsupported part payload %T", part)
 	}

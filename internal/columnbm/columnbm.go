@@ -29,11 +29,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
 	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // DefaultChunkValues is the number of values per chunk; at 8 bytes/value
@@ -115,14 +119,66 @@ type Store struct {
 	dir         string
 	chunkValues int
 	pool        *Pool
+	counters    *storeCounters
 
 	// FaultHook, when non-nil, is called at the stages of a write-back
 	// ("chunk" after each appended chunk file, "manifest-temp" after the
-	// temp manifest is written, "manifest-commit" after the rename); a
-	// non-nil return aborts the operation with that error. It exists for
-	// crash-safety tests, which kill a checkpoint mid-stream and assert
-	// that re-attaching sees exactly the last committed state.
+	// temp manifest is written, "manifest-commit" after the rename) and of
+	// the write-ahead log ("wal-append" after a record write, "wal-sync"
+	// after an fsync, "wal-rotate" after the temp WAL of a rotation is
+	// written, "wal-truncate" after the rotation rename, "wal-replay"
+	// before replayed records are applied); a non-nil return aborts the
+	// operation with that error. It exists for crash-safety tests, which
+	// kill a checkpoint or a logged write mid-stream and assert that
+	// re-attaching sees exactly the last committed state.
 	FaultHook func(stage string) error
+}
+
+// storeCounters aggregates the read-path and durability health counters of
+// one store directory. They are shared across withChunkValues views and
+// surfaced via Stats (the shell's \storage command and trace output).
+type storeCounters struct {
+	checksumFailures atomic.Int64
+	dirSyncErrors    atomic.Int64
+	dirSyncLogOnce   sync.Once
+}
+
+// StoreStats is a snapshot of a store's health counters.
+type StoreStats struct {
+	// ChecksumFailures counts chunk loads rejected because the file's
+	// CRC32 did not match the manifest (manifest v3 checksums).
+	ChecksumFailures int64
+	// DirSyncErrors counts directory fsync failures after a rename commit.
+	// Renames may not survive power loss on such filesystems; the error is
+	// logged once per store and counted here instead of being discarded.
+	DirSyncErrors int64
+}
+
+// Stats returns a snapshot of the store's health counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		ChecksumFailures: s.counters.checksumFailures.Load(),
+		DirSyncErrors:    s.counters.dirSyncErrors.Load(),
+	}
+}
+
+// syncDir fsyncs the store directory so a rename commit itself is durable:
+// without it a power loss can roll a committed rename back even though the
+// process saw it succeed. Filesystems that reject directory fsync make this
+// a soft failure: the error is logged once per store and counted (Stats),
+// never silently discarded.
+func (s *Store) syncDir() {
+	d, err := os.Open(s.dir)
+	if err == nil {
+		err = d.Sync()
+		d.Close()
+	}
+	if err != nil {
+		s.counters.dirSyncErrors.Add(1)
+		s.counters.dirSyncLogOnce.Do(func() {
+			log.Printf("columnbm: directory fsync of %s failed (rename commits may not survive power loss; counted in store stats): %v", s.dir, err)
+		})
+	}
 }
 
 // fault runs the fault-injection hook for a write-back stage.
@@ -145,7 +201,7 @@ func NewStore(dir string, chunkValues, poolChunks int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("columnbm: %w", err)
 	}
-	return &Store{dir: dir, chunkValues: chunkValues, pool: NewPool(poolChunks)}, nil
+	return &Store{dir: dir, chunkValues: chunkValues, pool: NewPool(poolChunks), counters: &storeCounters{}}, nil
 }
 
 // Pool exposes the store's buffer pool (for stats in benches/tests).
@@ -171,18 +227,24 @@ func (s *Store) chunkPath(column string, gen, idx int) string {
 // WriteInt64Column splits vals into chunks, compresses each with the best
 // of the available codecs, and writes them. It returns the number of chunks.
 func (s *Store) WriteInt64Column(column string, vals []int64) (int, error) {
-	return s.writeInt64Chunks(column, 0, 0, vals)
+	return s.writeInt64Chunks(column, 0, 0, vals, nil)
 }
 
 // writeInt64Chunks writes vals as chunks [start, start+k) of a column at a
-// generation; it returns k. start > 0 is the checkpoint append path.
-func (s *Store) writeInt64Chunks(column string, gen, start int, vals []int64) (int, error) {
+// generation; it returns k. start > 0 is the checkpoint append path. When
+// crcs is non-nil the CRC32 of each written chunk file is appended to it
+// (for the manifest's chunk_crc32 field).
+func (s *Store) writeInt64Chunks(column string, gen, start int, vals []int64, crcs *[]uint32) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
 		payload, codec := encodeInt64(vals[lo:hi])
-		if err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, 8*(hi-lo), payload); err != nil {
+		crc, err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, 8*(hi-lo), payload)
+		if err != nil {
 			return nchunks, err
+		}
+		if crcs != nil {
+			*crcs = append(*crcs, crc)
 		}
 		nchunks++
 		if len(vals) == 0 {
@@ -215,10 +277,10 @@ func (s *Store) readInt64Chunks(column string, gen, nchunks int) ([]int64, error
 
 // WriteFloat64Column writes a float column (raw codec: floats rarely RLE).
 func (s *Store) WriteFloat64Column(column string, vals []float64) (int, error) {
-	return s.writeFloat64Chunks(column, 0, 0, vals)
+	return s.writeFloat64Chunks(column, 0, 0, vals, nil)
 }
 
-func (s *Store) writeFloat64Chunks(column string, gen, start int, vals []float64) (int, error) {
+func (s *Store) writeFloat64Chunks(column string, gen, start int, vals []float64, crcs *[]uint32) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
@@ -226,8 +288,12 @@ func (s *Store) writeFloat64Chunks(column string, gen, start int, vals []float64
 		for i, v := range vals[lo:hi] {
 			binary.LittleEndian.PutUint64(payload[8*i:], floatBits(v))
 		}
-		if err := s.writeChunk(column, gen, start+nchunks, CodecRaw, hi-lo, len(payload), payload); err != nil {
+		crc, err := s.writeChunk(column, gen, start+nchunks, CodecRaw, hi-lo, len(payload), payload)
+		if err != nil {
 			return nchunks, err
+		}
+		if crcs != nil {
+			*crcs = append(*crcs, crc)
 		}
 		nchunks++
 		if len(vals) == 0 {
@@ -264,24 +330,29 @@ func (s *Store) readFloat64Chunks(column string, gen, nchunks int) ([]float64, e
 // It returns the number of chunks. writeStringChunks is the variant that
 // also reports per-chunk dictionary cardinality for the manifest.
 func (s *Store) WriteStringColumn(column string, vals []string) (int, error) {
-	return s.writeStringChunks(column, 0, 0, vals, nil)
+	return s.writeStringChunks(column, 0, 0, vals, nil, nil)
 }
 
 // writeStringChunks writes vals as chunks [start, start+k) of a column at a
 // generation and, when cards is non-nil, appends the dictionary cardinality
-// of each chunk (0 for non-dict chunks) to *cards. rawSize always records
-// the raw (length-prefixed) encoding size, so compression ratios compare
-// against the uncompressed layout.
-func (s *Store) writeStringChunks(column string, gen, start int, vals []string, cards *[]int) (int, error) {
+// of each chunk (0 for non-dict chunks) to *cards; when crcs is non-nil,
+// each chunk file's CRC32 is appended to it. rawSize always records the raw
+// (length-prefixed) encoding size, so compression ratios compare against
+// the uncompressed layout.
+func (s *Store) writeStringChunks(column string, gen, start int, vals []string, cards *[]int, crcs *[]uint32) (int, error) {
 	nchunks := 0
 	for lo := 0; lo < len(vals) || (lo == 0 && len(vals) == 0); lo += s.chunkValues {
 		hi := min(lo+s.chunkValues, len(vals))
 		payload, codec, card, rawSize := encodeString(vals[lo:hi])
-		if err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, rawSize, payload); err != nil {
+		crc, err := s.writeChunk(column, gen, start+nchunks, codec, hi-lo, rawSize, payload)
+		if err != nil {
 			return nchunks, err
 		}
 		if cards != nil {
 			*cards = append(*cards, card)
+		}
+		if crcs != nil {
+			*crcs = append(*crcs, crc)
 		}
 		nchunks++
 		if len(vals) == 0 {
@@ -318,7 +389,10 @@ type chunkHeader struct {
 	rawSize int
 }
 
-func (s *Store) writeChunk(column string, gen, idx int, codec Codec, count, rawSize int, payload []byte) error {
+// writeChunk writes one chunk file (header + payload, fsynced) and returns
+// the CRC32 (IEEE) of the full file contents, which the manifest records so
+// readers can detect any on-disk corruption before decoding.
+func (s *Store) writeChunk(column string, gen, idx int, codec Codec, count, rawSize int, payload []byte) (uint32, error) {
 	buf := make([]byte, 17+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], chunkMagic)
 	buf[4] = byte(codec)
@@ -326,31 +400,56 @@ func (s *Store) writeChunk(column string, gen, idx int, codec Codec, count, rawS
 	binary.LittleEndian.PutUint32(buf[9:], uint32(rawSize))
 	binary.LittleEndian.PutUint32(buf[13:], uint32(len(payload)))
 	copy(buf[17:], payload)
+	crc := crc32.ChecksumIEEE(buf)
 	// Chunk data is fsynced before the manifest commit can reference it:
 	// the crash contract ("a committed manifest's chunks are readable")
 	// must hold under power loss, not just process death.
 	f, err := os.OpenFile(s.chunkPath(column, gen, idx), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	return s.fault("chunk")
+	return crc, s.fault("chunk")
 }
 
 func (s *Store) readChunk(column string, gen, idx int) (chunkHeader, []byte, error) {
+	return s.readChunkChecked(column, gen, idx, 0, false)
+}
+
+// readChunkChecked reads a chunk through the buffer pool and, when check is
+// set, verifies the CRC32 the manifest recorded for it. Verification happens
+// inside the pool's load function, so a chunk is checksummed once per load —
+// pool hits serve pre-verified bytes — and a corrupt file never enters the
+// pool.
+func (s *Store) readChunkChecked(column string, gen, idx int, crc uint32, check bool) (chunkHeader, []byte, error) {
 	key := s.chunkPath(column, gen, idx)
-	raw, err := s.pool.Get(key, func() ([]byte, error) { return os.ReadFile(key) })
+	raw, err := s.pool.Get(key, func() ([]byte, error) {
+		b, err := os.ReadFile(key)
+		if err != nil {
+			return nil, err
+		}
+		if check {
+			if got := crc32.ChecksumIEEE(b); got != crc {
+				s.counters.checksumFailures.Add(1)
+				return nil, fmt.Errorf("%w: %s checksum %08x, manifest records %08x", ErrCorrupt, key, got, crc)
+			}
+		}
+		return b, nil
+	})
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return chunkHeader{}, nil, err
+		}
 		return chunkHeader{}, nil, fmt.Errorf("columnbm: %w", err)
 	}
 	if len(raw) < 17 || binary.LittleEndian.Uint32(raw[0:]) != chunkMagic {

@@ -39,6 +39,13 @@ type chunkFragment struct {
 	// chunks without any I/O (colstore.DictHint).
 	dictCard int
 
+	// crc is the whole-file CRC32 the manifest records for this chunk;
+	// hasCRC is false for manifests that predate the chunk_crc32 field (or
+	// whose checksum array no longer covers every chunk), in which case the
+	// read is unverified — exactly the v2 behaviour.
+	crc    uint32
+	hasCRC bool
+
 	minI, maxI       int64
 	minF, maxF       float64
 	minS, maxS       string
@@ -79,7 +86,7 @@ func sliceBuf[T any](buf any, n int) []T {
 }
 
 func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
-	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
+	hdr, payload, err := f.store.readChunkChecked(f.key, f.gen, f.idx, f.crc, f.hasCRC)
 	if err != nil {
 		return nil, false, err
 	}
@@ -135,7 +142,7 @@ func (f *chunkFragment) MaterializeCodes(buf any) (any, bool, error) {
 	if f.remap == nil {
 		return nil, false, fmt.Errorf("columnbm: %s chunk %d has no merged dictionary", f.key, f.idx)
 	}
-	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
+	hdr, payload, err := f.store.readChunkChecked(f.key, f.gen, f.idx, f.crc, f.hasCRC)
 	if err != nil {
 		return nil, false, err
 	}
@@ -174,7 +181,7 @@ func (f *chunkFragment) MaterializeDict(codeBuf any) ([]string, any, bool, error
 	if !f.MayServeDict() {
 		return nil, nil, false, nil
 	}
-	hdr, payload, err := f.store.readChunk(f.key, f.gen, f.idx)
+	hdr, payload, err := f.store.readChunkChecked(f.key, f.gen, f.idx, f.crc, f.hasCRC)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -249,6 +256,9 @@ func (s *Store) columnFragments(m *Manifest, cm *ColumnManifest, phys vector.Typ
 		cf := &chunkFragment{store: s, key: key, gen: m.Gen, idx: i, rows: counts[i], phys: phys, dictCard: -1}
 		if len(cm.ChunkDictCard) == cm.Chunks {
 			cf.dictCard = cm.ChunkDictCard[i]
+		}
+		if len(cm.ChunkCRC32) == cm.Chunks {
+			cf.crc, cf.hasCRC = cm.ChunkCRC32[i], true
 		}
 		if useI {
 			cf.minI, cf.maxI, cf.hasI = cm.ChunkMinI64[i], cm.ChunkMaxI64[i], true

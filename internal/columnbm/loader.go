@@ -13,10 +13,14 @@ import (
 
 // ManifestVersion is the manifest format version this package writes.
 // Version 2 added durable updates: the Gen, ChunkCounts and Deleted fields
-// plus the atomic (temp-file + rename) manifest commit protocol. Manifests
-// without a version field are version 1 and attach with the uniform chunk
-// grid; readers reject manifests from the future.
-const ManifestVersion = 2
+// plus the atomic (temp-file + rename) manifest commit protocol. Version 3
+// added per-chunk CRC32 checksums (chunk_crc32, verified on load) and the
+// write-ahead-log epoch (wal_epoch, which ties a WAL file to the manifest
+// commit it logs changes against). Version 2 manifests read unchanged:
+// absent checksums mean "no verification" and an absent epoch is 0.
+// Manifests without a version field are version 1 and attach with the
+// uniform chunk grid; readers reject manifests from the future.
+const ManifestVersion = 3
 
 // Manifest records how a table was persisted: per column, the logical
 // type, chunk count, and (for enum columns) the dictionary values. It makes
@@ -46,8 +50,15 @@ type Manifest struct {
 	// Deleted is the persisted deletion list (ascending row ids): deletions
 	// survive restarts once a checkpoint has written them back. Reorganize
 	// compacts them away and clears the list.
-	Deleted []int32          `json:"deleted,omitempty"`
-	Columns []ColumnManifest `json:"columns"`
+	Deleted []int32 `json:"deleted,omitempty"`
+	// WalEpoch ties the table's write-ahead log to this manifest commit:
+	// every manifest commit increments it, and a WAL file replays only when
+	// its header carries the same epoch. A WAL left behind by a crash
+	// between a checkpoint's manifest commit and its WAL rotation carries
+	// the previous epoch, so its (already absorbed) records are discarded
+	// instead of being applied twice.
+	WalEpoch int64            `json:"wal_epoch,omitempty"`
+	Columns  []ColumnManifest `json:"columns"`
 }
 
 // ColumnManifest describes one persisted column. The per-chunk min/max
@@ -68,6 +79,13 @@ type ColumnManifest struct {
 	ChunkMinStr   []string  `json:"chunk_min_str,omitempty"`
 	ChunkMaxStr   []string  `json:"chunk_max_str,omitempty"`
 	ChunkDictCard []int     `json:"chunk_dict_card,omitempty"`
+	// ChunkCRC32 records the CRC32 (IEEE) of each chunk file's full
+	// contents (manifest v3). Readers verify it when the array covers every
+	// chunk; a mismatch surfaces as a wrapped ErrCorrupt instead of a
+	// decode panic. Like the bounds arrays, a length mismatch means "no
+	// checksums" (v2 manifests, or appends that could not extend the
+	// array).
+	ChunkCRC32 []uint32 `json:"chunk_crc32,omitempty"`
 }
 
 func manifestPath(dir, table string) string {
@@ -173,6 +191,12 @@ func (m *Manifest) chunkRowCounts(chunkRows, nchunks int) ([]int, error) {
 // between the stages.
 func (s *Store) writeManifest(m *Manifest) error {
 	m.Version = ManifestVersion
+	// Every manifest commit advances the WAL epoch: whatever the table's
+	// WAL logged before this commit is now either absorbed (checkpoint) or
+	// superseded (rewrite), so a WAL still carrying the old epoch must not
+	// replay. Callers that keep a live WAL rotate it to the new epoch right
+	// after the commit.
+	m.WalEpoch++
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -202,11 +226,9 @@ func (s *Store) writeManifest(m *Manifest) error {
 	}
 	// Fsync the directory so the rename itself is durable: without it a
 	// power loss can roll the commit back even though the process saw it
-	// succeed. Best-effort on filesystems that reject directory fsync.
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	// succeed. Failures are logged once and counted (syncDir), never
+	// silently discarded.
+	s.syncDir()
 	return s.fault("manifest-commit")
 }
 
@@ -234,12 +256,12 @@ func (s *Store) RewriteTable(t *colstore.Table) error {
 }
 
 // withChunkValues returns a view of the store writing chunkRows-value
-// chunks (sharing the directory, pool and fault hook).
+// chunks (sharing the directory, pool, counters and fault hook).
 func (s *Store) withChunkValues(chunkRows int) *Store {
 	if chunkRows == s.chunkValues {
 		return s
 	}
-	return &Store{dir: s.dir, chunkValues: chunkRows, pool: s.pool, FaultHook: s.FaultHook}
+	return &Store{dir: s.dir, chunkValues: chunkRows, pool: s.pool, counters: s.counters, FaultHook: s.FaultHook}
 }
 
 func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {
@@ -251,13 +273,18 @@ func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {
 	}
 	w := s.withChunkValues(chunkRows)
 	m := Manifest{Table: t.Name, Rows: t.N, ChunkRows: chunkRows, Gen: gen}
+	if old != nil {
+		// Carry the WAL epoch forward; writeManifest bumps it, so any WAL
+		// written against the superseded manifest is invalidated.
+		m.WalEpoch = old.WalEpoch
+	}
 	for _, col := range t.Cols {
 		cm := ColumnManifest{Name: col.Name, Type: col.Typ.String(), Enum: col.IsEnum()}
 		key := t.Name + "." + col.Name
 		var err error
 		switch {
 		case col.IsEnum():
-			cm.Chunks, err = w.writeCodes(key, gen, col)
+			cm.Chunks, err = w.writeCodes(key, gen, col, &cm)
 			if col.Dict.Typ == vector.Float64 {
 				cm.DictF64 = col.Dict.F64s
 			} else {
@@ -389,23 +416,27 @@ func (s *Store) strChunkStats(vals []string, cm *ColumnManifest) {
 }
 
 func (s *Store) writePlain(key string, gen int, col *colstore.Column, cm *ColumnManifest) (int, error) {
-	switch d := col.Data().(type) {
+	data, err := col.Pin()
+	if err != nil {
+		return 0, err
+	}
+	switch d := data.(type) {
 	case []int32:
 		vals := make([]int64, len(d))
 		for i, v := range d {
 			vals[i] = int64(v)
 		}
 		s.int64ChunkStats(vals, cm)
-		return s.writeInt64Chunks(key, gen, 0, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals, &cm.ChunkCRC32)
 	case []int64:
 		s.int64ChunkStats(d, cm)
-		return s.writeInt64Chunks(key, gen, 0, d)
+		return s.writeInt64Chunks(key, gen, 0, d, &cm.ChunkCRC32)
 	case []float64:
 		s.f64ChunkStats(d, cm)
-		return s.writeFloat64Chunks(key, gen, 0, d)
+		return s.writeFloat64Chunks(key, gen, 0, d, &cm.ChunkCRC32)
 	case []string:
 		s.strChunkStats(d, cm)
-		return s.writeStringChunks(key, gen, 0, d, &cm.ChunkDictCard)
+		return s.writeStringChunks(key, gen, 0, d, &cm.ChunkDictCard, &cm.ChunkCRC32)
 	case []bool:
 		vals := make([]int64, len(d))
 		for i, v := range d {
@@ -413,26 +444,30 @@ func (s *Store) writePlain(key string, gen int, col *colstore.Column, cm *Column
 				vals[i] = 1
 			}
 		}
-		return s.writeInt64Chunks(key, gen, 0, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals, &cm.ChunkCRC32)
 	default:
 		return 0, fmt.Errorf("unsupported column payload %T", d)
 	}
 }
 
-func (s *Store) writeCodes(key string, gen int, col *colstore.Column) (int, error) {
-	switch codes := col.Data().(type) {
+func (s *Store) writeCodes(key string, gen int, col *colstore.Column, cm *ColumnManifest) (int, error) {
+	data, err := col.Pin()
+	if err != nil {
+		return 0, err
+	}
+	switch codes := data.(type) {
 	case []uint8:
 		vals := make([]int64, len(codes))
 		for i, c := range codes {
 			vals[i] = int64(c)
 		}
-		return s.writeInt64Chunks(key, gen, 0, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals, &cm.ChunkCRC32)
 	case []uint16:
 		vals := make([]int64, len(codes))
 		for i, c := range codes {
 			vals[i] = int64(c)
 		}
-		return s.writeInt64Chunks(key, gen, 0, vals)
+		return s.writeInt64Chunks(key, gen, 0, vals, &cm.ChunkCRC32)
 	default:
 		return 0, fmt.Errorf("unsupported code payload %T", codes)
 	}

@@ -1,0 +1,611 @@
+package columnbm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file implements the per-table write-ahead log that closes the
+// durability gap between checkpoints: every insert and delete is appended
+// as a CRC32-framed record and fsynced by a group commit before the caller
+// is acknowledged, so committed updates survive a crash even though the
+// chunk files only absorb them at the next checkpoint.
+//
+// Layout: one file per table, `<table>.wal`, next to the chunk files.
+//
+//	header (16 bytes): magic (4) | version (4) | epoch (8)
+//	record frame:      length (4) | crc32 (4, IEEE over payload) | payload
+//	insert payload:    kind=1 (1) | uvarint ncols | per value: tag (1) | data
+//	delete payload:    kind=2 (1) | uvarint rowID
+//
+// The epoch ties a WAL to the manifest generation it logs against.
+// writeManifest advances the manifest's WalEpoch on every commit, and a
+// completed checkpoint rotates the WAL to the new epoch (Rotate). On
+// attach, a WAL whose header epoch differs from the manifest's is stale —
+// its records are already absorbed (crash after the manifest rename but
+// before the rotation finished) or superseded (table rewritten) — and is
+// discarded wholesale rather than replayed twice.
+//
+// Replay walks frames until the first one that fails validation: a torn
+// final write is expected after a crash, so a truncated or corrupt tail is
+// cut at the last valid record and counted, never fatal. Records past a
+// bad frame are NEVER applied — a frame is only committed if every frame
+// before it is intact.
+//
+// Crash injection: the store's FaultHook fires at "wal-append" (after a
+// record write), "wal-sync" (after an fsync), "wal-rotate" (after the
+// rotation's temp file is written), "wal-truncate" (after the rotation
+// rename commits), and "wal-replay" (before an existing log's records are
+// applied). Append and sync failures physically truncate the file back to
+// the last durable boundary, so the caller's error and the post-restart
+// state always agree: a failed append/sync is a row that never happened.
+
+const (
+	walMagic      = 0xB41CA106
+	walVersion    = 1
+	walHeaderSize = 16
+	// walMaxRecord bounds a frame's length field so a corrupt length can
+	// not drive a huge allocation during replay.
+	walMaxRecord = 1 << 26
+)
+
+// WALKind discriminates write-ahead-log record payloads.
+type WALKind uint8
+
+// The logged operations. An update is one atomic record (delete rowID,
+// insert row): a replay applies both halves or — if the frame is torn —
+// neither.
+const (
+	WALInsert WALKind = 1
+	WALDelete WALKind = 2
+	WALUpdate WALKind = 3
+)
+
+// WALRecord is one decoded log record: an inserted row (boxed logical
+// values, schema order), a deleted row id, or both (update).
+type WALRecord struct {
+	Kind  WALKind
+	Row   []any // WALInsert, WALUpdate
+	RowID int32 // WALDelete, WALUpdate
+}
+
+// WALStats counts write-ahead-log activity for observability (`\storage`,
+// trace counters) and for the recovery tests.
+type WALStats struct {
+	Appends         int64 // records appended
+	Syncs           int64 // group-commit fsyncs (each may cover many appends)
+	Rotations       int64 // completed checkpoint rotations
+	Replayed        int64 // records replayed at attach
+	TailTruncations int64 // replays that cut a torn/corrupt tail
+	StaleDiscards   int64 // whole logs discarded for a stale epoch or bad header
+}
+
+// WAL is the write-ahead log of one attached table. All methods are safe
+// for concurrent use; durable appends share fsyncs through a group commit
+// (sync-leader: the first appender to reach the sync point flushes
+// everything written so far, concurrent appenders wait on its barrier).
+type WAL struct {
+	store *Store
+	table string
+	path  string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	// size is the end offset of valid appended frames; synced is the
+	// prefix known durable. Failed appends/syncs truncate back to these.
+	size    int64
+	synced  int64
+	syncing bool
+	// epoch this log is (or will be, on lazy creation) stamped with.
+	epoch int64
+	// pendingRotate records a failed rotation's target epoch so the next
+	// append retries it instead of logging into a superseded epoch.
+	pendingRotate bool
+	pendingEpoch  int64
+	// Lazy-open state from recovery: the file is only created/truncated on
+	// the first append, so a read-only attach never writes.
+	haveFile  bool  // a valid WAL file exists on disk
+	recreate  bool  // an unusable (stale/garbage) file must be truncated
+	validEnd  int64 // end of the last valid replayed frame
+	needTrunc bool  // a torn tail past validEnd awaits truncation
+
+	stats WALStats
+}
+
+// WALPath returns the log file path for a table in a store directory.
+func WALPath(dir, table string) string {
+	return filepath.Join(dir, table+".wal")
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Stats returns a snapshot of the log's counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// OpenWAL opens the write-ahead log of a table against the given manifest
+// epoch and replays any committed tail through apply (in log order).
+// A missing file is an empty log; creation is deferred to the first
+// append. A stale or unrecognizable file is discarded (recreated on first
+// append). A torn or corrupt tail is cut at the last valid record. Only a
+// replay fault or an I/O error reading the file is fatal.
+func (s *Store) OpenWAL(table string, epoch int64, apply func(WALRecord) error) (*WAL, error) {
+	w := &WAL{store: s, table: table, path: WALPath(s.dir, table), epoch: epoch}
+	w.cond = sync.NewCond(&w.mu)
+	raw, err := os.ReadFile(w.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return w, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("columnbm: wal %s: %w", table, err)
+	}
+	if err := s.fault("wal-replay"); err != nil {
+		return nil, err
+	}
+	if len(raw) < walHeaderSize ||
+		binary.LittleEndian.Uint32(raw[0:]) != walMagic ||
+		binary.LittleEndian.Uint32(raw[4:]) != walVersion ||
+		int64(binary.LittleEndian.Uint64(raw[8:])) != epoch {
+		// Stale epoch (already absorbed or superseded) or not a WAL we
+		// understand: never replay, recreate on first append.
+		w.stats.StaleDiscards++
+		w.recreate = true
+		return w, nil
+	}
+	off := walHeaderSize
+	for off < len(raw) {
+		rec, n, err := decodeWALFrame(raw[off:])
+		if err != nil {
+			break // torn/corrupt tail: cut here
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				// A record that decodes but cannot apply means the log
+				// disagrees with the table; treat like a corrupt tail
+				// rather than failing the attach.
+				break
+			}
+		}
+		w.stats.Replayed++
+		off += n
+	}
+	w.haveFile = true
+	w.validEnd = int64(off)
+	if off < len(raw) {
+		w.stats.TailTruncations++
+		w.needTrunc = true
+	}
+	return w, nil
+}
+
+// ensureOpenLocked opens or creates the log file on first use, applying
+// any deferred recovery truncation or pending rotation retry.
+func (w *WAL) ensureOpenLocked() error {
+	if w.pendingRotate {
+		if err := w.rotateLocked(w.pendingEpoch); err != nil {
+			return err
+		}
+	}
+	if w.f != nil {
+		return nil
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	fresh := !w.haveFile || w.recreate
+	if w.recreate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(w.path, flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("columnbm: wal %s: %w", w.table, err)
+	}
+	if fresh {
+		var hdr [walHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(w.epoch))
+		if _, err := f.WriteAt(hdr[:], 0); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(w.path)
+			return fmt.Errorf("columnbm: wal %s: %w", w.table, err)
+		}
+		// The file itself is synced; make its directory entry durable too.
+		w.store.syncDir()
+		w.size, w.synced = walHeaderSize, walHeaderSize
+	} else {
+		if w.needTrunc {
+			if err := f.Truncate(w.validEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("columnbm: wal %s: %w", w.table, err)
+			}
+			w.needTrunc = false
+		}
+		w.size, w.synced = w.validEnd, w.validEnd
+	}
+	w.f = f
+	w.haveFile, w.recreate = true, false
+	return nil
+}
+
+// LogInsert appends an insert record; with durable it does not return
+// until the record is fsynced (sharing the fsync with concurrent appends).
+func (w *WAL) LogInsert(row []any, durable bool) error {
+	payload, err := encodeWALInsert(row)
+	if err != nil {
+		return err
+	}
+	return w.append(payload, durable)
+}
+
+// LogDelete appends a delete record (see LogInsert for durability).
+func (w *WAL) LogDelete(rowID int32, durable bool) error {
+	payload := make([]byte, 0, 6)
+	payload = append(payload, byte(WALDelete))
+	payload = binary.AppendUvarint(payload, uint64(uint32(rowID)))
+	return w.append(payload, durable)
+}
+
+// LogUpdate appends an update (delete rowID + insert row) as one atomic
+// record, so a torn tail can never persist the delete without the insert.
+func (w *WAL) LogUpdate(rowID int32, row []any, durable bool) error {
+	ins, err := encodeWALInsert(row)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 0, 8+len(ins))
+	payload = append(payload, byte(WALUpdate))
+	payload = binary.AppendUvarint(payload, uint64(uint32(rowID)))
+	payload = append(payload, ins[1:]...) // insert body without its kind byte
+	return w.append(payload, durable)
+}
+
+func (w *WAL) append(payload []byte, durable bool) error {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	w.mu.Lock()
+	if err := w.ensureOpenLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	off := w.size
+	_, err := w.f.WriteAt(frame, off)
+	if err == nil {
+		err = w.store.fault("wal-append")
+	}
+	if err != nil {
+		// Remove the partial/uncommitted record so a later successful sync
+		// cannot make it durable: the caller saw an error, so after a
+		// restart the row must not exist.
+		w.f.Truncate(off)
+		w.mu.Unlock()
+		return fmt.Errorf("columnbm: wal %s append: %w", w.table, err)
+	}
+	w.size = off + int64(len(frame))
+	end := w.size
+	w.stats.Appends++
+	if !durable {
+		w.mu.Unlock()
+		return nil
+	}
+	// Group commit: wait for an in-flight sync to finish, then either our
+	// record is already covered or we become the next sync leader and
+	// flush everything appended so far.
+	for {
+		if w.synced >= end {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.size < end {
+			// A failed sync truncated our record away.
+			w.mu.Unlock()
+			return fmt.Errorf("columnbm: wal %s append: lost in failed group commit", w.table)
+		}
+		if !w.syncing {
+			break
+		}
+		w.cond.Wait()
+	}
+	w.syncing = true
+	target := w.size
+	w.mu.Unlock()
+
+	err = w.f.Sync()
+	if err == nil {
+		err = w.store.fault("wal-sync")
+	}
+
+	w.mu.Lock()
+	w.syncing = false
+	if err != nil {
+		// Roll the file back to the durable prefix: every record in the
+		// failed batch is reported failed, so none may survive a restart.
+		w.f.Truncate(w.synced)
+		w.size = w.synced
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return fmt.Errorf("columnbm: wal %s sync: %w", w.table, err)
+	}
+	w.synced = max(w.synced, target)
+	w.stats.Syncs++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return nil
+}
+
+// Rotate starts a fresh log under the manifest's current WAL epoch — the
+// post-checkpoint step that discards absorbed records. The caller must
+// have committed the manifest first: a crash between the two leaves a
+// stale-epoch log that the next attach discards instead of replaying
+// twice. A failed rotation is retried by the next append, so records are
+// never logged into a superseded epoch.
+func (w *WAL) Rotate() error {
+	m, err := w.store.readManifest(w.table)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotateLocked(m.WalEpoch)
+}
+
+func (w *WAL) rotateLocked(epoch int64) error {
+	if w.f == nil && !w.haveFile && !w.recreate {
+		// Nothing was ever logged and no file exists: adopt the new epoch
+		// without creating one (read-only attaches stay write-free).
+		w.epoch = epoch
+		w.pendingRotate = false
+		return nil
+	}
+	tmp := w.path + ".tmp"
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(epoch))
+	err := os.WriteFile(tmp, hdr[:], 0o644)
+	if err == nil {
+		var f *os.File
+		if f, err = os.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
+			err = f.Sync()
+			f.Close()
+		}
+	}
+	if err == nil {
+		err = w.store.fault("wal-rotate")
+	}
+	if err != nil {
+		os.Remove(tmp)
+		w.pendingRotate, w.pendingEpoch = true, epoch
+		return fmt.Errorf("columnbm: wal %s rotate: %w", w.table, err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		w.pendingRotate, w.pendingEpoch = true, epoch
+		return fmt.Errorf("columnbm: wal %s rotate: %w", w.table, err)
+	}
+	w.store.syncDir()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rotation committed; only the handle is gone. The next append
+		// reopens via the recovery path.
+		w.haveFile, w.recreate, w.needTrunc = true, false, false
+		w.validEnd = walHeaderSize
+	} else {
+		w.f = f
+		w.haveFile, w.recreate, w.needTrunc = true, false, false
+	}
+	w.epoch = epoch
+	w.size, w.synced = walHeaderSize, walHeaderSize
+	w.pendingRotate = false
+	w.stats.Rotations++
+	return w.store.fault("wal-truncate")
+}
+
+// Close releases the log's file handle (records already synced stay
+// durable; an open handle is only needed to append).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	w.validEnd = w.size
+	return err
+}
+
+// --- record codec ---
+
+// Value tags of insert payloads, covering every physical type a delta
+// column can hold (logical boxed values; enum columns log the decoded
+// string/float, since replay re-inserts through the dictionary).
+const (
+	walValBool   = 0
+	walValUint8  = 1
+	walValUint16 = 2
+	walValInt32  = 3
+	walValInt64  = 4
+	walValFloat  = 5
+	walValString = 6
+)
+
+func encodeWALInsert(row []any) ([]byte, error) {
+	buf := make([]byte, 0, 16+8*len(row))
+	buf = append(buf, byte(WALInsert))
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		switch x := v.(type) {
+		case bool:
+			b := byte(0)
+			if x {
+				b = 1
+			}
+			buf = append(buf, walValBool, b)
+		case uint8:
+			buf = append(buf, walValUint8, x)
+		case uint16:
+			buf = append(buf, walValUint16)
+			buf = binary.LittleEndian.AppendUint16(buf, x)
+		case int32:
+			buf = append(buf, walValInt32)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		case int64:
+			buf = append(buf, walValInt64)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		case float64:
+			buf = append(buf, walValFloat)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		case string:
+			buf = append(buf, walValString)
+			buf = binary.AppendUvarint(buf, uint64(len(x)))
+			buf = append(buf, x...)
+		default:
+			return nil, fmt.Errorf("columnbm: wal cannot log value %T", v)
+		}
+	}
+	return buf, nil
+}
+
+// decodeWALFrame decodes the frame at the start of b, returning the record
+// and the frame's total size. Any violation — short header, oversized
+// length, truncated payload, CRC mismatch, malformed record — returns a
+// wrapped ErrCorrupt; replay treats it as the end of the committed log.
+func decodeWALFrame(b []byte) (WALRecord, int, error) {
+	if len(b) < 8 {
+		return WALRecord{}, 0, fmt.Errorf("%w: wal frame header truncated", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:]))
+	if n <= 0 || n > walMaxRecord || n > len(b)-8 {
+		return WALRecord{}, 0, fmt.Errorf("%w: wal frame length %d", ErrCorrupt, n)
+	}
+	payload := b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:]) {
+		return WALRecord{}, 0, fmt.Errorf("%w: wal frame checksum mismatch", ErrCorrupt)
+	}
+	rec, err := decodeWALRecord(payload)
+	if err != nil {
+		return WALRecord{}, 0, err
+	}
+	return rec, 8 + n, nil
+}
+
+func decodeWALRecord(payload []byte) (WALRecord, error) {
+	if len(payload) == 0 {
+		return WALRecord{}, fmt.Errorf("%w: empty wal record", ErrCorrupt)
+	}
+	switch WALKind(payload[0]) {
+	case WALDelete:
+		id, n := binary.Uvarint(payload[1:])
+		if n <= 0 || 1+n != len(payload) || id > math.MaxUint32 {
+			return WALRecord{}, fmt.Errorf("%w: bad wal delete record", ErrCorrupt)
+		}
+		return WALRecord{Kind: WALDelete, RowID: int32(uint32(id))}, nil
+	case WALInsert:
+		row, err := decodeWALRow(payload[1:])
+		if err != nil {
+			return WALRecord{}, err
+		}
+		return WALRecord{Kind: WALInsert, Row: row}, nil
+	case WALUpdate:
+		id, n := binary.Uvarint(payload[1:])
+		if n <= 0 || id > math.MaxUint32 {
+			return WALRecord{}, fmt.Errorf("%w: bad wal update record", ErrCorrupt)
+		}
+		row, err := decodeWALRow(payload[1+n:])
+		if err != nil {
+			return WALRecord{}, err
+		}
+		return WALRecord{Kind: WALUpdate, RowID: int32(uint32(id)), Row: row}, nil
+	default:
+		return WALRecord{}, fmt.Errorf("%w: wal record kind %d", ErrCorrupt, payload[0])
+	}
+}
+
+// decodeWALRow decodes an insert body (uvarint ncols + tagged values),
+// which must consume b exactly.
+func decodeWALRow(b []byte) ([]any, error) {
+	ncols, n := binary.Uvarint(b)
+	if n <= 0 || ncols > 1<<16 {
+		return nil, fmt.Errorf("%w: bad wal insert width", ErrCorrupt)
+	}
+	b = b[n:]
+	row := make([]any, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case walValBool:
+			if len(b) < 1 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, b[0] != 0)
+			b = b[1:]
+		case walValUint8:
+			if len(b) < 1 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, b[0])
+			b = b[1:]
+		case walValUint16:
+			if len(b) < 2 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, binary.LittleEndian.Uint16(b))
+			b = b[2:]
+		case walValInt32:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, int32(binary.LittleEndian.Uint32(b)))
+			b = b[4:]
+		case walValInt64:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, int64(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case walValFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case walValString:
+			sl, k := binary.Uvarint(b)
+			if k <= 0 || sl > uint64(len(b)-k) {
+				return nil, fmt.Errorf("%w: truncated wal insert", ErrCorrupt)
+			}
+			row = append(row, string(b[k:k+int(sl)]))
+			b = b[k+int(sl):]
+		default:
+			return nil, fmt.Errorf("%w: wal value tag %d", ErrCorrupt, tag)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in wal insert", ErrCorrupt)
+	}
+	return row, nil
+}

@@ -331,5 +331,26 @@ func Run(db *Database, plan algebra.Node, opts ExecOptions) (*Result, error) {
 	opts.Tracer.Begin()
 	res, err := Drain(op)
 	opts.Tracer.End()
+	if opts.Tracer != nil {
+		// Surface storage/WAL health next to the execution counters so a
+		// trace shows recovery and corruption events alongside the query.
+		for _, st := range db.WalStatuses() {
+			if st.Store.ChecksumFailures > 0 {
+				opts.Tracer.RecordCounter("storage_checksum_failures", st.Store.ChecksumFailures)
+			}
+			if st.Store.DirSyncErrors > 0 {
+				opts.Tracer.RecordCounter("storage_dirsync_errors", st.Store.DirSyncErrors)
+			}
+			if st.Wal.Replayed > 0 {
+				opts.Tracer.RecordCounter("wal_replayed_records", st.Wal.Replayed)
+			}
+			if st.Wal.TailTruncations > 0 {
+				opts.Tracer.RecordCounter("wal_tail_truncations", st.Wal.TailTruncations)
+			}
+			if st.Wal.StaleDiscards > 0 {
+				opts.Tracer.RecordCounter("wal_stale_discards", st.Wal.StaleDiscards)
+			}
+		}
+	}
 	return res, err
 }

@@ -247,7 +247,11 @@ func dictTableOK(db *Database, base string, d *colstore.Dict) bool {
 	if c.Typ != vector.String || t.N != d.Len() {
 		return false
 	}
-	vals, ok := c.Data().([]string)
+	data, err := c.Pin()
+	if err != nil {
+		return false
+	}
+	vals, ok := data.([]string)
 	if !ok {
 		return false
 	}

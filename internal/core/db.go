@@ -8,12 +8,30 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"x100/internal/colstore"
 	"x100/internal/columnbm"
 	"x100/internal/delta"
 	"x100/internal/sindex"
 	"x100/internal/vector"
+)
+
+// Durability selects how updates to disk-attached tables survive a crash.
+type Durability int
+
+const (
+	// DurabilityGroup (the default) logs every insert/delete to the
+	// table's write-ahead log and group-commits the fsync before the call
+	// returns: an acknowledged update survives a crash.
+	DurabilityGroup Durability = iota
+	// DurabilityAsync logs every update but defers the fsync to the next
+	// group commit or checkpoint: a crash may lose the most recent
+	// (unsynced) updates, never the log's prefix.
+	DurabilityAsync
+	// DurabilityCheckpoint is the legacy mode: no write-ahead log; updates
+	// since the last Checkpoint die with the process.
+	DurabilityCheckpoint
 )
 
 // Database bundles the storage-layer state the engines execute against: the
@@ -33,10 +51,17 @@ type Database struct {
 	// came from (the checkpoint write-back target) and how many deletions
 	// the committed manifest already records.
 	disk map[string]*diskAttachment
+	// durability governs WAL logging of disk-attached tables. It must be
+	// chosen before AttachDiskTable: attaching decides whether a log is
+	// opened and replayed.
+	durability Durability
 }
 
 type diskAttachment struct {
 	store *columnbm.Store
+	// wal is the table's write-ahead log; nil under
+	// DurabilityCheckpoint.
+	wal *columnbm.WAL
 	// persistedDel is the size of the deletion list in the committed
 	// manifest; checkpoints only rewrite the manifest when the list (or the
 	// insert delta) has grown past it. Deletion lists only grow, so the
@@ -56,6 +81,99 @@ func NewDatabase() *Database {
 	}
 }
 
+// SetDurability selects the durability mode for disk-attached tables.
+// Call it before AttachDiskTable: the mode decides whether an attach opens
+// (and replays) the table's write-ahead log.
+func (db *Database) SetDurability(d Durability) { db.durability = d }
+
+// Durability returns the database's durability mode.
+func (db *Database) Durability() Durability { return db.durability }
+
+// Insert appends one row (boxed logical values, schema order) to a table,
+// returning its row id. For a disk-attached table with a write-ahead log
+// the row is validated, logged (and under DurabilityGroup fsynced) before
+// it is applied, so an acknowledged insert survives a restart.
+func (db *Database) Insert(table string, row []any) (int32, error) {
+	ds, err := db.Delta(table)
+	if err != nil {
+		return 0, err
+	}
+	// Validate BEFORE logging: a record that reaches the log must always
+	// apply, both now and at replay.
+	if err := ds.CheckRow(row); err != nil {
+		return 0, err
+	}
+	if att := db.disk[table]; att != nil && att.wal != nil {
+		if err := att.wal.LogInsert(row, db.durability == DurabilityGroup); err != nil {
+			return 0, err
+		}
+	}
+	return ds.Insert(row)
+}
+
+// Delete marks a row id deleted, write-ahead logging it like Insert.
+func (db *Database) Delete(table string, rowID int32) error {
+	ds, err := db.Delta(table)
+	if err != nil {
+		return err
+	}
+	if err := ds.CheckDelete(rowID); err != nil {
+		return err
+	}
+	if att := db.disk[table]; att != nil && att.wal != nil {
+		if err := att.wal.LogDelete(rowID, db.durability == DurabilityGroup); err != nil {
+			return err
+		}
+	}
+	return ds.Delete(rowID)
+}
+
+// Update deletes rowID and inserts row (the paper's delete+insert update),
+// logged as one atomic write-ahead record: a replay applies both halves or
+// neither.
+func (db *Database) Update(table string, rowID int32, row []any) (int32, error) {
+	ds, err := db.Delta(table)
+	if err != nil {
+		return 0, err
+	}
+	if err := ds.CheckDelete(rowID); err != nil {
+		return 0, err
+	}
+	if err := ds.CheckRow(row); err != nil {
+		return 0, err
+	}
+	if att := db.disk[table]; att != nil && att.wal != nil {
+		if err := att.wal.LogUpdate(rowID, row, db.durability == DurabilityGroup); err != nil {
+			return 0, err
+		}
+	}
+	return ds.Update(rowID, row)
+}
+
+// WalStatus reports one disk-attached table's write-ahead-log and store
+// counters (WalStatuses).
+type WalStatus struct {
+	Table string
+	Wal   columnbm.WALStats
+	Store columnbm.StoreStats
+}
+
+// WalStatuses returns WAL/recovery counters for every disk-attached table,
+// sorted by table name. Tables without a log (DurabilityCheckpoint) report
+// zero WAL counters but live store counters.
+func (db *Database) WalStatuses() []WalStatus {
+	out := make([]WalStatus, 0, len(db.disk))
+	for name, att := range db.disk {
+		st := WalStatus{Table: name, Store: att.store.Stats()}
+		if att.wal != nil {
+			st.Wal = att.wal.Stats()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
 // AddTable registers a table and creates its delta store. Re-registering a
 // name drops any disk attachment recorded under it: the new table is not
 // the one the old chunk directory describes, so checkpoints must not write
@@ -64,6 +182,9 @@ func NewDatabase() *Database {
 func (db *Database) AddTable(t *colstore.Table) {
 	db.Catalog.Add(t)
 	db.deltas[t.Name] = delta.NewStore(t)
+	if att := db.disk[t.Name]; att != nil && att.wal != nil {
+		att.wal.Close()
+	}
 	delete(db.disk, t.Name)
 }
 
@@ -143,6 +264,15 @@ func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttac
 		ds.ClearInserts()
 	}
 	att.persistedDel = ds.NumDeleted()
+	if att.wal != nil {
+		// The manifest commit advanced the WAL epoch, so the logged records
+		// are absorbed: start a fresh log. A failed rotation is reported
+		// (the checkpoint itself is committed) and retried on the next
+		// append; until then a restart discards the stale-epoch log.
+		if err := att.wal.Rotate(); err != nil {
+			return false, err
+		}
+	}
 	return true, db.refreshSummaries(table)
 }
 
@@ -196,6 +326,13 @@ func (db *Database) Reorganize(table string) error {
 		}
 		t.Cols, t.N, t.ChunkRows = nt.Cols, nt.N, nt.ChunkRows
 		att.persistedDel = 0
+		if att.wal != nil {
+			// The rewrite renumbered row ids; the old log (stale epoch
+			// after the manifest commit) must never replay.
+			if err := att.wal.Rotate(); err != nil {
+				return err
+			}
+		}
 	}
 	registerDictTables(db, t)
 	return db.refreshSummaries(table)
@@ -241,6 +378,11 @@ func (db *Database) BuildSummaryIndex(table, column string, granule int) error {
 	c := t.Col(column)
 	if c == nil {
 		return fmt.Errorf("core: table %s has no column %q", table, column)
+	}
+	// Materialize with a returned error first: the column may be backed by
+	// disk fragments, and a corrupt chunk must not panic out of Data().
+	if _, err := c.Pin(); err != nil {
+		return fmt.Errorf("core: summary index %s.%s: %w", table, column, err)
 	}
 	switch c.PhysType() {
 	case vector.Int32:

@@ -26,13 +26,38 @@ func AttachDiskTable(db *Database, store *columnbm.Store, name string) (*colstor
 		return nil, err
 	}
 	db.AddTable(t)
-	db.disk[name] = &diskAttachment{store: store, persistedDel: len(m.Deleted)}
+	att := &diskAttachment{store: store, persistedDel: len(m.Deleted)}
+	db.disk[name] = att
+	ds, err := db.Delta(name)
+	if err != nil {
+		return nil, err
+	}
 	if len(m.Deleted) > 0 {
-		ds, err := db.Delta(name)
+		ds.RestoreDeleted(m.Deleted)
+	}
+	if db.durability != DurabilityCheckpoint {
+		// Open the table's write-ahead log and replay the committed tail
+		// past the last checkpoint into the delta store — the crash-recovery
+		// half of the WAL. A stale-epoch or torn log is handled inside
+		// OpenWAL; replayed records re-enter through the same delta-store
+		// operations the original calls used.
+		wal, err := store.OpenWAL(name, m.WalEpoch, func(rec columnbm.WALRecord) error {
+			switch rec.Kind {
+			case columnbm.WALInsert:
+				_, err := ds.Insert(rec.Row)
+				return err
+			case columnbm.WALDelete:
+				return ds.Delete(rec.RowID)
+			case columnbm.WALUpdate:
+				_, err := ds.Update(rec.RowID, rec.Row)
+				return err
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		ds.RestoreDeleted(m.Deleted)
+		att.wal = wal
 	}
 	registerDictTables(db, t)
 	return t, nil

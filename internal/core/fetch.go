@@ -140,11 +140,15 @@ func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
 // dst, for the live positions. It is exported for the baseline engines,
 // which perform the same positional joins on whole pinned columns; the
 // vectorized fetch operators gather through FragLocators instead and never
-// pin.
-func FetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
+// pin. Pinning a disk-backed column can fail (e.g. a corrupt chunk), which
+// surfaces as a returned error rather than a panic out of Data.
+func FetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) error {
+	if _, err := col.Pin(); err != nil {
+		return fmt.Errorf("core: fetch %s: %w", col.Name, err)
+	}
 	if col.IsEnum() {
 		fetchEnum(dst, col, ids, sel, n)
-		return
+		return nil
 	}
 	switch col.Typ.Physical() {
 	case vector.Bool:
@@ -162,6 +166,7 @@ func FetchColumn(dst *vector.Vector, col *colstore.Column, ids []int32, sel []in
 	case vector.String:
 		gatherLoop(dst.Strings(), col.Data().([]string), ids, sel, n)
 	}
+	return nil
 }
 
 func gatherLoop[T any](dst []T, base []T, ids []int32, sel []int32, n int) {

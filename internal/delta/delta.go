@@ -149,6 +149,49 @@ func (s *Store) Insert(row []any) (int32, error) {
 	return id, nil
 }
 
+// CheckRow validates one boxed row against the table schema without
+// appending it — the same arity and per-column type checks Insert performs.
+// Durable callers use it to validate BEFORE logging the row to a WAL, so a
+// logged record can never fail to apply.
+func (s *Store) CheckRow(row []any) error {
+	if len(row) != len(s.ins) {
+		return fmt.Errorf("delta: insert row has %d values, table %s has %d columns", len(row), s.table.Name, len(s.ins))
+	}
+	for i := range s.ins {
+		c := &s.ins[i]
+		v := row[i]
+		ok := true
+		switch c.physical {
+		case vector.Bool:
+			_, ok = v.(bool)
+		case vector.UInt8:
+			_, ok = v.(uint8)
+		case vector.UInt16:
+			_, ok = v.(uint16)
+		case vector.Int32:
+			_, ok = v.(int32)
+		case vector.Int64:
+			_, ok = v.(int64)
+		case vector.Float64:
+			_, ok = v.(float64)
+		case vector.String:
+			_, ok = v.(string)
+		}
+		if !ok {
+			return typeErr(c.name, c.typ, v)
+		}
+	}
+	return nil
+}
+
+// CheckDelete validates a row id the way Delete would, without deleting.
+func (s *Store) CheckDelete(rowID int32) error {
+	if int(rowID) < 0 || int(rowID) >= s.table.N+s.nIns {
+		return fmt.Errorf("delta: row id %d out of range [0,%d)", rowID, s.table.N+s.nIns)
+	}
+	return nil
+}
+
 // Update is a delete of rowID followed by an insert of row, per Figure 8.
 func (s *Store) Update(rowID int32, row []any) (int32, error) {
 	if err := s.Delete(rowID); err != nil {
@@ -354,6 +397,12 @@ func (s *Store) Reorganize() error {
 	for ci := range t.Cols {
 		col := t.Cols[ci]
 		logical := col.Typ
+		// Materialize the base column up front with a returned error: the
+		// fragments may live on disk, and a corrupt chunk must surface as an
+		// error from Reorganize, not a panic from Data().
+		if _, err := col.Pin(); err != nil {
+			return fmt.Errorf("delta: reorganize %s.%s: %w", t.Name, col.Name, err)
+		}
 		if col.IsEnum() {
 			// Rebuild decoded values, then re-encode.
 			nt := colstore.NewTable("tmp")

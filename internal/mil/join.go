@@ -272,7 +272,9 @@ func (e *Engine) evalFetch1Join(n *algebra.Fetch1Join) (*rel, error) {
 		}
 		t0 := time.Now()
 		g := vector.New(col.Typ, in.n)
-		fetchBaseColumn(g, col, ids.Int32s())
+		if err := fetchBaseColumn(g, col, ids.Int32s()); err != nil {
+			return nil, err
+		}
 		e.Trace.record(fmt.Sprintf("%s := join(%s,%s.%s)", e.Trace.name("s"), n.RowID, n.Table, cname),
 			int64(4*in.n), int64(g.Bytes()), in.n, time.Since(t0))
 		out.schema = append(out.schema, vector.Field{Name: name, Type: col.Typ})
@@ -281,8 +283,8 @@ func (e *Engine) evalFetch1Join(n *algebra.Fetch1Join) (*rel, error) {
 	return out, nil
 }
 
-func fetchBaseColumn(dst *vector.Vector, col *colstore.Column, ids []int32) {
-	core.FetchColumn(dst, col, ids, nil, len(ids))
+func fetchBaseColumn(dst *vector.Vector, col *colstore.Column, ids []int32) error {
+	return core.FetchColumn(dst, col, ids, nil, len(ids))
 }
 
 func (e *Engine) evalFetchNJoin(n *algebra.FetchNJoin) (*rel, error) {
@@ -332,7 +334,9 @@ func (e *Engine) evalFetchNJoin(n *algebra.FetchNJoin) (*rel, error) {
 			name = n.As[i]
 		}
 		g := vector.New(col.Typ, len(fIdx))
-		fetchBaseColumn(g, col, fIdx)
+		if err := fetchBaseColumn(g, col, fIdx); err != nil {
+			return nil, err
+		}
 		out.schema = append(out.schema, vector.Field{Name: name, Type: col.Typ})
 		out.cols = append(out.cols, g)
 	}

@@ -205,12 +205,20 @@ func (e *Engine) scanColumn(t *colstore.Table, name string) (*vector.Vector, vec
 		if c == nil || !c.IsEnum() {
 			return nil, vector.Field{}, fmt.Errorf("mil: %s.%s is not an enum column", t.Name, name)
 		}
+		if _, err := c.Pin(); err != nil {
+			return nil, vector.Field{}, fmt.Errorf("mil: scan %s.%s: %w", t.Name, name, err)
+		}
 		v := c.VectorAt(0, t.N)
 		return v, vector.Field{Name: name, Type: c.PhysType()}, nil
 	}
 	c := t.Col(name)
 	if c == nil {
 		return nil, vector.Field{}, fmt.Errorf("mil: table %s has no column %q", t.Name, name)
+	}
+	// Materialize with a returned error: the column may be disk-backed, and
+	// a corrupt chunk must surface as an error, not a panic from VectorAt.
+	if _, err := c.Pin(); err != nil {
+		return nil, vector.Field{}, fmt.Errorf("mil: scan %s.%s: %w", t.Name, name, err)
 	}
 	if !c.IsEnum() {
 		return c.VectorAt(0, t.N), vector.Field{Name: name, Type: c.Typ}, nil

@@ -211,6 +211,9 @@ func newFetch1(e *Engine, in Operator, n *algebra.Fetch1Join) (*fetch1Op, error)
 		if col == nil {
 			return nil, fmt.Errorf("volcano: table %s has no column %q", n.Table, cname)
 		}
+		if _, err := col.Pin(); err != nil {
+			return nil, fmt.Errorf("volcano: fetch %s.%s: %w", n.Table, cname, err)
+		}
 		cc := col
 		op.cols = append(op.cols, func(r int) any { return cc.DecodedValue(r) })
 		name := cname
@@ -276,6 +279,9 @@ func newFetchN(e *Engine, in Operator, n *algebra.FetchNJoin) (*fetchNOp, error)
 		col := t.Col(cname)
 		if col == nil {
 			return nil, fmt.Errorf("volcano: table %s has no column %q", n.Table, cname)
+		}
+		if _, err := col.Pin(); err != nil {
+			return nil, fmt.Errorf("volcano: fetch %s.%s: %w", n.Table, cname, err)
 		}
 		cc := col
 		op.cols = append(op.cols, func(r int) any { return cc.DecodedValue(r) })

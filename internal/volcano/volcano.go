@@ -176,6 +176,9 @@ func newScan(e *Engine, n *algebra.Scan) (*scanOp, error) {
 			if c == nil || !c.IsEnum() {
 				return nil, fmt.Errorf("volcano: %s.%s is not an enum column", n.Table, name)
 			}
+			if _, err := c.Pin(); err != nil {
+				return nil, fmt.Errorf("volcano: scan %s.%s: %w", n.Table, name, err)
+			}
 			v := c.VectorAt(0, t.N)
 			op.schema = append(op.schema, vector.Field{Name: name, Type: c.PhysType()})
 			op.get = append(op.get, func(r int) any { return v.Value(r) })
@@ -183,6 +186,11 @@ func newScan(e *Engine, n *algebra.Scan) (*scanOp, error) {
 			c := t.Col(name)
 			if c == nil {
 				return nil, fmt.Errorf("volcano: table %s has no column %q", n.Table, name)
+			}
+			// Pin with a returned error here so the per-tuple DecodedValue
+			// closures can never hit a disk fault mid-scan.
+			if _, err := c.Pin(); err != nil {
+				return nil, fmt.Errorf("volcano: scan %s.%s: %w", n.Table, name, err)
 			}
 			cc := c
 			op.schema = append(op.schema, vector.Field{Name: name, Type: c.Typ})

@@ -46,15 +46,25 @@
 // # Durable updates
 //
 // Inserts, deletes and updates accumulate in per-table deltas (Insert,
-// Delete, Update). On a disk-attached table, Checkpoint writes the insert
-// delta back to the chunk directory as new compressed chunks and records
-// the deletion list, committing with one atomic manifest rename: AttachDisk
-// after a restart recovers every checkpointed row and deletion, and a
-// crash mid-checkpoint leaves exactly the previous committed state.
-// Reorganize rewrites the directory into a fresh chunk-file generation,
-// compacting deletions and re-encoding enums. A read-only attached table is
-// never written: implicit checkpoints before parallel scans are no-ops
-// unless inserts are pending.
+// Delete, Update). On a disk-attached table every update is additionally
+// write-ahead logged: a CRC32-framed record is appended to the table's
+// per-directory log and — under the default DurabilityGroup mode —
+// group-commit fsynced before the call returns, so an acknowledged update
+// survives a crash even before any checkpoint (WithDurability selects the
+// mode). Checkpoint writes the insert delta back to the chunk directory as
+// new compressed chunks and records the deletion list, committing with one
+// atomic manifest rename and rotating the log: AttachDisk after a restart
+// recovers every checkpointed row and deletion and replays the log tail
+// past the last checkpoint — a torn or corrupt log tail is cut at the last
+// valid record, and a log the checkpoint already absorbed is discarded by
+// its epoch, never replayed twice. Chunk files carry a CRC32 in the
+// manifest, verified on first load: corruption surfaces as a wrapped
+// error (not a panic), counted in WalStatuses alongside the WAL/recovery
+// counters. Reorganize rewrites the directory into a fresh chunk-file
+// generation, compacting deletions and re-encoding enums. A read-only
+// attached table is never written: implicit checkpoints before parallel
+// scans are no-ops unless inserts are pending, and attaching creates no
+// log file until the first logged update.
 //
 // # Parallel execution
 //
@@ -133,6 +143,27 @@ const (
 	DateT    = vector.Date
 )
 
+// Durability selects how updates to disk-attached tables survive a crash
+// (see WithDurability).
+type Durability = core.Durability
+
+// Durability modes for WithDurability.
+const (
+	// DurabilityGroup (the default) write-ahead logs every insert, delete
+	// and update on a disk-attached table and group-commits the fsync
+	// before the call returns: concurrent writers share fsyncs, and an
+	// acknowledged update survives a crash — AttachDisk replays the log
+	// tail past the last checkpoint.
+	DurabilityGroup = core.DurabilityGroup
+	// DurabilityAsync logs every update but defers fsyncs to the next
+	// group commit or checkpoint: a crash may lose only the most recent
+	// unsynced updates.
+	DurabilityAsync = core.DurabilityAsync
+	// DurabilityCheckpoint is the legacy mode: no write-ahead log; updates
+	// since the last Checkpoint die with the process.
+	DurabilityCheckpoint = core.DurabilityCheckpoint
+)
+
 // DB is a columnar database instance.
 type DB struct {
 	inner *core.Database
@@ -142,8 +173,24 @@ type DB struct {
 	diskSrc map[string]*columnbm.Store
 }
 
+// DBOption configures NewDB.
+type DBOption func(*DB)
+
+// WithDurability selects the durability mode for disk-attached tables.
+// It must be chosen at construction: AttachDisk decides per the mode
+// whether each table's write-ahead log is opened and replayed.
+func WithDurability(d Durability) DBOption {
+	return func(db *DB) { db.inner.SetDurability(d) }
+}
+
 // NewDB creates an empty database.
-func NewDB() *DB { return &DB{inner: core.NewDatabase()} }
+func NewDB(opts ...DBOption) *DB {
+	db := &DB{inner: core.NewDatabase()}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
 
 // store opens (or returns the cached) ColumnBM store for dir.
 func (db *DB) store(dir string) (*columnbm.Store, error) {
@@ -270,33 +317,37 @@ func (db *DB) NumRows(name string) (int, error) {
 }
 
 // Insert appends a row (boxed values in schema order) to a table's delta
-// store (Figure 8 of the paper: base fragments are immutable).
+// store (Figure 8 of the paper: base fragments are immutable). On a
+// disk-attached table the row is write-ahead logged first (per the
+// database's durability mode), so an acknowledged insert survives a crash.
 func (db *DB) Insert(table string, row ...any) error {
-	ds, err := db.inner.Delta(table)
-	if err != nil {
-		return err
-	}
-	_, err = ds.Insert(row)
+	_, err := db.inner.Insert(table, row)
 	return err
 }
 
-// Delete marks a row id deleted.
+// Delete marks a row id deleted (write-ahead logged like Insert).
 func (db *DB) Delete(table string, rowID int32) error {
-	ds, err := db.inner.Delta(table)
-	if err != nil {
-		return err
-	}
-	return ds.Delete(rowID)
+	return db.inner.Delete(table, rowID)
 }
 
-// Update replaces a row (a delete plus an insert, per the paper).
+// Update replaces a row (a delete plus an insert, per the paper), logged
+// as one atomic write-ahead record.
 func (db *DB) Update(table string, rowID int32, row ...any) error {
-	ds, err := db.inner.Delta(table)
-	if err != nil {
-		return err
-	}
-	_, err = ds.Update(rowID, row)
+	_, err := db.inner.Update(table, rowID, row)
 	return err
+}
+
+// WalStatus reports one disk-attached table's write-ahead-log and
+// storage-health counters (see WalStatuses).
+type WalStatus = core.WalStatus
+
+// WalStatuses returns WAL/recovery and storage-corruption counters for
+// every disk-attached table, sorted by table name: records appended,
+// group-commit fsyncs, checkpoint rotations, records replayed at attach,
+// torn tails truncated, stale logs discarded, chunk checksum failures, and
+// directory-fsync errors.
+func (db *DB) WalStatuses() []WalStatus {
+	return db.inner.WalStatuses()
 }
 
 // DeltaFraction reports the delta-to-base size ratio of a table; reorganize
