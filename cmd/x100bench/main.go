@@ -6,9 +6,16 @@
 //	x100bench -exp table1 -sf 1
 //	x100bench -exp fig10 -sf 0.05
 //
-// Experiments: fig2, table1, table2, table3, table4, table5, fig6, fig10,
-// parallel, disk, strings, updates, ingest, compressed, ablation-compound,
-// ablation-enum, ablation-summary, ablation-selvec, all.
+// Experiments: fig2, primitives, table1, table2, table3, table4, table5,
+// fig6, fig10, parallel, disk, strings, updates, ingest, compressed,
+// ablation-compound, ablation-enum, ablation-summary, ablation-selvec, all.
+//
+// The primitives experiment measures each width-specialized branch-free
+// kernel (select, hash, aggregate, map) against its naive scalar reference,
+// reporting rows/sec, nominal cycles per value, and speedup; records carry
+// the host's effective core count:
+//
+//	x100bench -exp primitives -json BENCH_primitives.json
 //
 // The disk experiment persists lineitem through the ColumnBM chunk store
 // and compares in-memory, disk-cold, and disk-warm (buffer-pooled) scan
@@ -136,6 +143,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 	}
 	steps := []step{
 		{"fig2", func() error { return bench.Fig2(w) }},
+		{"primitives", func() error {
+			recs, err := bench.Primitives(w)
+			records = append(records, recs...)
+			return err
+		}},
 		{"table1", func() error { return bench.Table1(w, db, sf) }},
 		{"parallel", func() error {
 			recs, err := bench.ParallelScaling(w, db, sf, levels)

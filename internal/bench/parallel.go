@@ -40,6 +40,25 @@ type Record struct {
 	// Ingest-experiment field (-exp ingest): the durability mode the
 	// rows were inserted under (group | async | checkpoint).
 	Durability string `json:"durability,omitempty"`
+	// Primitive-kernel fields (-exp primitives): nominal cycles spent per
+	// processed value (ns/value * NominalGHz) and the speedup of the
+	// width-specialized branch-free kernel over its naive scalar reference.
+	CyclesPerValue float64 `json:"cycles_per_value,omitempty"`
+	SpeedupVsRef   float64 `json:"speedup_vs_ref,omitempty"`
+	// Parallel-honesty fields, stamped by WriteRecords: the core count the
+	// process could actually use (min of NumCPU and GOMAXPROCS), and — on
+	// multi-worker measurements — whether the numbers mean anything on this
+	// host. On a 1-core box a "parallel" run only measures goroutine
+	// scheduling overhead, so ParallelMeaningful is explicitly false rather
+	// than silently reporting a ~1.0x "speedup" as if it were a scaling
+	// result.
+	EffectiveCores     int   `json:"effective_cores,omitempty"`
+	ParallelMeaningful *bool `json:"parallel_meaningful,omitempty"`
+}
+
+// effectiveCores is the parallelism the process can actually realize.
+func effectiveCores() int {
+	return min(runtime.NumCPU(), runtime.GOMAXPROCS(0))
 }
 
 // WriteRecords writes benchmark records as an indented JSON array (an
@@ -50,10 +69,11 @@ func WriteRecords(path string, recs []Record) error {
 	if recs == nil {
 		recs = []Record{}
 	}
-	ncpu, gmp := runtime.NumCPU(), runtime.GOMAXPROCS(0)
+	ncpu, gmp, eff := runtime.NumCPU(), runtime.GOMAXPROCS(0), effectiveCores()
 	for i := range recs {
 		recs[i].NumCPU = ncpu
 		recs[i].GoMaxProcs = gmp
+		recs[i].EffectiveCores = eff
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -81,8 +101,15 @@ func ParallelScaling(w io.Writer, db *core.Database, sf float64, levels []int) (
 	if t, err := db.Table("lineitem"); err == nil {
 		lineitemRows = t.N
 	}
+	cores := effectiveCores()
+	meaningful := cores > 1
 	fmt.Fprintf(w, "Parallel scaling at SF=%g (GOMAXPROCS=%d, lineitem=%d rows)\n",
 		sf, runtime.GOMAXPROCS(0), lineitemRows)
+	if !meaningful {
+		fmt.Fprintf(w, "CAVEAT: only %d effective core(s) — multi-worker timings below measure\n", cores)
+		fmt.Fprintf(w, "goroutine scheduling overhead, not parallel scaling; records are marked\n")
+		fmt.Fprintf(w, "parallel_meaningful=false.\n")
+	}
 	fmt.Fprintf(w, "%-10s %12s %14s %14s %10s\n",
 		"query", "parallelism", "time", "rows/sec", "speedup")
 	var recs []Record
@@ -125,13 +152,14 @@ func ParallelScaling(w io.Writer, db *core.Database, sf float64, levels []int) (
 			fmt.Fprintf(w, "%-10s %12d %14v %14.0f %9.2fx\n",
 				fmt.Sprintf("Q%d", q), p, d.Round(time.Microsecond), rowsPerSec, speedup)
 			recs = append(recs, Record{
-				Name:        name,
-				SF:          sf,
-				Parallelism: p,
-				NsPerOp:     float64(d.Nanoseconds()),
-				Rows:        lineitemRows,
-				RowsPerSec:  rowsPerSec,
-				Speedup:     speedup,
+				Name:               name,
+				SF:                 sf,
+				Parallelism:        p,
+				NsPerOp:            float64(d.Nanoseconds()),
+				Rows:               lineitemRows,
+				RowsPerSec:         rowsPerSec,
+				Speedup:            speedup,
+				ParallelMeaningful: &meaningful,
 			})
 		}
 	}

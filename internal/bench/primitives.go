@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"x100/internal/primitives"
+	"x100/internal/trace"
+)
+
+// primCase is one per-primitive micro-benchmark: a width-specialized kernel
+// against the naive scalar reference it replaced. Both closures must do the
+// same logical work over n values.
+type primCase struct {
+	name   string
+	n      int
+	kernel func()
+	ref    func()
+}
+
+// primRows is the per-iteration value count: large enough to amortize call
+// overhead, small enough to stay cache-resident so the measurement isolates
+// compute (the paper's vectors are cache-sized for the same reason).
+const primRows = 1 << 16
+
+// xorshift fills dst-sized data deterministically (no rand dependency, and
+// repeatable across runs for trajectory comparisons).
+func xorshift(seed uint64) func() uint64 {
+	r := seed
+	return func() uint64 {
+		r ^= r >> 12
+		r ^= r << 25
+		r ^= r >> 27
+		return r * 0x2545F4914F6CDD1D
+	}
+}
+
+// Primitives measures every width-specialized branch-free kernel family
+// (select, hash, aggregate, map) against its scalar reference, reporting
+// rows/sec, nominal cycles per value, and the speedup of the specialized
+// kernel. The records land in -json output for per-primitive trajectory
+// tracking across versions.
+func Primitives(w io.Writer) ([]Record, error) {
+	n := primRows
+	next := xorshift(42)
+
+	i32 := make([]int32, n)
+	i64 := make([]int64, n)
+	f64 := make([]float64, n)
+	u8 := make([]uint8, n)
+	b32 := make([]int32, n)
+	groups := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := next()
+		i32[i] = int32(r % 100)
+		b32[i] = int32(next() % 100)
+		i64[i] = int64(r)
+		f64[i] = float64(r%1000) * 0.25
+		u8[i] = uint8(r)
+		groups[i] = int32(r % 64)
+	}
+	selRes := make([]int32, n)
+	hashRes := make([]uint64, n)
+	mulRes := make([]float64, n)
+	accF := make([]float64, 64)
+	accI := make([]int64, 64)
+	cnt := make([]int64, 64)
+	seen := make([]bool, 64)
+
+	cases := []primCase{
+		{"select_lt_i32_colval", n,
+			func() { primitives.SelectLTColValI32(selRes, i32, 50, nil) },
+			func() { primitives.RefSelectLTColVal(selRes, i32, 50, nil) }},
+		{"select_lt_colcol_i32", n,
+			func() { primitives.SelectLTColColI32(selRes, i32, b32, nil) },
+			func() {
+				// reference: branch-free generic col-col via the generic path
+				k := 0
+				for i, x := range i32 {
+					if x < b32[i] {
+						selRes[k] = int32(i)
+						k++
+					}
+				}
+			}},
+		{"select_eq_u8_swar", n,
+			func() { primitives.SelectEQColValU8(selRes, u8, 7, nil) },
+			func() { primitives.RefSelectEQColVal(selRes, u8, 7, nil) }},
+		// Sparse (~5% selectivity): the SWAR probe commits to word-parallel
+		// bit-extraction. Dense (~39%): the probe bails to the predicated
+		// scalar loop, so the dense row is expected near 1.0x — it guards
+		// against the adaptive fallback regressing, not a speedup claim.
+		{"select_lt_u8_swar_sparse", n,
+			func() { primitives.SelectLTColValU8(selRes, u8, 12, nil) },
+			func() { primitives.RefSelectLTColVal(selRes, u8, 12, nil) }},
+		{"select_lt_u8_swar_dense", n,
+			func() { primitives.SelectLTColValU8(selRes, u8, 100, nil) },
+			func() { primitives.RefSelectLTColVal(selRes, u8, 100, nil) }},
+		{"hash_i64_col", n,
+			func() { primitives.HashColI64(hashRes, i64, nil) },
+			func() { primitives.RefHashInt(hashRes, i64, nil) }},
+		{"hash2_i32_fused", n,
+			func() { primitives.Hash2ColI32(hashRes, i32, b32, nil) },
+			func() {
+				primitives.RefHashInt(hashRes, i32, nil)
+				primitives.RefHashCombineInt(hashRes, b32, nil)
+			}},
+		{"aggr_sum_f64_col", n,
+			func() { primitives.AggrSumF64FromF64(accF, f64, groups, nil) },
+			func() { primitives.RefAggrSum(accF, f64, groups, nil) }},
+		{"aggr_sumcount_f64_fused", n,
+			func() { primitives.AggrSumCountF64FromF64(accF, cnt, f64, groups, nil) },
+			func() {
+				primitives.RefAggrSum(accF, f64, groups, nil)
+				primitives.RefAggrCount(cnt, groups, nil, n)
+			}},
+		{"aggr_min_i64_branchless", n,
+			func() { primitives.AggrMinBranchlessI64(accI, seen, i64, groups, nil) },
+			func() { primitives.RefAggrMin(accI, seen, i64, groups, nil) }},
+		{"map_mul_f64_colcol", n,
+			func() { primitives.MapMulColColF64(mulRes, f64, f64, nil) },
+			func() { primitives.RefMapMulColCol(mulRes, f64, f64, nil) }},
+	}
+
+	cores := effectiveCores()
+	fmt.Fprintf(w, "Per-primitive kernels vs scalar reference (n=%d values/op, cycles at nominal %.1fGHz, effective cores=%d)\n",
+		n, trace.NominalGHz, cores)
+	fmt.Fprintf(w, "%-26s %14s %12s %14s %12s\n",
+		"primitive", "rows/sec", "cyc/value", "ref cyc/value", "speedup")
+	var recs []Record
+	for _, c := range cases {
+		// Best-of-5: take the minimum per-op time of five interleaved
+		// trials per side. The minimum is the noise-robust estimator for
+		// a fixed deterministic workload — scheduler preemption and
+		// frequency scaling only ever add time — and interleaving keeps a
+		// transient slowdown from landing entirely on one side of the
+		// kernel/reference ratio.
+		var dk, dr time.Duration
+		for trial := 0; trial < 5; trial++ {
+			tk, err := timeIt(100*time.Millisecond, func() error { c.kernel(); return nil })
+			if err != nil {
+				return nil, err
+			}
+			tr, err := timeIt(100*time.Millisecond, func() error { c.ref(); return nil })
+			if err != nil {
+				return nil, err
+			}
+			if trial == 0 || tk < dk {
+				dk = tk
+			}
+			if trial == 0 || tr < dr {
+				dr = tr
+			}
+		}
+		nsPerVal := float64(dk.Nanoseconds()) / float64(c.n)
+		refNsPerVal := float64(dr.Nanoseconds()) / float64(c.n)
+		cyc := nsPerVal * trace.NominalGHz
+		refCyc := refNsPerVal * trace.NominalGHz
+		speedup := 0.0
+		if dk > 0 {
+			speedup = float64(dr) / float64(dk)
+		}
+		rowsPerSec := 0.0
+		if dk > 0 {
+			rowsPerSec = float64(c.n) / dk.Seconds()
+		}
+		fmt.Fprintf(w, "%-26s %14.3e %12.3f %14.3f %11.2fx\n",
+			c.name, rowsPerSec, cyc, refCyc, speedup)
+		recs = append(recs, Record{
+			Name:           "primitive_" + c.name,
+			Rows:           c.n,
+			NsPerOp:        float64(dk.Nanoseconds()),
+			RowsPerSec:     rowsPerSec,
+			CyclesPerValue: cyc,
+			SpeedupVsRef:   speedup,
+		})
+	}
+	return recs, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"x100/internal/algebra"
@@ -77,6 +78,22 @@ func growTo[T any](s []T, n int) []T {
 	return append(s, make([]T, n-len(s))...)
 }
 
+// growFill extends s to length n, setting new cells to fill. Min/max
+// accumulators grow with the fold identity (+Inf/MaxInt for min,
+// -Inf/MinInt for max) so the branchless kernels can fold unconditionally
+// without consulting seen flags.
+func growFill[T any](s []T, n int, fill T) []T {
+	if len(s) >= n {
+		return s
+	}
+	old := len(s)
+	s = append(s, make([]T, n-len(s))...)
+	for i := old; i < len(s); i++ {
+		s[i] = fill
+	}
+	return s
+}
+
 func (a *accumulator) grow(n int) {
 	switch a.fn {
 	case algebra.AggCount:
@@ -93,13 +110,26 @@ func (a *accumulator) grow(n int) {
 		}
 		return
 	default: // min/max
+		isMin := a.fn == algebra.AggMin
 		switch a.outTyp.Physical() {
 		case vector.Float64:
-			a.f64 = growTo(a.f64, n)
+			if isMin {
+				a.f64 = growFill(a.f64, n, math.Inf(1))
+			} else {
+				a.f64 = growFill(a.f64, n, math.Inf(-1))
+			}
 		case vector.Int64:
-			a.i64 = growTo(a.i64, n)
+			if isMin {
+				a.i64 = growFill(a.i64, n, math.MaxInt64)
+			} else {
+				a.i64 = growFill(a.i64, n, math.MinInt64)
+			}
 		case vector.Int32:
-			a.i32 = growTo(a.i32, n)
+			if isMin {
+				a.i32 = growFill(a.i32, n, math.MaxInt32)
+			} else {
+				a.i32 = growFill(a.i32, n, math.MinInt32)
+			}
 		case vector.String:
 			a.str = growTo(a.str, n)
 		}
@@ -140,28 +170,77 @@ func (a *accumulator) update(v *vector.Vector, gids []int32, sel []int32, n int)
 			primitives.AggrSum(dstF, v.UInt16s(), gids, sel)
 		}
 	case algebra.AggMin:
+		// Numeric accumulators are sentinel-initialized (+Inf/MaxInt) by
+		// grow(), so the branch-free kernels fold unconditionally.
 		switch a.outTyp.Physical() {
 		case vector.Float64:
-			primitives.AggrMin(a.f64, a.seen, v.Float64s(), gids, sel)
+			primitives.AggrMinBranchlessF64(a.f64, a.seen, v.Float64s(), gids, sel)
 		case vector.Int64:
-			primitives.AggrMin(a.i64, a.seen, v.Int64s(), gids, sel)
+			primitives.AggrMinBranchlessI64(a.i64, a.seen, v.Int64s(), gids, sel)
 		case vector.Int32:
-			primitives.AggrMin(a.i32, a.seen, v.Int32s(), gids, sel)
+			primitives.AggrMinBranchlessI32(a.i32, a.seen, v.Int32s(), gids, sel)
 		case vector.String:
 			primitives.AggrMin(a.str, a.seen, v.Strings(), gids, sel)
 		}
 	case algebra.AggMax:
 		switch a.outTyp.Physical() {
 		case vector.Float64:
-			primitives.AggrMax(a.f64, a.seen, v.Float64s(), gids, sel)
+			primitives.AggrMaxBranchlessF64(a.f64, a.seen, v.Float64s(), gids, sel)
 		case vector.Int64:
-			primitives.AggrMax(a.i64, a.seen, v.Int64s(), gids, sel)
+			primitives.AggrMaxBranchlessI64(a.i64, a.seen, v.Int64s(), gids, sel)
 		case vector.Int32:
-			primitives.AggrMax(a.i32, a.seen, v.Int32s(), gids, sel)
+			primitives.AggrMaxBranchlessI32(a.i32, a.seen, v.Int32s(), gids, sel)
 		case vector.String:
 			primitives.AggrMax(a.str, a.seen, v.Strings(), gids, sel)
 		}
 	}
+}
+
+// updateFusedCount folds one batch into the accumulator AND the hidden
+// per-group row counter in a single fused pass (aggr_sumcount kernels),
+// saving one full sweep over the groups vector. Returns false when the
+// accumulator is not a sum/avg over a fusible width, in which case the
+// caller must count rows separately.
+func (a *accumulator) updateFusedCount(v *vector.Vector, cnt []int64, gids []int32, sel []int32) bool {
+	if v == nil {
+		return false
+	}
+	switch a.fn {
+	case algebra.AggSum:
+		if a.outTyp != vector.Float64 {
+			switch a.argTyp.Physical() {
+			case vector.Int32:
+				primitives.AggrSumCountI64FromI32(a.i64, cnt, v.Int32s(), gids, sel)
+			case vector.Int64:
+				primitives.AggrSumCountI64FromI64(a.i64, cnt, v.Int64s(), gids, sel)
+			case vector.UInt8:
+				primitives.AggrSumCountI64FromU8(a.i64, cnt, v.UInt8s(), gids, sel)
+			case vector.UInt16:
+				primitives.AggrSumCountI64FromU16(a.i64, cnt, v.UInt16s(), gids, sel)
+			default:
+				return false
+			}
+			return true
+		}
+		fallthrough
+	case algebra.AggAvg:
+		switch a.argTyp.Physical() {
+		case vector.Float64:
+			primitives.AggrSumCountF64FromF64(a.f64, cnt, v.Float64s(), gids, sel)
+		case vector.Int32:
+			primitives.AggrSumCountF64FromI32(a.f64, cnt, v.Int32s(), gids, sel)
+		case vector.Int64:
+			primitives.AggrSumCountF64FromI64(a.f64, cnt, v.Int64s(), gids, sel)
+		case vector.UInt8:
+			primitives.AggrSumCountF64FromU8(a.f64, cnt, v.UInt8s(), gids, sel)
+		case vector.UInt16:
+			primitives.AggrSumCountF64FromU16(a.f64, cnt, v.UInt16s(), gids, sel)
+		default:
+			return false
+		}
+		return true
+	}
+	return false
 }
 
 // output materializes accumulator values for the group ids in idx.
@@ -182,23 +261,33 @@ func (a *accumulator) output(idx []int32, rowCount []int64) *vector.Vector {
 		}
 		return vector.FromInt64s(out)
 	default:
+		// Min/max accumulators hold the fold-identity sentinel for groups
+		// that never saw a value (possible only for the pre-existing group
+		// of a scalar aggregation over empty input); emit the zero value
+		// there, matching the pre-sentinel behavior.
 		switch a.outTyp.Physical() {
 		case vector.Float64:
 			out := make([]float64, len(idx))
 			for j, g := range idx {
-				out[j] = a.f64[g]
+				if !a.hasSeen || a.seen[g] {
+					out[j] = a.f64[g]
+				}
 			}
 			return vector.FromFloat64s(out)
 		case vector.Int64:
 			out := make([]int64, len(idx))
 			for j, g := range idx {
-				out[j] = a.i64[g]
+				if !a.hasSeen || a.seen[g] {
+					out[j] = a.i64[g]
+				}
 			}
 			return vector.FromInt64s(out)
 		case vector.Int32:
 			out := make([]int32, len(idx))
 			for j, g := range idx {
-				out[j] = a.i32[g]
+				if !a.hasSeen || a.seen[g] {
+					out[j] = a.i32[g]
+				}
 			}
 			v := vector.FromInt32s(out)
 			v.Typ = a.outTyp
@@ -434,9 +523,12 @@ func (op *aggrOp) consume() error {
 				return err
 			}
 		}
-		// 2. update accumulators with vectorized aggr primitives.
+		// 2. update accumulators with vectorized aggr primitives. The first
+		// sum/avg accumulator fuses the hidden row-count sweep into its own
+		// pass (aggr_sumcount kernel); remaining accumulators and the
+		// no-fusible-sum case fall back to a separate count pass.
 		gids := op.gidBuf[:b.N]
-		primitives.AggrCount(op.rowCount, gids, b.Sel, b.N)
+		rowCounted := false
 		for i, a := range op.accs {
 			var v *vector.Vector
 			if prog := op.aggProgs[i]; prog != nil {
@@ -447,8 +539,16 @@ func (op *aggrOp) consume() error {
 				name = "aggr_count_uidx_col"
 			}
 			tr := op.opts.Tracer.Now()
-			a.update(v, gids, b.Sel, b.N)
+			if !rowCounted && a.updateFusedCount(v, op.rowCount, gids, b.Sel) {
+				rowCounted = true
+				name = fmt.Sprintf("aggr_sumcount_%s_col_uidx_col", typeAbbrevCore(a.argTyp))
+			} else {
+				a.update(v, gids, b.Sel, b.N)
+			}
 			op.opts.Tracer.RecordPrimitiveSince(name, tr, b.Rows(), (a.argTyp.Width()+8)*b.Rows())
+		}
+		if !rowCounted {
+			primitives.AggrCount(op.rowCount, gids, b.Sel, b.N)
 		}
 		op.opts.Tracer.RecordOperator(fmt.Sprintf("Aggr(%s)", op.mode), b.Rows(), time.Since(t0))
 	}

@@ -133,6 +133,18 @@ func (cb *colBuilder) appendValue(v any) {
 	}
 }
 
+// appendBuilder appends all rows accumulated in src (same type) — the
+// concatenation step when per-worker partition builders merge into one.
+func (cb *colBuilder) appendBuilder(src *colBuilder) {
+	cb.b = append(cb.b, src.b...)
+	cb.u8 = append(cb.u8, src.u8...)
+	cb.u16 = append(cb.u16, src.u16...)
+	cb.i32 = append(cb.i32, src.i32...)
+	cb.i64 = append(cb.i64, src.i64...)
+	cb.f64 = append(cb.f64, src.f64...)
+	cb.strs = append(cb.strs, src.strs...)
+}
+
 // len returns the number of accumulated values.
 func (cb *colBuilder) len() int {
 	switch cb.typ.Physical() {
@@ -227,6 +239,69 @@ func (cb *colBuilder) less(i, j int) bool {
 		return cb.f64[i] < cb.f64[j]
 	default:
 		return cb.strs[i] < cb.strs[j]
+	}
+}
+
+// appendRow appends accumulated row i of src (same type) — the gather step
+// when k-way merging sorted runs held in separate builders.
+func (cb *colBuilder) appendRow(src *colBuilder, i int) {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		cb.b = append(cb.b, src.b[i])
+	case vector.UInt8:
+		cb.u8 = append(cb.u8, src.u8[i])
+	case vector.UInt16:
+		cb.u16 = append(cb.u16, src.u16[i])
+	case vector.Int32:
+		cb.i32 = append(cb.i32, src.i32[i])
+	case vector.Int64:
+		cb.i64 = append(cb.i64, src.i64[i])
+	case vector.Float64:
+		cb.f64 = append(cb.f64, src.f64[i])
+	case vector.String:
+		cb.strs = append(cb.strs, src.strs[i])
+	}
+}
+
+// lessCross compares accumulated row i against row j of another builder of
+// the same type (k-way merge across sorted runs).
+func (cb *colBuilder) lessCross(i int, ob *colBuilder, j int) bool {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return !cb.b[i] && ob.b[j]
+	case vector.UInt8:
+		return cb.u8[i] < ob.u8[j]
+	case vector.UInt16:
+		return cb.u16[i] < ob.u16[j]
+	case vector.Int32:
+		return cb.i32[i] < ob.i32[j]
+	case vector.Int64:
+		return cb.i64[i] < ob.i64[j]
+	case vector.Float64:
+		return cb.f64[i] < ob.f64[j]
+	default:
+		return cb.strs[i] < ob.strs[j]
+	}
+}
+
+// equalCross compares accumulated row i against row j of another builder of
+// the same type.
+func (cb *colBuilder) equalCross(i int, ob *colBuilder, j int) bool {
+	switch cb.typ.Physical() {
+	case vector.Bool:
+		return cb.b[i] == ob.b[j]
+	case vector.UInt8:
+		return cb.u8[i] == ob.u8[j]
+	case vector.UInt16:
+		return cb.u16[i] == ob.u16[j]
+	case vector.Int32:
+		return cb.i32[i] == ob.i32[j]
+	case vector.Int64:
+		return cb.i64[i] == ob.i64[j]
+	case vector.Float64:
+		return cb.f64[i] == ob.f64[j]
+	default:
+		return cb.strs[i] == ob.strs[j]
 	}
 }
 

@@ -437,14 +437,32 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 		}
 		jb := c.joins[n]
 		if jb == nil {
-			// The build side runs once, serially, shared by all probers.
-			right, err := build(c.db, n.Right, opts)
-			if err != nil {
-				return nil, err
+			if nw := opts.parallelism(); nw > 1 && partitionable(c.db, n.Right) {
+				// Partitioned parallel build: per-worker pipelines drain
+				// morsels into private builders, hash and insert in
+				// parallel (joinBuild.drainParallel/index). The build still
+				// runs exactly once, triggered by the first prober.
+				bparts, bctx, btracers, err := newParallelPipelines(c.db, n.Right, opts)
+				if err != nil {
+					return nil, err
+				}
+				jb = &joinBuild{
+					right:      schemaOnlyOp{schema: bparts[0].Schema()},
+					parParts:   bparts,
+					parSources: bctx.sources(),
+					parExtra:   bctx.extra,
+					parTracers: btracers,
+				}
+			} else {
+				// The build side runs once, serially, shared by all probers.
+				right, err := build(c.db, n.Right, opts)
+				if err != nil {
+					return nil, err
+				}
+				jb = &joinBuild{right: right}
+				c.extra = append(c.extra, right)
 			}
-			jb = &joinBuild{right: right}
 			c.joins[n] = jb
-			c.extra = append(c.extra, right)
 		}
 		return newSharedProbeJoinOp(left, jb, n, opts)
 	case *algebra.Fetch1Join:
@@ -649,12 +667,18 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newFetchNJoinOp(db, in, n, opts)
 	case *algebra.Order:
+		if opts.parallelism() > 1 && partitionable(db, n.Input) {
+			return newParallelOrderOp(db, n.Input, n.Keys, 0, opts)
+		}
 		in, err := buildParallel(db, n.Input, opts)
 		if err != nil {
 			return nil, err
 		}
 		return newOrderOp(in, n.Keys, 0, opts)
 	case *algebra.TopN:
+		if opts.parallelism() > 1 && partitionable(db, n.Input) {
+			return newParallelOrderOp(db, n.Input, n.Keys, n.N, opts)
+		}
 		in, err := buildParallel(db, n.Input, opts)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,8 @@ import (
 
 	"x100/internal/algebra"
 	"x100/internal/expr"
+	"x100/internal/primitives"
+	"x100/internal/trace"
 	"x100/internal/vector"
 )
 
@@ -26,6 +28,15 @@ type joinBuild struct {
 	once    sync.Once
 	err     error
 
+	// Parallel build (set at compile time when the build side is
+	// partitionable and parallelism > 1): per-worker partition pipelines
+	// drain concurrently into private builders, which concatenate and are
+	// hashed/inserted in parallel. Empty = serial drain of right.
+	parParts   []Operator
+	parSources []*morselSource
+	parExtra   []Operator
+	parTracers []*trace.Collector
+
 	rbuild  []*colBuilder // all right columns
 	buckets []int32       // head row id + 1
 	next    []int32       // chain
@@ -33,18 +44,44 @@ type joinBuild struct {
 	nRight  int
 }
 
-// buildKeyHash hashes build row r over the join keys, translating
-// code-domain keys into the probe dictionary first.
-func (jb *joinBuild) buildKeyHash(r int) uint64 {
-	var h uint64
+// hashRows bulk-hashes build rows [lo,hi) over the join keys into
+// hashes[lo:hi] with the vectorized width kernels, translating code-domain
+// keys into the probe dictionary first. Equivalent to folding hashCombine
+// row-at-a-time from 0 (HashCombineValueInt(0, v) == HashValueInt(v)).
+func (jb *joinBuild) hashRows(hashes []uint64, lo, hi int) error {
+	h := hashes[lo:hi]
+	var scratch []int64
 	for i, ki := range jb.rightKeys {
+		cb := jb.rbuild[ki]
 		if i < len(jb.keyXlat) && jb.keyXlat[i] != nil {
-			h = hashCombine(h, uint64(uint32(jb.keyXlat[i][builderCode(jb.rbuild[ki], r)])))
+			// Translated codes hash as their uint32 bit pattern (-1 =
+			// absent-from-probe maps to 0xffffffff, matching the probe
+			// side's code domain never).
+			if scratch == nil {
+				scratch = make([]int64, hi-lo)
+			}
+			x := jb.keyXlat[i]
+			if cb.typ.Physical() == vector.UInt8 {
+				for j, c := range cb.u8[lo:hi] {
+					scratch[j] = int64(uint32(x[c]))
+				}
+			} else {
+				for j, c := range cb.u16[lo:hi] {
+					scratch[j] = int64(uint32(x[c]))
+				}
+			}
+			if i == 0 {
+				primitives.HashInt(h, scratch, nil)
+			} else {
+				primitives.HashCombineInt(h, scratch, nil)
+			}
 			continue
 		}
-		h = jb.rbuild[ki].hashAt(r, h)
+		if err := hashVector(h, cb.slice(lo, hi), nil, i == 0); err != nil {
+			return err
+		}
 	}
-	return h
+	return nil
 }
 
 // builderCode reads the narrow dictionary code at build row r.
@@ -72,6 +109,32 @@ func (jb *joinBuild) run(opts ExecOptions) error {
 
 func (jb *joinBuild) build(opts ExecOptions) error {
 	t0 := time.Now()
+	if len(jb.parParts) > 0 {
+		if err := jb.drainParallel(); err != nil {
+			return err
+		}
+	} else {
+		if err := jb.drainSerial(); err != nil {
+			return err
+		}
+	}
+	if len(jb.rbuild) > 0 {
+		jb.nRight = jb.rbuild[0].len()
+	}
+	if err := jb.index(); err != nil {
+		return err
+	}
+	for _, tr := range jb.parTracers {
+		if tr != nil {
+			opts.Tracer.Merge(tr)
+		}
+	}
+	opts.Tracer.RecordOperator("HashJoin(build)", jb.nRight, time.Since(t0))
+	return nil
+}
+
+// drainSerial materializes the build side from the single right pipeline.
+func (jb *joinBuild) drainSerial() error {
 	if err := jb.right.Open(); err != nil {
 		return err
 	}
@@ -86,15 +149,83 @@ func (jb *joinBuild) build(opts ExecOptions) error {
 			return err
 		}
 		if b == nil {
-			break
+			return nil
 		}
 		for i, v := range b.Vecs {
 			jb.rbuild[i].appendVec(v, b.Sel, b.N)
 		}
 	}
-	if len(jb.rbuild) > 0 {
-		jb.nRight = jb.rbuild[0].len()
+}
+
+// drainParallel materializes the build side from N partition pipelines:
+// each worker drains its morsels into private builders (no shared state,
+// no locks), then the partitions concatenate in worker order. Row order —
+// and therefore chain order — depends on the morsel race, so parallel
+// builds are multiset-equivalent to serial ones, not row-identical.
+func (jb *joinBuild) drainParallel() error {
+	nw := len(jb.parParts)
+	for _, src := range jb.parSources {
+		src.reset()
 	}
+	rs := jb.parParts[0].Schema()
+	partCols := make([][]*colBuilder, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := jb.parParts[w]
+			if err := p.Open(); err != nil {
+				errs[w] = err
+				return
+			}
+			defer p.Close()
+			cols := make([]*colBuilder, len(rs))
+			for i, f := range rs {
+				cols[i] = newColBuilder(f.Type)
+			}
+			for {
+				b, err := p.Next()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if b == nil {
+					break
+				}
+				for i, v := range b.Vecs {
+					cols[i].appendVec(v, b.Sel, b.N)
+				}
+			}
+			partCols[w] = cols
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range jb.parExtra {
+		p.Close()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	jb.rbuild = partCols[0]
+	for w := 1; w < nw; w++ {
+		for i := range jb.rbuild {
+			jb.rbuild[i].appendBuilder(partCols[w][i])
+		}
+	}
+	return nil
+}
+
+// index hashes all build rows with the bulk width kernels and links the
+// chained hash table. With worker pipelines available the hash pass splits
+// into disjoint row ranges and the insert pass into disjoint slot ranges —
+// every worker scans the hash array but only writes buckets it owns, and
+// rows insert in ascending order per bucket, so the resulting chains are
+// exactly the serial ones.
+func (jb *joinBuild) index() error {
 	// Size the table to ~2x rows, power of two.
 	sz := 1024
 	for sz < jb.nRight*2 {
@@ -103,12 +234,59 @@ func (jb *joinBuild) build(opts ExecOptions) error {
 	jb.buckets = make([]int32, sz)
 	jb.mask = uint64(sz - 1)
 	jb.next = make([]int32, jb.nRight)
+	if jb.nRight == 0 {
+		return nil
+	}
+	hashes := make([]uint64, jb.nRight)
+	nw := len(jb.parParts)
+	if nw > 1 && jb.nRight >= 1<<14 {
+		chunk := (jb.nRight + nw - 1) / nw
+		errs := make([]error, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, jb.nRight)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				errs[w] = jb.hashRows(hashes, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		wg = sync.WaitGroup{}
+		for w := 0; w < nw; w++ {
+			slo := uint64(w) * uint64(sz) / uint64(nw)
+			shi := uint64(w+1) * uint64(sz) / uint64(nw)
+			wg.Add(1)
+			go func(slo, shi uint64) {
+				defer wg.Done()
+				for r := 0; r < jb.nRight; r++ {
+					slot := hashes[r] & jb.mask
+					if slot >= slo && slot < shi {
+						jb.next[r] = jb.buckets[slot] - 1
+						jb.buckets[slot] = int32(r) + 1
+					}
+				}
+			}(slo, shi)
+		}
+		wg.Wait()
+		return nil
+	}
+	if err := jb.hashRows(hashes, 0, jb.nRight); err != nil {
+		return err
+	}
 	for r := 0; r < jb.nRight; r++ {
-		slot := jb.buildKeyHash(r) & jb.mask
+		slot := hashes[r] & jb.mask
 		jb.next[r] = jb.buckets[slot] - 1
 		jb.buckets[slot] = int32(r) + 1
 	}
-	opts.Tracer.RecordOperator("HashJoin(build)", jb.nRight, time.Since(t0))
 	return nil
 }
 

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/trace"
+	"x100/internal/vector"
+)
+
+// parallelOrderOp executes Order/TopN in two phases: N workers each drain a
+// partition pipeline through a private orderOp (producing a sorted run; for
+// TopN each run is already pruned to its local top N, a superset of its
+// contribution to the global top N), then a k-way heap merge interleaves the
+// runs into one globally ordered stream. Only the merge is serial, and it is
+// O(output * log N) comparisons instead of the full O(input log input) sort.
+//
+// Rows that compare equal on the sort keys may interleave differently from
+// the serial (stable) sort, because morsel scheduling decides which run a
+// row lands in — the output is deterministic in sort-key order but not in
+// tie order.
+type parallelOrderOp struct {
+	runs    []*orderOp
+	keys    []algebra.OrdExpr
+	limit   int
+	sources []*morselSource
+	extra   []Operator
+	tracers []*trace.Collector
+	opts    ExecOptions
+	schema  vector.Schema
+
+	done    bool
+	merged  []runRow // globally sorted (run, physical row) pairs
+	emitPos int
+}
+
+// runRow addresses one row of one sorted run: row is the physical index in
+// that run's builders (a value of its perm).
+type runRow struct {
+	run int32
+	row int32
+}
+
+func newParallelOrderOp(db *Database, input algebra.Node, keys []algebra.OrdExpr, limit int, opts ExecOptions) (Operator, error) {
+	parts, ctx, tracers, err := newParallelPipelines(db, input, opts)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*orderOp, len(parts))
+	for i, p := range parts {
+		w := opts
+		if tracers[i] != nil {
+			w.Tracer = tracers[i]
+		}
+		runs[i], err = newOrderOp(p, keys, limit, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &parallelOrderOp{
+		runs:    runs,
+		keys:    keys,
+		limit:   limit,
+		sources: ctx.sources(),
+		extra:   ctx.extra,
+		tracers: tracers,
+		opts:    opts,
+		schema:  parts[0].Schema().Clone(),
+	}, nil
+}
+
+func (op *parallelOrderOp) Schema() vector.Schema { return op.schema }
+
+func (op *parallelOrderOp) Open() error {
+	op.done = false
+	op.merged = nil
+	op.emitPos = 0
+	for _, src := range op.sources {
+		src.reset()
+	}
+	return nil
+}
+
+func (op *parallelOrderOp) Close() error {
+	var firstErr error
+	for _, r := range op.runs {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range op.extra {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, tr := range op.tracers {
+		op.opts.Tracer.Merge(tr)
+	}
+	return firstErr
+}
+
+func (op *parallelOrderOp) Next() (*vector.Batch, error) {
+	if !op.done {
+		if err := op.run(); err != nil {
+			return nil, err
+		}
+		op.done = true
+	}
+	total := len(op.merged)
+	if op.emitPos >= total {
+		return nil, nil
+	}
+	k := min(op.opts.batchSize(), total-op.emitPos)
+	chunk := op.merged[op.emitPos : op.emitPos+k]
+	op.emitPos += k
+	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, len(op.schema)), N: k}
+	for c := range op.schema {
+		nb := newColBuilder(op.schema[c].Type)
+		for _, rr := range chunk {
+			nb.appendRow(op.runs[rr.run].cols[c], int(rr.row))
+		}
+		out.Vecs[c] = nb.vec()
+	}
+	return out, nil
+}
+
+// run sorts the partition runs on worker goroutines, then k-way merges them.
+func (op *parallelOrderOp) run() error {
+	t0 := time.Now()
+	errs := make([]error, len(op.runs))
+	var wg sync.WaitGroup
+	for i, r := range op.runs {
+		wg.Add(1)
+		go func(i int, r *orderOp) {
+			defer wg.Done()
+			if err := r.Open(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := r.consume(); err != nil {
+				errs[i] = err
+				return
+			}
+			r.done = true
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	op.merge()
+	for _, tr := range op.tracers {
+		op.opts.Tracer.Merge(tr)
+	}
+	op.tracers = nil
+	name := "Order(parallel-merge)"
+	if op.limit > 0 {
+		name = "TopN(parallel-merge)"
+	}
+	op.opts.Tracer.RecordOperator(name, len(op.merged), time.Since(t0))
+	return nil
+}
+
+// merge interleaves the sorted runs with a binary min-heap of run indices,
+// stopping at limit rows for TopN.
+func (op *parallelOrderOp) merge() {
+	total := 0
+	heads := make([]int, len(op.runs))
+	var heap []int32
+	for i, r := range op.runs {
+		total += len(r.perm)
+		if len(r.perm) > 0 {
+			heap = append(heap, int32(i))
+		}
+	}
+	if op.limit > 0 {
+		total = min(total, op.limit)
+	}
+	less := func(a, b int32) bool {
+		ia := int(op.runs[a].perm[heads[a]])
+		ib := int(op.runs[b].perm[heads[b]])
+		for c, k := range op.keys {
+			ca, cb := op.runs[a].keyCols[c], op.runs[b].keyCols[c]
+			if ca.equalCross(ia, cb, ib) {
+				continue
+			}
+			if k.Desc {
+				return cb.lessCross(ib, ca, ia)
+			}
+			return ca.lessCross(ia, cb, ib)
+		}
+		return a < b // deterministic tie-break by run id
+	}
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(heap) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(heap) && less(heap[r], heap[l]) {
+				m = r
+			}
+			if !less(heap[m], heap[i]) {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	op.merged = make([]runRow, 0, total)
+	for len(op.merged) < total && len(heap) > 0 {
+		r := heap[0]
+		op.merged = append(op.merged, runRow{run: r, row: op.runs[r].perm[heads[r]]})
+		heads[r]++
+		if heads[r] >= len(op.runs[r].perm) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/colstore"
+	"x100/internal/expr"
+	"x100/internal/vector"
+)
+
+// psortDB builds a fact table for sort tests: u is a unique pseudo-random
+// permutation (total order, so sorted output is positionally deterministic
+// at any parallelism), v is a random float, g a small-domain group key
+// (forcing ties).
+func psortDB(t *testing.T, rows int) *Database {
+	t.Helper()
+	db := NewDatabase()
+	fact := colstore.NewTable("pfact")
+	u := make([]int64, rows)
+	v := make([]float64, rows)
+	g := make([]int64, rows)
+	r := uint64(11)
+	for i := range u {
+		// 2654435761 is odd and not divisible by 5, hence coprime with the
+		// row counts used here, so i*2654435761 mod rows is a permutation.
+		u[i] = int64(uint64(i) * 2654435761 % uint64(rows))
+		r ^= r >> 12
+		r ^= r << 25
+		r ^= r >> 27
+		v[i] = float64(r%100000) / 100
+		g[i] = int64(r % 53)
+	}
+	must0(t, fact.AddColumn("u", vector.Int64, u))
+	must0(t, fact.AddColumn("v", vector.Float64, v))
+	must0(t, fact.AddColumn("g", vector.Int64, g))
+	db.AddTable(fact)
+	return db
+}
+
+// assertRowsEqualOrdered does an exact positional comparison.
+func assertRowsEqualOrdered(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("%s: %d rows, want %d", label, got.NumRows(), want.NumRows())
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		w, g := want.Row(i), got.Row(i)
+		for c := range w {
+			if w[c] != g[c] {
+				t.Fatalf("%s: row %d col %d: %v != %v", label, i, c, g[c], w[c])
+			}
+		}
+	}
+}
+
+// TestParallelOrderUniqueKey: Order directly over a partitionable scan runs
+// as parallel sorted runs + k-way merge. The sort key is unique, so output
+// must be positionally identical to the serial sort at every parallelism.
+func TestParallelOrderUniqueKey(t *testing.T) {
+	db := psortDB(t, 80_000)
+	for _, desc := range []bool{false, true} {
+		key := algebra.Asc(expr.C("u"))
+		if desc {
+			key = algebra.Desc(expr.C("u"))
+		}
+		plan := algebra.NewOrder(algebra.NewScan("pfact", "u", "v", "g"), key)
+		opts := DefaultOptions()
+		opts.Parallelism = 1
+		want, err := Run(db, plan, opts)
+		must0(t, err)
+		for _, p := range []int{2, 8} {
+			o := DefaultOptions()
+			o.Parallelism = p
+			got, err := Run(db, plan, o)
+			must0(t, err)
+			assertRowsEqualOrdered(t, fmt.Sprintf("desc=%v P=%d", desc, p), want, got)
+		}
+	}
+}
+
+// TestParallelOrderTies: sorting by a 53-value key leaves massive tie
+// groups whose internal order is not deterministic under parallel merge
+// (morsel scheduling decides run membership). The guarantees that remain:
+// the output is a row-multiset identical to serial, and it is sorted.
+func TestParallelOrderTies(t *testing.T) {
+	db := psortDB(t, 60_000)
+	plan := algebra.NewOrder(algebra.NewScan("pfact", "g", "u"), algebra.Asc(expr.C("g")))
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	want, err := Run(db, plan, opts)
+	must0(t, err)
+	for _, p := range []int{2, 8} {
+		o := DefaultOptions()
+		o.Parallelism = p
+		got, err := Run(db, plan, o)
+		must0(t, err)
+		assertSameResult(t, want, got)
+		prev := int64(-1 << 62)
+		for i := 0; i < got.NumRows(); i++ {
+			g := got.Row(i)[0].(int64)
+			if g < prev {
+				t.Fatalf("P=%d: row %d out of order: %d after %d", p, i, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+// TestParallelTopNUniqueKey: per-worker pruned runs merged with a global
+// cutoff must equal the serial TopN exactly when the key is unique.
+func TestParallelTopNUniqueKey(t *testing.T) {
+	db := psortDB(t, 80_000)
+	for _, n := range []int{1, 100, 5000} {
+		plan := algebra.NewTopN(
+			algebra.NewScan("pfact", "u", "v"), n, algebra.Desc(expr.C("u")))
+		opts := DefaultOptions()
+		opts.Parallelism = 1
+		want, err := Run(db, plan, opts)
+		must0(t, err)
+		for _, p := range []int{2, 8} {
+			o := DefaultOptions()
+			o.Parallelism = p
+			got, err := Run(db, plan, o)
+			must0(t, err)
+			assertRowsEqualOrdered(t, fmt.Sprintf("n=%d P=%d", n, p), want, got)
+		}
+	}
+}
+
+// TestParallelTopNTies: at the cutoff rank the tied rows kept may differ
+// from serial in their non-key columns, but the key column itself is a
+// deterministic multiset — compared positionally since both outputs are
+// sorted.
+func TestParallelTopNTies(t *testing.T) {
+	db := psortDB(t, 60_000)
+	plan := algebra.NewTopN(
+		algebra.NewScan("pfact", "g", "u"), 500, algebra.Asc(expr.C("g")))
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	want, err := Run(db, plan, opts)
+	must0(t, err)
+	for _, p := range []int{2, 8} {
+		o := DefaultOptions()
+		o.Parallelism = p
+		got, err := Run(db, plan, o)
+		must0(t, err)
+		if want.NumRows() != got.NumRows() {
+			t.Fatalf("P=%d: %d rows, want %d", p, got.NumRows(), want.NumRows())
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			if want.Row(i)[0] != got.Row(i)[0] {
+				t.Fatalf("P=%d: row %d key %v, want %v", p, i, got.Row(i)[0], want.Row(i)[0])
+			}
+		}
+	}
+}
+
+// TestParallelOrderEmpty: a parallel sort over an empty partitionable scan
+// must return zero rows, not error or hang.
+func TestParallelOrderEmpty(t *testing.T) {
+	db := NewDatabase()
+	empty := colstore.NewTable("empty")
+	must0(t, empty.AddColumn("a", vector.Int64, []int64{}))
+	db.AddTable(empty)
+	plan := algebra.NewOrder(algebra.NewScan("empty", "a"), algebra.Asc(expr.C("a")))
+	for _, p := range []int{2, 8} {
+		o := DefaultOptions()
+		o.Parallelism = p
+		got, err := Run(db, plan, o)
+		must0(t, err)
+		if got.NumRows() != 0 {
+			t.Fatalf("P=%d: %d rows from empty table", p, got.NumRows())
+		}
+	}
+}
+
+// TestTopNPruneMatchesFullSort: the bounded-candidate-set prune
+// (orderOp.maybePrune) must be invisible: TopN(n) over a large input equals
+// the first n rows of the full stable Order, positionally, ties included.
+// With limit 10 the prune bound is the 4096 floor, so a 50k-row input
+// prunes many times.
+func TestTopNPruneMatchesFullSort(t *testing.T) {
+	db := psortDB(t, 50_000)
+	const n = 10
+	// g has 53 distinct values over 50k rows: rank n sits deep inside a tie
+	// group, exercising the stable-order guarantee of the prune.
+	topn := algebra.NewTopN(
+		algebra.NewScan("pfact", "g", "u", "v"), n, algebra.Asc(expr.C("g")))
+	full := algebra.NewOrder(
+		algebra.NewScan("pfact", "g", "u", "v"), algebra.Asc(expr.C("g")))
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	want, err := Run(db, full, opts)
+	must0(t, err)
+	got, err := Run(db, topn, opts)
+	must0(t, err)
+	if got.NumRows() != n {
+		t.Fatalf("TopN returned %d rows, want %d", got.NumRows(), n)
+	}
+	for i := 0; i < n; i++ {
+		w, g := want.Row(i), got.Row(i)
+		for c := range w {
+			if w[c] != g[c] {
+				t.Fatalf("row %d col %d: %v != %v (prune broke stable order)", i, c, g[c], w[c])
+			}
+		}
+	}
+}
+
+// TestParallelJoinBuildLarge: a build side over the parallel-index
+// threshold (1<<14 rows) exercises the partitioned drain, bulk parallel
+// hashing, and slot-range-partitioned insert. Aggregation above the join
+// makes the comparison order-insensitive.
+func TestParallelJoinBuildLarge(t *testing.T) {
+	db := psortDB(t, 60_000)
+	dim := colstore.NewTable("bigdim")
+	const dimRows = 40_000
+	dk := make([]int64, dimRows)
+	dv := make([]int64, dimRows)
+	for i := range dk {
+		dk[i] = int64(uint64(i) * 2654435761 % dimRows)
+		dv[i] = int64(i % 97)
+	}
+	must0(t, dim.AddColumn("dk", vector.Int64, dk))
+	must0(t, dim.AddColumn("dv", vector.Int64, dv))
+	db.AddTable(dim)
+
+	plan := algebra.NewAggr(
+		algebra.NewJoin(
+			algebra.NewScan("pfact", "u", "v"),
+			algebra.NewScan("bigdim", "dk", "dv"),
+			algebra.EquiCond{L: "u", R: "dk"},
+		),
+		[]algebra.NamedExpr{algebra.NE("dv", expr.C("dv"))},
+		[]algebra.AggExpr{
+			algebra.Sum("s", expr.C("v")),
+			algebra.Count("n"),
+		},
+	)
+	runParallelLevels(t, db, plan)
+}

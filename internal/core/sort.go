@@ -123,6 +123,7 @@ func (op *orderOp) consume() error {
 			}
 			op.keyCols[i].appendVec(kv, b.Sel, b.N)
 		}
+		op.maybePrune()
 		self += time.Since(t0)
 	}
 	t1 := time.Now()
@@ -134,8 +135,24 @@ func (op *orderOp) consume() error {
 	for i := range op.perm {
 		op.perm[i] = int32(i)
 	}
-	sort.SliceStable(op.perm, func(a, b int) bool {
-		i, j := int(op.perm[a]), int(op.perm[b])
+	op.sortPerm(op.perm)
+	if op.limit > 0 && len(op.perm) > op.limit {
+		op.perm = op.perm[:op.limit]
+	}
+	name := "Order"
+	if op.limit > 0 {
+		name = "TopN"
+	}
+	op.opts.Tracer.RecordOperator(name, n, self+time.Since(t1))
+	return nil
+}
+
+// sortPerm stably sorts a row permutation by the sort keys. Stability ranks
+// equal rows by arrival order, which is what makes TopN pruning
+// semantics-preserving.
+func (op *orderOp) sortPerm(perm []int32) {
+	sort.SliceStable(perm, func(a, b int) bool {
+		i, j := int(perm[a]), int(perm[b])
 		for c, k := range op.keys {
 			cb := op.keyCols[c]
 			if cb.equalRows(i, j) {
@@ -148,13 +165,40 @@ func (op *orderOp) consume() error {
 		}
 		return false
 	})
-	if op.limit > 0 && len(op.perm) > op.limit {
-		op.perm = op.perm[:op.limit]
+}
+
+// topNPruneFloor is the minimum candidate-set size before a TopN prune fires;
+// below it a full sort at the end is cheaper than periodic re-sorting.
+const topNPruneFloor = 4096
+
+// maybePrune bounds TopN memory. Instead of materializing the whole input,
+// whenever the buffered candidate set grows past max(4*limit, topNPruneFloor)
+// it sorts a permutation, keeps the stable top limit rows, and gathers them
+// into fresh builders. A dropped row has >= limit rows stably ranked ahead of
+// it that are all kept, so it can never re-enter the final top N.
+func (op *orderOp) maybePrune() {
+	if op.limit <= 0 || len(op.keyCols) == 0 {
+		return
 	}
-	name := "Order"
-	if op.limit > 0 {
-		name = "TopN"
+	bound := max(4*op.limit, topNPruneFloor)
+	n := op.keyCols[0].len()
+	if n <= bound {
+		return
 	}
-	op.opts.Tracer.RecordOperator(name, n, self+time.Since(t1))
-	return nil
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	op.sortPerm(perm)
+	perm = perm[:op.limit]
+	for i, cb := range op.cols {
+		nb := newColBuilder(cb.typ)
+		nb.appendVec(cb.vec(), perm, len(perm))
+		op.cols[i] = nb
+	}
+	for i, cb := range op.keyCols {
+		nb := newColBuilder(cb.typ)
+		nb.appendVec(cb.vec(), perm, len(perm))
+		op.keyCols[i] = nb
+	}
 }

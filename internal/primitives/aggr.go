@@ -10,7 +10,44 @@ package primitives
 
 // AggrSum accumulates acc[groups[i]] += vals[i] with a widening conversion
 // into the accumulator type A (float64 for floats, int64 for integers).
+// Native accumulator/value width pairs route to the generated 4x-unrolled
+// kernels; derived types fall through to the plain loop.
 func AggrSum[A, T Number](acc []A, vals []T, groups []int32, sel []int32) {
+	switch acc := any(acc).(type) {
+	case []int64:
+		switch vs := any(vals).(type) {
+		case []uint8:
+			AggrSumI64FromU8(acc, vs, groups, sel)
+			return
+		case []uint16:
+			AggrSumI64FromU16(acc, vs, groups, sel)
+			return
+		case []int32:
+			AggrSumI64FromI32(acc, vs, groups, sel)
+			return
+		case []int64:
+			AggrSumI64FromI64(acc, vs, groups, sel)
+			return
+		}
+	case []float64:
+		switch vs := any(vals).(type) {
+		case []uint8:
+			AggrSumF64FromU8(acc, vs, groups, sel)
+			return
+		case []uint16:
+			AggrSumF64FromU16(acc, vs, groups, sel)
+			return
+		case []int32:
+			AggrSumF64FromI32(acc, vs, groups, sel)
+			return
+		case []int64:
+			AggrSumF64FromI64(acc, vs, groups, sel)
+			return
+		case []float64:
+			AggrSumF64FromF64(acc, vs, groups, sel)
+			return
+		}
+	}
 	if sel != nil {
 		for _, i := range sel {
 			acc[groups[i]] += A(vals[i])
@@ -25,15 +62,7 @@ func AggrSum[A, T Number](acc []A, vals []T, groups []int32, sel []int32) {
 
 // AggrCount increments acc[groups[i]] for every live position.
 func AggrCount(acc []int64, groups []int32, sel []int32, n int) {
-	if sel != nil {
-		for _, i := range sel {
-			acc[groups[i]]++
-		}
-		return
-	}
-	for i := 0; i < n; i++ {
-		acc[groups[i]]++
-	}
+	AggrCountKernel(acc, groups, sel, n)
 }
 
 // AggrMin folds the per-group minimum. seen tracks whether a group has

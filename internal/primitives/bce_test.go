@@ -1,0 +1,94 @@
+package primitives
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestKernelBCE verifies — rather than hopes — that the dense kernel fast
+// paths compile without per-element bounds checks. It rebuilds the package
+// with -d=ssa/check_bce under a fresh build cache (diagnostics are not
+// replayed from a warm cache) and audits every flagged line of
+// kernels_dense_gen.go:
+//
+//   - IsSliceInBounds is allowed: those are the once-per-call slice
+//     pre-sizing guards (res = res[:n] etc.) that make the per-element
+//     checks disappear;
+//   - IsInBounds is allowed only on accumulator stores indexed by group id
+//     (acc[g], cnt[g], seen[g]): deliberately kept, since a corrupt group
+//     id must panic rather than corrupt memory;
+//   - anything else is a regression.
+func TestKernelBCE(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	cmd := exec.Command("go", "build", "-gcflags=x100/internal/primitives=-d=ssa/check_bce", "x100/internal/primitives")
+	cmd.Env = append(os.Environ(), "GOCACHE="+t.TempDir())
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	src, err := os.ReadFile("kernels_dense_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLines := strings.Split(string(src), "\n")
+
+	sawDense := false
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.Contains(line, "Found Is") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		file := parts[0]
+		if !strings.HasSuffix(file, "kernels_dense_gen.go") {
+			continue
+		}
+		sawDense = true
+		lineNo, err := strconv.Atoi(parts[1])
+		if err != nil || lineNo < 1 || lineNo > len(srcLines) {
+			t.Errorf("unparseable diagnostic: %q", line)
+			continue
+		}
+		srcLine := strings.TrimSpace(srcLines[lineNo-1])
+		kind := strings.TrimSpace(parts[3])
+		if strings.Contains(kind, "IsSliceInBounds") {
+			continue // per-call pre-sizing guard
+		}
+		if allowedBoundsCheck(srcLine) {
+			continue
+		}
+		t.Errorf("unexpected bounds check in dense kernel at line %d: %s\n  source: %s", lineNo, kind, srcLine)
+	}
+	if !sawDense {
+		// The aggregate kernels always carry group-indexed checks, so a
+		// clean run means the diagnostics did not reach us at all.
+		t.Fatalf("no check_bce diagnostics for kernels_dense_gen.go — harness broken?\noutput:\n%s", out)
+	}
+}
+
+// allowedBoundsCheck reports whether a flagged source line is one of the
+// deliberate data-dependent accumulator accesses.
+func allowedBoundsCheck(srcLine string) bool {
+	for _, pat := range []string{"acc[g", "cnt[g", "seen[g", "acc[groups[", "cnt[groups[", "//bce:checked"} {
+		if strings.Contains(srcLine, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Example documenting how to reproduce the audit by hand.
+func Example() {
+	fmt.Println("go build -gcflags=x100/internal/primitives=-d=ssa/check_bce x100/internal/primitives")
+	// Output:
+	// go build -gcflags=x100/internal/primitives=-d=ssa/check_bce x100/internal/primitives
+}

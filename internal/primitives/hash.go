@@ -6,70 +6,61 @@ import "math"
 // hashes for whole vectors at a time. Hash aggregation and hash joins first
 // hash all key columns of a vector, then run the bucket probe loop; both
 // loops are tight and branch-light.
+//
+// Every hash is built from the single-multiply xmx round (kernels.go):
+// hash(v) = xmx(v + seed), and an extra key folds in as
+// combine(h, v) = rotl27(h) ^ xmx(v + seed). With h == 0 the fold equals
+// the plain hash, so vectorized multi-column hashing and the scalar
+// fold-from-zero used by build sides stay consistent. The previous
+// two-multiply mix64 scheme is preserved in reference.go as the bench
+// baseline.
 
-const (
-	hashSeed  = 0x9e3779b97f4a7c15
-	hashMult1 = 0xbf58476d1ce4e5b9
-	hashMult2 = 0x94d049bb133111eb
-)
-
-// mix64 is the splitmix64 finalizer, a cheap full-avalanche mixer.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= hashMult1
-	x ^= x >> 27
-	x *= hashMult2
-	x ^= x >> 31
-	return x
-}
+const hashSeed = 0x9e3779b97f4a7c15
 
 // HashInt hashes an integer-like column into res.
 func HashInt[T ~uint8 | ~uint16 | ~int32 | ~int64](res []uint64, vals []T, sel []int32) {
+	switch vs := any(vals).(type) {
+	case []uint8:
+		HashColU8(res, vs, sel)
+		return
+	case []uint16:
+		HashColU16(res, vs, sel)
+		return
+	case []int32:
+		HashColI32(res, vs, sel)
+		return
+	case []int64:
+		HashColI64(res, vs, sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(uint64(vals[i]) + hashSeed)
+			res[i] = xmx(uint64(vals[i]) + hashSeed)
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(uint64(vals[i]) + hashSeed)
+		res[i] = xmx(uint64(vals[i]) + hashSeed)
 	}
 }
 
 // HashFloat64 hashes a float column via its bit pattern (normalizing -0).
 func HashFloat64(res []uint64, vals []float64, sel []int32) {
-	if sel != nil {
-		for _, i := range sel {
-			v := vals[i]
-			if v == 0 {
-				v = 0
-			}
-			res[i] = mix64(math.Float64bits(v) + hashSeed)
-		}
-		return
-	}
-	vals = vals[:len(res)]
-	for i := range res {
-		v := vals[i]
-		if v == 0 {
-			v = 0
-		}
-		res[i] = mix64(math.Float64bits(v) + hashSeed)
-	}
+	HashColF64(res, vals, sel)
 }
 
-// HashString hashes a string column with FNV-1a followed by a mix.
+// HashString hashes a string column with FNV-1a followed by a mix round.
 func HashString(res []uint64, vals []string, sel []int32) {
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(fnv1a(vals[i]))
+			res[i] = xmx(fnv1a(vals[i]))
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(fnv1a(vals[i]))
+		res[i] = xmx(fnv1a(vals[i]))
 	}
 }
 
@@ -77,106 +68,103 @@ func HashString(res []uint64, vals []string, sel []int32) {
 func HashBool(res []uint64, vals []bool, sel []int32) {
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(uint64(b2i(vals[i])) + hashSeed)
+			res[i] = xmx(uint64(b2i(vals[i])) + hashSeed)
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(uint64(b2i(vals[i])) + hashSeed)
+		res[i] = xmx(uint64(b2i(vals[i])) + hashSeed)
 	}
 }
 
-// HashCombineInt rehashes res with an additional integer key column.
+// HashCombineInt folds an additional integer key column into res.
 func HashCombineInt[T ~uint8 | ~uint16 | ~int32 | ~int64](res []uint64, vals []T, sel []int32) {
+	switch vs := any(vals).(type) {
+	case []uint8:
+		HashCombineColU8(res, vs, sel)
+		return
+	case []uint16:
+		HashCombineColU16(res, vs, sel)
+		return
+	case []int32:
+		HashCombineColI32(res, vs, sel)
+		return
+	case []int64:
+		HashCombineColI64(res, vs, sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(res[i] ^ (uint64(vals[i]) + hashSeed))
+			res[i] = rotl27(res[i]) ^ xmx(uint64(vals[i])+hashSeed)
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(res[i] ^ (uint64(vals[i]) + hashSeed))
+		res[i] = rotl27(res[i]) ^ xmx(uint64(vals[i])+hashSeed)
 	}
 }
 
-// HashCombineFloat64 rehashes res with an additional float key column.
+// HashCombineFloat64 folds an additional float key column into res.
 func HashCombineFloat64(res []uint64, vals []float64, sel []int32) {
-	if sel != nil {
-		for _, i := range sel {
-			v := vals[i]
-			if v == 0 {
-				v = 0
-			}
-			res[i] = mix64(res[i] ^ (math.Float64bits(v) + hashSeed))
-		}
-		return
-	}
-	vals = vals[:len(res)]
-	for i := range res {
-		v := vals[i]
-		if v == 0 {
-			v = 0
-		}
-		res[i] = mix64(res[i] ^ (math.Float64bits(v) + hashSeed))
-	}
+	HashCombineColF64(res, vals, sel)
 }
 
-// HashCombineString rehashes res with an additional string key column.
+// HashCombineString folds an additional string key column into res.
 func HashCombineString(res []uint64, vals []string, sel []int32) {
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(res[i] ^ fnv1a(vals[i]))
+			res[i] = rotl27(res[i]) ^ xmx(fnv1a(vals[i]))
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(res[i] ^ fnv1a(vals[i]))
+		res[i] = rotl27(res[i]) ^ xmx(fnv1a(vals[i]))
 	}
 }
 
-// HashCombineBool rehashes res with an additional boolean key column.
+// HashCombineBool folds an additional boolean key column into res.
 func HashCombineBool(res []uint64, vals []bool, sel []int32) {
 	if sel != nil {
 		for _, i := range sel {
-			res[i] = mix64(res[i] ^ (uint64(b2i(vals[i])) + hashSeed))
+			res[i] = rotl27(res[i]) ^ xmx(uint64(b2i(vals[i]))+hashSeed)
 		}
 		return
 	}
 	vals = vals[:len(res)]
 	for i := range res {
-		res[i] = mix64(res[i] ^ (uint64(b2i(vals[i])) + hashSeed))
+		res[i] = rotl27(res[i]) ^ xmx(uint64(b2i(vals[i]))+hashSeed)
 	}
 }
 
 // HashValueInt hashes a single integer value (scalar path for build sides).
-func HashValueInt(v uint64) uint64 { return mix64(v + hashSeed) }
+func HashValueInt(v uint64) uint64 { return xmx(v + hashSeed) }
 
 // HashValueString hashes a single string value.
-func HashValueString(s string) uint64 { return mix64(fnv1a(s)) }
+func HashValueString(s string) uint64 { return xmx(fnv1a(s)) }
 
 // HashCombineValueInt folds one integer key into a running row hash. With
 // h == 0 it equals HashInt of the value, so a row hash is computed by
 // folding every key column starting from 0, consistently between the
 // vectorized probe path and the scalar build path.
-func HashCombineValueInt(h, v uint64) uint64 { return mix64(h ^ (v + hashSeed)) }
+func HashCombineValueInt(h, v uint64) uint64 { return rotl27(h) ^ xmx(v+hashSeed) }
 
 // HashCombineValueF64 folds one float key into a running row hash.
 func HashCombineValueF64(h uint64, f float64) uint64 {
 	if f == 0 {
 		f = 0 // normalize -0
 	}
-	return mix64(h ^ (math.Float64bits(f) + hashSeed))
+	return rotl27(h) ^ xmx(math.Float64bits(f)+hashSeed)
 }
 
 // HashCombineValueStr folds one string key into a running row hash.
-func HashCombineValueStr(h uint64, s string) uint64 { return mix64(h ^ fnv1a(s)) }
+func HashCombineValueStr(h uint64, s string) uint64 { return rotl27(h) ^ xmx(fnv1a(s)) }
 
 // HashCombineValueBool folds one bool key into a running row hash.
 func HashCombineValueBool(h uint64, b bool) uint64 {
-	return mix64(h ^ (uint64(b2i(b)) + hashSeed))
+	return rotl27(h) ^ xmx(uint64(b2i(b))+hashSeed)
 }
 
 func fnv1a(s string) uint64 {

@@ -1,0 +1,68 @@
+package primitives
+
+import "unsafe"
+
+//go:generate go run ./gen
+
+// This file holds the handwritten building blocks shared by the generated
+// width-specialized kernels (kernels_dense_gen.go, kernels_sel_gen.go):
+// the unsafe pre-bounded compaction store, the SWAR lane helpers for
+// word-parallel uint8 compares, and the xmx hash round.
+
+// SWAR lane masks for 8x-uint8 words.
+const (
+	swarL8 = 0x0101010101010101 // low bit of every byte
+	swarH8 = 0x8080808080808080 // high bit of every byte
+	swarL7 = 0x7f7f7f7f7f7f7f7f // low 7 bits of every byte
+)
+
+// swarProbe is the number of leading values a SWAR select kernel processes
+// by bit-extraction before deciding whether the vector is sparse enough to
+// stay word-parallel. Bit-extraction emits per match, so above ~1/8
+// selectivity the selectivity-independent predicated loop wins; one
+// decision per vector avoids a per-word mispredicting branch.
+const swarProbe = 256
+
+// swarZeroU8 returns a mask with the MSB set in every byte lane of w that
+// is exactly zero. This is the exact per-lane form: the classic
+// (w-L)&^w&H detects "some byte is zero" but lets a borrow from a lower
+// zero lane flag a non-zero lane.
+func swarZeroU8(w uint64) uint64 {
+	return ^(((w & swarL7) + swarL7) | w | swarL7)
+}
+
+// swarLTU8 returns a mask with the MSB set in every byte lane where
+// x's byte < y's byte (unsigned). d computes the low-7-bit per-lane
+// subtraction with the minuend MSB forced, so borrows never cross lanes:
+// lane MSB of d is then "low bits of x >= low bits of y", and the
+// full compare combines it with the lane MSBs of x and y.
+func swarLTU8(x, y uint64) uint64 {
+	d := (x | swarH8) - (y &^ swarH8)
+	return ((^x & y) | (^(x ^ y) & ^d)) & swarH8
+}
+
+// storeIdx stores v at the k-th int32 slot behind p without a bounds
+// check. Select kernels use it for the compaction store res[k] = v: k is
+// data-dependent (it advances only on matches), so the compiler can never
+// prove it in bounds, but the kernels pre-size res to the input length
+// and maintain k <= i < len(res) by construction.
+func storeIdx(p unsafe.Pointer, k int, v int32) {
+	*(*int32)(unsafe.Add(p, uintptr(k)*4)) = v
+}
+
+// xmx is the single-multiply hash round used by every hash primitive:
+// xorshift-multiply-xorshift. One multiply per value instead of mix64's
+// two; combined keys get lane separation from rotl27 instead of a second
+// full round.
+func xmx(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 29
+	return v
+}
+
+// rotl27 rotates x left by 27 bits; used to combine multi-key hashes so
+// that combine(a,b) != combine(b,a).
+func rotl27(x uint64) uint64 {
+	return x<<27 | x>>37
+}

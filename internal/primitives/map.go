@@ -27,6 +27,14 @@ type Ordered interface {
 
 // MapAddColCol computes res[i] = a[i] + b[i].
 func MapAddColCol[T Number](res, a, b []T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapAddColColI64(res, any(a).([]int64), any(b).([]int64), sel)
+		return
+	case []float64:
+		MapAddColColF64(res, any(a).([]float64), any(b).([]float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] + b[i]
@@ -44,6 +52,14 @@ func MapAddColCol[T Number](res, a, b []T, sel []int32) {
 
 // MapAddColVal computes res[i] = a[i] + v.
 func MapAddColVal[T Number](res, a []T, v T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapAddColValI64(res, any(a).([]int64), any(v).(int64), sel)
+		return
+	case []float64:
+		MapAddColValF64(res, any(a).([]float64), any(v).(float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] + v
@@ -58,6 +74,14 @@ func MapAddColVal[T Number](res, a []T, v T, sel []int32) {
 
 // MapSubColCol computes res[i] = a[i] - b[i].
 func MapSubColCol[T Number](res, a, b []T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapSubColColI64(res, any(a).([]int64), any(b).([]int64), sel)
+		return
+	case []float64:
+		MapSubColColF64(res, any(a).([]float64), any(b).([]float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] - b[i]
@@ -73,6 +97,14 @@ func MapSubColCol[T Number](res, a, b []T, sel []int32) {
 
 // MapSubColVal computes res[i] = a[i] - v.
 func MapSubColVal[T Number](res, a []T, v T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapSubColValI64(res, any(a).([]int64), any(v).(int64), sel)
+		return
+	case []float64:
+		MapSubColValF64(res, any(a).([]float64), any(v).(float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] - v
@@ -87,6 +119,14 @@ func MapSubColVal[T Number](res, a []T, v T, sel []int32) {
 
 // MapSubValCol computes res[i] = v - a[i] (e.g. "1.0 - discount").
 func MapSubValCol[T Number](res []T, v T, a []T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapSubValColI64(res, any(v).(int64), any(a).([]int64), sel)
+		return
+	case []float64:
+		MapSubValColF64(res, any(v).(float64), any(a).([]float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = v - a[i]
@@ -101,6 +141,14 @@ func MapSubValCol[T Number](res []T, v T, a []T, sel []int32) {
 
 // MapMulColCol computes res[i] = a[i] * b[i].
 func MapMulColCol[T Number](res, a, b []T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapMulColColI64(res, any(a).([]int64), any(b).([]int64), sel)
+		return
+	case []float64:
+		MapMulColColF64(res, any(a).([]float64), any(b).([]float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] * b[i]
@@ -116,6 +164,14 @@ func MapMulColCol[T Number](res, a, b []T, sel []int32) {
 
 // MapMulColVal computes res[i] = a[i] * v.
 func MapMulColVal[T Number](res, a []T, v T, sel []int32) {
+	switch res := any(res).(type) {
+	case []int64:
+		MapMulColValI64(res, any(a).([]int64), any(v).(int64), sel)
+		return
+	case []float64:
+		MapMulColValF64(res, any(a).([]float64), any(v).(float64), sel)
+		return
+	}
 	if sel != nil {
 		for _, i := range sel {
 			res[i] = a[i] * v

@@ -14,7 +14,12 @@ package primitives
 //   - the "predicated" variant replaces the branch by arithmetic on the
 //     comparison outcome, giving selectivity-independent cost.
 //
-// The engine uses the predicated variants by default.
+// The engine uses the predicated variants by default. The generic functions
+// here are thin dispatchers: for the native element widths they route to
+// the generated kernels (kernels_dense_gen.go / kernels_sel_gen.go), whose
+// dense paths are 4x-unrolled with an unsafe pre-bounded compaction store
+// (and SWAR word-parallel compares for uint8 codes). Derived types and
+// strings fall through to the original predicated loop.
 
 // SelectLTColValBranch selects positions where in[i] < v, branching variant.
 func SelectLTColValBranch[T Ordered](res []int32, in []T, v T, sel []int32) int {
@@ -40,6 +45,18 @@ func SelectLTColValBranch[T Ordered](res []int32, in []T, v T, sel []int32) int 
 // SelectLTColVal selects positions where in[i] < v, predicated variant.
 // res must have capacity for len(in) (or len(sel)) positions.
 func SelectLTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectLTColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectLTColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectLTColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectLTColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectLTColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -57,6 +74,18 @@ func SelectLTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
 
 // SelectLEColVal selects positions where in[i] <= v (predicated).
 func SelectLEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectLEColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectLEColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectLEColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectLEColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectLEColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -74,6 +103,18 @@ func SelectLEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
 
 // SelectGTColVal selects positions where in[i] > v (predicated).
 func SelectGTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectGTColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectGTColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectGTColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectGTColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectGTColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -91,6 +132,18 @@ func SelectGTColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
 
 // SelectGEColVal selects positions where in[i] >= v (predicated).
 func SelectGEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectGEColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectGEColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectGEColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectGEColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectGEColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -108,6 +161,18 @@ func SelectGEColVal[T Ordered](res []int32, in []T, v T, sel []int32) int {
 
 // SelectEQColVal selects positions where in[i] == v (predicated).
 func SelectEQColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectEQColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectEQColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectEQColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectEQColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectEQColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -125,6 +190,18 @@ func SelectEQColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
 
 // SelectNEColVal selects positions where in[i] != v (predicated).
 func SelectNEColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectNEColValU8(res, in, any(v).(uint8), sel)
+	case []uint16:
+		return SelectNEColValU16(res, in, any(v).(uint16), sel)
+	case []int32:
+		return SelectNEColValI32(res, in, any(v).(int32), sel)
+	case []int64:
+		return SelectNEColValI64(res, in, any(v).(int64), sel)
+	case []float64:
+		return SelectNEColValF64(res, in, any(v).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -142,6 +219,18 @@ func SelectNEColVal[T comparable](res []int32, in []T, v T, sel []int32) int {
 
 // SelectLTColCol selects positions where a[i] < b[i] (predicated).
 func SelectLTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectLTColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectLTColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectLTColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectLTColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectLTColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -159,6 +248,18 @@ func SelectLTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
 
 // SelectLEColCol selects positions where a[i] <= b[i] (predicated).
 func SelectLEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectLEColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectLEColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectLEColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectLEColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectLEColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -176,6 +277,18 @@ func SelectLEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
 
 // SelectGTColCol selects positions where a[i] > b[i] (predicated).
 func SelectGTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectGTColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectGTColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectGTColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectGTColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectGTColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -193,6 +306,18 @@ func SelectGTColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
 
 // SelectGEColCol selects positions where a[i] >= b[i] (predicated).
 func SelectGEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectGEColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectGEColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectGEColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectGEColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectGEColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -210,6 +335,18 @@ func SelectGEColCol[T Ordered](res []int32, a, b []T, sel []int32) int {
 
 // SelectEQColCol selects positions where a[i] == b[i] (predicated).
 func SelectEQColCol[T comparable](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectEQColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectEQColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectEQColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectEQColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectEQColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -227,6 +364,18 @@ func SelectEQColCol[T comparable](res []int32, a, b []T, sel []int32) int {
 
 // SelectNEColCol selects positions where a[i] != b[i] (predicated).
 func SelectNEColCol[T comparable](res []int32, a, b []T, sel []int32) int {
+	switch a := any(a).(type) {
+	case []uint8:
+		return SelectNEColColU8(res, a, any(b).([]uint8), sel)
+	case []uint16:
+		return SelectNEColColU16(res, a, any(b).([]uint16), sel)
+	case []int32:
+		return SelectNEColColI32(res, a, any(b).([]int32), sel)
+	case []int64:
+		return SelectNEColColI64(res, a, any(b).([]int64), sel)
+	case []float64:
+		return SelectNEColColF64(res, a, any(b).([]float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {
@@ -263,6 +412,18 @@ func SelectBoolCol(res []int32, in []bool, sel []int32) int {
 // SelectBetweenColVal selects positions where lo <= in[i] <= hi (predicated,
 // fused conjunction for range predicates, common in TPC-H).
 func SelectBetweenColVal[T Ordered](res []int32, in []T, lo, hi T, sel []int32) int {
+	switch in := any(in).(type) {
+	case []uint8:
+		return SelectBetweenColValU8(res, in, any(lo).(uint8), any(hi).(uint8), sel)
+	case []uint16:
+		return SelectBetweenColValU16(res, in, any(lo).(uint16), any(hi).(uint16), sel)
+	case []int32:
+		return SelectBetweenColValI32(res, in, any(lo).(int32), any(hi).(int32), sel)
+	case []int64:
+		return SelectBetweenColValI64(res, in, any(lo).(int64), any(hi).(int64), sel)
+	case []float64:
+		return SelectBetweenColValF64(res, in, any(lo).(float64), any(hi).(float64), sel)
+	}
 	k := 0
 	if sel != nil {
 		for _, i := range sel {

@@ -85,8 +85,13 @@
 // are identical at every parallelism level; floating-point aggregates are
 // deterministic up to summation order (partial sums combine in worker
 // order, but morsels race to workers). Row order out of an exchange is not
-// deterministic — order-sensitive queries sort above it (Order and TopN
-// always run on the merged stream). Pending insert deltas are checkpointed
+// deterministic — order-sensitive queries sort above it. Order and TopN
+// over a partitionable input sort per-worker runs in parallel and k-way
+// merge them, so output order is deterministic in the sort keys; rows that
+// tie on every key may interleave differently across runs (the serial sort
+// is stable, the parallel merge is not). Hash-join build sides of
+// partitionable subtrees are also drained, hashed, and inserted in
+// parallel. Pending insert deltas are checkpointed
 // into base fragments before a parallel scan (row ids are preserved), and
 // deletion lists are applied as selection vectors inside partitioned
 // scans, so updated tables parallelize too. On disk-backed tables, morsels
