@@ -7,8 +7,9 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, primitives, table1, table2, table3, table4, table5,
-// fig6, fig10, parallel, disk, strings, updates, ingest, compressed,
-// ablation-compound, ablation-enum, ablation-summary, ablation-selvec, all.
+// fig6, fig10, parallel, concurrent, disk, strings, updates, ingest,
+// compressed, ablation-compound, ablation-enum, ablation-summary,
+// ablation-selvec, all.
 //
 // The primitives experiment measures each width-specialized branch-free
 // kernel (select, hash, aggregate, map) against its naive scalar reference,
@@ -57,6 +58,14 @@
 // writes the measurements as machine-readable records:
 //
 //	x100bench -exp parallel -sf 1 -parallel 1,2,4,8 -json BENCH_parallel.json
+//
+// The concurrent experiment measures multi-query serving: 1/8/64/256
+// concurrent clients run a Q1+Q6 mix against one disk-attached lineitem
+// through the process-wide scheduler and the shared decoded-chunk buffer
+// pool, cold and warm, reporting aggregate QPS, per-query mean/p95
+// latency, and pool hit/attach counters:
+//
+//	x100bench -exp concurrent -sf 0.01 -json BENCH_concurrent.json
 package main
 
 import (
@@ -116,7 +125,8 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
-		want["table5"] || want["fig10"] || want["parallel"] || want["disk"] || want["strings"] ||
+		want["table5"] || want["fig10"] || want["parallel"] || want["concurrent"] ||
+		want["disk"] || want["strings"] ||
 		want["updates"] || want["ingest"] || want["ablation-compound"] ||
 		want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
@@ -151,6 +161,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		{"table1", func() error { return bench.Table1(w, db, sf) }},
 		{"parallel", func() error {
 			recs, err := bench.ParallelScaling(w, db, sf, levels)
+			records = append(records, recs...)
+			return err
+		}},
+		{"concurrent", func() error {
+			recs, err := bench.Concurrent(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

@@ -10,7 +10,11 @@
 // With -disk DIR the shell attaches a ColumnBM chunk directory (written by
 // dbgen -out) instead of generating data, and queries scan straight off
 // the compressed chunks.
-// Meta commands: \tables, \schema <t>, \storage <t>, \explain <plan>,
+// Meta commands: \tables, \schema <t>, \storage <t> (per-column codec
+// report plus, for disk tables, the buffer-pool counters: raw page
+// hits/misses and the decoded-chunk cache's policy, occupancy,
+// hit/miss/attach/eviction counts — attach = a scan joining a chunk
+// another scan already decoded), \explain <plan>,
 // \engine <x100|mil|volcano>, \vectorsize <n>, \parallel <n>, \trace,
 // \delete <t> <rowid>, \checkpoint <t> (durable write-back on disk tables),
 // \reorganize <t> (directory compaction), \q.
@@ -134,6 +138,7 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parall
 		for _, ws := range db.WalStatuses() {
 			if ws.Table == fields[1] {
 				fmt.Print(x100.FormatWalStatus([]x100.WalStatus{ws}))
+				fmt.Print(x100.FormatPoolStatus([]x100.WalStatus{ws}))
 			}
 		}
 	case "\\parallel":

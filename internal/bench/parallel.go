@@ -54,6 +54,17 @@ type Record struct {
 	// result.
 	EffectiveCores     int   `json:"effective_cores,omitempty"`
 	ParallelMeaningful *bool `json:"parallel_meaningful,omitempty"`
+	// Concurrency-experiment fields (-exp concurrent): concurrent client
+	// count, aggregate throughput in queries/sec, per-query latency, and
+	// the decoded-chunk buffer-pool counters accumulated over the measured
+	// pass (PoolHitRate = hits/(hits+misses); PoolAttaches = scans that
+	// joined an already-circulating decoded chunk).
+	Clients      int     `json:"clients,omitempty"`
+	QPS          float64 `json:"qps,omitempty"`
+	LatencyMsAvg float64 `json:"latency_ms_avg,omitempty"`
+	LatencyMsP95 float64 `json:"latency_ms_p95,omitempty"`
+	PoolHitRate  float64 `json:"pool_hit_rate,omitempty"`
+	PoolAttaches int64   `json:"pool_attaches,omitempty"`
 }
 
 // effectiveCores is the parallelism the process can actually realize.

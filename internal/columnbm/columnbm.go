@@ -119,6 +119,7 @@ type Store struct {
 	dir         string
 	chunkValues int
 	pool        *Pool
+	dcache      *DecodedCache
 	counters    *storeCounters
 
 	// FaultHook, when non-nil, is called at the stages of a write-back
@@ -152,14 +153,25 @@ type StoreStats struct {
 	// Renames may not survive power loss on such filesystems; the error is
 	// logged once per store and counted here instead of being discarded.
 	DirSyncErrors int64
+	// PoolHits/PoolMisses/PoolEvictions are the compressed-chunk buffer
+	// pool counters (whole chunk files, pre-decode).
+	PoolHits, PoolMisses, PoolEvictions int64
+	// Cache is the decoded-chunk (cooperative scan) cache snapshot; the
+	// zero value with CapacityBytes == 0 means the cache is disabled.
+	Cache DecodedCacheStats
 }
 
 // Stats returns a snapshot of the store's health counters.
 func (s *Store) Stats() StoreStats {
-	return StoreStats{
+	st := StoreStats{
 		ChecksumFailures: s.counters.checksumFailures.Load(),
 		DirSyncErrors:    s.counters.dirSyncErrors.Load(),
 	}
+	st.PoolHits, st.PoolMisses, st.PoolEvictions = s.pool.Stats()
+	if s.dcache != nil {
+		st.Cache = s.dcache.Stats()
+	}
+	return st
 }
 
 // syncDir fsyncs the store directory so a rename commit itself is durable:
@@ -201,11 +213,38 @@ func NewStore(dir string, chunkValues, poolChunks int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("columnbm: %w", err)
 	}
-	return &Store{dir: dir, chunkValues: chunkValues, pool: NewPool(poolChunks), counters: &storeCounters{}}, nil
+	return &Store{
+		dir:         dir,
+		chunkValues: chunkValues,
+		pool:        NewPool(poolChunks),
+		dcache:      NewDecodedCache(DefaultDecodedCacheBytes, PolicyScanResistant),
+		counters:    &storeCounters{},
+	}, nil
 }
+
+// DefaultDecodedCacheBytes is the default decoded-chunk cache budget:
+// large enough that concurrent scans of a hot table share decodes, small
+// enough to never dominate the process footprint.
+const DefaultDecodedCacheBytes = 64 << 20
 
 // Pool exposes the store's buffer pool (for stats in benches/tests).
 func (s *Store) Pool() *Pool { return s.pool }
+
+// DecodedCache exposes the decoded-chunk cooperative-scan cache (nil when
+// disabled).
+func (s *Store) DecodedCache() *DecodedCache { return s.dcache }
+
+// ConfigureDecodedCache replaces the decoded-chunk cache: capacityBytes
+// <= 0 disables cooperative scan sharing (every scan decodes privately,
+// the pre-cache behaviour). Call before issuing queries; the previous
+// cache's contents and counters are dropped.
+func (s *Store) ConfigureDecodedCache(capacityBytes int64, policy CachePolicy) {
+	if capacityBytes <= 0 {
+		s.dcache = nil
+		return
+	}
+	s.dcache = NewDecodedCache(capacityBytes, policy)
+}
 
 // ChunkValues returns the number of values per chunk this store writes.
 func (s *Store) ChunkValues() int { return s.chunkValues }

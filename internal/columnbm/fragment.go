@@ -8,6 +8,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"x100/internal/colstore"
 	"x100/internal/vector"
@@ -33,6 +34,12 @@ type chunkFragment struct {
 	// colstore.CodeMaterializer, so scans can read globally comparable
 	// codes without ever materializing the strings.
 	remap any
+	// remapID identifies the merged-dictionary generation the remap maps
+	// into (a process-global sequence number). It keys the decoded-code
+	// cache: after a checkpoint refreshes the merged dictionary, new
+	// remaps carry new ids, so stale cached code slices can never be
+	// served for the new code domain.
+	remapID uint64
 	// dictCard is the chunk's dictionary cardinality from the manifest:
 	// > 0 dict-coded, 0 known not dict-coded, -1 unknown (manifest predates
 	// the chunk_dict_card field). It lets MaterializeDict reject raw/prefix
@@ -85,7 +92,46 @@ func sliceBuf[T any](buf any, n int) []T {
 	return make([]T, n)
 }
 
+// remapIDSeq issues merged-dictionary generation ids (see
+// chunkFragment.remapID). The zero id is reserved for "no remap".
+var remapIDSeq atomic.Uint64
+
+// nextRemapID returns a fresh merged-dictionary generation id.
+func nextRemapID() uint64 { return remapIDSeq.Add(1) }
+
+// cacheKey names this chunk's decoded slice in the cooperative-scan
+// cache; kind distinguishes decoded values ("v") from merged-dictionary
+// codes (which additionally carry the remap generation).
+func (f *chunkFragment) cacheKey(kind string) string {
+	return fmt.Sprintf("%s|g%d|%06d|%s", f.key, f.gen, f.idx, kind)
+}
+
+// Materialize decodes the chunk into a caller-owned slice — or, when the
+// store's cooperative-scan cache is enabled, returns the shared immutable
+// decoded slice (scratch=false), decoding it at most once per residency
+// no matter how many concurrent scans stream the table.
 func (f *chunkFragment) Materialize(buf any) (any, bool, error) {
+	if c := f.store.dcache; c != nil {
+		data, err := c.Get(f.cacheKey("v"), func() (any, int64, error) {
+			// Decode into a fresh slice (buf may be retained by the
+			// caller's reader and must never alias a cached entry).
+			data, _, err := f.decode(nil)
+			if err != nil {
+				return nil, 0, err
+			}
+			return data, decodedSize(data), nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return data, false, nil
+	}
+	return f.decode(buf)
+}
+
+// decode reads the chunk through the compressed-chunk pool and decodes it
+// into buf (reused when large enough, freshly allocated otherwise).
+func (f *chunkFragment) decode(buf any) (any, bool, error) {
 	hdr, payload, err := f.store.readChunkChecked(f.key, f.gen, f.idx, f.crc, f.hasCRC)
 	if err != nil {
 		return nil, false, err
@@ -142,6 +188,25 @@ func (f *chunkFragment) MaterializeCodes(buf any) (any, bool, error) {
 	if f.remap == nil {
 		return nil, false, fmt.Errorf("columnbm: %s chunk %d has no merged dictionary", f.key, f.idx)
 	}
+	if c := f.store.dcache; c != nil {
+		key := f.cacheKey(fmt.Sprintf("c%d", f.remapID))
+		data, err := c.Get(key, func() (any, int64, error) {
+			data, _, err := f.decodeCodes(nil)
+			if err != nil {
+				return nil, 0, err
+			}
+			return data, decodedSize(data), nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return data, false, nil
+	}
+	return f.decodeCodes(buf)
+}
+
+// decodeCodes decodes the chunk's merged-dictionary codes into buf.
+func (f *chunkFragment) decodeCodes(buf any) (any, bool, error) {
 	hdr, payload, err := f.store.readChunkChecked(f.key, f.gen, f.idx, f.crc, f.hasCRC)
 	if err != nil {
 		return nil, false, err
@@ -371,29 +436,163 @@ func (s *Store) attachMergedDict(m *Manifest, cm *ColumnManifest, counts []int, 
 	if len(values) > 256 {
 		phys = vector.UInt16
 	}
+	id := nextRemapID()
 	for i, frag := range frags {
 		cf, ok := frag.(*chunkFragment)
 		if !ok {
 			return nil, vector.Unknown
 		}
-		local := chunkDicts[i]
-		if phys == vector.UInt8 {
-			remap := make([]uint8, len(local))
-			for c, v := range local {
-				g, _ := merged.Lookup(v)
-				remap[c] = uint8(g)
-			}
-			cf.remap = remap
-		} else {
-			remap := make([]uint16, len(local))
-			for c, v := range local {
-				g, _ := merged.Lookup(v)
-				remap[c] = uint16(g)
-			}
-			cf.remap = remap
-		}
+		installRemap(cf, chunkDicts[i], merged, phys, id)
 	}
 	return merged, phys
+}
+
+// installRemap builds and installs chunk-local -> merged remap table on a
+// fragment, stamping the merged-dictionary generation id.
+func installRemap(cf *chunkFragment, local []string, merged *colstore.Dict, phys vector.Type, id uint64) {
+	if phys == vector.UInt8 {
+		remap := make([]uint8, len(local))
+		for c, v := range local {
+			g, _ := merged.Lookup(v)
+			remap[c] = uint8(g)
+		}
+		cf.remap = remap
+	} else {
+		remap := make([]uint16, len(local))
+		for c, v := range local {
+			g, _ := merged.Lookup(v)
+			remap[c] = uint16(g)
+		}
+		cf.remap = remap
+	}
+	cf.remapID = id
+}
+
+// SavedMergedDict snapshots one column's merged-dictionary view before a
+// checkpoint append invalidates it (colstore drops the view whenever a
+// fragment is appended). SnapshotMergedDicts + RefreshMergedDicts bracket
+// the append so code-domain execution survives updates.
+type SavedMergedDict struct {
+	// Dict is the pre-append sorted merged dictionary.
+	Dict *colstore.Dict
+	// Phys is the pre-append code width (UInt8/UInt16).
+	Phys vector.Type
+}
+
+// SnapshotMergedDicts captures the merged dictionaries of a table's plain
+// (non-enum) string columns, keyed by column name.
+func SnapshotMergedDicts(t *colstore.Table) map[string]SavedMergedDict {
+	out := make(map[string]SavedMergedDict)
+	for _, c := range t.Cols {
+		if c.IsEnum() {
+			continue
+		}
+		if d, phys, ok := c.CodeDomain(); ok {
+			out[c.Name] = SavedMergedDict{Dict: d, Phys: phys}
+		}
+	}
+	return out
+}
+
+// RefreshMergedDicts restores the merged-dictionary views a checkpoint
+// append dropped, incrementally: only the dictionaries of the *new* chunks
+// are read (cheap header-prefix reads). When every new value is already in
+// the saved dictionary — the common case, appends repeat the existing
+// domain — the saved dictionary is reinstalled unchanged and only the new
+// fragments get remap tables (existing fragments keep their remaps and
+// their cached code slices stay valid). Otherwise the merged dictionary is
+// rebuilt over all chunks, re-mapping every fragment under a fresh
+// dictionary generation. A column whose new chunks are not dict-coded
+// legitimately loses its code domain (decode-first applies) — that is not
+// an error.
+func (s *Store) RefreshMergedDicts(t *colstore.Table, saved map[string]SavedMergedDict) error {
+	if len(saved) == 0 {
+		return nil
+	}
+	m, err := s.readManifest(t.Name)
+	if err != nil {
+		return err
+	}
+	chunkRows := m.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = s.chunkValues
+	}
+	for i := range m.Columns {
+		cm := &m.Columns[i]
+		sv, ok := saved[cm.Name]
+		if !ok {
+			continue
+		}
+		col := t.Col(cm.Name)
+		if col == nil || col.NumFrags() != cm.Chunks {
+			continue
+		}
+		counts, err := m.chunkRowCounts(chunkRows, cm.Chunks)
+		if err != nil {
+			return fmt.Errorf("columnbm: refresh %s.%s: %w", t.Name, cm.Name, err)
+		}
+		s.refreshMergedDict(m, cm, counts, col, sv)
+	}
+	return nil
+}
+
+// refreshMergedDict restores one column's merged dictionary (see
+// RefreshMergedDicts). It leaves the view dropped when the column no
+// longer qualifies.
+func (s *Store) refreshMergedDict(m *Manifest, cm *ColumnManifest, counts []int, col *colstore.Column, sv SavedMergedDict) {
+	if len(cm.ChunkDictCard) != cm.Chunks {
+		return
+	}
+	frags := make([]colstore.Fragment, cm.Chunks)
+	var fresh []*chunkFragment // appended fragments, no remap yet
+	var freshDicts [][]string
+	key := m.Table + "." + cm.Name
+	for i := 0; i < cm.Chunks; i++ {
+		frags[i] = col.Frag(i)
+		cf, ok := frags[i].(*chunkFragment)
+		if !ok {
+			return
+		}
+		if cf.remap != nil {
+			continue
+		}
+		if cm.ChunkDictCard[i] <= 0 || counts[i] == 0 {
+			return // new chunk not dict-coded: code domain is gone
+		}
+		dict, err := s.readChunkDict(key, m.Gen, i)
+		if err != nil || dict == nil {
+			return
+		}
+		fresh = append(fresh, cf)
+		freshDicts = append(freshDicts, dict)
+	}
+	covered := true
+	for _, dict := range freshDicts {
+		for _, v := range dict {
+			if _, ok := sv.Dict.Lookup(v); !ok {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			break
+		}
+	}
+	if covered {
+		// Incremental path: the appended chunks introduce no new values, so
+		// the saved dictionary (and every existing remap, and every cached
+		// code slice) stays valid — only the new fragments need remaps.
+		id := nextRemapID()
+		for i, cf := range fresh {
+			installRemap(cf, freshDicts[i], sv.Dict, sv.Phys, id)
+		}
+		col.SetMergedDict(sv.Dict, sv.Phys)
+		return
+	}
+	// New values appeared: rebuild the merged dictionary over all chunks.
+	if merged, phys := s.attachMergedDict(m, cm, counts, frags); merged != nil {
+		col.SetMergedDict(merged, phys)
+	}
 }
 
 // AttachTable builds a fragment-backed colstore table over the chunks

@@ -261,7 +261,7 @@ func (s *Store) withChunkValues(chunkRows int) *Store {
 	if chunkRows == s.chunkValues {
 		return s
 	}
-	return &Store{dir: s.dir, chunkValues: chunkRows, pool: s.pool, counters: s.counters, FaultHook: s.FaultHook}
+	return &Store{dir: s.dir, chunkValues: chunkRows, pool: s.pool, dcache: s.dcache, counters: s.counters, FaultHook: s.FaultHook}
 }
 
 func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {

@@ -458,7 +458,12 @@ func (op *aggrOp) Open() error {
 	op.gidBuf = nil
 	switch op.mode {
 	case algebra.ModeDirect:
-		op.growGroups(op.directWidth)
+		// Open with one single-code plane (256 slots) and grow lazily from
+		// the codes actually seen: the nominal two-column domain is 64K
+		// slots, but real enum domains are tiny (Q1 groups 3x2), and eagerly
+		// zeroing 64K slots per accumulator per worker dominated the profile
+		// under concurrent serving.
+		op.growGroups(min(op.directWidth, 256))
 	default:
 		for i := range op.node.GroupBy {
 			t := op.schema[i].Type
@@ -578,6 +583,27 @@ func (op *aggrOp) assignDirect(b *vector.Batch) {
 	t0 := op.opts.Tracer.Now()
 	primitives.DirectGroupU8(gids, c1, c2, b.Sel)
 	op.opts.Tracer.RecordPrimitiveSince("map_directgrp_uidx_col_uchr_col", t0, b.Rows(), 6*b.Rows())
+	if c2 != nil {
+		// The two-column group id is c1 | c2<<8; grow the accumulators to
+		// the highest id actually present instead of the full 64K domain.
+		maxGid := int32(-1)
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				if gids[i] > maxGid {
+					maxGid = gids[i]
+				}
+			}
+		} else {
+			for _, g := range gids {
+				if g > maxGid {
+					maxGid = g
+				}
+			}
+		}
+		if need := int(maxGid) + 1; need > len(op.rowCount) {
+			op.growGroups(need)
+		}
+	}
 }
 
 // groupKeyVectors evaluates the group-by expressions for a batch.

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"x100/internal/algebra"
+	"x100/internal/expr"
+)
+
+// appendAndCheckpoint pushes rows (mode, mixed, v) through the delta store
+// and runs a durable checkpoint, which appends new chunks to the ColumnBM
+// directory and re-attaches them.
+func appendAndCheckpoint(t *testing.T, db *Database, rows [][3]any) {
+	t.Helper()
+	ds, err := db.Delta("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if _, err := ds.Insert([]any{r[0], r[1], r[2]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := db.Checkpoint("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("checkpoint declined")
+	}
+}
+
+// groupCounts runs a code-domain-sensitive plan (group by the string
+// column, count) both with and without code-domain execution, requires the
+// results to agree, and returns the per-mode counts.
+func groupCounts(t *testing.T, db *Database, par int) map[string]int64 {
+	t.Helper()
+	plan := algebra.NewAggr(
+		algebra.NewScan("events", "mode"),
+		[]algebra.NamedExpr{algebra.NE("m", expr.C("mode"))},
+		[]algebra.AggExpr{algebra.Count("n")},
+	)
+	code, decode := runBoth(t, db, plan, par)
+	assertSameRows(t, "group-by mode after append", code, decode)
+	out := make(map[string]int64)
+	for i := 0; i < code.NumRows(); i++ {
+		row := code.Row(i)
+		out[row[0].(string)] = row[1].(int64)
+	}
+	return out
+}
+
+// TestCodeDomainSurvivesAppend is the regression test for merged
+// dictionaries being dropped by a checkpoint append: appending rows to a
+// disk-attached table invalidates the attach-time merged dictionary
+// (colstore cannot assume new fragments share the code domain), and before
+// the incremental refresh every append+query cycle silently fell back to
+// decode-first execution. The three phases cover the refresh paths:
+// same-domain appends reinstall the saved dictionary, a new value forces a
+// rebuild over all chunks, and a non-dict-coded append legitimately drops
+// the code domain without breaking queries.
+func TestCodeDomainSurvivesAppend(t *testing.T) {
+	db, _, n := codeDomainDiskDB(t)
+	modes := []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	base := groupCounts(t, db, 1)
+
+	// Phase 1: append 2000 rows repeating the existing 7-value domain. The
+	// new chunks dict-code and every value is already in the saved
+	// dictionary, so the refresh must reinstall it unchanged.
+	rows := make([][3]any, 2000)
+	for i := range rows {
+		rows[i] = [3]any{modes[i%len(modes)], fmt.Sprintf("key-prefix-%08d", n+i), int64(n + i)}
+	}
+	appendAndCheckpoint(t, db, rows)
+
+	tab, err := db.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tab.Col("mode").MergedDict()
+	if md == nil {
+		t.Fatal("same-domain append dropped the merged dictionary")
+	}
+	if md.Len() != len(modes) {
+		t.Fatalf("merged cardinality %d after same-domain append, want %d", md.Len(), len(modes))
+	}
+	if _, _, ok := tab.Col("mode").CodeDomain(); !ok {
+		t.Fatal("same-domain append dropped the code domain")
+	}
+	for _, par := range []int{1, 4} {
+		got := groupCounts(t, db, par)
+		var total int64
+		for _, m := range modes {
+			if got[m] < base[m] {
+				t.Fatalf("p%d: mode %s count shrank after append: %d -> %d", par, m, base[m], got[m])
+			}
+			total += got[m]
+		}
+		if total != int64(n+2000) {
+			t.Fatalf("p%d: total rows %d after append, want %d", par, total, n+2000)
+		}
+	}
+
+	// Phase 2: append a value outside the saved dictionary. The chunk still
+	// dict-codes (single distinct value), so the refresh must rebuild the
+	// merged dictionary over all chunks and keep the code domain.
+	rows = rows[:1000]
+	for i := range rows {
+		rows[i] = [3]any{"ZEPPELIN", "zep", int64(n + 2000 + i)}
+	}
+	appendAndCheckpoint(t, db, rows)
+	md = tab.Col("mode").MergedDict()
+	if md == nil {
+		t.Fatal("new-value append dropped the merged dictionary instead of rebuilding it")
+	}
+	if md.Len() != len(modes)+1 {
+		t.Fatalf("merged cardinality %d after new-value append, want %d", md.Len(), len(modes)+1)
+	}
+	sel := algebra.NewSelect(
+		algebra.NewScan("events", "mode", "v"),
+		expr.EQE(expr.C("mode"), expr.Str("ZEPPELIN")),
+	)
+	code, decode := runBoth(t, db, sel, 4)
+	assertSameRows(t, "eq new value", code, decode)
+	if code.NumRows() != 1000 {
+		t.Fatalf("predicate on appended value matched %d rows, want 1000", code.NumRows())
+	}
+	// The "mode#dict" mapping table must track the rebuilt dictionary.
+	dt, err := db.Table("mode" + DictSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn := dt.Col("value").Len(); dn != len(modes)+1 {
+		t.Fatalf("dict table has %d values, want %d", dn, len(modes)+1)
+	}
+
+	// Phase 3: append high-cardinality strings. The new chunks cannot
+	// dict-code, so the column legitimately loses its code domain — and
+	// queries must keep answering correctly via decode-first execution.
+	rows = rows[:1000]
+	for i := range rows {
+		rows[i] = [3]any{fmt.Sprintf("unique-mode-%08x-%04d", i*2654435761, i), "raw", int64(n + 3000 + i)}
+	}
+	appendAndCheckpoint(t, db, rows)
+	if _, _, ok := tab.Col("mode").CodeDomain(); ok {
+		t.Fatal("non-dict append must drop the code domain (new chunks have no codes)")
+	}
+	got := groupCounts(t, db, 4)
+	var total int64
+	for _, c := range got {
+		total += c
+	}
+	if total != int64(n+4000) {
+		t.Fatalf("total rows %d after non-dict append, want %d", total, n+4000)
+	}
+	if got["ZEPPELIN"] != 1000 {
+		t.Fatalf("ZEPPELIN count %d after non-dict append, want 1000", got["ZEPPELIN"])
+	}
+}

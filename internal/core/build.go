@@ -350,6 +350,19 @@ func Run(db *Database, plan algebra.Node, opts ExecOptions) (*Result, error) {
 			if st.Wal.StaleDiscards > 0 {
 				opts.Tracer.RecordCounter("wal_stale_discards", st.Wal.StaleDiscards)
 			}
+			// Buffer-pool observability: decoded-chunk cache hit/miss/attach
+			// counters show whether concurrent scans of the same table are
+			// actually sharing circulating chunks.
+			if c := st.Store.Cache; c.Hits > 0 || c.Misses > 0 {
+				opts.Tracer.RecordCounter("pool_hits", c.Hits)
+				opts.Tracer.RecordCounter("pool_misses", c.Misses)
+				if c.Attaches > 0 {
+					opts.Tracer.RecordCounter("pool_attaches", c.Attaches)
+				}
+				if c.Evictions > 0 {
+					opts.Tracer.RecordCounter("pool_evictions", c.Evictions)
+				}
+			}
 		}
 	}
 	return res, err

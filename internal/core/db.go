@@ -251,6 +251,11 @@ func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttac
 	if err != nil || !done {
 		return done, err
 	}
+	// Appending fragments drops the attach-time merged dictionaries
+	// (colstore cannot assume new fragments share the code domain).
+	// Snapshot them first so they can be refreshed incrementally below —
+	// code-domain execution must survive an append+query cycle.
+	mdicts := columnbm.SnapshotMergedDicts(t)
 	frags, err := att.store.AppendTable(t, parts, ds.SortedDeleted())
 	if err != nil {
 		// Nothing was committed (the manifest rename is the single commit
@@ -262,6 +267,12 @@ func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttac
 			return false, err
 		}
 		ds.ClearInserts()
+		if err := att.store.RefreshMergedDicts(t, mdicts); err != nil {
+			return false, err
+		}
+		// The "<col>#dict" mapping tables must track the (possibly
+		// rebuilt) merged dictionaries.
+		registerDictTables(db, t)
 	}
 	att.persistedDel = ds.NumDeleted()
 	if att.wal != nil {

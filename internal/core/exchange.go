@@ -8,6 +8,7 @@ import (
 
 	"x100/internal/algebra"
 	"x100/internal/expr"
+	"x100/internal/sched"
 	"x100/internal/trace"
 	"x100/internal/vector"
 )
@@ -87,11 +88,18 @@ type exchMsg struct {
 // recycle through a free list so the steady state allocates nothing.
 // Batch order across partitions is not deterministic — order-sensitive
 // consumers (Order, TopN) sort downstream.
+//
+// Workers are goroutines but not threads of their own: each holds an
+// admission slot from the shared scheduler pool while it computes,
+// releases it around blocking hand-offs to a slow consumer, and yields it
+// at morsel boundaries (see scanOp.claimRange), so the morsels of all
+// in-flight queries multiplex over one process-wide slot budget.
 type exchangeOp struct {
 	parts   []Operator      // per-worker partition pipelines
 	extra   []Operator      // shared build-side pipelines to close with the op
 	sources []*morselSource // morsel dispensers, rewound at Open
 	tracers []*trace.Collector
+	slots   []*sched.Slot // per-worker admission slots, parallel to parts
 	opts    ExecOptions
 	schema  vector.Schema
 
@@ -104,12 +112,13 @@ type exchangeOp struct {
 	merged  bool
 }
 
-func newExchangeOpFromParts(parts []Operator, ctx *parCtx, tracers []*trace.Collector, opts ExecOptions) *exchangeOp {
+func newExchangeOpFromParts(parts []Operator, ctx *parCtx, tracers []*trace.Collector, slots []*sched.Slot, opts ExecOptions) *exchangeOp {
 	return &exchangeOp{
 		parts:   parts,
 		extra:   ctx.extra,
 		sources: ctx.sources(),
 		tracers: tracers,
+		slots:   slots,
 		opts:    opts,
 		schema:  parts[0].Schema(),
 	}
@@ -135,9 +144,9 @@ func (e *exchangeOp) Open() error {
 	e.stopped = sync.Once{}
 	e.cur = nil
 	e.merged = false
-	for _, p := range e.parts {
+	for i, p := range e.parts {
 		e.wg.Add(1)
-		go e.worker(p)
+		go e.worker(i, p)
 	}
 	go func() {
 		e.wg.Wait()
@@ -146,11 +155,26 @@ func (e *exchangeOp) Open() error {
 	return nil
 }
 
-func (e *exchangeOp) worker(p Operator) {
+func (e *exchangeOp) worker(i int, p Operator) {
 	defer e.wg.Done()
+	slot := e.slots[i]
+	slot.Bind(e.stop)
+	if !slot.Acquire() {
+		return
+	}
+	defer slot.Release()
 	for {
+		// An abandoned query (Close before exhaustion) stops within one
+		// batch: queued slot waits cancel via the Bind above, and the
+		// stop check here catches workers that never re-queue.
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
 		b, err := p.Next()
 		if err != nil {
+			slot.Release()
 			select {
 			case e.out <- exchMsg{err: err}:
 			case <-e.stop:
@@ -167,9 +191,23 @@ func (e *exchangeOp) worker(p Operator) {
 			buf = &vector.Batch{}
 		}
 		buf.CopyFrom(b)
+		// Fast path: the consumer is keeping up, hand off without pool
+		// traffic. Otherwise release the slot for the duration of the
+		// blocking send — a stalled consumer must not park a core.
+		select {
+		case e.out <- exchMsg{b: buf}:
+			continue
+		case <-e.stop:
+			return
+		default:
+		}
+		slot.Release()
 		select {
 		case e.out <- exchMsg{b: buf}:
 		case <-e.stop:
+			return
+		}
+		if !slot.Acquire() {
 			return
 		}
 	}
@@ -256,6 +294,7 @@ type parallelAggrOp struct {
 	extra   []Operator
 	sources []*morselSource
 	tracers []*trace.Collector
+	slots   []*sched.Slot
 	merged  *aggrOp
 	opts    ExecOptions
 	done    bool
@@ -310,6 +349,9 @@ func (op *parallelAggrOp) run() error {
 		wg.Add(1)
 		go func(i int, w *aggrOp) {
 			defer wg.Done()
+			slot := op.slots[i]
+			slot.Acquire()
+			defer slot.Release()
 			if err := w.Open(); err != nil {
 				errs[i] = err
 				return
@@ -442,7 +484,7 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 				// morsels into private builders, hash and insert in
 				// parallel (joinBuild.drainParallel/index). The build still
 				// runs exactly once, triggered by the first prober.
-				bparts, bctx, btracers, err := newParallelPipelines(c.db, n.Right, opts)
+				bparts, bctx, btracers, bslots, err := newParallelPipelines(c.db, n.Right, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -452,10 +494,18 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 					parSources: bctx.sources(),
 					parExtra:   bctx.extra,
 					parTracers: btracers,
+					parSlots:   bslots,
 				}
 			} else {
-				// The build side runs once, serially, shared by all probers.
-				right, err := build(c.db, n.Right, opts)
+				// The build side runs once, serially, shared by all probers
+				// — executed by whichever prober wins the build's once.Do,
+				// not necessarily the worker whose compile pass created it.
+				// Its operators must not capture the compiling worker's
+				// slot: the executing goroutine pauses its own slot around
+				// the build, and two workers touching one slot is a race.
+				bopts := opts
+				bopts.slot = nil
+				right, err := build(c.db, n.Right, bopts)
 				if err != nil {
 					return nil, err
 				}
@@ -506,41 +556,46 @@ func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (*s
 
 // workerOptions derives the per-worker ExecOptions: identical to the
 // query's options except for the tracer, which each worker owns (the trace
-// collector is not synchronized) and merges back when the workers join.
-func workerOptions(opts ExecOptions, tracers []*trace.Collector, i int) ExecOptions {
+// collector is not synchronized) and merges back when the workers join,
+// and the admission slot the worker's goroutine holds while it computes.
+func workerOptions(opts ExecOptions, tracers []*trace.Collector, slots []*sched.Slot, i int) ExecOptions {
 	w := opts
 	if opts.Tracer != nil {
 		tracers[i] = trace.New()
 		w.Tracer = tracers[i]
 	}
+	slots[i] = opts.pool().NewSlot()
+	w.slot = slots[i]
 	return w
 }
 
 // newParallelPipelines compiles plan into opts.parallelism() partition
-// pipelines sharing one parCtx.
-func newParallelPipelines(db *Database, plan algebra.Node, opts ExecOptions) ([]Operator, *parCtx, []*trace.Collector, error) {
+// pipelines sharing one parCtx, each with its own tracer and admission
+// slot.
+func newParallelPipelines(db *Database, plan algebra.Node, opts ExecOptions) ([]Operator, *parCtx, []*trace.Collector, []*sched.Slot, error) {
 	nw := opts.parallelism()
 	ctx := newParCtx(db)
 	parts := make([]Operator, nw)
 	tracers := make([]*trace.Collector, nw)
+	slots := make([]*sched.Slot, nw)
 	for i := range parts {
-		p, err := ctx.buildPartition(plan, workerOptions(opts, tracers, i))
+		p, err := ctx.buildPartition(plan, workerOptions(opts, tracers, slots, i))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		parts[i] = p
 	}
-	return parts, ctx, tracers, nil
+	return parts, ctx, tracers, slots, nil
 }
 
 // newExchangeOp compiles a partitionable subtree into an exchange over N
 // partition pipelines.
 func newExchangeOp(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
-	parts, ctx, tracers, err := newParallelPipelines(db, plan, opts)
+	parts, ctx, tracers, slots, err := newParallelPipelines(db, plan, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newExchangeOpFromParts(parts, ctx, tracers, opts), nil
+	return newExchangeOpFromParts(parts, ctx, tracers, slots, opts), nil
 }
 
 // newParallelAggr compiles Aggr(partitionable input) into partial
@@ -548,7 +603,7 @@ func newExchangeOp(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 // the aggregation mode cannot merge (ordered aggregation) and the caller
 // should fall back.
 func newParallelAggr(db *Database, n *algebra.Aggr, opts ExecOptions) (Operator, bool, error) {
-	parts, ctx, tracers, err := newParallelPipelines(db, n.Input, opts)
+	parts, ctx, tracers, slots, err := newParallelPipelines(db, n.Input, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -578,6 +633,7 @@ func newParallelAggr(db *Database, n *algebra.Aggr, opts ExecOptions) (Operator,
 		extra:   ctx.extra,
 		sources: ctx.sources(),
 		tracers: tracers,
+		slots:   slots,
 		merged:  merged,
 		opts:    opts,
 	}, true, nil

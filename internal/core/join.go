@@ -8,6 +8,7 @@ import (
 	"x100/internal/algebra"
 	"x100/internal/expr"
 	"x100/internal/primitives"
+	"x100/internal/sched"
 	"x100/internal/trace"
 	"x100/internal/vector"
 )
@@ -36,6 +37,7 @@ type joinBuild struct {
 	parSources []*morselSource
 	parExtra   []Operator
 	parTracers []*trace.Collector
+	parSlots   []*sched.Slot
 
 	rbuild  []*colBuilder // all right columns
 	buckets []int32       // head row id + 1
@@ -175,6 +177,9 @@ func (jb *joinBuild) drainParallel() error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			slot := jb.parSlots[w]
+			slot.Acquire()
+			defer slot.Release()
 			p := jb.parParts[w]
 			if err := p.Open(); err != nil {
 				errs[w] = err
@@ -251,6 +256,9 @@ func (jb *joinBuild) index() error {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
+				slot := jb.parSlots[w]
+				slot.Acquire()
+				defer slot.Release()
 				errs[w] = jb.hashRows(hashes, lo, hi)
 			}(w, lo, hi)
 		}
@@ -265,8 +273,11 @@ func (jb *joinBuild) index() error {
 			slo := uint64(w) * uint64(sz) / uint64(nw)
 			shi := uint64(w+1) * uint64(sz) / uint64(nw)
 			wg.Add(1)
-			go func(slo, shi uint64) {
+			go func(w int, slo, shi uint64) {
 				defer wg.Done()
+				ws := jb.parSlots[w]
+				ws.Acquire()
+				defer ws.Release()
 				for r := 0; r < jb.nRight; r++ {
 					slot := hashes[r] & jb.mask
 					if slot >= slo && slot < shi {
@@ -274,7 +285,7 @@ func (jb *joinBuild) index() error {
 						jb.buckets[slot] = int32(r) + 1
 					}
 				}
-			}(slo, shi)
+			}(w, slo, shi)
 		}
 		wg.Wait()
 		return nil
@@ -484,7 +495,15 @@ func (op *hashJoinOp) residualOK(b *vector.Batch, pos int, r int32) bool {
 }
 
 func (op *hashJoinOp) Next() (*vector.Batch, error) {
-	if err := op.bld.run(op.opts); err != nil {
+	// The first prober triggers the shared build; every other prober
+	// blocks in run until it completes. Either way the prober cannot make
+	// progress itself, so it hands its admission slot back for the
+	// duration — with a capped pool, probers parked on once.Do must not
+	// hold the slots the build workers need.
+	op.opts.slot.Pause()
+	err := op.bld.run(op.opts)
+	op.opts.slot.Resume()
+	if err != nil {
 		return nil, err
 	}
 	switch op.node.Kind {

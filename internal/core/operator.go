@@ -8,6 +8,7 @@ import (
 	"x100/internal/algebra"
 	"x100/internal/expr"
 	"x100/internal/primitives"
+	"x100/internal/sched"
 	"x100/internal/trace"
 	"x100/internal/vector"
 )
@@ -53,6 +54,15 @@ type ExecOptions struct {
 	// aggregation) are split into row-range morsels executed by that many
 	// goroutines; the rest of the plan runs serially on the merged stream.
 	Parallelism int
+	// Sched is the admission-control pool worker goroutines draw execution
+	// slots from. nil selects the process-wide default pool (sched.Default,
+	// sized to GOMAXPROCS), so concurrent queries share one slot budget
+	// instead of oversubscribing cores with private worker fleets.
+	Sched *sched.Pool
+	// slot is the execution slot of the worker pipeline this options copy
+	// was compiled for (set by workerOptions); nil on serial pipelines and
+	// on the coordinator's own options.
+	slot *sched.Slot
 }
 
 // DefaultOptions returns the standard execution configuration.
@@ -69,6 +79,15 @@ func (o ExecOptions) batchSize() int {
 		return vector.DefaultBatchSize
 	}
 	return o.BatchSize
+}
+
+// pool resolves the Sched field to the admission pool: an explicit pool,
+// or the process-wide default.
+func (o ExecOptions) pool() *sched.Pool {
+	if o.Sched != nil {
+		return o.Sched
+	}
+	return sched.Default()
 }
 
 // parallelism resolves the Parallelism field to a worker count.

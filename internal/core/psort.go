@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"x100/internal/algebra"
+	"x100/internal/sched"
 	"x100/internal/trace"
 	"x100/internal/vector"
 )
@@ -27,6 +28,7 @@ type parallelOrderOp struct {
 	sources []*morselSource
 	extra   []Operator
 	tracers []*trace.Collector
+	slots   []*sched.Slot
 	opts    ExecOptions
 	schema  vector.Schema
 
@@ -43,7 +45,7 @@ type runRow struct {
 }
 
 func newParallelOrderOp(db *Database, input algebra.Node, keys []algebra.OrdExpr, limit int, opts ExecOptions) (Operator, error) {
-	parts, ctx, tracers, err := newParallelPipelines(db, input, opts)
+	parts, ctx, tracers, slots, err := newParallelPipelines(db, input, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +67,7 @@ func newParallelOrderOp(db *Database, input algebra.Node, keys []algebra.OrdExpr
 		sources: ctx.sources(),
 		extra:   ctx.extra,
 		tracers: tracers,
+		slots:   slots,
 		opts:    opts,
 		schema:  parts[0].Schema().Clone(),
 	}, nil
@@ -134,6 +137,9 @@ func (op *parallelOrderOp) run() error {
 		wg.Add(1)
 		go func(i int, r *orderOp) {
 			defer wg.Done()
+			slot := op.slots[i]
+			slot.Acquire()
+			defer slot.Release()
 			if err := r.Open(); err != nil {
 				errs[i] = err
 				return

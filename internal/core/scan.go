@@ -196,6 +196,13 @@ func (s *scanOp) claimRange() (int, int, bool) {
 	limit := s.hi
 	if s.source != nil {
 		if s.pos >= s.morselHi {
+			// A morsel claim is the natural scheduling quantum: offer the
+			// worker's admission slot to the oldest waiter so concurrent
+			// queries rotate over the shared pool. Yield only fails when
+			// the query was abandoned while re-queued — end the scan.
+			if !s.opts.slot.Yield() {
+				return 0, 0, false
+			}
 			mlo, mhi, ok := s.source.claim()
 			if !ok {
 				return 0, 0, false

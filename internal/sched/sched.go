@@ -1,0 +1,272 @@
+// Package sched implements process-wide admission control for query
+// worker goroutines: a fixed pool of execution slots shared by every
+// in-flight query.
+//
+// Go's runtime multiplexes any number of goroutines onto GOMAXPROCS
+// threads, so spawning per-query workers never crashes — but with N
+// concurrent queries each fanning out GOMAXPROCS pipelines, N*P runnable
+// goroutines thrash caches and destroy the per-query latency the morsel
+// size was tuned for. The pool caps the number of *runnable* worker
+// pipelines at its slot count; excess workers queue FIFO, so every query
+// makes progress in admission order (no starvation) and morsel-boundary
+// yields rotate slots between queries. Rotation is paced by a time quantum
+// (Quantum): a worker that has held its slot for less than the quantum
+// keeps it through a yield, so under heavy oversubscription slots don't
+// ping-pong between the working sets of dozens of queries at every morsel
+// — each tenancy runs enough morsels back-to-back to amortize the cache
+// refill, which is what keeps aggregate throughput flat while latency
+// degrades gracefully.
+//
+// A Slot is a worker goroutine's handle on the pool. All Slot methods are
+// nil-safe no-ops so serial pipelines (which never create slots) pay
+// nothing, and they must be called from the single goroutine that owns
+// the worker pipeline.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Quantum is the minimum slot tenancy: a Yield within Quantum of acquiring
+// keeps the slot even when workers are queued. One millisecond is tens of
+// morsels of work — long enough to amortize cache refill after a handoff,
+// short enough that a queued short query starts within a few milliseconds
+// times the queue depth.
+const Quantum = time.Millisecond
+
+// Pool is a FIFO semaphore of worker slots shared by the pipelines of all
+// in-flight queries. Release hands the freed slot directly to the oldest
+// waiter, so admission is strictly first-come-first-served.
+type Pool struct {
+	mu      sync.Mutex
+	cap     int
+	inUse   int
+	waiters []chan struct{}
+
+	admitted int64 // slot grants (fast-path + handoffs)
+	waits    int64 // acquisitions that had to queue
+	yields   int64 // voluntary morsel-boundary handoffs
+}
+
+// Stats is a point-in-time snapshot of pool occupancy and admission
+// counters.
+type Stats struct {
+	// Cap is the slot count the pool was created with.
+	Cap int
+	// InUse is the number of currently held slots.
+	InUse int
+	// Waiting is the number of goroutines queued for a slot.
+	Waiting int
+	// Admitted counts every slot grant since creation.
+	Admitted int64
+	// Waits counts acquisitions that found the pool full and queued.
+	Waits int64
+	// Yields counts voluntary morsel-boundary slot handoffs.
+	Yields int64
+}
+
+// NewPool creates a pool with n slots; n < 1 selects runtime.GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{cap: n}
+}
+
+var defaultPool = struct {
+	once sync.Once
+	p    *Pool
+}{}
+
+// Default returns the process-wide pool, created on first use with
+// GOMAXPROCS slots. Queries that don't select an explicit scheduler share
+// it, which is the point: admission control only works when everyone is
+// subject to it.
+func Default() *Pool {
+	defaultPool.once.Do(func() { defaultPool.p = NewPool(0) })
+	return defaultPool.p
+}
+
+// Cap returns the pool's slot count.
+func (p *Pool) Cap() int { return p.cap }
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Cap:      p.cap,
+		InUse:    p.inUse,
+		Waiting:  len(p.waiters),
+		Admitted: p.admitted,
+		Waits:    p.waits,
+		Yields:   p.yields,
+	}
+}
+
+// NewSlot creates an unacquired slot handle on the pool.
+func (p *Pool) NewSlot() *Slot {
+	if p == nil {
+		return nil
+	}
+	return &Slot{pool: p}
+}
+
+// acquire blocks until a slot is granted, or stop closes first (returns
+// false). The grant channel is buffered so a releaser never blocks handing
+// off; an abandoned waiter that lost the race to a handoff returns the
+// slot before reporting cancellation.
+func (p *Pool) acquire(stop <-chan struct{}) bool {
+	p.mu.Lock()
+	if p.inUse < p.cap {
+		p.inUse++
+		p.admitted++
+		p.mu.Unlock()
+		return true
+	}
+	grant := make(chan struct{}, 1)
+	p.waiters = append(p.waiters, grant)
+	p.waits++
+	p.mu.Unlock()
+	if stop == nil {
+		<-grant
+		return true
+	}
+	select {
+	case <-grant:
+		return true
+	case <-stop:
+		p.mu.Lock()
+		for i, w := range p.waiters {
+			if w == grant {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				p.mu.Unlock()
+				return false
+			}
+		}
+		p.mu.Unlock()
+		// A handoff raced the cancellation: the slot is (or is about to
+		// be) in the grant buffer. Take it and give it back.
+		<-grant
+		p.release()
+		return false
+	}
+}
+
+// release frees a slot: handed straight to the oldest waiter if any
+// (inUse is unchanged — the slot transfers), otherwise returned to the
+// pool.
+func (p *Pool) release() {
+	p.mu.Lock()
+	if len(p.waiters) > 0 {
+		grant := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.admitted++
+		p.mu.Unlock()
+		grant <- struct{}{}
+		return
+	}
+	p.inUse--
+	p.mu.Unlock()
+}
+
+// Slot is one worker pipeline's handle on its pool. The zero of the type
+// is a held-nothing handle; a nil *Slot is valid and makes every method a
+// no-op (Acquire/Yield report success), so serial pipelines run untouched
+// by admission control.
+type Slot struct {
+	pool      *Pool
+	stop      <-chan struct{}
+	held      bool
+	paused    bool
+	heldSince time.Time
+}
+
+// Bind attaches a cancellation channel: Acquire/Yield/Resume calls that
+// are queued when stop closes give up and report false instead of waiting
+// for a slot that an abandoned query no longer needs.
+func (s *Slot) Bind(stop <-chan struct{}) {
+	if s == nil {
+		return
+	}
+	s.stop = stop
+}
+
+// Acquire blocks until the slot is held. It returns false only when the
+// bound stop channel closed while queued; the slot is then not held.
+func (s *Slot) Acquire() bool {
+	if s == nil || s.held {
+		return true
+	}
+	if !s.pool.acquire(s.stop) {
+		return false
+	}
+	s.held = true
+	s.heldSince = time.Now()
+	return true
+}
+
+// Release returns a held slot to the pool (no-op when not held).
+func (s *Slot) Release() {
+	if s == nil || !s.held {
+		return
+	}
+	s.held = false
+	s.pool.release()
+}
+
+// Yield offers the slot to the oldest waiter at a natural scheduling
+// boundary (a morsel claim). Within Quantum of acquiring, or when nobody
+// is waiting, it keeps the slot — the fast paths are a clock read and at
+// most one mutex acquisition. Otherwise the slot is handed off and the
+// caller re-queues at the back, which is what rotates cores between
+// queries under contention. Returns false when cancelled while re-queued.
+func (s *Slot) Yield() bool {
+	if s == nil || !s.held {
+		return true
+	}
+	if time.Since(s.heldSince) < Quantum {
+		return true
+	}
+	p := s.pool
+	p.mu.Lock()
+	if len(p.waiters) == 0 {
+		p.mu.Unlock()
+		return true
+	}
+	grant := p.waiters[0]
+	p.waiters = p.waiters[1:]
+	p.yields++
+	p.admitted++
+	p.mu.Unlock()
+	grant <- struct{}{}
+	s.held = false
+	return s.Acquire()
+}
+
+// Pause releases a held slot before the caller blocks on work it cannot
+// progress (waiting for a shared join build owned by other workers).
+// Pair with Resume.
+func (s *Slot) Pause() {
+	if s == nil || !s.held {
+		return
+	}
+	s.paused = true
+	s.held = false
+	s.pool.release()
+}
+
+// Resume reacquires after Pause. Cancellation while queued leaves the
+// slot unheld, which is safe: a cancelled worker only unwinds.
+func (s *Slot) Resume() {
+	if s == nil || !s.paused {
+		return
+	}
+	s.paused = false
+	s.Acquire()
+}
+
+// Held reports whether the slot is currently held (tests).
+func (s *Slot) Held() bool { return s != nil && s.held }

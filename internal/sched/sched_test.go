@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Cap(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0).Cap() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if NewPool(-3).Cap() != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative worker count must select GOMAXPROCS")
+	}
+	if NewPool(7).Cap() != 7 {
+		t.Fatal("explicit worker count ignored")
+	}
+	if Default() != Default() {
+		t.Fatal("Default must return one process-wide pool")
+	}
+}
+
+// TestPoolFIFOOrder queues three waiters on a one-slot pool and checks
+// releases admit them strictly in arrival order.
+func TestPoolFIFOOrder(t *testing.T) {
+	p := NewPool(1)
+	holder := p.NewSlot()
+	if !holder.Acquire() {
+		t.Fatal("first acquire must succeed")
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		before := p.Stats().Waiting
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := p.NewSlot()
+			s.Acquire()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Release()
+		}()
+		// Admit waiters to the queue one at a time so arrival order is
+		// deterministic.
+		waitFor(t, func() bool { return p.Stats().Waiting == before+1 }, "waiter never queued")
+	}
+	holder.Release()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, g := range order {
+		if g != i {
+			t.Fatalf("admission order %v, want [0 1 2]", order)
+		}
+	}
+	st := p.Stats()
+	if st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+	if st.Waits != 3 {
+		t.Fatalf("want 3 queued waits, got %+v", st)
+	}
+}
+
+// TestYieldUncontended checks the fast paths: with no waiters, or within
+// the quantum, Yield keeps the slot and counts no handoff.
+func TestYieldUncontended(t *testing.T) {
+	p := NewPool(1)
+	s := p.NewSlot()
+	s.Acquire()
+	if !s.Yield() {
+		t.Fatal("uncontended yield must succeed")
+	}
+	if !s.Held() {
+		t.Fatal("uncontended yield must keep the slot")
+	}
+	if st := p.Stats(); st.Yields != 0 {
+		t.Fatalf("uncontended yield must not count a handoff: %+v", st)
+	}
+	s.Release()
+}
+
+// TestYieldQuantum checks both halves of the pacing rule: a contended
+// yield within the quantum keeps the slot; one past the quantum hands it
+// to the oldest waiter and re-queues.
+func TestYieldQuantum(t *testing.T) {
+	p := NewPool(1)
+	s := p.NewSlot()
+	s.Acquire()
+	done := make(chan struct{})
+	go func() {
+		w := p.NewSlot()
+		w.Acquire()
+		w.Release()
+		close(done)
+	}()
+	waitFor(t, func() bool { return p.Stats().Waiting == 1 }, "waiter never queued")
+	// Within the quantum: keep the slot even though someone is waiting.
+	// Queueing the waiter may itself have burned the 1ms quantum on a slow
+	// host, so pin the tenancy clock instead of racing it.
+	s.heldSince = time.Now()
+	if !s.Yield() || !s.Held() {
+		t.Fatal("yield within quantum must keep the slot")
+	}
+	if st := p.Stats(); st.Yields != 0 || st.Waiting != 1 {
+		t.Fatalf("within-quantum yield must not hand off: %+v", st)
+	}
+	// Past the quantum: hand off, re-queue, and come back holding.
+	s.heldSince = time.Now().Add(-2 * Quantum)
+	if !s.Yield() {
+		t.Fatal("contended yield must reacquire")
+	}
+	if !s.Held() {
+		t.Fatal("slot must be held after yield returns")
+	}
+	<-done
+	if st := p.Stats(); st.Yields != 1 {
+		t.Fatalf("want exactly one counted handoff: %+v", st)
+	}
+	s.Release()
+}
+
+// TestAcquireCancel closes the bound stop channel while queued: Acquire
+// must return false, leave the queue clean, and leave the pool usable.
+func TestAcquireCancel(t *testing.T) {
+	p := NewPool(1)
+	holder := p.NewSlot()
+	holder.Acquire()
+	stop := make(chan struct{})
+	got := make(chan bool)
+	go func() {
+		s := p.NewSlot()
+		s.Bind(stop)
+		got <- s.Acquire()
+	}()
+	waitFor(t, func() bool { return p.Stats().Waiting == 1 }, "waiter never queued")
+	close(stop)
+	if <-got {
+		t.Fatal("cancelled acquire must report false")
+	}
+	waitFor(t, func() bool { return p.Stats().Waiting == 0 }, "cancelled waiter left in queue")
+	holder.Release()
+	// The slot the cancelled waiter never took must still be grantable.
+	s := p.NewSlot()
+	if !s.Acquire() {
+		t.Fatal("pool unusable after cancellation")
+	}
+	s.Release()
+	if st := p.Stats(); st.InUse != 0 {
+		t.Fatalf("slot leaked: %+v", st)
+	}
+}
+
+// TestCancelRacesHandoff exercises the raced path: a release hands the
+// slot to a waiter at the same moment its stop channel closes. Whatever
+// interleaving wins, the slot must come back to the pool.
+func TestCancelRacesHandoff(t *testing.T) {
+	p := NewPool(1)
+	for round := 0; round < 200; round++ {
+		holder := p.NewSlot()
+		holder.Acquire()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			s := p.NewSlot()
+			s.Bind(stop)
+			if s.Acquire() {
+				s.Release()
+			}
+			close(done)
+		}()
+		waitFor(t, func() bool { return p.Stats().Waiting == 1 }, "waiter never queued")
+		go close(stop)
+		holder.Release()
+		<-done
+		waitFor(t, func() bool {
+			st := p.Stats()
+			return st.InUse == 0 && st.Waiting == 0
+		}, "slot lost in cancel/handoff race")
+	}
+}
+
+// TestPauseResume checks Pause releases the slot to a waiter and Resume
+// takes it back.
+func TestPauseResume(t *testing.T) {
+	p := NewPool(1)
+	s := p.NewSlot()
+	s.Acquire()
+	acquired := make(chan *Slot)
+	go func() {
+		w := p.NewSlot()
+		w.Acquire()
+		acquired <- w
+	}()
+	waitFor(t, func() bool { return p.Stats().Waiting == 1 }, "waiter never queued")
+	s.Pause()
+	w := <-acquired // pause handed the slot over
+	if s.Held() {
+		t.Fatal("paused slot must not be held")
+	}
+	w.Release()
+	s.Resume()
+	if !s.Held() {
+		t.Fatal("resume must reacquire")
+	}
+	s.Release()
+}
+
+// TestNilSlot checks the nil handle contract serial pipelines rely on.
+func TestNilSlot(t *testing.T) {
+	var s *Slot
+	s.Bind(nil)
+	if !s.Acquire() || !s.Yield() {
+		t.Fatal("nil slot must report success")
+	}
+	s.Pause()
+	s.Resume()
+	s.Release()
+	if s.Held() {
+		t.Fatal("nil slot is never held")
+	}
+}

@@ -1,0 +1,159 @@
+package tpch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"x100/internal/columnbm"
+	"x100/internal/core"
+)
+
+// concurrentResult carries one query execution back to the test goroutine:
+// t.Fatal must not be called from worker goroutines, so comparison happens
+// after the join.
+type concurrentResult struct {
+	q   int
+	res *core.Result
+	err error
+}
+
+// TestConcurrentDifferential fires the 22 TPC-H queries from K concurrent
+// goroutines through the shared process-wide scheduler — all in-flight
+// queries' morsels compete for the same admission-controlled worker pool —
+// against both the in-memory and the disk-attached (ColumnBM, cooperative
+// decoded-chunk cache) engines, and requires every result to match the
+// serial in-memory execution. Run under -race this is the multi-query
+// serving harness: it proves slot handoffs, cooperative cache attachment,
+// and partial-aggregate merges are free of data races and that concurrency
+// never changes answers.
+func TestConcurrentDifferential(t *testing.T) {
+	mem := getDB(t)
+	disk := getDiskDB(t)
+
+	refs := make([]*core.Result, NumQueries+1)
+	for q := 1; q <= NumQueries; q++ {
+		plan, err := Query(q, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[q], err = core.Run(mem, plan, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("serial Q%d: %v", q, err)
+		}
+	}
+
+	engines := []struct {
+		name string
+		db   *core.Database
+	}{{"memory", mem}, {"disk", disk}}
+	for _, eng := range engines {
+		for _, k := range []int{2, 8, 32} {
+			eng, k := eng, k
+			t.Run(fmt.Sprintf("%s/K=%d", eng.name, k), func(t *testing.T) {
+				// max(K, 22) run slots round-robined over K goroutines:
+				// every query runs at least once, every goroutine fires at
+				// least one query, and at K>22 some queries run twice
+				// concurrently with themselves.
+				slots := max(k, NumQueries)
+				out := make(chan concurrentResult, slots)
+				var wg sync.WaitGroup
+				for g := 0; g < k; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for j := g; j < slots; j += k {
+							q := j%NumQueries + 1
+							plan, err := Query(q, 0.01)
+							if err != nil {
+								out <- concurrentResult{q: q, err: err}
+								continue
+							}
+							opts := core.DefaultOptions()
+							opts.Parallelism = 2
+							res, err := core.Run(eng.db, plan, opts)
+							out <- concurrentResult{q: q, res: res, err: err}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(out)
+				ran := 0
+				for r := range out {
+					if r.err != nil {
+						t.Fatalf("Q%d: %v", r.q, r.err)
+					}
+					sameRowMultisets(t, fmt.Sprintf("%s K=%d Q%d", eng.name, k, r.q), refs[r.q], r.res)
+					ran++
+				}
+				if ran != slots {
+					t.Fatalf("ran %d queries, want %d", ran, slots)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentScanSharingCounters checks the observable half of
+// cooperative scan sharing: goroutines repeatedly scanning the same
+// disk-attached table must populate the decoded-chunk cache and then hit
+// it — hits strictly positive, and attaches (a scan joining a chunk some
+// earlier scan already decoded) strictly positive too.
+func TestConcurrentScanSharingCounters(t *testing.T) {
+	mem := getDB(t)
+	dir := t.TempDir()
+	wstore, err := columnbm.NewStore(dir, diskChunkRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := mem.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wstore.SaveTable(lt); err != nil {
+		t.Fatal(err)
+	}
+	store, err := columnbm.NewStore(dir, diskChunkRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase()
+	if _, err := core.AttachDiskTable(db, store, "lineitem"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Query(6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 2; r++ {
+				opts := core.DefaultOptions()
+				opts.Parallelism = 2
+				if _, err := core.Run(db, plan, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Cache.Hits == 0 {
+		t.Fatalf("16 concurrent same-table scans produced zero decoded-cache hits: %+v", st.Cache)
+	}
+	if st.Cache.Attaches == 0 {
+		t.Fatalf("16 concurrent same-table scans produced zero cooperative attaches: %+v", st.Cache)
+	}
+	if st.Cache.Misses == 0 {
+		t.Fatalf("cold scan should have missed at least once: %+v", st.Cache)
+	}
+}

@@ -97,6 +97,21 @@
 // scans, so updated tables parallelize too. On disk-backed tables, morsels
 // align to the chunk grid so no two workers ever decompress the same
 // chunk.
+//
+// # Multi-query serving
+//
+// Concurrent queries share one process-wide worker pool with FIFO
+// admission control (DefaultScheduler, sized to GOMAXPROCS): every worker
+// acquires an execution slot before computing and offers it back at morsel
+// boundaries, so a burst of short queries is never starved behind a long
+// scan and total CPU oversubscription is bounded regardless of how many
+// queries are in flight. WithScheduler substitutes a custom pool per
+// query; SchedulerStats exposes admissions, queued waits, and yield
+// handoffs. Concurrent scans of the same disk table cooperate through a
+// bounded decoded-chunk cache (WithBufferPool configures capacity and the
+// LRU vs scan-resistant eviction policy): a scan attaches to chunks some
+// other scan already decoded instead of re-decoding them, with hit, miss
+// and attach counters surfaced in WalStatuses and the execution trace.
 package x100
 
 import (
@@ -112,6 +127,7 @@ import (
 	"x100/internal/delta"
 	"x100/internal/expr"
 	"x100/internal/mil"
+	"x100/internal/sched"
 	"x100/internal/tpch"
 	"x100/internal/trace"
 	"x100/internal/vector"
@@ -176,6 +192,11 @@ type DB struct {
 	stores map[string]*columnbm.Store
 	// diskSrc maps disk-attached tables to their store (for Storage).
 	diskSrc map[string]*columnbm.Store
+	// Decoded-chunk buffer-pool configuration (WithBufferPool); applied to
+	// every store the DB opens.
+	poolBytes  int64
+	poolPolicy CachePolicy
+	poolSet    bool
 }
 
 // DBOption configures NewDB.
@@ -186,6 +207,35 @@ type DBOption func(*DB)
 // whether each table's write-ahead log is opened and replayed.
 func WithDurability(d Durability) DBOption {
 	return func(db *DB) { db.inner.SetDurability(d) }
+}
+
+// CachePolicy selects the decoded-chunk buffer pool's eviction strategy
+// (see WithBufferPool).
+type CachePolicy = columnbm.CachePolicy
+
+// Buffer-pool eviction policies for WithBufferPool.
+const (
+	// CacheLRU evicts the least-recently-used decoded chunk.
+	CacheLRU = columnbm.PolicyLRU
+	// CacheScanResistant (the default) is a segmented LRU: one sequential
+	// scan of a cold table cannot flood out the hot working set, because
+	// only chunks re-referenced by a second scan are promoted out of the
+	// probationary segment.
+	CacheScanResistant = columnbm.PolicyScanResistant
+)
+
+// WithBufferPool configures the decoded-chunk buffer pool of every store
+// the database opens (AttachDisk/CreateDiskTable): capacityBytes of
+// decoded chunk data under the given eviction policy. The pool is what
+// makes concurrent scans cooperative — scans of the same table attach to
+// the decoded-chunk stream already circulating instead of each
+// decompressing every chunk privately. capacityBytes <= 0 disables
+// sharing (every scan decodes into private buffers, the default before
+// this option existed). Without this option stores default to 64 MiB,
+// scan-resistant. Hit/miss/attach counters are observable via Storage,
+// the shell's \storage command, and trace counters.
+func WithBufferPool(capacityBytes int64, policy CachePolicy) DBOption {
+	return func(db *DB) { db.poolBytes, db.poolPolicy, db.poolSet = capacityBytes, policy, true }
 }
 
 // NewDB creates an empty database.
@@ -205,6 +255,9 @@ func (db *DB) store(dir string) (*columnbm.Store, error) {
 	s, err := columnbm.NewStore(dir, 0, 0)
 	if err != nil {
 		return nil, err
+	}
+	if db.poolSet {
+		s.ConfigureDecodedCache(db.poolBytes, db.poolPolicy)
 	}
 	if db.stores == nil {
 		db.stores = make(map[string]*columnbm.Store)
@@ -404,10 +457,41 @@ type execConfig struct {
 	fuse         bool
 	parallelism  int
 	noCodeDomain bool
+	sched        *sched.Pool
 	tracer       *trace.Collector
 	milTrace     *mil.Trace
 	profile      *volcano.Profile
 }
+
+// Scheduler is a process-wide worker pool with admission control: a fixed
+// budget of execution slots that the worker pipelines of all in-flight
+// queries share. Workers acquire a slot to compute, release it when
+// blocked, and offer it to the oldest waiting worker at every morsel
+// boundary, so N concurrent queries multiplex fairly (FIFO admission, no
+// starvation) over the slot budget instead of spawning N*P runnable
+// goroutines. Queries that don't select a scheduler share the process
+// default, sized to GOMAXPROCS.
+type Scheduler = sched.Pool
+
+// SchedulerStats is a snapshot of a Scheduler's occupancy and admission
+// counters (slots in use, queued workers, admissions, waits, yields).
+type SchedulerStats = sched.Stats
+
+// NewScheduler creates an admission-control pool with the given number of
+// execution slots; workers < 1 selects runtime.GOMAXPROCS(0). Use with
+// WithScheduler to isolate a query class onto its own slot budget (e.g. a
+// small pool for background jobs), or DefaultScheduler to observe the
+// shared one.
+func NewScheduler(workers int) *Scheduler { return sched.NewPool(workers) }
+
+// DefaultScheduler returns the process-wide scheduler every query uses
+// unless WithScheduler overrides it.
+func DefaultScheduler() *Scheduler { return sched.Default() }
+
+// WithScheduler runs the query's worker pipelines under the given
+// admission-control pool instead of the process-wide default (Vectorized
+// engine).
+func WithScheduler(s *Scheduler) ExecOption { return func(c *execConfig) { c.sched = s } }
 
 // WithEngine selects the execution engine.
 func WithEngine(e Engine) ExecOption { return func(c *execConfig) { c.engine = e } }
@@ -470,6 +554,7 @@ func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
 		eo.Tracer = cfg.tracer
 		eo.Parallelism = cfg.parallelism
 		eo.NoCodeDomain = cfg.noCodeDomain
+		eo.Sched = cfg.sched
 		if cfg.vectorSize > 0 {
 			eo.BatchSize = cfg.vectorSize
 		}
