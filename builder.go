@@ -171,6 +171,22 @@ func FormatPoolStatus(stats []WalStatus) string {
 		" attach = scans that joined an already-circulating decoded chunk)\n"
 }
 
+// FormatCompactionStatus renders a CompactionStatus as one line (the
+// shell's `\storage` compaction section): maintenance runs, checkpoints,
+// compactions, rows absorbed, errors, and whether a run is in flight.
+func FormatCompactionStatus(s CompactionStatus) string {
+	state := "idle"
+	if s.InFlight {
+		state = "compacting " + s.LastTable
+	}
+	out := fmt.Sprintf("compactor: %s · runs=%d checkpoints=%d compactions=%d rows_absorbed=%d errors=%d\n",
+		state, s.Runs, s.Checkpoints, s.Compactions, s.RowsAbsorbed, s.Errors)
+	if s.LastError != nil {
+		out += fmt.Sprintf("last error: %v\n", s.LastError)
+	}
+	return out
+}
+
 // Checkpoint absorbs a table's pending insert delta into new base
 // fragments, keeping row ids stable (deletions stay on the deletion list).
 // On a disk-attached table (AttachDisk/CreateDiskTable) the checkpoint is

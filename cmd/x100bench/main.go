@@ -7,7 +7,7 @@
 //	x100bench -exp fig10 -sf 0.05
 //
 // Experiments: fig2, primitives, table1, table2, table3, table4, table5,
-// fig6, fig10, parallel, concurrent, disk, strings, updates, ingest,
+// fig6, fig10, parallel, concurrent, disk, strings, updates, ingest, htap,
 // compressed, ablation-compound, ablation-enum, ablation-summary,
 // ablation-selvec, all.
 //
@@ -44,6 +44,16 @@
 // every -json record also carries the host's NumCPU and GOMAXPROCS:
 //
 //	x100bench -exp ingest -sf 0.01 -json BENCH_ingest.json
+//
+// The htap experiment streams durable single-row inserts and deletes into
+// a disk-attached lineitem while concurrent clients run a Q1+Q6 mix and
+// the background compactor absorbs the delta (incremental checkpoints) and
+// rewrites the base when enough rows are deleted (compaction); it reports
+// durable write throughput, query latency avg/p95/max and jitter, the
+// compactor's counters, and the number of queries that completed while
+// maintenance was in flight:
+//
+//	x100bench -exp htap -sf 0.01 -json BENCH_htap.json
 //
 // The compressed experiment persists an enum-free (PlainColumns) lineitem
 // whose low-cardinality string columns land as dict-coded chunks, and
@@ -127,7 +137,7 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
 		want["table5"] || want["fig10"] || want["parallel"] || want["concurrent"] ||
 		want["disk"] || want["strings"] ||
-		want["updates"] || want["ingest"] || want["ablation-compound"] ||
+		want["updates"] || want["ingest"] || want["htap"] || want["ablation-compound"] ||
 		want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
 		fmt.Fprintf(w, "generating TPC-H SF=%g ...\n", sf)
@@ -186,6 +196,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"ingest", func() error {
 			recs, err := bench.Ingest(w, db, sf)
+			records = append(records, recs...)
+			return err
+		}},
+		{"htap", func() error {
+			recs, err := bench.HTAP(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"x100/internal/algebra"
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/tpch"
+)
+
+// htapWrites is the number of durable single-row inserts the writer streams
+// into the table; roughly one delete rides along per htapDeleteEvery
+// inserts.
+const (
+	htapWrites      = 20000
+	htapDeleteEvery = 6
+)
+
+// HTAP is the mixed-workload experiment: one writer streams durable
+// single-row inserts and deletes into a disk-attached lineitem while query
+// clients run a Q1+Q6 mix concurrently and the background compactor does
+// the maintenance — incremental checkpoints absorb the grown insert delta
+// into new chunks, and once enough rows have been deleted a compaction
+// (Reorganize) rewrites the base into a fresh chunk generation and cuts
+// over behind the readers' snapshots. Reports durable write throughput,
+// query latency (avg, p95, max, and standard deviation as the jitter
+// measure), the compactor's counters, and how many queries completed while
+// a maintenance run was in flight — the number that demonstrates queries
+// are not stalled by checkpoints or compaction.
+func HTAP(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100htap")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := columnbm.NewStore(dir, updatesChunkValues, 8)
+	if err != nil {
+		return nil, err
+	}
+	memLT, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SaveTable(memLT); err != nil {
+		return nil, err
+	}
+	diskDB := core.NewDatabase()
+	diskDB.SetDurability(core.DurabilityAsync)
+	if _, err := core.AttachDiskTable(diskDB, store, "lineitem"); err != nil {
+		return nil, err
+	}
+	template := make([]any, len(memLT.Cols))
+	for i, c := range memLT.Cols {
+		template[i] = c.DecodedValue(memLT.N - 1)
+	}
+	q1, err := tpch.Query(1, sf)
+	if err != nil {
+		return nil, err
+	}
+	q6, err := tpch.Query(6, sf)
+	if err != nil {
+		return nil, err
+	}
+	plans := []struct {
+		name string
+		plan algebra.Node
+	}{{"Q1", q1}, {"Q6", q6}}
+
+	comp := core.StartCompactor(diskDB, core.CompactorOptions{
+		Interval:       5 * time.Millisecond,
+		MinDeltaRows:   2048,
+		DeleteFraction: 0.02,
+	})
+	defer comp.Stop()
+
+	var (
+		stop     = make(chan struct{})
+		inserted int64
+		deleted  int64
+	)
+	writerErr := make(chan error, 1)
+	t0 := time.Now()
+	go func() {
+		rng := rand.New(rand.NewSource(1))
+		ds, err := diskDB.Delta("lineitem")
+		if err != nil {
+			writerErr <- err
+			return
+		}
+		for i := 0; i < htapWrites; i++ {
+			if _, err := diskDB.Insert("lineitem", template); err != nil {
+				writerErr <- err
+				return
+			}
+			atomic.AddInt64(&inserted, 1)
+			if i%htapDeleteEvery == htapDeleteEvery-1 {
+				// A compaction cutover may shrink the id space between
+				// sampling and deleting; an out-of-range pick just skips
+				// the delete (ids are a moving target by design).
+				space := ds.BaseN() + ds.NumDeltaRows()
+				if space > 0 {
+					if err := diskDB.Delete("lineitem", int32(rng.Intn(space))); err == nil {
+						atomic.AddInt64(&deleted, 1)
+					}
+				}
+			}
+		}
+		writerErr <- nil
+	}()
+
+	// Query clients: keep running a Q1+Q6 mix until the writer finishes
+	// and the compactor has drained the remaining delta (or we give up
+	// waiting). Each query brackets the compactor status to detect
+	// overlap with an in-flight maintenance run.
+	var (
+		latMu     sync.Mutex
+		latencies []time.Duration
+		overlap   int
+		queryErr  error
+	)
+	const queryWorkers = 2
+	var wg sync.WaitGroup
+	for wk := 0; wk < queryWorkers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := plans[(wk+i)%len(plans)]
+				before := comp.Status()
+				qt := time.Now()
+				_, err := core.Run(diskDB, p.plan, core.DefaultOptions())
+				d := time.Since(qt)
+				after := comp.Status()
+				latMu.Lock()
+				if err != nil && queryErr == nil {
+					queryErr = fmt.Errorf("%s: %w", p.name, err)
+				}
+				latencies = append(latencies, d)
+				if before.InFlight || after.InFlight || after.Runs > before.Runs {
+					overlap++
+				}
+				latMu.Unlock()
+			}
+		}()
+	}
+
+	err = <-writerErr
+	writeDur := time.Since(t0)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, err
+	}
+	// Let the compactor absorb the remaining tail while queries continue.
+	drainDeadline := time.Now().Add(3 * time.Second)
+	ds, _ := diskDB.Delta("lineitem")
+	for time.Now().Before(drainDeadline) {
+		if ds.NumDeltaRows() < 2048 && !comp.Status().InFlight {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if queryErr != nil {
+		return nil, queryErr
+	}
+	st := comp.Status()
+	if st.LastError != nil {
+		return nil, fmt.Errorf("compactor: %w", st.LastError)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	avg, p95, maxL, std := htapLatencyStats(latencies)
+	writes := atomic.LoadInt64(&inserted) + atomic.LoadInt64(&deleted)
+	wps := float64(writes) / writeDur.Seconds()
+
+	fmt.Fprintf(w, "HTAP mixed workload at SF=%g (%d inserts + %d deletes, %d query clients, background compactor)\n",
+		sf, inserted, deleted, queryWorkers)
+	fmt.Fprintf(w, "%-32s %12s\n", "metric", "value")
+	fmt.Fprintf(w, "%-32s %12.0f\n", "durable writes/sec", wps)
+	fmt.Fprintf(w, "%-32s %12d\n", "queries completed", len(latencies))
+	fmt.Fprintf(w, "%-32s %12d\n", "  while maintenance in flight", overlap)
+	fmt.Fprintf(w, "%-32s %12.2f\n", "query latency avg (ms)", avg)
+	fmt.Fprintf(w, "%-32s %12.2f\n", "query latency p95 (ms)", p95)
+	fmt.Fprintf(w, "%-32s %12.2f\n", "query latency max (ms)", maxL)
+	fmt.Fprintf(w, "%-32s %12.2f\n", "query latency jitter/std (ms)", std)
+	fmt.Fprintf(w, "%-32s %12d\n", "compactor runs", st.Runs)
+	fmt.Fprintf(w, "%-32s %12d\n", "  incremental checkpoints", st.Checkpoints)
+	fmt.Fprintf(w, "%-32s %12d\n", "  compactions (rewrites)", st.Compactions)
+	fmt.Fprintf(w, "%-32s %12d\n", "  delta rows absorbed", st.RowsAbsorbed)
+
+	recs := []Record{
+		{
+			Name: "htap_write", SF: sf, Parallelism: 1,
+			Rows: int(writes), RowsPerSec: wps,
+			NsPerOp:                float64(writeDur.Nanoseconds()) / float64(max(writes, 1)),
+			Durability:             "async",
+			CompactionRuns:         st.Runs,
+			CompactionCheckpoints:  st.Checkpoints,
+			CompactionCompactions:  st.Compactions,
+			CompactionRowsAbsorbed: st.RowsAbsorbed,
+		},
+		{
+			Name: "htap_query", SF: sf, Parallelism: queryWorkers,
+			Rows: len(latencies), Clients: queryWorkers,
+			LatencyMsAvg: avg, LatencyMsP95: p95,
+			LatencyMsMax: maxL, LatencyMsStd: std,
+			QueriesOverlapCompaction: overlap,
+			CompactionRuns:           st.Runs,
+		},
+	}
+	return recs, nil
+}
+
+// htapLatencyStats summarizes a sorted latency slice in milliseconds:
+// average, p95, max, and standard deviation (the jitter measure).
+func htapLatencyStats(sorted []time.Duration) (avg, p95, maxL, std float64) {
+	if len(sorted) == 0 {
+		return 0, 0, 0, 0
+	}
+	var sum float64
+	for _, d := range sorted {
+		sum += d.Seconds()
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	var varSum float64
+	for _, d := range sorted {
+		dv := d.Seconds() - mean
+		varSum += dv * dv
+	}
+	avg = mean * 1e3
+	p95 = sorted[(len(sorted)*95)/100].Seconds() * 1e3
+	maxL = sorted[len(sorted)-1].Seconds() * 1e3
+	std = math.Sqrt(varSum/n) * 1e3
+	return avg, p95, maxL, std
+}

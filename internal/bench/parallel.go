@@ -65,6 +65,18 @@ type Record struct {
 	LatencyMsP95 float64 `json:"latency_ms_p95,omitempty"`
 	PoolHitRate  float64 `json:"pool_hit_rate,omitempty"`
 	PoolAttaches int64   `json:"pool_attaches,omitempty"`
+	// HTAP-experiment fields (-exp htap): background-compactor counters over
+	// the mixed insert/delete/query run, the tail and spread of the query
+	// latency distribution (LatencyMsStd is the jitter measure), and the
+	// number of queries that completed while a checkpoint or compaction was
+	// in flight — the evidence that maintenance no longer stops the world.
+	LatencyMsMax             float64 `json:"latency_ms_max,omitempty"`
+	LatencyMsStd             float64 `json:"latency_ms_std,omitempty"`
+	CompactionRuns           int64   `json:"compaction_runs,omitempty"`
+	CompactionCheckpoints    int64   `json:"compaction_checkpoints,omitempty"`
+	CompactionCompactions    int64   `json:"compaction_compactions,omitempty"`
+	CompactionRowsAbsorbed   int64   `json:"compaction_rows_absorbed,omitempty"`
+	QueriesOverlapCompaction int     `json:"queries_overlapping_compaction,omitempty"`
 }
 
 // effectiveCores is the parallelism the process can actually realize.

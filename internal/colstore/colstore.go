@@ -44,6 +44,15 @@ type Fragment interface {
 	Materialize(buf any) (data any, scratch bool, err error)
 }
 
+// CloneableFragment is implemented by fragments that carry mutable
+// attach-time state (merged-dictionary remaps). Copy-on-write column
+// updates clone such fragments so the storage layer can rebuild that state
+// for the new column generation without disturbing readers that captured
+// the previous one.
+type CloneableFragment interface {
+	CloneFragment() Fragment
+}
+
 // I64Bounded is implemented by fragments that know their integer value
 // range (per-chunk min/max recorded by the ColumnBM writer), enabling
 // summary-index-style pruning at chunk granularity.
@@ -142,16 +151,28 @@ func (c *Column) setFrags(frags []Fragment) {
 	c.pinned.Store(nil)
 }
 
-// appendFrag attaches one more base fragment and invalidates the pin cache.
-// The merged-dictionary view is dropped too: a checkpoint-appended fragment
-// carries its own chunk dictionaries (or none), so the attach-time global
-// code domain no longer covers the column. Re-attaching rebuilds it.
-func (c *Column) appendFrag(f Fragment) {
-	c.frags = append(c.frags, f)
-	c.n += f.Rows()
-	c.starts = append(c.starts, c.n)
-	c.pinned.Store(nil)
-	c.mdict, c.mdictPhys = nil, vector.Unknown
+// withMoreFrags returns a new column equal to c plus the given base
+// fragments appended — the copy-on-write append path. The receiver is left
+// untouched, so operators that captured it (a scan pinned to its
+// pre-checkpoint view) keep reading a consistent fragment sequence. Old
+// fragments that carry mutable attach-time state (merged-dictionary remaps)
+// are cloned so rebuilding that state for the new column cannot disturb
+// readers of the old one. The merged-dictionary view itself is dropped: a
+// checkpoint-appended fragment carries its own chunk dictionaries (or
+// none), so the attach-time global code domain no longer covers the column
+// until the storage layer refreshes it.
+func (c *Column) withMoreFrags(extra ...Fragment) *Column {
+	frags := make([]Fragment, 0, len(c.frags)+len(extra))
+	for _, f := range c.frags {
+		if cf, ok := f.(CloneableFragment); ok {
+			f = cf.CloneFragment()
+		}
+		frags = append(frags, f)
+	}
+	frags = append(frags, extra...)
+	nc := &Column{Name: c.Name, Typ: c.Typ, Dict: c.Dict, phys: c.phys}
+	nc.setFrags(frags)
+	return nc
 }
 
 // NumFrags returns the number of base fragments.
@@ -191,6 +212,14 @@ func (c *Column) vecType() vector.Type {
 // paper enum-compresses any small-domain column — Table 5 shows the float
 // columns l_discount, l_tax and l_quantity stored as single-byte enums — so
 // dictionaries hold either strings or float64 values.
+//
+// Dictionaries are append-only and internally synchronized: Code/CodeF64
+// may insert new values while concurrent scans decode existing codes.
+// Concurrent readers must capture the value array through Strings/Floats
+// (or go through Lookup/Len/decoded) instead of reading the exported
+// fields directly — a captured slice header stays valid forever because
+// existing entries are never rewritten, only appended past the captured
+// length.
 type Dict struct {
 	Typ    vector.Type // String or Float64
 	Values []string
@@ -204,6 +233,8 @@ type Dict struct {
 	Sorted bool
 	sindex map[string]int
 	findex map[float64]int
+
+	mu sync.Mutex
 }
 
 // NewSortedDict builds a string dictionary over values, which must be in
@@ -230,6 +261,8 @@ func NewF64Dict() *Dict {
 // sorted dictionary appends (codes are positional and stay stable) and
 // clears the Sorted property.
 func (d *Dict) Code(s string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if c, ok := d.sindex[s]; ok {
 		return c
 	}
@@ -245,11 +278,15 @@ func (d *Dict) Code(s string) int {
 // SearchValue returns the number of dictionary values byte-wise less than
 // s (binary search; only meaningful on sorted dictionaries).
 func (d *Dict) SearchValue(s string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return sort.SearchStrings(d.Values, s)
 }
 
 // CodeF64 returns the code for f, inserting it if new.
 func (d *Dict) CodeF64(f float64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if c, ok := d.findex[f]; ok {
 		return c
 	}
@@ -261,16 +298,37 @@ func (d *Dict) CodeF64(f float64) int {
 
 // Lookup returns the code for s without inserting.
 func (d *Dict) Lookup(s string) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	c, ok := d.sindex[s]
 	return c, ok
 }
 
 // Len returns the number of distinct values.
 func (d *Dict) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Typ == vector.Float64 {
 		return len(d.F64s)
 	}
 	return len(d.Values)
+}
+
+// Strings captures the current string value array. The returned slice is
+// immutable (appends never rewrite existing entries, and growth reallocates)
+// and covers every code issued before the call, so it is safe to index from
+// concurrent scans while writers keep inserting.
+func (d *Dict) Strings() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Values
+}
+
+// Floats is the float64 counterpart of Strings.
+func (d *Dict) Floats() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.F64s
 }
 
 // PhysType returns the physical storage type of the column (the code type
@@ -460,9 +518,9 @@ func (c *Column) DecodedValue(i int) any {
 
 func (d *Dict) decoded(code int) any {
 	if d.Typ == vector.Float64 {
-		return d.F64s[code]
+		return d.Floats()[code]
 	}
-	return d.Values[code]
+	return d.Strings()[code]
 }
 
 // Bytes returns the in-memory storage footprint of the column, including
@@ -471,10 +529,10 @@ func (d *Dict) decoded(code int) any {
 func (c *Column) Bytes() int {
 	b := vector.FromAny(c.PhysType(), c.Data()).Bytes()
 	if c.Dict != nil {
-		for _, v := range c.Dict.Values {
+		for _, v := range c.Dict.Strings() {
 			b += len(v) + 16
 		}
-		b += 8 * len(c.Dict.F64s)
+		b += 8 * len(c.Dict.Floats())
 	}
 	return b
 }
@@ -540,7 +598,10 @@ func (t *Table) AttachColumn(c *Column) error {
 
 // AppendFragment appends one in-memory fragment per column (typed slices of
 // each column's physical type, equal lengths) as new base fragments — the
-// delta checkpoint path. Row ids of existing rows are unchanged.
+// delta checkpoint path. Row ids of existing rows are unchanged. The append
+// is copy-on-write: t.Cols is replaced with new column objects and the old
+// ones stay valid, so readers that captured the previous column set keep a
+// consistent pre-checkpoint view.
 func (t *Table) AppendFragment(parts []any) error {
 	if len(parts) != len(t.Cols) {
 		return fmt.Errorf("colstore: append fragment has %d columns, table %s has %d", len(parts), t.Name, len(t.Cols))
@@ -557,9 +618,11 @@ func (t *Table) AppendFragment(parts []any) error {
 	if n == 0 {
 		return nil
 	}
+	cols := make([]*Column, len(t.Cols))
 	for i, c := range t.Cols {
-		c.appendFrag(&memFragment{data: parts[i], rows: n})
+		cols[i] = c.withMoreFrags(&memFragment{data: parts[i], rows: n})
 	}
+	t.Cols = cols
 	t.N += n
 	return nil
 }
@@ -567,7 +630,7 @@ func (t *Table) AppendFragment(parts []any) error {
 // AppendFragments appends pre-built fragments (one slice per column, equal
 // total rows — e.g. the freshly written ColumnBM chunks of a checkpoint
 // write-back) as new base fragments. Row ids of existing rows are
-// unchanged, exactly like AppendFragment.
+// unchanged, and the append is copy-on-write exactly like AppendFragment.
 func (t *Table) AppendFragments(perCol [][]Fragment) error {
 	if len(perCol) != len(t.Cols) {
 		return fmt.Errorf("colstore: append has %d columns, table %s has %d", len(perCol), t.Name, len(t.Cols))
@@ -587,11 +650,11 @@ func (t *Table) AppendFragments(perCol [][]Fragment) error {
 	if n == 0 {
 		return nil
 	}
+	cols := make([]*Column, len(t.Cols))
 	for i, c := range t.Cols {
-		for _, f := range perCol[i] {
-			c.appendFrag(f)
-		}
+		cols[i] = c.withMoreFrags(perCol[i]...)
 	}
+	t.Cols = cols
 	t.N += n
 	return nil
 }
@@ -672,8 +735,11 @@ func (t *Table) Bytes() int {
 }
 
 // Catalog maps table names to tables: the MonetDB storage manager role in
-// the paper's Figure 5.
+// the paper's Figure 5. It is internally synchronized: background
+// checkpoints and compactions re-register dictionary tables while queries
+// resolve names.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -681,11 +747,17 @@ type Catalog struct {
 func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
 // Add registers a table, replacing any previous table of the same name.
-func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
+	c.tables[t.Name] = t
+	c.mu.Unlock()
+}
 
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("colstore: unknown table %q", name)
 	}
@@ -694,6 +766,8 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Names returns the registered table names (unordered).
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)

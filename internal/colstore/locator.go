@@ -100,9 +100,9 @@ func (l *FragLocator) Gather(dst *vector.Vector, ids []int32, sel []int32, n int
 	c := l.col
 	if c.Dict != nil {
 		if c.Dict.Typ == vector.Float64 {
-			return gatherEnumVia(l, dst.Float64s(), c.Dict.F64s, ids, sel, n)
+			return gatherEnumVia(l, dst.Float64s(), c.Dict.Floats(), ids, sel, n)
 		}
-		return gatherEnumVia(l, dst.Strings(), c.Dict.Values, ids, sel, n)
+		return gatherEnumVia(l, dst.Strings(), c.Dict.Strings(), ids, sel, n)
 	}
 	switch c.Typ.Physical() {
 	case vector.Bool:

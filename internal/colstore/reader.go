@@ -336,7 +336,7 @@ func (r *FragReader) gather(lo, hi, fs int, sel []int32) (*vector.Vector, error)
 		if md == nil {
 			return nil, fmt.Errorf("colstore: column %s: codes cached without dictionary", r.col.Name)
 		}
-		values = md.Values
+		values = md.Strings()
 	}
 	k := hi - lo
 	if cap(r.sbuf) < k {

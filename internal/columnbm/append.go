@@ -95,9 +95,9 @@ func (s *Store) AppendTable(t *colstore.Table, parts []any, deleted []int32) ([]
 			// The dictionary is append-only in memory; persist its current
 			// state so re-attached code chunks decode identically.
 			if col.Dict.Typ == vector.Float64 {
-				cm.DictF64 = col.Dict.F64s
+				cm.DictF64 = col.Dict.Floats()
 			} else {
-				cm.DictStr = col.Dict.Values
+				cm.DictStr = col.Dict.Strings()
 			}
 		}
 	}

@@ -61,6 +61,15 @@ type chunkFragment struct {
 
 func (f *chunkFragment) Rows() int { return f.rows }
 
+// CloneFragment implements colstore.CloneableFragment: a copy-on-write
+// column append clones each chunk fragment so a later merged-dictionary
+// refresh (which installs new remap tables in place) can never disturb a
+// scan pinned to the pre-append column object.
+func (f *chunkFragment) CloneFragment() colstore.Fragment {
+	cp := *f
+	return &cp
+}
+
 // BoundsI64 implements colstore.I64Bounded from the per-chunk min/max the
 // writer recorded in the manifest.
 func (f *chunkFragment) BoundsI64() (int64, int64, bool) { return f.minI, f.maxI, f.hasI }

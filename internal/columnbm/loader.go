@@ -286,9 +286,9 @@ func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {
 		case col.IsEnum():
 			cm.Chunks, err = w.writeCodes(key, gen, col, &cm)
 			if col.Dict.Typ == vector.Float64 {
-				cm.DictF64 = col.Dict.F64s
+				cm.DictF64 = col.Dict.Floats()
 			} else {
-				cm.DictStr = col.Dict.Values
+				cm.DictStr = col.Dict.Strings()
 			}
 		default:
 			cm.Chunks, err = w.writePlain(key, gen, col, &cm)
@@ -306,6 +306,88 @@ func (s *Store) saveTableNextGen(t *colstore.Table, chunkRows int) error {
 	}
 	return nil
 }
+
+// PendingRewrite is a prepared but uncommitted table rewrite: the
+// next-generation chunk files are fully written and fsynced, but the
+// committed manifest still references the old generation, so attaches (and
+// crashes) see the pre-rewrite table. Commit publishes the new generation
+// with the atomic manifest rename. The background compactor uses this split
+// to do all chunk I/O off the write path and hold the database's cutover
+// lock only across Commit.
+type PendingRewrite struct {
+	s   *Store
+	m   *Manifest
+	old *Manifest
+}
+
+// PrepareRewrite writes a fresh generation of chunk files for the table
+// (same semantics as RewriteTable: existing chunk grid preserved, enum
+// dictionaries re-persisted) WITHOUT committing the manifest. A crash or an
+// abandoned rewrite leaves unreferenced orphan files that the next rewrite
+// of the same generation simply overwrites. The table must already have a
+// committed manifest.
+func (s *Store) PrepareRewrite(t *colstore.Table) (*PendingRewrite, error) {
+	old, err := s.readManifest(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	chunkRows := old.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = s.chunkValues
+	}
+	gen := old.Gen + 1
+	w := s.withChunkValues(chunkRows)
+	m := Manifest{Table: t.Name, Rows: t.N, ChunkRows: chunkRows, Gen: gen, WalEpoch: old.WalEpoch}
+	for _, col := range t.Cols {
+		cm := ColumnManifest{Name: col.Name, Type: col.Typ.String(), Enum: col.IsEnum()}
+		key := t.Name + "." + col.Name
+		var err error
+		switch {
+		case col.IsEnum():
+			cm.Chunks, err = w.writeCodes(key, gen, col, &cm)
+			if col.Dict.Typ == vector.Float64 {
+				cm.DictF64 = col.Dict.Floats()
+			} else {
+				cm.DictStr = col.Dict.Strings()
+			}
+		default:
+			cm.Chunks, err = w.writePlain(key, gen, col, &cm)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("columnbm: rewrite %s: %w", key, err)
+		}
+		m.Columns = append(m.Columns, cm)
+	}
+	if err := s.fault("compact-prepare"); err != nil {
+		return nil, err
+	}
+	return &PendingRewrite{s: s, m: &m, old: old}, nil
+}
+
+// NextWalEpoch returns the WAL epoch the committed manifest will carry
+// (writeManifest advances the epoch by one at commit), so a caller can
+// prepare the post-cutover log before committing.
+func (p *PendingRewrite) NextWalEpoch() int64 { return p.m.WalEpoch + 1 }
+
+// Commit atomically publishes the prepared generation (temp manifest +
+// fsync + rename; the single commit point) and returns the superseded
+// manifest. The caller removes the old generation's files — immediately, or
+// deferred until scans pinned to it drain — via RemoveGeneration. The
+// FaultHook stage "compact-cutover" fires just before the commit.
+func (p *PendingRewrite) Commit() (*Manifest, error) {
+	if err := p.s.fault("compact-cutover"); err != nil {
+		return nil, err
+	}
+	if err := p.s.writeManifest(p.m); err != nil {
+		return nil, err
+	}
+	return p.old, nil
+}
+
+// RemoveGeneration deletes the chunk files of a superseded manifest
+// generation (best-effort; see removeGeneration). Callers defer it until no
+// scan remains pinned to the old generation.
+func (s *Store) RemoveGeneration(old *Manifest) { s.removeGeneration(old) }
 
 // removeGeneration deletes the chunk files of a superseded manifest
 // generation (best-effort: the files are unreferenced once the new manifest

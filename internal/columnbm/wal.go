@@ -135,6 +135,34 @@ func (w *WAL) Stats() WALStats {
 	return w.stats
 }
 
+// walNextPath is the sidecar a prepared rotation writes the next-epoch log
+// to; see WAL.PrepareRotate.
+func walNextPath(path string) string { return path + ".next" }
+
+// adoptNext completes a rotation a crash interrupted between the manifest
+// commit and the log rename: when the sidecar written by PrepareRotate
+// carries exactly the committed manifest epoch, it IS the table's log
+// (post-cutover writes were relogged into it before the commit), so it is
+// renamed into place. A sidecar with any other epoch belongs to a cutover
+// that never committed and is removed.
+func (s *Store) adoptNext(path string, epoch int64) {
+	next := walNextPath(path)
+	raw, err := os.ReadFile(next)
+	if err != nil {
+		return
+	}
+	if len(raw) >= walHeaderSize &&
+		binary.LittleEndian.Uint32(raw[0:]) == walMagic &&
+		binary.LittleEndian.Uint32(raw[4:]) == walVersion &&
+		int64(binary.LittleEndian.Uint64(raw[8:])) == epoch {
+		if os.Rename(next, path) == nil {
+			s.syncDir()
+		}
+		return
+	}
+	os.Remove(next)
+}
+
 // OpenWAL opens the write-ahead log of a table against the given manifest
 // epoch and replays any committed tail through apply (in log order).
 // A missing file is an empty log; creation is deferred to the first
@@ -144,6 +172,7 @@ func (w *WAL) Stats() WALStats {
 func (s *Store) OpenWAL(table string, epoch int64, apply func(WALRecord) error) (*WAL, error) {
 	w := &WAL{store: s, table: table, path: WALPath(s.dir, table), epoch: epoch}
 	w.cond = sync.NewCond(&w.mu)
+	s.adoptNext(w.path, epoch)
 	raw, err := os.ReadFile(w.path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return w, nil
@@ -366,6 +395,17 @@ func (w *WAL) Rotate() error {
 }
 
 func (w *WAL) rotateLocked(epoch int64) error {
+	if raw, err := os.ReadFile(walNextPath(w.path)); err == nil &&
+		len(raw) >= walHeaderSize &&
+		binary.LittleEndian.Uint32(raw[0:]) == walMagic &&
+		binary.LittleEndian.Uint32(raw[4:]) == walVersion &&
+		int64(binary.LittleEndian.Uint64(raw[8:])) == epoch {
+		// A prepared sidecar for this epoch — a CommitRotate interrupted
+		// before its rename — already carries the cutover's relogged
+		// records; adopt it instead of starting an empty log, which would
+		// silently drop them.
+		return w.commitRotateLocked(epoch)
+	}
 	if w.f == nil && !w.haveFile && !w.recreate {
 		// Nothing was ever logged and no file exists: adopt the new epoch
 		// without creating one (read-only attaches stay write-free).
@@ -420,6 +460,98 @@ func (w *WAL) rotateLocked(epoch int64) error {
 	return w.store.fault("wal-truncate")
 }
 
+// PrepareRotate writes the post-cutover log to the sidecar file
+// `<table>.wal.next`: a header stamped with the epoch the upcoming manifest
+// commit will carry, followed by the given records (the writes that arrived
+// after the cutover's snapshot, re-encoded — for a compaction, in the new
+// row id space), fsynced before returning. Called BEFORE the manifest
+// commit, it closes the incremental-cutover durability gap: a crash after
+// the commit but before CommitRotate leaves a stale-epoch main log (which
+// attach discards) plus this sidecar, which attach adopts as the log
+// (adoptNext) — so no acknowledged write is lost. A crash before the commit
+// leaves a sidecar with a future epoch that attach removes. The FaultHook
+// stage "wal-prepare-next" fires after the sidecar is written.
+func (w *WAL) PrepareRotate(epoch int64, records []WALRecord) error {
+	buf := make([]byte, walHeaderSize, walHeaderSize+64*len(records))
+	binary.LittleEndian.PutUint32(buf[0:], walMagic)
+	binary.LittleEndian.PutUint32(buf[4:], walVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(epoch))
+	for _, rec := range records {
+		payload, err := encodeWALRecord(rec)
+		if err != nil {
+			return err
+		}
+		var frame [8]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, frame[:]...)
+		buf = append(buf, payload...)
+	}
+	next := walNextPath(w.path)
+	f, err := os.OpenFile(next, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("columnbm: wal %s prepare: %w", w.table, err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(next)
+		return fmt.Errorf("columnbm: wal %s prepare: %w", w.table, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("columnbm: wal %s prepare: %w", w.table, err)
+	}
+	w.store.syncDir()
+	return w.store.fault("wal-prepare-next")
+}
+
+// CommitRotate publishes a prepared rotation after the manifest commit:
+// the sidecar from PrepareRotate is renamed over the main log and the WAL
+// continues appending after the relogged records. On a failure the
+// rotation is left pending (like Rotate) so the next append retries —
+// adopting the still-present sidecar — before logging into a superseded
+// epoch. The FaultHook stage "wal-rotate" fires before the rename, the
+// same semantic point as in Rotate: the new log is durable but not yet
+// published.
+func (w *WAL) CommitRotate(epoch int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.store.fault("wal-rotate"); err != nil {
+		w.pendingRotate, w.pendingEpoch = true, epoch
+		return fmt.Errorf("columnbm: wal %s rotate: %w", w.table, err)
+	}
+	return w.commitRotateLocked(epoch)
+}
+
+func (w *WAL) commitRotateLocked(epoch int64) error {
+	next := walNextPath(w.path)
+	if err := os.Rename(next, w.path); err != nil {
+		w.pendingRotate, w.pendingEpoch = true, epoch
+		return fmt.Errorf("columnbm: wal %s rotate: %w", w.table, err)
+	}
+	w.store.syncDir()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	end := int64(walHeaderSize)
+	if fi, err := os.Stat(w.path); err == nil {
+		end = fi.Size()
+	}
+	if f, err := os.OpenFile(w.path, os.O_RDWR, 0o644); err == nil {
+		w.f = f
+	}
+	w.epoch = epoch
+	w.haveFile, w.recreate, w.needTrunc = true, false, false
+	w.validEnd = end
+	w.size, w.synced = end, end
+	w.pendingRotate = false
+	w.stats.Rotations++
+	return w.store.fault("wal-truncate")
+}
+
 // Close releases the log's file handle (records already synced stay
 // durable; an open handle is only needed to append).
 func (w *WAL) Close() error {
@@ -448,6 +580,31 @@ const (
 	walValFloat  = 5
 	walValString = 6
 )
+
+// encodeWALRecord encodes any record kind as a frame payload (the relog
+// path of a prepared rotation; the append paths build payloads directly).
+func encodeWALRecord(rec WALRecord) ([]byte, error) {
+	switch rec.Kind {
+	case WALInsert:
+		return encodeWALInsert(rec.Row)
+	case WALDelete:
+		payload := make([]byte, 0, 6)
+		payload = append(payload, byte(WALDelete))
+		payload = binary.AppendUvarint(payload, uint64(uint32(rec.RowID)))
+		return payload, nil
+	case WALUpdate:
+		ins, err := encodeWALInsert(rec.Row)
+		if err != nil {
+			return nil, err
+		}
+		payload := make([]byte, 0, 8+len(ins))
+		payload = append(payload, byte(WALUpdate))
+		payload = binary.AppendUvarint(payload, uint64(uint32(rec.RowID)))
+		return append(payload, ins[1:]...), nil
+	default:
+		return nil, fmt.Errorf("columnbm: wal cannot encode record kind %d", rec.Kind)
+	}
+}
 
 func encodeWALInsert(row []any) ([]byte, error) {
 	buf := make([]byte, 0, 16+8*len(row))

@@ -15,14 +15,44 @@ import (
 // Build compiles an algebra plan into an X100 operator tree. With
 // opts.Parallelism > 1, partitionable plan fragments compile into parallel
 // worker pipelines joined by exchange/merge operators (see exchange.go).
+//
+// Build captures a snapshot set (frozen per-table views, see snapshot.go)
+// the whole operator tree executes against; closing the root operator —
+// Drain always does — releases it. Concurrent checkpoints and compactions
+// therefore never change what a built plan reads.
 func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
 	if _, err := plan.Out(db); err != nil {
 		return nil, err
 	}
+	ownSnaps := opts.snaps == nil
+	if ownSnaps {
+		opts.snaps = db.newSnapSet()
+	}
+	root, err := buildRoot(db, plan, opts)
+	if err != nil {
+		if ownSnaps {
+			opts.snaps.release()
+		}
+		return nil, err
+	}
+	if ownSnaps {
+		root = &releaseOp{Operator: root, snaps: opts.snaps}
+	}
+	return root, nil
+}
+
+func buildRoot(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
 	if opts.parallelism() > 1 {
 		// Absorb pending insert deltas into base fragments so scans
 		// partition (row ids are preserved; see delta.Store.Checkpoint).
+		// Runs before view capture, so the query sees the absorbed state.
 		checkpointPending(db, plan)
+	}
+	// Capture the plan's tables (and their dictionary mapping tables) in
+	// one snapshot acquisition — the query's consistency point. The
+	// code-domain rewrite below resolves columns through these views.
+	if err := opts.snaps.capture(planTables(plan, nil)); err != nil {
+		return nil, err
 	}
 	if !opts.NoCodeDomain {
 		// Run group-by and join keys over dictionary-backed string columns
@@ -35,12 +65,33 @@ func Build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 				return nil, fmt.Errorf("core: code-domain rewrite produced an invalid plan: %w", err)
 			}
 			plan = rewritten
+			// Tables the rewrite introduced (dictionary rehydration
+			// fetches) are normally captured already; pick up stragglers.
+			if err := opts.snaps.capture(planTables(plan, nil)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if opts.parallelism() > 1 {
 		return buildParallel(db, plan, opts)
 	}
 	return build(db, plan, opts)
+}
+
+// planTables collects the tables a plan reads (scans and fetch joins).
+func planTables(plan algebra.Node, dst []string) []string {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		dst = append(dst, n.Table)
+	case *algebra.Fetch1Join:
+		dst = append(dst, n.Table)
+	case *algebra.FetchNJoin:
+		dst = append(dst, n.Table)
+	}
+	for _, ch := range plan.Children() {
+		dst = planTables(ch, dst)
+	}
+	return dst
 }
 
 // checkpointPending checkpoints the insert delta of every table scanned by
@@ -81,7 +132,7 @@ func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 				return nil, err
 			}
 			if !opts.NoSummaryIndex {
-				applySummaryBounds(db, sc.Table, n.Pred, op)
+				applySummaryBounds(op.view, n.Pred, op)
 			}
 			if !opts.NoCodeDomain {
 				return newScanSelectOp(op, n.Pred, opts)
@@ -161,8 +212,11 @@ func build(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) 
 }
 
 // applySummaryBounds narrows a scan's base-row range using summary indices
-// for conjuncts of the form col <op> const over indexed columns.
-func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) {
+// for conjuncts of the form col <op> const over indexed columns. It works
+// entirely on the captured table view, so the bounds always describe the
+// same base the scan will read — a summary refreshed mid-query can never
+// prune rows the view still contains, nor miss rows it gained.
+func applySummaryBounds(v *tableView, pred expr.Expr, op *scanOp) {
 	for _, cj := range conjuncts(pred, nil) {
 		cmp, ok := cj.(*expr.Cmp)
 		if !ok {
@@ -186,24 +240,24 @@ func applySummaryBounds(db *Database, table string, pred expr.Expr, op *scanOp) 
 		}
 		switch cst.Typ.Physical() {
 		case vector.Int32:
-			v := cst.Val.(int32)
-			if si := db.SummaryI32(table, col.Name); si != nil {
-				lo, hi := boundsFor(opKind, v, si.Bounds)
+			cv := cst.Val.(int32)
+			if si := v.sumI32[col.Name]; si != nil {
+				lo, hi := boundsFor(opKind, cv, si.Bounds)
 				op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
 			}
-			applyFragBoundsI64(db, table, col.Name, opKind, int64(v), op)
+			applyFragBoundsI64(v, col.Name, opKind, int64(cv), op)
 		case vector.Int64:
-			applyFragBoundsI64(db, table, col.Name, opKind, cst.Val.(int64), op)
+			applyFragBoundsI64(v, col.Name, opKind, cst.Val.(int64), op)
 		case vector.Float64:
-			v := cst.Val.(float64)
-			if si := db.SummaryF64(table, col.Name); si != nil {
-				lo, hi := boundsFor(opKind, v, si.Bounds)
+			cv := cst.Val.(float64)
+			if si := v.sumF64[col.Name]; si != nil {
+				lo, hi := boundsFor(opKind, cv, si.Bounds)
 				op.lo, op.hi = max(op.lo, lo), min(op.hi, hi)
 			}
-			applyFragBoundsF64(db, table, col.Name, opKind, v, op)
+			applyFragBoundsF64(v, col.Name, opKind, cv, op)
 		case vector.String:
-			if v, ok := cst.Val.(string); ok {
-				applyFragBoundsStr(db, table, col.Name, opKind, v, op)
+			if cv, ok := cst.Val.(string); ok {
+				applyFragBoundsStr(v, col.Name, opKind, cv, op)
 			}
 		}
 	}
@@ -235,8 +289,8 @@ func boundsFor[T any](op expr.CmpKind, v T, bounds func(lo T, hasLo bool, hi T, 
 // applyFragBoundsI64 narrows a scan using per-fragment (ColumnBM chunk)
 // min/max bounds — summary-index-style pruning at chunk granularity,
 // available on disk-attached tables without building any in-memory index.
-func applyFragBoundsI64(db *Database, table, colName string, opKind expr.CmpKind, v int64, op *scanOp) {
-	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (int64, int64, bool) {
+func applyFragBoundsI64(tv *tableView, colName string, opKind expr.CmpKind, v int64, op *scanOp) {
+	applyFragBounds(tv, colName, opKind, v, op, func(f colstore.Fragment) (int64, int64, bool) {
 		if b, ok := f.(colstore.I64Bounded); ok {
 			return b.BoundsI64()
 		}
@@ -245,8 +299,8 @@ func applyFragBoundsI64(db *Database, table, colName string, opKind expr.CmpKind
 }
 
 // applyFragBoundsF64 is the float counterpart of applyFragBoundsI64.
-func applyFragBoundsF64(db *Database, table, colName string, opKind expr.CmpKind, v float64, op *scanOp) {
-	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (float64, float64, bool) {
+func applyFragBoundsF64(tv *tableView, colName string, opKind expr.CmpKind, v float64, op *scanOp) {
+	applyFragBounds(tv, colName, opKind, v, op, func(f colstore.Fragment) (float64, float64, bool) {
 		if b, ok := f.(colstore.F64Bounded); ok {
 			return b.BoundsF64()
 		}
@@ -258,8 +312,8 @@ func applyFragBoundsF64(db *Database, table, colName string, opKind expr.CmpKind
 // (non-enum) string columns persisted through ColumnBM carry per-chunk
 // min/max strings in the manifest, so range and equality predicates on
 // near-sorted string columns prune chunks exactly like numeric ones.
-func applyFragBoundsStr(db *Database, table, colName string, opKind expr.CmpKind, v string, op *scanOp) {
-	applyFragBounds(db, table, colName, opKind, v, op, func(f colstore.Fragment) (string, string, bool) {
+func applyFragBoundsStr(tv *tableView, colName string, opKind expr.CmpKind, v string, op *scanOp) {
+	applyFragBounds(tv, colName, opKind, v, op, func(f colstore.Fragment) (string, string, bool) {
 		if b, ok := f.(colstore.StrBounded); ok {
 			return b.BoundsStr()
 		}
@@ -267,13 +321,9 @@ func applyFragBoundsStr(db *Database, table, colName string, opKind expr.CmpKind
 	}, vector.String)
 }
 
-func applyFragBounds[T primitives.Ordered](db *Database, table, colName string, opKind expr.CmpKind, v T,
+func applyFragBounds[T primitives.Ordered](tv *tableView, colName string, opKind expr.CmpKind, v T,
 	op *scanOp, bounds func(colstore.Fragment) (T, T, bool), physTypes ...vector.Type) {
-	t, err := db.Table(table)
-	if err != nil {
-		return
-	}
-	c := t.Col(colName)
+	c := tv.col(colName)
 	if c == nil || c.IsEnum() || c.NumFrags() <= 1 || !slices.Contains(physTypes, c.PhysType()) {
 		return
 	}

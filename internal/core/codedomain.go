@@ -49,7 +49,7 @@ func rewriteCodeDomain(db *Database, n algebra.Node, opts *ExecOptions) algebra.
 		if in := rewriteCodeDomain(db, x.Input, opts); in != x.Input {
 			node = &algebra.Aggr{Input: in, GroupBy: x.GroupBy, Aggs: x.Aggs, Mode: x.Mode}
 		}
-		return rewriteAggrKeys(db, node)
+		return rewriteAggrKeys(db, node, opts)
 	case *algebra.Join:
 		node := x
 		l := rewriteCodeDomain(db, x.Left, opts)
@@ -98,12 +98,12 @@ func cloneJoin(x *algebra.Join, l, r algebra.Node, on []algebra.EquiCond) *algeb
 // scan-level base column name (for the "<base>#dict" mapping table), and
 // the storage column. ok=false leaves the plan untouched (non-code column,
 // a pending insert delta, or a shape the pushdown does not handle).
-func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, string, string, *colstore.Column, bool) {
+func addCodeColumn(db *Database, n algebra.Node, name string, opts *ExecOptions) (algebra.Node, string, string, *colstore.Column, bool) {
 	switch x := n.(type) {
 	case *algebra.Scan:
-		return scanCodeColumn(db, x, name)
+		return scanCodeColumn(x, name, opts)
 	case *algebra.Select:
-		in, code, base, col, ok := addCodeColumn(db, x.Input, name)
+		in, code, base, col, ok := addCodeColumn(db, x.Input, name, opts)
 		if !ok {
 			return nil, "", "", nil, false
 		}
@@ -117,7 +117,7 @@ func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, str
 			if !isCol {
 				return nil, "", "", nil, false
 			}
-			in, innerCode, base, col, ok := addCodeColumn(db, x.Input, c.Name)
+			in, innerCode, base, col, ok := addCodeColumn(db, x.Input, c.Name, opts)
 			if !ok {
 				return nil, "", "", nil, false
 			}
@@ -130,7 +130,7 @@ func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, str
 		}
 		return nil, "", "", nil, false
 	case *algebra.Join:
-		if in, code, base, col, ok := addCodeColumn(db, x.Left, name); ok {
+		if in, code, base, col, ok := addCodeColumn(db, x.Left, name, opts); ok {
 			return cloneJoin(x, in, x.Right, x.On), code, base, col, true
 		}
 		if x.Kind != algebra.Inner {
@@ -141,7 +141,7 @@ func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, str
 			// so right-side code columns are only safe through inner joins.
 			return nil, "", "", nil, false
 		}
-		if in, code, base, col, ok := addCodeColumn(db, x.Right, name); ok {
+		if in, code, base, col, ok := addCodeColumn(db, x.Right, name, opts); ok {
 			return cloneJoin(x, x.Left, in, x.On), code, base, col, true
 		}
 		return nil, "", "", nil, false
@@ -149,7 +149,7 @@ func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, str
 		if fetches(x.Cols, x.As, name) {
 			return nil, "", "", nil, false
 		}
-		in, code, base, col, ok := addCodeColumn(db, x.Input, name)
+		in, code, base, col, ok := addCodeColumn(db, x.Input, name, opts)
 		if !ok {
 			return nil, "", "", nil, false
 		}
@@ -160,7 +160,7 @@ func addCodeColumn(db *Database, n algebra.Node, name string) (algebra.Node, str
 		if fetches(x.Cols, x.As, name) {
 			return nil, "", "", nil, false
 		}
-		in, code, base, col, ok := addCodeColumn(db, x.Input, name)
+		in, code, base, col, ok := addCodeColumn(db, x.Input, name, opts)
 		if !ok {
 			return nil, "", "", nil, false
 		}
@@ -198,17 +198,14 @@ func hasAlias(exprs []algebra.NamedExpr, alias string) bool {
 // scanCodeColumn exposes "<name>#" on a Scan when the named column has a
 // code domain and the table has no pending insert delta (delta rows carry
 // values the compiled code constants have never seen; the decode-first
-// path stays correct for them).
-func scanCodeColumn(db *Database, sc *algebra.Scan, name string) (algebra.Node, string, string, *colstore.Column, bool) {
-	t, err := db.Table(sc.Table)
-	if err != nil {
+// path stays correct for them). Both checks resolve through the query's
+// captured view, so the decision matches what the scan will read.
+func scanCodeColumn(sc *algebra.Scan, name string, opts *ExecOptions) (algebra.Node, string, string, *colstore.Column, bool) {
+	v, err := opts.snaps.view(sc.Table)
+	if err != nil || v.delta.NumDeltaRows() > 0 {
 		return nil, "", "", nil, false
 	}
-	ds, err := db.Delta(sc.Table)
-	if err != nil || ds.NumDeltaRows() > 0 {
-		return nil, "", "", nil, false
-	}
-	col := t.Col(name)
+	col := v.col(name)
 	if col == nil {
 		return nil, "", "", nil, false
 	}
@@ -218,8 +215,8 @@ func scanCodeColumn(db *Database, sc *algebra.Scan, name string) (algebra.Node, 
 	code := name + CodeSuffix
 	cols := sc.Cols
 	if len(cols) == 0 {
-		cols = make([]string, 0, len(t.Cols)+1)
-		for _, c := range t.Cols {
+		cols = make([]string, 0, len(v.cols)+1)
+		for _, c := range v.cols {
 			cols = append(cols, c.Name)
 		}
 	} else {
@@ -234,17 +231,18 @@ func scanCodeColumn(db *Database, sc *algebra.Scan, name string) (algebra.Node, 
 	return algebra.NewScan(sc.Table, append(cols, code)...), code, name, col, true
 }
 
-// dictTableOK verifies the registered "<base>#dict" mapping table matches
-// the column's current dictionary value-for-value (it is a snapshot taken
-// at attach/registration time; a dictionary grown since must not be
-// rehydrated through it).
-func dictTableOK(db *Database, base string, d *colstore.Dict) bool {
-	t, err := db.Table(base + DictSuffix)
-	if err != nil || len(t.Cols) == 0 {
+// dictTableOK verifies the captured "<base>#dict" mapping table matches
+// the column's dictionary value-for-value (it is a snapshot taken at
+// attach/registration time; a dictionary grown since must not be
+// rehydrated through it). The mapping table resolves through the query's
+// snapshot set, so the check and the later Fetch1Join see the same table.
+func dictTableOK(opts *ExecOptions, base string, d *colstore.Dict) bool {
+	v, err := opts.snaps.view(base + DictSuffix)
+	if err != nil || len(v.cols) == 0 {
 		return false
 	}
-	c := t.Cols[0]
-	if c.Typ != vector.String || t.N != d.Len() {
+	c := v.cols[0]
+	if c.Typ != vector.String || v.n != d.Len() {
 		return false
 	}
 	data, err := c.Pin()
@@ -255,8 +253,12 @@ func dictTableOK(db *Database, base string, d *colstore.Dict) bool {
 	if !ok {
 		return false
 	}
+	dvals := d.Strings()
+	if len(dvals) < len(vals) {
+		return false
+	}
 	for i, v := range vals {
-		if d.Values[i] != v {
+		if dvals[i] != v {
 			return false
 		}
 	}
@@ -269,7 +271,7 @@ func dictTableOK(db *Database, base string, d *colstore.Dict) bool {
 // domains), and a Fetch1Join against the mapping table rehydrates the
 // strings only for the emitted groups. The output schema is restored by a
 // final Project, so the rewrite is invisible to the rest of the plan.
-func rewriteAggrKeys(db *Database, n *algebra.Aggr) algebra.Node {
+func rewriteAggrKeys(db *Database, n *algebra.Aggr, opts *ExecOptions) algebra.Node {
 	if n.Mode != algebra.ModeAuto || len(n.GroupBy) == 0 {
 		return n
 	}
@@ -288,12 +290,12 @@ func rewriteAggrKeys(db *Database, n *algebra.Aggr) algebra.Node {
 		if !isCol {
 			continue
 		}
-		in, code, base, col, ok := addCodeColumn(db, input, c.Name)
+		in, code, base, col, ok := addCodeColumn(db, input, c.Name, opts)
 		if !ok {
 			continue
 		}
 		d, _, _ := col.CodeDomain()
-		if !dictTableOK(db, base, d) {
+		if !dictTableOK(opts, base, d) {
 			continue
 		}
 		codeAlias := g.Alias + CodeSuffix
@@ -398,11 +400,11 @@ func rewriteJoinKeys(db *Database, n *algebra.Join, opts *ExecOptions) algebra.N
 		if strings.HasSuffix(c.L, CodeSuffix) || strings.HasSuffix(c.R, CodeSuffix) {
 			continue // already a code key (hand-written plan)
 		}
-		nl, lcode, _, lcol, lok := addCodeColumn(db, left, c.L)
+		nl, lcode, _, lcol, lok := addCodeColumn(db, left, c.L, opts)
 		if !lok {
 			continue
 		}
-		nr, rcode, _, rcol, rok := addCodeColumn(db, right, c.R)
+		nr, rcode, _, rcol, rok := addCodeColumn(db, right, c.R, opts)
 		if !rok {
 			continue
 		}

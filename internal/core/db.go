@@ -7,12 +7,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"x100/internal/colstore"
 	"x100/internal/columnbm"
 	"x100/internal/delta"
+	"x100/internal/sched"
 	"x100/internal/sindex"
 	"x100/internal/vector"
 )
@@ -39,14 +43,36 @@ const (
 // indices. Join indices over FK paths are materialized as ordinary int32
 // row-id columns of the fact tables, exactly like MonetDB's positional-join
 // columns; plans reference them by name in Fetch1Join.
+//
+// Concurrency model: queries never read live mutable state directly — Build
+// captures per-table views (snapSet) under snapMu's read side, and every
+// structural cutover (checkpoint fragment attach, compaction table swap,
+// in-memory Checkpoint/Reorganize) happens under snapMu's write side with
+// copy-on-write replacements, so a captured view stays consistent for the
+// query's lifetime. mu guards the registry maps only and is always taken
+// after snapMu.
 type Database struct {
 	Catalog *colstore.Catalog
-	deltas  map[string]*delta.Store
-	// summaries: table -> column -> typed summary index.
+	// snapMu orders query view capture (read side) against structural
+	// cutovers (write side). Cutovers only replace state — column slices,
+	// index maps — so captures are brief and cutovers never invalidate a
+	// captured view.
+	snapMu sync.RWMutex
+	// mu guards the registry maps below. Always acquired after snapMu when
+	// both are held.
+	mu     sync.RWMutex
+	deltas map[string]*delta.Store
+	// summaries: table -> column -> typed summary index. The per-table maps
+	// are immutable once published; refreshes swap whole maps.
 	sumI32 map[string]map[string]*sindex.Summary[int32]
 	sumF64 map[string]map[string]*sindex.Summary[float64]
-	// rangeIdx: fetched-table -> referenced-table -> range index.
+	// rangeIdx: fetched-table -> referenced-table -> range index. Same
+	// copy-on-write discipline as the summary maps.
 	rangeIdx map[string]map[string]*sindex.RangeIndex
+	// rangeRecipes: fetched-table -> referenced-table -> row-id column the
+	// range index was derived from (DeriveRangeIndex); cutovers that move
+	// row ids re-run the recipe so indices never go stale.
+	rangeRecipes map[string]map[string]string
 	// disk: tables attached from a ColumnBM directory, with the store they
 	// came from (the checkpoint write-back target) and how many deletions
 	// the committed manifest already records.
@@ -62,22 +88,40 @@ type diskAttachment struct {
 	// wal is the table's write-ahead log; nil under
 	// DurabilityCheckpoint.
 	wal *columnbm.WAL
+	// writeMu serializes the table's structural writers — checkpoint and
+	// compaction — so at most one manifest-advancing operation is in
+	// flight per table.
+	writeMu sync.Mutex
+	// tailMu orders the write path (WAL log + delta apply, read side)
+	// against the tail-relog window of a checkpoint/compaction cutover
+	// (write side): while the cutover collects the post-snapshot tail into
+	// the next-epoch log, no writer may slip a record into the old-epoch
+	// log, where it would be invalidated by the epoch bump.
+	tailMu sync.RWMutex
 	// persistedDel is the size of the deletion list in the committed
 	// manifest; checkpoints only rewrite the manifest when the list (or the
-	// insert delta) has grown past it. Deletion lists only grow, so the
-	// count identifies the persisted set.
+	// insert delta) has grown past it. Deletion lists only grow between
+	// compactions, so the count identifies the persisted set. Guarded by
+	// writeMu (attach writes it before the attachment is published).
 	persistedDel int
+	// Generation leases: queries that captured a view of this table hold a
+	// ref; removal of superseded chunk-file generations is deferred until
+	// the count returns to zero (see snapshot.go).
+	genMu      sync.Mutex
+	genRefs    int
+	genPending []func()
 }
 
 // NewDatabase creates a database over an empty catalog.
 func NewDatabase() *Database {
 	return &Database{
-		Catalog:  colstore.NewCatalog(),
-		deltas:   make(map[string]*delta.Store),
-		sumI32:   make(map[string]map[string]*sindex.Summary[int32]),
-		sumF64:   make(map[string]map[string]*sindex.Summary[float64]),
-		rangeIdx: make(map[string]map[string]*sindex.RangeIndex),
-		disk:     make(map[string]*diskAttachment),
+		Catalog:      colstore.NewCatalog(),
+		deltas:       make(map[string]*delta.Store),
+		sumI32:       make(map[string]map[string]*sindex.Summary[int32]),
+		sumF64:       make(map[string]map[string]*sindex.Summary[float64]),
+		rangeIdx:     make(map[string]map[string]*sindex.RangeIndex),
+		rangeRecipes: make(map[string]map[string]string),
+		disk:         make(map[string]*diskAttachment),
 	}
 }
 
@@ -88,6 +132,14 @@ func (db *Database) SetDurability(d Durability) { db.durability = d }
 
 // Durability returns the database's durability mode.
 func (db *Database) Durability() Durability { return db.durability }
+
+// attachment returns the disk attachment of a table, nil when not attached.
+func (db *Database) attachment(table string) *diskAttachment {
+	db.mu.RLock()
+	att := db.disk[table]
+	db.mu.RUnlock()
+	return att
+}
 
 // Insert appends one row (boxed logical values, schema order) to a table,
 // returning its row id. For a disk-attached table with a write-ahead log
@@ -103,9 +155,13 @@ func (db *Database) Insert(table string, row []any) (int32, error) {
 	if err := ds.CheckRow(row); err != nil {
 		return 0, err
 	}
-	if att := db.disk[table]; att != nil && att.wal != nil {
-		if err := att.wal.LogInsert(row, db.durability == DurabilityGroup); err != nil {
-			return 0, err
+	if att := db.attachment(table); att != nil {
+		att.tailMu.RLock()
+		defer att.tailMu.RUnlock()
+		if att.wal != nil {
+			if err := att.wal.LogInsert(row, db.durability == DurabilityGroup); err != nil {
+				return 0, err
+			}
 		}
 	}
 	return ds.Insert(row)
@@ -120,9 +176,13 @@ func (db *Database) Delete(table string, rowID int32) error {
 	if err := ds.CheckDelete(rowID); err != nil {
 		return err
 	}
-	if att := db.disk[table]; att != nil && att.wal != nil {
-		if err := att.wal.LogDelete(rowID, db.durability == DurabilityGroup); err != nil {
-			return err
+	if att := db.attachment(table); att != nil {
+		att.tailMu.RLock()
+		defer att.tailMu.RUnlock()
+		if att.wal != nil {
+			if err := att.wal.LogDelete(rowID, db.durability == DurabilityGroup); err != nil {
+				return err
+			}
 		}
 	}
 	return ds.Delete(rowID)
@@ -142,9 +202,13 @@ func (db *Database) Update(table string, rowID int32, row []any) (int32, error) 
 	if err := ds.CheckRow(row); err != nil {
 		return 0, err
 	}
-	if att := db.disk[table]; att != nil && att.wal != nil {
-		if err := att.wal.LogUpdate(rowID, row, db.durability == DurabilityGroup); err != nil {
-			return 0, err
+	if att := db.attachment(table); att != nil {
+		att.tailMu.RLock()
+		defer att.tailMu.RUnlock()
+		if att.wal != nil {
+			if err := att.wal.LogUpdate(rowID, row, db.durability == DurabilityGroup); err != nil {
+				return 0, err
+			}
 		}
 	}
 	return ds.Update(rowID, row)
@@ -162,6 +226,7 @@ type WalStatus struct {
 // sorted by table name. Tables without a log (DurabilityCheckpoint) report
 // zero WAL counters but live store counters.
 func (db *Database) WalStatuses() []WalStatus {
+	db.mu.RLock()
 	out := make([]WalStatus, 0, len(db.disk))
 	for name, att := range db.disk {
 		st := WalStatus{Table: name, Store: att.store.Stats()}
@@ -170,6 +235,7 @@ func (db *Database) WalStatuses() []WalStatus {
 		}
 		out = append(out, st)
 	}
+	db.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
 	return out
 }
@@ -181,11 +247,14 @@ func (db *Database) WalStatuses() []WalStatus {
 // this).
 func (db *Database) AddTable(t *colstore.Table) {
 	db.Catalog.Add(t)
+	db.mu.Lock()
 	db.deltas[t.Name] = delta.NewStore(t)
-	if att := db.disk[t.Name]; att != nil && att.wal != nil {
+	att := db.disk[t.Name]
+	delete(db.disk, t.Name)
+	db.mu.Unlock()
+	if att != nil && att.wal != nil {
 		att.wal.Close()
 	}
-	delete(db.disk, t.Name)
 }
 
 // Table returns the named base table.
@@ -195,14 +264,22 @@ func (db *Database) Table(name string) (*colstore.Table, error) {
 
 // Delta returns the delta store of a table (created on first use).
 func (db *Database) Delta(name string) (*delta.Store, error) {
-	if d, ok := db.deltas[name]; ok {
+	db.mu.RLock()
+	d, ok := db.deltas[name]
+	db.mu.RUnlock()
+	if ok {
 		return d, nil
 	}
 	t, err := db.Catalog.Table(name)
 	if err != nil {
 		return nil, err
 	}
-	d := delta.NewStore(t)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if d, ok := db.deltas[name]; ok {
+		return d, nil
+	}
+	d = delta.NewStore(t)
 	db.deltas[name] = d
 	return d, nil
 }
@@ -210,35 +287,52 @@ func (db *Database) Delta(name string) (*delta.Store, error) {
 // Checkpoint absorbs a table's pending insert delta into new base
 // fragments (preserving row ids; the deletion list survives) and refreshes
 // any summary indices over the grown base. For a table attached from a
-// ColumnBM directory the checkpoint is durable: the delta is written back
-// to the directory as new compressed chunks, the deletion list is recorded,
-// and the manifest is extended atomically — re-attaching after a restart
-// sees every checkpointed row and deletion. The new chunks re-attach to the
+// ColumnBM directory the checkpoint is durable and incremental: only the
+// delta accumulated since the previous checkpoint is written back to the
+// directory as new compressed chunks, the deletion list is recorded, and
+// the manifest is extended atomically. The new chunks re-attach to the
 // live table as lazily decoded disk fragments, so the table stays within
-// bounded memory. done=false means the delta store declined (an enum
-// dictionary outgrew its code width) and the table keeps its deltas.
+// bounded memory. Scans running concurrently keep their captured
+// pre-checkpoint view and see identical results. done=false means the
+// delta store declined (an enum dictionary outgrew its code width) and the
+// table keeps its deltas; Reorganize absorbs them by re-encoding.
 func (db *Database) Checkpoint(table string) (bool, error) {
 	ds, err := db.Delta(table)
 	if err != nil {
 		return false, err
 	}
-	if att := db.disk[table]; att != nil {
+	if att := db.attachment(table); att != nil {
 		return db.checkpointDisk(table, ds, att)
 	}
 	if ds.NumDeltaRows() == 0 {
 		return true, nil
 	}
+	db.snapMu.Lock()
 	done, err := ds.Checkpoint()
-	if err != nil || !done {
-		return done, err
+	if done && err == nil {
+		err = db.refreshSummaries(table)
+		// Row ids are preserved, so a failed re-derivation (e.g. inserts
+		// broke the clustering) safely keeps the old index: it covers the
+		// rows it always covered.
+		db.rederiveRangeIndexes(table, false)
 	}
-	return true, db.refreshSummaries(table)
+	db.snapMu.Unlock()
+	return done, err
 }
 
-// checkpointDisk is the durable checkpoint of a disk-attached table: write
-// the delta back through the store, then re-attach the new chunks.
+// checkpointDisk is the durable, incremental checkpoint of a disk-attached
+// table. The snapshot taken at entry defines the checkpoint's content;
+// everything after it — part encoding, chunk writes — runs off the write
+// path. Writers are excluded only for the tail-relog window: rows and
+// deletes that arrived after the snapshot are re-logged into the
+// next-epoch WAL sidecar before the manifest commit bumps the epoch, so
+// the epoch handshake can invalidate the superseded log without losing
+// the tail.
 func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttachment) (bool, error) {
-	if ds.NumDeltaRows() == 0 && ds.NumDeleted() == att.persistedDel {
+	att.writeMu.Lock()
+	defer att.writeMu.Unlock()
+	snap := ds.Snapshot()
+	if snap.NumDeltaRows() == 0 && snap.NumDeleted() == att.persistedDel {
 		// Read-only (or already fully persisted) table: a checkpoint is a
 		// no-op and must not touch the directory.
 		return true, nil
@@ -247,7 +341,8 @@ func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttac
 	if err != nil {
 		return false, err
 	}
-	parts, done, err := ds.Parts()
+	// t.Cols is stable here: every mutator holds writeMu.
+	parts, done, err := snap.Parts(t.Cols)
 	if err != nil || !done {
 		return done, err
 	}
@@ -256,97 +351,304 @@ func (db *Database) checkpointDisk(table string, ds *delta.Store, att *diskAttac
 	// Snapshot them first so they can be refreshed incrementally below —
 	// code-domain execution must survive an append+query cycle.
 	mdicts := columnbm.SnapshotMergedDicts(t)
-	frags, err := att.store.AppendTable(t, parts, ds.SortedDeleted())
+	att.tailMu.Lock()
+	defer att.tailMu.Unlock()
+	var next int64
+	if att.wal != nil {
+		m, err := att.store.ReadManifest(table)
+		if err != nil {
+			return false, err
+		}
+		next = m.WalEpoch + 1
+		if err := att.wal.PrepareRotate(next, tailRecords(ds, snap)); err != nil {
+			return false, err
+		}
+	}
+	// The manifest records the SNAPSHOT's deletion list, not the current
+	// one: deletes that arrived after the snapshot live in the next-epoch
+	// sidecar and must not also be in the manifest, or replay would apply
+	// them twice.
+	frags, err := att.store.AppendTable(t, parts, snap.SortedDeleted())
 	if err != nil {
 		// Nothing was committed (the manifest rename is the single commit
-		// point), so the delta stays pending and scans remain correct.
+		// point), so the delta stays pending and scans remain correct. A
+		// written sidecar carries an epoch the manifest never reached and
+		// is discarded at the next open.
 		return false, err
 	}
-	if parts != nil {
-		if err := t.AppendFragments(frags); err != nil {
-			return false, err
+	db.snapMu.Lock()
+	err = func() error {
+		if parts != nil {
+			if err := t.AppendFragments(frags); err != nil {
+				return err
+			}
+			ds.ClearInsertsN(snap.NumDeltaRows())
+			if err := att.store.RefreshMergedDicts(t, mdicts); err != nil {
+				return err
+			}
+			// The "<col>#dict" mapping tables must track the (possibly
+			// rebuilt) merged dictionaries.
+			registerDictTables(db, t)
 		}
-		ds.ClearInserts()
-		if err := att.store.RefreshMergedDicts(t, mdicts); err != nil {
-			return false, err
+		att.persistedDel = snap.NumDeleted()
+		// Summaries must be swapped inside the cutover: a stale (shorter)
+		// summary seen next to the grown row count would wrongly prune the
+		// appended rows.
+		if err := db.refreshSummaries(table); err != nil {
+			return err
 		}
-		// The "<col>#dict" mapping tables must track the (possibly
-		// rebuilt) merged dictionaries.
-		registerDictTables(db, t)
+		db.rederiveRangeIndexes(table, false)
+		return nil
+	}()
+	db.snapMu.Unlock()
+	if err != nil {
+		return false, err
 	}
-	att.persistedDel = ds.NumDeleted()
 	if att.wal != nil {
-		// The manifest commit advanced the WAL epoch, so the logged records
-		// are absorbed: start a fresh log. A failed rotation is reported
-		// (the checkpoint itself is committed) and retried on the next
-		// append; until then a restart discards the stale-epoch log.
-		if err := att.wal.Rotate(); err != nil {
+		// The manifest commit advanced the WAL epoch; publishing the
+		// sidecar as the live log completes the rotation. Until it
+		// succeeds writers stay excluded, so no record lands in the
+		// stale-epoch log.
+		if err := att.wal.CommitRotate(next); err != nil {
 			return false, err
 		}
 	}
-	return true, db.refreshSummaries(table)
+	return true, nil
 }
 
-// refreshSummaries rebuilds the summary indices registered over a table
-// (after its base fragments changed).
-func (db *Database) refreshSummaries(table string) error {
-	for col, si := range db.sumI32[table] {
-		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
-			return err
-		}
+// tailRecords re-encodes the operations that arrived after a checkpoint
+// snapshot as WAL records for the next-epoch sidecar. Inserts come first:
+// a tail delete may target a tail-inserted row, and replay must create the
+// row before deleting it. Callers hold the table's tailMu write lock, so
+// the tail is stable.
+func tailRecords(ds *delta.Store, snap *delta.Snapshot) []columnbm.WALRecord {
+	var recs []columnbm.WALRecord
+	for _, row := range ds.TailRows(snap.NumDeltaRows()) {
+		recs = append(recs, columnbm.WALRecord{Kind: columnbm.WALInsert, Row: row})
 	}
-	for col, si := range db.sumF64[table] {
-		if err := db.BuildSummaryIndex(table, col, si.Granule); err != nil {
-			return err
-		}
+	for _, id := range ds.NewDeletesSince(snap) {
+		recs = append(recs, columnbm.WALRecord{Kind: columnbm.WALDelete, RowID: id})
 	}
-	return nil
+	return recs
 }
 
 // Reorganize rewrites a table's base to absorb all deltas: deleted rows are
 // dropped, delta rows appended, enum columns re-encoded. For a disk-attached
-// table the compacted result is also written back to the ColumnBM directory
-// as a fresh chunk-file generation (committed by one atomic manifest
-// rename, with the persisted deletion list cleared) and re-attached
-// fragment-backed, so the table keeps scanning off disk chunks within
-// bounded memory. Summary indices and enum dictionary mapping tables are
-// rebuilt; positional join indices over the table are NOT adjusted — as
-// with the in-memory Reorganize, callers re-derive them when row ids moved.
+// table the compacted result is written to a fresh chunk-file generation in
+// the background (queries keep scanning the previous generation) and cut
+// over with one atomic manifest rename; the superseded generation's files
+// are removed once the last query reading them finishes. Summary indices,
+// enum dictionary mapping tables and derived range indices (DeriveRangeIndex)
+// are rebuilt at the cutover; positional join indices registered without a
+// recipe are NOT adjusted — callers re-derive them when row ids moved.
 func (db *Database) Reorganize(table string) error {
 	ds, err := db.Delta(table)
 	if err != nil {
 		return err
 	}
-	if err := ds.Reorganize(); err != nil {
-		return err
+	if att := db.attachment(table); att != nil {
+		return db.compactTable(table, ds, att)
 	}
 	t, err := db.Table(table)
 	if err != nil {
 		return err
 	}
-	if att := db.disk[table]; att != nil {
-		if err := att.store.RewriteTable(t); err != nil {
+	db.snapMu.Lock()
+	err = func() error {
+		if err := ds.Reorganize(); err != nil {
 			return err
 		}
-		// Swap the memory-resident rewrite for the freshly attached
-		// fragment-backed version (same *Table identity: the delta store
-		// and catalog keep their pointers).
-		nt, err := att.store.AttachTable(table)
+		registerDictTables(db, t)
+		if err := db.refreshSummaries(table); err != nil {
+			return err
+		}
+		return db.rederiveRangeIndexes(table, true)
+	}()
+	db.snapMu.Unlock()
+	return err
+}
+
+// compactTable rewrites a disk-attached table into a fresh chunk-file
+// generation. The heavy work — building the compacted table, writing its
+// chunks — happens against a snapshot, off the write path and outside all
+// locks; only the cutover (manifest rename, table swap, delta rebase,
+// index refresh) excludes writers and view capture. Deletes and inserts
+// that arrived after the snapshot are remapped into the new id space and
+// re-logged into the next-epoch WAL sidecar, so the epoch handshake
+// invalidates the superseded log without losing them.
+func (db *Database) compactTable(table string, ds *delta.Store, att *diskAttachment) error {
+	att.writeMu.Lock()
+	defer att.writeMu.Unlock()
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	snap := ds.Snapshot()
+	nt, live, err := delta.BuildCompacted(table, t.Cols, snap)
+	if err != nil {
+		return err
+	}
+	pr, err := att.store.PrepareRewrite(nt)
+	if err != nil {
+		return err
+	}
+	next := pr.NextWalEpoch()
+	att.tailMu.Lock()
+	defer att.tailMu.Unlock()
+	// Remap an old-space row id into the compacted id space: surviving
+	// snapshot rows take their rank in the live list; rows inserted after
+	// the snapshot are re-appended behind the compacted base in arrival
+	// order.
+	snapTotal := snap.BaseN() + snap.NumDeltaRows()
+	remap := func(id int32) (int32, bool) {
+		if int(id) >= snapTotal {
+			return int32(nt.N + int(id) - snapTotal), true
+		}
+		if i, ok := slices.BinarySearch(live, id); ok {
+			return int32(i), true
+		}
+		return 0, false
+	}
+	tail := ds.TailRows(snap.NumDeltaRows())
+	recs := make([]columnbm.WALRecord, 0, len(tail))
+	for _, row := range tail {
+		recs = append(recs, columnbm.WALRecord{Kind: columnbm.WALInsert, Row: row})
+	}
+	newDel := make(map[int32]struct{})
+	for _, id := range ds.NewDeletesSince(snap) {
+		nid, ok := remap(id)
+		if !ok {
+			return fmt.Errorf("core: compact %s: post-snapshot delete of unknown row %d", table, id)
+		}
+		newDel[nid] = struct{}{}
+		recs = append(recs, columnbm.WALRecord{Kind: columnbm.WALDelete, RowID: nid})
+	}
+	if att.wal != nil {
+		if err := att.wal.PrepareRotate(next, recs); err != nil {
+			return err
+		}
+	}
+	old, err := pr.Commit()
+	if err != nil {
+		// Nothing committed: the old generation (and in-memory state)
+		// stands, deltas stay pending, the next-generation orphans are
+		// overwritten by the next attempt.
+		return err
+	}
+	db.snapMu.Lock()
+	err = func() error {
+		// Re-attach fragment-backed so the table keeps scanning off disk
+		// chunks within bounded memory. Same *Table identity: the delta
+		// store and catalog keep their pointers; the column-set swap is
+		// copy-on-write for captured views.
+		nt2, err := att.store.AttachTable(table)
 		if err != nil {
 			return err
 		}
-		t.Cols, t.N, t.ChunkRows = nt.Cols, nt.N, nt.ChunkRows
+		t.Cols, t.N, t.ChunkRows = nt2.Cols, nt2.N, nt2.ChunkRows
+		if err := ds.Rebase(nt2.N, newDel, tail); err != nil {
+			return err
+		}
 		att.persistedDel = 0
-		if att.wal != nil {
-			// The rewrite renumbered row ids; the old log (stale epoch
-			// after the manifest commit) must never replay.
-			if err := att.wal.Rotate(); err != nil {
-				return err
-			}
+		registerDictTables(db, t)
+		if err := db.refreshSummaries(table); err != nil {
+			return err
+		}
+		// Compaction moved row ids: derived range indices MUST be re-run
+		// here (the stale-index bug this path exists to fix).
+		return db.rederiveRangeIndexes(table, true)
+	}()
+	db.snapMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if att.wal != nil {
+		if err := att.wal.CommitRotate(next); err != nil {
+			return err
 		}
 	}
-	registerDictTables(db, t)
-	return db.refreshSummaries(table)
+	// The superseded generation's chunk files may still be read by queries
+	// that captured their view before the cutover; deletion waits for the
+	// last generation lease.
+	att.deferCleanup(func() { att.store.RemoveGeneration(old) })
+	return nil
+}
+
+// CheckpointAll checkpoints every disk-attached table, concurrently across
+// tables. Each worker draws an admission slot from pool (nil uses no
+// admission control) so bulk checkpoints cannot starve running queries.
+// The first error per table is collected; all tables are attempted.
+func (db *Database) CheckpointAll(pool *sched.Pool) error {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.disk))
+	for name := range db.disk {
+		names = append(names, name)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			slot := pool.NewSlot()
+			slot.Acquire()
+			defer slot.Release()
+			if _, err := db.Checkpoint(name); err != nil {
+				errs[i] = fmt.Errorf("checkpoint %s: %w", name, err)
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// refreshSummaries rebuilds the summary indices registered over a table
+// (after its base fragments changed). The per-table maps are replaced
+// wholesale — captured views keep their frozen maps.
+func (db *Database) refreshSummaries(table string) error {
+	type job struct {
+		col     string
+		granule int
+	}
+	db.mu.RLock()
+	var i32jobs, f64jobs []job
+	for col, si := range db.sumI32[table] {
+		i32jobs = append(i32jobs, job{col, si.Granule})
+	}
+	for col, si := range db.sumF64[table] {
+		f64jobs = append(f64jobs, job{col, si.Granule})
+	}
+	db.mu.RUnlock()
+	if len(i32jobs) == 0 && len(f64jobs) == 0 {
+		return nil
+	}
+	newI32 := make(map[string]*sindex.Summary[int32], len(i32jobs))
+	newF64 := make(map[string]*sindex.Summary[float64], len(f64jobs))
+	for _, j := range i32jobs {
+		s32, _, err := db.buildSummary(table, j.col, j.granule)
+		if err != nil {
+			return err
+		}
+		newI32[j.col] = s32
+	}
+	for _, j := range f64jobs {
+		_, s64, err := db.buildSummary(table, j.col, j.granule)
+		if err != nil {
+			return err
+		}
+		newF64[j.col] = s64
+	}
+	db.mu.Lock()
+	if len(i32jobs) > 0 {
+		db.sumI32[table] = newI32
+	}
+	if len(f64jobs) > 0 {
+		db.sumF64[table] = newF64
+	}
+	db.mu.Unlock()
+	return nil
 }
 
 // TableSchema implements algebra.Resolver.
@@ -379,72 +681,188 @@ func (db *Database) CodeColumnType(table, column string) (vector.Type, error) {
 	return vector.Unknown, fmt.Errorf("core: %s.%s is not an enum or dict-compressed column", table, column)
 }
 
-// BuildSummaryIndex builds a summary index over a clustered column of a
-// table (paper Section 4.3). Supported column types: Date/Int32, Float64.
-func (db *Database) BuildSummaryIndex(table, column string, granule int) error {
+// buildSummary builds a summary over a column's current base; exactly one
+// of the returned summaries is non-nil, by physical type.
+func (db *Database) buildSummary(table, column string, granule int) (*sindex.Summary[int32], *sindex.Summary[float64], error) {
 	t, err := db.Catalog.Table(table)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	c := t.Col(column)
 	if c == nil {
-		return fmt.Errorf("core: table %s has no column %q", table, column)
+		return nil, nil, fmt.Errorf("core: table %s has no column %q", table, column)
 	}
 	// Materialize with a returned error first: the column may be backed by
 	// disk fragments, and a corrupt chunk must not panic out of Data().
 	if _, err := c.Pin(); err != nil {
-		return fmt.Errorf("core: summary index %s.%s: %w", table, column, err)
+		return nil, nil, fmt.Errorf("core: summary index %s.%s: %w", table, column, err)
 	}
 	switch c.PhysType() {
 	case vector.Int32:
-		m := db.sumI32[table]
-		if m == nil {
-			m = make(map[string]*sindex.Summary[int32])
-			db.sumI32[table] = m
-		}
-		m[column] = sindex.BuildSummary(c.Data().([]int32), granule)
+		return sindex.BuildSummary(c.Data().([]int32), granule), nil, nil
 	case vector.Float64:
-		m := db.sumF64[table]
-		if m == nil {
-			m = make(map[string]*sindex.Summary[float64])
-			db.sumF64[table] = m
-		}
-		m[column] = sindex.BuildSummary(c.Data().([]float64), granule)
+		return nil, sindex.BuildSummary(c.Data().([]float64), granule), nil
 	default:
-		return fmt.Errorf("core: summary index over %v column %s.%s unsupported", c.Typ, table, column)
+		return nil, nil, fmt.Errorf("core: summary index over %v column %s.%s unsupported", c.Typ, table, column)
 	}
+}
+
+// cloneWith returns a copy of m with k set to v (copy-on-write map update).
+func cloneWith[V any](m map[string]V, k string, v V) map[string]V {
+	out := make(map[string]V, len(m)+1)
+	for kk, vv := range m {
+		out[kk] = vv
+	}
+	out[k] = v
+	return out
+}
+
+// BuildSummaryIndex builds a summary index over a clustered column of a
+// table (paper Section 4.3). Supported column types: Date/Int32, Float64.
+func (db *Database) BuildSummaryIndex(table, column string, granule int) error {
+	s32, s64, err := db.buildSummary(table, column, granule)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if s32 != nil {
+		db.sumI32[table] = cloneWith(db.sumI32[table], column, s32)
+	} else {
+		db.sumF64[table] = cloneWith(db.sumF64[table], column, s64)
+	}
+	db.mu.Unlock()
 	return nil
 }
 
 // SummaryI32 returns the int32/date summary index of table.column, if any.
 func (db *Database) SummaryI32(table, column string) *sindex.Summary[int32] {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.sumI32[table][column]
 }
 
 // SummaryF64 returns the float summary index of table.column, if any.
 func (db *Database) SummaryF64(table, column string) *sindex.Summary[float64] {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.sumF64[table][column]
 }
 
 // RegisterRangeIndex attaches a range index: rows of fetchedTable are
-// clustered by refTable row id (FetchNJoin input).
+// clustered by refTable row id (FetchNJoin input). Indices registered this
+// way are NOT rebuilt when a Reorganize moves row ids — use
+// DeriveRangeIndex to keep an index valid across compactions.
 func (db *Database) RegisterRangeIndex(fetchedTable, refTable string, ri *sindex.RangeIndex) {
-	m := db.rangeIdx[fetchedTable]
-	if m == nil {
-		m = make(map[string]*sindex.RangeIndex)
-		db.rangeIdx[fetchedTable] = m
+	db.mu.Lock()
+	db.rangeIdx[fetchedTable] = cloneWith(db.rangeIdx[fetchedTable], refTable, ri)
+	db.mu.Unlock()
+}
+
+// DeriveRangeIndex builds and registers the range index of fetchedTable
+// clustered by refTable from the fetched table's row-id column (an int32
+// positional-join column such as "l_orderrow"), and records the recipe:
+// whenever a Checkpoint or Reorganize of either table changes what the
+// index must cover, it is re-derived automatically from the same column,
+// so FetchNJoin plans never run against stale row ids. The row-id column
+// must be ascending (the fetched table clustered with the referenced one).
+func (db *Database) DeriveRangeIndex(fetchedTable, refTable, rowIDCol string) error {
+	ri, err := db.buildRangeIndexFromCol(fetchedTable, refTable, rowIDCol)
+	if err != nil {
+		return err
 	}
-	m[refTable] = ri
+	db.mu.Lock()
+	db.rangeIdx[fetchedTable] = cloneWith(db.rangeIdx[fetchedTable], refTable, ri)
+	db.rangeRecipes[fetchedTable] = cloneWith(db.rangeRecipes[fetchedTable], refTable, rowIDCol)
+	db.mu.Unlock()
+	return nil
+}
+
+// buildRangeIndexFromCol derives a range index from a fetched table's
+// row-id column over the referenced table's current row-id space (base
+// plus pending delta, so referenced ids a merged scan can produce always
+// resolve to a — possibly empty — range).
+func (db *Database) buildRangeIndexFromCol(fetchedTable, refTable, rowIDCol string) (*sindex.RangeIndex, error) {
+	ft, err := db.Table(fetchedTable)
+	if err != nil {
+		return nil, err
+	}
+	c := ft.Col(rowIDCol)
+	if c == nil {
+		return nil, fmt.Errorf("core: table %s has no column %q", fetchedTable, rowIDCol)
+	}
+	if _, err := c.Pin(); err != nil {
+		return nil, fmt.Errorf("core: range index %s->%s: %w", fetchedTable, refTable, err)
+	}
+	ids, ok := c.Data().([]int32)
+	if !ok {
+		return nil, fmt.Errorf("core: range index %s->%s: column %s is not int32", fetchedTable, refTable, rowIDCol)
+	}
+	refDs, err := db.Delta(refTable)
+	if err != nil {
+		return nil, err
+	}
+	refN := refDs.BaseN() + refDs.NumDeltaRows()
+	return sindex.BuildRangeIndex(&sindex.JoinIndex{From: fetchedTable, To: refTable, RowIDs: ids}, refN)
+}
+
+// rederiveRangeIndexes re-runs every DeriveRangeIndex recipe that involves
+// the given table (as fetched or referenced side). When mustSucceed is
+// false (checkpoints: row ids preserved) a failed derivation keeps the old
+// index, which remains valid for the rows it covered; when true
+// (reorganize/compaction: row ids moved) a failed derivation drops the
+// index — a loud plan error beats silently wrong join results — and the
+// error is returned.
+func (db *Database) rederiveRangeIndexes(table string, mustSucceed bool) error {
+	type recipe struct{ fetched, ref, col string }
+	db.mu.RLock()
+	var jobs []recipe
+	for fetched, m := range db.rangeRecipes {
+		for ref, col := range m {
+			if fetched == table || ref == table {
+				jobs = append(jobs, recipe{fetched, ref, col})
+			}
+		}
+	}
+	db.mu.RUnlock()
+	var firstErr error
+	for _, j := range jobs {
+		ri, err := db.buildRangeIndexFromCol(j.fetched, j.ref, j.col)
+		if err != nil {
+			if mustSucceed {
+				db.mu.Lock()
+				m := make(map[string]*sindex.RangeIndex, len(db.rangeIdx[j.fetched]))
+				for k, v := range db.rangeIdx[j.fetched] {
+					if k != j.ref {
+						m[k] = v
+					}
+				}
+				db.rangeIdx[j.fetched] = m
+				db.mu.Unlock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: re-derive range index %s->%s: %w", j.fetched, j.ref, err)
+				}
+			}
+			continue
+		}
+		db.mu.Lock()
+		db.rangeIdx[j.fetched] = cloneWith(db.rangeIdx[j.fetched], j.ref, ri)
+		db.mu.Unlock()
+	}
+	return firstErr
 }
 
 // RangeIndex returns the range index of fetchedTable clustered by refTable.
 func (db *Database) RangeIndex(fetchedTable, refTable string) *sindex.RangeIndex {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.rangeIdx[fetchedTable][refTable]
 }
 
 // RangeIndexAny returns the sole range index of fetchedTable when exactly
 // one is registered (plans that omit the referenced table).
 func (db *Database) RangeIndexAny(fetchedTable string) *sindex.RangeIndex {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	m := db.rangeIdx[fetchedTable]
 	if len(m) != 1 {
 		return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"x100/internal/colstore"
 	"x100/internal/columnbm"
 	"x100/internal/vector"
@@ -27,7 +29,9 @@ func AttachDiskTable(db *Database, store *columnbm.Store, name string) (*colstor
 	}
 	db.AddTable(t)
 	att := &diskAttachment{store: store, persistedDel: len(m.Deleted)}
+	db.mu.Lock()
 	db.disk[name] = att
+	db.mu.Unlock()
 	ds, err := db.Delta(name)
 	if err != nil {
 		return nil, err
@@ -74,9 +78,10 @@ func registerDictTables(db *Database, t *colstore.Table) {
 		switch d, _, ok := c.CodeDomain(); {
 		case ok: // enum string or merged-dict column
 			// AddColumn over fresh copies cannot fail (single column).
-			_ = dt.AddColumn("value", vector.String, append([]string(nil), d.Values...))
+			// Strings() snapshots the append-only dictionary race-free.
+			_ = dt.AddColumn("value", vector.String, slices.Clone(d.Strings()))
 		case c.IsEnum(): // float enum
-			_ = dt.AddColumn("value", vector.Float64, append([]float64(nil), c.Dict.F64s...))
+			_ = dt.AddColumn("value", vector.Float64, slices.Clone(c.Dict.Floats()))
 		default:
 			continue
 		}

@@ -386,26 +386,29 @@ func (op *parallelAggrOp) run() error {
 // as selection vectors inside the partitioned scan, so only the rare
 // un-checkpointable table (enum dictionary outgrew its code width) still
 // falls back to the serial merged scan.
-func partitionable(db *Database, plan algebra.Node) bool {
+func partitionable(opts ExecOptions, plan algebra.Node) bool {
 	switch n := plan.(type) {
 	case *algebra.Scan:
-		ds, err := db.Delta(n.Table)
+		// Resolved through the query's captured view, so the decision is
+		// consistent with what the partitioned scan will actually read even
+		// when writers append concurrently.
+		v, err := opts.snaps.view(n.Table)
 		if err != nil {
 			return false
 		}
-		return ds.NumDeltaRows() == 0
+		return v.delta.NumDeltaRows() == 0
 	case *algebra.Select:
-		return partitionable(db, n.Input)
+		return partitionable(opts, n.Input)
 	case *algebra.Project:
-		return partitionable(db, n.Input)
+		return partitionable(opts, n.Input)
 	case *algebra.Join:
 		// Equi-joins only: the probe side partitions, the build side is
 		// materialized once and probed concurrently.
-		return len(n.On) > 0 && partitionable(db, n.Left)
+		return len(n.On) > 0 && partitionable(opts, n.Left)
 	case *algebra.Fetch1Join:
-		return partitionable(db, n.Input)
+		return partitionable(opts, n.Input)
 	case *algebra.FetchNJoin:
-		return partitionable(db, n.Input)
+		return partitionable(opts, n.Input)
 	default:
 		return false
 	}
@@ -479,7 +482,7 @@ func (c *parCtx) buildPartition(plan algebra.Node, opts ExecOptions) (Operator, 
 		}
 		jb := c.joins[n]
 		if jb == nil {
-			if nw := opts.parallelism(); nw > 1 && partitionable(c.db, n.Right) {
+			if nw := opts.parallelism(); nw > 1 && partitionable(opts, n.Right) {
 				// Partitioned parallel build: per-worker pipelines drain
 				// morsels into private builders, hash and insert in
 				// parallel (joinBuild.drainParallel/index). The build still
@@ -543,11 +546,11 @@ func (c *parCtx) partScan(n *algebra.Scan, pred expr.Expr, opts ExecOptions) (*s
 	src := c.scans[n]
 	if src == nil {
 		if pred != nil {
-			applySummaryBounds(c.db, n.Table, pred, op)
+			applySummaryBounds(op.view, pred, op)
 		}
 		// Align morsels to the ColumnBM chunk grid of disk-backed tables so
 		// workers never split (and thus never redundantly decompress) a chunk.
-		src = newMorselSource(op.lo, op.hi, op.table.ChunkRows, opts)
+		src = newMorselSource(op.lo, op.hi, op.view.chunkRows, opts)
 		c.scans[n] = src
 	}
 	op.source = src
@@ -646,7 +649,7 @@ func newParallelAggr(db *Database, n *algebra.Aggr, opts ExecOptions) (Operator,
 func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator, error) {
 	switch n := plan.(type) {
 	case *algebra.Aggr:
-		if partitionable(db, n.Input) {
+		if partitionable(opts, n.Input) {
 			op, ok, err := newParallelAggr(db, n, opts)
 			if err != nil {
 				return nil, err
@@ -661,12 +664,12 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newAggrOp(in, n, opts)
 	case *algebra.Scan:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		return build(db, plan, opts)
 	case *algebra.Select:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		if _, ok := n.Input.(*algebra.Scan); ok {
@@ -680,7 +683,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newSelectOp(in, n.Pred, opts)
 	case *algebra.Project:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		in, err := buildParallel(db, n.Input, opts)
@@ -689,7 +692,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newProjectOp(in, n.Exprs, opts)
 	case *algebra.Join:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		if len(n.On) == 0 {
@@ -705,7 +708,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newHashJoinOp(l, r, n, opts)
 	case *algebra.Fetch1Join:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		in, err := buildParallel(db, n.Input, opts)
@@ -714,7 +717,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newFetch1JoinOp(db, in, n, opts)
 	case *algebra.FetchNJoin:
-		if partitionable(db, n) {
+		if partitionable(opts, n) {
 			return newExchangeOp(db, n, opts)
 		}
 		in, err := buildParallel(db, n.Input, opts)
@@ -723,7 +726,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newFetchNJoinOp(db, in, n, opts)
 	case *algebra.Order:
-		if opts.parallelism() > 1 && partitionable(db, n.Input) {
+		if opts.parallelism() > 1 && partitionable(opts, n.Input) {
 			return newParallelOrderOp(db, n.Input, n.Keys, 0, opts)
 		}
 		in, err := buildParallel(db, n.Input, opts)
@@ -732,7 +735,7 @@ func buildParallel(db *Database, plan algebra.Node, opts ExecOptions) (Operator,
 		}
 		return newOrderOp(in, n.Keys, 0, opts)
 	case *algebra.TopN:
-		if opts.parallelism() > 1 && partitionable(db, n.Input) {
+		if opts.parallelism() > 1 && partitionable(opts, n.Input) {
 			return newParallelOrderOp(db, n.Input, n.Keys, n.N, opts)
 		}
 		in, err := buildParallel(db, n.Input, opts)

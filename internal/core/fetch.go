@@ -22,8 +22,8 @@ import (
 type fetch1JoinOp struct {
 	input   Operator
 	node    *algebra.Fetch1Join
-	table   *colstore.Table
-	dstore  *delta.Store
+	view    *tableView
+	dsnap   *delta.Snapshot
 	prog    *expr.Prog
 	rowPass int // input column index when RowID is a plain column
 	opts    ExecOptions
@@ -34,15 +34,11 @@ type fetch1JoinOp struct {
 }
 
 func newFetch1JoinOp(db *Database, input Operator, node *algebra.Fetch1Join, opts ExecOptions) (*fetch1JoinOp, error) {
-	t, err := db.Table(node.Table)
+	v, err := opts.snaps.view(node.Table)
 	if err != nil {
 		return nil, err
 	}
-	ds, err := db.Delta(node.Table)
-	if err != nil {
-		return nil, err
-	}
-	op := &fetch1JoinOp{input: input, node: node, table: t, dstore: ds, opts: opts, rowPass: -1}
+	op := &fetch1JoinOp{input: input, node: node, view: v, dsnap: v.delta, opts: opts, rowPass: -1}
 	in := input.Schema()
 	if c, ok := node.RowID.(*expr.Col); ok {
 		if i := in.ColIndex(c.Name); i >= 0 && in[i].Type.Physical() == vector.Int32 {
@@ -61,7 +57,7 @@ func newFetch1JoinOp(db *Database, input Operator, node *algebra.Fetch1Join, opt
 	}
 	op.schema = in.Clone()
 	for i, cname := range node.Cols {
-		c := t.Col(cname)
+		c := v.col(cname)
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
 		}
@@ -109,7 +105,7 @@ func (op *fetch1JoinOp) Next() (*vector.Batch, error) {
 	}
 	out := &vector.Batch{Schema: op.schema, Vecs: make([]*vector.Vector, 0, len(op.schema)), Sel: b.Sel, N: b.N}
 	out.Vecs = append(out.Vecs, b.Vecs...)
-	hasDelta := op.dstore.NumDeltaRows() > 0
+	hasDelta := op.dsnap.NumDeltaRows() > 0
 	for ci, col := range op.cols {
 		dst := op.bufs[ci]
 		if dst.Len() < b.N {
@@ -184,7 +180,7 @@ func gatherLoop[T any](dst []T, base []T, ids []int32, sel []int32, n int) {
 func fetchEnum(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int32, n int) {
 	if col.Dict.Typ == vector.Float64 {
 		out := dst.Float64s()
-		base := col.Dict.F64s
+		base := col.Dict.Floats()
 		switch codes := col.Data().(type) {
 		case []uint8:
 			enumGather(out, base, codes, ids, sel, n)
@@ -194,7 +190,7 @@ func fetchEnum(dst *vector.Vector, col *colstore.Column, ids []int32, sel []int3
 		return
 	}
 	out := dst.Strings()
-	base := col.Dict.Values
+	base := col.Dict.Strings()
 	switch codes := col.Data().(type) {
 	case []uint8:
 		enumGather(out, base, codes, ids, sel, n)
@@ -216,15 +212,15 @@ func enumGather[T any, C uint8 | uint16](dst []T, base []T, codes []C, ids []int
 }
 
 // fetchWithDelta is the slow path when the referenced table has pending
-// inserts: row ids at or beyond the base fragments resolve into the delta,
-// base ids resolve value-at-a-time through the column's locator (still
-// never pinning).
+// inserts: row ids at or beyond the captured base resolve into the delta
+// snapshot, base ids resolve value-at-a-time through the column's locator
+// (still never pinning).
 func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, ci int, ids []int32, sel []int32, n int) error {
-	baseN := op.table.N
+	baseN := op.view.n
 	col := op.cols[ci]
 	loc := op.locs[ci]
 	ti := 0
-	for i, c := range op.table.Cols {
+	for i, c := range op.view.cols {
 		if c == col {
 			ti = i
 			break
@@ -234,7 +230,7 @@ func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, ci int, ids []int32, 
 		if int(id) < baseN {
 			return loc.Value(int(id))
 		}
-		return op.dstore.DeltaValue(ti, int(id)-baseN), nil
+		return op.dsnap.DeltaValue(ti, int(id)-baseN), nil
 	}
 	if sel != nil {
 		for _, i := range sel {
@@ -264,7 +260,8 @@ func (op *fetch1JoinOp) fetchWithDelta(dst *vector.Vector, ci int, ids []int32, 
 type fetchNJoinOp struct {
 	input    Operator
 	node     *algebra.FetchNJoin
-	table    *colstore.Table
+	view     *tableView
+	del      *delta.Snapshot // non-nil when the fetch target has deletions
 	ranges   *rangeLookup
 	opts     ExecOptions
 	schema   vector.Schema
@@ -283,14 +280,22 @@ type fetchNJoinOp struct {
 
 type rangeLookup struct{ starts []int32 }
 
-func (r *rangeLookup) rng(id int32) (int32, int32) { return r.starts[id], r.starts[id+1] }
+// rng returns the referenced-row range of id. Ids beyond the index (rows
+// the referencing table gained after the index was derived) map to an
+// empty range rather than a panic.
+func (r *rangeLookup) rng(id int32) (int32, int32) {
+	if int(id)+1 >= len(r.starts) {
+		return 0, 0
+	}
+	return r.starts[id], r.starts[id+1]
+}
 
 func newFetchNJoinOp(db *Database, input Operator, node *algebra.FetchNJoin, opts ExecOptions) (*fetchNJoinOp, error) {
-	t, err := db.Table(node.Table)
+	v, err := opts.snaps.view(node.Table)
 	if err != nil {
 		return nil, err
 	}
-	ri := db.RangeIndexAny(node.Table)
+	ri := v.rangeIndexAny()
 	if ri == nil {
 		return nil, fmt.Errorf("core: no range index registered for table %s", node.Table)
 	}
@@ -300,12 +305,15 @@ func newFetchNJoinOp(db *Database, input Operator, node *algebra.FetchNJoin, opt
 		return nil, fmt.Errorf("core: fetchnjoin input has no column %q", node.RangeOf)
 	}
 	op := &fetchNJoinOp{
-		input: input, node: node, table: t,
+		input: input, node: node, view: v,
 		ranges: &rangeLookup{starts: ri.Starts}, opts: opts, rangeCol: rc,
+	}
+	if v.delta.NumDeleted() > 0 {
+		op.del = v.delta
 	}
 	op.schema = in.Clone()
 	for i, cname := range node.Cols {
-		c := t.Col(cname)
+		c := v.col(cname)
 		if c == nil {
 			return nil, fmt.Errorf("core: table %s has no column %q", node.Table, cname)
 		}
@@ -370,6 +378,10 @@ func (op *fetchNJoinOp) Next() (*vector.Batch, error) {
 			op.curFetch, op.curHi = op.ranges.rng(id)
 		}
 		for op.curFetch < op.curHi && len(op.leftIdx) < bs {
+			if op.del != nil && op.del.IsDeleted(op.curFetch) {
+				op.curFetch++
+				continue
+			}
 			op.leftIdx = append(op.leftIdx, int32(pos))
 			op.fetchIdx = append(op.fetchIdx, op.curFetch)
 			op.curFetch++
@@ -395,9 +407,16 @@ func (op *fetchNJoinOp) Next() (*vector.Batch, error) {
 		v.Typ = op.schema[c].Type
 		out.Vecs[c] = v
 	}
+	hasDelta := op.view.delta.NumDeltaRows() > 0
 	for i, col := range op.cols {
 		v := vector.New(col.Typ, k)
-		if err := op.locs[i].Gather(v, op.fetchIdx, nil, k); err != nil {
+		var err error
+		if hasDelta {
+			err = op.fetchWithDelta(v, i, op.fetchIdx, k)
+		} else {
+			err = op.locs[i].Gather(v, op.fetchIdx, nil, k)
+		}
+		if err != nil {
 			return nil, err
 		}
 		v.Typ = col.Typ
@@ -405,4 +424,33 @@ func (op *fetchNJoinOp) Next() (*vector.Batch, error) {
 	}
 	op.opts.Tracer.RecordOperator("FetchNJoin("+op.node.Table+")", k, time.Since(t0))
 	return out, nil
+}
+
+// fetchWithDelta mirrors fetch1JoinOp.fetchWithDelta: a range index derived
+// while the referenced table had pending inserts addresses delta-resident
+// rows past the captured base, which resolve through the delta snapshot.
+func (op *fetchNJoinOp) fetchWithDelta(dst *vector.Vector, ci int, ids []int32, n int) error {
+	baseN := op.view.n
+	col := op.cols[ci]
+	loc := op.locs[ci]
+	ti := 0
+	for i, c := range op.view.cols {
+		if c == col {
+			ti = i
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := ids[i]
+		if int(id) < baseN {
+			v, err := loc.Value(int(id))
+			if err != nil {
+				return err
+			}
+			dst.Set(i, v)
+			continue
+		}
+		dst.Set(i, op.view.delta.DeltaValue(ti, int(id)-baseN))
+	}
+	return nil
 }

@@ -357,8 +357,9 @@ func newHashJoinOp(left, right Operator, node *algebra.Join, opts ExecOptions) (
 			// Code-domain key: the two sides carry distinct dictionaries
 			// (possibly of different code widths); build the build-side ->
 			// probe-side code translation once.
-			xlat := make([]int32, ck.rdict.Len())
-			for rc, v := range ck.rdict.Values {
+			rvals := ck.rdict.Strings()
+			xlat := make([]int32, len(rvals))
+			for rc, v := range rvals {
 				lc, found := ck.ldict.Lookup(v)
 				if !found {
 					lc = -1

@@ -63,6 +63,10 @@ type ExecOptions struct {
 	// was compiled for (set by workerOptions); nil on serial pipelines and
 	// on the coordinator's own options.
 	slot *sched.Slot
+	// snaps is the query's snapshot set: the frozen per-table views every
+	// operator of this plan resolves tables through (see snapshot.go).
+	// Build creates it when absent; worker options copies share it.
+	snaps *snapSet
 }
 
 // DefaultOptions returns the standard execution configuration.

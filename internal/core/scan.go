@@ -66,9 +66,13 @@ func (sc *scanCol) domainDict() *colstore.Dict {
 }
 
 type scanOp struct {
-	db     *Database
-	table  *colstore.Table
-	dstore *delta.Store
+	db *Database
+	// view is the query's frozen view of the table (column set, base row
+	// count); dsnap is the matching delta snapshot. Both come from the
+	// plan's snapshot set, so a concurrent checkpoint or compaction never
+	// changes what this scan reads.
+	view   *tableView
+	dsnap  *delta.Snapshot
 	cols   []scanCol
 	schema vector.Schema
 	opts   ExecOptions
@@ -89,20 +93,16 @@ type scanOp struct {
 }
 
 func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*scanOp, error) {
-	t, err := db.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	ds, err := db.Delta(table)
+	v, err := opts.snaps.view(table)
 	if err != nil {
 		return nil, err
 	}
 	if len(cols) == 0 {
-		for _, c := range t.Cols {
+		for _, c := range v.cols {
 			cols = append(cols, c.Name)
 		}
 	}
-	op := &scanOp{db: db, table: t, dstore: ds, opts: opts, lo: 0, hi: t.N}
+	op := &scanOp{db: db, view: v, dsnap: v.delta, opts: opts, lo: 0, hi: v.n}
 	for _, name := range cols {
 		sc := scanCol{name: name}
 		switch {
@@ -111,7 +111,7 @@ func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*sc
 			sc.typ = vector.Int32
 		case strings.HasSuffix(name, CodeSuffix):
 			base := strings.TrimSuffix(name, CodeSuffix)
-			c := t.Col(base)
+			c := v.col(base)
 			if c == nil {
 				return nil, fmt.Errorf("core: table %s has no column %q", table, base)
 			}
@@ -128,7 +128,7 @@ func newScanOp(db *Database, table string, cols []string, opts ExecOptions) (*sc
 				sc.typ = phys
 			}
 		default:
-			c := t.Col(name)
+			c := v.col(name)
 			if c == nil {
 				return nil, fmt.Errorf("core: table %s has no column %q", table, name)
 			}
@@ -232,7 +232,7 @@ func (s *scanOp) claimRange() (int, int, bool) {
 func (s *scanOp) deletionSel(lo, hi int) []int32 {
 	sel := s.selBuf[:0]
 	for j := 0; j < hi-lo; j++ {
-		if !s.dstore.IsDeleted(int32(lo + j)) {
+		if !s.dsnap.IsDeleted(int32(lo + j)) {
 			sel = append(sel, int32(j))
 		}
 	}
@@ -281,11 +281,12 @@ func (s *scanOp) Next() (*vector.Batch, error) {
 	// Insert deltas require the value-at-a-time merged scan; a bare
 	// deletion list is handled below on the vectorized path with a
 	// selection vector, so deletions neither break partitioned scans nor
-	// force the slow path.
-	if s.dstore.NumDeltaRows() > 0 {
+	// force the slow path. The choice is made on the captured snapshot,
+	// so it cannot flip mid-query when a checkpoint absorbs the delta.
+	if s.dsnap.NumDeltaRows() > 0 {
 		return s.nextMerged()
 	}
-	hasDel := s.dstore.NumDeleted() > 0
+	hasDel := s.dsnap.NumDeleted() > 0
 	for {
 		lo, hi, ok := s.claimRange()
 		if !ok {
@@ -332,7 +333,7 @@ func (s *scanOp) decodeDict(sc *scanCol, lo, hi int, sel []int32) (*vector.Vecto
 	var name string
 	dict := sc.domainDict()
 	if sc.typ.Physical() == vector.Float64 {
-		base := dict.F64s
+		base := dict.Floats()
 		if codes.Typ == vector.UInt8 {
 			primitives.GatherColU8(out.Float64s(), base, codes.UInt8s(), sel)
 			name = "map_fetch_uchr_col_flt_col"
@@ -341,7 +342,7 @@ func (s *scanOp) decodeDict(sc *scanCol, lo, hi int, sel []int32) (*vector.Vecto
 			name = "map_fetch_usht_col_flt_col"
 		}
 	} else {
-		base := dict.Values
+		base := dict.Strings()
 		if codes.Typ == vector.UInt8 {
 			primitives.GatherColU8(out.Strings(), base, codes.UInt8s(), sel)
 			name = "map_fetch_uchr_col_str_col"
@@ -371,20 +372,20 @@ func (s *scanOp) decodeDict(sc *scanCol, lo, hi int, sel []int32) (*vector.Vecto
 // per-column FragLocators, so even this path never pins disk columns.
 func (s *scanOp) nextMerged() (*vector.Batch, error) {
 	bs := s.opts.batchSize()
-	baseN := s.table.N
+	baseN := s.view.n
 	type srcRow struct{ id int32 }
 	rows := make([]srcRow, 0, bs)
 	for len(rows) < bs && s.pos < s.hi {
 		id := int32(s.pos)
 		s.pos++
-		if !s.dstore.IsDeleted(id) {
+		if !s.dsnap.IsDeleted(id) {
 			rows = append(rows, srcRow{id: id})
 		}
 	}
-	for len(rows) < bs && s.deltaPos < s.dstore.NumDeltaRows() {
+	for len(rows) < bs && s.deltaPos < s.dsnap.NumDeltaRows() {
 		id := int32(baseN + s.deltaPos)
 		s.deltaPos++
-		if !s.dstore.IsDeleted(id) {
+		if !s.dsnap.IsDeleted(id) {
 			rows = append(rows, srcRow{id: id})
 		}
 	}
@@ -438,13 +439,13 @@ func (s *scanOp) nextMerged() (*vector.Batch, error) {
 
 func (s *scanOp) deltaValue(sc *scanCol, j int) (any, error) {
 	ti := 0
-	for i, c := range s.table.Cols {
+	for i, c := range s.view.cols {
 		if c == sc.col {
 			ti = i
 			break
 		}
 	}
-	val := s.dstore.DeltaValue(ti, j)
+	val := s.dsnap.DeltaValue(ti, j)
 	if !sc.rawCode {
 		return val, nil
 	}

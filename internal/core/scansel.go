@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"x100/internal/colstore"
@@ -184,7 +185,7 @@ func (s *scanSelectOp) translateGlobal(cj expr.Expr, ci int, d *colstore.Dict) *
 			}
 		}
 	}
-	bits := s.bitsFor(cj, ci, d.Values)
+	bits := s.bitsFor(cj, ci, d.Strings())
 	if bits == nil {
 		return nil
 	}
@@ -193,11 +194,14 @@ func (s *scanSelectOp) translateGlobal(cj expr.Expr, ci int, d *colstore.Dict) *
 
 // rangeStep translates a range comparison over a sorted dictionary into a
 // code-range comparison: codes of a sorted dictionary are order-isomorphic
-// to their strings, so "col < v" is exactly "code < #values(< v)".
+// to their strings, so "col < v" is exactly "code < #values(< v)". It works
+// on one captured value array (Strings), so a concurrent dictionary append
+// cannot desynchronize the search and the boundary test.
 func rangeStep(op expr.CmpKind, v string, ci int, d *colstore.Dict) *codeStep {
-	below := d.SearchValue(v) // number of values < v
+	vals := d.Strings()
+	below := sort.SearchStrings(vals, v) // number of values < v
 	atOrBelow := below
-	if below < d.Len() && d.Values[below] == v {
+	if below < len(vals) && vals[below] == v {
 		atOrBelow++
 	}
 	// Express every range as "code < bound" or "code >= bound".
@@ -214,9 +218,9 @@ func rangeStep(op expr.CmpKind, v string, ci int, d *colstore.Dict) *codeStep {
 		bound, ge = atOrBelow, true
 	}
 	switch {
-	case !ge && bound <= 0, ge && bound >= d.Len():
+	case !ge && bound <= 0, ge && bound >= len(vals):
 		return &codeStep{kind: stepNone, colIdx: ci}
-	case !ge && bound >= d.Len(), ge && bound <= 0:
+	case !ge && bound >= len(vals), ge && bound <= 0:
 		return allTrueStep(ci, d)
 	case ge:
 		return &codeStep{kind: stepCmp, colIdx: ci, op: expr.GE, code: bound}
@@ -502,7 +506,7 @@ func (s *scanSelectOp) fill(ci, lo, hi int, sel []int32) error {
 }
 
 func (s *scanSelectOp) Next() (*vector.Batch, error) {
-	if s.scan.dstore.NumDeltaRows() > 0 {
+	if s.scan.dsnap.NumDeltaRows() > 0 {
 		// Merged delta path: logical values are materialized anyway, so the
 		// whole predicate evaluates decode-first.
 		for {
@@ -521,7 +525,7 @@ func (s *scanSelectOp) Next() (*vector.Batch, error) {
 			return b, nil
 		}
 	}
-	hasDel := s.scan.dstore.NumDeleted() > 0
+	hasDel := s.scan.dsnap.NumDeleted() > 0
 	for {
 		lo, hi, ok := s.scan.claimRange()
 		if !ok {

@@ -52,11 +52,13 @@ func TestStringChunkPruning(t *testing.T) {
 	db, n := stringPruneDB(t)
 	pred := expr.GEE(expr.C("day"), expr.Str("2024-03-01"))
 
-	op, err := newScanOp(db, "events", []string{"day", "v"}, DefaultOptions())
+	opts := DefaultOptions()
+	opts.snaps = db.newSnapSet()
+	op, err := newScanOp(db, "events", []string{"day", "v"}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	applySummaryBounds(db, "events", pred, op)
+	applySummaryBounds(op.view, pred, op)
 	if op.lo == 0 {
 		t.Errorf("scan lower bound not pruned: lo=%d", op.lo)
 	}
@@ -65,11 +67,11 @@ func TestStringChunkPruning(t *testing.T) {
 	}
 
 	// An upper-bounded predicate prunes the tail instead.
-	opLE, err := newScanOp(db, "events", []string{"day"}, DefaultOptions())
+	opLE, err := newScanOp(db, "events", []string{"day"}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	applySummaryBounds(db, "events", expr.LTE(expr.C("day"), expr.Str("2024-02-01")), opLE)
+	applySummaryBounds(opLE.view, expr.LTE(expr.C("day"), expr.Str("2024-02-01")), opLE)
 	if opLE.hi == n {
 		t.Errorf("scan upper bound not pruned: hi=%d", opLE.hi)
 	}

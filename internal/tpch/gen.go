@@ -19,7 +19,6 @@ import (
 	"x100/internal/colstore"
 	"x100/internal/core"
 	"x100/internal/dateutil"
-	"x100/internal/sindex"
 	"x100/internal/vector"
 )
 
@@ -449,13 +448,12 @@ func Generate(cfg Config) (*core.Database, error) {
 	must(db.BuildSummaryIndex("orders", "o_orderdate", 0))
 	must(db.BuildSummaryIndex("lineitem", "l_shipdate", 0))
 
-	// orders -> lineitem range index (lineitem clustered with orders).
-	ji := &sindex.JoinIndex{From: "lineitem", To: "orders", RowIDs: lOrderRow}
-	ri, err := sindex.BuildRangeIndex(ji, nOrd)
-	if err != nil {
+	// orders -> lineitem range index (lineitem clustered with orders),
+	// derived with a recipe so checkpoints and reorganizes that move row
+	// ids re-derive it automatically instead of leaving it stale.
+	if err := db.DeriveRangeIndex("lineitem", "orders", "l_orderrow"); err != nil {
 		return nil, err
 	}
-	db.RegisterRangeIndex("lineitem", "orders", ri)
 	return db, nil
 }
 

@@ -9,7 +9,6 @@ import (
 
 	"x100/internal/columnbm"
 	"x100/internal/core"
-	"x100/internal/sindex"
 )
 
 // mutTables are the tables the update/recovery differential mutates.
@@ -34,29 +33,14 @@ func attachAll(t *testing.T, dir string, poolChunks int) (*core.Database, *colum
 	return db, store
 }
 
-// rebuildRangeIndex re-derives the orders->lineitem range index from the
-// l_orderrow join-index column (pinning just that column, as an index build
-// does).
+// rebuildRangeIndex derives the orders->lineitem range index from the
+// l_orderrow join-index column and records the recipe, so later
+// checkpoints and compactions re-derive it automatically.
 func rebuildRangeIndex(t *testing.T, db *core.Database) {
 	t.Helper()
-	lt, err := db.Table("lineitem")
-	if err != nil {
+	if err := db.DeriveRangeIndex("lineitem", "orders", "l_orderrow"); err != nil {
 		t.Fatal(err)
 	}
-	orow, err := lt.Col("l_orderrow").Pin()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ord, err := db.Table("orders")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ji := &sindex.JoinIndex{From: "lineitem", To: "orders", RowIDs: orow.([]int32)}
-	ri, err := sindex.BuildRangeIndex(ji, ord.N)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db.RegisterRangeIndex("lineitem", "orders", ri)
 }
 
 // lastRowTemplate captures the boxed logical values of a table's last row —

@@ -197,6 +197,10 @@ type DB struct {
 	poolBytes  int64
 	poolPolicy CachePolicy
 	poolSet    bool
+	// Background compactor (WithBackgroundCompaction); nil when disabled.
+	compactor     *core.Compactor
+	compactorOpts CompactorOptions
+	compactorOn   bool
 }
 
 // DBOption configures NewDB.
@@ -238,13 +242,59 @@ func WithBufferPool(capacityBytes int64, policy CachePolicy) DBOption {
 	return func(db *DB) { db.poolBytes, db.poolPolicy, db.poolSet = capacityBytes, policy, true }
 }
 
+// CompactorOptions tune the background compactor started by
+// WithBackgroundCompaction: the poll interval, the pending-insert and
+// deleted-fraction thresholds that trigger a checkpoint or compaction, and
+// the admission-control scheduler the maintenance work draws slots from.
+type CompactorOptions = core.CompactorOptions
+
+// CompactionStatus is a snapshot of the background compactor's counters:
+// maintenance runs, checkpoints, compactions, rows absorbed, and whether a
+// run is currently in flight (see DB.CompactionStatus).
+type CompactionStatus = core.CompactionStatus
+
+// WithBackgroundCompaction starts a background compactor over the
+// database's disk-attached tables: insert deltas that outgrow the
+// configured threshold are absorbed by incremental checkpoints, and tables
+// whose deleted fraction passes its threshold are compacted (Reorganize)
+// into a fresh chunk generation — all while queries keep executing against
+// their captured snapshots. Maintenance work draws admission slots from
+// the configured (or default) scheduler, so it cannot starve queries.
+// Stop the compactor with DB.Close. The zero CompactorOptions selects
+// defaults (100ms poll, 4096 delta rows, 25% deleted).
+func WithBackgroundCompaction(opts CompactorOptions) DBOption {
+	return func(db *DB) { db.compactorOpts, db.compactorOn = opts, true }
+}
+
 // NewDB creates an empty database.
 func NewDB(opts ...DBOption) *DB {
 	db := &DB{inner: core.NewDatabase()}
 	for _, o := range opts {
 		o(db)
 	}
+	if db.compactorOn {
+		db.compactor = core.StartCompactor(db.inner, db.compactorOpts)
+	}
 	return db
+}
+
+// CompactionStatus returns the background compactor's counters; the zero
+// status when WithBackgroundCompaction was not selected.
+func (db *DB) CompactionStatus() CompactionStatus {
+	if db.compactor == nil {
+		return CompactionStatus{}
+	}
+	return db.compactor.Status()
+}
+
+// Close stops the database's background maintenance (the compactor started
+// by WithBackgroundCompaction), waiting for an in-flight run to finish.
+// Queries already built keep working; Close only halts background work.
+func (db *DB) Close() error {
+	if db.compactor != nil {
+		db.compactor.Stop()
+	}
+	return nil
 }
 
 // store opens (or returns the cached) ColumnBM store for dir.
