@@ -126,20 +126,23 @@ func FormatStorage(cols []ColumnStorage) string {
 // FormatWalStatus renders WalStatuses as an aligned text table (the
 // shell's `\storage` WAL section): per table, records appended, fsyncs,
 // rotations, records replayed at attach, torn tails truncated, stale logs
-// discarded, chunk checksum failures, and directory-fsync errors.
+// discarded, chunk checksum failures, directory-fsync errors, chunk reads
+// that needed a transient-error retry, and scrubber chunks
+// verified/failed.
 func FormatWalStatus(stats []WalStatus) string {
 	if len(stats) == 0 {
 		return ""
 	}
-	out := fmt.Sprintf("%-18s %8s %7s %7s %8s %6s %6s %7s %8s\n",
-		"table", "appends", "syncs", "rotate", "replayed", "torn", "stale", "crcerr", "dirsync")
+	out := fmt.Sprintf("%-18s %8s %7s %7s %8s %6s %6s %7s %8s %7s %8s %8s\n",
+		"table", "appends", "syncs", "rotate", "replayed", "torn", "stale", "crcerr", "dirsync", "retried", "scrubok", "scrubbad")
 	for _, s := range stats {
-		out += fmt.Sprintf("%-18s %8d %7d %7d %8d %6d %6d %7d %8d\n",
+		out += fmt.Sprintf("%-18s %8d %7d %7d %8d %6d %6d %7d %8d %7d %8d %8d\n",
 			s.Table, s.Wal.Appends, s.Wal.Syncs, s.Wal.Rotations, s.Wal.Replayed,
 			s.Wal.TailTruncations, s.Wal.StaleDiscards,
-			s.Store.ChecksumFailures, s.Store.DirSyncErrors)
+			s.Store.ChecksumFailures, s.Store.DirSyncErrors,
+			s.Store.RetriedReads, s.Store.ScrubVerified, s.Store.ScrubFailed)
 	}
-	return out + "(wal activity and recovery/corruption counters per disk-attached table)\n"
+	return out + "(wal activity, recovery/corruption and read-retry/scrub counters per disk-attached table)\n"
 }
 
 // FormatPoolStatus renders buffer-pool counters from WalStatuses as an
@@ -181,6 +184,25 @@ func FormatCompactionStatus(s CompactionStatus) string {
 	}
 	out := fmt.Sprintf("compactor: %s · runs=%d checkpoints=%d compactions=%d rows_absorbed=%d errors=%d\n",
 		state, s.Runs, s.Checkpoints, s.Compactions, s.RowsAbsorbed, s.Errors)
+	if s.LastError != nil {
+		out += fmt.Sprintf("last error: %v\n", s.LastError)
+	}
+	return out
+}
+
+// FormatScrubStatus renders a ScrubStatus as one line (the shell's
+// `\storage` scrubber section): sweeps completed, chunks verified and
+// failed, and the most recent verification failure, if any.
+func FormatScrubStatus(s ScrubStatus) string {
+	state := "idle"
+	if s.InFlight {
+		state = "scrubbing " + s.LastTable
+	}
+	out := fmt.Sprintf("scrubber: %s · sweeps=%d verified=%d failed=%d errors=%d\n",
+		state, s.Sweeps, s.ChunksVerified, s.ChunksFailed, s.Errors)
+	if s.LastFailure != "" {
+		out += fmt.Sprintf("last failed chunk: %s\n", s.LastFailure)
+	}
 	if s.LastError != nil {
 		out += fmt.Sprintf("last error: %v\n", s.LastError)
 	}

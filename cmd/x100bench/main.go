@@ -8,7 +8,7 @@
 //
 // Experiments: fig2, primitives, table1, table2, table3, table4, table5,
 // fig6, fig10, parallel, concurrent, disk, strings, updates, ingest, htap,
-// compressed, ablation-compound, ablation-enum, ablation-summary,
+// compressed, faults, ablation-compound, ablation-enum, ablation-summary,
 // ablation-selvec, all.
 //
 // The primitives experiment measures each width-specialized branch-free
@@ -76,6 +76,15 @@
 // latency, and pool hit/attach counters:
 //
 //	x100bench -exp concurrent -sf 0.01 -json BENCH_concurrent.json
+//
+// The faults experiment measures query-lifecycle governance: the
+// cancellation latency distribution (a parallel Q1 over disk-attached
+// lineitem cancelled at a spread of points; the sample is cancel-to-return
+// time) and throughput under injected transient I/O faults (every Nth
+// chunk read fails once with a retryable error; the clean and degraded
+// passes are compared and the retried reads counted):
+//
+//	x100bench -exp faults -sf 0.01 -json BENCH_faults.json
 package main
 
 import (
@@ -136,7 +145,7 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 	var db, smallDB *core.Database
 	needDB := all || want["table1"] || want["table2"] || want["table3"] || want["table4"] ||
 		want["table5"] || want["fig10"] || want["parallel"] || want["concurrent"] ||
-		want["disk"] || want["strings"] ||
+		want["disk"] || want["strings"] || want["faults"] ||
 		want["updates"] || want["ingest"] || want["htap"] || want["ablation-compound"] ||
 		want["ablation-summary"] || want["ablation-fetchjoin"]
 	if needDB {
@@ -206,6 +215,11 @@ func run(exp string, sf, smallSF float64, seed uint64, levels []int, jsonPath st
 		}},
 		{"compressed", func() error {
 			recs, err := bench.Compressed(w, sf, seed)
+			records = append(records, recs...)
+			return err
+		}},
+		{"faults", func() error {
+			recs, err := bench.Faults(w, db, sf)
 			records = append(records, recs...)
 			return err
 		}},

@@ -16,21 +16,52 @@
 // hit/miss/attach/eviction counts — attach = a scan joining a chunk
 // another scan already decoded), \explain <plan>,
 // \engine <x100|mil|volcano>, \vectorsize <n>, \parallel <n>, \trace,
+// \timeout <dur> (per-query deadline, e.g. 500ms; 0 disables),
 // \delete <t> <rowid>, \checkpoint <t> (durable write-back on disk tables),
 // \reorganize <t> (directory compaction), \q.
+//
+// Ctrl-C cancels the query in flight — the engine aborts at the next
+// morsel boundary and the shell keeps running; at an idle prompt it is
+// ignored (\q quits).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"x100"
 )
+
+// inflight tracks the cancel function of the query being executed, so the
+// SIGINT handler can abort it without killing the shell.
+var inflight struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+func setInflight(c context.CancelFunc) {
+	inflight.mu.Lock()
+	inflight.cancel = c
+	inflight.mu.Unlock()
+}
+
+func cancelInflight() bool {
+	inflight.mu.Lock()
+	defer inflight.mu.Unlock()
+	if inflight.cancel == nil {
+		return false
+	}
+	inflight.cancel()
+	return true
+}
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
@@ -52,10 +83,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("ready. \\q quits, \\tables lists tables, \\storage <t> shows chunk codecs, plans run on balance of parens.")
+	fmt.Println("Ctrl-C cancels the query in flight; \\timeout <dur> sets a per-query deadline.")
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		for range sigCh {
+			if !cancelInflight() {
+				fmt.Println("\n(no query in flight; \\q to quit)")
+			}
+		}
+	}()
 
 	engine := x100.Vectorized
 	vectorSize := 0
 	parallelism := 0
+	timeout := time.Duration(0)
 	traceOn := false
 	var buf strings.Builder
 	sc := bufio.NewScanner(os.Stdin)
@@ -72,7 +115,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if handleMeta(trimmed, db, &engine, &vectorSize, &parallelism, &traceOn) {
+			if handleMeta(trimmed, db, &engine, &vectorSize, &parallelism, &timeout, &traceOn) {
 				return
 			}
 			prompt()
@@ -83,7 +126,7 @@ func main() {
 		text := buf.String()
 		if balanced(text) && strings.TrimSpace(text) != "" {
 			buf.Reset()
-			runPlan(db, text, engine, vectorSize, parallelism, traceOn)
+			runPlan(db, text, engine, vectorSize, parallelism, timeout, traceOn)
 		}
 		prompt()
 	}
@@ -102,7 +145,7 @@ func balanced(s string) bool {
 	return depth <= 0 && strings.Contains(s, "(")
 }
 
-func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parallelism *int, traceOn *bool) (quit bool) {
+func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parallelism *int, timeout *time.Duration, traceOn *bool) (quit bool) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
@@ -225,6 +268,22 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parall
 			break
 		}
 		*vectorSize = n
+	case "\\timeout":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\timeout <duration> (e.g. 500ms, 2s; 0 disables)")
+			break
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		*timeout = d
+		if d > 0 {
+			fmt.Println("per-query deadline:", d)
+		} else {
+			fmt.Println("per-query deadline disabled")
+		}
 	case "\\trace":
 		*traceOn = !*traceOn
 		fmt.Println("trace:", *traceOn)
@@ -234,13 +293,25 @@ func handleMeta(cmd string, db *x100.DB, engine *x100.Engine, vectorSize, parall
 	return false
 }
 
-func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize, parallelism int, traceOn bool) {
+func runPlan(db *x100.DB, text string, engine x100.Engine, vectorSize, parallelism int, timeout time.Duration, traceOn bool) {
 	plan, err := x100.Parse(text)
 	if err != nil {
 		fmt.Println("parse error:", err)
 		return
 	}
-	opts := []x100.ExecOption{x100.WithEngine(engine)}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+		defer cancelT()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	setInflight(cancel)
+	defer func() {
+		setInflight(nil)
+		cancel()
+	}()
+	opts := []x100.ExecOption{x100.WithEngine(engine), x100.WithContext(ctx)}
 	if vectorSize > 0 {
 		opts = append(opts, x100.WithVectorSize(vectorSize))
 	}

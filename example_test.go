@@ -1,6 +1,8 @@
 package x100_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -113,4 +115,49 @@ func ExampleDB_ExecText() {
 	fmt.Println(res.Row(0)[0])
 	// Output:
 	// 9
+}
+
+// ExampleWithContext attaches a context to a query: a cancelled context
+// (or an expired deadline) aborts execution at the next morsel boundary,
+// and the returned error classifies with errors.Is.
+func ExampleWithContext() {
+	db := x100.NewDB()
+	if err := db.CreateTable("t",
+		x100.ColumnData{Name: "v", Type: x100.Int64T, Data: []int64{1, 2, 3, 4}},
+	); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a deadline would surface as context.DeadlineExceeded instead
+	_, err := db.Exec(x100.ScanT("t", "v").Node(), x100.WithContext(ctx))
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// true
+}
+
+// ExampleWithMemoryLimit caps a query's materializing memory: exceeding
+// the budget aborts the query with ErrMemoryBudget instead of risking the
+// whole process.
+func ExampleWithMemoryLimit() {
+	db := x100.NewDB()
+	vals := make([]int64, 100_000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if err := db.CreateTable("big",
+		x100.ColumnData{Name: "v", Type: x100.Int64T, Data: vals},
+	); err != nil {
+		log.Fatal(err)
+	}
+	plan := x100.ScanT("big", "v").AggrBy(nil, x100.SumA("s", x100.Col("v"))).Node()
+	_, err := db.Exec(plan, x100.WithMemoryLimit(4<<10)) // 4 KiB: far too small
+	fmt.Println(errors.Is(err, x100.ErrMemoryBudget))
+	res, err := db.Exec(plan, x100.WithMemoryLimit(64<<20)) // 64 MiB: plenty
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Row(0)[0])
+	// Output:
+	// true
+	// 4999950000
 }

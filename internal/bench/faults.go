@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"x100/internal/columnbm"
+	"x100/internal/core"
+	"x100/internal/tpch"
+)
+
+// faultCancelSamples is the number of cancellation-latency measurements:
+// each one cancels a fresh query at a different fraction of its runtime.
+const faultCancelSamples = 32
+
+// faultEveryNthRead makes every Nth chunk-file read fail transiently
+// during the degraded pass, so each affected read takes one retry.
+const faultEveryNthRead = 5
+
+// Faults is the lifecycle/fault-tolerance experiment. Part one measures
+// the cancellation latency distribution: a parallel TPC-H Q1 over a
+// disk-attached lineitem is cancelled at a spread of points across its
+// runtime, and the sample is the time from cancel to Exec returning —
+// the paper-facing claim is that abort is bounded by one morsel, not by
+// query length. Part two measures throughput under injected transient
+// I/O faults: the same scan-heavy query mix runs with every Nth chunk
+// read failing once with a retryable error, and the degraded pass is
+// compared with the clean pass (the retried reads are counted); the
+// claim is graceful degradation — every query still succeeds, paying
+// only the retry latency.
+func Faults(w io.Writer, db *core.Database, sf float64) ([]Record, error) {
+	dir, err := os.MkdirTemp("", "x100faults")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	wstore, err := columnbm.NewStore(dir, diskChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := db.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	if err := wstore.SaveTable(lt); err != nil {
+		return nil, err
+	}
+	store, err := columnbm.NewStore(dir, diskChunkValues, 0)
+	if err != nil {
+		return nil, err
+	}
+	diskDB := core.NewDatabase()
+	if _, err := core.AttachDiskTable(diskDB, store, "lineitem"); err != nil {
+		return nil, err
+	}
+	plan, err := tpch.Query(1, sf)
+	if err != nil {
+		return nil, err
+	}
+	parallelism := max(2, effectiveCores())
+	runOnce := func(ctx context.Context) error {
+		opts := core.DefaultOptions()
+		opts.Ctx = ctx
+		opts.Parallelism = parallelism
+		_, err := core.Run(diskDB, plan, opts)
+		return err
+	}
+
+	// Baseline runtime (also warms the buffer pool so cancellation
+	// samples measure abort latency, not cold I/O).
+	t0 := time.Now()
+	if err := runOnce(context.Background()); err != nil {
+		return nil, err
+	}
+	full := time.Since(t0)
+
+	fmt.Fprintf(w, "Fault tolerance at SF=%g (lineitem=%d rows, Q1 at parallelism %d, full run %.2fms)\n",
+		sf, lt.N, parallelism, full.Seconds()*1e3)
+
+	var recs []Record
+
+	// --- Part 1: cancellation latency distribution ---
+	var lats []time.Duration
+	completed := 0
+	for i := 0; i < faultCancelSamples; i++ {
+		// Cancel points sweep 5%..85% of the measured runtime.
+		delay := full * time.Duration(5+(80*i)/faultCancelSamples) / 100
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- runOnce(ctx) }()
+		var cancelAt time.Time
+		select {
+		case err := <-done:
+			// Finished before the cancel point (tiny SF): not a sample.
+			cancel()
+			if err != nil {
+				return nil, err
+			}
+			completed++
+			continue
+		case <-time.After(delay):
+			cancelAt = time.Now()
+			cancel()
+		}
+		err := <-done
+		lat := time.Since(cancelAt)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, fmt.Errorf("cancelled run returned a non-cancel error: %w", err)
+		}
+		if err == nil {
+			completed++ // raced to completion; not an abort sample
+			continue
+		}
+		lats = append(lats, lat)
+	}
+	avg, p95 := latencyStats(lats)
+	fmt.Fprintf(w, "cancellation: %d aborts (%d ran to completion), latency avg %.3fms p95 %.3fms\n",
+		len(lats), completed, avg.Seconds()*1e3, p95.Seconds()*1e3)
+	recs = append(recs, Record{
+		Name: "faults-cancel", SF: sf, Parallelism: parallelism, Mode: "cancel",
+		Rows: len(lats), NsPerOp: float64(full.Nanoseconds()),
+		LatencyMsAvg: avg.Seconds() * 1e3, LatencyMsP95: p95.Seconds() * 1e3,
+	})
+
+	// --- Part 2: throughput under injected transient read faults ---
+	// Every query runs against a freshly attached store (cold pools), so
+	// each one actually reads its chunks from the filesystem and the
+	// injected read faults are exercised, not absorbed by a warm cache.
+	const passQueries = 8
+	measure := func(faults bool) (time.Duration, int64, error) {
+		var elapsed time.Duration
+		var retried int64
+		for q := 0; q < passQueries; q++ {
+			coldStore, err := columnbm.NewStore(dir, diskChunkValues, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			coldDB := core.NewDatabase()
+			if _, err := core.AttachDiskTable(coldDB, coldStore, "lineitem"); err != nil {
+				return 0, 0, err
+			}
+			if faults {
+				var reads atomic.Int64
+				coldStore.FaultHook = func(stage string) error {
+					if stage == "read-chunk" && reads.Add(1)%faultEveryNthRead == 0 {
+						return fmt.Errorf("injected transient fault: %w", columnbm.ErrTransient)
+					}
+					return nil
+				}
+			}
+			opts := core.DefaultOptions()
+			opts.Parallelism = parallelism
+			t := time.Now()
+			_, err = core.Run(coldDB, plan, opts)
+			elapsed += time.Since(t)
+			coldStore.FaultHook = nil
+			if err != nil {
+				return 0, 0, err
+			}
+			retried += coldStore.Stats().RetriedReads
+		}
+		return elapsed, retried, nil
+	}
+	clean, _, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	faulty, retried, err := measure(true)
+	if err != nil {
+		return nil, fmt.Errorf("query failed under transient faults: %w", err)
+	}
+	for _, pass := range []struct {
+		mode    string
+		elapsed time.Duration
+	}{{"clean", clean}, {"transient-faults", faulty}} {
+		qps := passQueries / pass.elapsed.Seconds()
+		fmt.Fprintf(w, "%-18s %d queries in %8.2fms (%6.2f qps)\n",
+			pass.mode, passQueries, pass.elapsed.Seconds()*1e3, qps)
+		recs = append(recs, Record{
+			Name: "faults-transient", SF: sf, Parallelism: parallelism, Mode: pass.mode,
+			Rows: passQueries, NsPerOp: float64(pass.elapsed.Nanoseconds()) / passQueries, QPS: qps,
+		})
+	}
+	fmt.Fprintf(w, "retried reads during faulty pass: %d (every %dth read failed once)\n",
+		retried, faultEveryNthRead)
+	return recs, nil
+}

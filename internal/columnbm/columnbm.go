@@ -38,6 +38,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // DefaultChunkValues is the number of values per chunk; at 8 bytes/value
@@ -114,6 +116,12 @@ func FormatCodecs(codecs map[string]int) string {
 // ErrCorrupt is returned when a chunk fails validation.
 var ErrCorrupt = errors.New("columnbm: corrupt chunk")
 
+// ErrTransient classifies a read failure as retryable (wrapped by injected
+// faults and matched, alongside EINTR/EAGAIN, by the read path's bounded
+// exponential-backoff retry loop). Errors that still carry it after escaping
+// the store exhausted their retries.
+var ErrTransient = errors.New("columnbm: transient i/o error")
+
 // Store manages chunked column files under a directory.
 type Store struct {
 	dir         string
@@ -124,14 +132,17 @@ type Store struct {
 
 	// FaultHook, when non-nil, is called at the stages of a write-back
 	// ("chunk" after each appended chunk file, "manifest-temp" after the
-	// temp manifest is written, "manifest-commit" after the rename) and of
+	// temp manifest is written, "manifest-commit" after the rename), of
 	// the write-ahead log ("wal-append" after a record write, "wal-sync"
 	// after an fsync, "wal-rotate" after the temp WAL of a rotation is
 	// written, "wal-truncate" after the rotation rename, "wal-replay"
-	// before replayed records are applied); a non-nil return aborts the
-	// operation with that error. It exists for crash-safety tests, which
-	// kill a checkpoint or a logged write mid-stream and assert that
-	// re-attaching sees exactly the last committed state.
+	// before replayed records are applied), and of the read path
+	// ("read-chunk" before each chunk-file read attempt — errors wrapping
+	// ErrTransient exercise the retry loop); a non-nil return aborts the
+	// operation with that error. It exists for crash-safety and
+	// fault-injection tests, which kill a checkpoint or a logged write
+	// mid-stream and assert that re-attaching sees exactly the last
+	// committed state.
 	FaultHook func(stage string) error
 }
 
@@ -142,6 +153,9 @@ type storeCounters struct {
 	checksumFailures atomic.Int64
 	dirSyncErrors    atomic.Int64
 	dirSyncLogOnce   sync.Once
+	retriedReads     atomic.Int64
+	scrubVerified    atomic.Int64
+	scrubFailed      atomic.Int64
 }
 
 // StoreStats is a snapshot of a store's health counters.
@@ -153,6 +167,13 @@ type StoreStats struct {
 	// Renames may not survive power loss on such filesystems; the error is
 	// logged once per store and counted here instead of being discarded.
 	DirSyncErrors int64
+	// RetriedReads counts chunk-file read attempts that failed with a
+	// transient error and were retried with backoff.
+	RetriedReads int64
+	// ScrubVerified/ScrubFailed count chunks the background CRC scrubber
+	// checked against the manifest: verified clean vs failed (corrupt or
+	// unreadable).
+	ScrubVerified, ScrubFailed int64
 	// PoolHits/PoolMisses/PoolEvictions are the compressed-chunk buffer
 	// pool counters (whole chunk files, pre-decode).
 	PoolHits, PoolMisses, PoolEvictions int64
@@ -166,6 +187,9 @@ func (s *Store) Stats() StoreStats {
 	st := StoreStats{
 		ChecksumFailures: s.counters.checksumFailures.Load(),
 		DirSyncErrors:    s.counters.dirSyncErrors.Load(),
+		RetriedReads:     s.counters.retriedReads.Load(),
+		ScrubVerified:    s.counters.scrubVerified.Load(),
+		ScrubFailed:      s.counters.scrubFailed.Load(),
 	}
 	st.PoolHits, st.PoolMisses, st.PoolEvictions = s.pool.Stats()
 	if s.dcache != nil {
@@ -473,7 +497,7 @@ func (s *Store) readChunk(column string, gen, idx int) (chunkHeader, []byte, err
 func (s *Store) readChunkChecked(column string, gen, idx int, crc uint32, check bool) (chunkHeader, []byte, error) {
 	key := s.chunkPath(column, gen, idx)
 	raw, err := s.pool.Get(key, func() ([]byte, error) {
-		b, err := os.ReadFile(key)
+		b, err := s.readChunkFile(key)
 		if err != nil {
 			return nil, err
 		}
@@ -489,7 +513,7 @@ func (s *Store) readChunkChecked(column string, gen, idx int, crc uint32, check 
 		if errors.Is(err, ErrCorrupt) {
 			return chunkHeader{}, nil, err
 		}
-		return chunkHeader{}, nil, fmt.Errorf("columnbm: %w", err)
+		return chunkHeader{}, nil, fmt.Errorf("columnbm: column %s gen %d chunk %d: %w", column, gen, idx, err)
 	}
 	if len(raw) < 17 || binary.LittleEndian.Uint32(raw[0:]) != chunkMagic {
 		return chunkHeader{}, nil, fmt.Errorf("%w: %s", ErrCorrupt, key)
@@ -504,6 +528,44 @@ func (s *Store) readChunkChecked(column string, gen, idx int, crc uint32, check 
 		return chunkHeader{}, nil, fmt.Errorf("%w: %s payload size mismatch", ErrCorrupt, key)
 	}
 	return hdr, raw[17:], nil
+}
+
+// maxReadAttempts bounds the transient-read retry loop: up to three
+// backoff sleeps (1/2/4 ms) after the initial attempt.
+const maxReadAttempts = 4
+
+// readChunkFile reads one chunk file, retrying transient failures
+// (interrupted/temporarily-unavailable syscalls and injected faults
+// wrapping ErrTransient) with bounded exponential backoff. Permanent
+// failures — missing files, corruption — return immediately; a transient
+// failure that survives every attempt escapes still wrapping ErrTransient
+// so callers can classify it.
+func (s *Store) readChunkFile(key string) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		var b []byte
+		err := s.fault("read-chunk")
+		if err == nil {
+			b, err = os.ReadFile(key)
+		}
+		if err == nil {
+			return b, nil
+		}
+		if !transientReadError(err) {
+			return nil, err
+		}
+		if attempt == maxReadAttempts-1 {
+			return nil, fmt.Errorf("read failed after %d attempts: %w", maxReadAttempts, err)
+		}
+		s.counters.retriedReads.Add(1)
+		time.Sleep(time.Millisecond << attempt)
+	}
+}
+
+// transientReadError classifies a chunk-read failure as retryable.
+func transientReadError(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
 }
 
 // CompressedSize returns the total on-disk size of a column's chunks

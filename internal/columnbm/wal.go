@@ -1,6 +1,7 @@
 package columnbm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -273,11 +274,22 @@ func (w *WAL) ensureOpenLocked() error {
 // LogInsert appends an insert record; with durable it does not return
 // until the record is fsynced (sharing the fsync with concurrent appends).
 func (w *WAL) LogInsert(row []any, durable bool) error {
+	return w.LogInsertCancel(row, durable, nil)
+}
+
+// LogInsertCancel is LogInsert with a cancellation channel: if cancel
+// fires while the record is parked waiting for another appender's group
+// commit, the wait is abandoned and context.Canceled (wrapped) is
+// returned. The record itself has already been appended — cancellation
+// gives up the durability *acknowledgement*, not the write — so the row
+// may still survive a restart; the caller must treat the insert's fate
+// as unknown, exactly as it would after a crash.
+func (w *WAL) LogInsertCancel(row []any, durable bool, cancel <-chan struct{}) error {
 	payload, err := encodeWALInsert(row)
 	if err != nil {
 		return err
 	}
-	return w.append(payload, durable)
+	return w.append(payload, durable, cancel)
 }
 
 // LogDelete appends a delete record (see LogInsert for durability).
@@ -285,7 +297,7 @@ func (w *WAL) LogDelete(rowID int32, durable bool) error {
 	payload := make([]byte, 0, 6)
 	payload = append(payload, byte(WALDelete))
 	payload = binary.AppendUvarint(payload, uint64(uint32(rowID)))
-	return w.append(payload, durable)
+	return w.append(payload, durable, nil)
 }
 
 // LogUpdate appends an update (delete rowID + insert row) as one atomic
@@ -299,10 +311,10 @@ func (w *WAL) LogUpdate(rowID int32, row []any, durable bool) error {
 	payload = append(payload, byte(WALUpdate))
 	payload = binary.AppendUvarint(payload, uint64(uint32(rowID)))
 	payload = append(payload, ins[1:]...) // insert body without its kind byte
-	return w.append(payload, durable)
+	return w.append(payload, durable, nil)
 }
 
-func (w *WAL) append(payload []byte, durable bool) error {
+func (w *WAL) append(payload []byte, durable bool, cancel <-chan struct{}) error {
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
@@ -335,7 +347,24 @@ func (w *WAL) append(payload []byte, durable bool) error {
 	}
 	// Group commit: wait for an in-flight sync to finish, then either our
 	// record is already covered or we become the next sync leader and
-	// flush everything appended so far.
+	// flush everything appended so far. A cancel channel can abandon the
+	// wait: cond.Wait cannot select on a channel, so a watcher goroutine
+	// turns the cancel signal into a Broadcast and the waiter re-checks
+	// the channel on every wake.
+	var watchDone chan struct{}
+	if cancel != nil && durable {
+		watchDone = make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-cancel:
+				w.mu.Lock()
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
 	for {
 		if w.synced >= end {
 			w.mu.Unlock()
@@ -345,6 +374,14 @@ func (w *WAL) append(payload []byte, durable bool) error {
 			// A failed sync truncated our record away.
 			w.mu.Unlock()
 			return fmt.Errorf("columnbm: wal %s append: lost in failed group commit", w.table)
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				w.mu.Unlock()
+				return fmt.Errorf("columnbm: wal %s group commit abandoned (record appended, durability unconfirmed): %w", w.table, context.Canceled)
+			default:
+			}
 		}
 		if !w.syncing {
 			break

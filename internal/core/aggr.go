@@ -481,6 +481,11 @@ func (op *aggrOp) Open() error {
 }
 
 func (op *aggrOp) growGroups(n int) {
+	// Charge accumulator growth against the query's memory budget: one
+	// 8-byte-ish cell per accumulator (plus the row count) per new group.
+	if grown := n - len(op.rowCount); grown > 0 {
+		op.opts.life.reserve(batchBytes(len(op.accs)+1, grown))
+	}
 	for _, a := range op.accs {
 		a.grow(n)
 	}
@@ -501,6 +506,11 @@ func (op *aggrOp) Next() (*vector.Batch, error) {
 
 func (op *aggrOp) consume() error {
 	for {
+		// Batch boundary: cancellation/deadline/budget check for serial
+		// aggregation and every partial-aggregation worker alike.
+		if err := op.opts.life.check(); err != nil {
+			return err
+		}
 		b, err := op.input.Next()
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -372,16 +374,44 @@ func flipCmpKind(op expr.CmpKind) expr.CmpKind {
 	}
 }
 
-// Run builds and drains a plan, returning the materialized result.
+// Run builds and drains a plan, returning the materialized result. When
+// opts.Ctx or opts.MemLimit is set, the query runs under a lifecycle:
+// cancellation/deadline is honored at every morsel boundary (returning a
+// wrapped context error with all slots, leases, and views released), and
+// accounted memory beyond the limit fails the query with a wrapped
+// ErrMemoryBudget instead of exhausting the process.
 func Run(db *Database, plan algebra.Node, opts ExecOptions) (*Result, error) {
+	if opts.life == nil {
+		opts.life = newLifecycle(opts.Ctx, opts.MemLimit)
+	}
+	if err := opts.life.check(); err != nil {
+		return nil, err
+	}
+	if opts.MemLimit > 0 {
+		// Make the declared budget visible to the admission pool for the
+		// query's duration.
+		pool := opts.pool()
+		pool.ReserveMemory(opts.MemLimit)
+		defer pool.ReleaseMemory(opts.MemLimit)
+	}
 	op, err := Build(db, plan, opts)
 	if err != nil {
 		return nil, err
 	}
 	opts.Tracer.Begin()
-	res, err := Drain(op)
+	res, err := drain(op, opts.life)
 	opts.Tracer.End()
 	if opts.Tracer != nil {
+		// Classify lifecycle terminations so traces count cancellations,
+		// deadline hits, and budget rejections.
+		switch {
+		case errors.Is(err, context.Canceled):
+			opts.Tracer.RecordCounter("query_cancellations", 1)
+		case errors.Is(err, context.DeadlineExceeded):
+			opts.Tracer.RecordCounter("query_deadline_hits", 1)
+		case errors.Is(err, ErrMemoryBudget):
+			opts.Tracer.RecordCounter("query_budget_rejections", 1)
+		}
 		// Surface storage/WAL health next to the execution counters so a
 		// trace shows recovery and corruption events alongside the query.
 		for _, st := range db.WalStatuses() {
@@ -390,6 +420,15 @@ func Run(db *Database, plan algebra.Node, opts ExecOptions) (*Result, error) {
 			}
 			if st.Store.DirSyncErrors > 0 {
 				opts.Tracer.RecordCounter("storage_dirsync_errors", st.Store.DirSyncErrors)
+			}
+			if st.Store.RetriedReads > 0 {
+				opts.Tracer.RecordCounter("storage_retried_reads", st.Store.RetriedReads)
+			}
+			if st.Store.ScrubVerified > 0 {
+				opts.Tracer.RecordCounter("scrub_chunks_verified", st.Store.ScrubVerified)
+			}
+			if st.Store.ScrubFailed > 0 {
+				opts.Tracer.RecordCounter("scrub_chunks_failed", st.Store.ScrubFailed)
 			}
 			if st.Wal.Replayed > 0 {
 				opts.Tracer.RecordCounter("wal_replayed_records", st.Wal.Replayed)

@@ -146,6 +146,16 @@ func (db *Database) attachment(table string) *diskAttachment {
 // the row is validated, logged (and under DurabilityGroup fsynced) before
 // it is applied, so an acknowledged insert survives a restart.
 func (db *Database) Insert(table string, row []any) (int32, error) {
+	return db.InsertCancel(table, row, nil)
+}
+
+// InsertCancel is Insert with a cancellation channel threaded through to
+// the write-ahead log's group-commit wait: a durable insert parked behind
+// another appender's fsync returns promptly (wrapping context.Canceled)
+// when cancel fires, instead of riding out the sync. The record was
+// already appended, so — as after a crash — the row's durability is
+// unknown to the caller; it is not applied to the in-memory delta.
+func (db *Database) InsertCancel(table string, row []any, cancel <-chan struct{}) (int32, error) {
 	ds, err := db.Delta(table)
 	if err != nil {
 		return 0, err
@@ -159,7 +169,7 @@ func (db *Database) Insert(table string, row []any) (int32, error) {
 		att.tailMu.RLock()
 		defer att.tailMu.RUnlock()
 		if att.wal != nil {
-			if err := att.wal.LogInsert(row, db.durability == DurabilityGroup); err != nil {
+			if err := att.wal.LogInsertCancel(row, db.durability == DurabilityGroup, cancel); err != nil {
 				return 0, err
 			}
 		}
@@ -212,6 +222,21 @@ func (db *Database) Update(table string, rowID int32, row []any) (int32, error) 
 		}
 	}
 	return ds.Update(rowID, row)
+}
+
+// GenLeases reports the number of outstanding generation leases on a
+// disk-attached table — the count of captured query views that are
+// pinning superseded chunk generations. Zero when no query holds a view.
+// Diagnostic hook: cancelled and completed queries alike must return the
+// count to its pre-query value.
+func (db *Database) GenLeases(table string) int {
+	att := db.attachment(table)
+	if att == nil {
+		return 0
+	}
+	att.genMu.Lock()
+	defer att.genMu.Unlock()
+	return att.genRefs
 }
 
 // WalStatus reports one disk-attached table's write-ahead-log and store

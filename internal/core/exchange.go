@@ -106,10 +106,13 @@ type exchangeOp struct {
 	out     chan exchMsg
 	recycle chan *vector.Batch
 	stop    chan struct{}
-	wg      sync.WaitGroup
-	stopped sync.Once
-	cur     *vector.Batch
-	merged  bool
+	// stopFn idempotently closes stop. It is re-created per Open and
+	// captured by value in the lifecycle watcher goroutine, so a watcher
+	// from a previous Open can never race a later Open's state.
+	stopFn func()
+	wg     sync.WaitGroup
+	cur    *vector.Batch
+	merged bool
 }
 
 func newExchangeOpFromParts(parts []Operator, ctx *parCtx, tracers []*trace.Collector, slots []*sched.Slot, opts ExecOptions) *exchangeOp {
@@ -141,7 +144,9 @@ func (e *exchangeOp) Open() error {
 	e.out = make(chan exchMsg, len(e.parts))
 	e.recycle = make(chan *vector.Batch, 2*len(e.parts)+1)
 	e.stop = make(chan struct{})
-	e.stopped = sync.Once{}
+	stopCh := e.stop
+	var stopOnce sync.Once
+	e.stopFn = func() { stopOnce.Do(func() { close(stopCh) }) }
 	e.cur = nil
 	e.merged = false
 	for i, p := range e.parts {
@@ -152,6 +157,20 @@ func (e *exchangeOp) Open() error {
 		e.wg.Wait()
 		close(e.out)
 	}()
+	if done := e.opts.life.stop(); done != nil {
+		// Lifecycle watcher: propagate query cancellation/deadline into
+		// the exchange's stop signal so every worker — computing, queued
+		// for a slot, or parked on a hand-off — unwinds within one
+		// scheduler quantum. Exits with the exchange either way.
+		stopFn := e.stopFn
+		go func() {
+			select {
+			case <-done:
+				stopFn()
+			case <-stopCh:
+			}
+		}()
+	}
 	return nil
 }
 
@@ -224,7 +243,10 @@ func (e *exchangeOp) Next() (*vector.Batch, error) {
 	}
 	msg, ok := <-e.out
 	if !ok {
-		return nil, nil
+		// A cancelled query's workers exit without sending an error; the
+		// lifecycle check turns the resulting early EOF into the wrapped
+		// context (or budget) error instead of a silent truncated result.
+		return nil, e.opts.life.err()
 	}
 	if msg.err != nil {
 		e.signalStop()
@@ -236,7 +258,9 @@ func (e *exchangeOp) Next() (*vector.Batch, error) {
 }
 
 func (e *exchangeOp) signalStop() {
-	e.stopped.Do(func() { close(e.stop) })
+	if e.stopFn != nil {
+		e.stopFn()
+	}
 }
 
 func (e *exchangeOp) Close() error {
@@ -350,7 +374,11 @@ func (op *parallelAggrOp) run() error {
 		go func(i int, w *aggrOp) {
 			defer wg.Done()
 			slot := op.slots[i]
-			slot.Acquire()
+			slot.Bind(op.opts.life.stop())
+			if !slot.Acquire() {
+				errs[i] = op.opts.life.check()
+				return
+			}
 			defer slot.Release()
 			if err := w.Open(); err != nil {
 				errs[i] = err

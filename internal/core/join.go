@@ -111,19 +111,20 @@ func (jb *joinBuild) run(opts ExecOptions) error {
 
 func (jb *joinBuild) build(opts ExecOptions) error {
 	t0 := time.Now()
+	life := opts.life
 	if len(jb.parParts) > 0 {
-		if err := jb.drainParallel(); err != nil {
+		if err := jb.drainParallel(life); err != nil {
 			return err
 		}
 	} else {
-		if err := jb.drainSerial(); err != nil {
+		if err := jb.drainSerial(life); err != nil {
 			return err
 		}
 	}
 	if len(jb.rbuild) > 0 {
 		jb.nRight = jb.rbuild[0].len()
 	}
-	if err := jb.index(); err != nil {
+	if err := jb.index(life); err != nil {
 		return err
 	}
 	for _, tr := range jb.parTracers {
@@ -136,7 +137,7 @@ func (jb *joinBuild) build(opts ExecOptions) error {
 }
 
 // drainSerial materializes the build side from the single right pipeline.
-func (jb *joinBuild) drainSerial() error {
+func (jb *joinBuild) drainSerial(life *lifecycle) error {
 	if err := jb.right.Open(); err != nil {
 		return err
 	}
@@ -146,6 +147,9 @@ func (jb *joinBuild) drainSerial() error {
 		jb.rbuild[i] = newColBuilder(f.Type)
 	}
 	for {
+		if err := life.check(); err != nil {
+			return err
+		}
 		b, err := jb.right.Next()
 		if err != nil {
 			return err
@@ -156,6 +160,7 @@ func (jb *joinBuild) drainSerial() error {
 		for i, v := range b.Vecs {
 			jb.rbuild[i].appendVec(v, b.Sel, b.N)
 		}
+		life.reserve(batchBytes(len(rs), b.Rows()))
 	}
 }
 
@@ -164,7 +169,7 @@ func (jb *joinBuild) drainSerial() error {
 // no locks), then the partitions concatenate in worker order. Row order —
 // and therefore chain order — depends on the morsel race, so parallel
 // builds are multiset-equivalent to serial ones, not row-identical.
-func (jb *joinBuild) drainParallel() error {
+func (jb *joinBuild) drainParallel(life *lifecycle) error {
 	nw := len(jb.parParts)
 	for _, src := range jb.parSources {
 		src.reset()
@@ -178,7 +183,11 @@ func (jb *joinBuild) drainParallel() error {
 		go func(w int) {
 			defer wg.Done()
 			slot := jb.parSlots[w]
-			slot.Acquire()
+			slot.Bind(life.stop())
+			if !slot.Acquire() {
+				errs[w] = life.check()
+				return
+			}
 			defer slot.Release()
 			p := jb.parParts[w]
 			if err := p.Open(); err != nil {
@@ -191,6 +200,10 @@ func (jb *joinBuild) drainParallel() error {
 				cols[i] = newColBuilder(f.Type)
 			}
 			for {
+				if err := life.check(); err != nil {
+					errs[w] = err
+					return
+				}
 				b, err := p.Next()
 				if err != nil {
 					errs[w] = err
@@ -202,6 +215,7 @@ func (jb *joinBuild) drainParallel() error {
 				for i, v := range b.Vecs {
 					cols[i].appendVec(v, b.Sel, b.N)
 				}
+				life.reserve(batchBytes(len(rs), b.Rows()))
 			}
 			partCols[w] = cols
 		}(w)
@@ -230,11 +244,17 @@ func (jb *joinBuild) drainParallel() error {
 // every worker scans the hash array but only writes buckets it owns, and
 // rows insert in ascending order per bucket, so the resulting chains are
 // exactly the serial ones.
-func (jb *joinBuild) index() error {
+func (jb *joinBuild) index(life *lifecycle) error {
 	// Size the table to ~2x rows, power of two.
 	sz := 1024
 	for sz < jb.nRight*2 {
 		sz *= 2
+	}
+	// Charge the hash table (buckets + chain + hash scratch) before
+	// allocating; a budget violation surfaces at the check below.
+	life.reserve(int64(sz)*4 + int64(jb.nRight)*12)
+	if err := life.check(); err != nil {
+		return err
 	}
 	jb.buckets = make([]int32, sz)
 	jb.mask = uint64(sz - 1)
@@ -257,7 +277,11 @@ func (jb *joinBuild) index() error {
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				slot := jb.parSlots[w]
-				slot.Acquire()
+				slot.Bind(life.stop())
+				if !slot.Acquire() {
+					errs[w] = life.check()
+					return
+				}
 				defer slot.Release()
 				errs[w] = jb.hashRows(hashes, lo, hi)
 			}(w, lo, hi)
@@ -276,7 +300,10 @@ func (jb *joinBuild) index() error {
 			go func(w int, slo, shi uint64) {
 				defer wg.Done()
 				ws := jb.parSlots[w]
-				ws.Acquire()
+				ws.Bind(life.stop())
+				if !ws.Acquire() {
+					return
+				}
 				defer ws.Release()
 				for r := 0; r < jb.nRight; r++ {
 					slot := hashes[r] & jb.mask
@@ -288,7 +315,10 @@ func (jb *joinBuild) index() error {
 			}(w, slo, shi)
 		}
 		wg.Wait()
-		return nil
+		// A cancelled insert worker leaves its bucket range unlinked; the
+		// lifecycle check turns that partial table into a query error
+		// before any prober can read it.
+		return life.check()
 	}
 	if err := jb.hashRows(hashes, 0, jb.nRight); err != nil {
 		return err
@@ -739,6 +769,9 @@ func (op *cartProdOp) Next() (*vector.Batch, error) {
 			op.rbuild[i] = newColBuilder(f.Type)
 		}
 		for {
+			if err := op.opts.life.check(); err != nil {
+				return nil, err
+			}
 			b, err := op.right.Next()
 			if err != nil {
 				return nil, err
@@ -749,6 +782,7 @@ func (op *cartProdOp) Next() (*vector.Batch, error) {
 			for i, v := range b.Vecs {
 				op.rbuild[i].appendVec(v, b.Sel, b.N)
 			}
+			op.opts.life.reserve(batchBytes(len(rs), b.Rows()))
 		}
 		if len(op.rbuild) > 0 {
 			op.nRight = op.rbuild[0].len()

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrMemoryBudget is returned (wrapped) when a query's memory accounting
+// exceeds the limit set via ExecOptions.MemLimit. The query fails cleanly
+// at the next batch boundary instead of driving the process out of memory;
+// concurrent queries within their budgets are unaffected.
+var ErrMemoryBudget = errors.New("core: query memory budget exceeded")
+
+// lifecycle is the per-query governance state: the cancellation signal
+// (context) and the memory budget. One lifecycle is shared — by pointer,
+// like snaps — across every ExecOptions copy of a query, including the
+// per-worker copies of parallel pipelines, so a single check()/reserve()
+// discipline covers serial loops, exchange workers, sort runs, and join
+// builds alike.
+//
+// All methods are nil-receiver-safe: queries executed without WithContext
+// or a memory limit carry a nil lifecycle and pay only a nil check per
+// batch.
+type lifecycle struct {
+	ctx      context.Context
+	done     <-chan struct{}
+	memLimit int64
+	memUsed  atomic.Int64
+	// exceeded latches the first budget violation; reserve flips it and
+	// check surfaces it, so hot loops never compare against the limit
+	// more than once per batch.
+	exceeded atomic.Bool
+}
+
+// newLifecycle builds the query lifecycle from exec options; nil when the
+// query asked for neither cancellation nor a budget.
+func newLifecycle(ctx context.Context, memLimit int64) *lifecycle {
+	if ctx == nil && memLimit <= 0 {
+		return nil
+	}
+	l := &lifecycle{ctx: ctx, memLimit: memLimit}
+	if ctx != nil {
+		l.done = ctx.Done()
+	}
+	return l
+}
+
+// check reports the query's lifecycle violation, if any: a wrapped context
+// error after cancellation/deadline, or a wrapped ErrMemoryBudget after the
+// accounting crossed the limit. It is called at every morsel/batch boundary
+// and is two atomic loads on the happy path.
+func (l *lifecycle) check() error {
+	if l == nil {
+		return nil
+	}
+	if l.done != nil {
+		select {
+		case <-l.done:
+			return fmt.Errorf("core: query aborted: %w", l.ctx.Err())
+		default:
+		}
+	}
+	if l.exceeded.Load() {
+		return fmt.Errorf("core: used %d of %d budgeted bytes: %w",
+			l.memUsed.Load(), l.memLimit, ErrMemoryBudget)
+	}
+	return nil
+}
+
+// err is like check but for code paths that already know the query ended
+// early (an exchange whose output closed under cancellation) and only need
+// the violation to surface.
+func (l *lifecycle) err() error { return l.check() }
+
+// stop returns the cancellation channel for sched.Slot.Bind and select
+// loops; nil (block-forever / never-cancelled) without a context.
+func (l *lifecycle) stop() <-chan struct{} {
+	if l == nil {
+		return nil
+	}
+	return l.done
+}
+
+// reserve charges n bytes against the query's budget. It never blocks and
+// never fails in place — a violation latches and surfaces at the caller's
+// next check(), keeping allocation call sites signature-stable.
+func (l *lifecycle) reserve(n int64) {
+	if l == nil || l.memLimit <= 0 || n == 0 {
+		return
+	}
+	if l.memUsed.Add(n) > l.memLimit {
+		l.exceeded.Store(true)
+	}
+}
+
+// batchBytes estimates the resident size of rows materialized across
+// cols columns: 8 bytes per value (string headers are wider, codes are
+// narrower; an estimate is enough — the budget guards against runaway
+// allocation, not exact RSS).
+func batchBytes(cols, rows int) int64 {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	return int64(cols) * 8 * int64(rows)
+}

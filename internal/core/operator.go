@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -67,6 +68,20 @@ type ExecOptions struct {
 	// operator of this plan resolves tables through (see snapshot.go).
 	// Build creates it when absent; worker options copies share it.
 	snaps *snapSet
+	// Ctx, when non-nil, attaches a cancellation/deadline signal to the
+	// query: every morsel and batch boundary checks it, and Run returns a
+	// wrapped context error (context.Canceled / context.DeadlineExceeded)
+	// with all slots, generation leases, and snapshot views released.
+	Ctx context.Context
+	// MemLimit, when positive, bounds the query's accounted memory in
+	// bytes (batch buffers, sort runs, join builds, aggregation
+	// accumulators, pinned decoded chunks). A query that crosses it fails
+	// with a wrapped ErrMemoryBudget at the next batch boundary.
+	MemLimit int64
+	// life is the shared per-query lifecycle state derived from Ctx and
+	// MemLimit (set by Run; shared by pointer across worker copies like
+	// snaps). nil when the query asked for neither.
+	life *lifecycle
 }
 
 // DefaultOptions returns the standard execution configuration.
@@ -201,7 +216,12 @@ func (r *Result) AppendRow(row []any) {
 }
 
 // Drain pulls an operator to exhaustion, materializing the result.
-func Drain(op Operator) (*Result, error) {
+func Drain(op Operator) (*Result, error) { return drain(op, nil) }
+
+// drain is Drain with a query lifecycle: every batch checks for
+// cancellation/deadline/budget violations, and the materialized result's
+// growth is charged against the memory budget.
+func drain(op Operator, life *lifecycle) (*Result, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -212,6 +232,9 @@ func Drain(op Operator) (*Result, error) {
 		res.cols[i] = newColBuilder(f.Type)
 	}
 	for {
+		if err := life.check(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -223,6 +246,7 @@ func Drain(op Operator) (*Result, error) {
 			res.cols[i].appendVec(v, b.Sel, b.N)
 		}
 		res.n += b.Rows()
+		life.reserve(batchBytes(len(schema), b.Rows()))
 	}
 	return res, nil
 }

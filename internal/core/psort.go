@@ -138,7 +138,11 @@ func (op *parallelOrderOp) run() error {
 		go func(i int, r *orderOp) {
 			defer wg.Done()
 			slot := op.slots[i]
-			slot.Acquire()
+			slot.Bind(op.opts.life.stop())
+			if !slot.Acquire() {
+				errs[i] = op.opts.life.check()
+				return
+			}
 			defer slot.Release()
 			if err := r.Open(); err != nil {
 				errs[i] = err

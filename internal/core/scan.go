@@ -170,6 +170,8 @@ func (s *scanOp) Open() error {
 		}
 	}
 	s.batch = &vector.Batch{Schema: s.schema, Vecs: make([]*vector.Vector, len(s.cols))}
+	// Charge the scan's decode/row-id buffers against the query budget.
+	s.opts.life.reserve(batchBytes(len(s.cols)+1, n))
 	return nil
 }
 
@@ -288,6 +290,10 @@ func (s *scanOp) Next() (*vector.Batch, error) {
 	}
 	hasDel := s.dsnap.NumDeleted() > 0
 	for {
+		// Batch boundary: the cancellation/budget check of this pipeline.
+		if err := s.opts.life.check(); err != nil {
+			return nil, err
+		}
 		lo, hi, ok := s.claimRange()
 		if !ok {
 			return nil, nil
@@ -371,6 +377,9 @@ func (s *scanOp) decodeDict(sc *scanCol, lo, hi int, sel []int32) (*vector.Vecto
 // reorganizing, so this path never dominates. Base values resolve through
 // per-column FragLocators, so even this path never pins disk columns.
 func (s *scanOp) nextMerged() (*vector.Batch, error) {
+	if err := s.opts.life.check(); err != nil {
+		return nil, err
+	}
 	bs := s.opts.batchSize()
 	baseN := s.view.n
 	type srcRow struct{ id int32 }

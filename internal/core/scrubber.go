@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"x100/internal/sched"
+)
+
+// ScrubberOptions tune the background CRC scrubber (StartScrubber).
+type ScrubberOptions struct {
+	// Interval is how often the scrubber sweeps the disk-attached tables.
+	// <= 0 selects 1s: scrubbing is preventive maintenance, not latency
+	// work, so it polls far less often than the compactor.
+	Interval time.Duration
+	// Pool is the admission-control pool the scrubber draws one execution
+	// slot from per sweep, so verification I/O competes with queries for
+	// the shared slot budget instead of starving them. nil uses the
+	// process-wide default pool.
+	Pool *sched.Pool
+}
+
+// ScrubStatus is a snapshot of the background scrubber's counters.
+type ScrubStatus struct {
+	// Sweeps counts completed passes over all disk-attached tables.
+	Sweeps int64
+	// ChunksVerified and ChunksFailed total the chunk CRC checks across
+	// all sweeps; a failed chunk is one whose on-disk bytes no longer
+	// match the committed manifest.
+	ChunksVerified int64
+	ChunksFailed   int64
+	// Errors counts sweeps that could not complete (e.g. an unreadable
+	// manifest); LastError is the most recent failure, and LastFailure
+	// identifies the most recent chunk that failed verification.
+	Errors      int64
+	LastError   error
+	LastFailure string
+	// InFlight reports whether a sweep is running right now, and
+	// LastTable names the table it (or the previous sweep) touched.
+	InFlight  bool
+	LastTable string
+}
+
+// Scrubber is a background disk scrubber: it periodically re-reads every
+// chunk file referenced by the committed manifests of a database's
+// disk-attached tables and verifies each against its recorded CRC32,
+// surfacing latent corruption (bit rot, torn writes that escaped the
+// foreground CRC check) before a query trips over it. Each sweep holds
+// one admission slot, like the compactor, so verification I/O is paced
+// against query work. Create one with StartScrubber; Stop it before
+// discarding the database.
+type Scrubber struct {
+	db   *Database
+	opts ScrubberOptions
+
+	mu     sync.Mutex
+	status ScrubStatus
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartScrubber launches a background CRC scrubber over db's
+// disk-attached tables.
+func StartScrubber(db *Database, opts ScrubberOptions) *Scrubber {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	s := &Scrubber{db: db, opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+// Stop halts the scrubber and waits for an in-flight sweep to finish
+// (a sweep aborts between chunks, so this is prompt). Idempotent.
+func (s *Scrubber) Stop() {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+		s.mu.Unlock()
+		<-s.done
+		return
+	default:
+	}
+	close(s.stop)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// Status returns a snapshot of the scrubber's counters.
+func (s *Scrubber) Status() ScrubStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+func (s *Scrubber) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.sweep()
+		}
+	}
+}
+
+// sweep verifies every disk-attached table once, holding one admission
+// slot for the whole pass.
+func (s *Scrubber) sweep() {
+	s.db.mu.RLock()
+	names := make([]string, 0, len(s.db.disk))
+	for name := range s.db.disk {
+		names = append(names, name)
+	}
+	s.db.mu.RUnlock()
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	s.mu.Lock()
+	s.status.InFlight = true
+	s.mu.Unlock()
+	slot := s.pool().NewSlot()
+	slot.Bind(s.stop)
+	if !slot.Acquire() {
+		s.mu.Lock()
+		s.status.InFlight = false
+		s.mu.Unlock()
+		return
+	}
+	for _, name := range names {
+		if stopping(s.stop) {
+			break
+		}
+		s.db.mu.RLock()
+		att := s.db.disk[name]
+		s.db.mu.RUnlock()
+		if att == nil {
+			continue
+		}
+		s.mu.Lock()
+		s.status.LastTable = name
+		s.mu.Unlock()
+		res, err := att.store.ScrubTable(name, s.stop)
+		s.mu.Lock()
+		s.status.ChunksVerified += int64(res.Checked)
+		s.status.ChunksFailed += int64(len(res.Failed))
+		if len(res.Failed) > 0 {
+			s.status.LastFailure = res.Failed[0]
+		}
+		if err != nil {
+			s.status.Errors++
+			s.status.LastError = err
+		}
+		s.mu.Unlock()
+	}
+	slot.Release()
+	s.mu.Lock()
+	s.status.Sweeps++
+	s.status.InFlight = false
+	s.mu.Unlock()
+}
+
+// stopping is a non-blocking poll of a stop channel.
+func stopping(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Scrubber) pool() *sched.Pool {
+	if s.opts.Pool != nil {
+		return s.opts.Pool
+	}
+	return sched.Default()
+}

@@ -103,6 +103,11 @@ func (op *orderOp) consume() error {
 		op.keyCols[i] = newColBuilder(t)
 	}
 	for {
+		// Batch boundary: cancellation/deadline/budget check of the sort's
+		// materialization loop (also the check point of each parallel run).
+		if err := op.opts.life.check(); err != nil {
+			return err
+		}
 		b, err := op.input.Next()
 		if err != nil {
 			return err
@@ -110,6 +115,7 @@ func (op *orderOp) consume() error {
 		if b == nil {
 			break
 		}
+		op.opts.life.reserve(batchBytes(len(in)+len(op.keys), b.Rows()))
 		t0 := time.Now()
 		for c, v := range b.Vecs {
 			op.cols[c].appendVec(v, b.Sel, b.N)

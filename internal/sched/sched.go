@@ -48,6 +48,11 @@ type Pool struct {
 	admitted int64 // slot grants (fast-path + handoffs)
 	waits    int64 // acquisitions that had to queue
 	yields   int64 // voluntary morsel-boundary handoffs
+
+	// memReserved sums the declared memory budgets of in-flight queries
+	// (ReserveMemory/ReleaseMemory), so admission decisions can see the
+	// aggregate budget commitment alongside slot occupancy.
+	memReserved int64
 }
 
 // Stats is a point-in-time snapshot of pool occupancy and admission
@@ -65,6 +70,9 @@ type Stats struct {
 	Waits int64
 	// Yields counts voluntary morsel-boundary slot handoffs.
 	Yields int64
+	// MemReserved is the sum of the declared memory budgets of in-flight
+	// queries, in bytes.
+	MemReserved int64
 }
 
 // NewPool creates a pool with n slots; n < 1 selects runtime.GOMAXPROCS.
@@ -97,13 +105,37 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Cap:      p.cap,
-		InUse:    p.inUse,
-		Waiting:  len(p.waiters),
-		Admitted: p.admitted,
-		Waits:    p.waits,
-		Yields:   p.yields,
+		Cap:         p.cap,
+		InUse:       p.inUse,
+		Waiting:     len(p.waiters),
+		Admitted:    p.admitted,
+		Waits:       p.waits,
+		Yields:      p.yields,
+		MemReserved: p.memReserved,
 	}
+}
+
+// ReserveMemory records a query's declared memory budget for the duration
+// of its execution; pair with ReleaseMemory. It never blocks or rejects —
+// it makes aggregate budget commitment visible to admission decisions and
+// Stats.
+func (p *Pool) ReserveMemory(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.memReserved += n
+	p.mu.Unlock()
+}
+
+// ReleaseMemory returns a budget recorded by ReserveMemory.
+func (p *Pool) ReleaseMemory(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.memReserved -= n
+	p.mu.Unlock()
 }
 
 // NewSlot creates an unacquired slot handle on the pool.

@@ -1,0 +1,127 @@
+package tpch
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"x100/internal/core"
+)
+
+// TestENOSPCCheckpointAborts injects ENOSPC at each write stage of a
+// checkpoint — chunk append, temp manifest, manifest commit — and
+// requires a clean abort: the checkpoint reports the error, the table
+// stays attached and queryable with the delta intact (verified against
+// the in-memory twin), the WAL still protects the acknowledged updates
+// across a restart, and the next checkpoint attempt — disk space back —
+// succeeds and absorbs everything.
+func TestENOSPCCheckpointAborts(t *testing.T) {
+	for _, stage := range []string{"chunk", "manifest-temp"} {
+		t.Run(stage, func(t *testing.T) {
+			mem, err := Generate(Config{SF: walRecoverySF})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			saveAll(t, mem, dir)
+			disk, store := attachAll(t, dir, 8)
+			tw := twinDBs{mem: mem, disk: disk}
+
+			templates := map[string][]any{}
+			for _, name := range mutTables {
+				templates[name] = lastRowTemplate(t, mem, name)
+			}
+			for _, name := range mutTables {
+				for i := 0; i < 12; i++ {
+					tw.each(t, func(db *core.Database) error {
+						_, err := db.Insert(name, templates[name])
+						return err
+					})
+				}
+			}
+
+			// Disk full: the checkpoint must abort without committing.
+			full := fmt.Errorf("write chunk: %w", syscall.ENOSPC)
+			store.FaultHook = func(s string) error {
+				if s == stage {
+					return full
+				}
+				return nil
+			}
+			if _, err := disk.Checkpoint("lineitem"); !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("checkpoint under ENOSPC at %s: err = %v", stage, err)
+			}
+			store.FaultHook = nil
+
+			// Nothing committed: still attached, still queryable, delta
+			// intact, twin agrees.
+			sameTwinState(t, "post-enospc", mem, disk)
+
+			// The WAL still protects the delta: a restart right now must
+			// recover every acknowledged insert.
+			restarted, _ := attachAll(t, dir, 8)
+			sameTwinState(t, "restart-after-abort", mem, restarted)
+
+			// Space freed: the retry succeeds and absorbs the delta.
+			tw.each(t, func(db *core.Database) error {
+				done, err := db.Checkpoint("lineitem")
+				if err == nil && !done {
+					return errors.New("checkpoint declined")
+				}
+				return err
+			})
+			ds, err := disk.Delta("lineitem")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds.NumDeltaRows() != 0 {
+				t.Fatalf("retried checkpoint left %d delta rows", ds.NumDeltaRows())
+			}
+			sameTwinState(t, "post-retry", mem, disk)
+
+			restarted2, _ := attachAll(t, dir, 8)
+			sameTwinState(t, "restart-after-retry", mem, restarted2)
+		})
+	}
+}
+
+// TestENOSPCCompactionAborts injects ENOSPC mid-compaction (Reorganize
+// writes a whole new chunk generation before its single-rename commit)
+// and requires the table to stay attached, queryable and deletion-correct,
+// with the next attempt succeeding.
+func TestENOSPCCompactionAborts(t *testing.T) {
+	mem, err := Generate(Config{SF: walRecoverySF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	saveAll(t, mem, dir)
+	disk, store := attachAll(t, dir, 8)
+	tw := twinDBs{mem: mem, disk: disk}
+
+	// Delete a spread of rows so the compaction has work.
+	for id := int32(0); id < 600; id += 3 {
+		tw.each(t, func(db *core.Database) error { return db.Delete("lineitem", id) })
+	}
+
+	full := fmt.Errorf("write chunk: %w", syscall.ENOSPC)
+	store.FaultHook = func(s string) error {
+		if s == "chunk" {
+			return full
+		}
+		return nil
+	}
+	if err := disk.Reorganize("lineitem"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("compaction under ENOSPC: err = %v", err)
+	}
+	store.FaultHook = nil
+
+	sameTwinState(t, "post-enospc", mem, disk)
+
+	tw.each(t, func(db *core.Database) error { return db.Reorganize("lineitem") })
+	sameTwinState(t, "post-retry", mem, disk)
+
+	restarted, _ := attachAll(t, dir, 8)
+	sameTwinState(t, "restart", mem, restarted)
+}

@@ -1,0 +1,184 @@
+package tpch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"x100/internal/core"
+	"x100/internal/sched"
+)
+
+// settle waits (bounded) for cond to become true; goroutine exits and slot
+// releases after a cancellation are prompt but asynchronous with Run's
+// return.
+func settle(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s did not settle within 5s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancellationStorm cancels every TPC-H query at a spread of points —
+// before the first morsel, mid-flight, near completion — at parallelism
+// 1, 2 and 8, and requires each run to either complete or fail with a
+// wrapped context.Canceled; afterwards no goroutines or execution slots
+// may be leaked. Delays are deterministic per (query, parallelism, round)
+// so a failure reproduces.
+func TestCancellationStorm(t *testing.T) {
+	db := getDB(t)
+	baseline := runtime.NumGoroutine()
+	pool := sched.NewPool(8)
+	delays := []time.Duration{0, 50 * time.Microsecond, 300 * time.Microsecond, 1 * time.Millisecond, 4 * time.Millisecond}
+	for _, p := range []int{1, 2, 8} {
+		for q := 1; q <= NumQueries; q++ {
+			t.Run(fmt.Sprintf("p%d/Q%d", p, q), func(t *testing.T) {
+				plan, err := Query(q, 0.01)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for round, d := range delays {
+					ctx, cancel := context.WithCancel(context.Background())
+					if d == 0 {
+						cancel()
+					} else {
+						timer := time.AfterFunc(d, cancel)
+						defer timer.Stop()
+					}
+					opts := core.DefaultOptions()
+					opts.Ctx = ctx
+					opts.Parallelism = p
+					opts.Sched = pool
+					_, err := core.Run(db, plan, opts)
+					cancel()
+					if err != nil && !errors.Is(err, context.Canceled) {
+						t.Fatalf("round %d (delay %v): error does not wrap context.Canceled: %v", round, d, err)
+					}
+					if d == 0 && err == nil {
+						t.Fatalf("round %d: pre-cancelled context executed to completion", round)
+					}
+				}
+			})
+		}
+	}
+	settle(t, "execution slots", func() bool { return pool.Stats().InUse == 0 })
+	settle(t, "goroutine count", func() bool { return runtime.NumGoroutine() <= baseline+4 })
+}
+
+// TestDeadlineExceeded runs a scan-heavy query under deadlines from
+// already-expired to comfortable and requires every outcome to be either
+// success or a wrapped context.DeadlineExceeded — never a bare or
+// misclassified error.
+func TestDeadlineExceeded(t *testing.T) {
+	db := getDB(t)
+	plan, err := Query(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDeadline := false
+	for _, d := range []time.Duration{time.Nanosecond, 200 * time.Microsecond, time.Millisecond, 10 * time.Second} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		opts := core.DefaultOptions()
+		opts.Ctx = ctx
+		opts.Parallelism = 2
+		_, err := core.Run(db, plan, opts)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("deadline %v: error does not wrap DeadlineExceeded: %v", d, err)
+			}
+			sawDeadline = true
+		} else if d == time.Nanosecond {
+			t.Fatal("1ns deadline executed to completion")
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("no deadline fired, even at 1ns")
+	}
+}
+
+// TestMemoryBudget requires a query whose materializing state exceeds its
+// WithMemoryLimit budget to fail with a wrapped core.ErrMemoryBudget —
+// never an OOM — while a concurrent query within its own (or no) budget
+// is unaffected, and the budget reservation is visible to the scheduler
+// while the query runs.
+func TestMemoryBudget(t *testing.T) {
+	db := getDB(t)
+	plan, err := Query(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(4)
+
+	opts := core.DefaultOptions()
+	opts.Sched = pool
+	opts.MemLimit = 64 << 10 // 64 KiB: far below Q1's scan buffers
+	if _, err := core.Run(db, plan, opts); !errors.Is(err, core.ErrMemoryBudget) {
+		t.Fatalf("64KiB budget: want ErrMemoryBudget, got %v", err)
+	}
+
+	// A generous budget completes, and while the query is admitted its
+	// reservation is registered with the pool.
+	done := make(chan error, 2)
+	go func() {
+		o := core.DefaultOptions()
+		o.Sched = pool
+		o.MemLimit = 1 << 30
+		_, err := core.Run(db, plan, o)
+		done <- err
+	}()
+	go func() {
+		o := core.DefaultOptions()
+		o.Sched = pool
+		_, err := core.Run(db, plan, o) // no budget: must be unaffected
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("within-budget concurrent query failed: %v", err)
+		}
+	}
+	if got := pool.Stats().MemReserved; got != 0 {
+		t.Fatalf("budget reservation leaked: MemReserved=%d after queries finished", got)
+	}
+}
+
+// TestCancelReleasesDiskLeases cancels parallel queries over the
+// disk-attached twin mid-flight and requires every generation lease (the
+// refs that pin superseded chunk generations for a query's captured view)
+// to be released afterwards.
+func TestCancelReleasesDiskLeases(t *testing.T) {
+	db := getDiskDB(t)
+	plan, err := Query(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []time.Duration{100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(d, cancel)
+		opts := core.DefaultOptions()
+		opts.Ctx = ctx
+		opts.Parallelism = 4
+		_, err := core.Run(db, plan, opts)
+		timer.Stop()
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("delay %v: error does not wrap context.Canceled: %v", d, err)
+		}
+		settle(t, "generation leases", func() bool {
+			for _, tab := range baseTables {
+				if db.GenLeases(tab) != 0 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package x100_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"x100"
+)
+
+// TestErrorTaxonomy pins the public error-classification contract: every
+// failure mode of query-lifecycle governance is distinguishable with
+// errors.Is against the package-level sentinels and the context errors.
+func TestErrorTaxonomy(t *testing.T) {
+	db, err := x100.GenerateTPCH(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := x100.TPCHQuery(1, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Exec(plan, x100.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: want errors.Is(err, context.Canceled), got %v", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	if _, err := db.Exec(plan, x100.WithContext(dctx)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: want errors.Is(err, context.DeadlineExceeded), got %v", err)
+	}
+
+	_, err = db.Exec(plan, x100.WithMemoryLimit(1<<10))
+	if !errors.Is(err, x100.ErrMemoryBudget) {
+		t.Fatalf("1KiB budget: want errors.Is(err, ErrMemoryBudget), got %v", err)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budget error must not classify as a context error: %v", err)
+	}
+	if _, err := db.Exec(plan, x100.WithMemoryLimit(1<<30)); err != nil {
+		t.Fatalf("1GiB budget: %v", err)
+	}
+
+	// The three sentinels are pairwise distinct.
+	if errors.Is(x100.ErrMemoryBudget, x100.ErrCorrupt) || errors.Is(x100.ErrCorrupt, x100.ErrTransient) ||
+		errors.Is(x100.ErrTransient, x100.ErrMemoryBudget) {
+		t.Fatal("error sentinels are not distinct")
+	}
+
+	// The MIL and Volcano baselines refuse a dead context up front.
+	for _, eng := range []x100.Engine{x100.MIL, x100.Volcano} {
+		if _, err := db.Exec(plan, x100.WithEngine(eng), x100.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %v with cancelled ctx: got %v", eng, err)
+		}
+	}
+}
+
+// TestBackgroundScrubber attaches a disk table under WithBackgroundScrubbing
+// and waits for a clean sweep, then corrupts a chunk file on disk and waits
+// for the scrubber to flag it — surfacing latent corruption without any
+// query touching the chunk.
+func TestBackgroundScrubber(t *testing.T) {
+	dir := t.TempDir()
+	seed := x100.NewDB()
+	amounts := make([]float64, 5000)
+	for i := range amounts {
+		amounts[i] = float64(i % 250)
+	}
+	if err := seed.CreateDiskTable(dir, "pay",
+		x100.ColumnData{Name: "amount", Type: x100.Float64T, Data: amounts}); err != nil {
+		t.Fatal(err)
+	}
+
+	db := x100.NewDB(x100.WithBackgroundScrubbing(x100.ScrubberOptions{Interval: 2 * time.Millisecond}))
+	defer db.Close()
+	if err := db.AttachDisk(dir, "pay"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, cond func(x100.ScrubStatus) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(db.ScrubStatus()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: scrubber status %+v", what, db.ScrubStatus())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("clean sweep", func(s x100.ScrubStatus) bool {
+		return s.Sweeps > 0 && s.ChunksVerified > 0 && s.ChunksFailed == 0
+	})
+
+	chunks, err := filepath.Glob(filepath.Join(dir, "pay.amount*.chunk"))
+	if err != nil || len(chunks) == 0 {
+		t.Fatalf("no chunk files found: %v %v", chunks, err)
+	}
+	b, err := os.ReadFile(chunks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(chunks[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("corruption flagged", func(s x100.ScrubStatus) bool {
+		return s.ChunksFailed > 0 && s.LastFailure != ""
+	})
+
+	// The per-table counters surface through WalStatuses too.
+	found := false
+	for _, ws := range db.WalStatuses() {
+		if ws.Table == "pay" && ws.Store.ScrubVerified > 0 && ws.Store.ScrubFailed > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scrub counters missing from WalStatuses: %+v", db.WalStatuses())
+	}
+}
+
+// TestInsertContextPreCancelled pins the DML half of the lifecycle: an
+// insert under an already-cancelled context refuses to start.
+func TestInsertContextPreCancelled(t *testing.T) {
+	db := x100.NewDB()
+	if err := db.CreateTable("t",
+		x100.ColumnData{Name: "v", Type: x100.Int64T, Data: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.InsertContext(ctx, "t", int64(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	n, err := db.NumRows("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("cancelled insert was applied: %d rows", n)
+	}
+}

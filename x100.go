@@ -112,9 +112,33 @@
 // LRU vs scan-resistant eviction policy): a scan attaches to chunks some
 // other scan already decoded instead of re-decoding them, with hit, miss
 // and attach counters surfaced in WalStatuses and the execution trace.
+//
+// # Query lifecycle: cancellation, deadlines, memory budgets
+//
+// WithContext(ctx) attaches a context to a query: cancelling the context
+// (or hitting its deadline) aborts the query at the next morsel boundary —
+// serial pipelines check between vectors, parallel workers between
+// morsels — and Exec returns an error wrapping context.Canceled or
+// context.DeadlineExceeded (test with errors.Is). Abort is cooperative but
+// prompt (within one scheduler quantum): worker goroutines exit, execution
+// slots return to the scheduler, and generation leases and snapshot views
+// are released, so a cancelled query leaks nothing. WithMemoryLimit(n)
+// sets a per-query budget over the engine's materializing state — batch
+// buffers, hash-join builds, aggregation accumulators, sort runs — and
+// aborts the query with an error wrapping ErrMemoryBudget when it would
+// exceed n bytes, instead of letting one query OOM the process; the
+// reservation is visible to the shared scheduler (SchedulerStats), so
+// admission control can account for it. Transient read errors on chunk
+// files are retried with bounded exponential backoff; permanent corruption
+// surfaces as a wrapped columnbm.ErrCorrupt naming the table, column,
+// generation and chunk. WithBackgroundScrubbing starts a CRC scrubber
+// that continuously re-verifies on-disk chunks against their manifest
+// checksums (one admission slot per sweep, like the compactor), surfacing
+// latent corruption before queries trip over it.
 package x100
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -185,6 +209,24 @@ const (
 	DurabilityCheckpoint = core.DurabilityCheckpoint
 )
 
+// ErrMemoryBudget is wrapped by the error a query returns when it would
+// exceed its WithMemoryLimit budget: the query is aborted cleanly (slots,
+// leases and snapshots released) instead of driving the process out of
+// memory. Test with errors.Is(err, ErrMemoryBudget).
+var ErrMemoryBudget = core.ErrMemoryBudget
+
+// ErrCorrupt is wrapped by errors surfaced when an on-disk chunk, manifest
+// or WAL record fails its checksum or structural validation; the chain
+// names the table, column, generation and chunk index. Test with
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = columnbm.ErrCorrupt
+
+// ErrTransient marks I/O errors the storage layer classified as
+// transient: chunk reads that fail with a transient error are retried
+// with bounded exponential backoff before surfacing, so only errors that
+// persisted across retries escape with this mark.
+var ErrTransient = columnbm.ErrTransient
+
 // DB is a columnar database instance.
 type DB struct {
 	inner *core.Database
@@ -201,6 +243,10 @@ type DB struct {
 	compactor     *core.Compactor
 	compactorOpts CompactorOptions
 	compactorOn   bool
+	// Background CRC scrubber (WithBackgroundScrubbing); nil when disabled.
+	scrubber     *core.Scrubber
+	scrubberOpts ScrubberOptions
+	scrubberOn   bool
 }
 
 // DBOption configures NewDB.
@@ -266,6 +312,30 @@ func WithBackgroundCompaction(opts CompactorOptions) DBOption {
 	return func(db *DB) { db.compactorOpts, db.compactorOn = opts, true }
 }
 
+// ScrubberOptions tune the background CRC scrubber started by
+// WithBackgroundScrubbing: the sweep interval and the admission-control
+// scheduler each sweep draws its slot from.
+type ScrubberOptions = core.ScrubberOptions
+
+// ScrubStatus is a snapshot of the background scrubber's counters: sweeps
+// completed, chunks verified and failed, and the most recent failure
+// identity (see DB.ScrubStatus).
+type ScrubStatus = core.ScrubStatus
+
+// WithBackgroundScrubbing starts a background CRC scrubber over the
+// database's disk-attached tables: every sweep re-reads the chunk files
+// the committed manifests reference — bypassing the buffer pool, so the
+// disk itself is checked and hot chunks stay cached — and verifies each
+// against its manifest CRC32, surfacing latent corruption (bit rot, torn
+// writes) before a query trips over it. Each sweep holds one admission
+// slot, like the compactor, so verification I/O cannot starve queries.
+// Verified/failed chunk counts appear in ScrubStatus, WalStatuses and the
+// shell's \storage command. Stop the scrubber with DB.Close. The zero
+// ScrubberOptions selects defaults (1s sweep interval, default scheduler).
+func WithBackgroundScrubbing(opts ScrubberOptions) DBOption {
+	return func(db *DB) { db.scrubberOpts, db.scrubberOn = opts, true }
+}
+
 // NewDB creates an empty database.
 func NewDB(opts ...DBOption) *DB {
 	db := &DB{inner: core.NewDatabase()}
@@ -274,6 +344,9 @@ func NewDB(opts ...DBOption) *DB {
 	}
 	if db.compactorOn {
 		db.compactor = core.StartCompactor(db.inner, db.compactorOpts)
+	}
+	if db.scrubberOn {
+		db.scrubber = core.StartScrubber(db.inner, db.scrubberOpts)
 	}
 	return db
 }
@@ -287,12 +360,25 @@ func (db *DB) CompactionStatus() CompactionStatus {
 	return db.compactor.Status()
 }
 
+// ScrubStatus returns the background scrubber's counters; the zero status
+// when WithBackgroundScrubbing was not selected.
+func (db *DB) ScrubStatus() ScrubStatus {
+	if db.scrubber == nil {
+		return ScrubStatus{}
+	}
+	return db.scrubber.Status()
+}
+
 // Close stops the database's background maintenance (the compactor started
-// by WithBackgroundCompaction), waiting for an in-flight run to finish.
-// Queries already built keep working; Close only halts background work.
+// by WithBackgroundCompaction and the scrubber started by
+// WithBackgroundScrubbing), waiting for in-flight runs to finish. Queries
+// already built keep working; Close only halts background work.
 func (db *DB) Close() error {
 	if db.compactor != nil {
 		db.compactor.Stop()
+	}
+	if db.scrubber != nil {
+		db.scrubber.Stop()
 	}
 	return nil
 }
@@ -433,6 +519,20 @@ func (db *DB) Insert(table string, row ...any) error {
 	return err
 }
 
+// InsertContext is Insert with cancellation: a durable insert parked in
+// the write-ahead log's group commit behind another writer's fsync
+// returns promptly (wrapping context.Canceled) when ctx is cancelled. The
+// log record was already appended before the wait, so — exactly as after
+// a crash — a cancelled insert's durability is unknown: it was not applied
+// in memory, but may reappear on replay.
+func (db *DB) InsertContext(ctx context.Context, table string, row ...any) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("x100: insert aborted before start: %w", err)
+	}
+	_, err := db.inner.InsertCancel(table, row, ctx.Done())
+	return err
+}
+
 // Delete marks a row id deleted (write-ahead logged like Insert).
 func (db *DB) Delete(table string, rowID int32) error {
 	return db.inner.Delete(table, rowID)
@@ -511,6 +611,8 @@ type execConfig struct {
 	tracer       *trace.Collector
 	milTrace     *mil.Trace
 	profile      *volcano.Profile
+	ctx          context.Context
+	memLimit     int64
 }
 
 // Scheduler is a process-wide worker pool with admission control: a fixed
@@ -566,6 +668,32 @@ func WithoutCodeDomain() ExecOption { return func(c *execConfig) { c.noCodeDomai
 // single-threaded; negative values select runtime.GOMAXPROCS(0).
 func WithParallelism(n int) ExecOption { return func(c *execConfig) { c.parallelism = n } }
 
+// WithContext attaches a context to the query: cancelling it — or hitting
+// its deadline — aborts execution at the next morsel boundary and Exec
+// returns an error wrapping context.Canceled or context.DeadlineExceeded.
+// Abort is cooperative but bounded: serial pipelines check between
+// vectors, parallel workers between morsels, so a cancelled query stops
+// within roughly one scheduler quantum, releasing its execution slots,
+// generation leases and snapshot views. The Vectorized engine checks
+// throughout execution; the MIL and Volcano baselines only check before
+// starting.
+func WithContext(ctx context.Context) ExecOption {
+	return func(c *execConfig) { c.ctx = ctx }
+}
+
+// WithMemoryLimit caps the query's materializing memory — batch buffers,
+// hash-join builds, aggregation accumulators, sort runs, pinned decoded
+// chunks — at limitBytes. A query that would exceed the budget aborts
+// with an error wrapping ErrMemoryBudget (never an OOM), releasing its
+// resources like a cancellation; concurrent queries within their own
+// budgets are unaffected. The budget is registered with the query's
+// scheduler for its duration (SchedulerStats.MemReserved), so admission
+// control sees the aggregate reservation. limitBytes <= 0 means
+// unlimited. Vectorized engine only.
+func WithMemoryLimit(limitBytes int64) ExecOption {
+	return func(c *execConfig) { c.memLimit = limitBytes }
+}
+
 // WithTracer attaches a per-primitive tracer (Vectorized engine).
 func WithTracer(t *Tracer) ExecOption { return func(c *execConfig) { c.tracer = t } }
 
@@ -591,6 +719,13 @@ func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.ctx != nil {
+		// The baseline engines have no in-flight checks; refuse to start a
+		// query whose context is already dead on every engine.
+		if err := cfg.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("x100: query aborted before start: %w", err)
+		}
+	}
 	switch cfg.engine {
 	case MIL:
 		eng := &mil.Engine{DB: db.inner, Trace: cfg.milTrace}
@@ -605,6 +740,8 @@ func (db *DB) Exec(plan Node, opts ...ExecOption) (*Result, error) {
 		eo.Parallelism = cfg.parallelism
 		eo.NoCodeDomain = cfg.noCodeDomain
 		eo.Sched = cfg.sched
+		eo.Ctx = cfg.ctx
+		eo.MemLimit = cfg.memLimit
 		if cfg.vectorSize > 0 {
 			eo.BatchSize = cfg.vectorSize
 		}
